@@ -1,0 +1,51 @@
+//! Criterion bench for the Observation 2.1 greedy assigner (experiment E7):
+//! throughput of optimal job-to-slot assignment given calibration times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use calib_core::{assign_greedy, Time};
+use calib_workloads::{arrivals, make_instance, WeightModel};
+
+fn bench_assigner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assigner");
+    for &n in &[1000usize, 10_000, 100_000] {
+        let inst = make_instance(
+            arrivals::poisson(21, n, 0.8, true),
+            WeightModel::Uniform { max: 16 },
+            21,
+            1,
+            16,
+        );
+        // One calibration per 8 jobs, spread across the release span.
+        let max_r = inst.max_release().unwrap();
+        let k = (n / 8).max(1) as Time;
+        let times: Vec<Time> = (0..k).map(|i| i * (max_r / k).max(1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(assign_greedy(inst, &times)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assigner_multi_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assigner_multi");
+    let n = 10_000;
+    for &p in &[1usize, 4, 16] {
+        let inst = make_instance(
+            arrivals::bursty(n / 20, 20, 25, false),
+            WeightModel::Unit,
+            22,
+            p,
+            10,
+        );
+        let times: Vec<Time> = (0..(n / 10) as Time).map(|i| i * 12).collect();
+        group.bench_with_input(BenchmarkId::new("machines", p), &inst, |b, inst| {
+            b.iter(|| black_box(assign_greedy(inst, &times)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assigner, bench_assigner_multi_machine);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Runs every experiment table in quick mode — a one-command smoke
+//! regeneration of the full EXPERIMENTS.md suite (E1–E12).
+
+use calib_sim::experiments as ex;
+
+fn main() {
+    // E1 / E2.
+    let mut e1 = ex::ratio::RatioConfig::e1();
+    e1.n = 14;
+    e1.seeds = 2;
+    e1.cal_costs = vec![4, 30];
+    e1.cal_lens = vec![3];
+    println!("{}", ex::ratio::run(&e1).1.render());
+
+    let mut e2 = ex::ratio::RatioConfig::e2();
+    e2.n = 14;
+    e2.seeds = 2;
+    e2.cal_costs = vec![4, 30];
+    e2.cal_lens = vec![3];
+    println!("{}", ex::ratio::run(&e2).1.render());
+
+    // E3.
+    let e3 = ex::multi::MultiConfig {
+        machines: vec![1, 2],
+        n: 6,
+        seeds: 1,
+        cal_costs: vec![3, 9],
+        ..Default::default()
+    };
+    println!("{}", ex::multi::run(&e3).1.render());
+
+    // E4.
+    let e4 = ex::lower_bound::LowerBoundConfig {
+        params: vec![(4, 4), (64, 32), (1024, 512), (2, 1024)],
+    };
+    println!("{}", ex::lower_bound::run(&e4).1.render());
+
+    // E5.
+    let e5 = ex::optr_gap::OptrConfig { n: 6, seeds: 3, ..Default::default() };
+    println!("{}", ex::optr_gap::run(&e5).1.render());
+
+    // E6.
+    let e6 = ex::dp_scaling::DpScalingConfig {
+        sizes: vec![10, 20, 40],
+        reps: 1,
+        ..Default::default()
+    };
+    println!("{}", ex::dp_scaling::run(&e6).2.render());
+
+    // E8.
+    let e8 = ex::lp_gap::LpGapConfig { n: 5, seeds: 2, ..Default::default() };
+    println!("{}", ex::lp_gap::run(&e8).1.render());
+
+    // E10.
+    let e10 = ex::ablations::AblationConfig {
+        n: 15,
+        seeds: 2,
+        cal_lens: vec![3],
+        cal_costs: vec![8, 40],
+        ..Default::default()
+    };
+    println!("{}", ex::ablations::run(&e10).1.render());
+
+    // E11.
+    let e11 = ex::sensitivity::SensitivityConfig {
+        n: 14,
+        seeds: 2,
+        cal_costs: vec![40],
+        factors: vec![(1, 4), (1, 1), (4, 1)],
+        ..Default::default()
+    };
+    println!("{}", ex::sensitivity::run(&e11).1.render());
+
+    // E12.
+    let e12 = ex::weighted_multi::WeightedMultiConfig {
+        machines: vec![1, 2],
+        n: 5,
+        seeds: 1,
+        ..Default::default()
+    };
+    println!("{}", ex::weighted_multi::run(&e12).1.render());
+
+    // E13.
+    let e13 = ex::randomized::RandomizedConfig {
+        params: vec![(10, 100), (20, 400)],
+        trials: 60,
+    };
+    println!("{}", ex::randomized::run(&e13).1.render());
+}

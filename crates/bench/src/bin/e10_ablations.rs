@@ -1,0 +1,22 @@
+//! E10: ablations of the paper's design choices (immediate-calibration
+//! rule, extraction order, spec-vs-practical Algorithm 3 assignment).
+
+use calib_sim::experiments::ablations::{run, AblationConfig};
+
+fn main() {
+    let mut cfg = AblationConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.n = 15;
+        cfg.seeds = 2;
+        cfg.cal_lens = vec![3];
+        cfg.cal_costs = vec![8, 40];
+    }
+    let (rows, table) = run(&cfg);
+    println!("{}", table.render());
+    for r in rows.iter().filter(|r| r.ablation.starts_with("A2")) {
+        assert!(
+            r.ratio() >= 1.0 - 1e-9,
+            "heaviest-first extraction should dominate (DESIGN.md §5)"
+        );
+    }
+}

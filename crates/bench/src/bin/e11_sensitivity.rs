@@ -1,0 +1,15 @@
+//! E11: threshold-multiplier sensitivity around the paper's constants.
+
+use calib_sim::experiments::sensitivity::{run, SensitivityConfig};
+
+fn main() {
+    let mut cfg = SensitivityConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.n = 14;
+        cfg.seeds = 2;
+        cfg.cal_costs = vec![40];
+        cfg.factors = vec![(1, 4), (1, 1), (4, 1)];
+    }
+    let (_, table) = run(&cfg);
+    println!("{}", table.render());
+}

@@ -1,0 +1,26 @@
+//! E12 (extension): weighted multi-machine heuristic vs the weighted
+//! Figure 1 LP lower bound. No theorem in the paper covers this setting;
+//! the table records measured certified ratios.
+//!
+//! The default sweep is kept small (P ≤ 2, n = 5): the weighted Figure-1
+//! LPs at P = 3 take minutes per point on the dense simplex substrate.
+//! Pass `--full` for the complete sweep.
+
+use calib_sim::experiments::weighted_multi::{run, WeightedMultiConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut cfg = WeightedMultiConfig::default();
+    if !full {
+        cfg.machines = vec![1, 2];
+        cfg.n = 5;
+        cfg.seeds = 1;
+    }
+    let (cells, table) = run(&cfg);
+    println!("{}", table.render());
+    let worst = cells
+        .iter()
+        .flat_map(|c| c.certified_ratios.iter().copied())
+        .fold(0.0f64, f64::max);
+    println!("worst certified ratio: {worst:.3} (no proven bound — extension)");
+}

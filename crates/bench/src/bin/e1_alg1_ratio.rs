@@ -1,0 +1,21 @@
+//! E1: Algorithm 1 competitive ratio vs exact OPT (Theorem 3.3: ≤ 3).
+
+use calib_sim::experiments::ratio::{run, RatioConfig};
+
+fn main() {
+    let mut cfg = RatioConfig::e1();
+    if calib_bench::quick_mode() {
+        cfg.n = 14;
+        cfg.seeds = 2;
+        cfg.cal_costs = vec![4, 30];
+        cfg.cal_lens = vec![3];
+    }
+    let (cells, table) = run(&cfg);
+    println!("{}", table.render());
+    let worst = cells
+        .iter()
+        .flat_map(|c| c.ratios.iter().copied())
+        .fold(0.0f64, f64::max);
+    println!("worst observed ratio: {worst:.4} (theorem bound: 3)");
+    assert!(worst <= 3.0 + 1e-9, "Theorem 3.3 violated");
+}

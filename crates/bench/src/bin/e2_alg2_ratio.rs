@@ -1,0 +1,48 @@
+//! E2: Algorithm 2 competitive ratio vs exact OPT (Theorem 3.8: ≤ 12),
+//! across several weight models.
+
+use calib_sim::experiments::ratio::{run, RatioConfig};
+use calib_workloads::WeightModel;
+
+fn main() {
+    let quick = calib_bench::quick_mode();
+    let models = [
+        ("uniform(1..20)", WeightModel::Uniform { max: 20 }),
+        ("pareto(1.1)", WeightModel::Pareto { alpha: 1.1, cap: 100 }),
+        ("bimodal(100@5%)", WeightModel::Bimodal { heavy: 100, p_heavy: 0.05 }),
+    ];
+    let mut worst = 0.0f64;
+    for (label, weights) in models {
+        let mut cfg = RatioConfig::e2();
+        cfg.weights = weights;
+        if quick {
+            cfg.n = 14;
+            cfg.seeds = 2;
+            cfg.cal_costs = vec![4, 30];
+            cfg.cal_lens = vec![3];
+        }
+        let (cells, table) = run(&cfg);
+        println!("--- weights: {label} ---");
+        println!("{}", table.render());
+        worst = worst.max(
+            cells
+                .iter()
+                .flat_map(|c| c.ratios.iter().copied())
+                .fold(0.0f64, f64::max),
+        );
+    }
+    println!("worst observed ratio: {worst:.4} (theorem bound: 12)");
+    assert!(worst <= 12.0 + 1e-9, "Theorem 3.8 violated");
+
+    // The intermediate claim: 6-competitive against the release-ordered
+    // optimum (exact OPT_r needs brute force, so small n).
+    let optr_cfg = calib_sim::experiments::optr_gap::OptrConfig {
+        n: if quick { 6 } else { 8 },
+        seeds: if quick { 2 } else { 5 },
+        ..Default::default()
+    };
+    let (ratios, table) = calib_sim::experiments::optr_gap::alg2_vs_optr(&optr_cfg);
+    println!("{}", table.render());
+    let worst_r = ratios.iter().copied().fold(0.0f64, f64::max);
+    assert!(worst_r <= 6.0 + 1e-9, "Alg2 vs OPT_r bound violated: {worst_r}");
+}

@@ -1,0 +1,23 @@
+//! E3: Algorithm 3 on P machines vs the Figure 1 LP lower bound
+//! (Theorem 3.10: ≤ 12; the LP makes the measured ratio a certified upper
+//! estimate of the true one).
+
+use calib_sim::experiments::multi::{run, MultiConfig};
+
+fn main() {
+    let mut cfg = MultiConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.machines = vec![1, 2];
+        cfg.n = 6;
+        cfg.seeds = 1;
+        cfg.cal_costs = vec![3, 9];
+    }
+    let (cells, table) = run(&cfg);
+    println!("{}", table.render());
+    let worst = cells
+        .iter()
+        .flat_map(|c| c.certified_ratios.iter().copied())
+        .fold(0.0f64, f64::max);
+    println!("worst certified ALG/LP ratio: {worst:.4} (theorem bound: 12)");
+    assert!(worst <= 12.0 + 1e-9, "Theorem 3.10 violated (certified)");
+}

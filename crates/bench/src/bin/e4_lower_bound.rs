@@ -1,0 +1,16 @@
+//! E4: the Lemma 3.1 adversary — measured ratios approach the paper's
+//! lower bound of 2 as the parameters grow.
+
+use calib_sim::experiments::lower_bound::{run, LowerBoundConfig};
+
+fn main() {
+    let mut cfg = LowerBoundConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.params.truncate(4);
+    }
+    let (rows, table) = run(&cfg);
+    println!("{}", table.render());
+    let best = rows.iter().map(|r| r.ratio).fold(0.0f64, f64::max);
+    println!("strongest adversary ratio achieved: {best:.4} (paper: -> 2 - o(1))");
+    assert!(best > 1.5, "adversary should approach 2");
+}

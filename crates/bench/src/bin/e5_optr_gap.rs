@@ -1,0 +1,22 @@
+//! E5: the Lemma 3.4 release-order restriction — `OPT_r` with doubled
+//! budget never has more flow than OPT (hard invariant), and the
+//! same-budget gap is reported.
+
+use calib_sim::experiments::optr_gap::{run, OptrConfig};
+
+fn main() {
+    let mut cfg = OptrConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.n = 6;
+        cfg.seeds = 3;
+        cfg.cal_lens = vec![2, 3];
+    }
+    let (cells, table) = run(&cfg);
+    println!("{}", table.render());
+    let worst_double = cells
+        .iter()
+        .flat_map(|c| c.double_budget_gaps.iter().copied())
+        .fold(0.0f64, f64::max);
+    println!("max flow(OPT_r, 2K)/flow(OPT, K): {worst_double:.4} (Lemma 3.4: <= 1)");
+    assert!(worst_double <= 1.0 + 1e-9, "Lemma 3.4 violated");
+}

@@ -1,0 +1,16 @@
+//! E6: offline DP runtime scaling (Theorem 4.7: `O(K n³)`; our memoized
+//! implementation is `O(n⁴)` worst-case — the fitted exponent shows where
+//! real instances land).
+
+use calib_sim::experiments::dp_scaling::{run, DpScalingConfig};
+
+fn main() {
+    let mut cfg = DpScalingConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.sizes = vec![10, 20, 40];
+        cfg.reps = 1;
+    }
+    let (_, exponent, table) = run(&cfg);
+    println!("{}", table.render());
+    println!("fitted runtime exponent: n^{exponent:.2} (paper algorithm: O(K n^3))");
+}

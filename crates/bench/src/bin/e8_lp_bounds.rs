@@ -1,0 +1,24 @@
+//! E8: integrality gap of the Figure 1 LP relaxation against exact OPT
+//! (weak duality: gap ≥ 1; the table shows how tight the E3 certificate is).
+
+use calib_sim::experiments::lp_gap::{run, LpGapConfig};
+
+fn main() {
+    let mut cfg = LpGapConfig::default();
+    if calib_bench::quick_mode() {
+        cfg.n = 5;
+        cfg.seeds = 2;
+        cfg.cal_lens = vec![2, 3];
+    }
+    let (cells, table) = run(&cfg);
+    println!("{}", table.render());
+    let worst = cells
+        .iter()
+        .flat_map(|c| c.gaps.iter().copied())
+        .fold(0.0f64, f64::max);
+    println!("max integrality gap OPT/LP: {worst:.4}");
+    assert!(
+        cells.iter().flat_map(|c| c.gaps.iter()).all(|&g| g >= 1.0 - 1e-6),
+        "weak duality violated"
+    );
+}

@@ -1,0 +1,16 @@
+//! # calib-bench
+//!
+//! Benchmarks and experiment binaries for the calibration-scheduling
+//! reproduction. Criterion benches live in `benches/`; the `e*` binaries in
+//! `src/bin/` print the DESIGN.md §3 experiment tables (the paper has no
+//! empirical tables of its own, so these regenerate every *quantitative
+//! claim* instead — see EXPERIMENTS.md for recorded output).
+//!
+//! Run all tables with `cargo run --release -p calib-bench --bin <e*>`;
+//! every binary accepts `--quick` to shrink the sweep.
+
+/// Shared quick-mode switch: pass `--quick` to any experiment binary to
+/// shrink the sweep (used in CI-style smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

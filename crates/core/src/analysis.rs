@@ -1,0 +1,197 @@
+//! Schedule analytics and rendering: utilization, per-interval occupancy,
+//! flow distribution, and an ASCII Gantt view — the inspection tools a
+//! downstream user reaches for first.
+
+use std::collections::HashMap;
+
+use crate::calibration::coverage_by_machine;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::types::{Cost, Time};
+
+/// Aggregate metrics of a (feasible) schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Number of scheduled jobs.
+    pub jobs: usize,
+    /// Number of calibrations performed.
+    pub calibrations: usize,
+    /// Total calibrated slots (merged coverage; overlaps counted once).
+    pub calibrated_slots: u64,
+    /// Slots actually running jobs.
+    pub busy_slots: u64,
+    /// `busy / calibrated` (0 when nothing is calibrated).
+    pub utilization: f64,
+    /// `Σ w_j (t_j + 1 − r_j)`.
+    pub total_weighted_flow: Cost,
+    /// Maximum single-job flow `t_j + 1 − r_j`.
+    pub max_flow: Time,
+    /// Mean (unweighted) per-job flow.
+    pub mean_flow: f64,
+    /// Jobs that started exactly at their release time.
+    pub at_release: usize,
+}
+
+/// Computes [`ScheduleStats`]. The schedule should be feasible (run
+/// [`crate::checker::check_schedule`] first); unknown jobs panic.
+pub fn schedule_stats(instance: &Instance, schedule: &Schedule) -> ScheduleStats {
+    let coverage = coverage_by_machine(
+        &schedule.calibrations,
+        instance.machines(),
+        instance.cal_len(),
+    );
+    let calibrated_slots: u64 = coverage.iter().map(|c| c.total_slots()).sum();
+    let busy_slots = schedule.assignments.len() as u64;
+
+    let mut max_flow = 0;
+    let mut flow_sum = 0i128;
+    let mut at_release = 0;
+    for a in &schedule.assignments {
+        let job = instance.job(a.job).expect("assignment references a known job");
+        let flow = a.start + 1 - job.release;
+        max_flow = max_flow.max(flow);
+        flow_sum += flow as i128;
+        if a.start == job.release {
+            at_release += 1;
+        }
+    }
+    let n = schedule.assignments.len();
+    ScheduleStats {
+        jobs: n,
+        calibrations: schedule.calibration_count(),
+        calibrated_slots,
+        busy_slots,
+        utilization: if calibrated_slots == 0 {
+            0.0
+        } else {
+            busy_slots as f64 / calibrated_slots as f64
+        },
+        total_weighted_flow: schedule.total_weighted_flow(instance),
+        max_flow,
+        mean_flow: if n == 0 { 0.0 } else { flow_sum as f64 / n as f64 },
+        at_release,
+    }
+}
+
+/// Renders an ASCII Gantt chart: one row per machine, one column per time
+/// step over the schedule's active window.
+///
+/// Legend: `#` job running, `.` calibrated idle, space uncalibrated,
+/// `^` (below the rows) marks release times.
+pub fn render_gantt(instance: &Instance, schedule: &Schedule) -> String {
+    let p = instance.machines();
+    let coverage = coverage_by_machine(&schedule.calibrations, p, instance.cal_len());
+
+    let mut lo = instance.min_release().unwrap_or(0);
+    let mut hi = lo;
+    for c in &schedule.calibrations {
+        lo = lo.min(c.start);
+        hi = hi.max(c.start + instance.cal_len());
+    }
+    for a in &schedule.assignments {
+        hi = hi.max(a.start + 1);
+    }
+    if hi <= lo {
+        return String::from("(empty schedule)\n");
+    }
+    let width = (hi - lo) as usize;
+
+    let mut busy: HashMap<(usize, Time), ()> = HashMap::new();
+    for a in &schedule.assignments {
+        busy.insert((a.machine.index(), a.start), ());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("t = {lo} .. {hi}\n"));
+    for (m, cov) in coverage.iter().enumerate() {
+        let mut row = format!("m{m:<2} |");
+        for step in lo..hi {
+            let ch = if busy.contains_key(&(m, step)) {
+                '#'
+            } else if cov.covers(step) {
+                '.'
+            } else {
+                ' '
+            };
+            row.push(ch);
+        }
+        row.push('|');
+        out.push_str(&row);
+        out.push('\n');
+    }
+    // Release markers.
+    let mut marks = vec![' '; width];
+    for job in instance.jobs() {
+        let idx = (job.release - lo) as usize;
+        if idx < width {
+            marks[idx] = '^';
+        }
+    }
+    out.push_str("  r |");
+    out.extend(marks);
+    out.push_str("|\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign_greedy;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn stats_of_simple_schedule() {
+        let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 5]).build().unwrap();
+        let sched = assign_greedy(&inst, &[0, 5]).unwrap();
+        let stats = schedule_stats(&inst, &sched);
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.calibrations, 2);
+        assert_eq!(stats.calibrated_slots, 8);
+        assert_eq!(stats.busy_slots, 3);
+        assert!((stats.utilization - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(stats.total_weighted_flow, 3);
+        assert_eq!(stats.max_flow, 1);
+        assert_eq!(stats.at_release, 3);
+        assert!((stats.mean_flow - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_detect_delays() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
+        let sched = assign_greedy(&inst, &[4]).unwrap();
+        let stats = schedule_stats(&inst, &sched);
+        assert_eq!(stats.max_flow, 5); // runs at 4, released at 0
+        assert_eq!(stats.at_release, 0);
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1]).build().unwrap();
+        let sched = assign_greedy(&inst, &[0]).unwrap();
+        let g = render_gantt(&inst, &sched);
+        // Window [0, 3): jobs at 0,1; slot 2 calibrated idle.
+        assert!(g.contains("m0  |##.|"), "got:\n{g}");
+        assert!(g.contains("  r |^^ |"), "got:\n{g}");
+    }
+
+    #[test]
+    fn gantt_empty() {
+        let inst = InstanceBuilder::new(3).build().unwrap();
+        let sched = Schedule::default();
+        assert!(render_gantt(&inst, &sched).contains("empty"));
+    }
+
+    #[test]
+    fn gantt_multi_machine() {
+        let inst = InstanceBuilder::new(2)
+            .machines(2)
+            .unit_jobs([0, 0])
+            .build()
+            .unwrap();
+        let sched = assign_greedy(&inst, &[0, 0]).unwrap();
+        let g = render_gantt(&inst, &sched);
+        assert!(g.contains("m0 "), "got:\n{g}");
+        assert!(g.contains("m1 "), "got:\n{g}");
+        assert_eq!(g.matches('#').count(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Calibrations and calibrated-slot coverage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{MachineId, Time};
+
+/// A single calibration: machine `machine` is calibrated at time step
+/// `start`, making slots `start .. start + T` usable (`T` is the instance's
+/// calibration length and is *not* stored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The machine being calibrated.
+    pub machine: MachineId,
+    /// The calibration time (first usable slot).
+    pub start: Time,
+}
+
+impl Calibration {
+    /// Convenience constructor.
+    pub fn new(machine: u32, start: Time) -> Self {
+        Calibration { machine: MachineId(machine), start }
+    }
+
+    /// Does this calibration (of length `cal_len`) cover time step `t`?
+    #[inline]
+    pub fn covers(&self, t: Time, cal_len: Time) -> bool {
+        self.start <= t && t < self.start + cal_len
+    }
+}
+
+/// Per-machine coverage: the union of calibrated slots, stored as disjoint,
+/// sorted half-open segments `[start, end)`.
+///
+/// Overlapping calibrations on one machine simply merge — the model allows
+/// them (they are wasteful but legal), and the online algorithms never need
+/// them on a single machine, but the checker and assigner must handle them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    segments: Vec<(Time, Time)>,
+}
+
+impl Coverage {
+    /// Builds coverage from calibration start times on one machine.
+    pub fn from_starts(starts: &[Time], cal_len: Time) -> Self {
+        assert!(cal_len >= 1);
+        let mut sorted: Vec<Time> = starts.to_vec();
+        sorted.sort_unstable();
+        let mut segments: Vec<(Time, Time)> = Vec::with_capacity(sorted.len());
+        for s in sorted {
+            let (b, e) = (s, s + cal_len);
+            match segments.last_mut() {
+                Some(last) if b <= last.1 => last.1 = last.1.max(e),
+                _ => segments.push((b, e)),
+            }
+        }
+        Coverage { segments }
+    }
+
+    /// The disjoint, sorted segments `[start, end)`.
+    pub fn segments(&self) -> &[(Time, Time)] {
+        &self.segments
+    }
+
+    /// Is time step `t` calibrated?
+    pub fn covers(&self, t: Time) -> bool {
+        // Binary search for the last segment with start <= t.
+        match self.segments.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+            Some(i) => t < self.segments[i].1,
+            None => false,
+        }
+    }
+
+    /// Smallest covered slot `>= t`, if any.
+    pub fn next_covered(&self, t: Time) -> Option<Time> {
+        let i = self.segments.partition_point(|&(_, e)| e <= t);
+        let &(b, _) = self.segments.get(i)?;
+        Some(b.max(t))
+    }
+
+    /// Total number of covered slots.
+    pub fn total_slots(&self) -> u64 {
+        self.segments.iter().map(|&(b, e)| (e - b) as u64).sum()
+    }
+
+    /// True when there are no calibrated slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Distributes a time-sorted list of calibration times over `machines`
+/// machines in round-robin order, as prescribed by Observation 2.1 ("for
+/// every calibration at `t`, calibrate the next machine in round-robin
+/// order").
+pub fn round_robin_calibrations(times: &[Time], machines: usize) -> Vec<Calibration> {
+    assert!(machines >= 1);
+    let mut sorted: Vec<Time> = times.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Calibration { machine: MachineId((i % machines) as u32), start: t })
+        .collect()
+}
+
+/// Groups calibrations into per-machine [`Coverage`] maps.
+pub fn coverage_by_machine(cals: &[Calibration], machines: usize, cal_len: Time) -> Vec<Coverage> {
+    let mut starts: Vec<Vec<Time>> = vec![Vec::new(); machines];
+    for c in cals {
+        starts[c.machine.index()].push(c.start);
+    }
+    starts.iter().map(|s| Coverage::from_starts(s, cal_len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_covers_half_open_interval() {
+        let c = Calibration::new(0, 10);
+        assert!(!c.covers(9, 5));
+        assert!(c.covers(10, 5));
+        assert!(c.covers(14, 5));
+        assert!(!c.covers(15, 5));
+    }
+
+    #[test]
+    fn coverage_merges_overlaps() {
+        let cov = Coverage::from_starts(&[0, 3, 10], 5);
+        assert_eq!(cov.segments(), &[(0, 8), (10, 15)]);
+        assert_eq!(cov.total_slots(), 13);
+    }
+
+    #[test]
+    fn coverage_merges_adjacent() {
+        let cov = Coverage::from_starts(&[0, 5], 5);
+        assert_eq!(cov.segments(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn covers_and_next_covered() {
+        let cov = Coverage::from_starts(&[2, 20], 3);
+        assert!(!cov.covers(1));
+        assert!(cov.covers(2));
+        assert!(cov.covers(4));
+        assert!(!cov.covers(5));
+        assert_eq!(cov.next_covered(-5), Some(2));
+        assert_eq!(cov.next_covered(3), Some(3));
+        assert_eq!(cov.next_covered(5), Some(20));
+        assert_eq!(cov.next_covered(23), None);
+    }
+
+    #[test]
+    fn empty_coverage() {
+        let cov = Coverage::from_starts(&[], 4);
+        assert!(cov.is_empty());
+        assert!(!cov.covers(0));
+        assert_eq!(cov.next_covered(0), None);
+        assert_eq!(cov.total_slots(), 0);
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let cals = round_robin_calibrations(&[5, 1, 3], 2);
+        // Sorted by time: 1 -> m0, 3 -> m1, 5 -> m0.
+        assert_eq!(
+            cals,
+            vec![Calibration::new(0, 1), Calibration::new(1, 3), Calibration::new(0, 5)]
+        );
+    }
+
+    #[test]
+    fn coverage_by_machine_splits() {
+        let cals = vec![Calibration::new(0, 0), Calibration::new(1, 2), Calibration::new(0, 7)];
+        let cov = coverage_by_machine(&cals, 2, 3);
+        assert_eq!(cov[0].segments(), &[(0, 3), (7, 10)]);
+        assert_eq!(cov[1].segments(), &[(2, 5)]);
+    }
+
+    #[test]
+    fn negative_starts_are_fine() {
+        // Interval starts like r_v + 1 - T can be negative.
+        let cov = Coverage::from_starts(&[-4], 4);
+        assert!(cov.covers(-1));
+        assert!(!cov.covers(0));
+    }
+}

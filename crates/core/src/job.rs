@@ -1,0 +1,156 @@
+//! Jobs and release-time normalization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Cost, JobId, Time, Weight};
+
+/// A unit-length job: released at `release`, weight `weight`.
+///
+/// Per the paper's model (Section 2) all jobs have processing time exactly 1;
+/// a job started at `t` completes at `t + 1` and incurs weighted flow
+/// `weight * (t + 1 - release)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier.
+    pub id: JobId,
+    /// Release time `r_j` (the job is unknown to online algorithms before it).
+    pub release: Time,
+    /// Weight `w_j` (1 in the unweighted setting).
+    pub weight: Weight,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(id: u32, release: Time, weight: Weight) -> Self {
+        Job { id: JobId(id), release, weight }
+    }
+
+    /// Unit-weight job (the unweighted setting of Algorithms 1 and 3).
+    pub fn unweighted(id: u32, release: Time) -> Self {
+        Job::new(id, release, 1)
+    }
+
+    /// Weighted flow incurred if this job *starts* at `start` (completes at
+    /// `start + 1`).
+    #[inline]
+    pub fn flow_if_started(&self, start: Time) -> Cost {
+        debug_assert!(start >= self.release, "job started before release");
+        (self.weight as Cost) * ((start + 1 - self.release) as Cost)
+    }
+}
+
+/// Sorts jobs by `(release, id)`, the canonical order used everywhere.
+pub fn sort_jobs(jobs: &mut [Job]) {
+    jobs.sort_by_key(|j| (j.release, j.id));
+}
+
+/// Normalizes release times so that at most `machines` jobs share any release
+/// time, per footnote 1 of the paper: while more than `P` jobs share a
+/// release time `r`, take the *lightest* of them (ties broken by largest id,
+/// so the bump is deterministic) and increase its release time by 1. The
+/// footnote argues this does not change the optimal cost of the instance.
+///
+/// Returns the normalized, `(release, id)`-sorted job list.
+pub fn normalize_releases(mut jobs: Vec<Job>, machines: usize) -> Vec<Job> {
+    assert!(machines >= 1, "need at least one machine");
+    sort_jobs(&mut jobs);
+    loop {
+        // Find the first release time shared by more than `machines` jobs.
+        let mut changed = false;
+        let mut i = 0;
+        while i < jobs.len() {
+            let r = jobs[i].release;
+            let mut k = i;
+            while k < jobs.len() && jobs[k].release == r {
+                k += 1;
+            }
+            let group = &jobs[i..k];
+            if group.len() > machines {
+                // Lightest job in the group; tie -> largest id (so repeated
+                // normalization is deterministic and total).
+                let (off, _) = group
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, j)| (j.weight, std::cmp::Reverse(j.id)))
+                    .expect("non-empty group");
+                jobs[i + off].release += 1;
+                sort_jobs(&mut jobs);
+                changed = true;
+                break;
+            }
+            i = k;
+        }
+        if !changed {
+            return jobs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_if_started_counts_inclusive_step() {
+        let j = Job::new(0, 5, 3);
+        // Started at release: flow = w * 1.
+        assert_eq!(j.flow_if_started(5), 3);
+        // Started two steps late: flow = w * 3.
+        assert_eq!(j.flow_if_started(7), 9);
+    }
+
+    #[test]
+    fn normalize_single_machine_makes_releases_distinct() {
+        let jobs = vec![
+            Job::new(0, 0, 5),
+            Job::new(1, 0, 2),
+            Job::new(2, 0, 9),
+            Job::new(3, 1, 1),
+        ];
+        let out = normalize_releases(jobs, 1);
+        let mut releases: Vec<Time> = out.iter().map(|j| j.release).collect();
+        releases.dedup();
+        assert_eq!(releases.len(), out.len(), "releases must be distinct: {out:?}");
+        // The heaviest job keeps release 0.
+        let j2 = out.iter().find(|j| j.id == JobId(2)).unwrap();
+        assert_eq!(j2.release, 0);
+        // The lightest colliding job (id 1, weight 2) is pushed back the most:
+        // weight-2 job must end up after weight-5, and job 3 (weight 1,
+        // release 1) competes at time 1.
+        let j1 = out.iter().find(|j| j.id == JobId(1)).unwrap();
+        let j3 = out.iter().find(|j| j.id == JobId(3)).unwrap();
+        assert!(j1.release != j3.release);
+    }
+
+    #[test]
+    fn normalize_respects_machine_count() {
+        let jobs = vec![
+            Job::new(0, 0, 1),
+            Job::new(1, 0, 1),
+            Job::new(2, 0, 1),
+        ];
+        let out = normalize_releases(jobs.clone(), 2);
+        let at0 = out.iter().filter(|j| j.release == 0).count();
+        assert_eq!(at0, 2);
+        let out3 = normalize_releases(jobs, 3);
+        assert!(out3.iter().all(|j| j.release == 0));
+    }
+
+    #[test]
+    fn normalize_is_noop_on_distinct_releases() {
+        let jobs = vec![Job::new(0, 3, 1), Job::new(1, 0, 7)];
+        let out = normalize_releases(jobs, 1);
+        assert_eq!(out[0].id, JobId(1));
+        assert_eq!(out[1].release, 3);
+    }
+
+    #[test]
+    fn normalize_cascades_through_occupied_slots() {
+        // Four unit-weight jobs at time 0 on one machine must spread to
+        // 0,1,2,3 (ids in some deterministic order).
+        let jobs = (0..4).map(|i| Job::unweighted(i, 0)).collect::<Vec<_>>();
+        let out = normalize_releases(jobs, 1);
+        let releases: Vec<Time> = out.iter().map(|j| j.release).collect();
+        assert_eq!(releases, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fundamental scalar types and identifiers.
+//!
+//! All scheduling arithmetic in this workspace is *exact integer
+//! arithmetic*. Times are `i64` (interval starts such as `r_v + 1 - T` can be
+//! negative), weights are `u64`, and aggregated costs are `u128` so that even
+//! adversarially large `n * w * horizon` products cannot overflow. Threshold
+//! tests from the paper such as `|Q| >= G/T` are evaluated in cross-multiplied
+//! form (`|Q| * T >= G`) so no rationals or floats are ever needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete time. The paper's *time step* `t` denotes the interval `[t, t+1)`.
+pub type Time = i64;
+
+/// Job weight `w_j`. Unweighted instances use weight 1.
+pub type Weight = u64;
+
+/// Aggregated cost (weighted flow, calibration cost `G`, or their sum).
+///
+/// `u128` keeps every sum in the workspace exact: the largest quantity we
+/// form is `n * max_weight * horizon <= 2^32 * 2^64 * 2^63`, comfortably
+/// representable.
+pub type Cost = u128;
+
+/// Identifier of a job. Stable across sorting and normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Identifier of a machine, `0 .. P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl MachineId {
+    /// Index into per-machine arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Compares `a >= num/den` without division, for nonnegative quantities.
+///
+/// This is the exact form of the paper's fractional thresholds, e.g.
+/// `|Q| >= G/T` becomes `ge_ratio(|Q| as u128, G, T as u128)`.
+#[inline]
+pub fn ge_ratio(a: u128, num: u128, den: u128) -> bool {
+    debug_assert!(den > 0, "ratio denominator must be positive");
+    a * den >= num
+}
+
+/// Compares `a < num/den` without division (strict counterpart of
+/// [`ge_ratio`]), used for the `p < G/2` immediate-calibration test of
+/// Algorithm 1.
+#[inline]
+pub fn lt_ratio(a: u128, num: u128, den: u128) -> bool {
+    !ge_ratio(a, num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_ratio_matches_exact_fractions() {
+        // 3 >= 10/4 (= 2.5) -> true; 2 >= 10/4 -> false.
+        assert!(ge_ratio(3, 10, 4));
+        assert!(!ge_ratio(2, 10, 4));
+        // Boundary: 5 >= 10/2 -> true (equality included).
+        assert!(ge_ratio(5, 10, 2));
+    }
+
+    #[test]
+    fn ge_ratio_zero_numerator_is_always_true() {
+        // |Q| >= G/T with G = 0 holds even for an empty queue; callers must
+        // guard on non-emptiness separately (as the algorithms do).
+        assert!(ge_ratio(0, 0, 7));
+    }
+
+    #[test]
+    fn lt_ratio_is_strict_complement() {
+        for a in 0..20u128 {
+            for num in 0..20 {
+                assert_eq!(lt_ratio(a, num, 3), !ge_ratio(a, num, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(JobId(3).to_string(), "j3");
+        assert_eq!(MachineId(1).to_string(), "m1");
+        assert_eq!(MachineId(2).index(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the core model.
+
+use proptest::prelude::*;
+
+use calib_core::{
+    assign_greedy, assign_greedy_with_policy, check_schedule, earliest_flow_crossing,
+    flow_if_run_consecutively, normalize_releases, Coverage, Instance, Job, PriorityPolicy,
+};
+
+/// Strategy: a small job set with bounded releases and weights.
+fn arb_jobs(max_n: usize, max_r: i64, max_w: u64) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec((0..=max_r, 1..=max_w), 1..=max_n).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, w))| Job::new(i as u32, r, w))
+            .collect()
+    })
+}
+
+/// Strategy: calibration times in a window covering the releases.
+fn arb_times(max_k: usize, max_t: i64) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-5..=max_t, 0..=max_k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever calibrations we hand it, the assigner either fails loudly or
+    /// returns a schedule the independent checker accepts.
+    #[test]
+    fn assigner_output_is_always_feasible(
+        jobs in arb_jobs(10, 20, 9),
+        times in arb_times(12, 40),
+        t in 1i64..6,
+        machines in 1usize..3,
+    ) {
+        let inst = Instance::new(jobs, machines, t).unwrap();
+        if let Ok(sched) = assign_greedy(&inst, &times) {
+            check_schedule(&inst, &sched).unwrap();
+        }
+    }
+
+    /// All three priority policies produce feasible schedules, and the
+    /// Observation 2.1 policy (heaviest first) never has *more* weighted
+    /// flow than the lightest-first ablation.
+    #[test]
+    fn heaviest_first_dominates_lightest_first(
+        jobs in arb_jobs(8, 15, 9),
+        times in arb_times(10, 30),
+        t in 1i64..6,
+    ) {
+        let inst = Instance::new(jobs, 1, t).unwrap();
+        let hw = assign_greedy_with_policy(&inst, &times, PriorityPolicy::HighestWeightFirst);
+        let lw = assign_greedy_with_policy(&inst, &times, PriorityPolicy::LightestWeightFirst);
+        // Feasibility of the calibration set does not depend on the policy.
+        prop_assert_eq!(hw.is_ok(), lw.is_ok());
+        if let (Ok(h), Ok(l)) = (hw, lw) {
+            check_schedule(&inst, &h).unwrap();
+            check_schedule(&inst, &l).unwrap();
+            prop_assert!(h.total_weighted_flow(&inst) <= l.total_weighted_flow(&inst));
+        }
+    }
+
+    /// More calibrations never hurt: adding a calibration time keeps the
+    /// instance feasible and does not increase the optimal assignment's flow.
+    #[test]
+    fn extra_calibration_never_increases_flow(
+        jobs in arb_jobs(8, 15, 5),
+        times in arb_times(8, 30),
+        extra in -5i64..35,
+        t in 1i64..6,
+    ) {
+        let inst = Instance::new(jobs, 1, t).unwrap();
+        let base = assign_greedy(&inst, &times);
+        let mut more_times = times.clone();
+        more_times.push(extra);
+        let more = assign_greedy(&inst, &more_times);
+        if let Ok(b) = base {
+            let m = more.expect("superset of feasible calibrations stays feasible");
+            prop_assert!(m.total_weighted_flow(&inst) <= b.total_weighted_flow(&inst));
+        }
+    }
+
+    /// Normalization preserves job ids and weights, never decreases
+    /// releases, and achieves the at-most-P-per-release property.
+    #[test]
+    fn normalization_invariants(
+        jobs in arb_jobs(12, 6, 9),
+        machines in 1usize..4,
+    ) {
+        let out = normalize_releases(jobs.clone(), machines);
+        prop_assert_eq!(out.len(), jobs.len());
+        for j in &jobs {
+            let o = out.iter().find(|o| o.id == j.id).unwrap();
+            prop_assert_eq!(o.weight, j.weight);
+            prop_assert!(o.release >= j.release);
+        }
+        let inst = Instance::new(out, machines, 2).unwrap();
+        prop_assert!(inst.is_normalized());
+    }
+
+    /// Coverage membership agrees with a brute-force slot scan.
+    #[test]
+    fn coverage_matches_naive_scan(
+        starts in prop::collection::vec(-10i64..30, 0..8),
+        t in 1i64..7,
+        probe in -15i64..45,
+    ) {
+        let cov = Coverage::from_starts(&starts, t);
+        let naive = starts.iter().any(|&s| s <= probe && probe < s + t);
+        prop_assert_eq!(cov.covers(probe), naive);
+        // next_covered agrees with scanning forward.
+        let scan = (probe..probe + 60).find(|&x| starts.iter().any(|&s| s <= x && x < s + t));
+        prop_assert_eq!(cov.next_covered(probe), scan);
+    }
+
+    /// The closed-form flow crossing agrees with a linear scan.
+    #[test]
+    fn flow_crossing_matches_scan(
+        jobs in arb_jobs(6, 10, 9),
+        threshold in 1u128..2000,
+    ) {
+        let mut q = jobs.clone();
+        q.sort_by_key(|j| (j.release, j.id));
+        let max_r = q.iter().map(|j| j.release).max().unwrap();
+        let t = earliest_flow_crossing(&q, threshold).unwrap();
+        prop_assert!(t >= max_r);
+        // Scan from max_r for the true first crossing (it exists: flow grows).
+        let scan = (max_r..max_r + 4000)
+            .find(|&x| flow_if_run_consecutively(&q, x + 1) >= threshold);
+        prop_assert_eq!(Some(t), scan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Schedule analytics are internally consistent on feasible schedules.
+    #[test]
+    fn analytics_invariants(
+        jobs in arb_jobs(10, 20, 9),
+        times in arb_times(12, 40),
+        t in 1i64..6,
+    ) {
+        use calib_core::schedule_stats;
+        let inst = Instance::new(jobs, 1, t).unwrap();
+        if let Ok(sched) = assign_greedy(&inst, &times) {
+            let stats = schedule_stats(&inst, &sched);
+            prop_assert_eq!(stats.jobs, inst.n());
+            prop_assert!(stats.busy_slots <= stats.calibrated_slots);
+            prop_assert!((0.0..=1.0).contains(&stats.utilization));
+            prop_assert!(stats.at_release <= stats.jobs);
+            prop_assert!(stats.mean_flow >= 1.0 - 1e-12);
+            prop_assert!(stats.total_weighted_flow >= stats.jobs as u128);
+            // Gantt renders without panicking and shows one '#' per job.
+            let gantt = calib_core::render_gantt(&inst, &sched);
+            prop_assert_eq!(gantt.matches('#').count(), inst.n());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The Figure 2 dual LP, obtained mechanically from the Figure 1 primal.
+//!
+//! Theorem 3.10's primal–dual analysis constructs feasible dual solutions
+//! whose value offsets Algorithm 3's cost; weak duality then lower-bounds
+//! OPT. Here we expose the mechanical dual (via [`crate::model::dualize`])
+//! and helpers to verify (a) strong duality between the two figures on real
+//! instances — a deep end-to-end test of the simplex substrate — and (b)
+//! feasibility of externally supplied dual assignments.
+
+use calib_core::{Cost, Instance};
+
+use crate::flow_lp::build_flow_lp;
+use crate::model::dualize;
+use crate::simplex::{solve, LpOutcome, LpProblem};
+
+/// Builds the dual of the Figure 1 primal for `instance`, `g`.
+pub fn build_dual(instance: &Instance, g: Cost) -> LpProblem {
+    dualize(&build_flow_lp(instance, g, None).model.build())
+}
+
+/// Solves primal and dual; returns `(primal_opt, dual_opt)`.
+pub fn primal_dual_values(instance: &Instance, g: Cost) -> Option<(f64, f64)> {
+    let primal = build_flow_lp(instance, g, None).model.build();
+    let p = match solve(&primal) {
+        LpOutcome::Optimal { objective, .. } => objective,
+        _ => return None,
+    };
+    let d = match solve(&dualize(&primal)) {
+        LpOutcome::Optimal { objective, .. } => objective,
+        _ => return None,
+    };
+    Some((p, d))
+}
+
+/// Checks an explicit point for feasibility in `problem` (within `tol`) and
+/// returns its objective value if feasible.
+pub fn check_feasible(problem: &LpProblem, point: &[f64], tol: f64) -> Option<f64> {
+    if point.len() != problem.num_vars {
+        return None;
+    }
+    if point.iter().any(|&x| x < -tol) {
+        return None;
+    }
+    for c in &problem.constraints {
+        let lhs: f64 = c.coeffs.iter().map(|&(j, v)| v * point[j]).sum();
+        let ok = match c.rel {
+            crate::simplex::Relation::Le => lhs <= c.rhs + tol,
+            crate::simplex::Relation::Ge => lhs >= c.rhs - tol,
+            crate::simplex::Relation::Eq => (lhs - c.rhs).abs() <= tol,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(
+        problem
+            .objective
+            .iter()
+            .zip(point)
+            .map(|(c, x)| c * x)
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn strong_duality_on_calibration_lps() {
+        for (releases, t, g) in [
+            (vec![0i64], 3i64, 5u128),
+            (vec![0, 1], 2, 3),
+            (vec![0, 2, 5], 3, 4),
+        ] {
+            let inst = InstanceBuilder::new(t).unit_jobs(releases.clone()).build().unwrap();
+            let (p, d) = primal_dual_values(&inst, g).unwrap();
+            assert!(
+                (p - d).abs() < 1e-4,
+                "figure 1 vs figure 2 duality gap: {p} vs {d} ({releases:?}, T={t}, G={g})"
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_checker_accepts_lp_optimum() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 1]).build().unwrap();
+        let primal = build_flow_lp(&inst, 3, None).model.build();
+        if let LpOutcome::Optimal { objective, solution } = solve(&primal) {
+            let val = check_feasible(&primal, &solution, 1e-5).expect("optimum is feasible");
+            assert!((val - objective).abs() < 1e-5);
+        } else {
+            panic!("primal should solve");
+        }
+    }
+
+    #[test]
+    fn feasibility_checker_rejects_garbage() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0]).build().unwrap();
+        let primal = build_flow_lp(&inst, 3, None).model.build();
+        let zeros = vec![0.0; primal.num_vars];
+        // All-zero violates f_{r_j,j} = 1.
+        assert!(check_feasible(&primal, &zeros, 1e-6).is_none());
+        // Wrong dimension.
+        assert!(check_feasible(&primal, &[1.0], 1e-6).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! The Figure 1 primal LP: a lower bound on the optimal online-objective
+//! cost of any calibration schedule (used to certify multi-machine
+//! competitive ratios in experiment E3/E8).
+//!
+//! Variables (all nonnegative):
+//! * `f_{t,j}` — job `j` still incurs flow at step `t` (`t ≥ r_j`);
+//! * `c_{t,m}` — an interval begins on machine `m` at `t`;
+//! * `a_{j,m}` — job `j` is assigned to machine `m`.
+//!
+//! Objective: `min Σ f_{t,j} + G Σ c_{t,m}` (unweighted jobs, matching the
+//! multi-machine setting of Section 3.3).
+//!
+//! Constraints (for all `j`, `t ≥ r_j`, `m`, exactly as printed):
+//! 1. `f_{t,j} + Σ_{t' = r_j − T}^{t} c_{t',m} − a_{j,m} ≥ 0`
+//! 2. `Σ_{j: r_j < t} (f_{t,j} − f_{t−1,j}) + Σ_m Σ_{t' = t−T}^{t} c_{t',m} ≥ 0`
+//! 3. `Σ_m a_{j,m} ≥ 1`
+//! 4. `f_{r_j, j} = 1`
+//!
+//! Every integral schedule induces a feasible assignment (set `f_{t,j} = 1`
+//! while `j` waits or runs, `c`/`a` as indicators), so the LP optimum lower
+//! bounds the optimal schedule cost — which the tests verify against the
+//! exact DP/brute-force optima.
+
+use calib_core::{Cost, Instance, Time};
+
+use crate::model::ModelBuilder;
+use crate::simplex::{LpOutcome, Relation};
+
+/// A built Figure-1 LP, with handles for inspecting the variables.
+pub struct FlowLp {
+    /// The assembled model (solve via `model.solve()`).
+    pub model: ModelBuilder,
+    /// The latest time step considered.
+    pub horizon: Time,
+    /// The earliest calibration-variable time (`min release − T`).
+    pub t_min: Time,
+}
+
+/// Builds the Figure 1 primal for `instance` and calibration cost `g`.
+///
+/// `horizon` bounds the latest time step considered; `None` uses
+/// `instance.horizon()` (always sufficient for an optimal schedule). LP size
+/// grows as `O(n·H·P)` constraints — intended for small instances.
+pub fn build_flow_lp(instance: &Instance, g: Cost, horizon: Option<Time>) -> FlowLp {
+    let t_len = instance.cal_len();
+    let p = instance.machines();
+    let h = horizon.unwrap_or_else(|| instance.horizon());
+    let t_min = instance.min_release().unwrap_or(0) - t_len;
+
+    let mut m = ModelBuilder::minimize();
+
+    // Declare variables and the objective. Weights generalize Figure 1
+    // directly: the constraints encode per-job feasibility only, so scaling
+    // job `j`'s flow contribution by `w_j` keeps every schedule-induced
+    // point feasible and makes the LP value a lower bound on the *weighted*
+    // objective (the paper's Section 3.3 uses the unweighted case).
+    for job in instance.jobs() {
+        for t in job.release..=h {
+            let v = m.var(format!("f[{},{}]", t, job.id.0));
+            m.objective_add(v, job.weight as f64);
+        }
+    }
+    for mach in 0..p {
+        for t in t_min..=h {
+            let v = m.var(format!("c[{},{}]", t, mach));
+            m.objective_add(v, g as f64);
+        }
+    }
+    for job in instance.jobs() {
+        for mach in 0..p {
+            m.var(format!("a[{},{}]", job.id.0, mach));
+        }
+    }
+
+    let fv = |m: &mut ModelBuilder, t: Time, j: u32| m.var(format!("f[{},{}]", t, j));
+    let cv = |m: &mut ModelBuilder, t: Time, mach: usize| m.var(format!("c[{},{}]", t, mach));
+    let av = |m: &mut ModelBuilder, j: u32, mach: usize| m.var(format!("a[{},{}]", j, mach));
+
+    // (1) f_{t,j} + Σ_{t'=r_j−T}^{t} c_{t',m} − a_{j,m} ≥ 0.
+    for job in instance.jobs() {
+        for t in job.release..=h {
+            for mach in 0..p {
+                let mut coeffs = vec![(fv(&mut m, t, job.id.0), 1.0)];
+                for tp in (job.release - t_len).max(t_min)..=t {
+                    coeffs.push((cv(&mut m, tp, mach), 1.0));
+                }
+                coeffs.push((av(&mut m, job.id.0, mach), -1.0));
+                m.constrain(coeffs, Relation::Ge, 0.0);
+            }
+        }
+    }
+
+    // (2) Σ_{r_j<t} (f_{t,j} − f_{t−1,j}) + Σ_m Σ_{t'=t−T}^{t} c_{t',m} ≥ 0.
+    for t in t_min..=h {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for job in instance.jobs() {
+            if job.release < t {
+                coeffs.push((fv(&mut m, t, job.id.0), 1.0));
+                coeffs.push((fv(&mut m, t - 1, job.id.0), -1.0));
+            }
+        }
+        for mach in 0..p {
+            for tp in (t - t_len).max(t_min)..=t {
+                coeffs.push((cv(&mut m, tp, mach), 1.0));
+            }
+        }
+        if !coeffs.is_empty() {
+            m.constrain(coeffs, Relation::Ge, 0.0);
+        }
+    }
+
+    // (3) Σ_m a_{j,m} ≥ 1.
+    for job in instance.jobs() {
+        let coeffs = (0..p).map(|mach| (av(&mut m, job.id.0, mach), 1.0)).collect();
+        m.constrain(coeffs, Relation::Ge, 1.0);
+    }
+
+    // (4) f_{r_j, j} = 1.
+    for job in instance.jobs() {
+        let v = fv(&mut m, job.release, job.id.0);
+        m.constrain(vec![(v, 1.0)], Relation::Eq, 1.0);
+    }
+
+    FlowLp { model: m, horizon: h, t_min }
+}
+
+/// Solves the Figure 1 LP and returns the lower bound on the optimal
+/// online-objective cost (`None` if the LP failed, which indicates a bug —
+/// the LP is always feasible and bounded for a finite horizon).
+pub fn lp_lower_bound(instance: &Instance, g: Cost) -> Option<f64> {
+    if instance.n() == 0 {
+        return Some(0.0);
+    }
+    match build_flow_lp(instance, g, None).model.solve() {
+        LpOutcome::Optimal { objective, .. } => Some(objective),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn single_job_bound_is_nontrivial() {
+        // One job, G = 5: any schedule pays >= 1 flow; the LP must give a
+        // positive bound at most OPT = G + 1 = 6.
+        let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
+        let lb = lp_lower_bound(&inst, 5).unwrap();
+        assert!(lb > 0.9, "bound {lb}");
+        assert!(lb <= 6.0 + 1e-6, "bound {lb} exceeds OPT");
+    }
+
+    #[test]
+    fn bound_grows_with_g() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1]).build().unwrap();
+        let lb1 = lp_lower_bound(&inst, 1).unwrap();
+        let lb10 = lp_lower_bound(&inst, 10).unwrap();
+        assert!(lb10 >= lb1 - 1e-6);
+    }
+
+    #[test]
+    fn empty_instance_is_zero() {
+        let inst = InstanceBuilder::new(3).build().unwrap();
+        assert_eq!(lp_lower_bound(&inst, 7), Some(0.0));
+    }
+
+    #[test]
+    fn multi_machine_lp_builds_and_solves() {
+        let inst = InstanceBuilder::new(2)
+            .machines(2)
+            .unit_jobs([0, 0, 1, 3])
+            .build()
+            .unwrap();
+        let lb = lp_lower_bound(&inst, 3).unwrap();
+        // At least one calibration plus one unit of flow per job.
+        assert!(lb >= 4.0 - 1e-6, "bound {lb}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # calib-lp
+//!
+//! Linear-programming substrate for the calibration-scheduling analysis:
+//!
+//! * [`simplex`] — a self-contained dense two-phase primal simplex solver
+//!   (Bland's rule);
+//! * [`model`] — named-variable model building plus mechanical dualization;
+//! * [`flow_lp`] — the Figure 1 primal LP of the paper, whose optimum lower
+//!   bounds the optimal online-objective cost of *any* schedule (the
+//!   certificate used for multi-machine competitive ratios);
+//! * [`dual`] — the Figure 2 dual and duality checks.
+//!
+//! ```
+//! use calib_core::InstanceBuilder;
+//! use calib_lp::lp_lower_bound;
+//!
+//! let inst = InstanceBuilder::new(3).unit_jobs([0, 1]).build().unwrap();
+//! let lb = lp_lower_bound(&inst, 5).unwrap();
+//! assert!(lb > 0.0); // every schedule pays at least this much
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dual;
+pub mod flow_lp;
+pub mod model;
+pub mod simplex;
+
+pub use dual::{build_dual, check_feasible, primal_dual_values};
+pub use flow_lp::{build_flow_lp, lp_lower_bound, FlowLp};
+pub use model::{dualize, ModelBuilder};
+pub use simplex::{solve, Constraint, LpOutcome, LpProblem, Relation};

@@ -1,0 +1,215 @@
+//! A small model-building layer over the raw [`crate::simplex`] arrays:
+//! named variables, incremental constraints, and solution lookup.
+
+use std::collections::HashMap;
+
+use crate::simplex::{solve, Constraint, LpOutcome, LpProblem, Relation};
+
+/// Incrementally builds an [`LpProblem`] with string-keyed variables.
+#[derive(Debug, Clone, Default)]
+pub struct ModelBuilder {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    maximize: bool,
+}
+
+impl ModelBuilder {
+    /// A minimization model.
+    pub fn minimize() -> Self {
+        ModelBuilder { maximize: false, ..Default::default() }
+    }
+
+    /// A maximization model.
+    pub fn maximize() -> Self {
+        ModelBuilder { maximize: true, ..Default::default() }
+    }
+
+    /// Declares (or retrieves) a nonnegative variable by name.
+    pub fn var(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        if let Some(&i) = self.index.get(&name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.index.insert(name.clone(), i);
+        self.names.push(name);
+        self.objective.push(0.0);
+        i
+    }
+
+    /// Adds `coef` to the objective coefficient of `var`.
+    pub fn objective_add(&mut self, var: usize, coef: f64) {
+        self.objective[var] += coef;
+    }
+
+    /// Adds a constraint `Σ coeffs  rel  rhs`.
+    pub fn constrain(&mut self, coeffs: Vec<(usize, f64)>, rel: Relation, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name a variable index was declared under.
+    pub fn name_of(&self, var: usize) -> &str {
+        &self.names[var]
+    }
+
+    /// The index of a declared variable name, if any.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Freezes into a raw [`LpProblem`].
+    pub fn build(&self) -> LpProblem {
+        LpProblem {
+            num_vars: self.names.len(),
+            objective: self.objective.clone(),
+            constraints: self.constraints.clone(),
+            maximize: self.maximize,
+        }
+    }
+
+    /// Builds and solves.
+    pub fn solve(&self) -> LpOutcome {
+        solve(&self.build())
+    }
+}
+
+/// Mechanical LP dualization (the relationship between Figures 1 and 2 of
+/// the paper). The primal must be a minimization
+/// `min c'x  s.t.  rows (≥ / ≤ / =),  x ≥ 0`; the dual is
+/// `max b'y  s.t.  A'y ≤ c`, with `y_i ≥ 0` for `≥` rows, `y_i ≤ 0` for `≤`
+/// rows (encoded by negating the row), and `y_i` free for `=` rows (encoded
+/// as a difference of two nonnegative variables).
+pub fn dualize(primal: &LpProblem) -> LpProblem {
+    assert!(!primal.maximize, "dualize expects a minimization primal");
+    let m = primal.constraints.len();
+    let n = primal.num_vars;
+
+    // Dual variable columns: one per primal row; Eq rows get a second
+    // (negative-part) column.
+    let mut col_of_row: Vec<(usize, Option<usize>)> = Vec::with_capacity(m);
+    let mut ncols = 0usize;
+    for c in &primal.constraints {
+        let pos = ncols;
+        ncols += 1;
+        let neg = if c.rel == Relation::Eq {
+            ncols += 1;
+            Some(pos + 1)
+        } else {
+            None
+        };
+        col_of_row.push((pos, neg));
+    }
+
+    // Dual objective: max Σ_i sign_i * b_i * y_i.
+    let mut objective = vec![0.0; ncols];
+    for (i, c) in primal.constraints.iter().enumerate() {
+        let sign = match c.rel {
+            Relation::Ge | Relation::Eq => 1.0,
+            Relation::Le => -1.0, // y encoded as nonnegative with flipped row
+        };
+        let (pos, neg) = col_of_row[i];
+        objective[pos] += sign * c.rhs;
+        if let Some(neg) = neg {
+            objective[neg] -= c.rhs;
+        }
+    }
+
+    // Dual constraints: for each primal variable j: Σ_i sign_i a_ij y_i <= c_j.
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, c) in primal.constraints.iter().enumerate() {
+        let sign = match c.rel {
+            Relation::Ge | Relation::Eq => 1.0,
+            Relation::Le => -1.0,
+        };
+        let (pos, neg) = col_of_row[i];
+        for &(j, v) in &c.coeffs {
+            cols[j].push((pos, sign * v));
+            if let Some(neg) = neg {
+                cols[j].push((neg, -v));
+            }
+        }
+    }
+    let constraints = cols
+        .into_iter()
+        .enumerate()
+        .map(|(j, coeffs)| Constraint { coeffs, rel: Relation::Le, rhs: primal.objective[j] })
+        .collect();
+
+    LpProblem { num_vars: ncols, objective, constraints, maximize: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::LpOutcome;
+
+    fn opt_value(o: &LpOutcome) -> f64 {
+        match o {
+            LpOutcome::Optimal { objective, .. } => *objective,
+            other => panic!("not optimal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut m = ModelBuilder::maximize();
+        let x = m.var("x");
+        let y = m.var("y");
+        assert_eq!(m.var("x"), x, "vars deduplicate by name");
+        m.objective_add(x, 3.0);
+        m.objective_add(y, 5.0);
+        m.constrain(vec![(x, 1.0)], Relation::Le, 4.0);
+        m.constrain(vec![(y, 2.0)], Relation::Le, 12.0);
+        m.constrain(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 3);
+        assert!((opt_value(&m.solve()) - 36.0).abs() < 1e-5);
+        assert_eq!(m.name_of(y), "y");
+        assert_eq!(m.lookup("y"), Some(y));
+    }
+
+    #[test]
+    fn strong_duality_on_diet_lp() {
+        // min 0.6x + 0.35y s.t. 5x + 7y >= 8, 4x + 2y >= 15, x,y >= 0.
+        let mut m = ModelBuilder::minimize();
+        let x = m.var("x");
+        let y = m.var("y");
+        m.objective_add(x, 0.6);
+        m.objective_add(y, 0.35);
+        m.constrain(vec![(x, 5.0), (y, 7.0)], Relation::Ge, 8.0);
+        m.constrain(vec![(x, 4.0), (y, 2.0)], Relation::Ge, 15.0);
+        let primal = m.build();
+        let p = opt_value(&crate::simplex::solve(&primal));
+        let d = opt_value(&crate::simplex::solve(&dualize(&primal)));
+        assert!((p - d).abs() < 1e-5, "strong duality: {p} vs {d}");
+    }
+
+    #[test]
+    fn strong_duality_with_equality_and_le_rows() {
+        // min 2x + y s.t. x + y = 3, x - y <= 1.
+        let mut m = ModelBuilder::minimize();
+        let x = m.var("x");
+        let y = m.var("y");
+        m.objective_add(x, 2.0);
+        m.objective_add(y, 1.0);
+        m.constrain(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        m.constrain(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        let primal = m.build();
+        let p = opt_value(&crate::simplex::solve(&primal));
+        let d = opt_value(&crate::simplex::solve(&dualize(&primal)));
+        assert!((p - 3.0).abs() < 1e-5); // x=0, y=3
+        assert!((p - d).abs() < 1e-5);
+    }
+}

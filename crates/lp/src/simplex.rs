@@ -1,0 +1,455 @@
+//! Dense two-phase primal simplex — the LP substrate for the Figure 1/2
+//! analysis LPs.
+//!
+//! Self-contained (no external LP dependency): standard-form conversion,
+//! phase-1 artificial variables, Bland's anti-cycling rule. Dense tableaus
+//! are entirely adequate for the analysis LPs (hundreds of rows/columns).
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `≤ rhs`.
+    Le,
+    /// `≥ rhs`.
+    Ge,
+    /// `= rhs`.
+    Eq,
+}
+
+/// One linear constraint `Σ coeffs · x  rel  rhs`. Coefficients are sparse
+/// `(variable index, value)` pairs; repeated indices are summed.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse `(variable, coefficient)` terms (repeats are summed).
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint sense.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over `num_vars` nonnegative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Number of (nonnegative) variables.
+    pub num_vars: usize,
+    /// Objective coefficients (dense, length `num_vars`).
+    pub objective: Vec<f64>,
+    /// The constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// `true` to maximize, `false` to minimize.
+    pub maximize: bool,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal {
+        /// The optimal objective value.
+        objective: f64,
+        /// An optimal assignment of the structural variables.
+        solution: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-7;
+
+/// Solves `problem` with two-phase primal simplex (Bland's rule).
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    let n = problem.num_vars;
+    let m = problem.constraints.len();
+    assert_eq!(problem.objective.len(), n, "objective length mismatch");
+
+    // Normalize rows to equality form with nonnegative rhs:
+    //   row · x (+ slack) = rhs,   slack >= 0.
+    // Column layout: [structural | slack/surplus | artificial].
+    let mut slack_count = 0usize;
+    for c in &problem.constraints {
+        if c.rel != Relation::Eq {
+            slack_count += 1;
+        }
+    }
+    let total = n + slack_count + m; // upper bound incl. artificials
+    let mut a = vec![vec![0.0f64; total]; m];
+    let mut b = vec![0.0f64; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = n + slack_count;
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    for (i, c) in problem.constraints.iter().enumerate() {
+        for &(j, v) in &c.coeffs {
+            assert!(j < n, "constraint references variable {j} >= num_vars {n}");
+            a[i][j] += v;
+        }
+        b[i] = c.rhs;
+        let mut rel = c.rel;
+        if b[i] < 0.0 {
+            for x in a[i].iter_mut() {
+                *x = -*x;
+            }
+            b[i] = -b[i];
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        match rel {
+            Relation::Le => {
+                a[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[i][next_slack] = -1.0;
+                next_slack += 1;
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                artificial_cols.push(next_art);
+                next_art += 1;
+            }
+            Relation::Eq => {
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                artificial_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+    let ncols = next_art;
+    for row in a.iter_mut() {
+        row.truncate(ncols);
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut cost = vec![0.0; ncols];
+        for &j in &artificial_cols {
+            cost[j] = 1.0;
+        }
+        let banned = vec![false; ncols];
+        match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols) {
+            SimplexEnd::Optimal(obj) => {
+                if obj > EPS {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+        }
+        // Drive lingering artificials out of the basis where possible.
+        for i in 0..m {
+            if artificial_cols.contains(&basis[i]) {
+                if let Some(j) = (0..n + slack_count).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+                // Otherwise the row is redundant (all-zero over real
+                // columns); it stays with a zero-valued artificial.
+            }
+        }
+    }
+
+    // Phase 2: the real objective (as minimization) over real columns only;
+    // artificials are banned from re-entering (any still basic sit at 0).
+    let mut cost = vec![0.0; ncols];
+    for (c, &obj) in cost.iter_mut().zip(&problem.objective) {
+        *c = if problem.maximize { -obj } else { obj };
+    }
+    let mut banned = vec![false; ncols];
+    for &j in &artificial_cols {
+        banned[j] = true;
+    }
+    match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols) {
+        SimplexEnd::Unbounded => LpOutcome::Unbounded,
+        SimplexEnd::Optimal(obj) => {
+            let mut solution = vec![0.0; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    solution[basis[i]] = b[i];
+                }
+            }
+            let objective = if problem.maximize { -obj } else { obj };
+            LpOutcome::Optimal { objective, solution }
+        }
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs simplex iterations on the tableau until optimal or unbounded,
+/// maintaining the reduced-cost row incrementally (one `O(m·ncols)` pivot
+/// per iteration instead of recomputing `c_B' B^{-1} A_j` per column).
+/// `banned[j]` marks columns that must not enter the basis.
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    cost: &[f64],
+    banned: &[bool],
+    ncols: usize,
+) -> SimplexEnd {
+    let m = a.len();
+
+    // (Re)computes reduced costs from scratch:
+    // red = cost - Σ_i cost[basis[i]] · row_i. The incremental per-pivot
+    // update drifts numerically over thousands of pivots, so this runs at
+    // start, periodically, and before trusting an "unbounded" verdict.
+    let refresh = |a: &[Vec<f64>], basis: &[usize], red: &mut Vec<f64>| {
+        red.copy_from_slice(cost);
+        for i in 0..m {
+            let cb = cost[basis[i]];
+            if cb != 0.0 {
+                for j in 0..ncols {
+                    red[j] -= cb * a[i][j];
+                }
+            }
+        }
+    };
+    let mut red: Vec<f64> = cost.to_vec();
+    refresh(a, basis, &mut red);
+
+    // Dantzig's rule (most-negative reduced cost) converges much faster in
+    // practice; Bland's rule guarantees termination. Start with Dantzig and
+    // fall back to Bland permanently if the iteration count suggests
+    // degenerate stalling — the classic textbook hybrid.
+    let bland_after: u64 = 64 * (m as u64 + ncols as u64) + 4096;
+    let mut iterations: u64 = 0;
+
+    loop {
+        iterations += 1;
+        if iterations.is_multiple_of(256) {
+            refresh(a, basis, &mut red); // counter numerical drift
+        }
+        let entering = if iterations <= bland_after {
+            // Dantzig: most negative reduced cost.
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..ncols {
+                if !banned[j] && red[j] < -EPS && best.is_none_or(|(_, r)| red[j] < r) {
+                    best = Some((j, red[j]));
+                }
+            }
+            best.map(|(j, _)| j)
+        } else {
+            // Bland: first improving index (anti-cycling).
+            (0..ncols).find(|&j| !banned[j] && red[j] < -EPS)
+        };
+        let Some(col) = entering else {
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += cost[basis[i]] * b[i];
+            }
+            return SimplexEnd::Optimal(obj);
+        };
+
+        // Ratio test (Bland: smallest basis index breaks ties).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if a[i][col] > EPS {
+                let ratio = b[i] / a[i][col];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            // Before declaring the LP unbounded, rule out numerical drift:
+            // recompute the reduced cost of the entering column exactly and
+            // skip it if it is not genuinely improving.
+            let mut exact = cost[col];
+            for i in 0..m {
+                let cb = cost[basis[i]];
+                if cb != 0.0 {
+                    exact -= cb * a[i][col];
+                }
+            }
+            if exact >= -EPS {
+                red[col] = 0.0; // drift artifact; neutralize and continue
+                continue;
+            }
+            return SimplexEnd::Unbounded;
+        };
+        pivot(a, b, basis, row, col);
+        // Update reduced costs against the (now normalized) pivot row.
+        let f = red[col];
+        if f != 0.0 {
+            for j in 0..ncols {
+                red[j] -= f * a[row][j];
+            }
+        }
+        red[col] = 0.0;
+    }
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let m = a.len();
+    let p = a[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for x in a[row].iter_mut() {
+        *x /= p;
+    }
+    b[row] /= p;
+    for i in 0..m {
+        if i != row {
+            let factor = a[i][col];
+            if factor != 0.0 {
+                for j in 0..a[i].len() {
+                    a[i][j] -= factor * a[row][j];
+                }
+                b[i] -= factor * b[row];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(coeffs: &[(usize, f64)], rel: Relation, rhs: f64) -> Constraint {
+        Constraint { coeffs: coeffs.to_vec(), rel, rhs }
+    }
+
+    fn assert_opt(outcome: &LpOutcome, expect: f64) {
+        match outcome {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - expect).abs() < 1e-5, "got {objective}, want {expect}")
+            }
+            other => panic!("expected optimal {expect}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![3.0, 5.0],
+            maximize: true,
+            constraints: vec![
+                c(&[(0, 1.0)], Relation::Le, 4.0),
+                c(&[(1, 2.0)], Relation::Le, 12.0),
+                c(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0),
+            ],
+        };
+        let out = solve(&lp);
+        assert_opt(&out, 36.0);
+        if let LpOutcome::Optimal { solution, .. } = out {
+            assert!((solution[0] - 2.0).abs() < 1e-5);
+            assert!((solution[1] - 6.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 -> 2*10? No: y=0 allowed,
+        // x=10 gives 20; x=2,y=8 gives 28. Optimum 20.
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![2.0, 3.0],
+            maximize: false,
+            constraints: vec![
+                c(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0),
+                c(&[(0, 1.0)], Relation::Ge, 2.0),
+            ],
+        };
+        assert_opt(&solve(&lp), 20.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1 -> 3.
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![1.0, 1.0],
+            maximize: false,
+            constraints: vec![
+                c(&[(0, 1.0), (1, 2.0)], Relation::Eq, 4.0),
+                c(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0),
+            ],
+        };
+        assert_opt(&solve(&lp), 3.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let lp = LpProblem {
+            num_vars: 1,
+            objective: vec![1.0],
+            maximize: false,
+            constraints: vec![
+                c(&[(0, 1.0)], Relation::Le, 1.0),
+                c(&[(0, 1.0)], Relation::Ge, 2.0),
+            ],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let lp = LpProblem {
+            num_vars: 1,
+            objective: vec![1.0],
+            maximize: true,
+            constraints: vec![c(&[(0, 1.0)], Relation::Ge, 0.0)],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -2  ==  y - x >= 2; min y s.t. also x >= 1 -> y = 3.
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![0.0, 1.0],
+            maximize: false,
+            constraints: vec![
+                c(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0),
+                c(&[(0, 1.0)], Relation::Ge, 1.0),
+            ],
+        };
+        assert_opt(&solve(&lp), 3.0);
+    }
+
+    #[test]
+    fn degenerate_pivots_terminate() {
+        // A classic degenerate LP; Bland's rule must not cycle.
+        let lp = LpProblem {
+            num_vars: 4,
+            objective: vec![0.75, -150.0, 0.02, -6.0],
+            maximize: true,
+            constraints: vec![
+                c(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Relation::Le, 0.0),
+                c(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Relation::Le, 0.0),
+                c(&[(2, 1.0)], Relation::Le, 1.0),
+            ],
+        };
+        assert_opt(&solve(&lp), 0.05);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        // x appears twice: (1 + 1) x <= 4 -> max x = 2.
+        let lp = LpProblem {
+            num_vars: 1,
+            objective: vec![1.0],
+            maximize: true,
+            constraints: vec![c(&[(0, 1.0), (0, 1.0)], Relation::Le, 4.0)],
+        };
+        assert_opt(&solve(&lp), 2.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Validates the Figure 1 LP as a true lower bound: on random single-machine
+//! instances its optimum never exceeds the exact offline optimum of the
+//! online objective (computed by the validated DP), and the gap stays
+//! moderate (the bound is useful, not vacuous).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::{Instance, Job};
+use calib_lp::{lp_lower_bound, primal_dual_values};
+use calib_offline::opt_online_cost;
+
+fn random_unweighted(rng: &mut StdRng, n: usize, span: i64, t: i64) -> Instance {
+    let mut releases: Vec<i64> = Vec::new();
+    while releases.len() < n {
+        let r = rng.gen_range(0..=span);
+        if !releases.contains(&r) {
+            releases.push(r);
+        }
+    }
+    releases.sort_unstable();
+    let jobs: Vec<Job> = releases
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Job::unweighted(i as u32, r))
+        .collect();
+    Instance::single_machine(jobs, t).unwrap()
+}
+
+#[test]
+fn lp_never_exceeds_exact_opt() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gaps: Vec<f64> = Vec::new();
+    for _ in 0..25 {
+        let n = rng.gen_range(1..=5);
+        let t = rng.gen_range(2..=4);
+        let inst = random_unweighted(&mut rng, n, 8, t);
+        for g in [1u128, 3, 8] {
+            let lb = lp_lower_bound(&inst, g).unwrap();
+            let opt = opt_online_cost(&inst, g).unwrap().cost as f64;
+            assert!(
+                lb <= opt + 1e-4,
+                "LP {lb} exceeds OPT {opt} on {inst:?} G={g} — not a relaxation?"
+            );
+            gaps.push(opt / lb.max(1e-9));
+        }
+    }
+    // The bound must be informative: on average within a small constant.
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(mean_gap < 5.0, "LP bound too loose on average: {mean_gap}");
+}
+
+#[test]
+fn strong_duality_holds_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..10 {
+        let n = rng.gen_range(1..=4);
+        let t = rng.gen_range(2..=3);
+        let inst = random_unweighted(&mut rng, n, 6, t);
+        let g = rng.gen_range(1..=6) as u128;
+        let (p, d) = primal_dual_values(&inst, g).unwrap();
+        assert!((p - d).abs() < 1e-4, "gap {p} vs {d} on {inst:?} G={g}");
+    }
+}
+
+#[test]
+fn lp_lower_bound_multi_machine_vs_single() {
+    // More machines can only help: the 2-machine LP bound is at most the
+    // 1-machine exact optimum.
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let inst1 = random_unweighted(&mut rng, 4, 8, 3);
+        let inst2 = Instance::new(inst1.jobs().to_vec(), 2, 3).unwrap();
+        let g = rng.gen_range(1..=6) as u128;
+        let lb2 = lp_lower_bound(&inst2, g).unwrap();
+        let opt1 = opt_online_cost(&inst1, g).unwrap().cost as f64;
+        assert!(lb2 <= opt1 + 1e-4);
+    }
+}
+
+#[test]
+fn weighted_lp_never_exceeds_exact_opt() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..15 {
+        let n = rng.gen_range(1..=4);
+        let t = rng.gen_range(2..=4);
+        let mut inst = random_unweighted(&mut rng, n, 8, t);
+        // Attach random weights.
+        let jobs: Vec<Job> = inst
+            .jobs()
+            .iter()
+            .map(|j| Job::new(j.id.0, j.release, rng.gen_range(1..=9)))
+            .collect();
+        inst = Instance::single_machine(jobs, t).unwrap();
+        for g in [1u128, 5, 15] {
+            let lb = lp_lower_bound(&inst, g).unwrap();
+            let opt = opt_online_cost(&inst, g).unwrap().cost as f64;
+            assert!(
+                lb <= opt + 1e-4,
+                "weighted LP {lb} exceeds OPT {opt} on {inst:?} G={g}"
+            );
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Brute-force reference solvers.
+//!
+//! These are exponential-time oracles used to validate the dynamic program
+//! and the structural lemmas themselves:
+//!
+//! * [`optimal_flow_brute`] — exact optimum on one machine via Lemma 4.2:
+//!   some optimal schedule ends every interval with a job running at its
+//!   release time, so interval starts can be restricted to
+//!   `{ r_j + 1 − T }`. Enumerates all subsets of that candidate set up to
+//!   the budget and assigns greedily (Observation 2.1, optimal given the
+//!   calibrations).
+//! * [`optimal_flow_exhaustive`] — exact optimum *without* Lemma 4.2:
+//!   enumerates calibration starts over the whole sensible time window.
+//!   Only viable for tiny instances; used to validate Lemma 4.2.
+//! * [`optimal_assignment_exhaustive`] — exact optimal assignment given
+//!   fixed calibrations, by branch-and-bound over slot choices; validates
+//!   Observation 2.1.
+
+use calib_core::{
+    assign_greedy, check_schedule, coverage_by_machine, round_robin_calibrations, Calibration,
+    Cost, Instance, Schedule, Time,
+};
+
+/// Lemma 4.2 candidate interval starts: `{ r_j + 1 − T }`, deduplicated.
+pub fn candidate_starts(instance: &Instance) -> Vec<Time> {
+    let t = instance.cal_len();
+    let mut starts: Vec<Time> = instance.jobs().iter().map(|j| j.release + 1 - t).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    starts
+}
+
+/// Visits every `k`-subset of `items`, invoking `f` on each.
+pub fn for_each_subset<T: Copy>(items: &[T], k: usize, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Copy>(items: &[T], k: usize, start: usize, acc: &mut Vec<T>, f: &mut impl FnMut(&[T])) {
+        if acc.len() == k {
+            f(acc);
+            return;
+        }
+        let need = k - acc.len();
+        for i in start..=items.len().saturating_sub(need) {
+            acc.push(items[i]);
+            rec(items, k, i + 1, acc, f);
+            acc.pop();
+        }
+    }
+    if k > items.len() {
+        return;
+    }
+    rec(items, k, 0, &mut Vec::with_capacity(k), f);
+}
+
+/// Minimum flow over a specific candidate start set with budget `k`
+/// (all subset sizes `0..=k` are tried).
+fn best_over_candidates(
+    instance: &Instance,
+    candidates: &[Time],
+    budget: usize,
+) -> Option<(Cost, Schedule)> {
+    let mut best: Option<(Cost, Schedule)> = None;
+    for size in 0..=budget.min(candidates.len()) {
+        for_each_subset(candidates, size, &mut |times| {
+            if let Ok(sched) = assign_greedy(instance, times) {
+                let flow = sched.total_weighted_flow(instance);
+                if best.as_ref().is_none_or(|(b, _)| flow < *b) {
+                    debug_assert!(check_schedule(instance, &sched).is_ok());
+                    best = Some((flow, sched));
+                }
+            }
+        });
+    }
+    best
+}
+
+/// Exact single-machine optimum (min total weighted flow within `budget`
+/// calibrations), restricting interval starts per Lemma 4.2.
+/// `None` when even `budget` calibrations cannot fit all jobs.
+///
+/// Complexity `O(C(n, budget) * n log n)`; use for `n ≲ 16`.
+pub fn optimal_flow_brute(instance: &Instance, budget: usize) -> Option<(Cost, Schedule)> {
+    best_over_candidates(instance, &candidate_starts(instance), budget)
+}
+
+/// Exact optimum with *no structural assumption*: candidate starts range
+/// over the whole window `[min_r + 1 − T, max_r + n]`. Exponentially more
+/// expensive than [`optimal_flow_brute`]; only for validating Lemma 4.2 on
+/// tiny instances.
+pub fn optimal_flow_exhaustive(instance: &Instance, budget: usize) -> Option<(Cost, Schedule)> {
+    let (min_r, max_r) = match (instance.min_release(), instance.max_release()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Some((0, Schedule::default())),
+    };
+    let lo = min_r + 1 - instance.cal_len();
+    let hi = max_r + instance.n() as Time;
+    let candidates: Vec<Time> = (lo..=hi).collect();
+    best_over_candidates(instance, &candidates, budget)
+}
+
+/// Exact minimum weighted flow for a *fixed* calibration time multiset, by
+/// exhaustive branch-and-bound over job-to-slot assignments (jobs assigned
+/// in release order to any feasible later slot). Validates Observation 2.1.
+///
+/// Returns `None` if no feasible assignment exists.
+pub fn optimal_assignment_exhaustive(instance: &Instance, times: &[Time]) -> Option<Cost> {
+    let cals: Vec<Calibration> = round_robin_calibrations(times, instance.machines());
+    let coverage = coverage_by_machine(&cals, instance.machines(), instance.cal_len());
+    // Enumerate candidate slots (machine, time) from coverage, bounded by
+    // the horizon. Tiny instances only: the slot count is |coverage slots|.
+    let mut slots: Vec<(Time, usize)> = Vec::new();
+    for (m, cov) in coverage.iter().enumerate() {
+        for &(b, e) in cov.segments() {
+            for t in b..e {
+                slots.push((t, m));
+            }
+        }
+    }
+    slots.sort_unstable();
+
+    let jobs = instance.jobs();
+    let mut used = vec![false; slots.len()];
+    let mut best: Option<Cost> = None;
+
+    fn rec(
+        jobs: &[calib_core::Job],
+        slots: &[(Time, usize)],
+        used: &mut [bool],
+        next: usize,
+        acc: Cost,
+        best: &mut Option<Cost>,
+    ) {
+        if best.is_some_and(|b| acc >= b) {
+            return; // branch and bound
+        }
+        if next == jobs.len() {
+            *best = Some(acc);
+            return;
+        }
+        let job = jobs[next];
+        for (i, &(t, _m)) in slots.iter().enumerate() {
+            if used[i] || t < job.release {
+                continue;
+            }
+            used[i] = true;
+            rec(jobs, slots, used, next + 1, acc + job.flow_if_started(t), best);
+            used[i] = false;
+        }
+    }
+    rec(jobs, &slots, &mut used, 0, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn candidate_starts_shift_by_cal_len() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 5, 5]).build().unwrap();
+        assert_eq!(candidate_starts(&inst), vec![-2, 3]);
+    }
+
+    #[test]
+    fn subsets_enumerate_binomially() {
+        let mut count = 0;
+        for_each_subset(&[1, 2, 3, 4, 5], 3, &mut |_| count += 1);
+        assert_eq!(count, 10);
+        let mut empty = 0;
+        for_each_subset(&[1, 2], 0, &mut |s| {
+            assert!(s.is_empty());
+            empty += 1;
+        });
+        assert_eq!(empty, 1);
+    }
+
+    #[test]
+    fn brute_single_burst() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2]).build().unwrap();
+        let (flow, sched) = optimal_flow_brute(&inst, 1).unwrap();
+        assert_eq!(flow, 3);
+        check_schedule(&inst, &sched).unwrap();
+    }
+
+    #[test]
+    fn brute_matches_exhaustive_on_small_cases() {
+        // Lemma 4.2 sanity: restricting to candidate starts loses nothing.
+        let cases = [
+            (vec![0, 3], 2i64, 1usize),
+            (vec![0, 2, 7], 3, 2),
+            (vec![1, 4], 2, 2),
+            (vec![0, 1, 2, 8], 2, 3),
+        ];
+        for (releases, t, k) in cases {
+            let inst = InstanceBuilder::new(t).unit_jobs(releases.clone()).build().unwrap();
+            let b = optimal_flow_brute(&inst, k).map(|(f, _)| f);
+            let e = optimal_flow_exhaustive(&inst, k).map(|(f, _)| f);
+            assert_eq!(b, e, "releases {releases:?} T={t} K={k}");
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        assert!(optimal_flow_brute(&inst, 1).is_none());
+    }
+
+    #[test]
+    fn exhaustive_assignment_matches_greedy_unweighted() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 4]).build().unwrap();
+        let times = vec![1, 4];
+        let greedy = assign_greedy(&inst, &times).unwrap().total_weighted_flow(&inst);
+        let exhaustive = optimal_assignment_exhaustive(&inst, &times).unwrap();
+        assert_eq!(greedy, exhaustive);
+    }
+
+    #[test]
+    fn exhaustive_assignment_none_when_slots_short() {
+        let inst = InstanceBuilder::new(1).unit_jobs([0, 1]).build().unwrap();
+        assert!(optimal_assignment_exhaustive(&inst, &[0]).is_none());
+    }
+}
+
+/// Visits every size-`k` *multiset* of `items` (nondecreasing index
+/// sequences), invoking `f` on each.
+pub fn for_each_multiset<T: Copy>(items: &[T], k: usize, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Copy>(
+        items: &[T],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<T>,
+        f: &mut impl FnMut(&[T]),
+    ) {
+        if acc.len() == k {
+            f(acc);
+            return;
+        }
+        for i in start..items.len() {
+            acc.push(items[i]);
+            rec(items, k, i, acc, f); // repetition allowed
+            acc.pop();
+        }
+    }
+    if k > 0 && items.is_empty() {
+        return;
+    }
+    rec(items, k, 0, &mut Vec::with_capacity(k), f);
+}
+
+/// Exact offline optimum of the *online objective* `G·C + flow` on `P ≥ 1`
+/// machines, by exhausting calibration-time multisets over the full sensible
+/// window (multiple machines may share a calibration time, hence multisets;
+/// machine placement is round-robin per Observation 2.1). Exponential — for
+/// tiny instances only (`n ≲ 5`, `max_k ≲ 4`). Ground truth for the
+/// multi-machine experiments that otherwise rely on the LP lower bound.
+pub fn opt_online_brute_multi(
+    instance: &Instance,
+    cal_cost: Cost,
+    max_k: usize,
+) -> Option<(Cost, Schedule)> {
+    if instance.n() == 0 {
+        return Some((0, Schedule::default()));
+    }
+    let (min_r, max_r) = (instance.min_release()?, instance.max_release()?);
+    let window: Vec<Time> =
+        (min_r + 1 - instance.cal_len()..=max_r + instance.n() as Time).collect();
+    let mut best: Option<(Cost, Schedule)> = None;
+    for k in 0..=max_k {
+        for_each_multiset(&window, k, &mut |times| {
+            if let Ok(sched) = assign_greedy(instance, times) {
+                let cost = cal_cost * k as Cost + sched.total_weighted_flow(instance);
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, sched));
+                }
+            }
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn multisets_enumerate_with_repetition() {
+        let mut count = 0;
+        for_each_multiset(&[1, 2, 3], 2, &mut |ms| {
+            assert!(ms.windows(2).all(|w| w[0] <= w[1]));
+            count += 1;
+        });
+        assert_eq!(count, 6); // C(3+2-1, 2)
+        let mut empty_called = 0;
+        for_each_multiset(&[1], 0, &mut |_| empty_called += 1);
+        assert_eq!(empty_called, 1);
+    }
+
+    #[test]
+    fn multi_machine_opt_matches_single_machine_dp_when_p1() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 2, 6]).build().unwrap();
+        for g in [1u128, 4, 10] {
+            let (cost, sched) = opt_online_brute_multi(&inst, g, 3).unwrap();
+            let dp = crate::online_opt::opt_online_cost(&inst, g).unwrap();
+            assert_eq!(cost, dp.cost, "G={g}");
+            calib_core::check_schedule(&inst, &sched).unwrap();
+        }
+    }
+
+    #[test]
+    fn second_machine_never_hurts() {
+        let jobs = [0i64, 0, 1, 1];
+        let one = InstanceBuilder::new(2).machines(1).unit_jobs(jobs).build().unwrap();
+        let two = InstanceBuilder::new(2).machines(2).unit_jobs(jobs).build().unwrap();
+        for g in [1u128, 3] {
+            let (c1, _) = opt_online_brute_multi(&one, g, 4).unwrap();
+            let (c2, _) = opt_online_brute_multi(&two, g, 4).unwrap();
+            assert!(c2 <= c1, "G={g}: {c2} vs {c1}");
+        }
+    }
+}

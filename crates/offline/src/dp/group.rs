@@ -1,0 +1,266 @@
+//! `f(u, v, μ)` — Proposition 2 of the paper.
+//!
+//! `f(u, v, μ)` is the minimum total *weighted completion time* of the jobs
+//! `J(u, v, μ)` scheduled in a group of exactly `⌈|J(u,v,μ)|/T⌉` intervals
+//! whose last interval starts at `b_i = r_v + 1 − T`, with every interval
+//! full except possibly the last.
+//!
+//! The recurrence (Definition 4.5 / Proposition 2):
+//!
+//! * `f = 0` when the window is empty;
+//! * `f = ∞` when `Ψ ≠ ∅` and `b_i ≤ r_ℓ` (the full-interval prefix cannot
+//!   fit before the last interval);
+//! * otherwise `f` is the minimum of:
+//!   1. `f(u, v, μ_e) + w_e (r_e + 1)` if `r_e ≥ b_i + s` — the cheapest
+//!      (rank-`e`) job runs at its release inside the at-release region;
+//!   2. `f(u, v, μ_e) + w_e (b_i + s)` if `r_e < b_i + s` and `s > 0` — job
+//!      `e` takes the last slot of the busy prefix, completing at `b_i + s`;
+//!   3. `min_{j ∈ Ψ, r_j ≥ r_e} f(u, j, μ) + f(j+1, v, μ)` — split the group
+//!      after a full-interval boundary.
+
+use std::collections::HashMap;
+
+use calib_core::Time;
+
+use crate::ranks::{RankedJobs, WindowInfo};
+
+/// How the optimum of a state was achieved — recorded for schedule
+/// reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Empty window: cost 0, nothing to place.
+    Empty,
+    /// Branch 1: job `e` completes at `r_e + 1`; recurse on `(u, v, μ_e)`.
+    AtRelease {
+        /// Index of the placed (smallest-rank) job.
+        e: usize,
+    },
+    /// Branch 2: job `e` completes at `b_i + s`; recurse on `(u, v, μ_e)`.
+    AtSlot {
+        /// Index of the placed (smallest-rank) job.
+        e: usize,
+        /// Its completion time `b_i + s`.
+        completion: Time,
+    },
+    /// Branch 3: split into `(u, j, μ)` and `(j+1, v, μ)`.
+    Split {
+        /// The full-interval boundary job (member of `Ψ`).
+        j: usize,
+    },
+}
+
+/// One memoized state: completion-time optimum (`None` = infeasible) plus
+/// the winning choice.
+#[derive(Debug, Clone, Copy)]
+pub struct StateValue {
+    /// Total weighted completion time (`None` = infeasible).
+    pub cost: Option<i128>,
+    /// The branch achieving it.
+    pub choice: Choice,
+}
+
+/// Memoized evaluator for `f(u, v, μ)` over one ranked job set.
+pub struct GroupDp {
+    ranked: RankedJobs,
+    cal_len: Time,
+    memo: HashMap<(u32, u32, u32), StateValue>,
+}
+
+impl GroupDp {
+    /// A fresh memo table over the given ranked jobs.
+    pub fn new(ranked: RankedJobs, cal_len: Time) -> Self {
+        assert!(cal_len >= 1);
+        GroupDp { ranked, cal_len, memo: HashMap::new() }
+    }
+
+    /// The underlying ranked job set.
+    pub fn ranked(&self) -> &RankedJobs {
+        &self.ranked
+    }
+
+    /// The calibration length `T`.
+    pub fn cal_len(&self) -> Time {
+        self.cal_len
+    }
+
+    /// Number of states evaluated so far (for the E6 scaling study).
+    pub fn states_evaluated(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The memoized `f(u, v, μ)` (total weighted completion time), `None`
+    /// when infeasible.
+    pub fn f(&mut self, u: usize, v: usize, mu: u32) -> Option<i128> {
+        self.eval(u, v, mu).cost
+    }
+
+    /// The recorded choice for a state (used by reconstruction).
+    pub fn choice(&mut self, u: usize, v: usize, mu: u32) -> Choice {
+        self.eval(u, v, mu).choice
+    }
+
+    fn eval(&mut self, u: usize, v: usize, mu: u32) -> StateValue {
+        let key = (u as u32, v as u32, mu);
+        if let Some(&val) = self.memo.get(&key) {
+            return val;
+        }
+        let val = self.compute(u, v, mu);
+        self.memo.insert(key, val);
+        val
+    }
+
+    fn compute(&mut self, u: usize, v: usize, mu: u32) -> StateValue {
+        let t = self.cal_len;
+        let info = match WindowInfo::compute(&self.ranked, u, v, mu, t) {
+            None => return StateValue { cost: Some(0), choice: Choice::Empty },
+            Some(info) => info,
+        };
+
+        // Infeasibility guard: a full-interval prefix boundary job released
+        // at or after the last interval's start cannot be completed in a
+        // full interval that precedes it.
+        if let Some(j_ell) = info.j_ell() {
+            if info.last_start <= self.ranked.release(j_ell) {
+                return StateValue { cost: None, choice: Choice::Empty };
+            }
+        }
+
+        let e = info.e;
+        let r_e = self.ranked.release(e);
+        let w_e = self.ranked.job(e).weight as i128;
+        let mu_e = self.ranked.rank(e);
+        let mut best: Option<(i128, Choice)> = None;
+
+        let consider = |cand: Option<(i128, Choice)>, best: &mut Option<(i128, Choice)>| {
+            if let Some((c, ch)) = cand {
+                if best.is_none_or(|(b, _)| c < b) {
+                    *best = Some((c, ch));
+                }
+            }
+        };
+
+        if let Some(s) = info.s {
+            if r_e >= info.last_start + s {
+                // Branch 1: e at its release time.
+                let rest = self.f(u, v, mu_e);
+                consider(
+                    rest.map(|c| (c + w_e * (r_e + 1) as i128, Choice::AtRelease { e })),
+                    &mut best,
+                );
+            } else if s > 0 {
+                // Branch 2: e completes at b_i + s.
+                let completion = info.last_start + s;
+                debug_assert!(completion > r_e);
+                let rest = self.f(u, v, mu_e);
+                consider(
+                    rest.map(|c| (c + w_e * completion as i128, Choice::AtSlot { e, completion })),
+                    &mut best,
+                );
+            }
+        }
+
+        // Branch 3: split at a full-interval boundary j ∈ Ψ with r_j ≥ r_e.
+        for &j in &info.psi {
+            if self.ranked.release(j) < r_e {
+                continue;
+            }
+            let left = self.f(u, j, mu);
+            let right = self.f(j + 1, v, mu);
+            if let (Some(l), Some(r)) = (left, right) {
+                consider(Some((l + r, Choice::Split { j })), &mut best);
+            }
+        }
+
+        match best {
+            Some((cost, choice)) => StateValue { cost: Some(cost), choice },
+            None => StateValue { cost: None, choice: Choice::Empty },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::Job;
+
+    fn ranked(spec: &[(Time, u64)]) -> RankedJobs {
+        let jobs: Vec<Job> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, w))| Job::new(i as u32, r, w))
+            .collect();
+        RankedJobs::new(&jobs)
+    }
+
+    #[test]
+    fn single_job_at_release() {
+        // One job released at 5, T = 3: the only interval is [3, 6); the job
+        // runs at 5 and completes at 6.
+        let r = ranked(&[(5, 2)]);
+        let mut dp = GroupDp::new(r, 3);
+        assert_eq!(dp.f(0, 0, 0), Some(2 * 6));
+        assert!(matches!(dp.choice(0, 0, 0), Choice::AtRelease { e: 0 }));
+    }
+
+    #[test]
+    fn two_close_jobs_share_interval() {
+        // Jobs at 0 and 1 (unit weights), T = 3: interval [−1, 2); job 0
+        // completes at 1, job 1 at 2 -> completion total 3.
+        let r = ranked(&[(0, 1), (1, 1)]);
+        let mut dp = GroupDp::new(r, 3);
+        assert_eq!(dp.f(0, 1, 0), Some(3));
+    }
+
+    #[test]
+    fn backlog_fills_busy_prefix() {
+        // Jobs at 0 and 4, T = 2: last interval is [3, 5); job at 0 cannot
+        // run at release inside it. Window of both jobs: job 0 takes the
+        // busy-prefix slot (s = 1 -> completes at 4), job 4 at release
+        // (completes 5). Total 9. But a split is impossible (|J| = 2, Ψ at
+        // prefix count 2 is v itself) — check the DP agrees.
+        let r = ranked(&[(0, 1), (4, 1)]);
+        let mut dp = GroupDp::new(r, 2);
+        assert_eq!(dp.f(0, 1, 0), Some(9));
+    }
+
+    #[test]
+    fn far_apart_jobs_are_infeasible_in_one_group() {
+        // Jobs at 0 and 100, T = 2, one group with last interval [99, 101):
+        // job 0 would have to wait 99 steps in a busy prefix of length ≤ 2 —
+        // the congruence for s gives s = 1 (busy prefix holds job 0
+        // completing at 100!?). The DP must still be *correct*: the group
+        // cost places job 0 completing at b_i + s = 100, which is legal
+        // (flow 100) though a sane budget-2 schedule would split groups at
+        // the F level. Just assert feasibility and exact value here.
+        let r = ranked(&[(0, 1), (100, 1)]);
+        let mut dp = GroupDp::new(r, 2);
+        // s: b_i = 99; c(0) = 1 (job 0 released before 99) -> h ≡ 1 mod 2 -> s = 1.
+        // e = job 1 (weight tie, latest release ranks first) -> r_e = 100 ≥ b_i + s = 100:
+        // branch 1: job 1 completes 101; then f(0,1,μ_1): window = {job 0},
+        // s = 1, r_0 < 100: branch 2 -> completes 100. Total 201.
+        assert_eq!(dp.f(0, 1, 0), Some(201));
+    }
+
+    #[test]
+    fn split_uses_full_interval_boundary() {
+        // T = 1: every interval holds one job; a window of 2 jobs must split.
+        let r = ranked(&[(0, 1), (7, 1)]);
+        let mut dp = GroupDp::new(r, 1);
+        // Each job in its own length-1 interval at its release. (The DP may
+        // reach this either by splitting at j = 0 or by the equivalent
+        // place-then-split chain; only the value is pinned down.)
+        assert_eq!(dp.f(0, 1, 0), Some(1 + 8));
+        assert!(matches!(
+            dp.choice(0, 1, 0),
+            Choice::Split { j: 0 } | Choice::AtRelease { e: 1 }
+        ));
+    }
+
+    #[test]
+    fn empty_window_cost_zero() {
+        let r = ranked(&[(0, 1)]);
+        let mut dp = GroupDp::new(r, 2);
+        assert_eq!(dp.f(0, 0, 1), Some(0));
+        assert!(matches!(dp.choice(0, 0, 1), Choice::Empty));
+    }
+}

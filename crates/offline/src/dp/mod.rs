@@ -1,0 +1,284 @@
+//! The offline dynamic program (Section 4 of the paper).
+//!
+//! Proposition 1 partitions the job sequence (sorted by release time) into
+//! *groups*: `F(k, v)` is the minimum total weighted completion time of jobs
+//! `1..=v` using at most `k` calibrations, and
+//!
+//! `F(k, v) = min_{u ≤ v} { F(k − ⌈(v−u+1)/T⌉, u−1) + f(u, v, 0) }`
+//!
+//! where `f(u, v, 0)` (Proposition 2, [`group`]) optimally schedules jobs
+//! `u..=v` in exactly `⌈(v−u+1)/T⌉` intervals whose last interval starts at
+//! `r_v + 1 − T`. Boundary conditions: `F(k, 0) = 0` and `F(k, v) = ∞` when
+//! `kT < v`.
+
+pub mod group;
+pub mod rebuild;
+
+use calib_core::{Cost, Instance, Schedule};
+
+use crate::ranks::RankedJobs;
+use group::GroupDp;
+
+/// Why the offline solver refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OfflineError {
+    /// The DP is defined for a single machine only.
+    MultipleMachines(usize),
+    /// Release times are not strictly increasing (run
+    /// `Instance::normalized` first).
+    NotNormalized,
+    /// A solver specialized to unit weights was given weighted jobs.
+    NotUnweighted,
+}
+
+impl std::fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OfflineError::MultipleMachines(p) => {
+                write!(f, "offline DP handles one machine, instance has {p}")
+            }
+            OfflineError::NotNormalized => {
+                write!(f, "offline DP needs strictly increasing release times")
+            }
+            OfflineError::NotUnweighted => {
+                write!(f, "this solver handles unit-weight jobs only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OfflineError {}
+
+/// Result of the offline DP for one budget.
+#[derive(Debug, Clone)]
+pub struct DpSolution {
+    /// Minimum total weighted flow with at most the given budget.
+    pub flow: Cost,
+    /// The same optimum as total weighted completion time.
+    pub weighted_completion: Cost,
+    /// A reconstructed optimal schedule (feasible; calibrations possibly
+    /// overlapping, which the model allows).
+    pub schedule: Schedule,
+    /// Number of DP states evaluated (for the E6 scaling study).
+    pub states_evaluated: usize,
+}
+
+/// The `F(k, n)` values for `k = 0 ..= max_k`, as *weighted flows*
+/// (`None` = infeasible, i.e. `kT < n`).
+///
+/// One call computes the whole column, which is what the online-objective
+/// baseline needs (it sweeps the budget).
+pub fn min_flow_by_budget(instance: &Instance, max_k: usize) -> Result<Vec<Option<Cost>>, OfflineError> {
+    let (table, _, _) = run_dp(instance, max_k)?;
+    let n = instance.n();
+    let release_sum = release_weight_sum(instance);
+    Ok(table
+        .iter()
+        .map(|row| row[n].map(|c| to_flow(c, release_sum)))
+        .collect())
+}
+
+/// Solves the offline problem: minimum total weighted flow of `instance`
+/// with at most `budget` calibrations, plus a reconstructed schedule.
+///
+/// Returns `Ok(None)` when the budget cannot cover all jobs
+/// (`budget * T < n`).
+pub fn solve_offline(instance: &Instance, budget: usize) -> Result<Option<DpSolution>, OfflineError> {
+    let (table, mut gdp, groups_choice) = run_dp(instance, budget)?;
+    let n = instance.n();
+    let completion = match table[budget][n] {
+        None => return Ok(None),
+        Some(c) => c,
+    };
+
+    // Reconstruct: walk the group boundaries chosen by F, then rebuild each
+    // group's placements from the memoized choices.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut k = budget;
+    let mut v = n;
+    while v > 0 {
+        let u = groups_choice[k][v].expect("feasible state has a recorded split");
+        groups.push((u - 1, v - 1)); // to 0-based inclusive
+        let used = group_calibration_count(v - u + 1, instance.cal_len());
+        v = u - 1;
+        k -= used;
+    }
+    groups.reverse();
+
+    let schedule = rebuild::rebuild_schedule(&mut gdp, &groups);
+    let release_sum = release_weight_sum(instance);
+    Ok(Some(DpSolution {
+        flow: to_flow(completion, release_sum),
+        weighted_completion: completion.max(0) as Cost,
+        schedule,
+        states_evaluated: gdp.states_evaluated(),
+    }))
+}
+
+/// `⌈len/T⌉` — calibrations a group of `len` jobs consumes.
+fn group_calibration_count(len: usize, t: calib_core::Time) -> usize {
+    len.div_ceil(t as usize)
+}
+
+fn release_weight_sum(instance: &Instance) -> i128 {
+    instance
+        .jobs()
+        .iter()
+        .map(|j| j.weight as i128 * j.release as i128)
+        .sum()
+}
+
+fn to_flow(completion: i128, release_sum: i128) -> Cost {
+    let flow = completion - release_sum;
+    debug_assert!(flow >= 0, "weighted flow must be nonnegative");
+    flow.max(0) as Cost
+}
+
+type FTable = Vec<Vec<Option<i128>>>;
+type ChoiceTable = Vec<Vec<Option<usize>>>;
+
+/// Runs Proposition 1 over Proposition 2. Returns the `F` table
+/// (`table[k][v]`, `v` jobs prefix, 1-based `v`), the group-DP with its memo
+/// (for reconstruction), and the chosen `u` per state.
+fn run_dp(
+    instance: &Instance,
+    max_k: usize,
+) -> Result<(FTable, GroupDp, ChoiceTable), OfflineError> {
+    if instance.machines() != 1 {
+        return Err(OfflineError::MultipleMachines(instance.machines()));
+    }
+    let jobs = instance.jobs();
+    for w in jobs.windows(2) {
+        if w[0].release >= w[1].release {
+            return Err(OfflineError::NotNormalized);
+        }
+    }
+    let n = jobs.len();
+    let t = instance.cal_len();
+
+    let mut gdp = GroupDp::new(RankedJobs::new(jobs), t);
+
+    let mut table: FTable = vec![vec![None; n + 1]; max_k + 1];
+    let mut choice: ChoiceTable = vec![vec![None; n + 1]; max_k + 1];
+    for k in 0..=max_k {
+        table[k][0] = Some(0);
+        for v in 1..=n {
+            if (k as i128) * (t as i128) < v as i128 {
+                continue; // infeasible: kT < v
+            }
+            let mut best: Option<(i128, usize)> = None;
+            for u in 1..=v {
+                let used = group_calibration_count(v - u + 1, t);
+                if used > k {
+                    continue;
+                }
+                let prefix = table[k - used][u - 1];
+                let group_cost = gdp.f(u - 1, v - 1, 0);
+                if let (Some(p), Some(g)) = (prefix, group_cost) {
+                    let c = p + g;
+                    if best.is_none_or(|(b, _)| c < b) {
+                        best = Some((c, u));
+                    }
+                }
+            }
+            if let Some((c, u)) = best {
+                table[k][v] = Some(c);
+                choice[k][v] = Some(u);
+            }
+        }
+    }
+
+    Ok((table, gdp, choice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::{check_schedule, InstanceBuilder};
+
+    #[test]
+    fn empty_instance_costs_nothing() {
+        let inst = InstanceBuilder::new(3).build().unwrap();
+        let sol = solve_offline(&inst, 0).unwrap().unwrap();
+        assert_eq!(sol.flow, 0);
+        assert!(sol.schedule.assignments.is_empty());
+    }
+
+    #[test]
+    fn budget_too_small_is_infeasible() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        assert!(solve_offline(&inst, 1).unwrap().is_none());
+        assert!(solve_offline(&inst, 2).unwrap().is_some());
+    }
+
+    #[test]
+    fn single_job_single_calibration() {
+        let inst = InstanceBuilder::new(5).unit_jobs([7]).build().unwrap();
+        let sol = solve_offline(&inst, 1).unwrap().unwrap();
+        assert_eq!(sol.flow, 1); // runs at release
+        check_schedule(&inst, &sol.schedule).unwrap();
+    }
+
+    #[test]
+    fn burst_fits_one_interval() {
+        // 3 jobs at 0,1,2 with T = 3 and budget 1: all at release, flow 3.
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2]).build().unwrap();
+        let sol = solve_offline(&inst, 1).unwrap().unwrap();
+        assert_eq!(sol.flow, 3);
+        check_schedule(&inst, &sol.schedule).unwrap();
+        assert!(sol.schedule.calibration_count() <= 1);
+    }
+
+    #[test]
+    fn two_bursts_two_calibrations() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 100, 101]).build().unwrap();
+        let sol = solve_offline(&inst, 2).unwrap().unwrap();
+        assert_eq!(sol.flow, 4);
+        check_schedule(&inst, &sol.schedule).unwrap();
+    }
+
+    #[test]
+    fn budget_one_forces_grouping() {
+        // Jobs at 0 and 3, T = 2, one calibration: both must fit one
+        // interval [b, b+2). Best: calibrate at 2: job0 runs at 2
+        // (flow 3), job1 at 3 (flow 1) -> 4. DP anchors the interval at
+        // r_v + 1 - T = 2 -> same answer.
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 3]).build().unwrap();
+        let sol = solve_offline(&inst, 1).unwrap().unwrap();
+        assert_eq!(sol.flow, 4);
+        check_schedule(&inst, &sol.schedule).unwrap();
+    }
+
+    #[test]
+    fn weights_prioritize_heavy_jobs() {
+        // Heavy job released later must not wait behind light backlog.
+        // Jobs: (0, w=1), (1, w=100), T = 2, budget 2.
+        let inst = InstanceBuilder::new(2).job(0, 1).job(1, 100).build().unwrap();
+        let sol = solve_offline(&inst, 2).unwrap().unwrap();
+        check_schedule(&inst, &sol.schedule).unwrap();
+        // Both can run at release with calibrations at 0 (covers 0,1):
+        // flow = 1 + 100.
+        assert_eq!(sol.flow, 101);
+    }
+
+    #[test]
+    fn min_flow_by_budget_is_monotone() {
+        let inst = InstanceBuilder::new(2).unit_jobs([0, 4, 9, 13, 20]).build().unwrap();
+        let flows = min_flow_by_budget(&inst, 5).unwrap();
+        assert_eq!(flows.len(), 6);
+        assert!(flows[0].is_none() && flows[1].is_none() && flows[2].is_none());
+        let mut last = Cost::MAX;
+        for f in flows.into_iter().flatten() {
+            assert!(f <= last, "more budget cannot hurt");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn rejects_multi_machine_and_unnormalized() {
+        let multi = InstanceBuilder::new(2).machines(2).unit_jobs([0]).build().unwrap();
+        assert_eq!(solve_offline(&multi, 1).unwrap_err(), OfflineError::MultipleMachines(2));
+        let shared = InstanceBuilder::new(2).unit_jobs([3, 3]).build().unwrap();
+        assert_eq!(solve_offline(&shared, 2).unwrap_err(), OfflineError::NotNormalized);
+    }
+}

@@ -1,0 +1,103 @@
+//! Schedule reconstruction from the memoized DP choices.
+//!
+//! Every direct placement made by a state chain at `(u, v, ·)` lands inside
+//! that state's *last interval* `[r_v + 1 − T, r_v + 1)`; `Split` choices
+//! delegate to sub-states with their own last intervals. Walking the choice
+//! tree therefore yields both the job placements (as completion times) and
+//! the set of interval start times. Intervals from different sub-states may
+//! overlap in time — the model permits this (coverage merges), and the
+//! budget accounting of Proposition 1 is still exact because each interval
+//! is counted once.
+
+use std::collections::BTreeSet;
+
+use calib_core::{Assignment, Calibration, MachineId, Schedule, Time};
+
+use super::group::{Choice, GroupDp};
+
+/// Rebuilds the optimal schedule for the chosen group boundaries
+/// (0-based inclusive `(u, v)` index pairs, in release order).
+pub fn rebuild_schedule(gdp: &mut GroupDp, groups: &[(usize, usize)]) -> Schedule {
+    let mut placements: Vec<(usize, Time)> = Vec::new();
+    let mut starts: BTreeSet<Time> = BTreeSet::new();
+    for &(u, v) in groups {
+        walk(gdp, u, v, 0, &mut placements, &mut starts);
+    }
+
+    let assignments = placements
+        .into_iter()
+        .map(|(idx, completion)| {
+            let job = gdp.ranked().job(idx);
+            Assignment::new(job.id, completion - 1, MachineId(0))
+        })
+        .collect();
+    let calibrations = starts
+        .into_iter()
+        .map(|s| Calibration { machine: MachineId(0), start: s })
+        .collect();
+    Schedule::new(calibrations, assignments)
+}
+
+fn walk(
+    gdp: &mut GroupDp,
+    u: usize,
+    v: usize,
+    mu: u32,
+    placements: &mut Vec<(usize, Time)>,
+    starts: &mut BTreeSet<Time>,
+) {
+    match gdp.choice(u, v, mu) {
+        Choice::Empty => {}
+        Choice::AtRelease { e } => {
+            let completion = gdp.ranked().release(e) + 1;
+            placements.push((e, completion));
+            starts.insert(gdp.ranked().release(v) + 1 - gdp.cal_len());
+            let mu_e = gdp.ranked().rank(e);
+            walk(gdp, u, v, mu_e, placements, starts);
+        }
+        Choice::AtSlot { e, completion } => {
+            placements.push((e, completion));
+            starts.insert(gdp.ranked().release(v) + 1 - gdp.cal_len());
+            let mu_e = gdp.ranked().rank(e);
+            walk(gdp, u, v, mu_e, placements, starts);
+        }
+        Choice::Split { j } => {
+            walk(gdp, u, j, mu, placements, starts);
+            walk(gdp, j + 1, v, mu, placements, starts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranks::RankedJobs;
+    use calib_core::{check_schedule, InstanceBuilder};
+
+    #[test]
+    fn rebuild_matches_dp_cost_and_is_feasible() {
+        let inst = InstanceBuilder::new(3)
+            .job(0, 2)
+            .job(1, 1)
+            .job(5, 4)
+            .job(9, 1)
+            .build()
+            .unwrap();
+        let ranked = RankedJobs::new(inst.jobs());
+        let mut gdp = GroupDp::new(ranked, inst.cal_len());
+        // One group spanning everything (enough budget at the F level).
+        let cost = gdp.f(0, 3, 0);
+        if let Some(c) = cost {
+            let sched = rebuild_schedule(&mut gdp, &[(0, 3)]);
+            check_schedule(&inst, &sched).unwrap();
+            let total_completion: i128 = sched
+                .assignments
+                .iter()
+                .map(|a| {
+                    inst.job(a.job).unwrap().weight as i128 * (a.start + 1) as i128
+                })
+                .sum();
+            assert_eq!(total_completion, c);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # calib-offline
+//!
+//! Offline solvers for scheduling with calibrations (Section 4 of
+//! "Minimizing Total Weighted Flow Time with Calibrations", SPAA 2017):
+//!
+//! * [`solve_offline`] / [`min_flow_by_budget`] — the paper's `O(K n³)`
+//!   dynamic program (Propositions 1 and 2) computing the minimum total
+//!   weighted flow under a calibration budget `K` on a single machine, with
+//!   full schedule reconstruction;
+//! * [`optimal_flow_brute`] / [`optimal_flow_exhaustive`] — exponential
+//!   reference solvers used to validate the DP and Lemma 4.2;
+//! * [`opt_r_brute`] — the release-order-restricted optimum `OPT_r`
+//!   (Lemma 3.4's 2-approximation target);
+//! * [`opt_online_cost`] — the exact offline optimum of the *online*
+//!   objective `G·C + flow`, obtained by sweeping the budget.
+//!
+//! ```
+//! use calib_core::InstanceBuilder;
+//! use calib_offline::solve_offline;
+//!
+//! let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2, 10]).build().unwrap();
+//! let sol = solve_offline(&inst, 2).unwrap().unwrap();
+//! assert_eq!(sol.flow, 4); // both bursts run at release with 2 calibrations
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod dp;
+pub mod online_opt;
+pub mod opt_r;
+pub mod ranks;
+pub mod unweighted;
+
+pub use brute::{
+    candidate_starts, for_each_multiset, for_each_subset, opt_online_brute_multi,
+    optimal_assignment_exhaustive, optimal_flow_brute, optimal_flow_exhaustive,
+};
+pub use dp::{min_flow_by_budget, solve_offline, DpSolution, OfflineError};
+pub use online_opt::{
+    flow_curve_is_convex, opt_online_cost, opt_online_cost_ternary, opt_online_schedule,
+    OnlineOpt,
+};
+pub use opt_r::{assign_fifo, opt_r_brute, CandidateMode};
+pub use ranks::{RankedJobs, WindowInfo};
+pub use unweighted::{solve_offline_unweighted, UnweightedSolution};

@@ -1,0 +1,229 @@
+//! Definition 4.5 machinery: ranks, the job windows `J(u, v, μ)`, and the
+//! quantities `e`, `Ψ`, `j_ℓ`, `s` used by the dynamic program.
+//!
+//! Jobs are indexed `0 .. n` in ascending release order with *distinct*
+//! release times (the paper's single-machine normalization). Each job gets a
+//! distinct rank `μ_j ∈ {1, …, n}` in ascending order of weight, ties broken
+//! by ranking the job with the *latest* release time first (i.e. the lighter
+//! job — and among equal weights the later-released job — has the smaller
+//! rank and is the first candidate to be delayed).
+
+use calib_core::{Job, Time};
+
+/// Rank table over a release-sorted job slice with distinct releases.
+#[derive(Debug, Clone)]
+pub struct RankedJobs {
+    jobs: Vec<Job>,
+    /// `rank[i]` = `μ` of the job at index `i` (1-based ranks).
+    rank: Vec<u32>,
+}
+
+impl RankedJobs {
+    /// Builds the rank table. Panics if releases are not strictly
+    /// increasing — callers must hand in a normalized single-machine job
+    /// list (see `Instance::normalized`).
+    pub fn new(jobs: &[Job]) -> Self {
+        for w in jobs.windows(2) {
+            assert!(
+                w[0].release < w[1].release,
+                "offline DP requires strictly increasing release times; got {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        let n = jobs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Ascending weight; ties -> latest release first (smaller rank).
+        order.sort_by_key(|&i| (jobs[i].weight, std::cmp::Reverse(jobs[i].release)));
+        let mut rank = vec![0u32; n];
+        for (pos, &i) in order.iter().enumerate() {
+            rank[i] = pos as u32 + 1;
+        }
+        RankedJobs { jobs: jobs.to_vec(), rank }
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The jobs, in (strictly increasing) release order.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The job at release-order index `i`.
+    #[inline]
+    pub fn job(&self, i: usize) -> &Job {
+        &self.jobs[i]
+    }
+
+    /// Release time of job index `i`.
+    #[inline]
+    pub fn release(&self, i: usize) -> Time {
+        self.jobs[i].release
+    }
+
+    /// 1-based rank `μ_i` of job index `i`.
+    #[inline]
+    pub fn rank(&self, i: usize) -> u32 {
+        self.rank[i]
+    }
+
+    /// `J(u, v, μ)`: indices `u ..= v` with rank `> μ`, ascending (which is
+    /// also ascending release order).
+    pub fn window(&self, u: usize, v: usize, mu: u32) -> Vec<usize> {
+        if u > v || v >= self.n() {
+            return Vec::new();
+        }
+        (u..=v).filter(|&i| self.rank[i] > mu).collect()
+    }
+}
+
+/// All Definition 4.5 quantities for one DP state `(u, v, μ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowInfo {
+    /// Member indices, ascending.
+    pub members: Vec<usize>,
+    /// Start `b_i = r_v + 1 − T` of the group's last interval.
+    pub last_start: Time,
+    /// `e`: the member with the smallest rank.
+    pub e: usize,
+    /// `Ψ`: members `j` (with `j < v`) whose prefix count `|J(u, j, μ)|` is a
+    /// positive multiple of `T`.
+    pub psi: Vec<usize>,
+    /// `s` per Lemma 4.6: the machine is completely busy during
+    /// `[b_i, b_i + s)` and every job during `[b_i + s, b_i + T)` runs at its
+    /// release time. `None` when no `h ∈ [0, T]` satisfies the congruence
+    /// (the state is then structurally infeasible).
+    pub s: Option<Time>,
+}
+
+impl WindowInfo {
+    /// Computes the quantities for `(u, v, μ)` with calibration length `T`.
+    /// Returns `None` when the window is empty.
+    pub fn compute(ranked: &RankedJobs, u: usize, v: usize, mu: u32, t: Time) -> Option<WindowInfo> {
+        let members = ranked.window(u, v, mu);
+        if members.is_empty() {
+            return None;
+        }
+        let last_start = ranked.release(v) + 1 - t;
+
+        let e = *members
+            .iter()
+            .min_by_key(|&&i| ranked.rank(i))
+            .expect("non-empty window");
+
+        let mut psi = Vec::new();
+        for (pos, &j) in members.iter().enumerate() {
+            let count = pos as Time + 1;
+            if j < v && count % t == 0 {
+                psi.push(j);
+            }
+        }
+
+        // s = min { h : h ≡ |{ j ∈ J : r_j < b_i + h }| (mod T) }, h ∈ [0, T].
+        let mut s = None;
+        for h in 0..=t {
+            let c = members
+                .iter()
+                .filter(|&&j| ranked.release(j) < last_start + h)
+                .count() as Time;
+            if (c - h).rem_euclid(t) == 0 {
+                s = Some(h);
+                break;
+            }
+        }
+
+        Some(WindowInfo { members, last_start, e, psi, s })
+    }
+
+    /// `j_ℓ`: the member of `Ψ` with the latest release (largest index).
+    pub fn j_ell(&self) -> Option<usize> {
+        self.psi.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(spec: &[(Time, u64)]) -> Vec<Job> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(r, w))| Job::new(i as u32, r, w))
+            .collect()
+    }
+
+    #[test]
+    fn ranks_ascending_weight_latest_release_first() {
+        // weights: 5, 2, 2, 9 at releases 0, 1, 2, 3.
+        let r = RankedJobs::new(&jobs(&[(0, 5), (1, 2), (2, 2), (3, 9)]));
+        // Lightest are the two weight-2 jobs; the later-released (index 2)
+        // ranks first.
+        assert_eq!(r.rank(2), 1);
+        assert_eq!(r.rank(1), 2);
+        assert_eq!(r.rank(0), 3);
+        assert_eq!(r.rank(3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_shared_releases() {
+        RankedJobs::new(&jobs(&[(0, 1), (0, 2)]));
+    }
+
+    #[test]
+    fn window_filters_by_rank() {
+        let r = RankedJobs::new(&jobs(&[(0, 5), (1, 2), (2, 2), (3, 9)]));
+        assert_eq!(r.window(0, 3, 0), vec![0, 1, 2, 3]);
+        // Remove rank-1 (index 2) and rank-2 (index 1).
+        assert_eq!(r.window(0, 3, 2), vec![0, 3]);
+        assert_eq!(r.window(1, 2, 2), Vec::<usize>::new());
+        assert_eq!(r.window(2, 1, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn window_info_basics() {
+        // 4 unit-ish jobs, T = 2. Window over everything.
+        let r = RankedJobs::new(&jobs(&[(0, 4), (1, 3), (5, 2), (6, 1)]));
+        let info = WindowInfo::compute(&r, 0, 3, 0, 2).unwrap();
+        assert_eq!(info.last_start, 6 + 1 - 2);
+        // e is the lightest job: index 3 (weight 1).
+        assert_eq!(info.e, 3);
+        // Ψ: prefix counts 1,2,3,4 -> multiples of 2 at positions 1 and 3;
+        // position 3 is v itself (excluded), so Ψ = {index 1}.
+        assert_eq!(info.psi, vec![1]);
+        assert_eq!(info.j_ell(), Some(1));
+    }
+
+    #[test]
+    fn s_zero_when_everything_runs_at_release() {
+        // Jobs released exactly inside the last interval: T = 4,
+        // releases 10, 11, 12 -> b_i = 12 + 1 - 4 = 9; no job released
+        // before 9, so the busy prefix is empty: s = 0.
+        let r = RankedJobs::new(&jobs(&[(10, 1), (11, 1), (12, 1)]));
+        let info = WindowInfo::compute(&r, 0, 2, 0, 4).unwrap();
+        assert_eq!(info.last_start, 9);
+        assert_eq!(info.s, Some(0));
+    }
+
+    #[test]
+    fn s_counts_backlog_before_interval() {
+        // T = 4, releases 0, 1, 9 -> b_i = 6. Jobs 0 and 1 are released
+        // before the interval: the busy prefix must hold both, s = 2
+        // (slots 6 and 7), then job 2 runs at its release 9.
+        let r = RankedJobs::new(&jobs(&[(0, 1), (1, 1), (9, 1)]));
+        let info = WindowInfo::compute(&r, 0, 2, 0, 4).unwrap();
+        assert_eq!(info.last_start, 6);
+        assert_eq!(info.s, Some(2));
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let r = RankedJobs::new(&jobs(&[(0, 1)]));
+        assert!(WindowInfo::compute(&r, 0, 0, 1, 3).is_none());
+    }
+}

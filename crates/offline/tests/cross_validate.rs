@@ -1,0 +1,93 @@
+//! Cross-validation of the two *independent* exact solvers on unweighted
+//! instances: the paper's Propositions 1–2 DP (ranks + group recurrences)
+//! against the slot-exchange DP (`solve_offline_unweighted`). They share no
+//! code or structure; agreement at n = 30–60 extends the brute-force
+//! validation (n ≤ 8) by an order of magnitude.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::{check_schedule, Instance, Job};
+use calib_offline::{solve_offline, solve_offline_unweighted};
+
+fn random_unweighted(rng: &mut StdRng, n: usize, span: i64, t: i64) -> Instance {
+    let mut releases: Vec<i64> = Vec::new();
+    while releases.len() < n {
+        let r = rng.gen_range(0..=span);
+        if !releases.contains(&r) {
+            releases.push(r);
+        }
+    }
+    releases.sort_unstable();
+    let jobs: Vec<Job> = releases
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Job::unweighted(i as u32, r))
+        .collect();
+    Instance::single_machine(jobs, t).unwrap()
+}
+
+#[test]
+fn general_dp_equals_slot_dp_medium_scale() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for case in 0..40 {
+        let n = rng.gen_range(20..=45);
+        let t = rng.gen_range(2..=6);
+        let span = rng.gen_range(2 * n as i64..=5 * n as i64);
+        let inst = random_unweighted(&mut rng, n, span, t);
+        for budget in [n.div_ceil(t as usize), n.div_ceil(2), n] {
+            let general = solve_offline(&inst, budget).unwrap();
+            let slot = solve_offline_unweighted(&inst, budget).unwrap();
+            match (general, slot) {
+                (None, None) => {}
+                (Some(g), Some(s)) => {
+                    assert_eq!(
+                        g.flow, s.flow,
+                        "case {case}: general {} vs slot {} (n={n}, T={t}, K={budget})",
+                        g.flow, s.flow
+                    );
+                    check_schedule(&inst, &s.schedule).unwrap();
+                    assert!(s.schedule.calibration_count() <= budget);
+                    assert_eq!(s.schedule.total_weighted_flow(&inst), s.flow);
+                }
+                (g, s) => panic!(
+                    "case {case}: feasibility disagreement (n={n}, T={t}, K={budget}): general {:?} slot {:?}",
+                    g.map(|x| x.flow),
+                    s.map(|x| x.flow)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn slot_dp_matches_brute_tiny() {
+    let mut rng = StdRng::seed_from_u64(888);
+    for _ in 0..150 {
+        let n = rng.gen_range(1..=7);
+        let t = rng.gen_range(1..=4);
+        let inst = random_unweighted(&mut rng, n, 14, t);
+        for budget in 1..=n.min(4) {
+            let slot = solve_offline_unweighted(&inst, budget).unwrap().map(|s| s.flow);
+            let brute =
+                calib_offline::optimal_flow_brute(&inst, budget).map(|(f, _)| f);
+            assert_eq!(slot, brute, "{inst:?} K={budget}");
+        }
+    }
+}
+
+#[test]
+fn dense_trains_agree() {
+    // Adversarially dense: the train workload with varying budgets.
+    for n in [10usize, 25, 40] {
+        for t in [2i64, 3, 7] {
+            let jobs: Vec<Job> = (0..n).map(|i| Job::unweighted(i as u32, i as i64)).collect();
+            let inst = Instance::single_machine(jobs, t).unwrap();
+            for budget in [n.div_ceil(t as usize), n.div_ceil(t as usize) + 1, n] {
+                let g = solve_offline(&inst, budget).unwrap().map(|s| s.flow);
+                let s = solve_offline_unweighted(&inst, budget).unwrap().map(|s| s.flow);
+                assert_eq!(g, s, "n={n} T={t} K={budget}");
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Differential validation of the dynamic program (Propositions 1–2)
+//! against the exponential brute-force oracle, across thousands of random
+//! instances. This is the primary correctness evidence for the offline
+//! solver (experiment E6a).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::{check_schedule, Cost, Instance, Job};
+use calib_offline::{optimal_flow_brute, solve_offline};
+
+/// Random single-machine instance with distinct releases.
+fn random_instance(rng: &mut StdRng, n: usize, span: i64, max_w: u64, t: i64) -> Instance {
+    let mut releases: Vec<i64> = Vec::new();
+    while releases.len() < n {
+        let r = rng.gen_range(0..=span);
+        if !releases.contains(&r) {
+            releases.push(r);
+        }
+    }
+    releases.sort_unstable();
+    let jobs: Vec<Job> = releases
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Job::new(i as u32, r, rng.gen_range(1..=max_w)))
+        .collect();
+    Instance::single_machine(jobs, t).unwrap()
+}
+
+fn assert_dp_matches_brute(inst: &Instance, budget: usize, label: &str) {
+    let brute = optimal_flow_brute(inst, budget).map(|(f, _)| f);
+    let dp = solve_offline(inst, budget).unwrap();
+    match (brute, &dp) {
+        (None, None) => {}
+        (Some(bf), Some(sol)) => {
+            assert_eq!(
+                sol.flow, bf,
+                "{label}: DP flow {} != brute {} on {:?} (budget {budget})",
+                sol.flow, bf, inst
+            );
+            // The reconstructed schedule must be feasible, within budget, and
+            // have exactly the DP's flow.
+            check_schedule(inst, &sol.schedule).unwrap_or_else(|e| {
+                panic!("{label}: infeasible reconstruction on {:?}: {e}", inst)
+            });
+            assert!(sol.schedule.calibration_count() <= budget);
+            assert_eq!(sol.schedule.total_weighted_flow(inst), sol.flow, "{label}: {inst:?}");
+        }
+        (b, d) => panic!(
+            "{label}: feasibility disagreement on {:?} (budget {budget}): brute {:?}, dp {:?}",
+            inst,
+            b,
+            d.as_ref().map(|s| s.flow)
+        ),
+    }
+}
+
+#[test]
+fn dp_matches_brute_unweighted_small() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..400 {
+        let n = rng.gen_range(1..=7);
+        let t = rng.gen_range(1..=4);
+        let inst = random_instance(&mut rng, n, 14, 1, t);
+        for budget in 1..=n.min(4) {
+            assert_dp_matches_brute(&inst, budget, &format!("unweighted case {case}"));
+        }
+    }
+}
+
+#[test]
+fn dp_matches_brute_weighted_small() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for case in 0..400 {
+        let n = rng.gen_range(1..=7);
+        let t = rng.gen_range(1..=4);
+        let inst = random_instance(&mut rng, n, 14, 9, t);
+        for budget in 1..=n.min(4) {
+            assert_dp_matches_brute(&inst, budget, &format!("weighted case {case}"));
+        }
+    }
+}
+
+#[test]
+fn dp_matches_brute_tight_releases() {
+    // Dense releases (0..n shifted) force heavy interval interaction.
+    let mut rng = StdRng::seed_from_u64(303);
+    for case in 0..200 {
+        let n = rng.gen_range(2..=8);
+        let t = rng.gen_range(1..=5);
+        let inst = random_instance(&mut rng, n, n as i64 + 1, 5, t);
+        for budget in 1..=n.min(5) {
+            assert_dp_matches_brute(&inst, budget, &format!("dense case {case}"));
+        }
+    }
+}
+
+#[test]
+fn dp_matches_brute_extreme_weights() {
+    // Weight ratios up to 10^6 stress the rank ordering.
+    let mut rng = StdRng::seed_from_u64(404);
+    for case in 0..120 {
+        let n = rng.gen_range(2..=6);
+        let t = rng.gen_range(2..=4);
+        let mut inst = random_instance(&mut rng, n, 12, 1, t);
+        // Re-weight with exponential spread.
+        let jobs: Vec<Job> = inst
+            .jobs()
+            .iter()
+            .map(|j| Job::new(j.id.0, j.release, 10u64.pow(rng.gen_range(0..=6))))
+            .collect();
+        inst = Instance::single_machine(jobs, t).unwrap();
+        for budget in 1..=n.min(3) {
+            assert_dp_matches_brute(&inst, budget, &format!("extreme case {case}"));
+        }
+    }
+}
+
+#[test]
+fn dp_larger_budget_never_worse() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..60 {
+        let n = rng.gen_range(2..=9);
+        let t = rng.gen_range(1..=4);
+        let inst = random_instance(&mut rng, n, 20, 7, t);
+        let mut last = Cost::MAX;
+        for budget in 1..=n {
+            if let Some(sol) = solve_offline(&inst, budget).unwrap() {
+                assert!(sol.flow <= last);
+                last = sol.flow;
+            }
+        }
+        // Budget n always suffices on one machine.
+        assert!(last < Cost::MAX);
+    }
+}

@@ -1,0 +1,627 @@
+//! The time-stepped online simulation engine.
+//!
+//! The engine owns the clock, the arrival stream, the waiting queue, the
+//! machines (coverage + reservations), and the materialization of jobs into
+//! calibrated slots; the [`OnlineScheduler`] it drives only decides when to
+//! calibrate. Dead stretches of time are skipped: the engine advances
+//! directly to the next release, the next usable calibrated slot, or the
+//! scheduler's self-reported wake-up time, whichever comes first — so a run
+//! costs `O(events)`, not `O(horizon)`.
+
+use std::collections::BTreeMap;
+
+use calib_core::{
+    check_schedule, Assignment, Calibration, Cost, Instance, Job, JobId, MachineId, Schedule, Time,
+};
+
+use crate::scheduler::{Decision, OnlineScheduler};
+
+/// Per-machine live state.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    /// Merged calibrated segments `[start, end)`, ascending. Calibrations
+    /// are only ever added at the current time, so pushes are in order.
+    coverage: Vec<(Time, Time)>,
+    /// Slots strictly before this are consumed (a job ran or time passed).
+    used_until: Time,
+    /// Future pre-placed jobs (Algorithm 3 step 13), with the index of the
+    /// interval (into the engine's interval list) they were reserved into —
+    /// `None` when the reservation was issued without a calibration in the
+    /// same decision.
+    reservations: BTreeMap<Time, (JobId, Option<usize>)>,
+}
+
+impl MachineState {
+    fn new() -> Self {
+        MachineState { coverage: Vec::new(), used_until: Time::MIN, reservations: BTreeMap::new() }
+    }
+
+    /// Is slot `t` calibrated on this machine?
+    pub fn covers(&self, t: Time) -> bool {
+        match self.coverage.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+            Some(i) => t < self.coverage[i].1,
+            None => false,
+        }
+    }
+
+    /// First calibrated slot `>= from` that has not been consumed.
+    pub fn next_usable(&self, from: Time) -> Option<Time> {
+        let from = from.max(self.used_until);
+        let i = self.coverage.partition_point(|&(_, e)| e <= from);
+        let &(b, _) = self.coverage.get(i)?;
+        Some(b.max(from))
+    }
+
+    /// The machine's merged calibrated segments.
+    pub fn coverage(&self) -> &[(Time, Time)] {
+        &self.coverage
+    }
+
+    /// Reserved (future or current) slots: `slot -> (job, interval index)`.
+    pub fn reservations(&self) -> &BTreeMap<Time, (JobId, Option<usize>)> {
+        &self.reservations
+    }
+
+    /// Slots strictly before this time are consumed.
+    pub fn used_until(&self) -> Time {
+        self.used_until
+    }
+
+    /// If `t` is calibrated, the first uncovered step after it (the end of
+    /// the covering segment) — schedulers whose rules test "is the current
+    /// step calibrated" change behaviour exactly there, so the engine treats
+    /// coverage expiry as a wake-up event.
+    pub fn coverage_end_after(&self, t: Time) -> Option<Time> {
+        match self.coverage.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+            Some(i) if t < self.coverage[i].1 => Some(self.coverage[i].1),
+            _ => None,
+        }
+    }
+
+    /// Slots in `[from, upto)` that would be free if a calibration covering
+    /// them were added now (i.e. unconsumed and unreserved, ignoring
+    /// coverage). Algorithm 3 uses this to plan reservations for an interval
+    /// it is *about* to open.
+    pub fn plannable_slots_in(&self, from: Time, upto: Time, limit: usize) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut t = from.max(self.used_until);
+        while t < upto && out.len() < limit {
+            if !self.reservations.contains_key(&t) {
+                out.push(t);
+            }
+            t += 1;
+        }
+        out
+    }
+
+    /// Is slot `t` free for a new reservation or auto-assignment?
+    pub fn slot_free(&self, t: Time) -> bool {
+        self.covers(t) && t >= self.used_until && !self.reservations.contains_key(&t)
+    }
+
+    /// Up to `limit` free calibrated slots in `[from, upto)`, ascending —
+    /// what Algorithm 3 reserves into a freshly calibrated interval.
+    pub fn free_slots_in(&self, from: Time, upto: Time, limit: usize) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < upto && out.len() < limit {
+            if self.slot_free(t) {
+                out.push(t);
+            }
+            t += 1;
+        }
+        out
+    }
+
+    fn add_calibration(&mut self, start: Time, cal_len: Time) {
+        let (b, e) = (start, start + cal_len);
+        match self.coverage.last_mut() {
+            Some(last) if b <= last.1 => last.1 = last.1.max(e),
+            _ => {
+                debug_assert!(self.coverage.last().is_none_or(|&(_, le)| le < b));
+                self.coverage.push((b, e));
+            }
+        }
+    }
+}
+
+/// A live record of one interval (calibration) and the jobs it ran —
+/// exposed to schedulers because Algorithm 1's immediate-calibration rule
+/// inspects "the total flow of jobs in the most recent calibration".
+#[derive(Debug, Clone)]
+pub struct IntervalRecord {
+    /// The machine the interval lives on.
+    pub machine: MachineId,
+    /// The calibration time.
+    pub start: Time,
+    /// Jobs run in this interval, with their slots.
+    pub jobs: Vec<(Job, Time)>,
+}
+
+impl IntervalRecord {
+    /// Total weighted flow of the jobs run in this interval so far.
+    pub fn total_flow(&self) -> Cost {
+        self.jobs.iter().map(|(j, slot)| j.flow_if_started(*slot)).sum()
+    }
+}
+
+/// Read-only view handed to schedulers at every decision point.
+pub struct EngineView<'a> {
+    /// Current time step.
+    pub t: Time,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Number of machines `P`.
+    pub machines: &'a [MachineState],
+    /// Waiting (released, unscheduled, unreserved) jobs in `(release, id)`
+    /// order.
+    pub waiting: &'a [Job],
+    /// All intervals calibrated so far, in calibration order.
+    pub intervals: &'a [IntervalRecord],
+    /// The machine the next calibration would go to (round-robin pointer).
+    pub next_rr_machine: MachineId,
+    /// Did at least one job arrive exactly at `t`?
+    pub arrived_now: bool,
+}
+
+impl EngineView<'_> {
+    /// Is slot `t` calibrated on machine `m`?
+    pub fn is_calibrated(&self, m: MachineId) -> bool {
+        self.machines[m.index()].covers(self.t)
+    }
+
+    /// Is the current step calibrated on *any* machine? (The single-machine
+    /// algorithms' "if t is not calibrated" test.)
+    pub fn any_calibrated(&self) -> bool {
+        self.machines.iter().any(|m| m.covers(self.t))
+    }
+
+    /// Total weight of the waiting queue.
+    pub fn queue_weight(&self) -> Cost {
+        self.waiting.iter().map(|j| j.weight as Cost).sum()
+    }
+
+    /// The paper's `f`: flow cost of scheduling all waiting jobs
+    /// back-to-back starting at `t + 1`, in release order.
+    pub fn queue_flow_from_next_step(&self) -> Cost {
+        calib_core::flow_if_run_consecutively(self.waiting, self.t + 1)
+    }
+
+    /// The most recent interval (by calibration order), if any.
+    pub fn last_interval(&self) -> Option<&IntervalRecord> {
+        self.intervals.last()
+    }
+}
+
+/// Outcome of an online run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The produced schedule (already validated against the instance).
+    pub schedule: Schedule,
+    /// Total weighted flow.
+    pub flow: Cost,
+    /// Number of calibrations.
+    pub calibrations: usize,
+    /// Online objective `G·C + flow`.
+    pub cost: Cost,
+    /// Per-interval job records.
+    pub intervals: Vec<IntervalRecord>,
+    /// Calibration trigger labels `(time, reason)`, in order.
+    pub trace: Vec<(Time, &'static str)>,
+}
+
+/// Engine configuration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Safety fuel: maximum number of *active* steps (steps where the engine
+    /// does any work). Exceeding it indicates a non-terminating scheduler.
+    pub max_steps: u64,
+    /// Maximum decide iterations per phase per step (Algorithm 3's `while`
+    /// loop must terminate well before this).
+    pub max_decides_per_step: u32,
+    /// When `false`, the clock advances one step at a time instead of
+    /// jumping to the next event. Semantically identical (the differential
+    /// property tests prove it) but `O(horizon)`; exists purely to validate
+    /// the event-skipping logic.
+    pub time_skip: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_steps: 50_000_000, max_decides_per_step: 4096, time_skip: true }
+    }
+}
+
+impl EngineConfig {
+    /// The validation configuration: step every slot, no skipping.
+    pub fn no_skip() -> Self {
+        EngineConfig { time_skip: false, ..Default::default() }
+    }
+}
+
+/// Runs `scheduler` on `instance` with calibration cost `cal_cost`,
+/// returning the schedule and its costs. Panics if the scheduler violates an
+/// engine invariant (bad reservation, runaway decide loop) or fails to
+/// schedule all jobs within the fuel limit — an online algorithm must always
+/// make progress.
+pub fn run_online(
+    instance: &Instance,
+    cal_cost: Cost,
+    scheduler: &mut dyn OnlineScheduler,
+) -> RunResult {
+    run_online_with(instance, cal_cost, scheduler, EngineConfig::default())
+}
+
+/// [`run_online`] with explicit [`EngineConfig`].
+pub fn run_online_with(
+    instance: &Instance,
+    cal_cost: Cost,
+    scheduler: &mut dyn OnlineScheduler,
+    config: EngineConfig,
+) -> RunResult {
+    let mut engine = Engine::new(instance, cal_cost, config);
+    engine.run(scheduler);
+    engine.finish(instance, cal_cost)
+}
+
+struct Engine<'a> {
+    cal_len: Time,
+    cal_cost: Cost,
+    jobs: &'a [Job],
+    next_job: usize,
+    waiting: Vec<Job>,
+    machines: Vec<MachineState>,
+    intervals: Vec<IntervalRecord>,
+    /// Map from global interval index per machine for slot->interval lookup.
+    machine_intervals: Vec<Vec<usize>>,
+    rr_next: usize,
+    calibrations: Vec<Calibration>,
+    assignments: Vec<Assignment>,
+    trace: Vec<(Time, &'static str)>,
+    pending_reservations: usize,
+    config: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    fn new(instance: &'a Instance, cal_cost: Cost, config: EngineConfig) -> Self {
+        let p = instance.machines();
+        Engine {
+            cal_len: instance.cal_len(),
+            cal_cost,
+            jobs: instance.jobs(),
+            next_job: 0,
+            waiting: Vec::new(),
+            machines: vec![MachineState::new(); p],
+            intervals: Vec::new(),
+            machine_intervals: vec![Vec::new(); p],
+            rr_next: 0,
+            calibrations: Vec::new(),
+            assignments: Vec::new(),
+            trace: Vec::new(),
+            pending_reservations: 0,
+            config,
+        }
+    }
+
+    fn view(&self, t: Time, arrived_now: bool) -> EngineView<'_> {
+        EngineView {
+            t,
+            cal_len: self.cal_len,
+            cal_cost: self.cal_cost,
+            machines: &self.machines,
+            waiting: &self.waiting,
+            intervals: &self.intervals,
+            next_rr_machine: MachineId((self.rr_next % self.machines.len()) as u32),
+            arrived_now,
+        }
+    }
+
+    fn run(&mut self, scheduler: &mut dyn OnlineScheduler) {
+        let mut t = match self.jobs.first() {
+            Some(j) => j.release,
+            None => return,
+        };
+        let mut fuel = self.config.max_steps;
+
+        loop {
+            fuel = fuel.checked_sub(1).unwrap_or_else(|| {
+                panic!("engine fuel exhausted at t={t}: scheduler makes no progress")
+            });
+
+            // 1. Arrivals.
+            let mut arrived_now = false;
+            while self.next_job < self.jobs.len() && self.jobs[self.next_job].release <= t {
+                arrived_now |= self.jobs[self.next_job].release == t;
+                self.waiting.push(self.jobs[self.next_job]);
+                self.next_job += 1;
+            }
+
+            // 2. Early decisions (Algorithms 1 & 2).
+            self.decide_loop(t, arrived_now, scheduler, /*early=*/ true);
+
+            // 3. Serve the current slot: reservations first, then auto.
+            self.materialize(t, Some(scheduler.auto_policy()));
+
+            // 4. Late decisions (Algorithm 3); reservations for slot `t`
+            //    itself are placed immediately, but no extra auto-assignment
+            //    happens this step (the paper's lines 6–9 already ran).
+            self.decide_loop(t, arrived_now, scheduler, /*early=*/ false);
+            self.materialize(t, None);
+
+            // Done?
+            if self.waiting.is_empty()
+                && self.next_job >= self.jobs.len()
+                && self.pending_reservations == 0
+            {
+                return;
+            }
+
+            // 5. Advance the clock to the next event.
+            if !self.config.time_skip {
+                t += 1;
+                continue;
+            }
+            let mut next: Option<Time> = None;
+            let mut consider = |c: Option<Time>| {
+                if let Some(c) = c {
+                    if c > t {
+                        next = Some(next.map_or(c, |n: Time| n.min(c)));
+                    }
+                }
+            };
+            if self.next_job < self.jobs.len() {
+                consider(Some(self.jobs[self.next_job].release));
+            }
+            if !self.waiting.is_empty() || self.pending_reservations > 0 {
+                for m in &self.machines {
+                    consider(m.next_usable(t + 1));
+                    // Threshold rules flip when coverage expires.
+                    consider(m.coverage_end_after(t));
+                }
+            }
+            consider(scheduler.next_wake(&self.view(t, false)).map(|w| w.max(t + 1)));
+
+            match next {
+                Some(n) => t = n,
+                None => {
+                    // No event in sight but work remains: step once (covers
+                    // schedulers without wake hints); fuel bounds the spin.
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    fn decide_loop(
+        &mut self,
+        t: Time,
+        arrived_now: bool,
+        scheduler: &mut dyn OnlineScheduler,
+        early: bool,
+    ) {
+        for _ in 0..self.config.max_decides_per_step {
+            let view = self.view(t, arrived_now);
+            let decision = if early {
+                scheduler.decide_early(&view)
+            } else {
+                scheduler.decide_late(&view)
+            };
+            if decision.is_none() {
+                return;
+            }
+            self.apply(t, decision);
+        }
+        panic!("decide loop did not converge at t={t}");
+    }
+
+    fn apply(&mut self, t: Time, decision: Decision) {
+        let p = self.machines.len();
+        let mut decision_interval: Option<usize> = None;
+        for _ in 0..decision.calibrate {
+            let m = self.rr_next % p;
+            self.rr_next += 1;
+            self.machines[m].add_calibration(t, self.cal_len);
+            self.calibrations.push(Calibration { machine: MachineId(m as u32), start: t });
+            self.machine_intervals[m].push(self.intervals.len());
+            decision_interval = Some(self.intervals.len());
+            self.intervals.push(IntervalRecord {
+                machine: MachineId(m as u32),
+                start: t,
+                jobs: Vec::new(),
+            });
+            self.trace.push((t, decision.reason.unwrap_or("calibrate")));
+        }
+        for r in decision.reserve {
+            let ms = &mut self.machines[r.machine.index()];
+            assert!(r.slot >= t, "reservation in the past: {r:?} at t={t}");
+            assert!(ms.slot_free(r.slot), "reserved slot not free: {r:?} at t={t}");
+            let pos = self
+                .waiting
+                .iter()
+                .position(|j| j.id == r.job)
+                .unwrap_or_else(|| panic!("reserved job {} is not waiting", r.job));
+            let job = self.waiting.remove(pos);
+            debug_assert!(job.release <= r.slot);
+            ms.reservations.insert(r.slot, (job.id, decision_interval));
+            self.pending_reservations += 1;
+        }
+    }
+
+    /// Serves slot `t` on every machine: a reservation if present, else (when
+    /// `auto` is set) the best waiting job under the policy.
+    fn materialize(&mut self, t: Time, auto: Option<calib_core::PriorityPolicy>) {
+        for m in 0..self.machines.len() {
+            if !self.machines[m].covers(t) || t < self.machines[m].used_until {
+                continue;
+            }
+            let (job, reserved_into) =
+                if let Some((id, iv)) = self.machines[m].reservations.remove(&t) {
+                    self.pending_reservations -= 1;
+                    // Reserved jobs were removed from `waiting` at reservation
+                    // time; find the Job in the instance stream.
+                    let job = *self
+                        .jobs
+                        .iter()
+                        .find(|j| j.id == id)
+                        .expect("reserved job exists");
+                    (Some(job), iv)
+                } else if let Some(policy) = auto {
+                    (self.pop_waiting(policy), None)
+                } else {
+                    (None, None)
+                };
+            if let Some(job) = job {
+                self.assignments.push(Assignment::new(job.id, t, MachineId(m as u32)));
+                self.machines[m].used_until = t + 1;
+                // A reserved job belongs to the interval that reserved it
+                // (overlapping same-machine intervals make "latest covering"
+                // ambiguous); auto-scheduled jobs go to the latest covering
+                // interval.
+                let iv = reserved_into.or_else(|| {
+                    self.machine_intervals[m]
+                        .iter()
+                        .rev()
+                        .find(|&&iv| {
+                            self.intervals[iv].start <= t
+                                && t < self.intervals[iv].start + self.cal_len
+                        })
+                        .copied()
+                });
+                if let Some(iv) = iv {
+                    self.intervals[iv].jobs.push((job, t));
+                }
+            }
+        }
+    }
+
+    fn pop_waiting(&mut self, policy: calib_core::PriorityPolicy) -> Option<Job> {
+        // Small queues in practice; a linear argmin keeps `waiting` a plain
+        // release-ordered Vec for the scheduler view.
+        let best = self
+            .waiting
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, j)| policy.sort_key(j))
+            .map(|(i, _)| i)?;
+        Some(self.waiting.remove(best))
+    }
+
+    fn finish(self, instance: &Instance, cal_cost: Cost) -> RunResult {
+        let schedule = Schedule::new(self.calibrations, self.assignments);
+        if let Err(e) = check_schedule(instance, &schedule) {
+            panic!("online engine produced an infeasible schedule: {e}");
+        }
+        let flow = schedule.total_weighted_flow(instance);
+        let calibrations = schedule.calibration_count();
+        RunResult {
+            cost: cal_cost * calibrations as Cost + flow,
+            flow,
+            calibrations,
+            schedule,
+            intervals: self.intervals,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Reservation;
+    use calib_core::InstanceBuilder;
+
+    /// A scheduler that never calibrates: the engine must detect the lack of
+    /// progress via its fuel guard instead of spinning forever.
+    struct NeverCalibrates;
+    impl OnlineScheduler for NeverCalibrates {
+        fn name(&self) -> String {
+            "NeverCalibrates".into()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fuel exhausted")]
+    fn fuel_guard_catches_stuck_schedulers() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
+        let config = EngineConfig { max_steps: 100, ..Default::default() };
+        run_online_with(&inst, 5, &mut NeverCalibrates, config);
+    }
+
+    /// A scheduler that calibrates forever in one step: the decide-loop cap
+    /// must fire.
+    struct CalibratesForever;
+    impl OnlineScheduler for CalibratesForever {
+        fn name(&self) -> String {
+            "CalibratesForever".into()
+        }
+        fn decide_early(&mut self, _view: &EngineView) -> Decision {
+            Decision::calibrate("forever")
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decide loop did not converge")]
+    fn decide_loop_cap_fires() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
+        let config = EngineConfig { max_decides_per_step: 8, ..Default::default() };
+        run_online_with(&inst, 5, &mut CalibratesForever, config);
+    }
+
+    /// Reserving a slot that is not free is a scheduler bug the engine
+    /// reports loudly.
+    struct BadReserver;
+    impl OnlineScheduler for BadReserver {
+        fn name(&self) -> String {
+            "BadReserver".into()
+        }
+        fn decide_late(&mut self, view: &EngineView) -> Decision {
+            if view.waiting.is_empty() {
+                return Decision::none();
+            }
+            Decision {
+                calibrate: 1,
+                // Slot in the past relative to t: invalid.
+                reserve: vec![Reservation {
+                    job: view.waiting[0].id,
+                    machine: calib_core::MachineId(0),
+                    slot: view.t - 1,
+                }],
+                reason: Some("bad"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation in the past")]
+    fn past_reservations_rejected() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
+        run_online(&inst, 5, &mut BadReserver);
+    }
+
+    #[test]
+    fn machine_state_slot_queries() {
+        let mut ms = MachineState::new();
+        assert!(!ms.covers(0));
+        assert_eq!(ms.next_usable(0), None);
+        assert_eq!(ms.coverage_end_after(0), None);
+        ms.add_calibration(5, 3);
+        assert!(ms.covers(5) && ms.covers(7) && !ms.covers(8));
+        assert_eq!(ms.next_usable(0), Some(5));
+        assert_eq!(ms.coverage_end_after(6), Some(8));
+        assert!(ms.slot_free(6));
+        // Adjacent calibration extends the segment.
+        ms.add_calibration(8, 3);
+        assert_eq!(ms.coverage(), &[(5, 11)]);
+        assert_eq!(ms.plannable_slots_in(5, 9, 10), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn empty_instance_returns_immediately() {
+        let inst = InstanceBuilder::new(3).build().unwrap();
+        let res = run_online(&inst, 5, &mut crate::Alg1::new());
+        assert_eq!(res.cost, 0);
+        assert!(res.schedule.assignments.is_empty());
+    }
+}

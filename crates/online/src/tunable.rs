@@ -1,0 +1,269 @@
+//! A generalized threshold scheduler for sensitivity studies (experiment
+//! E11): every constant in Algorithms 1–2 becomes a tunable rational
+//! multiplier, so the benches can ask *how much the paper's specific
+//! choices matter*.
+//!
+//! With all knobs at their defaults this reproduces Algorithm 2 exactly
+//! (weighted) or Algorithm 1 without the immediate rule (unweighted); the
+//! immediate rule has its own knob.
+//!
+//! All threshold tests stay in exact integer arithmetic: a multiplier
+//! `num/den` turns `x ≥ G/T` into `x · T · den ≥ num · G`.
+
+use calib_core::{earliest_flow_crossing, Cost, PriorityPolicy, Time};
+
+use crate::engine::EngineView;
+use crate::scheduler::{Decision, OnlineScheduler};
+
+/// An exact rational multiplier `num/den`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u32,
+    /// Denominator (positive).
+    pub den: u32,
+}
+
+impl Ratio {
+    /// The multiplier `1` — the paper's own constants.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds `num/den`; panics on a zero denominator.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den > 0, "ratio denominator must be positive");
+        Ratio { num, den }
+    }
+
+    /// `value ≥ self · bound`, exactly.
+    #[inline]
+    pub fn le_scaled(&self, value: Cost, bound: Cost) -> bool {
+        value * self.den as Cost >= bound * self.num as Cost
+    }
+
+    /// The multiplier as a float (display only; decisions stay integral).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+/// Tunable thresholds. Defaults reproduce Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Calibrate when `Σ w(Q) ≥ weight_factor · G/T`.
+    pub weight_factor: Ratio,
+    /// Calibrate when the hypothetical queue flow `f ≥ flow_factor · G`.
+    pub flow_factor: Ratio,
+    /// Calibrate when `|Q| ≥ T` (Algorithm 2's full-queue rule).
+    pub full_queue_rule: bool,
+    /// Algorithm 1's immediate rule: after an interval with flow
+    /// `< G / immediate_divisor`, calibrate on the next arrival.
+    /// `None` disables it.
+    pub immediate_divisor: Option<u32>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            weight_factor: Ratio::ONE,
+            flow_factor: Ratio::ONE,
+            full_queue_rule: true,
+            immediate_divisor: None,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Algorithm 1's configuration (unweighted; the weight rule coincides
+    /// with the queue-size rule on unit weights).
+    pub fn alg1() -> Self {
+        Thresholds {
+            full_queue_rule: false,
+            immediate_divisor: Some(2),
+            ..Default::default()
+        }
+    }
+
+    /// Algorithm 2's configuration.
+    pub fn alg2() -> Self {
+        Thresholds::default()
+    }
+}
+
+/// The tunable single-machine scheduler.
+#[derive(Debug, Clone)]
+pub struct TunableScheduler {
+    /// The threshold configuration.
+    pub thresholds: Thresholds,
+    /// Job-service policy (heaviest-first by default).
+    pub policy: PriorityPolicy,
+    label: String,
+}
+
+impl TunableScheduler {
+    /// A scheduler with the given thresholds and heaviest-first service.
+    pub fn new(thresholds: Thresholds) -> Self {
+        let label = format!(
+            "Tunable(w×{:.2},f×{:.2},fq={},imm={:?})",
+            thresholds.weight_factor.as_f64(),
+            thresholds.flow_factor.as_f64(),
+            thresholds.full_queue_rule,
+            thresholds.immediate_divisor,
+        );
+        TunableScheduler {
+            thresholds,
+            policy: PriorityPolicy::HighestWeightFirst,
+            label,
+        }
+    }
+
+    fn queue_flow(&self, view: &EngineView) -> Cost {
+        let mut q = view.waiting.to_vec();
+        q.sort_by_key(|j| self.policy.sort_key(j));
+        calib_core::flow_if_run_consecutively(&q, view.t + 1)
+    }
+}
+
+/// Trigger labels.
+pub mod reason {
+    /// Scaled weight rule fired.
+    pub const WEIGHT: &str = "tunable:weight";
+    /// Full-queue rule fired.
+    pub const FULL_QUEUE: &str = "tunable:|Q|=T";
+    /// Scaled flow rule fired.
+    pub const FLOW: &str = "tunable:flow";
+    /// Immediate-calibration rule fired.
+    pub const IMMEDIATE: &str = "tunable:immediate";
+}
+
+impl OnlineScheduler for TunableScheduler {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn auto_policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+
+    fn decide_early(&mut self, view: &EngineView) -> Decision {
+        debug_assert_eq!(view.machines.len(), 1, "tunable scheduler is single-machine");
+        if view.any_calibrated() || view.waiting.is_empty() {
+            return Decision::none();
+        }
+        let g = view.cal_cost;
+        let th = &self.thresholds;
+
+        // Σ w(Q) ≥ factor · G/T  ⇔  Σw · T · den ≥ num · G.
+        let scaled_weight = view.queue_weight() * view.cal_len as Cost;
+        if th.weight_factor.le_scaled(scaled_weight, g) {
+            return Decision::calibrate(reason::WEIGHT);
+        }
+        if th.full_queue_rule && view.waiting.len() as Time >= view.cal_len {
+            return Decision::calibrate(reason::FULL_QUEUE);
+        }
+        if th.flow_factor.le_scaled(self.queue_flow(view), g) {
+            return Decision::calibrate(reason::FLOW);
+        }
+        if let Some(div) = th.immediate_divisor {
+            if view.arrived_now {
+                if let Some(last) = view.last_interval() {
+                    if last.total_flow() * (div as Cost) < g {
+                        return Decision::calibrate(reason::IMMEDIATE);
+                    }
+                }
+            }
+        }
+        Decision::none()
+    }
+
+    fn next_wake(&self, view: &EngineView) -> Option<Time> {
+        if view.waiting.is_empty() {
+            return None;
+        }
+        // Solve f ≥ (num/den)·G exactly: f·den ≥ num·G. The queue flow in
+        // policy order has the same slope as release order, so crossing
+        // computation over the scaled threshold is exact when den divides…
+        // keep it simple and exact: threshold' = ceil(num·G / den).
+        let th = self.thresholds.flow_factor;
+        let threshold = (th.num as Cost * view.cal_cost).div_ceil(th.den as Cost);
+        let mut q = view.waiting.to_vec();
+        q.sort_by_key(|j| self.policy.sort_key(j));
+        earliest_flow_crossing(&q, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_online;
+    use crate::{Alg1, Alg2};
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn default_thresholds_reproduce_alg2() {
+        let inst = InstanceBuilder::new(4)
+            .job(0, 2)
+            .job(1, 7)
+            .job(5, 1)
+            .job(9, 3)
+            .job(14, 1)
+            .build()
+            .unwrap();
+        for g in [2u128, 9, 30, 100] {
+            let a = run_online(&inst, g, &mut Alg2::new());
+            let t = run_online(&inst, g, &mut TunableScheduler::new(Thresholds::alg2()));
+            assert_eq!(a.schedule, t.schedule, "G={g}");
+            assert_eq!(a.cost, t.cost);
+        }
+    }
+
+    #[test]
+    fn alg1_preset_reproduces_alg1_on_unit_weights() {
+        let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 5, 9, 14, 15]).build().unwrap();
+        for g in [2u128, 9, 30] {
+            let a = run_online(&inst, g, &mut Alg1::new());
+            let mut tun = TunableScheduler::new(Thresholds::alg1());
+            // Alg1 schedules earliest-release first; identical to
+            // heaviest-first on unit weights except tie-breaks, which
+            // release order also resolves identically. Use the same policy
+            // to compare bit-for-bit.
+            tun.policy = PriorityPolicy::EarliestReleaseFirst;
+            let t = run_online(&inst, g, &mut tun);
+            assert_eq!(a.schedule, t.schedule, "G={g}");
+        }
+    }
+
+    #[test]
+    fn eager_multiplier_calibrates_sooner() {
+        let inst = InstanceBuilder::new(4).job(0, 1).build().unwrap();
+        let g = 40u128;
+        // flow×1: waits for f >= 40; flow×1/4: calibrates at f >= 10.
+        let lazy = run_online(
+            &inst,
+            g,
+            &mut TunableScheduler::new(Thresholds {
+                full_queue_rule: false,
+                ..Thresholds::default()
+            }),
+        );
+        let eager = run_online(
+            &inst,
+            g,
+            &mut TunableScheduler::new(Thresholds {
+                flow_factor: Ratio::new(1, 4),
+                full_queue_rule: false,
+                ..Thresholds::default()
+            }),
+        );
+        assert!(eager.trace[0].0 < lazy.trace[0].0);
+        assert!(eager.flow < lazy.flow);
+    }
+
+    #[test]
+    fn ratio_arithmetic_is_exact() {
+        let r = Ratio::new(3, 2);
+        // value >= 1.5 * bound
+        assert!(r.le_scaled(3, 2));
+        assert!(!r.le_scaled(2, 2));
+        assert!((Ratio::new(1, 4).as_f64() - 0.25).abs() < 1e-12);
+    }
+}

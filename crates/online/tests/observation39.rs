@@ -1,0 +1,121 @@
+//! Observation 3.9 — structural invariants of Algorithm 3's intervals,
+//! checked over randomized multi-machine runs:
+//!
+//! * the total flow of all jobs in any interval is at most `3G`;
+//! * an interval opened by the *flow* trigger (`f ≥ G`) carries total flow
+//!   at least `G − G/T` (its whole queue is reserved into it, since a
+//!   flow-only trigger implies `|Q| < G/T ≤` the reservation quota).
+//!
+//! Trace entries are pushed in calibration order, so `trace[i]` labels
+//! `intervals[i]`.
+//!
+//! Both invariants presuppose the paper's main regime `G/T` comfortably
+//! above 1: for `G/T < 1` the paper notes the algorithms degenerate to
+//! schedule-on-arrival with a simplified analysis, and at the boundary
+//! `G ≈ T` (quota 1) the pseudocode's while-loop stacks fully overlapping
+//! same-time intervals whose per-interval accounting the proof glosses
+//! over. The tests therefore sample `G ≥ 2T`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::{Cost, Instance, Job};
+use calib_online::{alg3, run_online, Alg3};
+
+fn random_multi(rng: &mut StdRng, n: usize, span: i64, p: usize, t: i64) -> Instance {
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| Job::unweighted(i as u32, rng.gen_range(0..=span)))
+        .collect();
+    Instance::new(jobs, p, t).unwrap()
+}
+
+#[test]
+fn interval_flow_at_most_3g() {
+    let mut rng = StdRng::seed_from_u64(390);
+    for _ in 0..150 {
+        let n = rng.gen_range(2..=25);
+        let p = rng.gen_range(1..=3);
+        let t = rng.gen_range(2..=8);
+        let span = rng.gen_range(1..=3 * n as i64);
+        let inst = random_multi(&mut rng, n, span, p, t);
+        for g in [2 * t as Cost, 4 * t as Cost + 1, 90] {
+            if g < 2 * t as Cost {
+                continue;
+            }
+            let res = run_online(&inst, g, &mut Alg3::new());
+            for (idx, interval) in res.intervals.iter().enumerate() {
+                let flow = interval.total_flow();
+                assert!(
+                    flow <= 3 * g,
+                    "Observation 3.9 violated: interval {idx} at t={} has flow {flow} > 3G={} \
+                     (G={g}, T={t}, P={p}) on {inst:?}",
+                    interval.start,
+                    3 * g
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flow_triggered_intervals_carry_at_least_g_minus_g_over_t() {
+    let mut rng = StdRng::seed_from_u64(391);
+    let mut checked = 0u32;
+    for _ in 0..200 {
+        let n = rng.gen_range(2..=25);
+        let p = rng.gen_range(1..=3);
+        let t = rng.gen_range(2..=8);
+        let span = rng.gen_range(1..=3 * n as i64);
+        let inst = random_multi(&mut rng, n, span, p, t);
+        for g in [9u128, 30, 100] {
+            // The lower bound reasons "all queued jobs land in this
+            // interval", which needs the quota G/T to fit the interval's T
+            // slots: 2T ≤ G ≤ T².
+            if g < 2 * t as Cost || g > (t * t) as Cost {
+                continue;
+            }
+            let res = run_online(&inst, g, &mut Alg3::new());
+            assert_eq!(res.trace.len(), res.intervals.len());
+            let quota = (g / t as Cost).max(1) as usize;
+            for (i, (interval, &(trig_t, reason))) in
+                res.intervals.iter().zip(&res.trace).enumerate()
+            {
+                if reason != alg3::reason::FLOW {
+                    continue;
+                }
+                // The paper's accounting assumes the *whole* triggering
+                // queue lands in this interval. Observable proxy: (a) no
+                // same-step follow-up flow trigger, (b) the reservation was
+                // not truncated by the quota, and (c) the interval does not
+                // overlap an earlier interval on its machine (overlap eats
+                // reservable slots, truncating the reservation another way).
+                let followed = res
+                    .trace
+                    .get(i + 1)
+                    .is_some_and(|&(t2, r2)| t2 == trig_t && r2 == alg3::reason::FLOW);
+                let backlogged = interval
+                    .jobs
+                    .iter()
+                    .filter(|(j, _)| j.release <= interval.start)
+                    .count();
+                let overlapped = res.intervals[..i].iter().any(|prev| {
+                    prev.machine == interval.machine
+                        && prev.start + t > interval.start
+                });
+                if followed || backlogged >= quota || overlapped {
+                    continue;
+                }
+                checked += 1;
+                let flow: Cost = interval.total_flow();
+                // flow >= G - G/T  ⇔  flow·T >= G·T − G (exact integers).
+                assert!(
+                    flow * t as Cost >= g * t as Cost - g,
+                    "flow-triggered interval at t={} has flow {flow} < G - G/T \
+                     (G={g}, T={t}) on {inst:?}",
+                    interval.start
+                );
+            }
+        }
+    }
+    assert!(checked > 50, "too few flow-triggered intervals exercised: {checked}");
+}

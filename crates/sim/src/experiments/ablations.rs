@@ -1,0 +1,181 @@
+//! E10 — ablations of the paper's design choices:
+//!
+//! * **A1**: Algorithm 1 with/without the immediate-calibration rule
+//!   (lines 11–14);
+//! * **A2**: Algorithm 2 heaviest-first vs the literal pseudocode's
+//!   lightest-first extraction (DESIGN.md §5 note 1);
+//! * **A3**: Algorithm 3 spec assignment vs the "practical" Observation 2.1
+//!   re-assignment the paper recommends.
+//!
+//! Each row compares total online-objective cost over a workload mix; the
+//! reported ratio is `variant / default` (> 1 means the paper's default
+//! choice wins).
+
+use calib_core::{Cost, Time};
+use calib_online::{run_alg3_practical, run_online, Alg1, Alg2, Alg3};
+use calib_workloads::{make_instance, WeightModel};
+
+use crate::runner::run_parallel;
+use crate::table::{fmt_f, Table};
+
+use super::{default_families, Family};
+
+#[derive(Debug, Clone)]
+/// AblationConfig (see module docs).
+pub struct AblationConfig {
+    /// Workload families to sweep.
+    pub families: Vec<Family>,
+    /// Jobs per instance.
+    pub n: usize,
+    /// Calibration lengths `T` to sweep.
+    pub cal_lens: Vec<Time>,
+    /// Calibration costs `G` to sweep.
+    pub cal_costs: Vec<Cost>,
+    /// Instances per parameter cell.
+    pub seeds: u64,
+    /// Machines for the A3 ablation.
+    pub machines: usize,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            families: default_families(),
+            n: 40,
+            cal_lens: vec![3, 8],
+            cal_costs: vec![4, 24, 96],
+            seeds: 5,
+            machines: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// AblationRow (see module docs).
+pub struct AblationRow {
+    /// Which design choice is ablated.
+    pub ablation: &'static str,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Total cost with the paper default.
+    pub default_total: Cost,
+    /// Total cost with the ablated variant.
+    pub variant_total: Cost,
+}
+
+impl AblationRow {
+    /// `variant_total / default_total`.
+    pub fn ratio(&self) -> f64 {
+        self.variant_total as f64 / self.default_total.max(1) as f64
+    }
+}
+
+/// Runs the sweep and renders its table.
+pub fn run(cfg: &AblationConfig) -> (Vec<AblationRow>, Table) {
+    let mut points = Vec::new();
+    for &t in &cfg.cal_lens {
+        for &g in &cfg.cal_costs {
+            points.push((t, g));
+        }
+    }
+
+    let rows: Vec<Vec<AblationRow>> = run_parallel(points, None, |&(t, g)| {
+        let mut a1 = (0u128, 0u128);
+        let mut a2 = (0u128, 0u128);
+        let mut a3 = (0u128, 0u128);
+        for &fam in &cfg.families {
+            for seed in 0..cfg.seeds {
+                let s = seed * 131 + 7;
+                // A1: unweighted single machine.
+                let u = fam.instance(s, cfg.n, WeightModel::Unit, t);
+                a1.0 += run_online(&u, g, &mut Alg1::new()).cost;
+                a1.1 += run_online(&u, g, &mut Alg1::without_immediate_rule()).cost;
+                // A2: weighted single machine.
+                let w = fam.instance(s, cfg.n, WeightModel::Pareto { alpha: 1.2, cap: 64 }, t);
+                a2.0 += run_online(&w, g, &mut Alg2::new()).cost;
+                a2.1 += run_online(&w, g, &mut Alg2::lightest_first()).cost;
+                // A3: unweighted multi machine (collisions allowed).
+                let m = make_instance(
+                    fam.releases(s, cfg.n),
+                    WeightModel::Unit,
+                    s,
+                    cfg.machines,
+                    t,
+                );
+                a3.0 += run_alg3_practical(&m, g).cost;
+                a3.1 += run_online(&m, g, &mut Alg3::new()).cost;
+            }
+        }
+        vec![
+            AblationRow {
+                ablation: "A1 immediate-rule off",
+                cal_len: t,
+                cal_cost: g,
+                default_total: a1.0,
+                variant_total: a1.1,
+            },
+            AblationRow {
+                ablation: "A2 lightest-first",
+                cal_len: t,
+                cal_cost: g,
+                default_total: a2.0,
+                variant_total: a2.1,
+            },
+            AblationRow {
+                ablation: "A3 spec vs practical",
+                cal_len: t,
+                cal_cost: g,
+                default_total: a3.0,
+                variant_total: a3.1,
+            },
+        ]
+    });
+    let rows: Vec<AblationRow> = rows.into_iter().flatten().collect();
+
+    let mut table = Table::new(
+        "E10: design-choice ablations (ratio > 1 = paper default wins)",
+        &["ablation", "T", "G", "default cost", "variant cost", "variant/default"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.ablation.to_string(),
+            r.cal_len.to_string(),
+            r.cal_cost.to_string(),
+            r.default_total.to_string(),
+            r.variant_total.to_string(),
+            fmt_f(r.ratio()),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_runs_and_a2_default_wins() {
+        let cfg = AblationConfig {
+            families: vec![Family::Poisson { rate: 0.6 }],
+            n: 15,
+            cal_lens: vec![3],
+            cal_costs: vec![8],
+            seeds: 3,
+            machines: 2,
+        };
+        let (rows, table) = run(&cfg);
+        assert_eq!(rows.len(), 3);
+        let a2 = rows.iter().find(|r| r.ablation.starts_with("A2")).unwrap();
+        assert!(
+            a2.ratio() >= 1.0,
+            "heaviest-first should not lose to lightest-first: {}",
+            a2.ratio()
+        );
+        // A3: spec mode pays at least the practical mode's flow.
+        let a3 = rows.iter().find(|r| r.ablation.starts_with("A3")).unwrap();
+        assert!(a3.ratio() >= 1.0 - 1e-9);
+        assert!(table.render().contains("E10"));
+    }
+}

@@ -1,0 +1,123 @@
+//! E4 — the Lemma 3.1 lower bound in action: the adaptive adversary drives
+//! every online algorithm's ratio toward 2 as the parameters grow.
+//!
+//! Paper claim: no deterministic online algorithm is better than
+//! `(2 − o(1))`-competitive; branch 1 realizes `2 − 4/(G+3)` against eager
+//! algorithms and branch 2 realizes `2 − G/(T+G)` against patient ones.
+
+use calib_core::{Cost, Time};
+use calib_online::{play_lemma31, Alg1, AdversaryBranch, CalibrateImmediately, SkiRentalBatch};
+
+use crate::table::{fmt_f, Table};
+
+#[derive(Debug, Clone)]
+/// LowerBoundConfig (see module docs).
+pub struct LowerBoundConfig {
+    /// `(T, G)` points to probe, chosen so the o(1) term shrinks.
+    pub params: Vec<(Time, Cost)>,
+}
+
+impl Default for LowerBoundConfig {
+    fn default() -> Self {
+        LowerBoundConfig {
+            params: vec![
+                (4, 4),
+                (16, 8),
+                (64, 32),
+                (256, 128),
+                (1024, 512),
+                (4096, 2048),
+                (2, 64),
+                (2, 1024),
+                (2, 16384),
+            ],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// LowerBoundRow (see module docs).
+pub struct LowerBoundRow {
+    /// Algorithm under test.
+    pub algo: &'static str,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Adversary branch taken.
+    pub branch: AdversaryBranch,
+    /// Measured competitive ratio.
+    pub ratio: f64,
+}
+
+/// Runs the sweep and renders its table.
+pub fn run(cfg: &LowerBoundConfig) -> (Vec<LowerBoundRow>, Table) {
+    let mut rows: Vec<LowerBoundRow> = Vec::new();
+    for &(t, g) in &cfg.params {
+        let a1 = play_lemma31(t, g, Alg1::new);
+        rows.push(LowerBoundRow {
+            algo: "Alg1",
+            cal_len: t,
+            cal_cost: g,
+            branch: a1.branch,
+            ratio: a1.ratio(),
+        });
+        let eager = play_lemma31(t, g, || CalibrateImmediately);
+        rows.push(LowerBoundRow {
+            algo: "CalibrateImmediately",
+            cal_len: t,
+            cal_cost: g,
+            branch: eager.branch,
+            ratio: eager.ratio(),
+        });
+        let ski = play_lemma31(t, g, || SkiRentalBatch);
+        rows.push(LowerBoundRow {
+            algo: "SkiRentalBatch",
+            cal_len: t,
+            cal_cost: g,
+            branch: ski.branch,
+            ratio: ski.ratio(),
+        });
+    }
+
+    let mut table = Table::new(
+        "E4: Lemma 3.1 adversary (lower bound -> 2)",
+        &["algorithm", "T", "G", "branch", "ratio"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.algo.to_string(),
+            r.cal_len.to_string(),
+            r.cal_cost.to_string(),
+            format!("{:?}", r.branch),
+            fmt_f(r.ratio),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_ratios_climb_toward_two() {
+        let cfg = LowerBoundConfig {
+            params: vec![(2, 8), (2, 64), (2, 1024)],
+        };
+        let (rows, _) = run(&cfg);
+        // The eager baseline takes branch 1 whose ratio 2 - 4/(G+3)
+        // increases with G.
+        let eager: Vec<&LowerBoundRow> =
+            rows.iter().filter(|r| r.algo == "CalibrateImmediately").collect();
+        assert!(eager.windows(2).all(|w| w[1].ratio >= w[0].ratio));
+        assert!(eager.last().unwrap().ratio > 1.99);
+        // Nothing exceeds 2 +- rounding on the adversary's own instances...
+        // (the adversary's opt_cost is an upper bound on OPT, so measured
+        // ratios are lower bounds of the true ones; but branch math caps
+        // the eager baseline at exactly (2G+2)/(G+3) < 2).
+        for r in rows.iter().filter(|r| r.algo == "CalibrateImmediately") {
+            assert!(r.ratio < 2.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! E8 — quality of the Figure 1 LP relaxation: `OPT / LP` integrality-gap
+//! statistics on instances where OPT is computable exactly (single machine,
+//! DP). Weak duality demands `LP ≤ OPT`; the table reports how tight the
+//! certificate used in E3 actually is.
+
+use calib_core::{Cost, Time};
+use calib_lp::lp_lower_bound;
+use calib_offline::opt_online_cost;
+use calib_workloads::WeightModel;
+
+use crate::runner::run_parallel;
+use crate::stats::Summary;
+use crate::table::{fmt_f, Table};
+
+use super::Family;
+
+#[derive(Debug, Clone)]
+/// LpGapConfig (see module docs).
+pub struct LpGapConfig {
+    /// Workload families to sweep.
+    pub families: Vec<Family>,
+    /// Jobs per instance.
+    pub n: usize,
+    /// Calibration lengths `T` to sweep.
+    pub cal_lens: Vec<Time>,
+    /// Calibration costs `G` to sweep.
+    pub cal_costs: Vec<Cost>,
+    /// Instances per parameter cell.
+    pub seeds: u64,
+}
+
+impl Default for LpGapConfig {
+    fn default() -> Self {
+        LpGapConfig {
+            families: vec![
+                Family::Poisson { rate: 0.8 },
+                Family::Bursty { burst: 3, gap: 9 },
+                Family::Train,
+            ],
+            n: 7,
+            cal_lens: vec![2, 3, 4],
+            cal_costs: vec![1, 4, 12],
+            seeds: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// LpGapCell (see module docs).
+pub struct LpGapCell {
+    /// Workload family label.
+    pub family: String,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// `OPT / LP` per seed (≥ 1 by weak duality).
+    pub gaps: Vec<f64>,
+}
+
+/// Runs the sweep and renders its table.
+pub fn run(cfg: &LpGapConfig) -> (Vec<LpGapCell>, Table) {
+    let mut points = Vec::new();
+    for &fam in &cfg.families {
+        for &t in &cfg.cal_lens {
+            for &g in &cfg.cal_costs {
+                for seed in 0..cfg.seeds {
+                    points.push((fam, t, g, seed));
+                }
+            }
+        }
+    }
+
+    let results = run_parallel(points, None, |&(fam, t, g, seed)| {
+        let inst = fam.instance(seed * 977 + 5, cfg.n, WeightModel::Unit, t);
+        let opt = opt_online_cost(&inst, g).expect("normalized instance").cost as f64;
+        let lb = lp_lower_bound(&inst, g).expect("LP solves");
+        (fam.label(), t, g, opt / lb.max(1e-9))
+    });
+
+    let mut cells: Vec<LpGapCell> = Vec::new();
+    for (family, t, g, gap) in results {
+        match cells
+            .iter_mut()
+            .find(|c| c.family == family && c.cal_len == t && c.cal_cost == g)
+        {
+            Some(c) => c.gaps.push(gap),
+            None => cells.push(LpGapCell { family, cal_len: t, cal_cost: g, gaps: vec![gap] }),
+        }
+    }
+
+    let mut table = Table::new(
+        "E8: integrality gap OPT / LP (Figure 1 relaxation)",
+        &["family", "T", "G", "mean gap", "max gap"],
+    );
+    for c in &cells {
+        let s = Summary::from_values(&c.gaps).unwrap();
+        table.row(vec![
+            c.family.clone(),
+            c.cal_len.to_string(),
+            c.cal_cost.to_string(),
+            fmt_f(s.mean),
+            fmt_f(s.max),
+        ]);
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_gaps_at_least_one() {
+        let cfg = LpGapConfig {
+            families: vec![Family::Train],
+            n: 5,
+            cal_lens: vec![2],
+            cal_costs: vec![2, 6],
+            seeds: 2,
+        };
+        let (cells, _) = run(&cfg);
+        for c in &cells {
+            for &g in &c.gaps {
+                assert!(g >= 1.0 - 1e-6, "weak duality violated: gap {g}");
+                assert!(g < 10.0, "certificate uselessly loose: {g}");
+            }
+        }
+    }
+}

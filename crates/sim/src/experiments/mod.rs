@@ -1,0 +1,124 @@
+//! The experiment suite (E1–E10 of DESIGN.md §3).
+//!
+//! Each module exposes a `run(&Config) -> Table` entry point sized by a
+//! `Config` with sensible defaults; the `calib-bench` binaries print the
+//! tables, and EXPERIMENTS.md records representative output against the
+//! paper's claims.
+
+pub mod ablations;
+pub mod dp_scaling;
+pub mod lower_bound;
+pub mod lp_gap;
+pub mod multi;
+pub mod optr_gap;
+pub mod randomized;
+pub mod ratio;
+pub mod sensitivity;
+pub mod weighted_multi;
+
+use calib_core::{Instance, Time};
+use calib_workloads::{arrivals, make_instance, WeightModel};
+
+/// A named workload family producing single-machine instances with distinct
+/// releases (what the offline DP baseline requires).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// Poisson arrivals at the given rate.
+    Poisson {
+        /// Expected jobs per time step.
+        rate: f64,
+    },
+    /// Bursts of `burst` jobs every `gap` steps.
+    Bursty {
+        /// Jobs per burst.
+        burst: usize,
+        /// Steps between burst starts.
+        gap: Time,
+    },
+    /// Uniform over a horizon `spread × n`.
+    Uniform {
+        /// Horizon multiplier.
+        spread: Time,
+    },
+    /// The Lemma 3.1 job train (one job per step).
+    Train,
+    /// Growing clusters.
+    Staircase {
+        /// Steps between clusters.
+        gap: Time,
+    },
+}
+
+impl Family {
+    /// Human-readable family label.
+    pub fn label(&self) -> String {
+        match self {
+            Family::Poisson { rate } => format!("poisson({rate})"),
+            Family::Bursty { burst, gap } => format!("bursty({burst}x/{gap})"),
+            Family::Uniform { spread } => format!("uniform(x{spread})"),
+            Family::Train => "train".into(),
+            Family::Staircase { gap } => format!("staircase({gap})"),
+        }
+    }
+
+    /// Release times for ~`n` jobs (families with fixed shapes may round).
+    pub fn releases(&self, seed: u64, n: usize) -> Vec<Time> {
+        match *self {
+            Family::Poisson { rate } => arrivals::poisson(seed, n, rate, true),
+            Family::Bursty { burst, gap } => {
+                let bursts = n.div_ceil(burst).max(1);
+                arrivals::bursty(bursts, burst, gap, true)
+            }
+            Family::Uniform { spread } => {
+                arrivals::uniform_spread(seed, n, spread * n as Time, true)
+            }
+            Family::Train => arrivals::job_train(n as Time),
+            Family::Staircase { gap } => {
+                // Pick enough steps to reach ~n jobs: k(k+1)/2 >= n.
+                let mut steps = 1;
+                while steps * (steps + 1) / 2 < n {
+                    steps += 1;
+                }
+                arrivals::staircase(steps, gap, true)
+            }
+        }
+    }
+
+    /// Builds a single-machine instance of this family.
+    pub fn instance(&self, seed: u64, n: usize, weights: WeightModel, cal_len: Time) -> Instance {
+        make_instance(self.releases(seed, n), weights, seed, 1, cal_len)
+    }
+}
+
+/// The default family mix used by the ratio experiments.
+pub fn default_families() -> Vec<Family> {
+    vec![
+        Family::Poisson { rate: 0.25 },
+        Family::Poisson { rate: 1.0 },
+        Family::Bursty { burst: 4, gap: 40 },
+        Family::Uniform { spread: 3 },
+        Family::Train,
+        Family::Staircase { gap: 12 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_produce_normalized_instances() {
+        for fam in default_families() {
+            let inst = fam.instance(5, 12, WeightModel::Unit, 4);
+            assert!(inst.n() >= 12, "{}", fam.label());
+            assert!(inst.is_normalized(), "{}", fam.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> =
+            default_families().iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), default_families().len());
+    }
+}

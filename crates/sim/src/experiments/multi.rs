@@ -1,0 +1,148 @@
+//! E3 — Algorithm 3 on multiple machines against the Figure 1 LP lower
+//! bound (a *certified* upper estimate of its competitive ratio, since
+//! `ALG/OPT ≤ ALG/LP`). Paper claim: 12-competitive (Theorem 3.10).
+
+use calib_core::{Cost, Time};
+use calib_lp::lp_lower_bound;
+use calib_online::{run_online, Alg3};
+use calib_workloads::{make_instance, WeightModel};
+
+use crate::runner::run_parallel;
+use crate::stats::Summary;
+use crate::table::{fmt_f, Table};
+
+use super::Family;
+
+#[derive(Debug, Clone)]
+/// MultiConfig (see module docs).
+pub struct MultiConfig {
+    /// Machine counts `P` to sweep.
+    pub machines: Vec<usize>,
+    /// Workload families to sweep.
+    pub families: Vec<Family>,
+    /// Jobs per instance (kept small: LP size is O(n·H·P)).
+    pub n: usize,
+    /// Calibration lengths `T` to sweep.
+    pub cal_lens: Vec<Time>,
+    /// Calibration costs `G` to sweep.
+    pub cal_costs: Vec<Cost>,
+    /// Instances per parameter cell.
+    pub seeds: u64,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        MultiConfig {
+            machines: vec![1, 2, 3],
+            families: vec![
+                Family::Poisson { rate: 0.8 },
+                Family::Bursty { burst: 3, gap: 8 },
+                Family::Train,
+            ],
+            n: 8,
+            cal_lens: vec![2, 4],
+            cal_costs: vec![2, 8, 24],
+            seeds: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// MultiCell (see module docs).
+pub struct MultiCell {
+    /// Machine counts `P` to sweep.
+    pub machines: usize,
+    /// Workload family label.
+    pub family: String,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Certified ratios `ALG3 / LP ≥ ALG3 / OPT`.
+    pub certified_ratios: Vec<f64>,
+}
+
+/// Runs the sweep and renders its table.
+pub fn run(cfg: &MultiConfig) -> (Vec<MultiCell>, Table) {
+    let mut points = Vec::new();
+    for &p in &cfg.machines {
+        for &fam in &cfg.families {
+            for &t in &cfg.cal_lens {
+                for &g in &cfg.cal_costs {
+                    for seed in 0..cfg.seeds {
+                        points.push((p, fam, t, g, seed));
+                    }
+                }
+            }
+        }
+    }
+
+    let results = run_parallel(points, None, |&(p, fam, t, g, seed)| {
+        // Multi-machine instances may share release times up to P per step.
+        let releases = fam.releases(seed * 31 + 3, cfg.n);
+        let inst = make_instance(releases, WeightModel::Unit, seed, p, t);
+        let alg = run_online(&inst, g, &mut Alg3::new());
+        let lb = lp_lower_bound(&inst, g).expect("LP solves on small instances");
+        (p, fam.label(), t, g, alg.cost as f64 / lb.max(1e-9))
+    });
+
+    let mut cells: Vec<MultiCell> = Vec::new();
+    for (p, family, t, g, ratio) in results {
+        match cells.iter_mut().find(|c| {
+            c.machines == p && c.family == family && c.cal_len == t && c.cal_cost == g
+        }) {
+            Some(c) => c.certified_ratios.push(ratio),
+            None => cells.push(MultiCell {
+                machines: p,
+                family,
+                cal_len: t,
+                cal_cost: g,
+                certified_ratios: vec![ratio],
+            }),
+        }
+    }
+
+    let mut table = Table::new(
+        "E3: Alg3 vs LP lower bound (certified; bound 12)",
+        &["P", "family", "T", "G", "mean ALG/LP", "max ALG/LP", "within bound"],
+    );
+    for c in &cells {
+        let s = Summary::from_values(&c.certified_ratios).unwrap();
+        table.row(vec![
+            c.machines.to_string(),
+            c.family.clone(),
+            c.cal_len.to_string(),
+            c.cal_cost.to_string(),
+            fmt_f(s.mean),
+            fmt_f(s.max),
+            (s.max <= 12.0).to_string(),
+        ]);
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_tiny_within_bound() {
+        let cfg = MultiConfig {
+            machines: vec![1, 2],
+            families: vec![Family::Train],
+            n: 5,
+            cal_lens: vec![2],
+            cal_costs: vec![3, 9],
+            seeds: 1,
+        };
+        let (cells, table) = run(&cfg);
+        assert_eq!(cells.len(), 2 * 2);
+        for c in &cells {
+            for &r in &c.certified_ratios {
+                assert!(r >= 1.0 - 1e-6, "certified ratio below 1: {r}");
+                assert!(r <= 12.0 + 1e-9, "P={} ratio {r}", c.machines);
+            }
+        }
+        assert!(table.render().contains("E3"));
+    }
+}

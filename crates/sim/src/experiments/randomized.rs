@@ -1,0 +1,139 @@
+//! E13 — *extension beyond the paper*: does randomization beat the
+//! deterministic `2 − o(1)` lower bound of Lemma 3.1?
+//!
+//! Against an **oblivious** adversary (who commits to the instance without
+//! seeing coin flips), the randomized ski-rental trigger should average
+//! below 2 on the branch-1 instance family (classical ski rental achieves
+//! `e/(e−1) ≈ 1.582`); the deterministic algorithms cannot. The job-train
+//! instances still require Algorithm 1's queue rule — randomization does not
+//! help there. Measured, not proven.
+
+use calib_core::{Cost, Instance, InstanceBuilder, Time};
+use calib_offline::opt_online_cost;
+use calib_online::{run_online, Alg1, RandomizedSkiRental};
+
+use crate::stats::Summary;
+use crate::table::{fmt_f, Table};
+
+/// Configuration for the randomized-vs-deterministic study.
+#[derive(Debug, Clone)]
+pub struct RandomizedConfig {
+    /// `(T, G)` adversary parameters.
+    pub params: Vec<(Time, Cost)>,
+    /// Coin-flip trials per instance.
+    pub trials: u64,
+}
+
+impl Default for RandomizedConfig {
+    fn default() -> Self {
+        // `G > T` keeps Algorithm 1's queue rule out of the way on the
+        // single-job instance, so the flow trigger (the randomized part)
+        // governs; the train instances have `G < nT`, exercising the rules
+        // randomization does not replace.
+        RandomizedConfig {
+            params: vec![(10, 100), (20, 400), (40, 1600), (80, 6400)],
+            trials: 200,
+        }
+    }
+}
+
+/// One row of the study.
+#[derive(Debug, Clone)]
+pub struct RandomizedRow {
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Which fixed (oblivious) instance was played.
+    pub instance_kind: &'static str,
+    /// Deterministic Alg1 ratio on it.
+    pub alg1_ratio: f64,
+    /// Randomized expected ratio over the trials.
+    pub rand_mean_ratio: f64,
+    /// Randomized worst single-coin-flip ratio.
+    pub rand_max_ratio: f64,
+}
+
+/// The two oblivious instances of Lemma 3.1 (fixed up front — the adversary
+/// cannot adapt to coin flips).
+fn oblivious_instances(t: Time) -> Vec<(&'static str, Instance)> {
+    vec![
+        (
+            // The classical ski-rental nemesis: a deterministic flow
+            // trigger waits a full G and pays ~2·OPT; a randomized X·G
+            // trigger pays ~(1 + 1/(e−1))·OPT ≈ 1.582·OPT in expectation.
+            "single job",
+            InstanceBuilder::new(t).unit_jobs([0]).build().unwrap(),
+        ),
+        (
+            "job train",
+            InstanceBuilder::new(t).unit_jobs(0..t).build().unwrap(),
+        ),
+    ]
+}
+
+/// Runs the study and renders its table.
+pub fn run(cfg: &RandomizedConfig) -> (Vec<RandomizedRow>, Table) {
+    let mut rows = Vec::new();
+    for &(t, g) in &cfg.params {
+        for (kind, inst) in oblivious_instances(t) {
+            let opt = opt_online_cost(&inst, g).expect("normalized instance").cost as f64;
+            let alg1_ratio = run_online(&inst, g, &mut Alg1::new()).cost as f64 / opt;
+            let ratios: Vec<f64> = (0..cfg.trials)
+                .map(|seed| {
+                    run_online(&inst, g, &mut RandomizedSkiRental::new(seed)).cost as f64 / opt
+                })
+                .collect();
+            let s = Summary::from_values(&ratios).expect("trials > 0");
+            rows.push(RandomizedRow {
+                cal_len: t,
+                cal_cost: g,
+                instance_kind: kind,
+                alg1_ratio,
+                rand_mean_ratio: s.mean,
+                rand_max_ratio: s.max,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "E13 (extension): randomized trigger vs deterministic lower bound (oblivious adversary)",
+        &["T", "G", "instance", "Alg1 ratio", "rand E[ratio]", "rand max"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.cal_len.to_string(),
+            r.cal_cost.to_string(),
+            r.instance_kind.to_string(),
+            fmt_f(r.alg1_ratio),
+            fmt_f(r.rand_mean_ratio),
+            fmt_f(r.rand_max_ratio),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_randomization_beats_two_on_single_job() {
+        let cfg = RandomizedConfig { params: vec![(20, 400)], trials: 150 };
+        let (rows, table) = run(&cfg);
+        let b1 = rows.iter().find(|r| r.instance_kind == "single job").unwrap();
+        // Deterministic Alg1 pays ~2 on its nemesis; the randomized trigger
+        // averages strictly below (classically -> 1 + 1/(e-1) ≈ 1.58).
+        assert!(b1.alg1_ratio > 1.9, "alg1 {}", b1.alg1_ratio);
+        assert!(
+            b1.rand_mean_ratio < 1.75,
+            "randomization should beat 2 − o(1) in expectation: {} vs {}",
+            b1.rand_mean_ratio,
+            b1.alg1_ratio
+        );
+        // On the train both stay bounded (the queue rule does the work).
+        let b2 = rows.iter().find(|r| r.instance_kind == "job train").unwrap();
+        assert!(b2.rand_mean_ratio <= 3.0 + 1e-9);
+        assert!(table.render().contains("E13"));
+    }
+}

@@ -1,0 +1,149 @@
+//! E11 — threshold sensitivity: how much do the paper's specific constants
+//! matter? The tunable scheduler sweeps multipliers on the weight and flow
+//! thresholds around the paper's choice (×1) and measures total cost
+//! against the exact optimum.
+//!
+//! Expectation: a shallow bowl around ×1 — far-eager (×1/8) over-calibrates
+//! when G is large, far-lazy (×8) over-waits; the paper's constants sit
+//! near the bottom without being magic.
+
+use calib_core::{Cost, Time};
+use calib_offline::opt_online_cost;
+use calib_online::{run_online, Ratio, Thresholds, TunableScheduler};
+use calib_workloads::WeightModel;
+
+use crate::runner::run_parallel;
+use crate::stats::Summary;
+use crate::table::{fmt_f, Table};
+
+use super::Family;
+
+#[derive(Debug, Clone)]
+/// SensitivityConfig (see module docs).
+pub struct SensitivityConfig {
+    /// Workload families to sweep.
+    pub families: Vec<Family>,
+    /// Jobs per instance.
+    pub n: usize,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration costs `G` to sweep.
+    pub cal_costs: Vec<Cost>,
+    /// Instances per parameter cell.
+    pub seeds: u64,
+    /// Weight model for generated jobs.
+    pub weights: WeightModel,
+    /// Multipliers applied to *both* thresholds, as `(num, den)`.
+    pub factors: Vec<(u32, u32)>,
+}
+
+impl Default for SensitivityConfig {
+    fn default() -> Self {
+        SensitivityConfig {
+            families: vec![
+                Family::Poisson { rate: 0.4 },
+                Family::Bursty { burst: 4, gap: 30 },
+                Family::Uniform { spread: 3 },
+            ],
+            n: 30,
+            cal_len: 5,
+            cal_costs: vec![8, 40, 160],
+            seeds: 4,
+            weights: WeightModel::Uniform { max: 9 },
+            factors: vec![(1, 8), (1, 4), (1, 2), (1, 1), (2, 1), (4, 1), (8, 1)],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+/// SensitivityCell (see module docs).
+pub struct SensitivityCell {
+    /// Threshold multiplier `(num, den)`.
+    pub factor: (u32, u32),
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// `cost / OPT` per (family, seed).
+    pub ratios: Vec<f64>,
+}
+
+/// Runs the sweep and renders its table.
+pub fn run(cfg: &SensitivityConfig) -> (Vec<SensitivityCell>, Table) {
+    let mut points = Vec::new();
+    for &factor in &cfg.factors {
+        for &g in &cfg.cal_costs {
+            for &fam in &cfg.families {
+                for seed in 0..cfg.seeds {
+                    points.push((factor, g, fam, seed));
+                }
+            }
+        }
+    }
+
+    let results = run_parallel(points, None, |&(factor, g, fam, seed)| {
+        let inst = fam.instance(seed * 53 + 2, cfg.n, cfg.weights, cfg.cal_len);
+        let ratio = Ratio::new(factor.0, factor.1);
+        let mut sched = TunableScheduler::new(Thresholds {
+            weight_factor: ratio,
+            flow_factor: ratio,
+            ..Thresholds::alg2()
+        });
+        let res = run_online(&inst, g, &mut sched);
+        let opt = opt_online_cost(&inst, g).expect("normalized instance");
+        (factor, g, res.cost as f64 / opt.cost as f64)
+    });
+
+    let mut cells: Vec<SensitivityCell> = Vec::new();
+    for (factor, g, ratio) in results {
+        match cells.iter_mut().find(|c| c.factor == factor && c.cal_cost == g) {
+            Some(c) => c.ratios.push(ratio),
+            None => cells.push(SensitivityCell { factor, cal_cost: g, ratios: vec![ratio] }),
+        }
+    }
+
+    let mut table = Table::new(
+        "E11: threshold-multiplier sensitivity (×1 = the paper's constants)",
+        &["factor", "G", "mean cost/OPT", "max cost/OPT"],
+    );
+    for c in &cells {
+        let s = Summary::from_values(&c.ratios).unwrap();
+        table.row(vec![
+            format!("x{}/{}", c.factor.0, c.factor.1),
+            c.cal_cost.to_string(),
+            fmt_f(s.mean),
+            fmt_f(s.max),
+        ]);
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_paper_constants_near_the_bottom() {
+        let cfg = SensitivityConfig {
+            families: vec![Family::Poisson { rate: 0.4 }],
+            n: 16,
+            cal_costs: vec![40],
+            seeds: 3,
+            factors: vec![(1, 8), (1, 1), (8, 1)],
+            ..Default::default()
+        };
+        let (cells, _) = run(&cfg);
+        let mean = |f: (u32, u32)| {
+            let c = cells.iter().find(|c| c.factor == f).unwrap();
+            c.ratios.iter().sum::<f64>() / c.ratios.len() as f64
+        };
+        let at_one = mean((1, 1));
+        // The paper's choice should not be much worse than either extreme.
+        assert!(at_one <= mean((1, 8)) * 1.5 + 1e-9);
+        assert!(at_one <= mean((8, 1)) * 1.5 + 1e-9);
+        // And everything stays finite and >= 1.
+        for c in &cells {
+            for &r in &c.ratios {
+                assert!(r >= 1.0 - 1e-9);
+            }
+        }
+    }
+}

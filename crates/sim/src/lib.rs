@@ -1,0 +1,25 @@
+//! # calib-sim
+//!
+//! Experiment harness for the calibration-scheduling reproduction: workload
+//! sweeps, a crossbeam-based parallel runner, summary statistics, ASCII
+//! result tables, and the E1–E10 experiment suite defined in DESIGN.md.
+//!
+//! ```
+//! use calib_sim::experiments::lower_bound::{run, LowerBoundConfig};
+//!
+//! let cfg = LowerBoundConfig { params: vec![(4, 16)] };
+//! let (rows, table) = run(&cfg);
+//! assert!(!rows.is_empty());
+//! println!("{}", table.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::run_parallel;
+pub use stats::{linear_fit, percentile, power_law_exponent, Summary};
+pub use table::{fmt_f, Table};

@@ -1,0 +1,89 @@
+//! Parallel experiment runner built on crossbeam scoped threads.
+//!
+//! Experiment sweeps are embarrassingly parallel (one independent solve per
+//! parameter point); this runner fans a work list out over the available
+//! cores while preserving input order in the results. Results are collected
+//! through a `parking_lot`-guarded vector — no async machinery, no unsafe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `f` over `items` on up to `workers` threads (defaults to the number
+/// of available cores), returning results in input order.
+pub fn run_parallel<T, R, F>(items: Vec<T>, workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        })
+        .clamp(1, n);
+
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = run_parallel(items.clone(), Some(8), |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_worker_path() {
+        let out = run_parallel(vec![1, 2, 3], Some(1), |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run_parallel(Vec::<i32>::new(), None, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heavier_than_workers() {
+        // More items than threads; all complete exactly once.
+        let out = run_parallel((0..1000).collect::<Vec<i32>>(), Some(3), |&x| x % 7);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[13], 13 % 7);
+    }
+}

@@ -1,0 +1,146 @@
+//! Arrival-process generators.
+//!
+//! The paper's guarantees are worst-case; the experiment suite exercises
+//! them with synthetic families that stress different regimes:
+//!
+//! * [`poisson`] — memoryless arrivals at rate `λ` (steady background load);
+//! * [`bursty`] — bursts of `B` jobs separated by quiet gaps (the regime
+//!   where grouping jobs into shared calibrations pays off most);
+//! * [`uniform_spread`] — `n` arrivals spread uniformly over a horizon.
+//!
+//! All generators are deterministic given a seed and can emit either
+//! distinct release times (required by the single-machine offline solvers)
+//! or colliding ones (legal for the online engine and multi-machine runs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::Time;
+
+/// Poisson-process arrival times with rate `rate` (expected jobs per step),
+/// truncated to `n` jobs. Inter-arrival gaps are geometric (discrete-time
+/// analogue); with `distinct`, consecutive arrivals are separated by at
+/// least one step.
+pub fn poisson(seed: u64, n: usize, rate: f64, distinct: bool) -> Vec<Time> {
+    assert!(rate > 0.0, "rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0i64;
+    let mut out = Vec::with_capacity(n);
+    let p = (-rate).exp(); // probability of no arrival in one step
+    while out.len() < n {
+        // Geometric gap: number of empty steps before the next arrival.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let gap = if p <= 0.0 { 0 } else { (u.ln() / p.ln()).floor().max(0.0) as i64 };
+        t += gap;
+        out.push(t);
+        t += if distinct { 1 } else { 0 };
+    }
+    out
+}
+
+/// `bursts` bursts of `burst_size` jobs each, the bursts `gap` steps apart.
+/// Within a burst, jobs arrive at consecutive steps when `distinct` (else
+/// all at the burst start).
+pub fn bursty(bursts: usize, burst_size: usize, gap: Time, distinct: bool) -> Vec<Time> {
+    assert!(gap >= 1);
+    let mut out = Vec::with_capacity(bursts * burst_size);
+    for b in 0..bursts {
+        let start = b as Time * gap;
+        for k in 0..burst_size {
+            out.push(if distinct { start + k as Time } else { start });
+        }
+    }
+    out
+}
+
+/// `n` jobs spread over `[0, horizon]`, sorted; with `distinct`, collisions
+/// are re-rolled (requires `horizon + 1 >= n`).
+pub fn uniform_spread(seed: u64, n: usize, horizon: Time, distinct: bool) -> Vec<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Time> = Vec::with_capacity(n);
+    if distinct {
+        assert!(horizon + 1 >= n as Time, "not enough slots for distinct releases");
+        while out.len() < n {
+            let r = rng.gen_range(0..=horizon);
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    } else {
+        for _ in 0..n {
+            out.push(rng.gen_range(0..=horizon));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The Lemma 3.1 "job train": one job per step in `[0, len)` — the workload
+/// that punishes algorithms that wait too long.
+pub fn job_train(len: Time) -> Vec<Time> {
+    (0..len).collect()
+}
+
+/// Staircase pattern: `steps` clusters whose sizes grow linearly
+/// (1, 2, 3, …), each cluster `gap` apart — mixes sparse and dense phases.
+pub fn staircase(steps: usize, gap: Time, distinct: bool) -> Vec<Time> {
+    let mut out = Vec::new();
+    let mut start = 0 as Time;
+    for s in 0..steps {
+        for k in 0..=s {
+            out.push(if distinct { start + k as Time } else { start });
+        }
+        start += gap + s as Time;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let a = poisson(42, 50, 0.3, true);
+        let b = poisson(42, 50, 0.3, true);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "distinct => strictly increasing");
+        let c = poisson(43, 50, 0.3, true);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn poisson_rate_controls_density() {
+        let sparse = poisson(1, 100, 0.05, false);
+        let dense = poisson(1, 100, 2.0, false);
+        assert!(sparse.last().unwrap() > dense.last().unwrap());
+    }
+
+    #[test]
+    fn bursty_shape() {
+        let r = bursty(3, 4, 100, true);
+        assert_eq!(r.len(), 12);
+        assert_eq!(r[0..4], [0, 1, 2, 3]);
+        assert_eq!(r[4..8], [100, 101, 102, 103]);
+        let collide = bursty(2, 3, 10, false);
+        assert_eq!(collide, vec![0, 0, 0, 10, 10, 10]);
+    }
+
+    #[test]
+    fn uniform_spread_respects_bounds() {
+        let r = uniform_spread(7, 20, 40, true);
+        assert_eq!(r.len(), 20);
+        assert!(r.iter().all(|&t| (0..=40).contains(&t)));
+        let mut d = r.clone();
+        d.dedup();
+        assert_eq!(d.len(), 20);
+    }
+
+    #[test]
+    fn train_and_staircase() {
+        assert_eq!(job_train(4), vec![0, 1, 2, 3]);
+        let s = staircase(3, 10, true);
+        // Clusters: {0}, {10,11}, {21,22,23}.
+        assert_eq!(s, vec![0, 10, 11, 21, 22, 23]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Instance/trace (de)serialization — reproducible experiment inputs.
+//!
+//! A [`Trace`] bundles an [`Instance`] with the generator metadata that
+//! produced it, so any experiment row can be regenerated or shared as JSON.
+
+use serde::{Deserialize, Serialize};
+
+use calib_core::{Cost, Instance};
+
+/// A reproducible workload: the instance plus its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable generator description, e.g. "poisson(rate=0.3)".
+    pub family: String,
+    /// Seed used by the generator.
+    pub seed: u64,
+    /// Calibration cost the experiment intends to use (informational).
+    pub cal_cost: Cost,
+    /// The generated instance itself.
+    pub instance: Instance,
+}
+
+impl Trace {
+    /// Bundles an instance with its provenance.
+    pub fn new(family: impl Into<String>, seed: u64, cal_cost: Cost, instance: Instance) -> Self {
+        Trace { family: family.into(), seed, cal_cost, instance }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Trace> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+
+    #[test]
+    fn json_round_trip() {
+        let inst = InstanceBuilder::new(4)
+            .machines(2)
+            .job(0, 3)
+            .job(5, 1)
+            .build()
+            .unwrap();
+        let trace = Trace::new("bursty(2x1)", 99, 17, inst);
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert!(json.contains("bursty"));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Trace::from_json("{\"family\": 3}").is_err());
+    }
+}

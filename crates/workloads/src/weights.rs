@@ -1,0 +1,103 @@
+//! Weight distributions for weighted-flow experiments (E2, E10).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calib_core::Weight;
+
+/// Weight model for generated jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// All weights 1 (Algorithms 1 and 3).
+    Unit,
+    /// Uniform integer weights in `[1, max]`.
+    Uniform {
+        /// Inclusive upper bound.
+        max: Weight,
+    },
+    /// Discrete Pareto-like heavy tail: `P(w >= x) ∝ x^(-alpha)`, capped at
+    /// `cap`. Small `alpha` → heavier tail.
+    Pareto {
+        /// Tail exponent (> 0).
+        alpha: f64,
+        /// Inclusive cap on sampled weights.
+        cap: Weight,
+    },
+    /// Two classes: weight `heavy` with probability `p_heavy`, else 1 —
+    /// models rare urgent jobs among routine ones.
+    Bimodal {
+        /// The heavy class's weight.
+        heavy: Weight,
+        /// Probability of the heavy class.
+        p_heavy: f64,
+    },
+}
+
+impl WeightModel {
+    /// Samples `n` weights deterministically from `seed`.
+    pub fn sample(&self, seed: u64, n: usize) -> Vec<Weight> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
+        (0..n).map(|_| self.sample_one(&mut rng)).collect()
+    }
+
+    fn sample_one(&self, rng: &mut StdRng) -> Weight {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::Uniform { max } => rng.gen_range(1..=max.max(1)),
+            WeightModel::Pareto { alpha, cap } => {
+                assert!(alpha > 0.0);
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                // Inverse CDF of continuous Pareto with x_min = 1.
+                let x = u.powf(-1.0 / alpha);
+                (x.floor() as Weight).clamp(1, cap.max(1))
+            }
+            WeightModel::Bimodal { heavy, p_heavy } => {
+                if rng.gen_bool(p_heavy.clamp(0.0, 1.0)) {
+                    heavy.max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_all_ones() {
+        assert!(WeightModel::Unit.sample(1, 100).iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = WeightModel::Uniform { max: 9 }.sample(5, 200);
+        let b = WeightModel::Uniform { max: 9 }.sample(5, 200);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (1..=9).contains(&w)));
+        // All values should appear over 200 samples.
+        for w in 1..=9u64 {
+            assert!(a.contains(&w), "weight {w} never sampled");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_but_capped() {
+        let w = WeightModel::Pareto { alpha: 0.8, cap: 1000 }.sample(9, 500);
+        assert!(w.iter().all(|&x| (1..=1000).contains(&x)));
+        let big = w.iter().filter(|&&x| x >= 100).count();
+        assert!(big > 0, "heavy tail should produce some large weights");
+        let ones = w.iter().filter(|&&x| x == 1).count();
+        assert!(ones > 100, "mode should still be small weights");
+    }
+
+    #[test]
+    fn bimodal_mixes_classes() {
+        let w = WeightModel::Bimodal { heavy: 50, p_heavy: 0.2 }.sample(3, 400);
+        let heavy = w.iter().filter(|&&x| x == 50).count();
+        assert!(heavy > 30 && heavy < 160, "heavy count {heavy} out of plausible range");
+        assert!(w.iter().all(|&x| x == 1 || x == 50));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use calib_workloads::{arrivals, make_instance, Trace, WeightModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Poisson arrivals: deterministic in the seed, sorted, distinct when
+    /// requested, and arrivals never run backwards.
+    #[test]
+    fn poisson_invariants(seed in 0u64..1000, n in 1usize..80, rate in 0.05f64..3.0) {
+        let a = arrivals::poisson(seed, n, rate, true);
+        let b = arrivals::poisson(seed, n, rate, true);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(a[0] >= 0);
+        let loose = arrivals::poisson(seed, n, rate, false);
+        prop_assert!(loose.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Bursty arrivals: exact count, burst boundaries respected.
+    #[test]
+    fn bursty_invariants(bursts in 1usize..10, size in 1usize..8, gap in 8i64..50) {
+        let r = arrivals::bursty(bursts, size, gap, true);
+        prop_assert_eq!(r.len(), bursts * size);
+        for (i, &t) in r.iter().enumerate() {
+            let b = i / size;
+            let k = i % size;
+            prop_assert_eq!(t, b as i64 * gap + k as i64);
+        }
+    }
+
+    /// Uniform spread: bounded, sorted, distinct when requested.
+    #[test]
+    fn uniform_invariants(seed in 0u64..1000, n in 1usize..40) {
+        let horizon = 3 * n as i64;
+        let r = arrivals::uniform_spread(seed, n, horizon, true);
+        prop_assert_eq!(r.len(), n);
+        prop_assert!(r.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(r.iter().all(|&t| (0..=horizon).contains(&t)));
+    }
+
+    /// Weight models: deterministic, positive, within declared bounds.
+    #[test]
+    fn weight_model_invariants(seed in 0u64..1000, n in 1usize..60, max in 1u64..50) {
+        for model in [
+            WeightModel::Unit,
+            WeightModel::Uniform { max },
+            WeightModel::Pareto { alpha: 1.1, cap: max },
+            WeightModel::Bimodal { heavy: max, p_heavy: 0.3 },
+        ] {
+            let w = model.sample(seed, n);
+            prop_assert_eq!(w.len(), n);
+            prop_assert!(w.iter().all(|&x| x >= 1 && x <= max.max(1)), "{model:?}: {w:?}");
+            prop_assert_eq!(&w, &model.sample(seed, n));
+        }
+    }
+
+    /// make_instance + trace JSON round trip preserves everything.
+    #[test]
+    fn trace_round_trip(seed in 0u64..500, n in 1usize..30, machines in 1usize..4) {
+        let inst = make_instance(
+            arrivals::poisson(seed, n, 0.5, machines == 1),
+            WeightModel::Uniform { max: 9 },
+            seed,
+            machines,
+            4,
+        );
+        let trace = Trace::new("prop", seed, 7, inst);
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}

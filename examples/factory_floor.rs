@@ -1,0 +1,71 @@
+//! A precision-manufacturing scenario (weighted jobs, one machine):
+//! a CNC station must be recalibrated every `T` steps; rush orders carry
+//! much higher weight than routine ones. Algorithm 2 (12-competitive)
+//! balances calibration spending against weighted waiting time, and the
+//! run is compared against the exact offline optimum and the
+//! lightest-first ablation.
+//!
+//! ```text
+//! cargo run --release --example factory_floor
+//! ```
+
+use calibration_scheduling::prelude::*;
+use calibration_scheduling::workloads::{arrivals, WeightModel};
+
+fn main() {
+    // Routine orders trickle in (Poisson); 5% are rush orders (weight 50).
+    let releases = arrivals::poisson(2024, 60, 0.35, true);
+    let instance = make_instance(
+        releases,
+        WeightModel::Bimodal { heavy: 50, p_heavy: 0.05 },
+        2024,
+        1,
+        6, // calibration lasts 6 steps
+    );
+    let g: Cost = 30; // a calibration costs as much as 30 weighted wait-steps
+
+    println!(
+        "factory floor: {} orders ({} rush), T = {}, G = {g}",
+        instance.n(),
+        instance.jobs().iter().filter(|j| j.weight > 1).count(),
+        instance.cal_len(),
+    );
+
+    let alg2 = run_online(&instance, g, &mut Alg2::new());
+    let ablated = run_online(&instance, g, &mut Alg2::lightest_first());
+    let opt = opt_online_cost(&instance, g).expect("normalized instance");
+
+    println!("\n                     calibrations   weighted flow   total cost");
+    println!(
+        "Alg2 (heaviest-1st)  {:>12}   {:>13}   {:>10}",
+        alg2.calibrations, alg2.flow, alg2.cost
+    );
+    println!(
+        "Alg2 (lightest-1st)  {:>12}   {:>13}   {:>10}",
+        ablated.calibrations, ablated.flow, ablated.cost
+    );
+    println!(
+        "offline optimum      {:>12}   {:>13}   {:>10}",
+        opt.calibrations, opt.flow, opt.cost
+    );
+
+    println!(
+        "\ncompetitive ratio: {:.3} (theorem bound: 12)",
+        alg2.cost as f64 / opt.cost as f64
+    );
+    println!(
+        "extraction-order ablation costs {:.1}% extra",
+        100.0 * (ablated.cost as f64 / alg2.cost as f64 - 1.0)
+    );
+    assert!(alg2.cost <= 12 * opt.cost);
+
+    // How long did rush orders wait under Alg2?
+    let mut worst_rush = 0;
+    for a in &alg2.schedule.assignments {
+        let job = instance.job(a.job).unwrap();
+        if job.weight > 1 {
+            worst_rush = worst_rush.max(a.start + 1 - job.release);
+        }
+    }
+    println!("worst rush-order flow under Alg2: {worst_rush} steps");
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the `calib` command-line tool (spawned as a real
+//! subprocess via `CARGO_BIN_EXE_calib`).
+
+use std::process::Command;
+
+fn calib(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_calib"))
+        .args(args)
+        .output()
+        .expect("spawn calib");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp_path(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("calib-cli-test-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn gen_online_offline_opt_pipeline() {
+    let trace = tmp_path("pipeline.json");
+    let (ok, _, err) = calib(&[
+        "gen", "--family", "bursty", "--burst", "3", "--gap", "15", "--n", "6", "--t", "4",
+        "--seed", "5", "--out", &trace,
+    ]);
+    assert!(ok, "gen failed: {err}");
+
+    let (ok, stdout, _) = calib(&["online", "--alg", "alg1", "--g", "8", "--trace", &trace]);
+    assert!(ok);
+    assert!(stdout.contains("alg1: flow="), "got: {stdout}");
+    assert!(stdout.contains("calibrations="));
+
+    let (ok, stdout, _) = calib(&["offline", "--budget", "2", "--trace", &trace, "--gantt"]);
+    assert!(ok);
+    assert!(stdout.contains("offline DP (Propositions 1-2): flow="));
+    assert!(stdout.contains("m0 "), "gantt row expected: {stdout}");
+
+    let (ok, stdout, _) = calib(&["opt", "--g", "8", "--trace", &trace]);
+    assert!(ok);
+    assert!(stdout.contains("OPT(G=8)"));
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn online_cost_never_below_opt_via_cli() {
+    let trace = tmp_path("bound.json");
+    calib(&[
+        "gen", "--family", "poisson", "--rate", "0.6", "--n", "12", "--t", "3", "--seed", "9",
+        "--out", &trace,
+    ]);
+    let (_, online_out, _) = calib(&["online", "--alg", "alg1", "--g", "12", "--trace", &trace]);
+    let (_, opt_out, _) = calib(&["opt", "--g", "12", "--trace", &trace]);
+    let grab = |s: &str, key: &str| -> u128 {
+        s.split(key)
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("no '{key}' in: {s}"))
+    };
+    let alg_cost = grab(&online_out, "cost=");
+    let opt_cost = grab(&opt_out, "cost=");
+    assert!(alg_cost >= opt_cost);
+    assert!(alg_cost <= 3 * opt_cost, "Theorem 3.3 via CLI: {alg_cost} vs {opt_cost}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn weighted_generation_models() {
+    for spec in ["unit", "uniform:9", "pareto:1.2:50", "bimodal:40:0.2"] {
+        let trace = tmp_path(&format!("w-{}.json", spec.replace(':', "-")));
+        let (ok, _, err) = calib(&[
+            "gen", "--family", "train", "--n", "8", "--t", "3", "--weights", spec, "--out",
+            &trace,
+        ]);
+        assert!(ok, "gen {spec} failed: {err}");
+        let (ok, stdout, _) = calib(&["online", "--alg", "alg2", "--g", "10", "--trace", &trace]);
+        assert!(ok, "alg2 on {spec}: {stdout}");
+        std::fs::remove_file(&trace).ok();
+    }
+}
+
+#[test]
+fn adversary_subcommand() {
+    let (ok, stdout, _) = calib(&["adversary", "--t", "64", "--g", "32"]);
+    assert!(ok);
+    assert!(stdout.contains("ratio="));
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, _, err) = calib(&["online", "--alg", "alg1"]);
+    assert!(!ok);
+    assert!(err.contains("missing --g") || err.contains("usage"), "got: {err}");
+
+    let (ok, _, err) = calib(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    let (ok, _, err) = calib(&["gen", "--family", "nope", "--n", "3", "--t", "2"]);
+    assert!(!ok);
+    assert!(err.contains("unknown family"));
+}
+
+#[test]
+fn unweighted_solver_via_cli_matches_general() {
+    let trace = tmp_path("solver.json");
+    calib(&[
+        "gen", "--family", "poisson", "--rate", "0.5", "--n", "10", "--t", "3", "--seed", "4",
+        "--out", &trace,
+    ]);
+    let (_, general, _) = calib(&["offline", "--budget", "4", "--trace", &trace]);
+    let (_, slot, _) =
+        calib(&["offline", "--budget", "4", "--trace", &trace, "--solver", "unweighted"]);
+    let grab = |s: &str| -> u128 {
+        s.split("flow=")
+            .nth(1)
+            .and_then(|r| {
+                r.chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().ok()
+            })
+            .unwrap_or_else(|| panic!("no flow in: {s}"))
+    };
+    assert_eq!(grab(&general), grab(&slot), "the two exact solvers must agree");
+    std::fs::remove_file(&trace).ok();
+}

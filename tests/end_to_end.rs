@@ -1,0 +1,145 @@
+//! End-to-end integration tests spanning all workspace crates: workload
+//! generation → online algorithms → offline optimum → LP certificate →
+//! checker, exercised through the meta-crate's public API exactly as a
+//! downstream user would.
+
+use calibration_scheduling::lp::lp_lower_bound;
+use calibration_scheduling::online::SkiRentalBatch;
+use calibration_scheduling::prelude::*;
+use calibration_scheduling::workloads::{arrivals, WeightModel};
+
+#[test]
+fn full_pipeline_unweighted() {
+    // Generate → run online → exact OPT → verify everything agrees.
+    let inst = make_instance(
+        arrivals::poisson(100, 30, 0.5, true),
+        WeightModel::Unit,
+        100,
+        1,
+        6,
+    );
+    for g in [2u128, 9, 33, 120] {
+        let online = run_online(&inst, g, &mut Alg1::new());
+        check_schedule(&inst, &online.schedule).unwrap();
+        let opt = opt_online_cost(&inst, g).unwrap();
+        assert!(online.cost >= opt.cost, "online can't beat OPT (G={g})");
+        assert!(online.cost <= 3 * opt.cost, "Theorem 3.3 (G={g})");
+        // The reconstructed optimal schedule is feasible and achieves the
+        // claimed cost.
+        let sol = solve_offline(&inst, opt.calibrations).unwrap().unwrap();
+        check_schedule(&inst, &sol.schedule).unwrap();
+        assert_eq!(sol.flow, opt.flow);
+    }
+}
+
+#[test]
+fn full_pipeline_weighted() {
+    let inst = make_instance(
+        arrivals::uniform_spread(200, 24, 60, true),
+        WeightModel::Pareto { alpha: 1.3, cap: 40 },
+        200,
+        1,
+        5,
+    );
+    for g in [3u128, 20, 77] {
+        let online = run_online(&inst, g, &mut Alg2::new());
+        let opt = opt_online_cost(&inst, g).unwrap();
+        assert!(online.cost <= 12 * opt.cost, "Theorem 3.8 (G={g})");
+    }
+}
+
+#[test]
+fn full_pipeline_multi_machine_with_lp_certificate() {
+    let inst = make_instance(
+        arrivals::bursty(2, 3, 8, false),
+        WeightModel::Unit,
+        7,
+        2,
+        4,
+    );
+    let g = 6u128;
+    let spec = run_online(&inst, g, &mut Alg3::new());
+    let practical = run_alg3_practical(&inst, g);
+    check_schedule(&inst, &spec.schedule).unwrap();
+    check_schedule(&inst, &practical.schedule).unwrap();
+    assert_eq!(spec.calibrations, practical.calibrations);
+    assert!(practical.flow <= spec.flow);
+
+    let lb = lp_lower_bound(&inst, g).unwrap();
+    assert!((spec.cost as f64) <= 12.0 * lb + 1e-6, "Theorem 3.10 certified");
+    assert!(lb <= spec.cost as f64 + 1e-6);
+}
+
+#[test]
+fn trace_round_trip_preserves_experiment_results() {
+    let inst = make_instance(
+        arrivals::staircase(5, 7, true),
+        WeightModel::Uniform { max: 7 },
+        300,
+        1,
+        4,
+    );
+    let trace = Trace::new("staircase(7)", 300, 15, inst.clone());
+    let json = trace.to_json().unwrap();
+    let back = Trace::from_json(&json).unwrap();
+    // Re-running the same algorithm on the deserialized instance gives
+    // bit-identical results.
+    let a = run_online(&inst, 15, &mut Alg2::new());
+    let b = run_online(&back.instance, 15, &mut Alg2::new());
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.cost, b.cost);
+}
+
+#[test]
+fn online_costs_ordered_by_algorithm_quality_on_train() {
+    // On the lower-bound job train with matching G, Alg1 ≤ ski-rental.
+    let inst = make_instance(arrivals::job_train(40), WeightModel::Unit, 0, 1, 40);
+    let g = 40u128 * 40;
+    let alg1 = run_online(&inst, g, &mut Alg1::new());
+    let ski = run_online(&inst, g, &mut SkiRentalBatch);
+    let opt = opt_online_cost(&inst, g).unwrap();
+    assert!(alg1.cost <= ski.cost);
+    assert!(alg1.cost <= 3 * opt.cost);
+}
+
+#[test]
+fn prelude_covers_the_readme_snippet() {
+    // The README quickstart, kept compiling forever.
+    let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 2, 10, 11]).build().unwrap();
+    let online = run_online(&inst, 6, &mut Alg1::new());
+    let opt = opt_online_cost(&inst, 6).unwrap();
+    assert!(online.cost <= 3 * opt.cost);
+}
+
+/// The full certification chain on tiny multi-machine instances:
+/// `LP ≤ OPT (exact brute force) ≤ ALG3`, so the LP-certified ratios of
+/// experiment E3 are genuine upper bounds on the true ratios.
+#[test]
+fn lp_opt_alg3_ordering_on_multi_machine() {
+    use calibration_scheduling::offline::opt_online_brute_multi;
+    let cases = [
+        (vec![0i64, 0, 1], 2usize, 2i64),
+        (vec![0, 2, 3, 5], 2, 3),
+        (vec![0, 0, 0, 1], 3, 2),
+    ];
+    for (releases, p, t) in cases {
+        let jobs: Vec<Job> = releases
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Job::unweighted(i as u32, r))
+            .collect();
+        let inst = Instance::new(jobs, p, t).unwrap();
+        for g in [1u128, 3, 8] {
+            let lb = lp_lower_bound(&inst, g).unwrap();
+            let (opt, sched) = opt_online_brute_multi(&inst, g, inst.n()).unwrap();
+            check_schedule(&inst, &sched).unwrap();
+            let alg = run_online(&inst, g, &mut Alg3::new()).cost;
+            assert!(
+                lb <= opt as f64 + 1e-6,
+                "LP {lb} above OPT {opt} on {releases:?} P={p} G={g}"
+            );
+            assert!(alg >= opt, "ALG3 {alg} below OPT {opt}?!");
+            assert!(alg <= 12 * opt, "Theorem 3.10 vs exact OPT");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the paper's structural lemmas, validated across
+//! crates on randomized instances:
+//!
+//! * Observation 2.1 — greedy assignment is optimal given calibrations;
+//! * Lemma 4.1 — optimal schedules have no idle-then-late pattern;
+//! * Lemma 4.2 — each interval can end with an at-release job
+//!   (candidate-start restriction is lossless);
+//! * Definition 4.4 / Corollary 4.3 — critical-job structure of non-full
+//!   intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use calibration_scheduling::core::coverage_by_machine;
+use calibration_scheduling::offline::{
+    optimal_assignment_exhaustive, optimal_flow_brute, optimal_flow_exhaustive, solve_offline,
+};
+use calibration_scheduling::prelude::*;
+
+fn random_instance(rng: &mut StdRng, n: usize, span: i64, max_w: u64, t: i64) -> Instance {
+    let mut releases: Vec<i64> = Vec::new();
+    while releases.len() < n {
+        let r = rng.gen_range(0..=span);
+        if !releases.contains(&r) {
+            releases.push(r);
+        }
+    }
+    releases.sort_unstable();
+    let jobs: Vec<Job> = releases
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Job::new(i as u32, r, rng.gen_range(1..=max_w)))
+        .collect();
+    Instance::single_machine(jobs, t).unwrap()
+}
+
+/// Observation 2.1: the greedy highest-weight-first assignment matches the
+/// exhaustive optimal assignment for any calibration set.
+#[test]
+fn observation_2_1_greedy_assignment_is_optimal() {
+    let mut rng = StdRng::seed_from_u64(61);
+    for case in 0..200 {
+        let n = rng.gen_range(1..=6);
+        let t = rng.gen_range(1..=4);
+        let inst = random_instance(&mut rng, n, 10, 9, t);
+        // Random calibration times, enough to likely fit all jobs.
+        let k = rng.gen_range(1..=4);
+        let times: Vec<Time> = (0..k).map(|_| rng.gen_range(-2..12)).collect();
+        let greedy = assign_greedy(&inst, &times);
+        let exhaustive = optimal_assignment_exhaustive(&inst, &times);
+        match (greedy, exhaustive) {
+            (Ok(s), Some(best)) => {
+                assert_eq!(
+                    s.total_weighted_flow(&inst),
+                    best,
+                    "case {case}: greedy suboptimal on {inst:?} times {times:?}"
+                );
+            }
+            (Err(_), None) => {}
+            (g, e) => panic!(
+                "case {case}: feasibility disagreement: greedy {:?} vs exhaustive {e:?} on {inst:?} times {times:?}",
+                g.map(|s| s.total_weighted_flow(&inst))
+            ),
+        }
+    }
+}
+
+/// Lemma 4.2: restricting interval starts to `{r_j + 1 − T}` loses nothing
+/// against a full exhaustive search over all start times.
+#[test]
+fn lemma_4_2_candidate_starts_are_lossless() {
+    let mut rng = StdRng::seed_from_u64(62);
+    for case in 0..60 {
+        let n = rng.gen_range(1..=5);
+        let t = rng.gen_range(1..=3);
+        let inst = random_instance(&mut rng, n, 8, 5, t);
+        for k in 1..=2usize {
+            let restricted = optimal_flow_brute(&inst, k).map(|(f, _)| f);
+            let full = optimal_flow_exhaustive(&inst, k).map(|(f, _)| f);
+            assert_eq!(restricted, full, "case {case}: {inst:?} K={k}");
+        }
+    }
+}
+
+/// Lemma 4.1: in a DP-optimal schedule, every job either starts at its
+/// release time or has no idle calibrated step between its interval's start
+/// and its own slot.
+#[test]
+fn lemma_4_1_no_idle_before_delayed_jobs() {
+    let mut rng = StdRng::seed_from_u64(63);
+    for _ in 0..80 {
+        let n = rng.gen_range(2..=8);
+        let t = rng.gen_range(2..=4);
+        let inst = random_instance(&mut rng, n, 16, 7, t);
+        let budget = n.div_ceil(t as usize).max(2).min(n);
+        let Some(sol) = solve_offline(&inst, budget).unwrap() else { continue };
+        let sched = &sol.schedule;
+        let coverage = coverage_by_machine(&sched.calibrations, 1, inst.cal_len());
+        let busy: std::collections::HashSet<Time> =
+            sched.assignments.iter().map(|a| a.start).collect();
+        for a in &sched.assignments {
+            let job = inst.job(a.job).unwrap();
+            if a.start == job.release {
+                continue;
+            }
+            // Delayed job: every calibrated step in [release-capped interval
+            // start, a.start) must be busy... more precisely the lemma says
+            // no idle *calibrated* step between the interval's start and
+            // t_j. Walk backwards from a.start to the start of its covering
+            // segment.
+            let seg = coverage[0]
+                .segments()
+                .iter()
+                .find(|&&(b, e)| b <= a.start && a.start < e)
+                .copied()
+                .expect("assignment is covered");
+            for step in seg.0..a.start {
+                assert!(
+                    busy.contains(&step),
+                    "idle calibrated step {step} before delayed {} at {} on {inst:?}",
+                    a.job,
+                    a.start
+                );
+            }
+        }
+    }
+}
+
+/// Corollary 4.3 flavour: in DP-optimal schedules, a job released before the
+/// first idle step of a non-full interval is never scheduled after that
+/// idle step.
+#[test]
+fn corollary_4_3_non_full_interval_structure() {
+    let mut rng = StdRng::seed_from_u64(64);
+    for _ in 0..80 {
+        let n = rng.gen_range(2..=8);
+        let t = rng.gen_range(2..=5);
+        let inst = random_instance(&mut rng, n, 14, 5, t);
+        let budget = n.min(4);
+        let Some(sol) = solve_offline(&inst, budget).unwrap() else { continue };
+        let sched = &sol.schedule;
+        let coverage = coverage_by_machine(&sched.calibrations, 1, inst.cal_len());
+        let busy: std::collections::HashSet<Time> =
+            sched.assignments.iter().map(|a| a.start).collect();
+        for &(b, e) in coverage[0].segments() {
+            // First idle step of this covered segment, if any.
+            let Some(idle) = (b..e).find(|s| !busy.contains(s)) else { continue };
+            for a in &sched.assignments {
+                let job = inst.job(a.job).unwrap();
+                if job.release < idle {
+                    assert!(
+                        a.start <= idle,
+                        "{} released {} before idle {idle} but runs at {} on {inst:?}",
+                        a.job,
+                        job.release,
+                        a.start
+                    );
+                }
+            }
+        }
+    }
+}
