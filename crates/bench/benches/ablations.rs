@@ -1,67 +1,56 @@
-//! Criterion bench comparing ablated variants head-to-head (experiment
-//! E10's runtime side): the variants cost the same asymptotically; this
-//! bench documents that enabling the paper's extra rules is computationally
-//! free.
+//! Bench comparing ablated variants head-to-head (experiment E10's runtime
+//! side): the variants cost the same asymptotically; this bench documents
+//! that enabling the paper's extra rules is computationally free.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use calib_bench::harness::Bench;
 use calib_online::{run_alg3_practical, run_online, Alg1, Alg2, Alg3};
 use calib_workloads::{arrivals, make_instance, WeightModel};
 
-fn bench_alg1_variants(c: &mut Criterion) {
-    let inst = make_instance(
+fn main() {
+    let mut b = Bench::new("ablations");
+
+    let stair = make_instance(
         arrivals::staircase(40, 15, true),
         WeightModel::Unit,
         31,
         1,
         6,
     );
-    let mut group = c.benchmark_group("ablate_alg1");
-    group.bench_function("immediate_on", |b| {
-        b.iter(|| black_box(run_online(&inst, 25, &mut Alg1::new()).cost))
+    b.bench("alg1/immediate_on", || {
+        run_online(&stair, 25, &mut Alg1::new()).cost
     });
-    group.bench_function("immediate_off", |b| {
-        b.iter(|| black_box(run_online(&inst, 25, &mut Alg1::without_immediate_rule()).cost))
+    b.bench("alg1/immediate_off", || {
+        run_online(&stair, 25, &mut Alg1::without_immediate_rule()).cost
     });
-    group.finish();
-}
 
-fn bench_alg2_variants(c: &mut Criterion) {
-    let inst = make_instance(
+    let weighted = make_instance(
         arrivals::poisson(32, 2000, 0.4, true),
-        WeightModel::Pareto { alpha: 1.3, cap: 50 },
+        WeightModel::Pareto {
+            alpha: 1.3,
+            cap: 50,
+        },
         32,
         1,
         6,
     );
-    let mut group = c.benchmark_group("ablate_alg2");
-    group.bench_function("heaviest_first", |b| {
-        b.iter(|| black_box(run_online(&inst, 25, &mut Alg2::new()).cost))
+    b.bench("alg2/heaviest_first", || {
+        run_online(&weighted, 25, &mut Alg2::new()).cost
     });
-    group.bench_function("lightest_first", |b| {
-        b.iter(|| black_box(run_online(&inst, 25, &mut Alg2::lightest_first()).cost))
+    b.bench("alg2/lightest_first", || {
+        run_online(&weighted, 25, &mut Alg2::lightest_first()).cost
     });
-    group.finish();
-}
 
-fn bench_alg3_variants(c: &mut Criterion) {
-    let inst = make_instance(
+    let multi = make_instance(
         arrivals::bursty(60, 10, 30, false),
         WeightModel::Unit,
         33,
         4,
         8,
     );
-    let mut group = c.benchmark_group("ablate_alg3");
-    group.bench_function("spec", |b| {
-        b.iter(|| black_box(run_online(&inst, 20, &mut Alg3::new()).cost))
+    b.bench("alg3/spec", || {
+        run_online(&multi, 20, &mut Alg3::new()).cost
     });
-    group.bench_function("practical", |b| {
-        b.iter(|| black_box(run_alg3_practical(&inst, 20).cost))
-    });
-    group.finish();
-}
+    b.bench("alg3/practical", || run_alg3_practical(&multi, 20).cost);
 
-criterion_group!(benches, bench_alg1_variants, bench_alg2_variants, bench_alg3_variants);
-criterion_main!(benches);
+    b.finish();
+}

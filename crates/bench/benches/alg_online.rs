@@ -1,14 +1,13 @@
-//! Criterion benches for the online algorithms: throughput of full runs on
-//! the standard workload families (engine + algorithm, end to end).
+//! Benches for the online algorithms: throughput of full runs on the
+//! standard workload families (engine + algorithm, end to end).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
-use calib_online::{run_online, Alg1, Alg2, Alg3};
+use calib_bench::harness::Bench;
+use calib_online::{run_online, run_online_with, Alg1, Alg2, Alg3, EngineConfig};
 use calib_workloads::{arrivals, make_instance, WeightModel};
 
-fn bench_alg1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg1");
+fn main() {
+    let mut b = Bench::new("alg_online");
+
     for &n in &[100usize, 1000, 10_000] {
         let inst = make_instance(
             arrivals::poisson(7, n, 0.5, true),
@@ -17,32 +16,27 @@ fn bench_alg1(c: &mut Criterion) {
             1,
             8,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(run_online(inst, 40, &mut Alg1::new()).cost));
+        b.bench(&format!("alg1/{n}"), || {
+            run_online(&inst, 40, &mut Alg1::new()).cost
         });
     }
-    group.finish();
-}
 
-fn bench_alg2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg2");
     for &n in &[100usize, 1000, 10_000] {
         let inst = make_instance(
             arrivals::poisson(8, n, 0.5, true),
-            WeightModel::Pareto { alpha: 1.2, cap: 64 },
+            WeightModel::Pareto {
+                alpha: 1.2,
+                cap: 64,
+            },
             8,
             1,
             8,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(run_online(inst, 40, &mut Alg2::new()).cost));
+        b.bench(&format!("alg2/{n}"), || {
+            run_online(&inst, 40, &mut Alg2::new()).cost
         });
     }
-    group.finish();
-}
 
-fn bench_alg3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg3");
     for &p in &[2usize, 4, 8] {
         let inst = make_instance(
             arrivals::bursty(50, 20, 60, false),
@@ -51,42 +45,26 @@ fn bench_alg3(c: &mut Criterion) {
             p,
             10,
         );
-        group.bench_with_input(BenchmarkId::new("machines", p), &inst, |b, inst| {
-            b.iter(|| black_box(run_online(inst, 30, &mut Alg3::new()).cost));
+        b.bench(&format!("alg3/machines/{p}"), || {
+            run_online(&inst, 30, &mut Alg3::new()).cost
         });
     }
-    group.finish();
-}
 
-fn bench_engine_skipping(c: &mut Criterion) {
     // Sparse workload with huge dead stretches: event skipping should make
     // the run orders of magnitude cheaper than slot-by-slot stepping.
-    use calib_online::{run_online_with, EngineConfig};
-    let inst = make_instance(
+    let sparse = make_instance(
         (0..60).map(|i| i * 5_000).collect(),
         WeightModel::Unit,
         10,
         1,
         16,
     );
-    let mut group = c.benchmark_group("engine_skipping");
-    group.sample_size(10);
-    group.bench_function("skip", |b| {
-        b.iter(|| {
-            black_box(
-                run_online_with(&inst, 40, &mut Alg1::new(), EngineConfig::default()).cost,
-            )
-        })
+    b.bench("engine_skipping/skip", || {
+        run_online_with(&sparse, 40, &mut Alg1::new(), EngineConfig::default()).cost
     });
-    group.bench_function("no_skip", |b| {
-        b.iter(|| {
-            black_box(
-                run_online_with(&inst, 40, &mut Alg1::new(), EngineConfig::no_skip()).cost,
-            )
-        })
+    b.bench("engine_skipping/no_skip", || {
+        run_online_with(&sparse, 40, &mut Alg1::new(), EngineConfig::no_skip()).cost
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_alg1, bench_alg2, bench_alg3, bench_engine_skipping);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,14 +1,13 @@
-//! Criterion bench for the Observation 2.1 greedy assigner (experiment E7):
+//! Bench for the Observation 2.1 greedy assigner (experiment E7):
 //! throughput of optimal job-to-slot assignment given calibration times.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use calib_bench::harness::Bench;
 use calib_core::{assign_greedy, Time};
 use calib_workloads::{arrivals, make_instance, WeightModel};
 
-fn bench_assigner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assigner");
+fn main() {
+    let mut b = Bench::new("assigner");
+
     for &n in &[1000usize, 10_000, 100_000] {
         let inst = make_instance(
             arrivals::poisson(21, n, 0.8, true),
@@ -21,15 +20,9 @@ fn bench_assigner(c: &mut Criterion) {
         let max_r = inst.max_release().unwrap();
         let k = (n / 8).max(1) as Time;
         let times: Vec<Time> = (0..k).map(|i| i * (max_r / k).max(1)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(assign_greedy(inst, &times)));
-        });
+        b.bench(&format!("poisson/{n}"), || assign_greedy(&inst, &times));
     }
-    group.finish();
-}
 
-fn bench_assigner_multi_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assigner_multi");
     let n = 10_000;
     for &p in &[1usize, 4, 16] {
         let inst = make_instance(
@@ -40,12 +33,10 @@ fn bench_assigner_multi_machine(c: &mut Criterion) {
             10,
         );
         let times: Vec<Time> = (0..(n / 10) as Time).map(|i| i * 12).collect();
-        group.bench_with_input(BenchmarkId::new("machines", p), &inst, |b, inst| {
-            b.iter(|| black_box(assign_greedy(inst, &times)));
+        b.bench(&format!("multi/machines/{p}"), || {
+            assign_greedy(&inst, &times)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_assigner, bench_assigner_multi_machine);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,15 +1,13 @@
-//! Criterion bench for the simplex substrate on the Figure 1 LPs
-//! (experiment E8's runtime side).
+//! Bench for the simplex substrate on the Figure 1 LPs (experiment E8's
+//! runtime side).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use calib_bench::harness::Bench;
 use calib_lp::lp_lower_bound;
 use calib_workloads::{arrivals, make_instance, WeightModel};
 
-fn bench_flow_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_lp");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::new("lp_solver");
+
     for &n in &[4usize, 6, 8] {
         let inst = make_instance(
             arrivals::uniform_spread(41, n, 2 * n as i64, true),
@@ -18,16 +16,11 @@ fn bench_flow_lp(c: &mut Criterion) {
             1,
             3,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(lp_lower_bound(inst, 5).unwrap()));
+        b.bench(&format!("flow_lp/{n}"), || {
+            lp_lower_bound(&inst, 5).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_flow_lp_machines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_lp_machines");
-    group.sample_size(10);
     for &p in &[1usize, 2, 3] {
         let inst = make_instance(
             arrivals::bursty(3, 2, 4, false),
@@ -36,12 +29,10 @@ fn bench_flow_lp_machines(c: &mut Criterion) {
             p,
             3,
         );
-        group.bench_with_input(BenchmarkId::new("machines", p), &inst, |b, inst| {
-            b.iter(|| black_box(lp_lower_bound(inst, 5).unwrap()));
+        b.bench(&format!("flow_lp/machines/{p}"), || {
+            lp_lower_bound(&inst, 5).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_flow_lp, bench_flow_lp_machines);
-criterion_main!(benches);
+    b.finish();
+}

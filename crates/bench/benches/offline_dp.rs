@@ -1,15 +1,13 @@
-//! Criterion bench for the offline dynamic program (Theorem 4.7) —
-//! the runtime series behind experiment E6.
+//! Bench for the offline dynamic program (Theorem 4.7) — the runtime
+//! series behind experiment E6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use calib_bench::harness::Bench;
 use calib_offline::solve_offline;
 use calib_workloads::{arrivals, make_instance, WeightModel};
 
-fn bench_dp_by_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offline_dp_n");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::new("offline_dp");
+
     for &n in &[20usize, 40, 80] {
         let inst = make_instance(
             arrivals::poisson(11, n, 0.6, true),
@@ -19,16 +17,11 @@ fn bench_dp_by_n(c: &mut Criterion) {
             4,
         );
         let budget = n.div_ceil(4);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_offline(inst, budget).unwrap().unwrap().flow));
+        b.bench(&format!("by_n/{n}"), || {
+            solve_offline(&inst, budget).unwrap().unwrap().flow
         });
     }
-    group.finish();
-}
 
-fn bench_dp_by_budget(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offline_dp_k");
-    group.sample_size(10);
     let n = 40;
     let inst = make_instance(
         arrivals::poisson(12, n, 0.6, true),
@@ -38,12 +31,10 @@ fn bench_dp_by_budget(c: &mut Criterion) {
         4,
     );
     for &k in &[10usize, 20, 40] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
-            b.iter(|| black_box(solve_offline(inst, k).unwrap().unwrap().flow));
+        b.bench(&format!("by_budget/{k}"), || {
+            solve_offline(&inst, k).unwrap().unwrap().flow
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_dp_by_n, bench_dp_by_budget);
-criterion_main!(benches);
+    b.finish();
+}

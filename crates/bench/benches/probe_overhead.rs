@@ -1,0 +1,64 @@
+//! Probe-cost bench: the observability layer's acceptance criterion.
+//!
+//! `noop_explicit` must sit within noise of `plain` — `NoopProbe` disables
+//! every emission site at compile time (`Probe::ENABLED = false`), so the
+//! un-probed engine and the `NoopProbe`-probed engine are the same machine
+//! code. `counting` and `recording` then show what actually *using* the
+//! layer costs.
+
+use calib_bench::harness::Bench;
+use calib_core::obs::{Counters, CountingProbe, NoopProbe, RecordingProbe};
+use calib_online::{run_online, run_online_probed, Alg3, EngineConfig};
+use calib_workloads::{arrivals, make_instance, WeightModel};
+
+fn main() {
+    let mut b = Bench::new("probe_overhead");
+
+    let inst = make_instance(
+        arrivals::poisson(17, 2000, 0.6, true),
+        WeightModel::Uniform { max: 9 },
+        17,
+        4,
+        10,
+    );
+    let g = 40;
+
+    b.bench("plain", || run_online(&inst, g, &mut Alg3::new()).cost);
+    b.bench("noop_explicit", || {
+        run_online_probed(
+            &inst,
+            g,
+            &mut Alg3::new(),
+            EngineConfig::default(),
+            &mut NoopProbe,
+        )
+        .cost
+    });
+    let counters = Counters::new();
+    b.bench("counting", || {
+        let mut probe = CountingProbe::new(&counters);
+        run_online_probed(
+            &inst,
+            g,
+            &mut Alg3::new(),
+            EngineConfig::default(),
+            &mut probe,
+        )
+        .cost
+    });
+    b.bench("recording", || {
+        let mut probe = RecordingProbe::new();
+        let cost = run_online_probed(
+            &inst,
+            g,
+            &mut Alg3::new(),
+            EngineConfig::default(),
+            &mut probe,
+        )
+        .cost;
+        assert!(!probe.events.is_empty());
+        cost
+    });
+
+    b.finish();
+}

@@ -36,7 +36,11 @@ fn main() {
     println!("{}", ex::lower_bound::run(&e4).1.render());
 
     // E5.
-    let e5 = ex::optr_gap::OptrConfig { n: 6, seeds: 3, ..Default::default() };
+    let e5 = ex::optr_gap::OptrConfig {
+        n: 6,
+        seeds: 3,
+        ..Default::default()
+    };
     println!("{}", ex::optr_gap::run(&e5).1.render());
 
     // E6.
@@ -48,7 +52,11 @@ fn main() {
     println!("{}", ex::dp_scaling::run(&e6).2.render());
 
     // E8.
-    let e8 = ex::lp_gap::LpGapConfig { n: 5, seeds: 2, ..Default::default() };
+    let e8 = ex::lp_gap::LpGapConfig {
+        n: 5,
+        seeds: 2,
+        ..Default::default()
+    };
     println!("{}", ex::lp_gap::run(&e8).1.render());
 
     // E10.

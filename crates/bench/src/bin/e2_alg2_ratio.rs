@@ -8,8 +8,20 @@ fn main() {
     let quick = calib_bench::quick_mode();
     let models = [
         ("uniform(1..20)", WeightModel::Uniform { max: 20 }),
-        ("pareto(1.1)", WeightModel::Pareto { alpha: 1.1, cap: 100 }),
-        ("bimodal(100@5%)", WeightModel::Bimodal { heavy: 100, p_heavy: 0.05 }),
+        (
+            "pareto(1.1)",
+            WeightModel::Pareto {
+                alpha: 1.1,
+                cap: 100,
+            },
+        ),
+        (
+            "bimodal(100@5%)",
+            WeightModel::Bimodal {
+                heavy: 100,
+                p_heavy: 0.05,
+            },
+        ),
     ];
     let mut worst = 0.0f64;
     for (label, weights) in models {
@@ -44,5 +56,8 @@ fn main() {
     let (ratios, table) = calib_sim::experiments::optr_gap::alg2_vs_optr(&optr_cfg);
     println!("{}", table.render());
     let worst_r = ratios.iter().copied().fold(0.0f64, f64::max);
-    assert!(worst_r <= 6.0 + 1e-9, "Alg2 vs OPT_r bound violated: {worst_r}");
+    assert!(
+        worst_r <= 6.0 + 1e-9,
+        "Alg2 vs OPT_r bound violated: {worst_r}"
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("max integrality gap OPT/LP: {worst:.4}");
     assert!(
-        cells.iter().flat_map(|c| c.gaps.iter()).all(|&g| g >= 1.0 - 1e-6),
+        cells
+            .iter()
+            .flat_map(|c| c.gaps.iter())
+            .all(|&g| g >= 1.0 - 1e-6),
         "weak duality violated"
     );
 }

@@ -1,0 +1,172 @@
+//! A small self-contained measurement harness (no external bench framework).
+//!
+//! Each `benches/*.rs` target builds a [`Bench`] suite, times closures with
+//! warmup + repeated samples, prints a human-readable line per measurement,
+//! and on [`Bench::finish`] writes the whole suite as machine-readable JSON
+//! to `BENCH_<suite>.json` (override the directory with `BENCH_OUT_DIR`).
+//!
+//! Timing strategy: one calibration call picks an iteration count so each
+//! sample spans at least ~1 ms (cheap closures are batched, expensive ones
+//! run once per sample), then `samples` samples are taken and summarized by
+//! min/median/mean/max nanoseconds per call.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use calib_core::json::Json;
+
+/// Target wall-clock per sample; cheap closures are batched up to this.
+const TARGET_SAMPLE_NS: u64 = 1_000_000;
+/// Cap on the batching factor, so calibration mispredictions stay bounded.
+const MAX_ITERS: u64 = 10_000;
+
+/// One timed closure's summary statistics (nanoseconds per call).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Measurement label within the suite.
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Median sample.
+    pub median_ns: u64,
+    /// Mean over samples.
+    pub mean_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Number of samples taken.
+    pub samples: u32,
+    /// Iterations batched per sample.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// JSON object form, one field per statistic.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("min_ns", Json::UInt(self.min_ns as u128)),
+            ("median_ns", Json::UInt(self.median_ns as u128)),
+            ("mean_ns", Json::UInt(self.mean_ns as u128)),
+            ("max_ns", Json::UInt(self.max_ns as u128)),
+            ("samples", Json::UInt(self.samples as u128)),
+            ("iters", Json::UInt(self.iters as u128)),
+        ])
+    }
+}
+
+/// A named suite of measurements, written out as `BENCH_<suite>.json`.
+pub struct Bench {
+    suite: &'static str,
+    samples: u32,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// A new suite. `--quick` (see [`crate::quick_mode`]) shrinks sampling.
+    pub fn new(suite: &'static str) -> Self {
+        let samples = if crate::quick_mode() { 5 } else { 15 };
+        println!("suite {suite} ({samples} samples/measurement)");
+        Bench {
+            suite,
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-measurement sample count.
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, prints one summary line, and records the measurement.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> &Measurement {
+        // Calibrate: batch cheap closures so one sample spans ~1 ms.
+        let start = Instant::now();
+        black_box(f());
+        let once_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let iters = (TARGET_SAMPLE_NS / once_ns).clamp(1, MAX_ITERS);
+
+        // One warmup sample beyond calibration, then the real samples.
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mut per_call: Vec<u64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                (start.elapsed().as_nanos() as u64 / iters).max(1)
+            })
+            .collect();
+        per_call.sort_unstable();
+
+        let samples = self.samples;
+        let m = Measurement {
+            name: name.to_string(),
+            min_ns: per_call[0],
+            median_ns: per_call[per_call.len() / 2],
+            mean_ns: per_call.iter().sum::<u64>() / samples as u64,
+            max_ns: per_call[per_call.len() - 1],
+            samples,
+            iters,
+        };
+        println!(
+            "  {:<40} median {:>12} ns/call  (min {}, max {}, x{} batched)",
+            m.name, m.median_ns, m.min_ns, m.max_ns, m.iters
+        );
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Suite JSON: `{"suite": ..., "results": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("suite", Json::Str(self.suite.into())),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(|m| m.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<suite>.json` (into `BENCH_OUT_DIR` when set, else the
+    /// working directory) and reports where it went.
+    pub fn finish(self) {
+        let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+        let path = format!("{dir}/BENCH_{}.json", self.suite);
+        match std::fs::write(&path, self.to_json().to_string_pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes() {
+        let mut b = Bench::new("selftest").samples(3);
+        b.bench("square", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let m = &b.results()[0];
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.iters >= 1);
+        let j = b.to_json();
+        assert_eq!(j.get("suite").and_then(|s| s.as_str()), Some("selftest"));
+        assert_eq!(j.get("results").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -1,13 +1,18 @@
 //! # calib-bench
 //!
 //! Benchmarks and experiment binaries for the calibration-scheduling
-//! reproduction. Criterion benches live in `benches/`; the `e*` binaries in
-//! `src/bin/` print the DESIGN.md §3 experiment tables (the paper has no
-//! empirical tables of its own, so these regenerate every *quantitative
-//! claim* instead — see EXPERIMENTS.md for recorded output).
+//! reproduction. The benches in `benches/` run on the in-repo [`harness`]
+//! (warmup + sampled timing, `BENCH_*.json` output — no external bench
+//! framework); the `e*` binaries in `src/bin/` print the DESIGN.md §3
+//! experiment tables (the paper has no empirical tables of its own, so
+//! these regenerate every *quantitative claim* instead — see EXPERIMENTS.md
+//! for recorded output).
 //!
-//! Run all tables with `cargo run --release -p calib-bench --bin <e*>`;
-//! every binary accepts `--quick` to shrink the sweep.
+//! Run all tables with `cargo run --release -p calib-bench --bin <e*>` and
+//! all benches with `cargo bench -p calib-bench`; every binary accepts
+//! `--quick` to shrink the sweep.
+
+pub mod harness;
 
 /// Shared quick-mode switch: pass `--quick` to any experiment binary to
 /// shrink the sweep (used in CI-style smoke runs).

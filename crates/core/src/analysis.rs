@@ -47,7 +47,9 @@ pub fn schedule_stats(instance: &Instance, schedule: &Schedule) -> ScheduleStats
     let mut flow_sum = 0i128;
     let mut at_release = 0;
     for a in &schedule.assignments {
-        let job = instance.job(a.job).expect("assignment references a known job");
+        let job = instance
+            .job(a.job)
+            .expect("assignment references a known job");
         let flow = a.start + 1 - job.release;
         max_flow = max_flow.max(flow);
         flow_sum += flow as i128;
@@ -68,7 +70,11 @@ pub fn schedule_stats(instance: &Instance, schedule: &Schedule) -> ScheduleStats
         },
         total_weighted_flow: schedule.total_weighted_flow(instance),
         max_flow,
-        mean_flow: if n == 0 { 0.0 } else { flow_sum as f64 / n as f64 },
+        mean_flow: if n == 0 {
+            0.0
+        } else {
+            flow_sum as f64 / n as f64
+        },
         at_release,
     }
 }
@@ -141,7 +147,10 @@ mod tests {
 
     #[test]
     fn stats_of_simple_schedule() {
-        let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 5]).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 1, 5])
+            .build()
+            .unwrap();
         let sched = assign_greedy(&inst, &[0, 5]).unwrap();
         let stats = schedule_stats(&inst, &sched);
         assert_eq!(stats.jobs, 3);

@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 use crate::calibration::{coverage_by_machine, round_robin_calibrations, Calibration, Coverage};
 use crate::instance::Instance;
 use crate::job::Job;
+use crate::obs::Counters;
 use crate::schedule::{Assignment, Schedule};
 use crate::types::{JobId, MachineId, Time};
 
@@ -75,7 +76,10 @@ pub struct WaitingQueue {
 impl WaitingQueue {
     /// An empty queue with the given service policy.
     pub fn new(policy: PriorityPolicy) -> Self {
-        WaitingQueue { policy, heap: BinaryHeap::new() }
+        WaitingQueue {
+            policy,
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// The queue's service policy.
@@ -85,7 +89,10 @@ impl WaitingQueue {
 
     /// Adds a released job.
     pub fn push(&mut self, job: Job) {
-        self.heap.push(HeapEntry { key: self.policy.sort_key(&job), job });
+        self.heap.push(HeapEntry {
+            key: self.policy.sort_key(&job),
+            job,
+        });
     }
 
     /// Removes and returns the highest-priority job.
@@ -132,7 +139,11 @@ pub struct InsufficientCalibrations {
 
 impl std::fmt::Display for InsufficientCalibrations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} job(s) do not fit in the calibrated slots", self.unscheduled.len())
+        write!(
+            f,
+            "{} job(s) do not fit in the calibrated slots",
+            self.unscheduled.len()
+        )
     }
 }
 
@@ -168,6 +179,34 @@ pub fn assign_with_calibrations(
     instance: &Instance,
     calibrations: &[Calibration],
     policy: PriorityPolicy,
+) -> Result<Schedule, InsufficientCalibrations> {
+    assign_with_calibrations_counted(instance, calibrations, policy, None)
+}
+
+/// [`assign_with_calibrations`] with an optional [`Counters`] registry:
+/// every candidate-slot probe (a `next_covered` query against a machine's
+/// coverage) bumps `assigner_slots_scanned`. The count accumulates in a
+/// local integer and is flushed to the atomics once on exit, so the hot
+/// loop never touches shared state.
+pub fn assign_with_calibrations_counted(
+    instance: &Instance,
+    calibrations: &[Calibration],
+    policy: PriorityPolicy,
+    counters: Option<&Counters>,
+) -> Result<Schedule, InsufficientCalibrations> {
+    let mut slots_scanned = 0u64;
+    let result = assign_inner(instance, calibrations, policy, &mut slots_scanned);
+    if let Some(c) = counters {
+        c.assigner_slots_scanned(slots_scanned);
+    }
+    result
+}
+
+fn assign_inner(
+    instance: &Instance,
+    calibrations: &[Calibration],
+    policy: PriorityPolicy,
+    slots_scanned: &mut u64,
 ) -> Result<Schedule, InsufficientCalibrations> {
     let p = instance.machines();
     let coverage: Vec<Coverage> = coverage_by_machine(calibrations, p, instance.cal_len());
@@ -206,6 +245,7 @@ pub fn assign_with_calibrations(
         let mut earliest: Option<Time> = None;
         for m in 0..p {
             let from = t.max(used_until[m]);
+            *slots_scanned += 1;
             if let Some(s) = coverage[m].next_covered(from) {
                 earliest = Some(earliest.map_or(s, |e: Time| e.min(s)));
             }
@@ -238,6 +278,7 @@ pub fn assign_with_calibrations(
                 break;
             }
             let from = t.max(used_until[m]);
+            *slots_scanned += 1;
             if coverage[m].next_covered(from) == Some(t) {
                 let job = waiting.pop().expect("non-empty");
                 assignments.push(Assignment::new(job.id, t, MachineId(m as u32)));
@@ -258,7 +299,10 @@ mod tests {
 
     #[test]
     fn schedules_in_release_order_when_unweighted() {
-        let inst = InstanceBuilder::new(5).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(5)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         let sched = assign_greedy(&inst, &[0]).unwrap();
         check_schedule(&inst, &sched).unwrap();
         assert_eq!(sched.start_of(JobId(0)), Some(0));
@@ -287,7 +331,10 @@ mod tests {
 
     #[test]
     fn insufficient_calibrations_reports_leftovers() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 0, 0]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 0, 0])
+            .build()
+            .unwrap();
         let err = assign_greedy(&inst, &[0]).unwrap_err();
         assert_eq!(err.unscheduled.len(), 1);
     }
@@ -341,6 +388,30 @@ mod tests {
         assert_eq!(sched.start_of(JobId(0)), Some(0));
         assert_eq!(sched.start_of(JobId(1)), Some(1));
         assert_eq!(sched.start_of(JobId(2)), Some(2));
+    }
+
+    #[test]
+    fn counted_assignment_reports_slot_scans() {
+        use crate::obs::Counters;
+
+        let inst = InstanceBuilder::new(5)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
+        let cals = crate::calibration::round_robin_calibrations(&[0], inst.machines());
+        let counters = Counters::new();
+        let counted = assign_with_calibrations_counted(
+            &inst,
+            &cals,
+            PriorityPolicy::HighestWeightFirst,
+            Some(&counters),
+        )
+        .unwrap();
+        // Same schedule as the uncounted path, plus a nonzero scan count.
+        let plain =
+            assign_with_calibrations(&inst, &cals, PriorityPolicy::HighestWeightFirst).unwrap();
+        assert_eq!(counted, plain);
+        assert!(counters.snapshot().assigner_slots_scanned >= inst.n() as u64);
     }
 
     #[test]

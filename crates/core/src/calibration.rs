@@ -1,13 +1,11 @@
 //! Calibrations and calibrated-slot coverage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{MachineId, Time};
 
 /// A single calibration: machine `machine` is calibrated at time step
 /// `start`, making slots `start .. start + T` usable (`T` is the instance's
 /// calibration length and is *not* stored here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Calibration {
     /// The machine being calibrated.
     pub machine: MachineId,
@@ -18,7 +16,10 @@ pub struct Calibration {
 impl Calibration {
     /// Convenience constructor.
     pub fn new(machine: u32, start: Time) -> Self {
-        Calibration { machine: MachineId(machine), start }
+        Calibration {
+            machine: MachineId(machine),
+            start,
+        }
     }
 
     /// Does this calibration (of length `cal_len`) cover time step `t`?
@@ -64,7 +65,11 @@ impl Coverage {
     /// Is time step `t` calibrated?
     pub fn covers(&self, t: Time) -> bool {
         // Binary search for the last segment with start <= t.
-        match self.segments.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+        match self
+            .segments
+            .partition_point(|&(b, _)| b <= t)
+            .checked_sub(1)
+        {
             Some(i) => t < self.segments[i].1,
             None => false,
         }
@@ -99,7 +104,10 @@ pub fn round_robin_calibrations(times: &[Time], machines: usize) -> Vec<Calibrat
     sorted
         .into_iter()
         .enumerate()
-        .map(|(i, t)| Calibration { machine: MachineId((i % machines) as u32), start: t })
+        .map(|(i, t)| Calibration {
+            machine: MachineId((i % machines) as u32),
+            start: t,
+        })
         .collect()
 }
 
@@ -109,7 +117,10 @@ pub fn coverage_by_machine(cals: &[Calibration], machines: usize, cal_len: Time)
     for c in cals {
         starts[c.machine.index()].push(c.start);
     }
-    starts.iter().map(|s| Coverage::from_starts(s, cal_len)).collect()
+    starts
+        .iter()
+        .map(|s| Coverage::from_starts(s, cal_len))
+        .collect()
 }
 
 #[cfg(test)]
@@ -166,13 +177,21 @@ mod tests {
         // Sorted by time: 1 -> m0, 3 -> m1, 5 -> m0.
         assert_eq!(
             cals,
-            vec![Calibration::new(0, 1), Calibration::new(1, 3), Calibration::new(0, 5)]
+            vec![
+                Calibration::new(0, 1),
+                Calibration::new(1, 3),
+                Calibration::new(0, 5)
+            ]
         );
     }
 
     #[test]
     fn coverage_by_machine_splits() {
-        let cals = vec![Calibration::new(0, 0), Calibration::new(1, 2), Calibration::new(0, 7)];
+        let cals = vec![
+            Calibration::new(0, 0),
+            Calibration::new(1, 2),
+            Calibration::new(0, 7),
+        ];
         let cov = coverage_by_machine(&cals, 2, 3);
         assert_eq!(cov[0].segments(), &[(0, 3), (7, 10)]);
         assert_eq!(cov[1].segments(), &[(2, 5)]);

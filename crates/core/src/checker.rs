@@ -65,11 +65,23 @@ impl std::fmt::Display for Violation {
             Violation::JobAssignedTwice(j) => write!(f, "{j} is scheduled more than once"),
             Violation::UnknownJob(j) => write!(f, "assignment references unknown {j}"),
             Violation::UnknownMachine(m) => write!(f, "reference to unknown {m}"),
-            Violation::StartedBeforeRelease { job, start, release } => {
+            Violation::StartedBeforeRelease {
+                job,
+                start,
+                release,
+            } => {
                 write!(f, "{job} starts at {start} before its release {release}")
             }
-            Violation::SlotConflict { machine, time, jobs } => {
-                write!(f, "{} and {} both run on {machine} at {time}", jobs.0, jobs.1)
+            Violation::SlotConflict {
+                machine,
+                time,
+                jobs,
+            } => {
+                write!(
+                    f,
+                    "{} and {} both run on {machine} at {time}",
+                    jobs.0, jobs.1
+                )
             }
             Violation::UncalibratedSlot { job, machine, time } => {
                 write!(f, "{job} runs on {machine} at uncalibrated step {time}")
@@ -211,13 +223,16 @@ mod tests {
     #[test]
     fn detects_double_assignment_and_slot_conflict() {
         let mut s = ok_schedule();
-        s.assignments.push(Assignment::new(JobId(0), 1, MachineId(0)));
+        s.assignments
+            .push(Assignment::new(JobId(0), 1, MachineId(0)));
         let err = check_schedule(&inst(), &s).unwrap_err();
         assert!(err
             .violations
             .iter()
             .any(|v| matches!(v, Violation::SlotConflict { .. })));
-        assert!(err.violations.contains(&Violation::JobAssignedTwice(JobId(0))));
+        assert!(err
+            .violations
+            .contains(&Violation::JobAssignedTwice(JobId(0))));
     }
 
     #[test]
@@ -265,13 +280,18 @@ mod tests {
         );
         let err = check_schedule(&inst(), &s).unwrap_err();
         assert!(err.violations.contains(&Violation::UnknownJob(JobId(42))));
-        assert!(err.violations.contains(&Violation::UnknownMachine(MachineId(5))));
+        assert!(err
+            .violations
+            .contains(&Violation::UnknownMachine(MachineId(5))));
     }
 
     #[test]
     fn overlapping_calibrations_merge_coverage() {
         // Two overlapping calibrations on one machine: slots [0,5) with T=3.
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2, 3, 4]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 2, 3, 4])
+            .build()
+            .unwrap();
         let s = Schedule::new(
             vec![Calibration::new(0, 0), Calibration::new(0, 2)],
             (0..5)

@@ -23,7 +23,10 @@ pub fn flow_if_run_consecutively(jobs: &[Job], first_start: Time) -> Cost {
         let slot = first_start + k as Time;
         total += (j.weight as i128) * ((slot + 1 - j.release) as i128);
     }
-    debug_assert!(total >= 0, "queue flow must be nonnegative for released jobs");
+    debug_assert!(
+        total >= 0,
+        "queue flow must be nonnegative for released jobs"
+    );
     total as Cost
 }
 
@@ -47,7 +50,11 @@ pub fn earliest_flow_crossing(jobs: &[Job], threshold: Cost) -> Option<Time> {
         .sum();
     // Solve (t + 2) * slope + offset >= threshold for integer t.
     let need = threshold as i128 - offset - 2 * slope;
-    let t = if need <= 0 { i128::MIN } else { (need + slope - 1) / slope };
+    let t = if need <= 0 {
+        i128::MIN
+    } else {
+        (need + slope - 1) / slope
+    };
     // Never answer earlier than the queue's latest release: a queued job
     // cannot start before it is released, and at any t >= max release the
     // flow expression is the true (nonnegative) queue flow. Callers
@@ -116,8 +123,7 @@ mod tests {
         let light_first = jobs(&[(0, 1), (0, 9)]);
         // Heavy job earlier -> lower total weighted flow.
         assert!(
-            flow_if_run_consecutively(&heavy_first, 1)
-                < flow_if_run_consecutively(&light_first, 1)
+            flow_if_run_consecutively(&heavy_first, 1) < flow_if_run_consecutively(&light_first, 1)
         );
     }
 }

@@ -1,7 +1,5 @@
 //! Problem instances: a job set plus machine count and calibration length.
 
-use serde::{Deserialize, Serialize};
-
 use crate::job::{normalize_releases, sort_jobs, Job};
 use crate::types::{Cost, JobId, Time, Weight};
 
@@ -14,7 +12,7 @@ use crate::types::{Cost, JobId, Time, Weight};
 /// The calibration *cost* `G` (online setting) and the calibration *budget*
 /// `K` (offline setting) are not part of the instance; they parameterize the
 /// objective and are passed to solvers separately.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     jobs: Vec<Job>,
     machines: usize,
@@ -68,7 +66,11 @@ impl Instance {
                 return Err(InstanceError::DuplicateJobId(w[0]));
             }
         }
-        Ok(Instance { jobs, machines, cal_len })
+        Ok(Instance {
+            jobs,
+            machines,
+            cal_len,
+        })
     }
 
     /// Single-machine instance (the setting of Algorithms 1, 2 and Section 4).
@@ -187,7 +189,12 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Starts a single-machine builder with calibration length `T`.
     pub fn new(cal_len: Time) -> Self {
-        InstanceBuilder { jobs: Vec::new(), machines: 1, cal_len, next_id: 0 }
+        InstanceBuilder {
+            jobs: Vec::new(),
+            machines: 1,
+            cal_len,
+            next_id: 0,
+        }
     }
 
     /// Sets the machine count `P`.
@@ -228,7 +235,10 @@ mod tests {
 
     #[test]
     fn builder_assigns_sequential_ids() {
-        let inst = InstanceBuilder::new(3).unit_jobs([4, 0, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([4, 0, 2])
+            .build()
+            .unwrap();
         // Sorted by release.
         let rs: Vec<Time> = inst.jobs().iter().map(|j| j.release).collect();
         assert_eq!(rs, vec![0, 2, 4]);
@@ -240,7 +250,10 @@ mod tests {
         assert!(Instance::new(vec![], 1, 0).is_err());
         assert!(Instance::new(vec![], 0, 2).is_err());
         let dup = vec![Job::new(0, 0, 1), Job::new(0, 1, 1)];
-        assert!(matches!(Instance::new(dup, 1, 2), Err(InstanceError::DuplicateJobId(_))));
+        assert!(matches!(
+            Instance::new(dup, 1, 2),
+            Err(InstanceError::DuplicateJobId(_))
+        ));
     }
 
     #[test]
@@ -263,11 +276,7 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let inst = InstanceBuilder::new(3)
-            .job(0, 2)
-            .job(5, 7)
-            .build()
-            .unwrap();
+        let inst = InstanceBuilder::new(3).job(0, 2).job(5, 7).build().unwrap();
         assert_eq!(inst.min_release(), Some(0));
         assert_eq!(inst.max_release(), Some(5));
         assert_eq!(inst.total_weight(), 9);
@@ -277,10 +286,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let inst = InstanceBuilder::new(3).machines(2).job(0, 2).job(5, 7).build().unwrap();
-        let json = serde_json::to_string(&inst).unwrap();
-        let back: Instance = serde_json::from_str(&json).unwrap();
+    fn json_round_trip() {
+        use crate::json::{FromJson, Json, ToJson};
+        let inst = InstanceBuilder::new(3)
+            .machines(2)
+            .job(0, 2)
+            .job(5, 7)
+            .build()
+            .unwrap();
+        let json = inst.to_json().to_string_compact();
+        let back = Instance::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, inst);
     }
 }

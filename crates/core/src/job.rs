@@ -1,7 +1,5 @@
 //! Jobs and release-time normalization.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{Cost, JobId, Time, Weight};
 
 /// A unit-length job: released at `release`, weight `weight`.
@@ -9,7 +7,7 @@ use crate::types::{Cost, JobId, Time, Weight};
 /// Per the paper's model (Section 2) all jobs have processing time exactly 1;
 /// a job started at `t` completes at `t + 1` and incurs weighted flow
 /// `weight * (t + 1 - release)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Job {
     /// Stable identifier.
     pub id: JobId,
@@ -22,7 +20,11 @@ pub struct Job {
 impl Job {
     /// Convenience constructor.
     pub fn new(id: u32, release: Time, weight: Weight) -> Self {
-        Job { id: JobId(id), release, weight }
+        Job {
+            id: JobId(id),
+            release,
+            weight,
+        }
     }
 
     /// Unit-weight job (the unweighted setting of Algorithms 1 and 3).
@@ -110,7 +112,11 @@ mod tests {
         let out = normalize_releases(jobs, 1);
         let mut releases: Vec<Time> = out.iter().map(|j| j.release).collect();
         releases.dedup();
-        assert_eq!(releases.len(), out.len(), "releases must be distinct: {out:?}");
+        assert_eq!(
+            releases.len(),
+            out.len(),
+            "releases must be distinct: {out:?}"
+        );
         // The heaviest job keeps release 0.
         let j2 = out.iter().find(|j| j.id == JobId(2)).unwrap();
         assert_eq!(j2.release, 0);
@@ -124,11 +130,7 @@ mod tests {
 
     #[test]
     fn normalize_respects_machine_count() {
-        let jobs = vec![
-            Job::new(0, 0, 1),
-            Job::new(1, 0, 1),
-            Job::new(2, 0, 1),
-        ];
+        let jobs = vec![Job::new(0, 0, 1), Job::new(1, 0, 1), Job::new(2, 0, 1)];
         let out = normalize_releases(jobs.clone(), 2);
         let at0 = out.iter().filter(|j| j.release == 0).count();
         assert_eq!(at0, 2);

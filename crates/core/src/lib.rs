@@ -37,18 +37,25 @@ pub mod checker;
 pub mod cost;
 pub mod instance;
 pub mod job;
+pub mod json;
+pub mod obs;
 pub mod schedule;
 pub mod types;
 
 pub use analysis::{render_gantt, schedule_stats, ScheduleStats};
 pub use assign::{
-    assign_greedy, assign_greedy_with_policy, assign_with_calibrations, InsufficientCalibrations,
-    PriorityPolicy, WaitingQueue,
+    assign_greedy, assign_greedy_with_policy, assign_with_calibrations,
+    assign_with_calibrations_counted, InsufficientCalibrations, PriorityPolicy, WaitingQueue,
 };
 pub use calibration::{coverage_by_machine, round_robin_calibrations, Calibration, Coverage};
 pub use checker::{check_schedule, CheckError, Violation};
 pub use cost::{earliest_flow_crossing, flow_if_run_consecutively};
 pub use instance::{Instance, InstanceBuilder, InstanceError};
 pub use job::{normalize_releases, sort_jobs, Job};
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use obs::{
+    CounterSnapshot, Counters, CountingProbe, Event, NoopProbe, Probe, RecordingProbe, SpanTimer,
+    TraceProbe,
+};
 pub use schedule::{Assignment, Schedule};
 pub use types::{ge_ratio, lt_ratio, Cost, JobId, MachineId, Time, Weight};

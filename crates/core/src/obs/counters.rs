@@ -1,0 +1,156 @@
+//! Atomic metrics registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Shared atomic counters for one run, experiment cell, or process.
+        ///
+        /// All operations use relaxed ordering — the registry carries
+        /// statistics, not synchronization. `&Counters` is `Sync`, so the
+        /// parallel sim runner hands one registry to every worker and the
+        /// totals aggregate for free. Hot loops should accumulate into a
+        /// local `u64` and flush once via [`Counters::add`]-style methods
+        /// rather than touching the atomics per iteration.
+        #[derive(Debug, Default)]
+        pub struct Counters {
+            $($(#[$doc])* $name: AtomicU64,)*
+        }
+
+        /// A plain-integer copy of a [`Counters`] registry at one moment.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct CounterSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        impl Counters {
+            $(
+                /// Adds `n` to this counter.
+                pub fn $name(&self, n: u64) {
+                    self.$name.fetch_add(n, Ordering::Relaxed);
+                }
+            )*
+
+            /// Reads every counter into a plain struct.
+            pub fn snapshot(&self) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)*
+                }
+            }
+
+            /// Resets every counter to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)*
+            }
+        }
+
+        impl CounterSnapshot {
+            /// Field-wise sum of two snapshots.
+            pub fn merged(self, other: CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: self.$name + other.$name,)*
+                }
+            }
+
+            /// JSON object with one field per counter.
+            pub fn to_json(&self) -> Json {
+                Json::obj([
+                    $((stringify!($name), Json::UInt(self.$name as u128)),)*
+                ])
+            }
+        }
+    };
+}
+
+counters! {
+    /// Engine events processed (all kinds).
+    events,
+    /// Clock advances that jumped more than one step.
+    time_skips,
+    /// Calibrations issued by online algorithms.
+    calibrations,
+    /// Jobs dispatched onto calibrated slots.
+    dispatches,
+    /// Future calibrations reserved (Algorithm 2).
+    reservations,
+    /// Scheduler-requested wake-ups taken.
+    wakes,
+    /// DP states evaluated by the offline solver.
+    dp_states_expanded,
+    /// DP states rejected by the infeasibility guard.
+    dp_states_pruned,
+    /// Candidate slots examined by the greedy assigner.
+    assigner_slots_scanned,
+    /// Simplex pivots performed by the LP solver.
+    lp_pivots,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_snapshot_reset() {
+        let c = Counters::new();
+        c.events(3);
+        c.events(2);
+        c.lp_pivots(7);
+        let s = c.snapshot();
+        assert_eq!(s.events, 5);
+        assert_eq!(s.lp_pivots, 7);
+        assert_eq!(s.dispatches, 0);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn merged_sums_fieldwise() {
+        let a = CounterSnapshot {
+            events: 1,
+            dispatches: 2,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            events: 10,
+            lp_pivots: 4,
+            ..Default::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.events, 11);
+        assert_eq!(m.dispatches, 2);
+        assert_eq!(m.lp_pivots, 4);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.events(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().events, 4000);
+    }
+
+    #[test]
+    fn json_has_one_field_per_counter() {
+        let c = Counters::new();
+        c.dp_states_pruned(9);
+        let j = c.snapshot().to_json();
+        assert_eq!(j.get("dp_states_pruned").unwrap().as_u64(), Some(9));
+        assert_eq!(j.get("events").unwrap().as_u64(), Some(0));
+    }
+}

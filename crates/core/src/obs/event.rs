@@ -1,0 +1,227 @@
+//! Structured engine events.
+
+use crate::json::Json;
+use crate::types::{Cost, JobId, MachineId, Time, Weight};
+
+/// One structured fact emitted by the online engine.
+///
+/// Events carry enough data to reconstruct the engine's externally visible
+/// behaviour: replaying the `Calibrate` and `Dispatch` events of a run yields
+/// the run's [`Schedule`](crate::Schedule) exactly (the probe-replay tests
+/// assert this against the feasibility checker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job crossed its release time and entered the waiting queue.
+    JobArrived {
+        /// Engine clock when the arrival was processed.
+        time: Time,
+        /// The arriving job.
+        job: JobId,
+        /// Its weight.
+        weight: Weight,
+    },
+    /// A calibration was issued.
+    Calibrate {
+        /// Engine clock when the decision was made.
+        time: Time,
+        /// Machine being calibrated.
+        machine: MachineId,
+        /// First usable slot of the calibration.
+        start: Time,
+    },
+    /// A future calibration was reserved (Algorithm 2's delayed commitment).
+    Reserve {
+        /// Engine clock when the reservation was made.
+        time: Time,
+        /// Machine the reservation targets.
+        machine: MachineId,
+        /// Reserved calibration start.
+        start: Time,
+    },
+    /// A job was placed on a calibrated slot.
+    Dispatch {
+        /// Engine clock when the dispatch happened.
+        time: Time,
+        /// The job being run.
+        job: JobId,
+        /// The machine it runs on.
+        machine: MachineId,
+        /// The slot it occupies.
+        start: Time,
+    },
+    /// The clock jumped over a quiescent region (event-skipping advance).
+    TimeSkip {
+        /// Clock before the jump.
+        from: Time,
+        /// Clock after the jump (`to > from + 1`).
+        to: Time,
+    },
+    /// The clock advanced to a scheduler-requested wake-up point.
+    Wake {
+        /// The wake-up time.
+        time: Time,
+        /// Which advance candidate won (e.g. `"scheduler"`, `"release"`).
+        reason: &'static str,
+    },
+    /// The run finished.
+    RunComplete {
+        /// Final engine clock.
+        time: Time,
+        /// Total weighted flow of the produced schedule.
+        flow: Cost,
+        /// Number of calibrations issued.
+        calibrations: u64,
+    },
+}
+
+impl Event {
+    /// Short tag naming the event variant (the `"type"` field in traces).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::JobArrived { .. } => "job_arrived",
+            Event::Calibrate { .. } => "calibrate",
+            Event::Reserve { .. } => "reserve",
+            Event::Dispatch { .. } => "dispatch",
+            Event::TimeSkip { .. } => "time_skip",
+            Event::Wake { .. } => "wake",
+            Event::RunComplete { .. } => "run_complete",
+        }
+    }
+
+    /// JSON form used by [`TraceProbe`](crate::obs::TraceProbe): a flat
+    /// object with a `"type"` tag.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Event::JobArrived { time, job, weight } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("job", Json::UInt(job.0 as u128)),
+                ("weight", Json::UInt(weight as u128)),
+            ]),
+            Event::Calibrate {
+                time,
+                machine,
+                start,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("machine", Json::UInt(machine.0 as u128)),
+                ("start", Json::Int(start as i128)),
+            ]),
+            Event::Reserve {
+                time,
+                machine,
+                start,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("machine", Json::UInt(machine.0 as u128)),
+                ("start", Json::Int(start as i128)),
+            ]),
+            Event::Dispatch {
+                time,
+                job,
+                machine,
+                start,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("job", Json::UInt(job.0 as u128)),
+                ("machine", Json::UInt(machine.0 as u128)),
+                ("start", Json::Int(start as i128)),
+            ]),
+            Event::TimeSkip { from, to } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("from", Json::Int(from as i128)),
+                ("to", Json::Int(to as i128)),
+            ]),
+            Event::Wake { time, reason } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("reason", Json::Str(reason.into())),
+            ]),
+            Event::RunComplete {
+                time,
+                flow,
+                calibrations,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(time as i128)),
+                ("flow", Json::UInt(flow)),
+                ("calibrations", Json::UInt(calibrations as u128)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            Event::JobArrived {
+                time: 0,
+                job: JobId(0),
+                weight: 1,
+            },
+            Event::Calibrate {
+                time: 0,
+                machine: MachineId(0),
+                start: 0,
+            },
+            Event::Reserve {
+                time: 0,
+                machine: MachineId(0),
+                start: 0,
+            },
+            Event::Dispatch {
+                time: 0,
+                job: JobId(0),
+                machine: MachineId(0),
+                start: 0,
+            },
+            Event::TimeSkip { from: 0, to: 2 },
+            Event::Wake {
+                time: 0,
+                reason: "scheduler",
+            },
+            Event::RunComplete {
+                time: 0,
+                flow: 0,
+                calibrations: 0,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn json_carries_type_tag_and_exact_numbers() {
+        let e = Event::RunComplete {
+            time: 7,
+            flow: u128::MAX,
+            calibrations: 3,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("type").unwrap().as_str(), Some("run_complete"));
+        assert_eq!(j.get("flow").unwrap().as_u128(), Some(u128::MAX));
+        // Round-trips through text without loss.
+        let back = Json::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(back.get("flow").unwrap().as_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn negative_times_serialize() {
+        let e = Event::Calibrate {
+            time: 0,
+            machine: MachineId(1),
+            start: -3,
+        };
+        let j = Json::parse(&e.to_json().to_string_compact()).unwrap();
+        assert_eq!(j.get("start").unwrap().as_i64(), Some(-3));
+    }
+}

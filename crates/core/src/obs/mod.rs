@@ -1,0 +1,30 @@
+//! Observability: structured engine events, probes, counters, and traces.
+//!
+//! The subsystem has three layers, each usable on its own:
+//!
+//! * **Events** ([`Event`]) — structured facts emitted by the online engine
+//!   (arrivals, calibrations, dispatches, time skips, …).
+//! * **Probes** ([`Probe`]) — statically-dispatched event sinks. The engine
+//!   is generic over its probe, and [`NoopProbe`] sets
+//!   [`Probe::ENABLED`]` = false`, so the un-probed path monomorphizes to
+//!   exactly the code that existed before this subsystem: every
+//!   `if P::ENABLED { ... }` block is const-folded away.
+//! * **Counters** ([`Counters`]) — an atomic metrics registry shared across
+//!   threads (the parallel sim runner hands one registry to every worker).
+//!   Hot loops accumulate into local integers and flush once on exit.
+//!
+//! [`TraceProbe`] serializes events as JSON lines (via [`crate::json`], so no
+//! external dependencies), and [`SpanTimer`] measures wall-clock spans for
+//! benchmark output.
+
+mod counters;
+mod event;
+mod probe;
+mod span;
+mod trace;
+
+pub use counters::{CounterSnapshot, Counters};
+pub use event::Event;
+pub use probe::{CountingProbe, NoopProbe, Probe, RecordingProbe};
+pub use span::{SpanRecord, SpanTimer};
+pub use trace::TraceProbe;

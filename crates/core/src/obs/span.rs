@@ -1,0 +1,99 @@
+//! Wall-clock span timing.
+
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A started wall-clock span. Finish it with [`SpanTimer::finish`] to get a
+/// [`SpanRecord`], or read [`SpanTimer::elapsed_ns`] without consuming it.
+#[derive(Debug)]
+pub struct SpanTimer {
+    label: &'static str,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start(label: &'static str) -> Self {
+        SpanTimer {
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Nanoseconds elapsed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        // Saturate rather than panic on a (theoretical) >584-year span.
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stops the span and returns its record.
+    pub fn finish(self) -> SpanRecord {
+        SpanRecord {
+            label: self.label,
+            nanos: self.elapsed_ns(),
+        }
+    }
+}
+
+/// A completed wall-clock span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What was timed.
+    pub label: &'static str,
+    /// Duration in nanoseconds.
+    pub nanos: u64,
+}
+
+impl SpanRecord {
+    /// Duration in seconds (lossy, for display).
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// JSON form: `{"label": ..., "nanos": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::Str(self.label.into())),
+            ("nanos", Json::UInt(self.nanos as u128)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_measure_nonzero_time() {
+        let t = SpanTimer::start("work");
+        assert_eq!(t.label(), "work");
+        // Do a little actual work so elapsed is > 0 even at coarse clocks.
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let first = t.elapsed_ns();
+        let rec = t.finish();
+        assert_eq!(rec.label, "work");
+        assert!(rec.nanos >= first);
+        assert!(rec.seconds() >= 0.0);
+    }
+
+    #[test]
+    fn record_serializes() {
+        let rec = SpanRecord {
+            label: "solve",
+            nanos: 1_500,
+        };
+        let j = rec.to_json();
+        assert_eq!(j.get("label").unwrap().as_str(), Some("solve"));
+        assert_eq!(j.get("nanos").unwrap().as_u64(), Some(1_500));
+    }
+}

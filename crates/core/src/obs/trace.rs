@@ -1,0 +1,123 @@
+//! JSON-lines trace output.
+
+use std::io::{self, Write};
+
+use super::event::Event;
+use super::probe::Probe;
+
+/// Writes each event as one compact JSON object per line.
+///
+/// The output is a standard JSON-lines stream: parse each line with
+/// [`Json::parse`](crate::json::Json::parse). `examples/trace_dump.rs` in the
+/// workspace root renders such a stream as an ASCII Gantt timeline.
+///
+/// I/O errors are deferred: `record` cannot fail (the [`Probe`] interface is
+/// infallible, and the engine should not unwind mid-run because a log disk
+/// filled up), so the first error is stored and surfaced by
+/// [`TraceProbe::finish`]. Writing stops after the first error.
+#[derive(Debug)]
+pub struct TraceProbe<W: Write> {
+    writer: W,
+    lines_written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceProbe<W> {
+    /// A probe writing to `writer`. Consider wrapping files in
+    /// [`io::BufWriter`]; the probe writes line-at-a-time.
+    pub fn new(writer: W) -> Self {
+        TraceProbe {
+            writer,
+            lines_written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+
+    /// Flushes and returns the writer, or the first deferred I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Probe for TraceProbe<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json().to_string_compact();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.lines_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::types::{JobId, MachineId};
+
+    #[test]
+    fn writes_one_parseable_line_per_event() {
+        let mut probe = TraceProbe::new(Vec::new());
+        probe.record(&Event::JobArrived {
+            time: 0,
+            job: JobId(1),
+            weight: 2,
+        });
+        probe.record(&Event::Dispatch {
+            time: 3,
+            job: JobId(1),
+            machine: MachineId(0),
+            start: 3,
+        });
+        assert_eq!(probe.lines_written(), 2);
+        let buf = probe.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("job_arrived"));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("start").unwrap().as_i64(), Some(3));
+    }
+
+    /// A writer that fails after `ok_bytes` bytes.
+    struct FailAfter {
+        ok_bytes: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.len() <= self.ok_bytes {
+                self.ok_bytes -= buf.len();
+                Ok(buf.len())
+            } else {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_are_deferred_to_finish() {
+        let mut probe = TraceProbe::new(FailAfter { ok_bytes: 0 });
+        probe.record(&Event::TimeSkip { from: 0, to: 9 });
+        probe.record(&Event::TimeSkip { from: 9, to: 12 });
+        assert_eq!(probe.lines_written(), 0);
+        assert!(probe.finish().is_err());
+    }
+}

@@ -1,13 +1,11 @@
 //! Schedules and exact cost accounting.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calibration::Calibration;
 use crate::instance::Instance;
 use crate::types::{Cost, JobId, MachineId, Time};
 
 /// One job placed at one time step on one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Assignment {
     /// The job being run.
     pub job: JobId,
@@ -20,7 +18,11 @@ pub struct Assignment {
 impl Assignment {
     /// Convenience constructor.
     pub fn new(job: JobId, start: Time, machine: MachineId) -> Self {
-        Assignment { job, start, machine }
+        Assignment {
+            job,
+            start,
+            machine,
+        }
     }
 }
 
@@ -30,7 +32,7 @@ impl Assignment {
 /// Construction does not validate anything; run
 /// [`check_schedule`](crate::checker::check_schedule) to verify correctness
 /// against an [`Instance`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     /// Every calibration performed, in no particular order.
     pub calibrations: Vec<Calibration>,
@@ -41,7 +43,10 @@ pub struct Schedule {
 impl Schedule {
     /// Assembles a schedule from its two parts (unvalidated).
     pub fn new(calibrations: Vec<Calibration>, assignments: Vec<Assignment>) -> Self {
-        Schedule { calibrations, assignments }
+        Schedule {
+            calibrations,
+            assignments,
+        }
     }
 
     /// Number of calibrations performed.
@@ -52,7 +57,10 @@ impl Schedule {
 
     /// Start time of a given job, if assigned.
     pub fn start_of(&self, job: JobId) -> Option<Time> {
-        self.assignments.iter().find(|a| a.job == job).map(|a| a.start)
+        self.assignments
+            .iter()
+            .find(|a| a.job == job)
+            .map(|a| a.start)
     }
 
     /// Total weighted flow `Σ_j w_j (t_j + 1 - r_j)`.
@@ -165,10 +173,7 @@ mod tests {
 
     #[test]
     fn calibration_times_sorted() {
-        let sched = Schedule::new(
-            vec![Calibration::new(1, 9), Calibration::new(0, 2)],
-            vec![],
-        );
+        let sched = Schedule::new(vec![Calibration::new(1, 9), Calibration::new(0, 2)], vec![]);
         assert_eq!(sched.calibration_times(), vec![2, 9]);
     }
 }

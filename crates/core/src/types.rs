@@ -7,8 +7,6 @@
 //! tests from the paper such as `|Q| >= G/T` are evaluated in cross-multiplied
 //! form (`|Q| * T >= G`) so no rationals or floats are ever needed.
 
-use serde::{Deserialize, Serialize};
-
 /// Discrete time. The paper's *time step* `t` denotes the interval `[t, t+1)`.
 pub type Time = i64;
 
@@ -23,7 +21,7 @@ pub type Weight = u64;
 pub type Cost = u128;
 
 /// Identifier of a job. Stable across sorting and normalization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
 
 impl std::fmt::Display for JobId {
@@ -33,7 +31,7 @@ impl std::fmt::Display for JobId {
 }
 
 /// Identifier of a machine, `0 .. P`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(pub u32);
 
 impl std::fmt::Display for MachineId {

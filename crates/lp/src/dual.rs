@@ -74,7 +74,10 @@ mod tests {
             (vec![0, 1], 2, 3),
             (vec![0, 2, 5], 3, 4),
         ] {
-            let inst = InstanceBuilder::new(t).unit_jobs(releases.clone()).build().unwrap();
+            let inst = InstanceBuilder::new(t)
+                .unit_jobs(releases.clone())
+                .build()
+                .unwrap();
             let (p, d) = primal_dual_values(&inst, g).unwrap();
             assert!(
                 (p - d).abs() < 1e-4,
@@ -87,7 +90,11 @@ mod tests {
     fn feasibility_checker_accepts_lp_optimum() {
         let inst = InstanceBuilder::new(2).unit_jobs([0, 1]).build().unwrap();
         let primal = build_flow_lp(&inst, 3, None).model.build();
-        if let LpOutcome::Optimal { objective, solution } = solve(&primal) {
+        if let LpOutcome::Optimal {
+            objective,
+            solution,
+        } = solve(&primal)
+        {
             let val = check_feasible(&primal, &solution, 1e-5).expect("optimum is feasible");
             assert!((val - objective).abs() < 1e-5);
         } else {

@@ -111,7 +111,9 @@ pub fn build_flow_lp(instance: &Instance, g: Cost, horizon: Option<Time>) -> Flo
 
     // (3) Σ_m a_{j,m} ≥ 1.
     for job in instance.jobs() {
-        let coeffs = (0..p).map(|mach| (av(&mut m, job.id.0, mach), 1.0)).collect();
+        let coeffs = (0..p)
+            .map(|mach| (av(&mut m, job.id.0, mach), 1.0))
+            .collect();
         m.constrain(coeffs, Relation::Ge, 1.0);
     }
 
@@ -121,17 +123,32 @@ pub fn build_flow_lp(instance: &Instance, g: Cost, horizon: Option<Time>) -> Flo
         m.constrain(vec![(v, 1.0)], Relation::Eq, 1.0);
     }
 
-    FlowLp { model: m, horizon: h, t_min }
+    FlowLp {
+        model: m,
+        horizon: h,
+        t_min,
+    }
 }
 
 /// Solves the Figure 1 LP and returns the lower bound on the optimal
 /// online-objective cost (`None` if the LP failed, which indicates a bug —
 /// the LP is always feasible and bounded for a finite horizon).
 pub fn lp_lower_bound(instance: &Instance, g: Cost) -> Option<f64> {
+    lp_lower_bound_counted(instance, g, None)
+}
+
+/// [`lp_lower_bound`] with an optional [`Counters`](calib_core::obs::Counters)
+/// registry receiving the solve's `lp_pivots`.
+pub fn lp_lower_bound_counted(
+    instance: &Instance,
+    g: Cost,
+    counters: Option<&calib_core::obs::Counters>,
+) -> Option<f64> {
     if instance.n() == 0 {
         return Some(0.0);
     }
-    match build_flow_lp(instance, g, None).model.solve() {
+    let problem = build_flow_lp(instance, g, None).model.build();
+    match crate::simplex::solve_counted(&problem, counters) {
         LpOutcome::Optimal { objective, .. } => Some(objective),
         _ => None,
     }
@@ -158,6 +175,15 @@ mod tests {
         let lb1 = lp_lower_bound(&inst, 1).unwrap();
         let lb10 = lp_lower_bound(&inst, 10).unwrap();
         assert!(lb10 >= lb1 - 1e-6);
+    }
+
+    #[test]
+    fn counted_bound_matches_and_reports_pivots() {
+        let inst = InstanceBuilder::new(3).unit_jobs([0, 1]).build().unwrap();
+        let counters = calib_core::obs::Counters::new();
+        let lb = lp_lower_bound_counted(&inst, 4, Some(&counters)).unwrap();
+        assert_eq!(Some(lb), lp_lower_bound(&inst, 4));
+        assert!(counters.snapshot().lp_pivots > 0, "a nontrivial LP pivots");
     }
 
     #[test]

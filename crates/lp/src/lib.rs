@@ -27,6 +27,6 @@ pub mod model;
 pub mod simplex;
 
 pub use dual::{build_dual, check_feasible, primal_dual_values};
-pub use flow_lp::{build_flow_lp, lp_lower_bound, FlowLp};
+pub use flow_lp::{build_flow_lp, lp_lower_bound, lp_lower_bound_counted, FlowLp};
 pub use model::{dualize, ModelBuilder};
-pub use simplex::{solve, Constraint, LpOutcome, LpProblem, Relation};
+pub use simplex::{solve, solve_counted, Constraint, LpOutcome, LpProblem, Relation};

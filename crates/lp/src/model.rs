@@ -18,12 +18,18 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// A minimization model.
     pub fn minimize() -> Self {
-        ModelBuilder { maximize: false, ..Default::default() }
+        ModelBuilder {
+            maximize: false,
+            ..Default::default()
+        }
     }
 
     /// A maximization model.
     pub fn maximize() -> Self {
-        ModelBuilder { maximize: true, ..Default::default() }
+        ModelBuilder {
+            maximize: true,
+            ..Default::default()
+        }
     }
 
     /// Declares (or retrieves) a nonnegative variable by name.
@@ -144,10 +150,19 @@ pub fn dualize(primal: &LpProblem) -> LpProblem {
     let constraints = cols
         .into_iter()
         .enumerate()
-        .map(|(j, coeffs)| Constraint { coeffs, rel: Relation::Le, rhs: primal.objective[j] })
+        .map(|(j, coeffs)| Constraint {
+            coeffs,
+            rel: Relation::Le,
+            rhs: primal.objective[j],
+        })
         .collect();
 
-    LpProblem { num_vars: ncols, objective, constraints, maximize: true }
+    LpProblem {
+        num_vars: ncols,
+        objective,
+        constraints,
+        maximize: true,
+    }
 }
 
 #[cfg(test)]

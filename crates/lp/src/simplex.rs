@@ -61,6 +61,25 @@ const EPS: f64 = 1e-7;
 
 /// Solves `problem` with two-phase primal simplex (Bland's rule).
 pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_counted(problem, None)
+}
+
+/// [`solve`] with an optional [`Counters`](calib_core::obs::Counters)
+/// registry: every tableau pivot (phase 1, artificial drive-out, and
+/// phase 2) bumps `lp_pivots` once on return.
+pub fn solve_counted(
+    problem: &LpProblem,
+    counters: Option<&calib_core::obs::Counters>,
+) -> LpOutcome {
+    let mut pivots = 0u64;
+    let outcome = solve_inner(problem, &mut pivots);
+    if let Some(c) = counters {
+        c.lp_pivots(pivots);
+    }
+    outcome
+}
+
+fn solve_inner(problem: &LpProblem, pivots: &mut u64) -> LpOutcome {
     let n = problem.num_vars;
     let m = problem.constraints.len();
     assert_eq!(problem.objective.len(), n, "objective length mismatch");
@@ -134,7 +153,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
             cost[j] = 1.0;
         }
         let banned = vec![false; ncols];
-        match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols) {
+        match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols, pivots) {
             SimplexEnd::Optimal(obj) => {
                 if obj > EPS {
                     return LpOutcome::Infeasible;
@@ -147,6 +166,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
             if artificial_cols.contains(&basis[i]) {
                 if let Some(j) = (0..n + slack_count).find(|&j| a[i][j].abs() > EPS) {
                     pivot(&mut a, &mut b, &mut basis, i, j);
+                    *pivots += 1;
                 }
                 // Otherwise the row is redundant (all-zero over real
                 // columns); it stays with a zero-valued artificial.
@@ -164,7 +184,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     for &j in &artificial_cols {
         banned[j] = true;
     }
-    match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols) {
+    match run_simplex(&mut a, &mut b, &mut basis, &cost, &banned, ncols, pivots) {
         SimplexEnd::Unbounded => LpOutcome::Unbounded,
         SimplexEnd::Optimal(obj) => {
             let mut solution = vec![0.0; n];
@@ -174,7 +194,10 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
                 }
             }
             let objective = if problem.maximize { -obj } else { obj };
-            LpOutcome::Optimal { objective, solution }
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            }
         }
     }
 }
@@ -195,6 +218,7 @@ fn run_simplex(
     cost: &[f64],
     banned: &[bool],
     ncols: usize,
+    pivots: &mut u64,
 ) -> SimplexEnd {
     let m = a.len();
 
@@ -282,6 +306,7 @@ fn run_simplex(
             return SimplexEnd::Unbounded;
         };
         pivot(a, b, basis, row, col);
+        *pivots += 1;
         // Update reduced costs against the (now normalized) pivot row.
         let f = red[col];
         if f != 0.0 {
@@ -321,13 +346,20 @@ mod tests {
     use super::*;
 
     fn c(coeffs: &[(usize, f64)], rel: Relation, rhs: f64) -> Constraint {
-        Constraint { coeffs: coeffs.to_vec(), rel, rhs }
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        }
     }
 
     fn assert_opt(outcome: &LpOutcome, expect: f64) {
         match outcome {
             LpOutcome::Optimal { objective, .. } => {
-                assert!((objective - expect).abs() < 1e-5, "got {objective}, want {expect}")
+                assert!(
+                    (objective - expect).abs() < 1e-5,
+                    "got {objective}, want {expect}"
+                )
             }
             other => panic!("expected optimal {expect}, got {other:?}"),
         }
@@ -433,12 +465,40 @@ mod tests {
             objective: vec![0.75, -150.0, 0.02, -6.0],
             maximize: true,
             constraints: vec![
-                c(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Relation::Le, 0.0),
-                c(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Relation::Le, 0.0),
+                c(
+                    &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    Relation::Le,
+                    0.0,
+                ),
+                c(
+                    &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    Relation::Le,
+                    0.0,
+                ),
                 c(&[(2, 1.0)], Relation::Le, 1.0),
             ],
         };
         assert_opt(&solve(&lp), 0.05);
+    }
+
+    #[test]
+    fn counted_solve_reports_pivots() {
+        use calib_core::obs::Counters;
+
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![3.0, 5.0],
+            maximize: true,
+            constraints: vec![
+                c(&[(0, 1.0)], Relation::Le, 4.0),
+                c(&[(1, 2.0)], Relation::Le, 12.0),
+                c(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0),
+            ],
+        };
+        let counters = Counters::new();
+        assert_opt(&solve_counted(&lp, Some(&counters)), 36.0);
+        // Reaching (2, 6) from the slack basis needs at least two pivots.
+        assert!(counters.snapshot().lp_pivots >= 2);
     }
 
     #[test]

@@ -32,7 +32,13 @@ pub fn candidate_starts(instance: &Instance) -> Vec<Time> {
 
 /// Visits every `k`-subset of `items`, invoking `f` on each.
 pub fn for_each_subset<T: Copy>(items: &[T], k: usize, f: &mut impl FnMut(&[T])) {
-    fn rec<T: Copy>(items: &[T], k: usize, start: usize, acc: &mut Vec<T>, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Copy>(
+        items: &[T],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<T>,
+        f: &mut impl FnMut(&[T]),
+    ) {
         if acc.len() == k {
             f(acc);
             return;
@@ -141,7 +147,14 @@ pub fn optimal_assignment_exhaustive(instance: &Instance, times: &[Time]) -> Opt
                 continue;
             }
             used[i] = true;
-            rec(jobs, slots, used, next + 1, acc + job.flow_if_started(t), best);
+            rec(
+                jobs,
+                slots,
+                used,
+                next + 1,
+                acc + job.flow_if_started(t),
+                best,
+            );
             used[i] = false;
         }
     }
@@ -156,7 +169,10 @@ mod tests {
 
     #[test]
     fn candidate_starts_shift_by_cal_len() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 5, 5]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 5, 5])
+            .build()
+            .unwrap();
         assert_eq!(candidate_starts(&inst), vec![-2, 3]);
     }
 
@@ -175,7 +191,10 @@ mod tests {
 
     #[test]
     fn brute_single_burst() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         let (flow, sched) = optimal_flow_brute(&inst, 1).unwrap();
         assert_eq!(flow, 3);
         check_schedule(&inst, &sched).unwrap();
@@ -191,7 +210,10 @@ mod tests {
             (vec![0, 1, 2, 8], 2, 3),
         ];
         for (releases, t, k) in cases {
-            let inst = InstanceBuilder::new(t).unit_jobs(releases.clone()).build().unwrap();
+            let inst = InstanceBuilder::new(t)
+                .unit_jobs(releases.clone())
+                .build()
+                .unwrap();
             let b = optimal_flow_brute(&inst, k).map(|(f, _)| f);
             let e = optimal_flow_exhaustive(&inst, k).map(|(f, _)| f);
             assert_eq!(b, e, "releases {releases:?} T={t} K={k}");
@@ -200,15 +222,23 @@ mod tests {
 
     #[test]
     fn infeasible_budget_returns_none() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         assert!(optimal_flow_brute(&inst, 1).is_none());
     }
 
     #[test]
     fn exhaustive_assignment_matches_greedy_unweighted() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 4]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 4])
+            .build()
+            .unwrap();
         let times = vec![1, 4];
-        let greedy = assign_greedy(&inst, &times).unwrap().total_weighted_flow(&inst);
+        let greedy = assign_greedy(&inst, &times)
+            .unwrap()
+            .total_weighted_flow(&inst);
         let exhaustive = optimal_assignment_exhaustive(&inst, &times).unwrap();
         assert_eq!(greedy, exhaustive);
     }
@@ -297,7 +327,10 @@ mod multi_tests {
 
     #[test]
     fn multi_machine_opt_matches_single_machine_dp_when_p1() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 2, 6]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 2, 6])
+            .build()
+            .unwrap();
         for g in [1u128, 4, 10] {
             let (cost, sched) = opt_online_brute_multi(&inst, g, 3).unwrap();
             let dp = crate::online_opt::opt_online_cost(&inst, g).unwrap();
@@ -309,8 +342,16 @@ mod multi_tests {
     #[test]
     fn second_machine_never_hurts() {
         let jobs = [0i64, 0, 1, 1];
-        let one = InstanceBuilder::new(2).machines(1).unit_jobs(jobs).build().unwrap();
-        let two = InstanceBuilder::new(2).machines(2).unit_jobs(jobs).build().unwrap();
+        let one = InstanceBuilder::new(2)
+            .machines(1)
+            .unit_jobs(jobs)
+            .build()
+            .unwrap();
+        let two = InstanceBuilder::new(2)
+            .machines(2)
+            .unit_jobs(jobs)
+            .build()
+            .unwrap();
         for g in [1u128, 3] {
             let (c1, _) = opt_online_brute_multi(&one, g, 4).unwrap();
             let (c2, _) = opt_online_brute_multi(&two, g, 4).unwrap();

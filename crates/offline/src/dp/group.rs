@@ -64,13 +64,19 @@ pub struct GroupDp {
     ranked: RankedJobs,
     cal_len: Time,
     memo: HashMap<(u32, u32, u32), StateValue>,
+    pruned: u64,
 }
 
 impl GroupDp {
     /// A fresh memo table over the given ranked jobs.
     pub fn new(ranked: RankedJobs, cal_len: Time) -> Self {
         assert!(cal_len >= 1);
-        GroupDp { ranked, cal_len, memo: HashMap::new() }
+        GroupDp {
+            ranked,
+            cal_len,
+            memo: HashMap::new(),
+            pruned: 0,
+        }
     }
 
     /// The underlying ranked job set.
@@ -86,6 +92,20 @@ impl GroupDp {
     /// Number of states evaluated so far (for the E6 scaling study).
     pub fn states_evaluated(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Number of states rejected as infeasible so far (the guard plus
+    /// states where every branch was infeasible).
+    pub fn states_pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Adds the current expansion/prune totals to a shared registry. Call
+    /// once, after solving — the registry accumulates, so repeated flushes
+    /// double-count.
+    pub fn flush_counters(&self, counters: &calib_core::obs::Counters) {
+        counters.dp_states_expanded(self.memo.len() as u64);
+        counters.dp_states_pruned(self.pruned);
     }
 
     /// The memoized `f(u, v, μ)` (total weighted completion time), `None`
@@ -112,7 +132,12 @@ impl GroupDp {
     fn compute(&mut self, u: usize, v: usize, mu: u32) -> StateValue {
         let t = self.cal_len;
         let info = match WindowInfo::compute(&self.ranked, u, v, mu, t) {
-            None => return StateValue { cost: Some(0), choice: Choice::Empty },
+            None => {
+                return StateValue {
+                    cost: Some(0),
+                    choice: Choice::Empty,
+                }
+            }
             Some(info) => info,
         };
 
@@ -121,7 +146,11 @@ impl GroupDp {
         // full interval that precedes it.
         if let Some(j_ell) = info.j_ell() {
             if info.last_start <= self.ranked.release(j_ell) {
-                return StateValue { cost: None, choice: Choice::Empty };
+                self.pruned += 1;
+                return StateValue {
+                    cost: None,
+                    choice: Choice::Empty,
+                };
             }
         }
 
@@ -153,7 +182,12 @@ impl GroupDp {
                 debug_assert!(completion > r_e);
                 let rest = self.f(u, v, mu_e);
                 consider(
-                    rest.map(|c| (c + w_e * completion as i128, Choice::AtSlot { e, completion })),
+                    rest.map(|c| {
+                        (
+                            c + w_e * completion as i128,
+                            Choice::AtSlot { e, completion },
+                        )
+                    }),
                     &mut best,
                 );
             }
@@ -172,8 +206,17 @@ impl GroupDp {
         }
 
         match best {
-            Some((cost, choice)) => StateValue { cost: Some(cost), choice },
-            None => StateValue { cost: None, choice: Choice::Empty },
+            Some((cost, choice)) => StateValue {
+                cost: Some(cost),
+                choice,
+            },
+            None => {
+                self.pruned += 1;
+                StateValue {
+                    cost: None,
+                    choice: Choice::Empty,
+                }
+            }
         }
     }
 }

@@ -68,7 +68,10 @@ pub struct DpSolution {
 ///
 /// One call computes the whole column, which is what the online-objective
 /// baseline needs (it sweeps the budget).
-pub fn min_flow_by_budget(instance: &Instance, max_k: usize) -> Result<Vec<Option<Cost>>, OfflineError> {
+pub fn min_flow_by_budget(
+    instance: &Instance,
+    max_k: usize,
+) -> Result<Vec<Option<Cost>>, OfflineError> {
     let (table, _, _) = run_dp(instance, max_k)?;
     let n = instance.n();
     let release_sum = release_weight_sum(instance);
@@ -83,11 +86,34 @@ pub fn min_flow_by_budget(instance: &Instance, max_k: usize) -> Result<Vec<Optio
 ///
 /// Returns `Ok(None)` when the budget cannot cover all jobs
 /// (`budget * T < n`).
-pub fn solve_offline(instance: &Instance, budget: usize) -> Result<Option<DpSolution>, OfflineError> {
+pub fn solve_offline(
+    instance: &Instance,
+    budget: usize,
+) -> Result<Option<DpSolution>, OfflineError> {
+    solve_offline_counted(instance, budget, None)
+}
+
+/// [`solve_offline`] with an optional [`Counters`](calib_core::obs::Counters)
+/// registry: on return (feasible or not) the group DP's state
+/// expansion/prune totals are flushed to `dp_states_expanded` /
+/// `dp_states_pruned`.
+pub fn solve_offline_counted(
+    instance: &Instance,
+    budget: usize,
+    counters: Option<&calib_core::obs::Counters>,
+) -> Result<Option<DpSolution>, OfflineError> {
     let (table, mut gdp, groups_choice) = run_dp(instance, budget)?;
+    let flush = |gdp: &GroupDp| {
+        if let Some(c) = counters {
+            gdp.flush_counters(c);
+        }
+    };
     let n = instance.n();
     let completion = match table[budget][n] {
-        None => return Ok(None),
+        None => {
+            flush(&gdp);
+            return Ok(None);
+        }
         Some(c) => c,
     };
 
@@ -106,6 +132,7 @@ pub fn solve_offline(instance: &Instance, budget: usize) -> Result<Option<DpSolu
     groups.reverse();
 
     let schedule = rebuild::rebuild_schedule(&mut gdp, &groups);
+    flush(&gdp);
     let release_sum = release_weight_sum(instance);
     Ok(Some(DpSolution {
         flow: to_flow(completion, release_sum),
@@ -206,7 +233,10 @@ mod tests {
 
     #[test]
     fn budget_too_small_is_infeasible() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         assert!(solve_offline(&inst, 1).unwrap().is_none());
         assert!(solve_offline(&inst, 2).unwrap().is_some());
     }
@@ -222,7 +252,10 @@ mod tests {
     #[test]
     fn burst_fits_one_interval() {
         // 3 jobs at 0,1,2 with T = 3 and budget 1: all at release, flow 3.
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         let sol = solve_offline(&inst, 1).unwrap().unwrap();
         assert_eq!(sol.flow, 3);
         check_schedule(&inst, &sol.schedule).unwrap();
@@ -231,7 +264,10 @@ mod tests {
 
     #[test]
     fn two_bursts_two_calibrations() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 100, 101]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 1, 100, 101])
+            .build()
+            .unwrap();
         let sol = solve_offline(&inst, 2).unwrap().unwrap();
         assert_eq!(sol.flow, 4);
         check_schedule(&inst, &sol.schedule).unwrap();
@@ -253,7 +289,11 @@ mod tests {
     fn weights_prioritize_heavy_jobs() {
         // Heavy job released later must not wait behind light backlog.
         // Jobs: (0, w=1), (1, w=100), T = 2, budget 2.
-        let inst = InstanceBuilder::new(2).job(0, 1).job(1, 100).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .job(0, 1)
+            .job(1, 100)
+            .build()
+            .unwrap();
         let sol = solve_offline(&inst, 2).unwrap().unwrap();
         check_schedule(&inst, &sol.schedule).unwrap();
         // Both can run at release with calibrations at 0 (covers 0,1):
@@ -263,7 +303,10 @@ mod tests {
 
     #[test]
     fn min_flow_by_budget_is_monotone() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 4, 9, 13, 20]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 4, 9, 13, 20])
+            .build()
+            .unwrap();
         let flows = min_flow_by_budget(&inst, 5).unwrap();
         assert_eq!(flows.len(), 6);
         assert!(flows[0].is_none() && flows[1].is_none() && flows[2].is_none());
@@ -276,9 +319,19 @@ mod tests {
 
     #[test]
     fn rejects_multi_machine_and_unnormalized() {
-        let multi = InstanceBuilder::new(2).machines(2).unit_jobs([0]).build().unwrap();
-        assert_eq!(solve_offline(&multi, 1).unwrap_err(), OfflineError::MultipleMachines(2));
+        let multi = InstanceBuilder::new(2)
+            .machines(2)
+            .unit_jobs([0])
+            .build()
+            .unwrap();
+        assert_eq!(
+            solve_offline(&multi, 1).unwrap_err(),
+            OfflineError::MultipleMachines(2)
+        );
         let shared = InstanceBuilder::new(2).unit_jobs([3, 3]).build().unwrap();
-        assert_eq!(solve_offline(&shared, 2).unwrap_err(), OfflineError::NotNormalized);
+        assert_eq!(
+            solve_offline(&shared, 2).unwrap_err(),
+            OfflineError::NotNormalized
+        );
     }
 }

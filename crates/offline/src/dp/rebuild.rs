@@ -33,7 +33,10 @@ pub fn rebuild_schedule(gdp: &mut GroupDp, groups: &[(usize, usize)]) -> Schedul
         .collect();
     let calibrations = starts
         .into_iter()
-        .map(|s| Calibration { machine: MachineId(0), start: s })
+        .map(|s| Calibration {
+            machine: MachineId(0),
+            start: s,
+        })
         .collect();
     Schedule::new(calibrations, assignments)
 }
@@ -93,9 +96,7 @@ mod tests {
             let total_completion: i128 = sched
                 .assignments
                 .iter()
-                .map(|a| {
-                    inst.job(a.job).unwrap().weight as i128 * (a.start + 1) as i128
-                })
+                .map(|a| inst.job(a.job).unwrap().weight as i128 * (a.start + 1) as i128)
                 .sum();
             assert_eq!(total_completion, c);
         }

@@ -36,10 +36,9 @@ pub use brute::{
     candidate_starts, for_each_multiset, for_each_subset, opt_online_brute_multi,
     optimal_assignment_exhaustive, optimal_flow_brute, optimal_flow_exhaustive,
 };
-pub use dp::{min_flow_by_budget, solve_offline, DpSolution, OfflineError};
+pub use dp::{min_flow_by_budget, solve_offline, solve_offline_counted, DpSolution, OfflineError};
 pub use online_opt::{
-    flow_curve_is_convex, opt_online_cost, opt_online_cost_ternary, opt_online_schedule,
-    OnlineOpt,
+    flow_curve_is_convex, opt_online_cost, opt_online_cost_ternary, opt_online_schedule, OnlineOpt,
 };
 pub use opt_r::{assign_fifo, opt_r_brute, CandidateMode};
 pub use ranks::{RankedJobs, WindowInfo};

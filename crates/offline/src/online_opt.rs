@@ -28,7 +28,11 @@ pub struct OnlineOpt {
 pub fn opt_online_cost(instance: &Instance, cal_cost: Cost) -> Result<OnlineOpt, OfflineError> {
     let n = instance.n();
     if n == 0 {
-        return Ok(OnlineOpt { cost: 0, calibrations: 0, flow: 0 });
+        return Ok(OnlineOpt {
+            cost: 0,
+            calibrations: 0,
+            flow: 0,
+        });
     }
     let flows = min_flow_by_budget(instance, n)?;
     let mut best: Option<OnlineOpt> = None;
@@ -36,7 +40,11 @@ pub fn opt_online_cost(instance: &Instance, cal_cost: Cost) -> Result<OnlineOpt,
         if let Some(flow) = flow {
             let cost = cal_cost * k as Cost + flow;
             if best.is_none_or(|b| cost < b.cost) {
-                best = Some(OnlineOpt { cost, calibrations: k, flow });
+                best = Some(OnlineOpt {
+                    cost,
+                    calibrations: k,
+                    flow,
+                });
             }
         }
     }
@@ -92,7 +100,10 @@ mod tests {
 
     #[test]
     fn matches_brute_force_over_budgets() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 2, 4, 9]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 2, 4, 9])
+            .build()
+            .unwrap();
         for g in [0u128, 1, 3, 10, 50] {
             let opt = opt_online_cost(&inst, g).unwrap();
             let mut brute_best = Cost::MAX;
@@ -121,10 +132,17 @@ pub fn flow_curve_is_convex(flows: &[Option<Cost>]) -> bool {
 /// `min_K { K·G + F(K) }`, assuming the flow curve is convex (verified via
 /// [`flow_curve_is_convex`]; falls back to the exhaustive sweep when the
 /// check fails, so the result is always exact).
-pub fn opt_online_cost_ternary(instance: &Instance, cal_cost: Cost) -> Result<OnlineOpt, OfflineError> {
+pub fn opt_online_cost_ternary(
+    instance: &Instance,
+    cal_cost: Cost,
+) -> Result<OnlineOpt, OfflineError> {
     let n = instance.n();
     if n == 0 {
-        return Ok(OnlineOpt { cost: 0, calibrations: 0, flow: 0 });
+        return Ok(OnlineOpt {
+            cost: 0,
+            calibrations: 0,
+            flow: 0,
+        });
     }
     let flows = min_flow_by_budget(instance, n)?;
     if !flow_curve_is_convex(&flows) {
@@ -147,8 +165,14 @@ pub fn opt_online_cost_ternary(instance: &Instance, cal_cost: Cost) -> Result<On
             lo = m1;
         }
     }
-    let best_k = (lo..=hi).min_by_key(|&k| (cost_at(k), k)).expect("non-empty range");
-    Ok(OnlineOpt { cost: cost_at(best_k), calibrations: best_k, flow: flows[best_k].unwrap() })
+    let best_k = (lo..=hi)
+        .min_by_key(|&k| (cost_at(k), k))
+        .expect("non-empty range");
+    Ok(OnlineOpt {
+        cost: cost_at(best_k),
+        calibrations: best_k,
+        flow: flows[best_k].unwrap(),
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +185,9 @@ mod ternary_tests {
         // Deterministic pseudo-random instances via a small LCG.
         let mut state = 7u64;
         let mut next = |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _ in 0..60 {
@@ -191,7 +217,13 @@ mod ternary_tests {
 
     #[test]
     fn convexity_checker() {
-        assert!(flow_curve_is_convex(&[None, Some(10), Some(6), Some(4), Some(3)]));
+        assert!(flow_curve_is_convex(&[
+            None,
+            Some(10),
+            Some(6),
+            Some(4),
+            Some(3)
+        ]));
         assert!(!flow_curve_is_convex(&[Some(10), Some(9), Some(4)]));
         assert!(flow_curve_is_convex(&[]));
         assert!(flow_curve_is_convex(&[None, Some(5)]));

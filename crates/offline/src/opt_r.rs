@@ -27,7 +27,10 @@ pub fn assign_fifo(instance: &Instance, times: &[Time]) -> Option<Schedule> {
     }
     let calibrations = times
         .iter()
-        .map(|&s| Calibration { machine: MachineId(0), start: s })
+        .map(|&s| Calibration {
+            machine: MachineId(0),
+            start: s,
+        })
         .collect();
     Some(Schedule::new(calibrations, assignments))
 }
@@ -86,7 +89,11 @@ mod tests {
 
     #[test]
     fn fifo_respects_release_order() {
-        let inst = InstanceBuilder::new(4).job(0, 1).job(1, 100).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .job(0, 1)
+            .job(1, 100)
+            .build()
+            .unwrap();
         let sched = assign_fifo(&inst, &[0]).unwrap();
         check_schedule(&inst, &sched).unwrap();
         // FIFO: light early job first even though the heavy one would
@@ -105,7 +112,11 @@ mod tests {
     #[test]
     fn opt_r_at_least_opt() {
         // Weighted instance where release order is suboptimal.
-        let inst = InstanceBuilder::new(4).job(0, 1).job(1, 100).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .job(0, 1)
+            .job(1, 100)
+            .build()
+            .unwrap();
         let (opt_flow, _) = crate::brute::optimal_flow_brute(&inst, 2).unwrap();
         let (optr_flow, sched) = opt_r_brute(&inst, 2, CandidateMode::Lemma42).unwrap();
         check_schedule(&inst, &sched).unwrap();

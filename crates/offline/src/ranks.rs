@@ -39,7 +39,10 @@ impl RankedJobs {
         for (pos, &i) in order.iter().enumerate() {
             rank[i] = pos as u32 + 1;
         }
-        RankedJobs { jobs: jobs.to_vec(), rank }
+        RankedJobs {
+            jobs: jobs.to_vec(),
+            rank,
+        }
     }
 
     /// Number of jobs.
@@ -104,7 +107,13 @@ pub struct WindowInfo {
 impl WindowInfo {
     /// Computes the quantities for `(u, v, μ)` with calibration length `T`.
     /// Returns `None` when the window is empty.
-    pub fn compute(ranked: &RankedJobs, u: usize, v: usize, mu: u32, t: Time) -> Option<WindowInfo> {
+    pub fn compute(
+        ranked: &RankedJobs,
+        u: usize,
+        v: usize,
+        mu: u32,
+        t: Time,
+    ) -> Option<WindowInfo> {
         let members = ranked.window(u, v, mu);
         if members.is_empty() {
             return None;
@@ -137,7 +146,13 @@ impl WindowInfo {
             }
         }
 
-        Some(WindowInfo { members, last_start, e, psi, s })
+        Some(WindowInfo {
+            members,
+            last_start,
+            e,
+            psi,
+            s,
+        })
     }
 
     /// `j_ℓ`: the member of `Ψ` with the latest release (largest index).

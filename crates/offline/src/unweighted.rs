@@ -60,7 +60,10 @@ pub fn solve_offline_unweighted(
     }
     let n = jobs.len();
     if n == 0 {
-        return Ok(Some(UnweightedSolution { flow: 0, schedule: Schedule::default() }));
+        return Ok(Some(UnweightedSolution {
+            flow: 0,
+            schedule: Schedule::default(),
+        }));
     }
     let t = instance.cal_len();
     let starts = candidate_starts(instance);
@@ -120,8 +123,16 @@ pub fn solve_offline_unweighted(
         if let Some(&(c, _)) = memo.get(&key) {
             return c;
         }
-        let frontier = if last == usize::MAX { Time::MIN } else { starts[last] + t };
-        let min_next = if last == usize::MAX { Time::MIN } else { starts[last] + 1 };
+        let frontier = if last == usize::MAX {
+            Time::MIN
+        } else {
+            starts[last] + t
+        };
+        let min_next = if last == usize::MAX {
+            Time::MIN
+        } else {
+            starts[last] + 1
+        };
         let mut best: Option<(i128, Step)> = None;
         for (idx, &s) in starts.iter().enumerate() {
             if s < min_next {
@@ -132,8 +143,7 @@ pub fn solve_offline_unweighted(
             if filled == 0 {
                 continue; // a job-less interval never helps
             }
-            if let Some(rest) = solve((j + filled, idx, k + 1), n, budget, t, starts, fill, memo)
-            {
+            if let Some(rest) = solve((j + filled, idx, k + 1), n, budget, t, starts, fill, memo) {
                 let c = slot_sum + rest;
                 if best.is_none_or(|(b, _)| c < b) {
                     best = Some((c, Step { next: idx, filled }));
@@ -163,8 +173,15 @@ pub fn solve_offline_unweighted(
             .and_then(|&(_, s)| s)
             .expect("feasible states record a step");
         let s = starts[step.next];
-        calibrations.push(Calibration { machine: MachineId(0), start: s });
-        let frontier = if key.1 == usize::MAX { Time::MIN } else { starts[key.1] + t };
+        calibrations.push(Calibration {
+            machine: MachineId(0),
+            start: s,
+        });
+        let frontier = if key.1 == usize::MAX {
+            Time::MIN
+        } else {
+            starts[key.1] + t
+        };
         // Replay the fill to place the jobs.
         let mut j = key.0;
         let mut slot = s.max(frontier);
@@ -195,7 +212,10 @@ mod tests {
 
     #[test]
     fn single_burst() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         let sol = solve_offline_unweighted(&inst, 1).unwrap().unwrap();
         assert_eq!(sol.flow, 3);
         check_schedule(&inst, &sol.schedule).unwrap();
@@ -211,7 +231,10 @@ mod tests {
 
     #[test]
     fn infeasible_budget() {
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         assert!(solve_offline_unweighted(&inst, 1).unwrap().is_none());
     }
 
@@ -219,13 +242,20 @@ mod tests {
     fn rejects_weighted_and_multi() {
         let weighted = InstanceBuilder::new(2).job(0, 3).build().unwrap();
         assert!(solve_offline_unweighted(&weighted, 1).is_err());
-        let multi = InstanceBuilder::new(2).machines(2).unit_jobs([0]).build().unwrap();
+        let multi = InstanceBuilder::new(2)
+            .machines(2)
+            .unit_jobs([0])
+            .build()
+            .unwrap();
         assert!(solve_offline_unweighted(&multi, 1).is_err());
     }
 
     #[test]
     fn agrees_with_general_dp_small() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 2, 5, 6, 11]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 2, 5, 6, 11])
+            .build()
+            .unwrap();
         for k in 2..=5 {
             let a = solve_offline_unweighted(&inst, k).unwrap().map(|s| s.flow);
             let b = crate::dp::solve_offline(&inst, k).unwrap().map(|s| s.flow);

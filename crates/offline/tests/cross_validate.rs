@@ -68,9 +68,10 @@ fn slot_dp_matches_brute_tiny() {
         let t = rng.gen_range(1..=4);
         let inst = random_unweighted(&mut rng, n, 14, t);
         for budget in 1..=n.min(4) {
-            let slot = solve_offline_unweighted(&inst, budget).unwrap().map(|s| s.flow);
-            let brute =
-                calib_offline::optimal_flow_brute(&inst, budget).map(|(f, _)| f);
+            let slot = solve_offline_unweighted(&inst, budget)
+                .unwrap()
+                .map(|s| s.flow);
+            let brute = calib_offline::optimal_flow_brute(&inst, budget).map(|(f, _)| f);
             assert_eq!(slot, brute, "{inst:?} K={budget}");
         }
     }
@@ -81,11 +82,15 @@ fn dense_trains_agree() {
     // Adversarially dense: the train workload with varying budgets.
     for n in [10usize, 25, 40] {
         for t in [2i64, 3, 7] {
-            let jobs: Vec<Job> = (0..n).map(|i| Job::unweighted(i as u32, i as i64)).collect();
+            let jobs: Vec<Job> = (0..n)
+                .map(|i| Job::unweighted(i as u32, i as i64))
+                .collect();
             let inst = Instance::single_machine(jobs, t).unwrap();
             for budget in [n.div_ceil(t as usize), n.div_ceil(t as usize) + 1, n] {
                 let g = solve_offline(&inst, budget).unwrap().map(|s| s.flow);
-                let s = solve_offline_unweighted(&inst, budget).unwrap().map(|s| s.flow);
+                let s = solve_offline_unweighted(&inst, budget)
+                    .unwrap()
+                    .map(|s| s.flow);
                 assert_eq!(g, s, "n={n} T={t} K={budget}");
             }
         }

@@ -44,7 +44,11 @@ fn assert_dp_matches_brute(inst: &Instance, budget: usize, label: &str) {
                 panic!("{label}: infeasible reconstruction on {:?}: {e}", inst)
             });
             assert!(sol.schedule.calibration_count() <= budget);
-            assert_eq!(sol.schedule.total_weighted_flow(inst), sol.flow, "{label}: {inst:?}");
+            assert_eq!(
+                sol.schedule.total_weighted_flow(inst),
+                sol.flow,
+                "{label}: {inst:?}"
+            );
         }
         (b, d) => panic!(
             "{label}: feasibility disagreement on {:?} (budget {budget}): brute {:?}, dp {:?}",

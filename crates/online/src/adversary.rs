@@ -59,7 +59,10 @@ where
 {
     assert!(cal_len >= 2, "the lemma's construction needs T >= 2");
     // Probe: a single job at time 0. Did the algorithm calibrate at 0?
-    let probe = InstanceBuilder::new(cal_len).unit_jobs([0]).build().unwrap();
+    let probe = InstanceBuilder::new(cal_len)
+        .unit_jobs([0])
+        .build()
+        .unwrap();
     let probe_res = run_online(&probe, cal_cost, &mut make_scheduler());
     let calibrated_at_zero = probe_res.trace.first().is_some_and(|&(t, _)| t == 0);
 
@@ -86,7 +89,12 @@ where
         AdversaryBranch::WaiterPunished => cal_cost + cal_len as Cost,
     };
 
-    AdversaryOutcome { branch, instance, alg_cost: alg.cost, opt_cost }
+    AdversaryOutcome {
+        branch,
+        instance,
+        alg_cost: alg.cost,
+        opt_cost,
+    }
 }
 
 #[cfg(test)]

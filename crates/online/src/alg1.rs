@@ -38,12 +38,16 @@ pub struct Alg1 {
 impl Alg1 {
     /// The algorithm exactly as in the paper.
     pub fn new() -> Self {
-        Alg1 { immediate_rule: true }
+        Alg1 {
+            immediate_rule: true,
+        }
     }
 
     /// The ablated variant without immediate calibrations.
     pub fn without_immediate_rule() -> Self {
-        Alg1 { immediate_rule: false }
+        Alg1 {
+            immediate_rule: false,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ impl Default for Alg1 {
 
 impl OnlineScheduler for Alg1 {
     fn name(&self) -> String {
-        if self.immediate_rule { "Alg1".into() } else { "Alg1(no-immediate)".into() }
+        if self.immediate_rule {
+            "Alg1".into()
+        } else {
+            "Alg1(no-immediate)".into()
+        }
     }
 
     fn auto_policy(&self) -> PriorityPolicy {
@@ -121,7 +129,10 @@ mod tests {
     #[test]
     fn queue_threshold_calibrates_before_flow() {
         // G = 6, T = 2 -> G/T = 3 waiting jobs trigger. Three jobs at 0,1,2.
-        let inst = InstanceBuilder::new(2).unit_jobs([0, 1, 2]).build().unwrap();
+        let inst = InstanceBuilder::new(2)
+            .unit_jobs([0, 1, 2])
+            .build()
+            .unwrap();
         let res = run_online(&inst, 6, &mut Alg1::new());
         // At t = 1 the two waiting jobs would incur flow 3 + 3 = 6 >= G if
         // run from t+1, so the flow rule fires before the queue rule
@@ -155,7 +166,10 @@ mod tests {
         // (4 · 6 ≥ 24); they run at 0..3 with total flow 1+2+3+4 = 10 <
         // G/2 = 12, so the interval is "cheap". The arrival at 7 (after the
         // interval [0, 6) ends) then triggers an immediate calibration.
-        let inst = InstanceBuilder::new(6).unit_jobs([0, 0, 0, 0, 7]).build().unwrap();
+        let inst = InstanceBuilder::new(6)
+            .unit_jobs([0, 0, 0, 0, 7])
+            .build()
+            .unwrap();
         let res = run_online(&inst, 24, &mut Alg1::new());
         assert_eq!(res.trace[0], (0, reason::QUEUE));
         assert_eq!(res.trace[1], (7, reason::IMMEDIATE));
@@ -167,7 +181,10 @@ mod tests {
     fn ablation_disables_immediate_rule() {
         // Same scenario as above: without the immediate rule the straggler
         // at 7 must wait for its own flow to reach G (23 steps of flow).
-        let inst = InstanceBuilder::new(6).unit_jobs([0, 0, 0, 0, 7]).build().unwrap();
+        let inst = InstanceBuilder::new(6)
+            .unit_jobs([0, 0, 0, 0, 7])
+            .build()
+            .unwrap();
         let with_rule = run_online(&inst, 24, &mut Alg1::new());
         let without = run_online(&inst, 24, &mut Alg1::without_immediate_rule());
         assert_eq!(with_rule.flow, 11);
@@ -180,7 +197,10 @@ mod tests {
     #[test]
     fn jobs_inside_interval_run_at_release() {
         // Once calibrated, arrivals within the window run immediately.
-        let inst = InstanceBuilder::new(6).unit_jobs([0, 4, 5]).build().unwrap();
+        let inst = InstanceBuilder::new(6)
+            .unit_jobs([0, 4, 5])
+            .build()
+            .unwrap();
         let res = run_online(&inst, 3, &mut Alg1::new());
         // G/T = 0.5 <= 1, so the queue rule fires on arrival at t = 0; the
         // interval [0, 6) catches the arrivals at 4 and 5 at their release.

@@ -50,12 +50,16 @@ pub struct Alg2 {
 impl Alg2 {
     /// The algorithm with the analysis' heaviest-first extraction.
     pub fn new() -> Self {
-        Alg2 { extraction: ExtractionPolicy::HeaviestFirst }
+        Alg2 {
+            extraction: ExtractionPolicy::HeaviestFirst,
+        }
     }
 
     /// The ablated literal-pseudocode variant.
     pub fn lightest_first() -> Self {
-        Alg2 { extraction: ExtractionPolicy::LightestFirst }
+        Alg2 {
+            extraction: ExtractionPolicy::LightestFirst,
+        }
     }
 
     /// Queue flow in the order the policy would schedule.
@@ -162,7 +166,11 @@ mod tests {
     #[test]
     fn heaviest_first_beats_lightest_first_here() {
         // Two jobs waiting; heavy should run first.
-        let inst = InstanceBuilder::new(4).job(0, 1).job(0, 10).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .job(0, 1)
+            .job(0, 10)
+            .build()
+            .unwrap();
         let heavy = run_online(&inst, 8, &mut Alg2::new());
         let light = run_online(&inst, 8, &mut Alg2::lightest_first());
         assert!(heavy.flow < light.flow, "{} vs {}", heavy.flow, light.flow);
@@ -191,7 +199,10 @@ mod tests {
         // On unit weights, Alg2's weight rule equals Alg1's queue rule; the
         // |Q| = T rule can only fire earlier. Sanity: both schedule all jobs
         // with comparable cost on a burst.
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 1, 2, 9, 14]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 1, 2, 9, 14])
+            .build()
+            .unwrap();
         let a2 = run_online(&inst, 6, &mut Alg2::new());
         let a1 = run_online(&inst, 6, &mut crate::alg1::Alg1::without_immediate_rule());
         assert_eq!(a2.schedule.assignments.len(), 5);

@@ -84,7 +84,11 @@ impl OnlineScheduler for Alg3 {
             .waiting
             .iter()
             .zip(slots)
-            .map(|(job, slot)| Reservation { job: job.id, machine: m, slot })
+            .map(|(job, slot)| Reservation {
+                job: job.id,
+                machine: m,
+                slot,
+            })
             .collect();
         if reserve.is_empty() {
             // The round-robin target has no free slot in [t, t+T) (possible
@@ -95,7 +99,11 @@ impl OnlineScheduler for Alg3 {
         Decision {
             calibrate: 1,
             reserve,
-            reason: Some(if queue_rule { reason::QUEUE } else { reason::FLOW }),
+            reason: Some(if queue_rule {
+                reason::QUEUE
+            } else {
+                reason::FLOW
+            }),
         }
     }
 
@@ -146,8 +154,12 @@ mod tests {
         let res = run_online(&inst, 4, &mut Alg3::new());
         assert_eq!(res.calibrations, 2);
         assert_eq!(res.flow, 1 + 1 + 2 + 2);
-        let machines: std::collections::HashSet<u32> =
-            res.schedule.assignments.iter().map(|a| a.machine.0).collect();
+        let machines: std::collections::HashSet<u32> = res
+            .schedule
+            .assignments
+            .iter()
+            .map(|a| a.machine.0)
+            .collect();
         assert_eq!(machines.len(), 2);
     }
 

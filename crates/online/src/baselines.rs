@@ -33,7 +33,11 @@ impl OnlineScheduler for CalibrateImmediately {
         let uncovered = view.machines.iter().filter(|m| !m.covers(view.t)).count();
         let need = view.waiting.len().saturating_sub(usable).min(uncovered);
         if need > 0 {
-            Decision { calibrate: need as u32, reserve: Vec::new(), reason: Some("naive:now") }
+            Decision {
+                calibrate: need as u32,
+                reserve: Vec::new(),
+                reason: Some("naive:now"),
+            }
         } else {
             Decision::none()
         }
@@ -82,7 +86,10 @@ mod tests {
 
     #[test]
     fn immediate_baseline_zero_extra_flow() {
-        let inst = InstanceBuilder::new(3).unit_jobs([0, 5, 9]).build().unwrap();
+        let inst = InstanceBuilder::new(3)
+            .unit_jobs([0, 5, 9])
+            .build()
+            .unwrap();
         let res = run_online(&inst, 100, &mut CalibrateImmediately);
         // Every job runs at release; it just pays for calibrations.
         assert_eq!(res.flow, 3);
@@ -113,7 +120,10 @@ mod tests {
     fn ski_rental_ignores_queue_size() {
         // Many simultaneous jobs: Alg1's queue rule fires instantly;
         // ski-rental still waits for flow G.
-        let inst = InstanceBuilder::new(10).unit_jobs([0, 0, 0, 0, 0]).build().unwrap();
+        let inst = InstanceBuilder::new(10)
+            .unit_jobs([0, 0, 0, 0, 0])
+            .build()
+            .unwrap();
         let g = 40u128;
         let ski = run_online(&inst, g, &mut SkiRentalBatch);
         let alg1 = run_online(&inst, g, &mut crate::alg1::Alg1::new());

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use calib_core::obs::{Event, NoopProbe, Probe};
 use calib_core::{
     check_schedule, Assignment, Calibration, Cost, Instance, Job, JobId, MachineId, Schedule, Time,
 };
@@ -33,12 +34,20 @@ pub struct MachineState {
 
 impl MachineState {
     fn new() -> Self {
-        MachineState { coverage: Vec::new(), used_until: Time::MIN, reservations: BTreeMap::new() }
+        MachineState {
+            coverage: Vec::new(),
+            used_until: Time::MIN,
+            reservations: BTreeMap::new(),
+        }
     }
 
     /// Is slot `t` calibrated on this machine?
     pub fn covers(&self, t: Time) -> bool {
-        match self.coverage.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+        match self
+            .coverage
+            .partition_point(|&(b, _)| b <= t)
+            .checked_sub(1)
+        {
             Some(i) => t < self.coverage[i].1,
             None => false,
         }
@@ -72,7 +81,11 @@ impl MachineState {
     /// step calibrated" change behaviour exactly there, so the engine treats
     /// coverage expiry as a wake-up event.
     pub fn coverage_end_after(&self, t: Time) -> Option<Time> {
-        match self.coverage.partition_point(|&(b, _)| b <= t).checked_sub(1) {
+        match self
+            .coverage
+            .partition_point(|&(b, _)| b <= t)
+            .checked_sub(1)
+        {
             Some(i) if t < self.coverage[i].1 => Some(self.coverage[i].1),
             _ => None,
         }
@@ -141,7 +154,10 @@ pub struct IntervalRecord {
 impl IntervalRecord {
     /// Total weighted flow of the jobs run in this interval so far.
     pub fn total_flow(&self) -> Cost {
-        self.jobs.iter().map(|(j, slot)| j.flow_if_started(*slot)).sum()
+        self.jobs
+            .iter()
+            .map(|(j, slot)| j.flow_if_started(*slot))
+            .sum()
     }
 }
 
@@ -230,14 +246,21 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { max_steps: 50_000_000, max_decides_per_step: 4096, time_skip: true }
+        EngineConfig {
+            max_steps: 50_000_000,
+            max_decides_per_step: 4096,
+            time_skip: true,
+        }
     }
 }
 
 impl EngineConfig {
     /// The validation configuration: step every slot, no skipping.
     pub fn no_skip() -> Self {
-        EngineConfig { time_skip: false, ..Default::default() }
+        EngineConfig {
+            time_skip: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -261,12 +284,30 @@ pub fn run_online_with(
     scheduler: &mut dyn OnlineScheduler,
     config: EngineConfig,
 ) -> RunResult {
-    let mut engine = Engine::new(instance, cal_cost, config);
+    run_online_probed(instance, cal_cost, scheduler, config, &mut NoopProbe)
+}
+
+/// [`run_online_with`] with a [`Probe`] observing the run.
+///
+/// The engine is monomorphized per probe type and every emission site is
+/// guarded by `if P::ENABLED`, so the [`NoopProbe`] instantiation (which is
+/// what [`run_online`] and [`run_online_with`] use) compiles to the
+/// un-instrumented engine — observability is free unless a real probe is
+/// passed. See `calib_core::obs` for the built-in probes (recording,
+/// counting, JSON-lines tracing).
+pub fn run_online_probed<P: Probe>(
+    instance: &Instance,
+    cal_cost: Cost,
+    scheduler: &mut dyn OnlineScheduler,
+    config: EngineConfig,
+    probe: &mut P,
+) -> RunResult {
+    let mut engine = Engine::new(instance, cal_cost, config, probe);
     engine.run(scheduler);
     engine.finish(instance, cal_cost)
 }
 
-struct Engine<'a> {
+struct Engine<'a, P: Probe> {
     cal_len: Time,
     cal_cost: Cost,
     jobs: &'a [Job],
@@ -282,10 +323,13 @@ struct Engine<'a> {
     trace: Vec<(Time, &'static str)>,
     pending_reservations: usize,
     config: EngineConfig,
+    /// Clock value of the last processed step (for `RunComplete`).
+    clock: Time,
+    probe: &'a mut P,
 }
 
-impl<'a> Engine<'a> {
-    fn new(instance: &'a Instance, cal_cost: Cost, config: EngineConfig) -> Self {
+impl<'a, P: Probe> Engine<'a, P> {
+    fn new(instance: &'a Instance, cal_cost: Cost, config: EngineConfig, probe: &'a mut P) -> Self {
         let p = instance.machines();
         Engine {
             cal_len: instance.cal_len(),
@@ -302,6 +346,8 @@ impl<'a> Engine<'a> {
             trace: Vec::new(),
             pending_reservations: 0,
             config,
+            clock: 0,
+            probe,
         }
     }
 
@@ -329,12 +375,21 @@ impl<'a> Engine<'a> {
             fuel = fuel.checked_sub(1).unwrap_or_else(|| {
                 panic!("engine fuel exhausted at t={t}: scheduler makes no progress")
             });
+            self.clock = t;
 
             // 1. Arrivals.
             let mut arrived_now = false;
             while self.next_job < self.jobs.len() && self.jobs[self.next_job].release <= t {
-                arrived_now |= self.jobs[self.next_job].release == t;
-                self.waiting.push(self.jobs[self.next_job]);
+                let job = self.jobs[self.next_job];
+                arrived_now |= job.release == t;
+                if P::ENABLED {
+                    self.probe.record(&Event::JobArrived {
+                        time: t,
+                        job: job.id,
+                        weight: job.weight,
+                    });
+                }
+                self.waiting.push(job);
                 self.next_job += 1;
             }
 
@@ -363,28 +418,44 @@ impl<'a> Engine<'a> {
                 t += 1;
                 continue;
             }
-            let mut next: Option<Time> = None;
-            let mut consider = |c: Option<Time>| {
+            let mut next: Option<(Time, &'static str)> = None;
+            let mut consider = |c: Option<Time>, label: &'static str| {
                 if let Some(c) = c {
-                    if c > t {
-                        next = Some(next.map_or(c, |n: Time| n.min(c)));
+                    if c > t && next.is_none_or(|(n, _)| c < n) {
+                        next = Some((c, label));
                     }
                 }
             };
             if self.next_job < self.jobs.len() {
-                consider(Some(self.jobs[self.next_job].release));
+                consider(Some(self.jobs[self.next_job].release), "release");
             }
             if !self.waiting.is_empty() || self.pending_reservations > 0 {
                 for m in &self.machines {
-                    consider(m.next_usable(t + 1));
+                    consider(m.next_usable(t + 1), "slot");
                     // Threshold rules flip when coverage expires.
-                    consider(m.coverage_end_after(t));
+                    consider(m.coverage_end_after(t), "coverage_end");
                 }
             }
-            consider(scheduler.next_wake(&self.view(t, false)).map(|w| w.max(t + 1)));
+            consider(
+                scheduler
+                    .next_wake(&self.view(t, false))
+                    .map(|w| w.max(t + 1)),
+                "scheduler",
+            );
 
             match next {
-                Some(n) => t = n,
+                Some((n, label)) => {
+                    if P::ENABLED {
+                        if n > t + 1 {
+                            self.probe.record(&Event::TimeSkip { from: t, to: n });
+                        }
+                        self.probe.record(&Event::Wake {
+                            time: n,
+                            reason: label,
+                        });
+                    }
+                    t = n;
+                }
                 None => {
                     // No event in sight but work remains: step once (covers
                     // schedulers without wake hints); fuel bounds the spin.
@@ -423,7 +494,10 @@ impl<'a> Engine<'a> {
             let m = self.rr_next % p;
             self.rr_next += 1;
             self.machines[m].add_calibration(t, self.cal_len);
-            self.calibrations.push(Calibration { machine: MachineId(m as u32), start: t });
+            self.calibrations.push(Calibration {
+                machine: MachineId(m as u32),
+                start: t,
+            });
             self.machine_intervals[m].push(self.intervals.len());
             decision_interval = Some(self.intervals.len());
             self.intervals.push(IntervalRecord {
@@ -432,11 +506,21 @@ impl<'a> Engine<'a> {
                 jobs: Vec::new(),
             });
             self.trace.push((t, decision.reason.unwrap_or("calibrate")));
+            if P::ENABLED {
+                self.probe.record(&Event::Calibrate {
+                    time: t,
+                    machine: MachineId(m as u32),
+                    start: t,
+                });
+            }
         }
         for r in decision.reserve {
             let ms = &mut self.machines[r.machine.index()];
             assert!(r.slot >= t, "reservation in the past: {r:?} at t={t}");
-            assert!(ms.slot_free(r.slot), "reserved slot not free: {r:?} at t={t}");
+            assert!(
+                ms.slot_free(r.slot),
+                "reserved slot not free: {r:?} at t={t}"
+            );
             let pos = self
                 .waiting
                 .iter()
@@ -444,8 +528,17 @@ impl<'a> Engine<'a> {
                 .unwrap_or_else(|| panic!("reserved job {} is not waiting", r.job));
             let job = self.waiting.remove(pos);
             debug_assert!(job.release <= r.slot);
-            ms.reservations.insert(r.slot, (job.id, decision_interval));
+            self.machines[r.machine.index()]
+                .reservations
+                .insert(r.slot, (job.id, decision_interval));
             self.pending_reservations += 1;
+            if P::ENABLED {
+                self.probe.record(&Event::Reserve {
+                    time: t,
+                    machine: r.machine,
+                    start: r.slot,
+                });
+            }
         }
     }
 
@@ -473,8 +566,17 @@ impl<'a> Engine<'a> {
                     (None, None)
                 };
             if let Some(job) = job {
-                self.assignments.push(Assignment::new(job.id, t, MachineId(m as u32)));
+                self.assignments
+                    .push(Assignment::new(job.id, t, MachineId(m as u32)));
                 self.machines[m].used_until = t + 1;
+                if P::ENABLED {
+                    self.probe.record(&Event::Dispatch {
+                        time: t,
+                        job: job.id,
+                        machine: MachineId(m as u32),
+                        start: t,
+                    });
+                }
                 // A reserved job belongs to the interval that reserved it
                 // (overlapping same-machine intervals make "latest covering"
                 // ambiguous); auto-scheduled jobs go to the latest covering
@@ -515,6 +617,13 @@ impl<'a> Engine<'a> {
         }
         let flow = schedule.total_weighted_flow(instance);
         let calibrations = schedule.calibration_count();
+        if P::ENABLED {
+            self.probe.record(&Event::RunComplete {
+                time: self.clock,
+                flow,
+                calibrations: calibrations as u64,
+            });
+        }
         RunResult {
             cost: cal_cost * calibrations as Cost + flow,
             flow,
@@ -545,7 +654,10 @@ mod tests {
     #[should_panic(expected = "fuel exhausted")]
     fn fuel_guard_catches_stuck_schedulers() {
         let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
-        let config = EngineConfig { max_steps: 100, ..Default::default() };
+        let config = EngineConfig {
+            max_steps: 100,
+            ..Default::default()
+        };
         run_online_with(&inst, 5, &mut NeverCalibrates, config);
     }
 
@@ -565,7 +677,10 @@ mod tests {
     #[should_panic(expected = "decide loop did not converge")]
     fn decide_loop_cap_fires() {
         let inst = InstanceBuilder::new(3).unit_jobs([0]).build().unwrap();
-        let config = EngineConfig { max_decides_per_step: 8, ..Default::default() };
+        let config = EngineConfig {
+            max_decides_per_step: 8,
+            ..Default::default()
+        };
         run_online_with(&inst, 5, &mut CalibratesForever, config);
     }
 
@@ -623,5 +738,50 @@ mod tests {
         let res = run_online(&inst, 5, &mut crate::Alg1::new());
         assert_eq!(res.cost, 0);
         assert!(res.schedule.assignments.is_empty());
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_events_mirror_result() {
+        use calib_core::obs::{Event, RecordingProbe};
+
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 1, 2, 50, 51])
+            .build()
+            .unwrap();
+        let plain = run_online(&inst, 6, &mut crate::Alg1::new());
+        let mut probe = RecordingProbe::new();
+        let probed = run_online_probed(
+            &inst,
+            6,
+            &mut crate::Alg1::new(),
+            EngineConfig::default(),
+            &mut probe,
+        );
+        // Observation must not perturb behaviour.
+        assert_eq!(probed.schedule, plain.schedule);
+        assert_eq!(probed.cost, plain.cost);
+
+        let count = |f: fn(&Event) -> bool| probe.events.iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, Event::JobArrived { .. })),
+            inst.jobs().len()
+        );
+        assert_eq!(
+            count(|e| matches!(e, Event::Dispatch { .. })),
+            inst.jobs().len()
+        );
+        assert_eq!(
+            count(|e| matches!(e, Event::Calibrate { .. })),
+            plain.calibrations
+        );
+        // The 47-step gap between bursts must be skipped, not stepped.
+        assert!(probe
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::TimeSkip { .. })));
+        assert!(matches!(
+            probe.events.last(),
+            Some(Event::RunComplete { .. })
+        ));
     }
 }

@@ -43,10 +43,11 @@ pub use alg1::Alg1;
 pub use alg2::{Alg2, ExtractionPolicy};
 pub use alg3::{run_alg3_practical, Alg3};
 pub use baselines::{CalibrateImmediately, SkiRentalBatch};
-pub use randomized::RandomizedSkiRental;
 pub use engine::{
-    run_online, run_online_with, EngineConfig, EngineView, IntervalRecord, MachineState, RunResult,
+    run_online, run_online_probed, run_online_with, EngineConfig, EngineView, IntervalRecord,
+    MachineState, RunResult,
 };
+pub use randomized::RandomizedSkiRental;
 pub use scheduler::{Decision, OnlineScheduler, Reservation};
 pub use tunable::{Ratio, Thresholds, TunableScheduler};
 pub use weighted_multi::{run_weighted_multi_practical, WeightedMulti};

@@ -76,14 +76,19 @@ impl RandomizedSkiRental {
     /// Pure randomized ski rental: *only* the randomized flow trigger
     /// (exposes how necessary Algorithm 1's extra rules are).
     pub fn pure(seed: u64) -> Self {
-        RandomizedSkiRental { keep_alg1_rules: false, ..RandomizedSkiRental::new(seed) }
+        RandomizedSkiRental {
+            keep_alg1_rules: false,
+            ..RandomizedSkiRental::new(seed)
+        }
     }
 
     /// Samples `X` with density `eˣ/(e−1)` on `(0, 1]` via inverse CDF:
     /// `X = ln(1 + u(e−1))`.
     fn sample_fraction(&mut self) -> f64 {
         let u = self.rng.next_f64();
-        (1.0 + u * (std::f64::consts::E - 1.0)).ln().clamp(f64::MIN_POSITIVE, 1.0)
+        (1.0 + u * (std::f64::consts::E - 1.0))
+            .ln()
+            .clamp(f64::MIN_POSITIVE, 1.0)
     }
 
     fn threshold(&mut self, g: Cost) -> Cost {
@@ -98,7 +103,11 @@ impl RandomizedSkiRental {
 
 impl OnlineScheduler for RandomizedSkiRental {
     fn name(&self) -> String {
-        if self.keep_alg1_rules { "RandSkiRental".into() } else { "RandSkiRental(pure)".into() }
+        if self.keep_alg1_rules {
+            "RandSkiRental".into()
+        } else {
+            "RandSkiRental(pure)".into()
+        }
     }
 
     fn auto_policy(&self) -> PriorityPolicy {
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_the_seed() {
-        let inst = InstanceBuilder::new(4).unit_jobs([0, 3, 9, 15, 16]).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 3, 9, 15, 16])
+            .build()
+            .unwrap();
         let a = run_online(&inst, 20, &mut RandomizedSkiRental::new(7));
         let b = run_online(&inst, 20, &mut RandomizedSkiRental::new(7));
         assert_eq!(a.schedule, b.schedule);
@@ -182,7 +194,10 @@ mod tests {
         let mut s = RandomizedSkiRental::new(11);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| s.sample_fraction()).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / (std::f64::consts::E - 1.0)).abs() < 0.01, "mean {mean}");
+        assert!(
+            (mean - 1.0 / (std::f64::consts::E - 1.0)).abs() < 0.01,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -197,7 +212,10 @@ mod tests {
         for seed in 0..20 {
             let res = run_online(&inst, g, &mut RandomizedSkiRental::pure(seed));
             check_schedule(&inst, &res.schedule).unwrap();
-            assert!(res.cost >= g + 2, "must pay at least one calibration + flow");
+            assert!(
+                res.cost >= g + 2,
+                "must pay at least one calibration + flow"
+            );
             assert!(res.cost <= 2 * g + 2 * (g + 2), "wildly off: {}", res.cost);
         }
     }

@@ -60,7 +60,11 @@ impl Decision {
 
     /// A single calibration with a trigger label.
     pub fn calibrate(reason: &'static str) -> Self {
-        Decision { calibrate: 1, reserve: Vec::new(), reason: Some(reason) }
+        Decision {
+            calibrate: 1,
+            reserve: Vec::new(),
+            reason: Some(reason),
+        }
     }
 
     /// True when the decision does nothing (ends the decide loop).

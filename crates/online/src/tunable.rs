@@ -145,7 +145,11 @@ impl OnlineScheduler for TunableScheduler {
     }
 
     fn decide_early(&mut self, view: &EngineView) -> Decision {
-        debug_assert_eq!(view.machines.len(), 1, "tunable scheduler is single-machine");
+        debug_assert_eq!(
+            view.machines.len(),
+            1,
+            "tunable scheduler is single-machine"
+        );
         if view.any_calibrated() || view.waiting.is_empty() {
             return Decision::none();
         }
@@ -218,7 +222,10 @@ mod tests {
 
     #[test]
     fn alg1_preset_reproduces_alg1_on_unit_weights() {
-        let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 5, 9, 14, 15]).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 1, 5, 9, 14, 15])
+            .build()
+            .unwrap();
         for g in [2u128, 9, 30] {
             let a = run_online(&inst, g, &mut Alg1::new());
             let mut tun = TunableScheduler::new(Thresholds::alg1());

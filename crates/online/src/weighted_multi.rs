@@ -82,7 +82,11 @@ impl OnlineScheduler for WeightedMulti {
         let reserve: Vec<Reservation> = jobs
             .iter()
             .zip(slots)
-            .map(|(job, slot)| Reservation { job: job.id, machine: m, slot })
+            .map(|(job, slot)| Reservation {
+                job: job.id,
+                machine: m,
+                slot,
+            })
             .collect();
         if reserve.is_empty() {
             return Decision::none();
@@ -139,7 +143,11 @@ mod tests {
     fn heavy_job_triggers_early_calibration() {
         // G = 20, T = 4 -> weight threshold 5; a weight-9 job calibrates at
         // its release instead of waiting for flow.
-        let inst = InstanceBuilder::new(4).machines(2).job(3, 9).build().unwrap();
+        let inst = InstanceBuilder::new(4)
+            .machines(2)
+            .job(3, 9)
+            .build()
+            .unwrap();
         let res = run_online(&inst, 20, &mut WeightedMulti::new());
         assert_eq!(res.trace[0], (3, reason::WEIGHT));
         assert_eq!(res.flow, 9);
@@ -205,9 +213,8 @@ pub fn run_weighted_multi_practical(
     use calib_core::assign_greedy_with_policy;
     let spec = crate::engine::run_online(instance, cal_cost, &mut WeightedMulti::new());
     let times = spec.schedule.calibration_times();
-    let schedule =
-        assign_greedy_with_policy(instance, &times, PriorityPolicy::HighestWeightFirst)
-            .expect("spec-mode calibrations scheduled every job");
+    let schedule = assign_greedy_with_policy(instance, &times, PriorityPolicy::HighestWeightFirst)
+        .expect("spec-mode calibrations scheduled every job");
     let flow = schedule.total_weighted_flow(instance);
     let calibrations = schedule.calibration_count();
     crate::engine::RunResult {

@@ -122,23 +122,35 @@ fn baselines_lose_on_their_nemesis_workloads() {
     let alg1 = run_online(&spread, g, &mut Alg1::new());
     let opt = opt_online_cost(&spread, g).unwrap();
     assert_eq!(naive.calibrations, 10);
-    assert!(naive.cost > 2 * opt.cost, "naive {} vs opt {}", naive.cost, opt.cost);
+    assert!(
+        naive.cost > 2 * opt.cost,
+        "naive {} vs opt {}",
+        naive.cost,
+        opt.cost
+    );
     assert!(alg1.cost <= 3 * opt.cost);
 
     // Nemesis of pure ski-rental: a big simultaneous burst — Alg1's queue
     // rule calibrates immediately, ski-rental lets flow accumulate to G.
-    let burst = Instance::single_machine(
-        (0..30).map(|i| Job::unweighted(i, 0)).collect(),
-        30,
-    )
-    .unwrap();
+    let burst =
+        Instance::single_machine((0..30).map(|i| Job::unweighted(i, 0)).collect(), 30).unwrap();
     // G = 900 = 30 jobs * T: the queue rule fires at t = 0 for Alg1 while
     // ski-rental waits for accumulated flow 900.
     let g2 = 900u128;
     let ski = run_online(&burst, g2, &mut SkiRentalBatch);
     let alg1b = run_online(&burst, g2, &mut Alg1::new());
-    assert!(ski.flow > alg1b.flow, "ski flow {} vs alg1 {}", ski.flow, alg1b.flow);
-    assert!(ski.cost > alg1b.cost, "ski {} vs alg1 {}", ski.cost, alg1b.cost);
+    assert!(
+        ski.flow > alg1b.flow,
+        "ski flow {} vs alg1 {}",
+        ski.flow,
+        alg1b.flow
+    );
+    assert!(
+        ski.cost > alg1b.cost,
+        "ski {} vs alg1 {}",
+        ski.cost,
+        alg1b.cost
+    );
 
     // Both baselines remain within-model correct (run_online checks), and
     // random mixes stay feasible too.

@@ -60,10 +60,7 @@ fn lemma31_branch1_exact_costs() {
 fn lemma31_branch2_exact_costs() {
     let t: Time = 9;
     let g: Cost = 5;
-    let inst = InstanceBuilder::new(t)
-        .unit_jobs(0..t)
-        .build()
-        .unwrap();
+    let inst = InstanceBuilder::new(t).unit_jobs(0..t).build().unwrap();
     let opt = calib_offline::opt_online_cost(&inst, g).unwrap();
     assert_eq!(opt.cost, g + t as Cost, "calibrate at 0, all at release");
     // Alg1 with G/T <= 1 calibrates at 0 and achieves exactly OPT here.
@@ -110,9 +107,10 @@ fn immediate_rule_vacuous_when_t_below_g_over_t() {
             with_rule.schedule, without.schedule,
             "immediate rule should be vacuous for T < G/T on {releases:?}"
         );
-        assert!(
-            with_rule.trace.iter().all(|&(_, r)| r != calib_online::alg1::reason::IMMEDIATE)
-        );
+        assert!(with_rule
+            .trace
+            .iter()
+            .all(|&(_, r)| r != calib_online::alg1::reason::IMMEDIATE));
     }
 }
 
@@ -121,7 +119,10 @@ fn immediate_rule_vacuous_when_t_below_g_over_t() {
 /// correct (checker-clean, every job scheduled).
 #[test]
 fn t_equals_one_corner_case() {
-    let inst = InstanceBuilder::new(1).unit_jobs([0, 2, 4, 5]).build().unwrap();
+    let inst = InstanceBuilder::new(1)
+        .unit_jobs([0, 2, 4, 5])
+        .build()
+        .unwrap();
     for g in [1u128, 3, 10] {
         let r1 = run_online(&inst, g, &mut Alg1::new());
         assert_eq!(r1.schedule.assignments.len(), 4);

@@ -1,0 +1,121 @@
+//! Property-based tests for the observability layer: the event stream is a
+//! faithful record of the run.
+//!
+//! 1. Replaying the `Calibrate`/`Dispatch` events of a probed run
+//!    reconstructs the engine's schedule exactly, and the reconstruction
+//!    passes the trusted feasibility checker;
+//! 2. A `CountingProbe`'s `calibrations`/`dispatches` totals equal the
+//!    schedule's calibration count and the instance's job count;
+//! 3. Probing is semantically invisible: the probed and un-probed runs cost
+//!    the same.
+
+use proptest::prelude::*;
+
+use calib_core::obs::{Counters, CountingProbe, Event, RecordingProbe};
+use calib_core::{check_schedule, Assignment, Calibration, Instance, Job, Schedule};
+use calib_online::{
+    run_online, run_online_probed, Alg1, Alg2, Alg3, EngineConfig, OnlineScheduler,
+};
+
+fn arb_instance(
+    max_n: usize,
+    max_r: i64,
+    max_w: u64,
+    machines: usize,
+) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..=max_r, 1..=max_w), 1..=max_n).prop_map(move |specs| {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, w))| Job::new(i as u32, r, w))
+            .collect();
+        Instance::new(jobs, machines, 3).unwrap()
+    })
+}
+
+/// Rebuilds a schedule from the `Calibrate`/`Dispatch` events of a trace.
+fn replay(events: &[Event]) -> Schedule {
+    let mut calibrations = Vec::new();
+    let mut assignments = Vec::new();
+    for event in events {
+        match *event {
+            Event::Calibrate { machine, start, .. } => {
+                calibrations.push(Calibration { machine, start });
+            }
+            Event::Dispatch {
+                job,
+                machine,
+                start,
+                ..
+            } => {
+                assignments.push(Assignment {
+                    job,
+                    start,
+                    machine,
+                });
+            }
+            _ => {}
+        }
+    }
+    Schedule::new(calibrations, assignments)
+}
+
+fn check_replay(
+    inst: &Instance,
+    g: u128,
+    mk: &mut dyn FnMut() -> Box<dyn OnlineScheduler>,
+) -> Result<(), TestCaseError> {
+    let counters = Counters::new();
+    let mut probe = (RecordingProbe::new(), CountingProbe::new(&counters));
+    let probed = run_online_probed(inst, g, mk().as_mut(), EngineConfig::default(), &mut probe);
+    let plain = run_online(inst, g, mk().as_mut());
+    prop_assert_eq!(probed.cost, plain.cost, "probing changed the run");
+    prop_assert_eq!(&probed.schedule, &plain.schedule);
+
+    // 1. Replay reconstructs the schedule exactly, and it checks out.
+    let rebuilt = replay(&probe.0.events);
+    check_schedule(inst, &rebuilt).unwrap();
+    prop_assert_eq!(
+        &rebuilt,
+        &probed.schedule,
+        "replayed events diverge from the schedule"
+    );
+
+    // 2. The counters agree with the schedule's own accounting.
+    let snap = counters.snapshot();
+    prop_assert_eq!(
+        snap.calibrations,
+        probed.schedule.calibration_count() as u64
+    );
+    prop_assert_eq!(snap.dispatches, inst.n() as u64);
+    prop_assert!(snap.events >= snap.calibrations + snap.dispatches);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn alg1_replay_reconstructs_schedule(
+        inst in arb_instance(12, 30, 1, 1),
+        g in 1u128..60,
+    ) {
+        check_replay(&inst, g, &mut || Box::new(Alg1::new()))?;
+    }
+
+    #[test]
+    fn alg2_replay_reconstructs_schedule(
+        inst in arb_instance(12, 30, 9, 1),
+        g in 1u128..60,
+    ) {
+        check_replay(&inst, g, &mut || Box::new(Alg2::new()))?;
+    }
+
+    #[test]
+    fn alg3_replay_reconstructs_schedule(
+        inst in arb_instance(12, 25, 4, 2),
+        g in 1u128..40,
+    ) {
+        check_replay(&inst, g, &mut || Box::new(Alg3::new()))?;
+    }
+}

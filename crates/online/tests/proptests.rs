@@ -39,7 +39,11 @@ fn check_both_modes(
     let skip = run_online_with(inst, g, mk().as_mut(), EngineConfig::default());
     let slow = run_online_with(inst, g, mk().as_mut(), EngineConfig::no_skip());
     check_schedule(inst, &skip.schedule).unwrap();
-    prop_assert_eq!(&skip.schedule, &slow.schedule, "skipping changed the schedule");
+    prop_assert_eq!(
+        &skip.schedule,
+        &slow.schedule,
+        "skipping changed the schedule"
+    );
     prop_assert_eq!(&skip.trace, &slow.trace, "skipping changed the decisions");
     prop_assert_eq!(skip.cost, g * skip.calibrations as Cost + skip.flow);
     prop_assert_eq!(skip.schedule.assignments.len(), inst.n());

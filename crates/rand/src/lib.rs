@@ -1,0 +1,199 @@
+//! In-repo stand-in for the `rand` crate.
+//!
+//! The build environment is offline, so the workspace vendors the *small*
+//! slice of the `rand` 0.8 API its generators and tests actually use:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (SplitMix64 core);
+//! * [`SeedableRng::seed_from_u64`] — the only seeding path used here;
+//! * [`Rng::gen_range`] over integer/float `Range`/`RangeInclusive`;
+//! * [`Rng::gen_bool`].
+//!
+//! The streams differ from upstream `rand`'s ChaCha-based `StdRng` — every
+//! consumer in this workspace treats seeded output as an arbitrary but
+//! reproducible stream, never as a specific sequence, so only determinism
+//! matters. Statistical quality of SplitMix64 is far beyond what synthetic
+//! workload generation needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an RNG
+/// (the workspace's subset of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample; panics on an empty range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// `u128`/`i128` ranges (used by cost-typed sweeps) sample from the low
+// 64 bits of span arithmetic — spans beyond 2^64 never occur here.
+impl SampleRange<u128> for Range<u128> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        self.start + (rng.next_u64() as u128) % span
+    }
+}
+impl SampleRange<u128> for RangeInclusive<u128> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi - lo + 1;
+        lo + (rng.next_u64() as u128) % span
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministic RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so nearby seeds do not produce correlated first draws.
+            let mut rng = StdRng {
+                state: seed ^ 0x1656_7a09_e667_f3bc,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..7);
+            assert!((-5..7).contains(&x));
+            let y: u64 = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&y));
+            let z: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&z));
+            let u: usize = rng.gen_range(0..=0);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Clamping: out-of-range probabilities do not panic.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+}

@@ -93,7 +93,15 @@ pub fn run(cfg: &AblationConfig) -> (Vec<AblationRow>, Table) {
                 a1.0 += run_online(&u, g, &mut Alg1::new()).cost;
                 a1.1 += run_online(&u, g, &mut Alg1::without_immediate_rule()).cost;
                 // A2: weighted single machine.
-                let w = fam.instance(s, cfg.n, WeightModel::Pareto { alpha: 1.2, cap: 64 }, t);
+                let w = fam.instance(
+                    s,
+                    cfg.n,
+                    WeightModel::Pareto {
+                        alpha: 1.2,
+                        cap: 64,
+                    },
+                    t,
+                );
                 a2.0 += run_online(&w, g, &mut Alg2::new()).cost;
                 a2.1 += run_online(&w, g, &mut Alg2::lightest_first()).cost;
                 // A3: unweighted multi machine (collisions allowed).
@@ -136,7 +144,14 @@ pub fn run(cfg: &AblationConfig) -> (Vec<AblationRow>, Table) {
 
     let mut table = Table::new(
         "E10: design-choice ablations (ratio > 1 = paper default wins)",
-        &["ablation", "T", "G", "default cost", "variant cost", "variant/default"],
+        &[
+            "ablation",
+            "T",
+            "G",
+            "default cost",
+            "variant cost",
+            "variant/default",
+        ],
     );
     for r in &rows {
         table.row(vec![

@@ -8,8 +8,9 @@
 
 use std::time::Instant;
 
+use calib_core::obs::Counters;
 use calib_core::Time;
-use calib_offline::solve_offline;
+use calib_offline::solve_offline_counted;
 use calib_workloads::WeightModel;
 
 use crate::stats::power_law_exponent;
@@ -58,6 +59,8 @@ pub struct DpScalingRow {
     pub median_seconds: f64,
     /// DP states evaluated.
     pub states: usize,
+    /// DP states rejected as infeasible (from the observability counters).
+    pub pruned: u64,
     /// Optimal flow found (sanity).
     pub flow: u128,
 }
@@ -72,15 +75,20 @@ pub fn run(cfg: &DpScalingConfig) -> (Vec<DpScalingRow>, f64, Table) {
             .max(n.div_ceil(cfg.cal_len as usize));
         let mut times = Vec::new();
         let mut states = 0;
+        let mut pruned = 0;
         let mut flow = 0u128;
         for rep in 0..cfg.reps {
-            let inst = cfg.family.instance(rep * 17 + n as u64, n, cfg.weights, cfg.cal_len);
+            let inst = cfg
+                .family
+                .instance(rep * 17 + n as u64, n, cfg.weights, cfg.cal_len);
+            let counters = Counters::new();
             let start = Instant::now();
-            let sol = solve_offline(&inst, budget)
+            let sol = solve_offline_counted(&inst, budget, Some(&counters))
                 .expect("normalized instance")
                 .expect("budget covers n for the divisor choices");
             times.push(start.elapsed().as_secs_f64());
             states = sol.states_evaluated;
+            pruned = counters.snapshot().dp_states_pruned;
             flow = sol.flow;
         }
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -89,6 +97,7 @@ pub fn run(cfg: &DpScalingConfig) -> (Vec<DpScalingRow>, f64, Table) {
             budget,
             median_seconds: times[times.len() / 2],
             states,
+            pruned,
             flow,
         });
     }
@@ -99,7 +108,7 @@ pub fn run(cfg: &DpScalingConfig) -> (Vec<DpScalingRow>, f64, Table) {
 
     let mut table = Table::new(
         format!("E6: offline DP scaling (fit exponent {exponent:.2}; paper O(K n^3))"),
-        &["n", "K", "median sec", "dp states", "flow"],
+        &["n", "K", "median sec", "dp states", "pruned", "flow"],
     );
     for r in &rows {
         table.row(vec![
@@ -107,6 +116,7 @@ pub fn run(cfg: &DpScalingConfig) -> (Vec<DpScalingRow>, f64, Table) {
             r.budget.to_string(),
             format!("{:.5}", r.median_seconds),
             r.states.to_string(),
+            r.pruned.to_string(),
             fmt_f(r.flow as f64),
         ]);
     }
@@ -129,5 +139,6 @@ mod tests {
         // More jobs -> more DP states.
         assert!(rows[2].states > rows[0].states);
         assert!(table.render().contains("E6"));
+        assert!(table.render().contains("pruned"));
     }
 }

@@ -6,7 +6,7 @@
 //! algorithms and branch 2 realizes `2 − G/(T+G)` against patient ones.
 
 use calib_core::{Cost, Time};
-use calib_online::{play_lemma31, Alg1, AdversaryBranch, CalibrateImmediately, SkiRentalBatch};
+use calib_online::{play_lemma31, AdversaryBranch, Alg1, CalibrateImmediately, SkiRentalBatch};
 
 use crate::table::{fmt_f, Table};
 
@@ -108,8 +108,10 @@ mod tests {
         let (rows, _) = run(&cfg);
         // The eager baseline takes branch 1 whose ratio 2 - 4/(G+3)
         // increases with G.
-        let eager: Vec<&LowerBoundRow> =
-            rows.iter().filter(|r| r.algo == "CalibrateImmediately").collect();
+        let eager: Vec<&LowerBoundRow> = rows
+            .iter()
+            .filter(|r| r.algo == "CalibrateImmediately")
+            .collect();
         assert!(eager.windows(2).all(|w| w[1].ratio >= w[0].ratio));
         assert!(eager.last().unwrap().ratio > 1.99);
         // Nothing exceeds 2 +- rounding on the adversary's own instances...

@@ -3,16 +3,17 @@
 //! DP). Weak duality demands `LP ≤ OPT`; the table reports how tight the
 //! certificate used in E3 actually is.
 
+use calib_core::obs::{CounterSnapshot, Counters, SpanTimer};
 use calib_core::{Cost, Time};
-use calib_lp::lp_lower_bound;
+use calib_lp::lp_lower_bound_counted;
 use calib_offline::opt_online_cost;
 use calib_workloads::WeightModel;
 
-use crate::runner::run_parallel;
+use crate::runner::run_parallel_metered;
 use crate::stats::Summary;
 use crate::table::{fmt_f, Table};
 
-use super::Family;
+use super::{fmt_metrics, Family};
 
 #[derive(Debug, Clone)]
 /// LpGapConfig (see module docs).
@@ -56,6 +57,10 @@ pub struct LpGapCell {
     pub cal_cost: Cost,
     /// `OPT / LP` per seed (≥ 1 by weak duality).
     pub gaps: Vec<f64>,
+    /// Solver counters (simplex pivots) merged over the cell's seeds.
+    pub metrics: CounterSnapshot,
+    /// Wall-clock nanoseconds summed over the cell's solves.
+    pub nanos: u64,
 }
 
 /// Runs the sweep and renders its table.
@@ -71,27 +76,50 @@ pub fn run(cfg: &LpGapConfig) -> (Vec<LpGapCell>, Table) {
         }
     }
 
-    let results = run_parallel(points, None, |&(fam, t, g, seed)| {
-        let inst = fam.instance(seed * 977 + 5, cfg.n, WeightModel::Unit, t);
-        let opt = opt_online_cost(&inst, g).expect("normalized instance").cost as f64;
-        let lb = lp_lower_bound(&inst, g).expect("LP solves");
-        (fam.label(), t, g, opt / lb.max(1e-9))
-    });
+    let (results, _sweep, _span) =
+        run_parallel_metered(points, None, |&(fam, t, g, seed), sweep| {
+            let local = Counters::new();
+            let timer = SpanTimer::start("lp_gap_point");
+            let inst = fam.instance(seed * 977 + 5, cfg.n, WeightModel::Unit, t);
+            let opt = opt_online_cost(&inst, g).expect("normalized instance").cost as f64;
+            let lb = lp_lower_bound_counted(&inst, g, Some(&local)).expect("LP solves");
+            let snap = local.snapshot();
+            sweep.lp_pivots(snap.lp_pivots);
+            (
+                fam.label(),
+                t,
+                g,
+                opt / lb.max(1e-9),
+                snap,
+                timer.elapsed_ns(),
+            )
+        });
 
     let mut cells: Vec<LpGapCell> = Vec::new();
-    for (family, t, g, gap) in results {
+    for (family, t, g, gap, snap, nanos) in results {
         match cells
             .iter_mut()
             .find(|c| c.family == family && c.cal_len == t && c.cal_cost == g)
         {
-            Some(c) => c.gaps.push(gap),
-            None => cells.push(LpGapCell { family, cal_len: t, cal_cost: g, gaps: vec![gap] }),
+            Some(c) => {
+                c.gaps.push(gap);
+                c.metrics = c.metrics.merged(snap);
+                c.nanos += nanos;
+            }
+            None => cells.push(LpGapCell {
+                family,
+                cal_len: t,
+                cal_cost: g,
+                gaps: vec![gap],
+                metrics: snap,
+                nanos,
+            }),
         }
     }
 
     let mut table = Table::new(
         "E8: integrality gap OPT / LP (Figure 1 relaxation)",
-        &["family", "T", "G", "mean gap", "max gap"],
+        &["family", "T", "G", "mean gap", "max gap", "metrics", "ms"],
     );
     for c in &cells {
         let s = Summary::from_values(&c.gaps).unwrap();
@@ -101,6 +129,8 @@ pub fn run(cfg: &LpGapConfig) -> (Vec<LpGapCell>, Table) {
             c.cal_cost.to_string(),
             fmt_f(s.mean),
             fmt_f(s.max),
+            fmt_metrics(&c.metrics),
+            fmt_f(c.nanos as f64 / 1e6),
         ]);
     }
     (cells, table)
@@ -125,6 +155,7 @@ mod tests {
                 assert!(g >= 1.0 - 1e-6, "weak duality violated: gap {g}");
                 assert!(g < 10.0, "certificate uselessly loose: {g}");
             }
+            assert!(c.metrics.lp_pivots > 0, "{}: no pivots counted", c.family);
         }
     }
 }

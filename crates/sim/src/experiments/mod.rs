@@ -90,6 +90,33 @@ impl Family {
     }
 }
 
+/// Compact one-cell rendering of the observability counters an experiment
+/// row accumulated (only the fields the experiment touched are ever
+/// nonzero; zeros are elided to keep tables narrow).
+pub fn fmt_metrics(snap: &calib_core::obs::CounterSnapshot) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut push = |label: &str, v: u64| {
+        if v > 0 {
+            parts.push(format!("{label}={v}"));
+        }
+    };
+    push("ev", snap.events);
+    push("skip", snap.time_skips);
+    push("cal", snap.calibrations);
+    push("disp", snap.dispatches);
+    push("resv", snap.reservations);
+    push("wake", snap.wakes);
+    push("dp", snap.dp_states_expanded);
+    push("prune", snap.dp_states_pruned);
+    push("scan", snap.assigner_slots_scanned);
+    push("piv", snap.lp_pivots);
+    if parts.is_empty() {
+        "-".into()
+    } else {
+        parts.join(" ")
+    }
+}
+
 /// The default family mix used by the ratio experiments.
 pub fn default_families() -> Vec<Family> {
     vec![
@@ -113,6 +140,15 @@ mod tests {
             assert!(inst.n() >= 12, "{}", fam.label());
             assert!(inst.is_normalized(), "{}", fam.label());
         }
+    }
+
+    #[test]
+    fn fmt_metrics_elides_zeros() {
+        let mut snap = calib_core::obs::CounterSnapshot::default();
+        assert_eq!(fmt_metrics(&snap), "-");
+        snap.events = 12;
+        snap.calibrations = 3;
+        assert_eq!(fmt_metrics(&snap), "ev=12 cal=3");
     }
 
     #[test]

@@ -88,9 +88,10 @@ pub fn run(cfg: &MultiConfig) -> (Vec<MultiCell>, Table) {
 
     let mut cells: Vec<MultiCell> = Vec::new();
     for (p, family, t, g, ratio) in results {
-        match cells.iter_mut().find(|c| {
-            c.machines == p && c.family == family && c.cal_len == t && c.cal_cost == g
-        }) {
+        match cells
+            .iter_mut()
+            .find(|c| c.machines == p && c.family == family && c.cal_len == t && c.cal_cost == g)
+        {
             Some(c) => c.certified_ratios.push(ratio),
             None => cells.push(MultiCell {
                 machines: p,
@@ -104,7 +105,15 @@ pub fn run(cfg: &MultiConfig) -> (Vec<MultiCell>, Table) {
 
     let mut table = Table::new(
         "E3: Alg3 vs LP lower bound (certified; bound 12)",
-        &["P", "family", "T", "G", "mean ALG/LP", "max ALG/LP", "within bound"],
+        &[
+            "P",
+            "family",
+            "T",
+            "G",
+            "mean ALG/LP",
+            "max ALG/LP",
+            "within bound",
+        ],
     );
     for c in &cells {
         let s = Summary::from_values(&c.certified_ratios).unwrap();

@@ -122,7 +122,14 @@ pub fn run(cfg: &OptrConfig) -> (Vec<OptrCell>, Table) {
 
     let mut table = Table::new(
         "E5: release-order restriction (Lemma 3.4)",
-        &["family", "T", "K", "mean same-K gap", "max same-K gap", "max 2K gap (<=1)"],
+        &[
+            "family",
+            "T",
+            "K",
+            "mean same-K gap",
+            "max same-K gap",
+            "max 2K gap (<=1)",
+        ],
     );
     for c in &cells {
         let same = Summary::from_values(&c.same_budget_gaps).unwrap();
@@ -234,7 +241,10 @@ mod optr_alg2_tests {
         };
         let (ratios, _) = alg2_vs_optr(&cfg);
         for &r in &ratios {
-            assert!(r <= 6.0 + 1e-9, "Theorem 3.8 intermediate bound violated: {r}");
+            assert!(
+                r <= 6.0 + 1e-9,
+                "Theorem 3.8 intermediate bound violated: {r}"
+            );
             assert!(r >= 1.0 - 1e-9);
         }
     }

@@ -98,7 +98,14 @@ pub fn run(cfg: &RandomizedConfig) -> (Vec<RandomizedRow>, Table) {
 
     let mut table = Table::new(
         "E13 (extension): randomized trigger vs deterministic lower bound (oblivious adversary)",
-        &["T", "G", "instance", "Alg1 ratio", "rand E[ratio]", "rand max"],
+        &[
+            "T",
+            "G",
+            "instance",
+            "Alg1 ratio",
+            "rand E[ratio]",
+            "rand max",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -119,9 +126,15 @@ mod tests {
 
     #[test]
     fn e13_randomization_beats_two_on_single_job() {
-        let cfg = RandomizedConfig { params: vec![(20, 400)], trials: 150 };
+        let cfg = RandomizedConfig {
+            params: vec![(20, 400)],
+            trials: 150,
+        };
         let (rows, table) = run(&cfg);
-        let b1 = rows.iter().find(|r| r.instance_kind == "single job").unwrap();
+        let b1 = rows
+            .iter()
+            .find(|r| r.instance_kind == "single job")
+            .unwrap();
         // Deterministic Alg1 pays ~2 on its nemesis; the randomized trigger
         // averages strictly below (classically -> 1 + 1/(e-1) ≈ 1.58).
         assert!(b1.alg1_ratio > 1.9, "alg1 {}", b1.alg1_ratio);
@@ -132,7 +145,10 @@ mod tests {
             b1.alg1_ratio
         );
         // On the train both stay bounded (the queue rule does the work).
-        let b2 = rows.iter().find(|r| r.instance_kind == "job train").unwrap();
+        let b2 = rows
+            .iter()
+            .find(|r| r.instance_kind == "job train")
+            .unwrap();
         assert!(b2.rand_mean_ratio <= 3.0 + 1e-9);
         assert!(table.render().contains("E13"));
     }

@@ -7,16 +7,17 @@
 //! and EXPERIMENTS.md record that the maxima stay beneath the proven
 //! constants with real slack.
 
+use calib_core::obs::{CounterSnapshot, Counters, CountingProbe, SpanTimer};
 use calib_core::{Cost, Time};
 use calib_offline::opt_online_cost;
-use calib_online::{run_online, Alg1, Alg2};
+use calib_online::{run_online_probed, Alg1, Alg2, EngineConfig};
 use calib_workloads::WeightModel;
 
-use crate::runner::run_parallel;
+use crate::runner::run_parallel_metered;
 use crate::stats::Summary;
 use crate::table::{fmt_f, Table};
 
-use super::{default_families, Family};
+use super::{default_families, fmt_metrics, Family};
 
 /// Which algorithm the sweep drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +65,10 @@ impl RatioConfig {
     pub fn e2() -> Self {
         RatioConfig {
             algo: Algo::Alg2,
-            weights: WeightModel::Pareto { alpha: 1.1, cap: 100 },
+            weights: WeightModel::Pareto {
+                alpha: 1.1,
+                cap: 100,
+            },
             ..RatioConfig::e1()
         }
     }
@@ -81,6 +85,11 @@ pub struct RatioCell {
     pub cal_cost: Cost,
     /// Per-seed measured ratios.
     pub ratios: Vec<f64>,
+    /// Engine counters merged over the cell's seeds.
+    pub metrics: CounterSnapshot,
+    /// Wall-clock nanoseconds summed over the cell's solves (online run +
+    /// offline optimum).
+    pub nanos: u64,
 }
 
 /// Runs the sweep, returning per-cell ratios (for tests) and the table.
@@ -96,30 +105,60 @@ pub fn run(cfg: &RatioConfig) -> (Vec<RatioCell>, Table) {
         }
     }
 
-    let results = run_parallel(points, None, |&(fam, t, g, seed)| {
+    let (results, sweep, span) = run_parallel_metered(points, None, |&(fam, t, g, seed), sweep| {
+        // Per-item registry for the cell's row; the shared sweep registry
+        // receives the same events through the probe pair.
+        let local = Counters::new();
+        let timer = SpanTimer::start("ratio_point");
+        let mut probe = (CountingProbe::new(&local), CountingProbe::new(sweep));
         let inst = fam.instance(seed.wrapping_mul(7919) + 1, cfg.n, cfg.weights, t);
         let res = match cfg.algo {
-            Algo::Alg1 => run_online(&inst, g, &mut Alg1::new()),
-            Algo::Alg2 => run_online(&inst, g, &mut Alg2::new()),
+            Algo::Alg1 => run_online_probed(
+                &inst,
+                g,
+                &mut Alg1::new(),
+                EngineConfig::default(),
+                &mut probe,
+            ),
+            Algo::Alg2 => run_online_probed(
+                &inst,
+                g,
+                &mut Alg2::new(),
+                EngineConfig::default(),
+                &mut probe,
+            ),
         };
         let opt = opt_online_cost(&inst, g).expect("normalized single-machine instance");
-        (fam, t, g, res.cost as f64 / opt.cost as f64)
+        (
+            fam,
+            t,
+            g,
+            res.cost as f64 / opt.cost as f64,
+            local.snapshot(),
+            timer.elapsed_ns(),
+        )
     });
 
     // Group by (family, T, G).
     let mut cells: Vec<RatioCell> = Vec::new();
-    for (fam, t, g, ratio) in results {
+    for (fam, t, g, ratio, snap, nanos) in results {
         let label = fam.label();
         match cells
             .iter_mut()
             .find(|c| c.family == label && c.cal_len == t && c.cal_cost == g)
         {
-            Some(c) => c.ratios.push(ratio),
+            Some(c) => {
+                c.ratios.push(ratio);
+                c.metrics = c.metrics.merged(snap);
+                c.nanos += nanos;
+            }
             None => cells.push(RatioCell {
                 family: label,
                 cal_len: t,
                 cal_cost: g,
                 ratios: vec![ratio],
+                metrics: snap,
+                nanos,
             }),
         }
     }
@@ -130,7 +169,16 @@ pub fn run(cfg: &RatioConfig) -> (Vec<RatioCell>, Table) {
     };
     let mut table = Table::new(
         name,
-        &["family", "T", "G", "mean ratio", "max ratio", "within bound"],
+        &[
+            "family",
+            "T",
+            "G",
+            "mean ratio",
+            "max ratio",
+            "within bound",
+            "metrics",
+            "ms",
+        ],
     );
     for c in &cells {
         let s = Summary::from_values(&c.ratios).expect("non-empty cell");
@@ -141,8 +189,21 @@ pub fn run(cfg: &RatioConfig) -> (Vec<RatioCell>, Table) {
             fmt_f(s.mean),
             fmt_f(s.max),
             (s.max <= bound).to_string(),
+            fmt_metrics(&c.metrics),
+            fmt_f(c.nanos as f64 / 1e6),
         ]);
     }
+    // Sweep-wide footer: the runner's shared registry plus total wall-clock.
+    table.row(vec![
+        "(sweep)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_metrics(&sweep),
+        fmt_f(span.seconds() * 1e3),
+    ]);
     (cells, table)
 }
 
@@ -173,6 +234,20 @@ mod tests {
             }
         }
         assert!(table.render().contains("within bound"));
+        assert!(table.render().contains("(sweep)"));
+    }
+
+    #[test]
+    fn cells_carry_engine_metrics() {
+        let (cells, _) = run(&tiny(Algo::Alg1, WeightModel::Unit));
+        for c in &cells {
+            // Every instance dispatches its jobs, so the probed engine must
+            // have fed the cell's registry.
+            assert!(c.metrics.events > 0, "{}: no events", c.family);
+            assert!(c.metrics.dispatches > 0, "{}: no dispatches", c.family);
+            assert!(c.metrics.calibrations > 0, "{}: no calibrations", c.family);
+            assert!(c.nanos > 0, "{}: no wall-clock", c.family);
+        }
     }
 
     #[test]

@@ -94,9 +94,16 @@ pub fn run(cfg: &SensitivityConfig) -> (Vec<SensitivityCell>, Table) {
 
     let mut cells: Vec<SensitivityCell> = Vec::new();
     for (factor, g, ratio) in results {
-        match cells.iter_mut().find(|c| c.factor == factor && c.cal_cost == g) {
+        match cells
+            .iter_mut()
+            .find(|c| c.factor == factor && c.cal_cost == g)
+        {
             Some(c) => c.ratios.push(ratio),
-            None => cells.push(SensitivityCell { factor, cal_cost: g, ratios: vec![ratio] }),
+            None => cells.push(SensitivityCell {
+                factor,
+                cal_cost: g,
+                ratios: vec![ratio],
+            }),
         }
     }
 

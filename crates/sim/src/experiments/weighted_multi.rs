@@ -38,7 +38,10 @@ impl Default for WeightedMultiConfig {
     fn default() -> Self {
         WeightedMultiConfig {
             machines: vec![1, 2, 3],
-            families: vec![Family::Poisson { rate: 0.8 }, Family::Bursty { burst: 3, gap: 8 }],
+            families: vec![
+                Family::Poisson { rate: 0.8 },
+                Family::Bursty { burst: 3, gap: 8 },
+            ],
             n: 7,
             cal_len: 3,
             cal_costs: vec![2, 8, 24],

@@ -1,13 +1,15 @@
-//! Parallel experiment runner built on crossbeam scoped threads.
+//! Parallel experiment runner built on `std::thread::scope`.
 //!
 //! Experiment sweeps are embarrassingly parallel (one independent solve per
 //! parameter point); this runner fans a work list out over the available
-//! cores while preserving input order in the results. Results are collected
-//! through a `parking_lot`-guarded vector — no async machinery, no unsafe.
+//! cores while preserving input order in the results. Each worker buffers
+//! its `(index, result)` pairs locally and the buffers are merged after the
+//! scope ends — no shared lock is touched while work is running, so slow
+//! items never serialize the fast ones behind a mutex.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use calib_core::obs::{CounterSnapshot, Counters, SpanRecord, SpanTimer};
 
 /// Runs `f` over `items` on up to `workers` threads (defaults to the number
 /// of available cores), returning results in input order.
@@ -23,7 +25,9 @@ where
     }
     let workers = workers
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         })
         .clamp(1, n);
 
@@ -32,27 +36,59 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                slots.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
+    let mut buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index processed"))
-        .collect()
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    for buf in &mut buffers {
+        indexed.append(buf);
+    }
+    debug_assert_eq!(indexed.len(), n, "every index processed exactly once");
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_parallel`] with metrics: every worker shares one [`Counters`]
+/// registry (passed to `f` alongside each item), and the whole sweep is
+/// wall-clock timed. Returns the ordered results, the aggregated counter
+/// snapshot, and the sweep's span.
+///
+/// The registry is atomic, so workers feed it concurrently without any lock;
+/// per-cell detail (when an experiment wants it) is the closure's business —
+/// build a local `Counters` per item and flush or return its snapshot.
+pub fn run_parallel_metered<T, R, F>(
+    items: Vec<T>,
+    workers: Option<usize>,
+    f: F,
+) -> (Vec<R>, CounterSnapshot, SpanRecord)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T, &Counters) -> R + Sync,
+{
+    let counters = Counters::new();
+    let timer = SpanTimer::start("run_parallel_metered");
+    let results = run_parallel(items, workers, |item| f(item, &counters));
+    (results, counters.snapshot(), timer.finish())
 }
 
 #[cfg(test)]
@@ -85,5 +121,40 @@ mod tests {
         let out = run_parallel((0..1000).collect::<Vec<i32>>(), Some(3), |&x| x % 7);
         assert_eq!(out.len(), 1000);
         assert_eq!(out[13], 13 % 7);
+    }
+
+    #[test]
+    fn preserves_order_under_contention() {
+        // Skewed per-item cost: early items are slow, late items are fast, so
+        // fast workers finish many late items while a slow worker still holds
+        // early ones. Order must still come out exactly as the input.
+        let items: Vec<u64> = (0..256).collect();
+        let out = run_parallel(items.clone(), Some(8), |&x| {
+            if x % 16 == 0 {
+                // Busy work, deterministic and untrimmable.
+                let mut acc = x;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            }
+            x * 3
+        });
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn metered_aggregates_counters_across_workers() {
+        let items: Vec<u64> = (0..100).collect();
+        let (out, snap, span) = run_parallel_metered(items, Some(4), |&x, c| {
+            c.events(1);
+            c.dispatches(x % 2);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(snap.events, 100);
+        assert_eq!(snap.dispatches, 50);
+        assert_eq!(span.label, "run_parallel_metered");
     }
 }

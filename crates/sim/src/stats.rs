@@ -18,13 +18,15 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes a summary; returns `None` for an empty sample.
+    /// Computes a summary; returns `None` for an empty sample or one
+    /// containing a NaN (a poisoned sample has no meaningful order
+    /// statistics, and silently sorting NaNs would corrupt them).
     pub fn from_values(values: &[f64]) -> Option<Summary> {
-        if values.is_empty() {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
             return None;
         }
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs rejected above"));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         Some(Summary {
@@ -86,6 +88,58 @@ mod tests {
     #[test]
     fn summary_empty_is_none() {
         assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_rejects_nan() {
+        assert!(Summary::from_values(&[1.0, f64::NAN, 3.0]).is_none());
+        assert!(Summary::from_values(&[f64::NAN]).is_none());
+        // Infinities are ordered, not poisoned: they summarize fine.
+        let s = Summary::from_values(&[1.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.max, f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_values(&[7.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p95, 7.5);
+    }
+
+    #[test]
+    fn summary_two_samples() {
+        let s = Summary::from_values(&[10.0, 2.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 6.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 10.0);
+        // Nearest rank: ceil(0.5 * 2) = 1 -> first sorted value.
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 10.0);
+    }
+
+    #[test]
+    fn summary_all_equal_values() {
+        let s = Summary::from_values(&[4.0; 9]).unwrap();
+        assert_eq!(s.count, 9);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!((s.min, s.max, s.p50, s.p95), (4.0, 4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn percentile_single_and_two_sample_edges() {
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 0.5), 42.0);
+        assert_eq!(percentile(&[42.0], 1.0), 42.0);
+        let two = [1.0, 9.0];
+        assert_eq!(percentile(&two, 0.0), 1.0);
+        assert_eq!(percentile(&two, 0.5), 1.0); // nearest rank 1
+        assert_eq!(percentile(&two, 0.51), 9.0); // rank 2
+        assert_eq!(percentile(&two, 1.0), 9.0);
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub fn poisson(seed: u64, n: usize, rate: f64, distinct: bool) -> Vec<Time> {
     while out.len() < n {
         // Geometric gap: number of empty steps before the next arrival.
         let u: f64 = rng.gen_range(0.0..1.0);
-        let gap = if p <= 0.0 { 0 } else { (u.ln() / p.ln()).floor().max(0.0) as i64 };
+        let gap = if p <= 0.0 {
+            0
+        } else {
+            (u.ln() / p.ln()).floor().max(0.0) as i64
+        };
         t += gap;
         out.push(t);
         t += if distinct { 1 } else { 0 };
@@ -59,7 +63,10 @@ pub fn uniform_spread(seed: u64, n: usize, horizon: Time, distinct: bool) -> Vec
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<Time> = Vec::with_capacity(n);
     if distinct {
-        assert!(horizon + 1 >= n as Time, "not enough slots for distinct releases");
+        assert!(
+            horizon + 1 >= n as Time,
+            "not enough slots for distinct releases"
+        );
         while out.len() < n {
             let r = rng.gen_range(0..=horizon);
             if !out.contains(&r) {
@@ -104,7 +111,10 @@ mod tests {
         let a = poisson(42, 50, 0.3, true);
         let b = poisson(42, 50, 0.3, true);
         assert_eq!(a, b);
-        assert!(a.windows(2).all(|w| w[0] < w[1]), "distinct => strictly increasing");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "distinct => strictly increasing"
+        );
         let c = poisson(43, 50, 0.3, true);
         assert_ne!(a, c, "different seeds should differ");
     }

@@ -65,7 +65,10 @@ mod tests {
     fn make_instance_weighted_multi_machine() {
         let inst = make_instance(
             arrivals::bursty(2, 3, 10, false),
-            WeightModel::Bimodal { heavy: 10, p_heavy: 0.5 },
+            WeightModel::Bimodal {
+                heavy: 10,
+                p_heavy: 0.5,
+            },
             3,
             2,
             4,

@@ -1,14 +1,13 @@
 //! Instance/trace (de)serialization — reproducible experiment inputs.
 //!
 //! A [`Trace`] bundles an [`Instance`] with the generator metadata that
-//! produced it, so any experiment row can be regenerated or shared as JSON.
+//! produced it, so any experiment row can be regenerated or shared as JSON
+//! (via `calib_core::json`, the workspace's dependency-free JSON layer).
 
-use serde::{Deserialize, Serialize};
-
-use calib_core::{Cost, Instance};
+use calib_core::{Cost, FromJson, Instance, Json, JsonError, ToJson};
 
 /// A reproducible workload: the instance plus its provenance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Human-readable generator description, e.g. "poisson(rate=0.3)".
     pub family: String,
@@ -23,17 +22,34 @@ pub struct Trace {
 impl Trace {
     /// Bundles an instance with its provenance.
     pub fn new(family: impl Into<String>, seed: u64, cal_cost: Cost, instance: Instance) -> Self {
-        Trace { family: family.into(), seed, cal_cost, instance }
+        Trace {
+            family: family.into(),
+            seed,
+            cal_cost,
+            instance,
+        }
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let v = Json::obj([
+            ("family", self.family.to_json()),
+            ("seed", self.seed.to_json()),
+            ("cal_cost", self.cal_cost.to_json()),
+            ("instance", self.instance.to_json()),
+        ]);
+        Ok(v.to_string_pretty())
     }
 
     /// Parses from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<Trace> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Trace, JsonError> {
+        let v = Json::parse(s)?;
+        Ok(Trace {
+            family: String::from_json(v.field("family")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            cal_cost: Cost::from_json(v.field("cal_cost")?)?,
+            instance: Instance::from_json(v.field("instance")?)?,
+        })
     }
 }
 
@@ -60,5 +76,14 @@ mod tests {
     #[test]
     fn rejects_malformed_json() {
         assert!(Trace::from_json("{\"family\": 3}").is_err());
+        assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn huge_cal_cost_round_trips_exactly() {
+        let inst = InstanceBuilder::new(2).unit_job(0).build().unwrap();
+        let trace = Trace::new("adversarial", 0, u128::MAX, inst);
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(back.cal_cost, u128::MAX);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn pareto_is_heavy_tailed_but_capped() {
-        let w = WeightModel::Pareto { alpha: 0.8, cap: 1000 }.sample(9, 500);
+        let w = WeightModel::Pareto {
+            alpha: 0.8,
+            cap: 1000,
+        }
+        .sample(9, 500);
         assert!(w.iter().all(|&x| (1..=1000).contains(&x)));
         let big = w.iter().filter(|&&x| x >= 100).count();
         assert!(big > 0, "heavy tail should produce some large weights");
@@ -95,9 +99,16 @@ mod tests {
 
     #[test]
     fn bimodal_mixes_classes() {
-        let w = WeightModel::Bimodal { heavy: 50, p_heavy: 0.2 }.sample(3, 400);
+        let w = WeightModel::Bimodal {
+            heavy: 50,
+            p_heavy: 0.2,
+        }
+        .sample(3, 400);
         let heavy = w.iter().filter(|&&x| x == 50).count();
-        assert!(heavy > 30 && heavy < 160, "heavy count {heavy} out of plausible range");
+        assert!(
+            heavy > 30 && heavy < 160,
+            "heavy count {heavy} out of plausible range"
+        );
         assert!(w.iter().all(|&x| x == 1 || x == 50));
     }
 }

@@ -13,7 +13,10 @@ use calibration_scheduling::prelude::*;
 
 fn main() {
     println!("Lemma 3.1 adversary vs three algorithms\n");
-    println!("{:<22} {:>6} {:>8} {:>16} {:>8}", "algorithm", "T", "G", "branch", "ratio");
+    println!(
+        "{:<22} {:>6} {:>8} {:>16} {:>8}",
+        "algorithm", "T", "G", "branch", "ratio"
+    );
 
     for (t, g) in [(8i64, 4u128), (32, 16), (128, 64), (512, 256), (2048, 1024)] {
         let a1 = play_lemma31(t, g, Alg1::new);

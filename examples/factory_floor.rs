@@ -17,7 +17,10 @@ fn main() {
     let releases = arrivals::poisson(2024, 60, 0.35, true);
     let instance = make_instance(
         releases,
-        WeightModel::Bimodal { heavy: 50, p_heavy: 0.05 },
+        WeightModel::Bimodal {
+            heavy: 50,
+            p_heavy: 0.05,
+        },
         2024,
         1,
         6, // calibration lasts 6 steps

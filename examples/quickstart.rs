@@ -16,7 +16,11 @@ fn main() {
         .expect("valid instance");
     let g: Cost = 8;
 
-    println!("instance: {} jobs, T = {}, G = {g}", instance.n(), instance.cal_len());
+    println!(
+        "instance: {} jobs, T = {}, G = {g}",
+        instance.n(),
+        instance.cal_len()
+    );
 
     // --- Online: the 3-competitive Algorithm 1 -----------------------------
     let online = run_online(&instance, g, &mut Alg1::new());

@@ -1,0 +1,116 @@
+//! Captures a probed online run as a JSON-lines trace, then re-parses the
+//! trace from text and renders the reconstructed schedule as an ASCII Gantt
+//! timeline — the round trip the observability layer is for.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example trace_dump              # print trace summary + Gantt
+//! cargo run --example trace_dump out.jsonl    # also save the raw trace
+//! ```
+
+use calib_core::obs::TraceProbe;
+use calib_core::{
+    check_schedule, render_gantt, Assignment, Calibration, JobId, Json, MachineId, Schedule, Time,
+};
+use calib_online::{run_online_probed, Alg3, EngineConfig};
+use calib_workloads::{arrivals, make_instance, WeightModel};
+
+fn field(obj: &Json, key: &str) -> i64 {
+    obj.get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("trace line missing numeric {key:?}"))
+}
+
+fn main() {
+    // Two bursty machines with dead air between bursts: small enough for a
+    // readable timeline, busy enough to exercise skips and calibrations.
+    let inst = make_instance(
+        arrivals::bursty(4, 5, 11, false),
+        WeightModel::Uniform { max: 5 },
+        3,
+        2,
+        6,
+    );
+    let g = 8;
+
+    // Run with a trace probe writing JSON lines into memory.
+    let mut probe = TraceProbe::new(Vec::new());
+    let res = run_online_probed(
+        &inst,
+        g,
+        &mut Alg3::new(),
+        EngineConfig::default(),
+        &mut probe,
+    );
+    let trace = String::from_utf8(probe.finish().expect("in-memory writes cannot fail"))
+        .expect("traces are UTF-8");
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &trace).expect("write trace file");
+        println!("raw trace saved to {path}");
+    }
+
+    // Re-parse the text and rebuild the schedule from calibrate/dispatch
+    // events alone — everything the engine did is in the trace.
+    let mut calibrations: Vec<Calibration> = Vec::new();
+    let mut assignments: Vec<Assignment> = Vec::new();
+    let mut kinds: Vec<(String, u64)> = Vec::new();
+    let mut skips: Vec<(Time, Time)> = Vec::new();
+    for line in trace.lines() {
+        let obj = Json::parse(line).expect("every trace line is one JSON object");
+        let kind = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .expect("tagged")
+            .to_string();
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, c)) => *c += 1,
+            None => kinds.push((kind.clone(), 1)),
+        }
+        match kind.as_str() {
+            "calibrate" => calibrations.push(Calibration {
+                machine: MachineId(field(&obj, "machine") as u32),
+                start: field(&obj, "start"),
+            }),
+            "dispatch" => assignments.push(Assignment {
+                job: JobId(field(&obj, "job") as u32),
+                start: field(&obj, "start"),
+                machine: MachineId(field(&obj, "machine") as u32),
+            }),
+            "time_skip" => skips.push((field(&obj, "from"), field(&obj, "to"))),
+            _ => {}
+        }
+    }
+
+    let rebuilt = Schedule::new(calibrations, assignments);
+    check_schedule(&inst, &rebuilt).expect("replayed trace yields a feasible schedule");
+    assert_eq!(
+        rebuilt.total_weighted_flow(&inst),
+        res.schedule.total_weighted_flow(&inst),
+        "replayed schedule must cost exactly what the engine reported"
+    );
+
+    println!(
+        "{} jobs on {} machines, T = {}, G = {g}: cost {} ({} calibrations)",
+        inst.n(),
+        inst.machines(),
+        inst.cal_len(),
+        res.cost,
+        rebuilt.calibration_count(),
+    );
+    println!("\nevents by kind:");
+    for (kind, count) in &kinds {
+        println!("  {kind:<14} {count}");
+    }
+    if !skips.is_empty() {
+        let skipped: Time = skips.iter().map(|(from, to)| to - from - 1).sum();
+        println!(
+            "\n{} time skips jumped {} quiescent steps",
+            skips.len(),
+            skipped
+        );
+    }
+    println!("\nreplayed timeline (# job, . calibrated idle, ^ release):");
+    print!("{}", render_gantt(&inst, &rebuilt));
+}

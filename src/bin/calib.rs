@@ -80,11 +80,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn get<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn get_num<T: std::str::FromStr>(opts: &Opts, key: &str) -> Result<T, String> {
-    get(opts, key)?.parse().map_err(|_| format!("--{key}: not a number"))
+    get(opts, key)?
+        .parse()
+        .map_err(|_| format!("--{key}: not a number"))
 }
 
 fn get_num_or<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
@@ -220,7 +224,11 @@ fn cmd_offline(opts: &Opts) -> Result<(), String> {
             let sol = calibration_scheduling::offline::solve_offline_unweighted(&inst, budget)
                 .map_err(|e| e.to_string())?
                 .ok_or(format!("budget {budget} cannot fit all jobs"))?;
-            (sol.flow, sol.schedule, "offline DP (slot-exchange, unweighted)")
+            (
+                sol.flow,
+                sol.schedule,
+                "offline DP (slot-exchange, unweighted)",
+            )
         }
         other => return Err(format!("unknown solver '{other}'")),
     };

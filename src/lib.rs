@@ -56,8 +56,7 @@ pub mod prelude {
         min_flow_by_budget, opt_online_cost, optimal_flow_brute, solve_offline,
     };
     pub use calib_online::{
-        play_lemma31, run_alg3_practical, run_online, Alg1, Alg2, Alg3, OnlineScheduler,
-        RunResult,
+        play_lemma31, run_alg3_practical, run_online, Alg1, Alg2, Alg3, OnlineScheduler, RunResult,
     };
     pub use calib_workloads::{make_instance, Trace, WeightModel};
 }

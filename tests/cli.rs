@@ -71,7 +71,10 @@ fn online_cost_never_below_opt_via_cli() {
     let alg_cost = grab(&online_out, "cost=");
     let opt_cost = grab(&opt_out, "cost=");
     assert!(alg_cost >= opt_cost);
-    assert!(alg_cost <= 3 * opt_cost, "Theorem 3.3 via CLI: {alg_cost} vs {opt_cost}");
+    assert!(
+        alg_cost <= 3 * opt_cost,
+        "Theorem 3.3 via CLI: {alg_cost} vs {opt_cost}"
+    );
     std::fs::remove_file(&trace).ok();
 }
 
@@ -80,7 +83,16 @@ fn weighted_generation_models() {
     for spec in ["unit", "uniform:9", "pareto:1.2:50", "bimodal:40:0.2"] {
         let trace = tmp_path(&format!("w-{}.json", spec.replace(':', "-")));
         let (ok, _, err) = calib(&[
-            "gen", "--family", "train", "--n", "8", "--t", "3", "--weights", spec, "--out",
+            "gen",
+            "--family",
+            "train",
+            "--n",
+            "8",
+            "--t",
+            "3",
+            "--weights",
+            spec,
+            "--out",
             &trace,
         ]);
         assert!(ok, "gen {spec} failed: {err}");
@@ -101,7 +113,10 @@ fn adversary_subcommand() {
 fn helpful_errors() {
     let (ok, _, err) = calib(&["online", "--alg", "alg1"]);
     assert!(!ok);
-    assert!(err.contains("missing --g") || err.contains("usage"), "got: {err}");
+    assert!(
+        err.contains("missing --g") || err.contains("usage"),
+        "got: {err}"
+    );
 
     let (ok, _, err) = calib(&["frobnicate"]);
     assert!(!ok);
@@ -120,16 +135,31 @@ fn unweighted_solver_via_cli_matches_general() {
         "--out", &trace,
     ]);
     let (_, general, _) = calib(&["offline", "--budget", "4", "--trace", &trace]);
-    let (_, slot, _) =
-        calib(&["offline", "--budget", "4", "--trace", &trace, "--solver", "unweighted"]);
+    let (_, slot, _) = calib(&[
+        "offline",
+        "--budget",
+        "4",
+        "--trace",
+        &trace,
+        "--solver",
+        "unweighted",
+    ]);
     let grab = |s: &str| -> u128 {
         s.split("flow=")
             .nth(1)
             .and_then(|r| {
-                r.chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().ok()
+                r.chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .ok()
             })
             .unwrap_or_else(|| panic!("no flow in: {s}"))
     };
-    assert_eq!(grab(&general), grab(&slot), "the two exact solvers must agree");
+    assert_eq!(
+        grab(&general),
+        grab(&slot),
+        "the two exact solvers must agree"
+    );
     std::fs::remove_file(&trace).ok();
 }

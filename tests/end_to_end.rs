@@ -36,7 +36,10 @@ fn full_pipeline_unweighted() {
 fn full_pipeline_weighted() {
     let inst = make_instance(
         arrivals::uniform_spread(200, 24, 60, true),
-        WeightModel::Pareto { alpha: 1.3, cap: 40 },
+        WeightModel::Pareto {
+            alpha: 1.3,
+            cap: 40,
+        },
         200,
         1,
         5,
@@ -50,13 +53,7 @@ fn full_pipeline_weighted() {
 
 #[test]
 fn full_pipeline_multi_machine_with_lp_certificate() {
-    let inst = make_instance(
-        arrivals::bursty(2, 3, 8, false),
-        WeightModel::Unit,
-        7,
-        2,
-        4,
-    );
+    let inst = make_instance(arrivals::bursty(2, 3, 8, false), WeightModel::Unit, 7, 2, 4);
     let g = 6u128;
     let spec = run_online(&inst, g, &mut Alg3::new());
     let practical = run_alg3_practical(&inst, g);
@@ -66,7 +63,10 @@ fn full_pipeline_multi_machine_with_lp_certificate() {
     assert!(practical.flow <= spec.flow);
 
     let lb = lp_lower_bound(&inst, g).unwrap();
-    assert!((spec.cost as f64) <= 12.0 * lb + 1e-6, "Theorem 3.10 certified");
+    assert!(
+        (spec.cost as f64) <= 12.0 * lb + 1e-6,
+        "Theorem 3.10 certified"
+    );
     assert!(lb <= spec.cost as f64 + 1e-6);
 }
 
@@ -105,7 +105,10 @@ fn online_costs_ordered_by_algorithm_quality_on_train() {
 #[test]
 fn prelude_covers_the_readme_snippet() {
     // The README quickstart, kept compiling forever.
-    let inst = InstanceBuilder::new(4).unit_jobs([0, 1, 2, 10, 11]).build().unwrap();
+    let inst = InstanceBuilder::new(4)
+        .unit_jobs([0, 1, 2, 10, 11])
+        .build()
+        .unwrap();
     let online = run_online(&inst, 6, &mut Alg1::new());
     let opt = opt_online_cost(&inst, 6).unwrap();
     assert!(online.cost <= 3 * opt.cost);

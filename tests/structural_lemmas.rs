@@ -93,7 +93,9 @@ fn lemma_4_1_no_idle_before_delayed_jobs() {
         let t = rng.gen_range(2..=4);
         let inst = random_instance(&mut rng, n, 16, 7, t);
         let budget = n.div_ceil(t as usize).max(2).min(n);
-        let Some(sol) = solve_offline(&inst, budget).unwrap() else { continue };
+        let Some(sol) = solve_offline(&inst, budget).unwrap() else {
+            continue;
+        };
         let sched = &sol.schedule;
         let coverage = coverage_by_machine(&sched.calibrations, 1, inst.cal_len());
         let busy: std::collections::HashSet<Time> =
@@ -137,14 +139,18 @@ fn corollary_4_3_non_full_interval_structure() {
         let t = rng.gen_range(2..=5);
         let inst = random_instance(&mut rng, n, 14, 5, t);
         let budget = n.min(4);
-        let Some(sol) = solve_offline(&inst, budget).unwrap() else { continue };
+        let Some(sol) = solve_offline(&inst, budget).unwrap() else {
+            continue;
+        };
         let sched = &sol.schedule;
         let coverage = coverage_by_machine(&sched.calibrations, 1, inst.cal_len());
         let busy: std::collections::HashSet<Time> =
             sched.assignments.iter().map(|a| a.start).collect();
         for &(b, e) in coverage[0].segments() {
             // First idle step of this covered segment, if any.
-            let Some(idle) = (b..e).find(|s| !busy.contains(s)) else { continue };
+            let Some(idle) = (b..e).find(|s| !busy.contains(s)) else {
+                continue;
+            };
             for a in &sched.assignments {
                 let job = inst.job(a.job).unwrap();
                 if job.release < idle {
