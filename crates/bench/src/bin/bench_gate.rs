@@ -1,0 +1,221 @@
+//! Bench regression gate: compares freshly produced `BENCH_*.json` files
+//! against the committed baseline under `results/bench_baseline/` and fails
+//! when any suite's median slows down past the threshold.
+//!
+//! Per measurement, the score is `fresh.median_ns / baseline.median_ns`;
+//! per suite, the score is the *median* of those ratios — robust to one
+//! noisy measurement, sensitive to a suite-wide slowdown. The default
+//! threshold (1.25, i.e. >25% slower) leaves headroom for shared-runner
+//! jitter; genuine regressions from algorithmic changes are well past it.
+//!
+//! ```text
+//! cargo run --release -p calib-bench --bin bench_gate -- --fresh-dir crates/bench
+//! cargo run --release -p calib-bench --bin bench_gate -- --update   # refresh baseline
+//! ```
+//!
+//! Exit status: 0 on pass, 1 on regression, 2 on usage/IO errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use calib_core::json::Json;
+
+struct Options {
+    baseline_dir: PathBuf,
+    fresh_dir: PathBuf,
+    threshold: f64,
+    update: bool,
+}
+
+const USAGE: &str = "\
+bench_gate: compare fresh BENCH_*.json against the committed baseline
+
+OPTIONS:
+    --baseline-dir <dir>  committed baseline [default: results/bench_baseline]
+    --fresh-dir <dir>     freshly generated files [default: crates/bench]
+    --threshold <float>   max allowed suite median ratio [default: 1.25]
+    --update              copy fresh files over the baseline instead of gating
+";
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn parse_args() -> Result<Options, String> {
+    let root = workspace_root();
+    let mut opts = Options {
+        baseline_dir: root.join("results/bench_baseline"),
+        fresh_dir: root.join("crates/bench"),
+        threshold: 1.25,
+        update: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline-dir" => opts.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--fresh-dir" => opts.fresh_dir = PathBuf::from(value("--fresh-dir")?),
+            "--threshold" => {
+                let v = value("--threshold")?;
+                opts.threshold = v
+                    .parse()
+                    .map_err(|_| format!("`{v}` is not a valid threshold"))?;
+            }
+            "--update" => opts.update = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `(measurement name, median_ns)` pairs of one suite file.
+fn read_suite(path: &Path) -> Result<Vec<(String, u64)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    let results = json
+        .field("results")
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .as_arr()
+        .ok_or_else(|| format!("{}: `results` must be an array", path.display()))?;
+    let mut out = Vec::new();
+    for r in results {
+        let name = r
+            .field("name")
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .as_str()
+            .ok_or_else(|| format!("{}: `name` must be a string", path.display()))?
+            .to_string();
+        let median = r
+            .field("median_ns")
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .as_u64()
+            .ok_or_else(|| format!("{}: `median_ns` must be a u64", path.display()))?;
+        out.push((name, median));
+    }
+    Ok(out)
+}
+
+/// All `BENCH_*.json` files in `dir`, keyed by file name.
+fn suite_files(dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out: Vec<(String, PathBuf)> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| {
+            let name = p.file_name()?.to_str()?.to_string();
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some((name, p))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+
+    if opts.update {
+        fs::create_dir_all(&opts.baseline_dir)
+            .map_err(|e| format!("creating {}: {e}", opts.baseline_dir.display()))?;
+        let fresh = suite_files(&opts.fresh_dir)?;
+        if fresh.is_empty() {
+            return Err(format!(
+                "no BENCH_*.json under {} — run `cargo bench -p calib-bench -- --quick` first",
+                opts.fresh_dir.display()
+            ));
+        }
+        for (name, path) in fresh {
+            let dest = opts.baseline_dir.join(&name);
+            fs::copy(&path, &dest).map_err(|e| format!("copying {name}: {e}"))?;
+            println!("baseline <- {name}");
+        }
+        return Ok(true);
+    }
+
+    let baseline = suite_files(&opts.baseline_dir)?;
+    if baseline.is_empty() {
+        return Err(format!(
+            "no baseline under {} — run with --update to create one",
+            opts.baseline_dir.display()
+        ));
+    }
+
+    let mut ok = true;
+    for (name, base_path) in &baseline {
+        let fresh_path = opts.fresh_dir.join(name);
+        if !fresh_path.exists() {
+            println!("FAIL {name}: missing from {}", opts.fresh_dir.display());
+            ok = false;
+            continue;
+        }
+        let base = read_suite(base_path)?;
+        let fresh = read_suite(&fresh_path)?;
+        let mut ratios = Vec::new();
+        let mut detail = Vec::new();
+        for (bench, base_median) in &base {
+            match fresh.iter().find(|(n, _)| n == bench) {
+                Some((_, fresh_median)) if *base_median > 0 => {
+                    let r = *fresh_median as f64 / *base_median as f64;
+                    ratios.push(r);
+                    detail.push(format!(
+                        "{bench}: {base_median} -> {fresh_median} ({r:.2}x)"
+                    ));
+                }
+                Some(_) => {} // zero baseline median: skip rather than divide
+                None => {
+                    println!("FAIL {name}: measurement `{bench}` disappeared");
+                    ok = false;
+                }
+            }
+        }
+        if ratios.is_empty() {
+            println!("FAIL {name}: no comparable measurements");
+            ok = false;
+            continue;
+        }
+        let score = median_of(ratios);
+        if score > opts.threshold {
+            ok = false;
+            println!(
+                "FAIL {name}: suite median ratio {score:.2}x > {:.2}x",
+                opts.threshold
+            );
+            for d in detail {
+                println!("     {d}");
+            }
+        } else {
+            println!("PASS {name}: suite median ratio {score:.2}x");
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench gate failed: see FAIL lines above");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

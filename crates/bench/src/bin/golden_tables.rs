@@ -1,0 +1,148 @@
+//! Regenerates the committed golden tables under `results/` in a fully
+//! deterministic form.
+//!
+//! Experiments run with the same quick-mode configurations as
+//! `all_experiments`, but wall-clock columns (`ms`, `median sec`) are
+//! stripped and the one timing-derived title (E6's fitted exponent) is
+//! replaced, so the output depends only on the code and the seeds. CI
+//! reruns this binary and `git diff --exit-code results/` — any drift in a
+//! quantitative claim fails the build until the goldens are deliberately
+//! regenerated and reviewed.
+//!
+//! Usage: `cargo run --release -p calib-bench --bin golden_tables [out_dir]`
+//! (default `results/` at the workspace root).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use calib_sim::experiments as ex;
+use calib_sim::Table;
+
+fn out_dir() -> PathBuf {
+    match std::env::args().nth(1) {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    }
+}
+
+fn write(dir: &Path, name: &str, table: &Table) {
+    let path = dir.join(name);
+    fs::write(&path, table.render()).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = out_dir();
+    fs::create_dir_all(&dir).expect("create output dir");
+
+    // E1 / E2 (quick-mode configs mirroring `all_experiments`).
+    let mut e1 = ex::ratio::RatioConfig::e1();
+    e1.n = 14;
+    e1.seeds = 2;
+    e1.cal_costs = vec![4, 30];
+    e1.cal_lens = vec![3];
+    write(
+        &dir,
+        "e1_alg1_ratio.txt",
+        &ex::ratio::run(&e1).1.without_columns(&["ms"]),
+    );
+
+    let mut e2 = ex::ratio::RatioConfig::e2();
+    e2.n = 14;
+    e2.seeds = 2;
+    e2.cal_costs = vec![4, 30];
+    e2.cal_lens = vec![3];
+    write(
+        &dir,
+        "e2_alg2_ratio.txt",
+        &ex::ratio::run(&e2).1.without_columns(&["ms"]),
+    );
+
+    // E3.
+    let e3 = ex::multi::MultiConfig {
+        machines: vec![1, 2],
+        n: 6,
+        seeds: 1,
+        cal_costs: vec![3, 9],
+        ..Default::default()
+    };
+    write(&dir, "e3_alg3_ratio.txt", &ex::multi::run(&e3).1);
+
+    // E4.
+    let e4 = ex::lower_bound::LowerBoundConfig {
+        params: vec![(4, 4), (64, 32), (1024, 512), (2, 1024)],
+    };
+    write(&dir, "e4_lower_bound.txt", &ex::lower_bound::run(&e4).1);
+
+    // E5.
+    let e5 = ex::optr_gap::OptrConfig {
+        n: 6,
+        seeds: 3,
+        ..Default::default()
+    };
+    write(&dir, "e5_optr_gap.txt", &ex::optr_gap::run(&e5).1);
+
+    // E6: the fit exponent and per-size timings are wall-clock dependent.
+    let e6 = ex::dp_scaling::DpScalingConfig {
+        sizes: vec![10, 20, 40],
+        reps: 1,
+        ..Default::default()
+    };
+    let table = ex::dp_scaling::run(&e6)
+        .2
+        .without_columns(&["median sec"])
+        .with_title("E6: offline DP scaling (paper O(K n^3))");
+    write(&dir, "e6_dp_scaling.txt", &table);
+
+    // E8.
+    let e8 = ex::lp_gap::LpGapConfig {
+        n: 5,
+        seeds: 2,
+        ..Default::default()
+    };
+    write(
+        &dir,
+        "e8_lp_bounds.txt",
+        &ex::lp_gap::run(&e8).1.without_columns(&["ms"]),
+    );
+
+    // E10.
+    let e10 = ex::ablations::AblationConfig {
+        n: 15,
+        seeds: 2,
+        cal_lens: vec![3],
+        cal_costs: vec![8, 40],
+        ..Default::default()
+    };
+    write(&dir, "e10_ablations.txt", &ex::ablations::run(&e10).1);
+
+    // E11.
+    let e11 = ex::sensitivity::SensitivityConfig {
+        n: 14,
+        seeds: 2,
+        cal_costs: vec![40],
+        factors: vec![(1, 4), (1, 1), (4, 1)],
+        ..Default::default()
+    };
+    write(&dir, "e11_sensitivity.txt", &ex::sensitivity::run(&e11).1);
+
+    // E12.
+    let e12 = ex::weighted_multi::WeightedMultiConfig {
+        machines: vec![1, 2],
+        n: 5,
+        seeds: 1,
+        ..Default::default()
+    };
+    write(
+        &dir,
+        "e12_weighted_multi.txt",
+        &ex::weighted_multi::run(&e12).1,
+    );
+
+    // E13.
+    let e13 = ex::randomized::RandomizedConfig {
+        params: vec![(10, 100), (20, 400)],
+        trials: 60,
+    };
+    write(&dir, "e13_randomized.txt", &ex::randomized::run(&e13).1);
+}

@@ -58,6 +58,23 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// A short stable label for the violation class — used by differential
+    /// tests and replay files, where `Display` output is too instance-
+    /// specific to key on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::JobUnassigned(_) => "job-unassigned",
+            Violation::JobAssignedTwice(_) => "job-assigned-twice",
+            Violation::UnknownJob(_) => "unknown-job",
+            Violation::UnknownMachine(_) => "unknown-machine",
+            Violation::StartedBeforeRelease { .. } => "started-before-release",
+            Violation::SlotConflict { .. } => "slot-conflict",
+            Violation::UncalibratedSlot { .. } => "uncalibrated-slot",
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -283,6 +300,35 @@ mod tests {
         assert!(err
             .violations
             .contains(&Violation::UnknownMachine(MachineId(5))));
+    }
+
+    #[test]
+    fn violation_codes_are_stable_and_distinct() {
+        let vs = [
+            Violation::JobUnassigned(JobId(0)),
+            Violation::JobAssignedTwice(JobId(0)),
+            Violation::UnknownJob(JobId(0)),
+            Violation::UnknownMachine(MachineId(0)),
+            Violation::StartedBeforeRelease {
+                job: JobId(0),
+                start: 0,
+                release: 1,
+            },
+            Violation::SlotConflict {
+                machine: MachineId(0),
+                time: 0,
+                jobs: (JobId(0), JobId(1)),
+            },
+            Violation::UncalibratedSlot {
+                job: JobId(0),
+                machine: MachineId(0),
+                time: 0,
+            },
+        ];
+        let mut codes: Vec<&str> = vs.iter().map(|v| v.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), vs.len(), "codes must be distinct");
     }
 
     #[test]

@@ -147,6 +147,36 @@ impl Instance {
         }
     }
 
+    /// The same instance with job ids relabeled through `perm`: the job with
+    /// the `i`-th smallest id takes `perm[i]` as its new id. `perm` must be a
+    /// permutation of the current id set (checked).
+    ///
+    /// Observation 2.1 makes the greedy assigner's *cost* a function of the
+    /// job multiset `{(release, weight)}` alone, so any solver output on a
+    /// relabeled instance must match the original up to ids — the invariant
+    /// the differential tests exercise with this helper.
+    pub fn with_permuted_ids(&self, perm: &[JobId]) -> Result<Instance, InstanceError> {
+        assert_eq!(
+            perm.len(),
+            self.jobs.len(),
+            "permutation arity must match the job count"
+        );
+        let mut by_id = self.jobs.clone();
+        by_id.sort_by_key(|j| j.id);
+        let jobs: Vec<Job> = by_id
+            .into_iter()
+            .zip(perm)
+            .map(|(j, &id)| Job {
+                id,
+                release: j.release,
+                weight: j.weight,
+            })
+            .collect();
+        // `Instance::new` re-sorts and rejects duplicate ids, so a non-
+        // permutation surfaces as `DuplicateJobId`.
+        Instance::new(jobs, self.machines, self.cal_len)
+    }
+
     /// True if no release time is shared by more than `P` jobs.
     pub fn is_normalized(&self) -> bool {
         let mut i = 0;
@@ -283,6 +313,33 @@ mod tests {
         assert!(!inst.is_unweighted());
         assert!(inst.job(JobId(1)).is_some());
         assert!(inst.job(JobId(9)).is_none());
+    }
+
+    #[test]
+    fn permuted_ids_keep_release_weight_multiset() {
+        let inst = InstanceBuilder::new(3)
+            .job(0, 2)
+            .job(0, 5)
+            .job(4, 1)
+            .build()
+            .unwrap();
+        let perm = [JobId(2), JobId(0), JobId(1)];
+        let p = inst.with_permuted_ids(&perm).unwrap();
+        assert_eq!(p.n(), 3);
+        // Multiset of (release, weight) is untouched; ids moved.
+        let mut orig: Vec<_> = inst.jobs().iter().map(|j| (j.release, j.weight)).collect();
+        let mut perm_rw: Vec<_> = p.jobs().iter().map(|j| (j.release, j.weight)).collect();
+        orig.sort();
+        perm_rw.sort();
+        assert_eq!(orig, perm_rw);
+        // Old id 0 (release 0, weight 2) is now id 2.
+        let j = p.job(JobId(2)).unwrap();
+        assert_eq!((j.release, j.weight), (0, 2));
+        // A non-permutation is rejected.
+        assert!(matches!(
+            inst.with_permuted_ids(&[JobId(0), JobId(0), JobId(1)]),
+            Err(InstanceError::DuplicateJobId(_))
+        ));
     }
 
     #[test]

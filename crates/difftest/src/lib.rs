@@ -1,0 +1,108 @@
+//! `calib-difftest` — differential correctness harness for the calibration
+//! scheduler.
+//!
+//! Every solver in this workspace claims a relationship to every other: the
+//! DP matches the brute force, the online algorithms stay within their
+//! proven competitive ratios of the exact optimum, the greedy assigner is
+//! optimal for a fixed calibration set (Observation 2.1). This crate turns
+//! those claims into an executable oracle:
+//!
+//! * [`gen`] — seeded random-instance generation over the workload
+//!   families, exposed both as plain functions and as a proptest-style
+//!   [`Strategy`](proptest::Strategy);
+//! * [`oracle`] — the cross-implementation checks themselves;
+//! * [`mod@shrink`] — greedy minimization of failing instances;
+//! * [`replay`] — deterministic JSON regression files under
+//!   `difftest/regressions/` that become permanent unit tests.
+//!
+//! The `calib-difftest` binary drives all of it from the command line (and
+//! from CI); see `DIFFTEST.md` at the repository root.
+
+pub mod gen;
+pub mod oracle;
+pub mod replay;
+pub mod shrink;
+
+pub use gen::{cases, gen_case, GenParams, TestCase};
+pub use oracle::{Check, Fault, Oracle, OracleFailure, ALL_CHECKS};
+pub use replay::{load_dir, Regression, REGRESSION_DIR};
+pub use shrink::{shrink, Shrunk};
+
+/// Summary of one differential run, as produced by [`run_iters`].
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Cases executed.
+    pub cases: usize,
+    /// Failures found, as `(seed, shrunk witness)` pairs.
+    pub failures: Vec<(u64, Shrunk, Check)>,
+}
+
+/// Runs `iters` generated cases starting from `seed`, shrinking every
+/// failure. `report` is called once per case (after checking) for progress
+/// output; pass `|_, _| {}` to stay quiet.
+pub fn run_iters(
+    oracle: &Oracle,
+    params: &GenParams,
+    seed: u64,
+    iters: u64,
+    mut report: impl FnMut(u64, &[OracleFailure]),
+) -> RunSummary {
+    let mut summary = RunSummary::default();
+    for i in 0..iters {
+        let case_seed = seed.wrapping_add(i);
+        let case = gen_case(case_seed, params);
+        let failures = oracle.check(&case);
+        report(case_seed, &failures);
+        summary.cases += 1;
+        if let Some(first) = failures.first() {
+            let shrunk = shrink(oracle, &case, first.check, 400);
+            summary.failures.push((case_seed, shrunk, first.check));
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The honest implementations must survive a differential sweep. This is
+    /// a smaller in-test version of the CI run (`--iters 500 --seed 2017`).
+    #[test]
+    fn honest_oracle_finds_no_violations() {
+        let summary = run_iters(
+            &Oracle::default(),
+            &GenParams::default(),
+            2017,
+            60,
+            |_, _| {},
+        );
+        assert_eq!(summary.cases, 60);
+        assert!(
+            summary.failures.is_empty(),
+            "differential violations: {:?}",
+            summary
+                .failures
+                .iter()
+                .map(|(s, sh, c)| format!("seed {s} [{c}]: {}", sh.detail))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// A broken implementation must NOT survive it — otherwise the harness
+    /// itself is the bug.
+    #[test]
+    fn faulty_oracle_finds_violations() {
+        let summary = run_iters(
+            &Oracle::with_fault(Fault::AssignerOffByOne),
+            &GenParams::default(),
+            2017,
+            40,
+            |_, _| {},
+        );
+        assert!(
+            !summary.failures.is_empty(),
+            "injected off-by-one fault went undetected over 40 cases"
+        );
+    }
+}

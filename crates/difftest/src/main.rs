@@ -1,0 +1,211 @@
+//! CLI driver for the differential harness.
+//!
+//! ```text
+//! cargo run --release -p calib-difftest -- --iters 500 --seed 2017
+//! cargo run --release -p calib-difftest -- --replay
+//! cargo run --release -p calib-difftest -- --fault off-by-one --iters 50
+//! ```
+//!
+//! Exit status is non-zero when any violation is found (or any regression
+//! fails to replay), so the binary slots directly into CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use calib_difftest::oracle::Fault;
+use calib_difftest::{load_dir, replay, GenParams, Oracle, Regression, RunSummary};
+
+struct Options {
+    seed: u64,
+    iters: u64,
+    max_n: usize,
+    replay: bool,
+    replay_dir: Option<PathBuf>,
+    fault: Fault,
+    write_regressions: bool,
+    quiet: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 2017,
+            iters: 200,
+            max_n: GenParams::default().max_n,
+            replay: false,
+            replay_dir: None,
+            fault: Fault::None,
+            write_regressions: false,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+calib-difftest: differential correctness harness
+
+USAGE:
+    calib-difftest [OPTIONS]
+
+OPTIONS:
+    --seed <u64>        base seed for instance generation [default: 2017]
+    --iters <u64>       number of generated cases to check [default: 200]
+    --max-n <usize>     maximum jobs per generated instance [default: 12]
+    --replay            replay checked-in regressions instead of generating
+    --replay-dir <dir>  regression directory [default: difftest/regressions]
+    --fault <name>      inject a fault (none | off-by-one) [default: none]
+    --write-regressions write shrunk failures under the regression directory
+    --quiet             suppress per-case progress output
+    --help              print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_num(&value("--seed")?)?,
+            "--iters" => opts.iters = parse_num(&value("--iters")?)?,
+            "--max-n" => opts.max_n = parse_num::<usize>(&value("--max-n")?)?.max(1),
+            "--replay" => opts.replay = true,
+            "--replay-dir" => opts.replay_dir = Some(PathBuf::from(value("--replay-dir")?)),
+            "--fault" => {
+                let v = value("--fault")?;
+                opts.fault = Fault::from_cli(&v)
+                    .ok_or_else(|| format!("unknown fault `{v}` (none | off-by-one)"))?;
+            }
+            "--write-regressions" => opts.write_regressions = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("`{s}` is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let oracle = Oracle::with_fault(opts.fault);
+    let dir = opts.replay_dir.clone().unwrap_or_else(replay::default_dir);
+
+    if opts.replay {
+        return run_replay(&oracle, &dir);
+    }
+    run_generate(&oracle, &opts, &dir)
+}
+
+/// Replays every checked-in regression; any failure is fatal.
+fn run_replay(oracle: &Oracle, dir: &std::path::Path) -> ExitCode {
+    let regs = match load_dir(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} regression(s) from {}",
+        regs.len(),
+        dir.display()
+    );
+    let mut bad = 0usize;
+    for (name, reg) in &regs {
+        let failures = oracle.check(&reg.to_case(name));
+        if failures.is_empty() {
+            println!("  PASS {name} (was: {})", reg.check);
+        } else {
+            bad += 1;
+            println!("  FAIL {name}");
+            for f in failures {
+                println!("       {f}");
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("{bad} regression(s) reproduce — a fixed bug is back");
+        ExitCode::FAILURE
+    } else {
+        println!("all regressions stay fixed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Generates `--iters` cases, checks them all, and shrinks any failures.
+fn run_generate(oracle: &Oracle, opts: &Options, dir: &std::path::Path) -> ExitCode {
+    let params = GenParams {
+        max_n: opts.max_n,
+        ..GenParams::default()
+    };
+    println!(
+        "difftest: {} cases from seed {} (max_n={}{})",
+        opts.iters,
+        opts.seed,
+        params.max_n,
+        match opts.fault {
+            Fault::None => String::new(),
+            f => format!(", injected fault {f:?}"),
+        }
+    );
+
+    let quiet = opts.quiet;
+    let mut checked = 0u64;
+    let summary: RunSummary =
+        calib_difftest::run_iters(oracle, &params, opts.seed, opts.iters, |seed, failures| {
+            checked += 1;
+            if !failures.is_empty() {
+                println!("  seed {seed}: {} violation(s)", failures.len());
+                for f in failures {
+                    println!("    {f}");
+                }
+            } else if !quiet && checked.is_multiple_of(100) {
+                println!("  ... {checked} cases clean");
+            }
+        });
+
+    if summary.failures.is_empty() {
+        println!("OK: {} cases, zero violations", summary.cases);
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} failing case(s); shrunk witnesses:",
+        summary.failures.len()
+    );
+    for (seed, shrunk, check) in &summary.failures {
+        println!(
+            "  seed {seed} [{check}] -> n={}, T={}, P={}, G={}: {}",
+            shrunk.case.instance.n(),
+            shrunk.case.instance.cal_len(),
+            shrunk.case.instance.machines(),
+            shrunk.case.cal_cost,
+            shrunk.detail
+        );
+        if opts.write_regressions {
+            let reg = Regression::from_shrunk(*check, *seed, shrunk);
+            match reg.write_to(dir) {
+                Ok(path) => println!("    wrote {}", path.display()),
+                Err(e) => eprintln!("    error writing regression: {e}"),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,213 @@
+//! Deterministic regression replay files.
+//!
+//! When the oracle finds (and shrinks) a failure, the minimized instance is
+//! written as a JSON file under `difftest/regressions/`. Checked in, these
+//! files are permanent unit tests: the CLI's `--replay` mode and the crate's
+//! own test suite re-run the oracle on every file and expect a clean pass,
+//! so a fixed bug stays fixed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use calib_core::{Cost, FromJson, Instance, Json, ToJson};
+
+use crate::gen::TestCase;
+use crate::oracle::Check;
+use crate::shrink::Shrunk;
+
+/// The default regression directory, relative to the workspace root.
+pub const REGRESSION_DIR: &str = "difftest/regressions";
+
+/// One regression record: the minimized failing case plus enough context to
+/// understand the failure it once triggered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The check that failed when this was recorded.
+    pub check: Check,
+    /// Failure detail as recorded (informational; not re-asserted).
+    pub detail: String,
+    /// Generator seed that produced the original (pre-shrink) case.
+    pub seed: u64,
+    /// Calibration cost `G` for the online objective.
+    pub cal_cost: Cost,
+    /// The minimized instance.
+    pub instance: Instance,
+}
+
+impl Regression {
+    /// Builds the record for a shrunk failure.
+    pub fn from_shrunk(check: Check, seed: u64, shrunk: &Shrunk) -> Regression {
+        Regression {
+            check,
+            detail: shrunk.detail.clone(),
+            seed,
+            cal_cost: shrunk.case.cal_cost,
+            instance: shrunk.case.instance.clone(),
+        }
+    }
+
+    /// The test case this record replays.
+    pub fn to_case(&self, name: &str) -> TestCase {
+        TestCase {
+            name: name.to_string(),
+            instance: self.instance.clone(),
+            cal_cost: self.cal_cost,
+        }
+    }
+
+    /// Serializes to the on-disk JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("check", Json::Str(self.check.code().to_string())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("seed", Json::UInt(self.seed as u128)),
+            ("cal_cost", Json::UInt(self.cal_cost)),
+            ("instance", self.instance.to_json()),
+        ])
+    }
+
+    /// Parses the on-disk JSON form.
+    pub fn from_json(v: &Json) -> Result<Regression, String> {
+        let code = v
+            .field("check")
+            .map_err(|e| e.to_string())?
+            .as_str()
+            .ok_or("`check` must be a string")?;
+        let check = Check::from_code(code).ok_or_else(|| format!("unknown check `{code}`"))?;
+        let detail = v
+            .field("detail")
+            .map_err(|e| e.to_string())?
+            .as_str()
+            .ok_or("`detail` must be a string")?
+            .to_string();
+        let seed = v
+            .field("seed")
+            .map_err(|e| e.to_string())?
+            .as_u64()
+            .ok_or("`seed` must be a u64")?;
+        let cal_cost = v
+            .field("cal_cost")
+            .map_err(|e| e.to_string())?
+            .as_u128()
+            .ok_or("`cal_cost` must be an unsigned integer")?;
+        let instance = Instance::from_json(v.field("instance").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        Ok(Regression {
+            check,
+            detail,
+            seed,
+            cal_cost,
+            instance,
+        })
+    }
+
+    /// The deterministic file stem for this record
+    /// (`<check>-seed<seed>.json`).
+    pub fn file_name(&self) -> String {
+        format!("{}-seed{}.json", self.check.code(), self.seed)
+    }
+
+    /// Writes the record under `dir`, creating the directory if needed.
+    /// Returns the written path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.to_json().to_string_pretty() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Loads every `*.json` regression under `dir`, sorted by file name for
+/// deterministic replay order. A missing directory is an empty suite.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Regression)>, String> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    entries.sort();
+    let mut out = Vec::new();
+    for path in entries {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let reg = Regression::from_json(&json)
+            .map_err(|e| format!("decoding {}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("regression")
+            .to_string();
+        out.push((stem, reg));
+    }
+    Ok(out)
+}
+
+/// The checked-in regression directory, resolved from this crate's
+/// manifest so tests work from any working directory.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(REGRESSION_DIR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, GenParams};
+    use crate::oracle::Oracle;
+
+    #[test]
+    fn regression_json_round_trips() {
+        let case = gen_case(7, &GenParams::default());
+        let reg = Regression {
+            check: Check::AssignerNotWorseThanEngine,
+            detail: "greedy flow 9 > engine flow 8".into(),
+            seed: 7,
+            cal_cost: case.cal_cost,
+            instance: case.instance,
+        };
+        let back = Regression::from_json(&Json::parse(&reg.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(reg.file_name(), "assigner-not-worse-than-engine-seed7.json");
+    }
+
+    #[test]
+    fn unknown_check_code_is_rejected() {
+        let mut json = gen_case(1, &GenParams::default()).instance.to_json();
+        json = Json::obj([
+            ("check", Json::Str("no-such-check".into())),
+            ("detail", Json::Str(String::new())),
+            ("seed", Json::UInt(0)),
+            ("cal_cost", Json::UInt(0)),
+            ("instance", json),
+        ]);
+        assert!(Regression::from_json(&json).is_err());
+    }
+
+    /// Every checked-in regression must replay clean: the bugs they witness
+    /// are fixed and must stay fixed.
+    #[test]
+    fn checked_in_regressions_replay_clean() {
+        let regs = load_dir(&default_dir()).expect("regression dir must parse");
+        assert!(
+            !regs.is_empty(),
+            "expected at least one checked-in regression under {}",
+            default_dir().display()
+        );
+        let oracle = Oracle::default();
+        for (name, reg) in regs {
+            let failures = oracle.check(&reg.to_case(&name));
+            assert!(
+                failures.is_empty(),
+                "regression {name} ({}) failed again: {failures:?}",
+                reg.check
+            );
+        }
+    }
+}

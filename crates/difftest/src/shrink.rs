@@ -1,0 +1,229 @@
+//! Greedy instance minimization for oracle failures.
+//!
+//! When the oracle flags a case, the raw instance is rarely the story — the
+//! bug usually survives with most of the jobs deleted and every parameter
+//! halved. The shrinker runs a fixpoint loop of structural simplifications,
+//! keeping a candidate only if the *same* [`Check`] still fails on it, so
+//! the minimized instance in the replay file demonstrates the original
+//! defect rather than some other one uncovered along the way.
+
+use calib_core::{Instance, Job};
+
+use crate::gen::TestCase;
+use crate::oracle::{Check, Oracle};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized failing case.
+    pub case: TestCase,
+    /// Detail string of the surviving failure on the minimized case.
+    pub detail: String,
+    /// Number of accepted simplification steps.
+    pub steps: usize,
+}
+
+/// Minimizes `case` while `check` keeps failing under `oracle`.
+///
+/// Transformations tried each round, in order of how much they simplify:
+/// dropping a job, removing a machine, shrinking `T`, shrinking `G`,
+/// flattening a weight to 1, pulling a release toward 0, and shifting the
+/// whole release profile so it starts at 0. The loop re-runs until no
+/// transformation is accepted (or `max_rounds` is hit, a safety valve —
+/// each round makes strict progress, so the bound is rarely reached).
+pub fn shrink(oracle: &Oracle, case: &TestCase, check: Check, max_rounds: usize) -> Shrunk {
+    let mut current = case.clone();
+    let mut detail = failing_detail(oracle, &current, check)
+        .expect("shrink() requires a case on which `check` fails");
+    let mut steps = 0;
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if let Some(d) = failing_detail(oracle, &cand, check) {
+                current = cand;
+                detail = d;
+                steps += 1;
+                improved = true;
+                break; // restart candidate generation from the smaller case
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Shrunk {
+        case: current,
+        detail,
+        steps,
+    }
+}
+
+/// Runs the oracle; returns the detail of the first failure matching
+/// `check`, if any.
+fn failing_detail(oracle: &Oracle, case: &TestCase, check: Check) -> Option<String> {
+    oracle
+        .check(case)
+        .into_iter()
+        .find(|f| f.check == check)
+        .map(|f| f.detail)
+}
+
+/// All one-step simplifications of `case`, most aggressive first.
+fn candidates(case: &TestCase) -> Vec<TestCase> {
+    let inst = &case.instance;
+    let jobs = inst.jobs();
+    let mut out = Vec::new();
+
+    let push = |out: &mut Vec<TestCase>,
+                jobs: Vec<Job>,
+                machines: usize,
+                cal_len: calib_core::Time,
+                g: calib_core::Cost| {
+        if let Ok(instance) = Instance::new(jobs, machines, cal_len) {
+            out.push(TestCase {
+                name: format!("{}/shrunk", case.name),
+                instance,
+                cal_cost: g,
+            });
+        }
+    };
+
+    // Drop each job (largest structural win).
+    for i in 0..jobs.len() {
+        if jobs.len() > 1 {
+            let mut j = jobs.to_vec();
+            j.remove(i);
+            push(&mut out, j, inst.machines(), inst.cal_len(), case.cal_cost);
+        }
+    }
+    // Fewer machines.
+    if inst.machines() > 1 {
+        push(
+            &mut out,
+            jobs.to_vec(),
+            inst.machines() - 1,
+            inst.cal_len(),
+            case.cal_cost,
+        );
+    }
+    // Shorter calibrations: halve, then decrement.
+    for t in [inst.cal_len() / 2, inst.cal_len() - 1] {
+        if t >= 1 && t < inst.cal_len() {
+            push(&mut out, jobs.to_vec(), inst.machines(), t, case.cal_cost);
+        }
+    }
+    // Cheaper calibrations: zero, halve, decrement.
+    for g in [0, case.cal_cost / 2, case.cal_cost.saturating_sub(1)] {
+        if g < case.cal_cost {
+            push(&mut out, jobs.to_vec(), inst.machines(), inst.cal_len(), g);
+        }
+    }
+    // Flatten one weight to 1, or halve it.
+    for (i, job) in jobs.iter().enumerate() {
+        if job.weight > 1 {
+            for w in [1, job.weight / 2] {
+                if w < job.weight {
+                    let mut j = jobs.to_vec();
+                    j[i].weight = w;
+                    push(&mut out, j, inst.machines(), inst.cal_len(), case.cal_cost);
+                }
+            }
+        }
+    }
+    // Pull one release toward 0: halve, then decrement.
+    for (i, job) in jobs.iter().enumerate() {
+        if job.release > 0 {
+            for r in [job.release / 2, job.release - 1] {
+                if r < job.release {
+                    let mut j = jobs.to_vec();
+                    j[i].release = r;
+                    push(&mut out, j, inst.machines(), inst.cal_len(), case.cal_cost);
+                }
+            }
+        }
+    }
+    // Shift the whole profile so the earliest release is 0.
+    if let Some(min_r) = inst.min_release() {
+        if min_r > 0 {
+            let j = jobs
+                .iter()
+                .map(|job| Job {
+                    release: job.release - min_r,
+                    ..*job
+                })
+                .collect();
+            push(&mut out, j, inst.machines(), inst.cal_len(), case.cal_cost);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, GenParams};
+    use crate::oracle::Fault;
+
+    /// The headline acceptance test: a deliberately broken assigner (every
+    /// materialization lands its last job one slot late) must be caught by
+    /// the oracle and shrunk to a tiny witness.
+    #[test]
+    fn off_by_one_fault_is_caught_and_shrunk_small() {
+        let oracle = Oracle::with_fault(Fault::AssignerOffByOne);
+        let params = GenParams::default();
+        let mut caught = 0;
+        for seed in 0..100u64 {
+            let case = gen_case(seed, &params);
+            let failures = oracle.check(&case);
+            let Some(f) = failures.iter().find(|f| {
+                matches!(
+                    f.check,
+                    Check::AssignerFeasible
+                        | Check::AssignerNotWorseThanEngine
+                        | Check::AssignerOptimal
+                )
+            }) else {
+                continue;
+            };
+            caught += 1;
+            let shrunk = shrink(&oracle, &case, f.check, 200);
+            assert!(
+                shrunk.case.instance.n() <= 5,
+                "seed {seed}: {} shrank to n={} ({}), want <= 5",
+                f.check,
+                shrunk.case.instance.n(),
+                shrunk.detail
+            );
+            // The shrunk case must still fail the same check.
+            assert!(oracle
+                .check(&shrunk.case)
+                .iter()
+                .any(|g| g.check == f.check));
+            if caught >= 10 {
+                break;
+            }
+        }
+        assert!(
+            caught >= 5,
+            "fault injected but only {caught} seeds caught it"
+        );
+    }
+
+    #[test]
+    fn shrink_preserves_failure_and_makes_progress() {
+        let oracle = Oracle::with_fault(Fault::AssignerOffByOne);
+        for seed in 0..50u64 {
+            let case = gen_case(seed, &GenParams::default());
+            let failures = oracle.check(&case);
+            if let Some(f) = failures.first() {
+                let shrunk = shrink(&oracle, &case, f.check, 200);
+                assert!(shrunk.case.instance.n() <= case.instance.n());
+                assert!(!shrunk.detail.is_empty());
+                return;
+            }
+        }
+        panic!("no seed in 0..50 triggered the injected fault");
+    }
+}

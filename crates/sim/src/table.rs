@@ -28,6 +28,37 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The same table with `title` swapped in. Used by the golden-table
+    /// writer to strip run-dependent text (e.g. fitted exponents) from
+    /// titles before committing them.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// The same table minus the named columns. Unknown names are ignored,
+    /// so callers can strip `"ms"` unconditionally. Used to produce
+    /// deterministic golden tables from experiments whose full output
+    /// includes wall-clock columns.
+    pub fn without_columns(&self, drop: &[&str]) -> Table {
+        let keep: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !drop.contains(&h.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        Table {
+            title: self.title.clone(),
+            headers: keep.iter().map(|&i| self.headers[i].clone()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| keep.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+        }
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let ncol = self.headers.len();
@@ -96,6 +127,22 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn without_columns_drops_named_and_ignores_unknown() {
+        let mut t = Table::new("demo", &["a", "ms", "b"]);
+        t.row(vec!["1".into(), "99".into(), "2".into()]);
+        let s = t.without_columns(&["ms", "no-such-column"]);
+        assert_eq!(s.headers, vec!["a", "b"]);
+        assert_eq!(s.rows, vec![vec!["1".to_string(), "2".to_string()]]);
+        assert!(!s.render().contains("99"));
+    }
+
+    #[test]
+    fn with_title_replaces_title() {
+        let t = Table::new("old (fit 2.97)", &["a"]).with_title("new");
+        assert_eq!(t.title, "new");
     }
 
     #[test]

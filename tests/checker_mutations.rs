@@ -1,0 +1,159 @@
+//! Property test for the feasibility checker: `check_schedule` must reject
+//! every corrupted schedule and name the right violation.
+//!
+//! Starting from known-good schedules (produced by an online run on
+//! generated instances and verified clean), each mutation below breaks
+//! exactly one of the Section 2 feasibility rules:
+//!
+//! * pulling a job's start before its release;
+//! * moving a job outside every calibrated interval;
+//! * stacking two jobs into one `(machine, time)` slot.
+//!
+//! The checker defines correctness for the whole differential harness, so
+//! it gets its own adversarial coverage: a checker that silently accepts
+//! corrupt schedules would make every downstream green light meaningless.
+
+use calib_difftest::{gen_case, GenParams};
+use calibration_scheduling::online::{run_online, CalibrateImmediately};
+use calibration_scheduling::prelude::*;
+use proptest::{Strategy, TestRng};
+
+/// Known-good `(instance, schedule)` pairs: an engine run whose output the
+/// checker accepts.
+fn good_schedules(count: usize) -> Vec<(Instance, Schedule)> {
+    let params = GenParams::default();
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < count {
+        let case = gen_case(seed, &params);
+        seed += 1;
+        let run = run_online(&case.instance, case.cal_cost, &mut CalibrateImmediately);
+        assert!(
+            check_schedule(&case.instance, &run.schedule).is_ok(),
+            "engine produced an infeasible schedule on seed {}",
+            seed - 1
+        );
+        out.push((case.instance, run.schedule));
+    }
+    out
+}
+
+/// The violation codes reported for `mutated` against `instance`.
+fn codes(instance: &Instance, mutated: &Schedule) -> Vec<&'static str> {
+    match check_schedule(instance, mutated) {
+        Ok(()) => Vec::new(),
+        Err(e) => e.violations.iter().map(|v| v.code()).collect(),
+    }
+}
+
+#[test]
+fn start_before_release_is_rejected() {
+    let mut exercised = 0;
+    for (inst, sched) in good_schedules(40) {
+        // Corrupt the first assignment whose release is late enough that
+        // starting earlier is a genuine violation.
+        let Some(idx) = sched.assignments.iter().position(|a| {
+            inst.job(a.job)
+                .is_some_and(|j| j.release > 0 && a.start == j.release)
+        }) else {
+            continue;
+        };
+        let mut bad = sched.clone();
+        bad.assignments[idx].start -= 1;
+        let codes = codes(&inst, &bad);
+        assert!(
+            codes.contains(&"started-before-release"),
+            "early start not reported; got {codes:?}"
+        );
+        exercised += 1;
+    }
+    assert!(
+        exercised >= 5,
+        "only {exercised} cases exercised the mutation"
+    );
+}
+
+#[test]
+fn run_outside_calibrated_interval_is_rejected() {
+    let mut exercised = 0;
+    for (inst, sched) in good_schedules(40) {
+        // Push the last assignment far past every calibration's coverage.
+        let Some(last_cal) = sched.calibration_times().last().copied() else {
+            continue;
+        };
+        let mut bad = sched.clone();
+        let Some(a) = bad.assignments.last_mut() else {
+            continue;
+        };
+        a.start = last_cal + inst.cal_len() + 1_000;
+        let codes = codes(&inst, &bad);
+        assert!(
+            codes.contains(&"uncalibrated-slot"),
+            "uncalibrated run not reported; got {codes:?}"
+        );
+        exercised += 1;
+    }
+    assert!(
+        exercised >= 5,
+        "only {exercised} cases exercised the mutation"
+    );
+}
+
+#[test]
+fn two_jobs_in_one_slot_is_rejected() {
+    let mut exercised = 0;
+    for (inst, sched) in good_schedules(40) {
+        if sched.assignments.len() < 2 {
+            continue;
+        }
+        // Collide the second assignment into the first one's slot; keep the
+        // victim's release satisfied so the only new violation class is the
+        // conflict (plus possibly an uncalibrated/early side effect — the
+        // conflict itself must still be named).
+        let mut bad = sched.clone();
+        let target = bad.assignments[0];
+        let job = bad.assignments[1].job;
+        let release = inst.job(job).unwrap().release;
+        if release > target.start {
+            continue;
+        }
+        bad.assignments[1].start = target.start;
+        bad.assignments[1].machine = target.machine;
+        let codes = codes(&inst, &bad);
+        assert!(
+            codes.contains(&"slot-conflict"),
+            "slot conflict not reported; got {codes:?}"
+        );
+        exercised += 1;
+    }
+    assert!(
+        exercised >= 5,
+        "only {exercised} cases exercised the mutation"
+    );
+}
+
+/// The same three mutations driven through the proptest strategy shim, so
+/// the corrupted-schedule property composes with the crate's other
+/// property tests.
+#[test]
+fn checker_rejects_mutants_property() {
+    let strategy = calib_difftest::cases(GenParams::default());
+    let mut rng = TestRng::for_case("checker_mutations", "rejects_mutants", 0);
+    let mut rejected = 0;
+    for _ in 0..60 {
+        let case = strategy.generate(&mut rng);
+        let run = run_online(&case.instance, case.cal_cost, &mut CalibrateImmediately);
+        let mut bad = run.schedule.clone();
+        let Some(a) = bad.assignments.last_mut() else {
+            continue;
+        };
+        a.start += 10_000; // far outside any calibration
+        assert!(
+            check_schedule(&case.instance, &bad).is_err(),
+            "checker accepted a corrupted schedule for {}",
+            case.name
+        );
+        rejected += 1;
+    }
+    assert!(rejected >= 30);
+}
