@@ -8,6 +8,15 @@
 //! threshold (1.25, i.e. >25% slower) leaves headroom for shared-runner
 //! jitter; genuine regressions from algorithmic changes are well past it.
 //!
+//! Baselines may be recorded on a different machine than the gate runs on
+//! (committed once, checked on CI runners), so raw `median_ns` comparisons
+//! would conflate machine speed with regressions. To cancel that, the bench
+//! harness stamps every suite file with `gate_reference_ns` — a fixed
+//! reference workload timed right when the suite was benched (see
+//! `calib_bench::harness::reference_workload_ns`) — and the gate divides
+//! each suite score by the machine-speed ratio `fresh_ref / baseline_ref`.
+//! Only the *relative* slowdown vs the reference workload is gated.
+//!
 //! ```text
 //! cargo run --release -p calib-bench --bin bench_gate -- --fresh-dir crates/bench
 //! cargo run --release -p calib-bench --bin bench_gate -- --update   # refresh baseline
@@ -76,8 +85,16 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// `(measurement name, median_ns)` pairs of one suite file.
-fn read_suite(path: &Path) -> Result<Vec<(String, u64)>, String> {
+/// One parsed suite file: measurement medians plus the optional
+/// `gate_reference_ns` stamp written by `--update`.
+struct Suite {
+    /// `(measurement name, median_ns)` pairs.
+    medians: Vec<(String, u64)>,
+    /// Reference-workload timing on the machine that produced this file.
+    reference_ns: Option<u64>,
+}
+
+fn read_suite(path: &Path) -> Result<Suite, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
     let results = json
@@ -100,7 +117,11 @@ fn read_suite(path: &Path) -> Result<Vec<(String, u64)>, String> {
             .ok_or_else(|| format!("{}: `median_ns` must be a u64", path.display()))?;
         out.push((name, median));
     }
-    Ok(out)
+    let reference_ns = json.get("gate_reference_ns").and_then(|v| v.as_u64());
+    Ok(Suite {
+        medians: out,
+        reference_ns,
+    })
 }
 
 /// All `BENCH_*.json` files in `dir`, keyed by file name.
@@ -141,6 +162,12 @@ fn run() -> Result<bool, String> {
             ));
         }
         for (name, path) in fresh {
+            if read_suite(&path)?.reference_ns.is_none() {
+                println!(
+                    "WARN {name}: no gate_reference_ns stamp (stale format?) — \
+                     re-run `cargo bench -p calib-bench -- --quick` to regenerate"
+                );
+            }
             let dest = opts.baseline_dir.join(&name);
             fs::copy(&path, &dest).map_err(|e| format!("copying {name}: {e}"))?;
             println!("baseline <- {name}");
@@ -166,15 +193,33 @@ fn run() -> Result<bool, String> {
         }
         let base = read_suite(base_path)?;
         let fresh = read_suite(&fresh_path)?;
+        // Cancel machine-speed differences: a 2x-slower machine makes both
+        // the suite medians and the reference workload ~2x slower, so the
+        // normalized score only moves on relative regressions. Both stamps
+        // were timed by the harness right when their suite was benched, so
+        // each reflects the machine state its medians were measured under.
+        let machine_ratio = match (fresh.reference_ns, base.reference_ns) {
+            (Some(fresh_ref), Some(base_ref)) if base_ref > 0 && fresh_ref > 0 => {
+                fresh_ref as f64 / base_ref as f64
+            }
+            _ => {
+                println!(
+                    "WARN {name}: missing gate_reference_ns stamp (fresh: {:?}, baseline: \
+                     {:?}) — comparing raw cross-machine timings",
+                    fresh.reference_ns, base.reference_ns
+                );
+                1.0
+            }
+        };
         let mut ratios = Vec::new();
         let mut detail = Vec::new();
-        for (bench, base_median) in &base {
-            match fresh.iter().find(|(n, _)| n == bench) {
+        for (bench, base_median) in &base.medians {
+            match fresh.medians.iter().find(|(n, _)| n == bench) {
                 Some((_, fresh_median)) if *base_median > 0 => {
                     let r = *fresh_median as f64 / *base_median as f64;
                     ratios.push(r);
                     detail.push(format!(
-                        "{bench}: {base_median} -> {fresh_median} ({r:.2}x)"
+                        "{bench}: {base_median} -> {fresh_median} ({r:.2}x raw)"
                     ));
                 }
                 Some(_) => {} // zero baseline median: skip rather than divide
@@ -189,18 +234,22 @@ fn run() -> Result<bool, String> {
             ok = false;
             continue;
         }
-        let score = median_of(ratios);
+        let score = median_of(ratios) / machine_ratio;
         if score > opts.threshold {
             ok = false;
             println!(
-                "FAIL {name}: suite median ratio {score:.2}x > {:.2}x",
+                "FAIL {name}: normalized suite median ratio {score:.2}x > {:.2}x \
+                 (machine ratio {machine_ratio:.2}x)",
                 opts.threshold
             );
             for d in detail {
                 println!("     {d}");
             }
         } else {
-            println!("PASS {name}: suite median ratio {score:.2}x");
+            println!(
+                "PASS {name}: normalized suite median ratio {score:.2}x \
+                 (machine ratio {machine_ratio:.2}x)"
+            );
         }
     }
     Ok(ok)

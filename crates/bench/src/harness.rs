@@ -20,6 +20,45 @@ const TARGET_SAMPLE_NS: u64 = 1_000_000;
 /// Cap on the batching factor, so calibration mispredictions stay bounded.
 const MAX_ITERS: u64 = 10_000;
 
+/// Median ns of a fixed deterministic CPU workload (seeded xorshift fill +
+/// sort + fold), stamped into each suite file as `gate_reference_ns` so the
+/// bench gate can divide out machine-speed differences between the machine
+/// that recorded the baseline and the one producing fresh results. Measured
+/// at suite-write time, so the stamp reflects the same machine state (turbo,
+/// contention, throttling) as the suite's own medians. The workload mixes
+/// branchy and memory work to track the benched algorithms better than a
+/// pure ALU spin.
+pub fn reference_workload_ns() -> u64 {
+    fn once() -> u64 {
+        let mut state = 0x2017_c0ffee_u64;
+        let mut xs: Vec<u64> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        xs.sort_unstable();
+        xs.iter().fold(0u64, |acc, x| acc.rotate_left(1) ^ x)
+    }
+    // Warm up, then take the *minimum* over many batched samples: the min is
+    // the most stable estimator of raw machine speed under scheduler noise,
+    // and any low bias cancels because both sides of the ratio use it.
+    black_box(once());
+    (0..15)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..32 {
+                black_box(once());
+            }
+            (start.elapsed().as_nanos() as u64 / 32).max(1)
+        })
+        .min()
+        .expect("at least one sample")
+        .max(1)
+}
+
 /// One timed closure's summary statistics (nanoseconds per call).
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -137,11 +176,21 @@ impl Bench {
     }
 
     /// Writes `BENCH_<suite>.json` (into `BENCH_OUT_DIR` when set, else the
-    /// working directory) and reports where it went.
+    /// working directory) and reports where it went. The file additionally
+    /// carries a `gate_reference_ns` stamp (see [`reference_workload_ns`])
+    /// timed here, alongside the suite's own measurements, so the bench gate
+    /// can normalize away machine-speed differences.
     pub fn finish(self) {
         let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
         let path = format!("{dir}/BENCH_{}.json", self.suite);
-        match std::fs::write(&path, self.to_json().to_string_pretty()) {
+        let mut json = self.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "gate_reference_ns".into(),
+                Json::UInt(reference_workload_ns() as u128),
+            ));
+        }
+        match std::fs::write(&path, json.to_string_pretty()) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

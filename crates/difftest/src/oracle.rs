@@ -297,17 +297,20 @@ impl Oracle {
                 return;
             }
         };
-        let mut prev: Option<Cost> = None;
+        // `prev` carries the last *feasible* budget and its flow, so the
+        // failure message names the index the value actually came from even
+        // when intermediate budgets are infeasible (None).
+        let mut prev: Option<(usize, Cost)> = None;
         for (k, flow) in flows.iter().enumerate() {
-            if let (Some(p), Some(f)) = (prev, *flow) {
+            if let (Some((pk, p)), Some(f)) = (prev, *flow) {
                 if f > p {
                     failures.push(OracleFailure {
                         check: Check::DpBudgetMonotone,
-                        detail: format!("F({},n)={p} but F({k},n)={f}", k - 1),
+                        detail: format!("F({pk},n)={p} but F({k},n)={f}"),
                     });
                 }
             }
-            prev = flow.or(prev);
+            prev = flow.map(|f| (k, f)).or(prev);
         }
 
         let brute_ok = n <= 9;
