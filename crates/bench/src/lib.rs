@@ -12,6 +12,9 @@
 //! all benches with `cargo bench -p calib-bench`; every binary accepts
 //! `--quick` to shrink the sweep.
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod harness;
 
 /// Shared quick-mode switch: pass `--quick` to any experiment binary to

@@ -38,9 +38,9 @@ impl PriorityPolicy {
     #[inline]
     pub fn sort_key(&self, j: &Job) -> (i128, Time, u32) {
         match self {
-            PriorityPolicy::HighestWeightFirst => (-(j.weight as i128), j.release, j.id.0),
+            PriorityPolicy::HighestWeightFirst => (-i128::from(j.weight), j.release, j.id.0),
             PriorityPolicy::EarliestReleaseFirst => (0, j.release, j.id.0),
-            PriorityPolicy::LightestWeightFirst => (j.weight as i128, j.release, j.id.0),
+            PriorityPolicy::LightestWeightFirst => (i128::from(j.weight), j.release, j.id.0),
         }
     }
 }
@@ -280,8 +280,10 @@ fn assign_inner(
             let from = t.max(used_until[m]);
             *slots_scanned += 1;
             if coverage[m].next_covered(from) == Some(t) {
-                let job = waiting.pop().expect("non-empty");
-                assignments.push(Assignment::new(job.id, t, MachineId(m as u32)));
+                let Some(job) = waiting.pop() else {
+                    break; // emptiness is re-checked above; defensive only
+                };
+                assignments.push(Assignment::new(job.id, t, MachineId::from_index(m)));
                 used_until[m] = t + 1;
             }
         }
@@ -411,7 +413,7 @@ mod tests {
         let plain =
             assign_with_calibrations(&inst, &cals, PriorityPolicy::HighestWeightFirst).unwrap();
         assert_eq!(counted, plain);
-        assert!(counters.snapshot().assigner_slots_scanned >= inst.n() as u64);
+        assert!(counters.snapshot().assigner_slots_scanned >= u64::try_from(inst.n()).unwrap());
     }
 
     #[test]

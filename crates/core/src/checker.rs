@@ -340,8 +340,8 @@ mod tests {
             .unwrap();
         let s = Schedule::new(
             vec![Calibration::new(0, 0), Calibration::new(0, 2)],
-            (0..5)
-                .map(|t| Assignment::new(JobId(t as u32), t, MachineId(0)))
+            (0u32..5)
+                .map(|t| Assignment::new(JobId(t), i64::from(t), MachineId(0)))
                 .collect(),
         );
         assert!(check_schedule(&inst, &s).is_ok());

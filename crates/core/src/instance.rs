@@ -27,6 +27,9 @@ pub enum InstanceError {
     CalibrationLengthTooShort(Time),
     /// `P < 1`.
     NoMachines,
+    /// `P > u32::MAX`: machine indices must fit a
+    /// [`MachineId`](crate::types::MachineId).
+    TooManyMachines(usize),
     /// Two jobs share an id.
     DuplicateJobId(JobId),
 }
@@ -38,6 +41,9 @@ impl std::fmt::Display for InstanceError {
                 write!(f, "calibration length T={t} must be >= 1")
             }
             InstanceError::NoMachines => write!(f, "instance needs at least one machine"),
+            InstanceError::TooManyMachines(p) => {
+                write!(f, "P={p} machines cannot be indexed by u32 machine ids")
+            }
             InstanceError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
         }
     }
@@ -57,6 +63,11 @@ impl Instance {
         }
         if machines < 1 {
             return Err(InstanceError::NoMachines);
+        }
+        // Machine indices must round-trip through `MachineId(u32)`, so the
+        // cast-free `MachineId::from_index` is total for valid instances.
+        if u32::try_from(machines).is_err() {
+            return Err(InstanceError::TooManyMachines(machines));
         }
         sort_jobs(&mut jobs);
         let mut ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();

@@ -28,7 +28,9 @@
 //! assert_eq!(sched.total_weighted_flow(&inst), 3); // every job runs at release
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod analysis;
 pub mod assign;

@@ -12,8 +12,8 @@ macro_rules! counters {
         /// statistics, not synchronization. `&Counters` is `Sync`, so the
         /// parallel sim runner hands one registry to every worker and the
         /// totals aggregate for free. Hot loops should accumulate into a
-        /// local `u64` and flush once via [`Counters::add`]-style methods
-        /// rather than touching the atomics per iteration.
+        /// local `u64` and flush once via the per-counter `Counters`
+        /// methods rather than touching the atomics per iteration.
         #[derive(Debug, Default)]
         pub struct Counters {
             $($(#[$doc])* $name: AtomicU64,)*

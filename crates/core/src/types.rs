@@ -42,9 +42,25 @@ impl std::fmt::Display for MachineId {
 
 impl MachineId {
     /// Index into per-machine arrays.
+    ///
+    /// `u32 -> usize` cannot truncate on any platform this workspace
+    /// supports, but there is no `From` impl to say so; `try_from` keeps the
+    /// conversion provably lossless (the fallback is unreachable and
+    /// compiles away on 32/64-bit targets).
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        usize::try_from(self.0).unwrap_or(usize::MAX)
+    }
+
+    /// Machine id for a per-machine array index — the inverse of
+    /// [`MachineId::index`].
+    ///
+    /// [`Instance`](crate::instance::Instance) construction rejects more
+    /// than `u32::MAX` machines, so for indices produced by iterating
+    /// `0..instance.machines()` the saturating fallback is unreachable.
+    #[inline]
+    pub fn from_index(i: usize) -> MachineId {
+        MachineId(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 
@@ -100,5 +116,15 @@ mod tests {
         assert_eq!(JobId(3).to_string(), "j3");
         assert_eq!(MachineId(1).to_string(), "m1");
         assert_eq!(MachineId(2).index(), 2);
+    }
+
+    #[test]
+    fn machine_id_round_trips_through_index() {
+        for i in [0usize, 1, 7, usize::try_from(u32::MAX).unwrap()] {
+            assert_eq!(MachineId::from_index(i).index(), i);
+        }
+        // Out-of-range indices saturate rather than wrap; Instance
+        // construction makes them unreachable in real schedules.
+        assert_eq!(MachineId::from_index(usize::MAX), MachineId(u32::MAX));
     }
 }

@@ -18,6 +18,9 @@
 //! The `calib-difftest` binary drives all of it from the command line (and
 //! from CI); see `DIFFTEST.md` at the repository root.
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod gen;
 pub mod oracle;
 pub mod replay;

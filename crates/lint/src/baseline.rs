@@ -1,0 +1,287 @@
+//! The grandfathering ratchet.
+//!
+//! Existing violations are recorded in `results/lint_baseline.json` as
+//! per-rule, per-file counts. A lint run fails only when some `(rule, file)`
+//! pair exceeds its recorded count — so the gate is green over historical
+//! debt but trips the moment a change *adds* a violation anywhere. Counts
+//! may only shrink: after burning findings down, `--update-baseline`
+//! rewrites the file (and the diff shows the ratchet tightening).
+//!
+//! The file format is deliberately dumb JSON so diffs review well:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "rules": {
+//!     "narrowing-cast": { "crates/core/src/cost.rs": 3 }
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use calib_core::json::Json;
+
+use crate::rules::Finding;
+
+/// Current schema version of the baseline file.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Grandfathered violation counts: rule name → file → count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Nested counts; `BTreeMap` keeps the serialized form sorted so the
+    /// committed file is deterministic.
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Baseline capturing exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.rule.name().to_string())
+                .or_default()
+                .entry(f.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Grandfathered count for a `(rule, file)` pair (0 when absent).
+    pub fn count(&self, rule: &str, file: &str) -> u64 {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total grandfathered violations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|f| f.values()).sum()
+    }
+
+    /// Serializes to the committed JSON form (pretty, trailing newline).
+    pub fn render(&self) -> String {
+        let rules = Json::Obj(
+            self.counts
+                .iter()
+                .map(|(rule, files)| {
+                    let obj = Json::Obj(
+                        files
+                            .iter()
+                            .map(|(file, n)| (file.clone(), Json::UInt(u128::from(*n))))
+                            .collect(),
+                    );
+                    (rule.clone(), obj)
+                })
+                .collect(),
+        );
+        let doc = Json::Obj(vec![
+            (
+                "version".to_string(),
+                Json::UInt(u128::from(BASELINE_VERSION)),
+            ),
+            ("rules".to_string(), rules),
+        ]);
+        let mut out = doc.to_string_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Parses the committed JSON form.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline missing `version`")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline version {version} unsupported (expected {BASELINE_VERSION})"
+            ));
+        }
+        let Some(Json::Obj(rules)) = doc.get("rules") else {
+            return Err("baseline missing `rules` object".to_string());
+        };
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for (rule, files) in rules {
+            let Json::Obj(files) = files else {
+                return Err(format!("rule `{rule}` entry is not an object"));
+            };
+            let mut by_file = BTreeMap::new();
+            for (file, n) in files {
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("count for `{rule}` / `{file}` is not an integer"))?;
+                by_file.insert(file.clone(), n);
+            }
+            counts.insert(rule.clone(), by_file);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Reads a baseline file from disk.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Baseline::parse(&text)
+    }
+
+    /// Writes the baseline file to disk.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+    }
+}
+
+/// One `(rule, file)` pair whose count moved relative to the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Grandfathered count.
+    pub baseline: u64,
+    /// Count in the current run.
+    pub current: u64,
+}
+
+/// Outcome of checking a run against the ratchet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RatchetReport {
+    /// Pairs that *grew* — these fail the gate.
+    pub regressions: Vec<Delta>,
+    /// Pairs that shrank — the baseline can be ratcheted down.
+    pub improvements: Vec<Delta>,
+}
+
+impl RatchetReport {
+    /// Does the run pass the ratchet?
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current findings against the grandfathered counts.
+pub fn compare(baseline: &Baseline, findings: &[Finding]) -> RatchetReport {
+    let current = Baseline::from_findings(findings);
+    let mut report = RatchetReport::default();
+
+    // Pairs present now: regressions and partial improvements.
+    for (rule, files) in &current.counts {
+        for (file, &n) in files {
+            let base = baseline.count(rule, file);
+            let delta = Delta {
+                rule: rule.clone(),
+                file: file.clone(),
+                baseline: base,
+                current: n,
+            };
+            if n > base {
+                report.regressions.push(delta);
+            } else if n < base {
+                report.improvements.push(delta);
+            }
+        }
+    }
+    // Pairs fully fixed (present in baseline, absent now).
+    for (rule, files) in &baseline.counts {
+        for (file, &n) in files {
+            if n > 0 && current.count(rule, file) == 0 {
+                report.improvements.push(Delta {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    baseline: n,
+                    current: 0,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let findings = vec![
+            finding(RuleId::NarrowingCast, "crates/core/src/a.rs", 1),
+            finding(RuleId::NarrowingCast, "crates/core/src/a.rs", 9),
+            finding(RuleId::PanicFreedom, "crates/online/src/b.rs", 3),
+        ];
+        let base = Baseline::from_findings(&findings);
+        assert_eq!(base.count("narrowing-cast", "crates/core/src/a.rs"), 2);
+        assert_eq!(base.total(), 3);
+        let back = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(r#"{"version": 99, "rules": {}}"#).is_err());
+        assert!(Baseline::parse(r#"{"version": 1, "rules": {"x": 3}}"#).is_err());
+        assert!(Baseline::parse(r#"{"version": 1, "rules": {"x": {"f": "no"}}}"#).is_err());
+        // Empty-but-valid parses to an empty baseline.
+        let empty = Baseline::parse(r#"{"version": 1, "rules": {}}"#).unwrap();
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn ratchet_fails_only_on_growth() {
+        let base = Baseline::from_findings(&[
+            finding(RuleId::NarrowingCast, "a.rs", 1),
+            finding(RuleId::NarrowingCast, "a.rs", 2),
+            finding(RuleId::PanicFreedom, "b.rs", 1),
+        ]);
+        // Same counts: pass, no deltas.
+        let same = compare(
+            &base,
+            &[
+                finding(RuleId::NarrowingCast, "a.rs", 5),
+                finding(RuleId::NarrowingCast, "a.rs", 6),
+                finding(RuleId::PanicFreedom, "b.rs", 7),
+            ],
+        );
+        assert!(same.is_pass());
+        assert!(same.improvements.is_empty());
+
+        // One new finding in a fresh file: regression with baseline 0.
+        let grew = compare(&base, &[finding(RuleId::ExactArith, "c.rs", 1)]);
+        assert!(!grew.is_pass());
+        assert_eq!(grew.regressions[0].baseline, 0);
+        assert_eq!(grew.regressions[0].current, 1);
+        // ...and the untouched baseline entries count as improvements only
+        // because the findings list above omitted them entirely.
+        assert_eq!(grew.improvements.len(), 2);
+
+        // Shrinking is a pass plus an improvement note.
+        let shrank = compare(
+            &base,
+            &[
+                finding(RuleId::NarrowingCast, "a.rs", 5),
+                finding(RuleId::PanicFreedom, "b.rs", 7),
+            ],
+        );
+        assert!(shrank.is_pass());
+        assert_eq!(shrank.improvements.len(), 1);
+        assert_eq!(shrank.improvements[0].current, 1);
+    }
+}

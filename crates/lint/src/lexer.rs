@@ -1,0 +1,579 @@
+//! A minimal, hand-rolled Rust lexer — just enough syntax awareness for the
+//! rule engine to never be fooled by comments, strings, or character
+//! literals.
+//!
+//! The lexer does **not** attempt to be a full Rust front end. It produces a
+//! flat token stream with line numbers and handles exactly the constructs
+//! that would otherwise cause false positives or negatives in a text-level
+//! scan:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte/C strings, and raw strings
+//!   `r#"…"#` with any number of hashes;
+//! * character literals vs. lifetimes (`'a'` is a char, `'a` in `&'a T` is
+//!   a lifetime);
+//! * numeric literals, classifying *float* vs. *integer* — `1.5`, `1.`,
+//!   `1e3`, and `1f64` are floats; `1..2`, `0x1f`, and tuple indexing
+//!   `pair.0` are not;
+//! * raw identifiers (`r#match`) without confusing them with raw strings.
+//!
+//! Comments are kept in the stream (rules need them for the inline
+//! `// lint:allow(<rule>)` suppression marker); rules that inspect code
+//! simply skip [`TokenKind::Comment`].
+
+/// What a token is; the payload of interest lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `as`, `mod`, primitive type names).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading `'` included).
+    Lifetime,
+    /// Integer literal (decimal, hex, octal, binary; suffix included).
+    Int,
+    /// Float literal (`1.5`, `1.`, `1e3`, `2f64`; suffix included).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A comment (line or block, doc or plain), text included.
+    Comment,
+    /// Punctuation / operator. Multi-character operators that matter to the
+    /// rules (`>=`, `<=`, `==`, `!=`, `->`, `=>`, `::`, `..`, `/=`, `<<`,
+    /// `>>`) are single tokens; everything else is one character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Exact source text (slice of the input).
+    pub text: &'a str,
+    /// For single-character `<` / `>` [`TokenKind::Punct`] tokens: whether
+    /// the operator has whitespace on both sides in the source. The
+    /// threshold-division rule uses this to tell a comparison (`a < b`)
+    /// from a generic bracket (`Vec<T>`), which is never spaced in rustfmt
+    /// output.
+    pub spaced: bool,
+}
+
+/// Lexes `src` into a token stream. The lexer is total: unknown bytes become
+/// one-character [`TokenKind::Punct`] tokens rather than errors, so the rule
+/// engine can always run, even over code that does not compile.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump(); // `b` prefix of a byte literal
+                    self.char_or_lifetime();
+                    TokenKind::Char
+                }
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_literal() => {
+                    // `raw_or_prefixed_literal` consumed the token.
+                    out.push(self.token(TokenKind::Str, start, line));
+                    continue;
+                }
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ if b >= 0x80 => {
+                    // Non-ASCII: treat as identifier-ish (only appears in
+                    // comments/strings in this workspace anyway).
+                    self.bump();
+                    TokenKind::Punct
+                }
+                _ => self.punct(),
+            };
+            out.push(self.token(kind, start, line));
+        }
+        out
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32) -> Token<'a> {
+        let text = &self.src[start..self.pos];
+        let spaced = if kind == TokenKind::Punct && (text == "<" || text == ">") {
+            let before = start
+                .checked_sub(1)
+                .map(|i| self.bytes[i].is_ascii_whitespace())
+                .unwrap_or(true);
+            let after = self
+                .bytes
+                .get(self.pos)
+                .map(|b| b.is_ascii_whitespace())
+                .unwrap_or(true);
+            before && after
+        } else {
+            false
+        };
+        Token {
+            kind,
+            line,
+            text,
+            spaced,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::Comment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        TokenKind::Comment
+    }
+
+    /// Consumes a `"…"` string with escapes.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2.min(self.bytes.len() - self.pos)),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literal) from `'a` / `'static`
+    /// (lifetime). A `'` followed by an identifier char is a lifetime unless
+    /// the character after the (single) identifier char is another `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening `'`
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escape: definitely a char literal; consume to closing `'`.
+                self.bump_n(2.min(self.bytes.len() - self.pos));
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b) if b == b'_' || b.is_ascii_alphanumeric() => {
+                if self.peek(1) == Some(b'\'') {
+                    self.bump_n(2); // `x'`
+                    TokenKind::Char
+                } else {
+                    // Lifetime: consume identifier chars.
+                    while let Some(b) = self.peek(0) {
+                        if b == b'_' || b.is_ascii_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('` style: char literal with punctuation payload.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    /// Handles the `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"` and
+    /// raw-identifier (`r#match`) families. Returns `true` when it consumed
+    /// a *string* literal; returns `false` (consuming nothing) when the
+    /// lookahead is an ordinary identifier (or raw identifier / byte char),
+    /// which the caller then lexes via [`Lexer::ident`].
+    fn raw_or_prefixed_literal(&mut self) -> bool {
+        let Some(b0) = self.peek(0) else {
+            return false;
+        };
+        // Longest literal prefixes first: br/cr then r/b/c.
+        let (prefix_len, raw) = match (b0, self.peek(1)) {
+            (b'b' | b'c', Some(b'r')) => (2, true),
+            (b'r', _) => (1, true),
+            (b'b' | b'c', _) => (1, false),
+            _ => return false,
+        };
+        let mut i = prefix_len;
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(i) == Some(b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.peek(i) != Some(b'"') {
+                return false; // `r#ident` or plain ident starting with r
+            }
+        } else if self.peek(i) != Some(b'"') {
+            return false; // `b'x'`/ident — not a string
+        }
+        if hashes == 0 && !raw && prefix_len == 1 {
+            // b"…" / c"…": plain string body after the prefix.
+            self.bump_n(prefix_len);
+            self.string();
+            return true;
+        }
+        // Raw string (possibly with a b/c prefix): no escapes; terminated by
+        // `"` followed by `hashes` hash marks.
+        self.bump_n(i + 1); // prefix + hashes + opening quote
+        'scan: while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return true;
+            }
+            self.bump();
+        }
+        true // unterminated; tolerate
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: digits (any letter, to cover hex) + underscores.
+            self.bump_n(2);
+            while let Some(b) = self.peek(0) {
+                if b == b'_' || b.is_ascii_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Int;
+        }
+        self.digits();
+        // Fractional part: `.` followed by a digit, or a trailing `1.` that
+        // is not `1..` (range) and not `1.method()` / `1.e` (field/method).
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b'0'..=b'9') => {
+                    float = true;
+                    self.bump();
+                    self.digits();
+                }
+                Some(b'.') | Some(b'_' | b'a'..=b'z' | b'A'..=b'Z') => {}
+                _ => {
+                    float = true;
+                    self.bump(); // `1.` at end of expression
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, first_digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some(b'+' | b'-') => matches!(first_digit, Some(b'0'..=b'9')),
+                Some(b'0'..=b'9') => true,
+                _ => false,
+            };
+            if has_exp {
+                float = true;
+                self.bump(); // e
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                self.digits();
+            }
+        }
+        // Suffix (`u32`, `f64`, `_foo`): a float suffix forces Float.
+        let suffix_start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier prefix `r#` (raw strings were already ruled out).
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.bump_n(2);
+        }
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        const TWO: [&str; 11] = [
+            ">=", "<=", "==", "!=", "->", "=>", "::", "..", "/=", "<<", ">>",
+        ];
+        if let (Some(a), Some(b)) = (self.peek(0), self.peek(1)) {
+            let pair = [a, b];
+            if TWO.iter().any(|op| op.as_bytes() == pair) {
+                self.bump_n(2);
+                return TokenKind::Punct;
+            }
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    /// Code tokens only (comments skipped), as the rules see them.
+    fn code(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k != TokenKind::Comment)
+            .collect()
+    }
+
+    #[test]
+    fn floats_versus_ranges_and_fields() {
+        assert_eq!(
+            code("1.5 1. 1e3 2.5e-4 1f64 3f32"),
+            vec![
+                (TokenKind::Float, "1.5"),
+                (TokenKind::Float, "1."),
+                (TokenKind::Float, "1e3"),
+                (TokenKind::Float, "2.5e-4"),
+                (TokenKind::Float, "1f64"),
+                (TokenKind::Float, "3f32"),
+            ]
+        );
+        // Ranges, tuple indexing, radix literals, and suffixes stay integers.
+        assert_eq!(code("1..2")[0], (TokenKind::Int, "1"));
+        assert_eq!(code("0..=n")[0], (TokenKind::Int, "0"));
+        assert_eq!(code("pair.0")[2], (TokenKind::Int, "0"));
+        assert_eq!(
+            code("0x1f 0b10 0o17 10_000u64 7usize")
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Int)
+                .count(),
+            5
+        );
+        // `1.max(2)` is a method call on an integer, not a float.
+        assert_eq!(code("1.max(2)")[0], (TokenKind::Int, "1"));
+        // `0xE` must not be mistaken for an exponent form.
+        assert_eq!(
+            code("0xE1 0x1e3"),
+            vec![(TokenKind::Int, "0xE1"), (TokenKind::Int, "0x1e3")]
+        );
+    }
+
+    #[test]
+    fn floats_inside_strings_and_comments_do_not_tokenize_as_floats() {
+        let toks = lex("let s = \"pi is 3.14\"; // 2.71 here\n/* 1.5 */ let x = 2;");
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Float), "{toks:?}");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = code(r####"let s = r#"quote " and 1.5 inside"# ;"####);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert!(toks[3].1.starts_with("r#\""));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+        // Double-hash raw string containing `"#`.
+        let toks = code(r###"r##"body with "# inside"## "###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        // Byte and C strings.
+        assert_eq!(code(r##"b"bytes" c"cstr" br#"raw"#"##).len(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        assert_eq!(code("r#match")[0], (TokenKind::Ident, "r#match"));
+        assert_eq!(code("r = 1")[0], (TokenKind::Ident, "r"));
+        assert_eq!(code("b'x'")[0], (TokenKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner 1.5 */ still comment */ let x = 1;");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.ends_with("still comment */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "let"));
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        assert_eq!(
+            code("&'a str"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+            ]
+        );
+        assert_eq!(code("'x'")[0], (TokenKind::Char, "'x'"));
+        assert_eq!(code("'\\n'")[0], (TokenKind::Char, "'\\n'"));
+        assert_eq!(code("'\\u{1f}'")[0], (TokenKind::Char, "'\\u{1f}'"));
+        assert_eq!(code("'static")[0], (TokenKind::Lifetime, "'static"));
+        // A char literal containing a quote-adjacent letter.
+        assert_eq!(code("('a', 'b')")[1], (TokenKind::Char, "'a'"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = code(r#""a \" b" x"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+        // Block comments advance the line counter too.
+        let toks = lex("/* 1\n2\n3 */ x");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let ops = code("a >= b <= c -> d => e :: f /= g << h >> i .. j == k != l");
+        let puncts: Vec<&str> = ops
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![">=", "<=", "->", "=>", "::", "/=", "<<", ">>", "..", "==", "!="]
+        );
+    }
+
+    #[test]
+    fn spaced_flag_distinguishes_comparison_from_generics() {
+        let toks = lex("if a < b { Vec<u32> }");
+        let lt = toks.iter().find(|t| t.text == "<" && t.spaced);
+        assert!(lt.is_some(), "spaced `<` found");
+        let generic = toks
+            .iter()
+            .filter(|t| t.text == "<")
+            .filter(|t| !t.spaced)
+            .count();
+        assert_eq!(generic, 1);
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let toks = code("a / b // real comment");
+        assert_eq!(toks[1], (TokenKind::Punct, "/"));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lexer_is_total_on_garbage() {
+        // Unterminated constructs and stray bytes must not panic or loop.
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "1.", "@#$%"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # calib-lint
+//!
+//! A dependency-free invariant linter for the calibration-scheduling
+//! workspace. `rustc` and clippy cannot see the repo's own correctness
+//! contracts — DESIGN.md §1's *exact integer arithmetic* rule, the
+//! cast-safety discipline behind `i64` time / `u64` weight / `u128` cost,
+//! panic-freedom of library code, and the obs-layer I/O discipline — so this
+//! crate enforces them mechanically:
+//!
+//! * [`lexer`] — a hand-rolled, comment/string/raw-string/char-literal-aware
+//!   Rust lexer (in the house style of `calib_core::json`'s parser);
+//! * [`rules`] — the five invariants (`exact-arith`, `narrowing-cast`,
+//!   `panic-freedom`, `io-discipline`, `threshold-division`) with their
+//!   crate/file scoping and the inline `// lint:allow(<rule>)` marker;
+//! * [`baseline`] — the grandfathering ratchet backed by the committed
+//!   `results/lint_baseline.json` (counts may only shrink);
+//! * [`walk`] — convention-based workspace file discovery.
+//!
+//! The binary (`cargo run -p calib-lint`) exits 0 when the run is clean
+//! against the baseline, 1 when any new violation appears, and 2 on
+//! usage or I/O errors — mirroring `calib-difftest` so it slots directly
+//! into CI. See `LINT.md` at the repo root for the rule catalogue,
+//! scoping table, and ratchet workflow.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{compare, Baseline, Delta, RatchetReport};
+pub use rules::{lint_file, Finding, RuleId, SourceFile, ALL_RULES};
+pub use walk::{collect_workspace, WorkspaceFile};
+
+use std::path::Path;
+
+/// Lints every workspace source file under `root`, returning findings
+/// sorted by `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = collect_workspace(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(lint_file(&file.as_source()));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Unique scratch directory for tests.
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("calib-lint-{}-{tag}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

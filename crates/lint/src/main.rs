@@ -1,0 +1,203 @@
+//! CLI driver for the invariant linter.
+//!
+//! ```text
+//! cargo run -p calib-lint                      # gate against the baseline
+//! cargo run -p calib-lint -- --list            # print every finding
+//! cargo run -p calib-lint -- --update-baseline # ratchet the baseline
+//! ```
+//!
+//! Exit status: 0 = clean against the baseline, 1 = new violations (or any
+//! violation with `--no-baseline`), 2 = usage or I/O error — the same
+//! contract as `calib-difftest`, so CI can assert on exact codes.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use calib_lint::baseline::{compare, Baseline};
+use calib_lint::lint_workspace;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    no_baseline: bool,
+    list: bool,
+    quiet: bool,
+}
+
+/// The workspace root this binary was compiled in (crates/lint/../..).
+fn compiled_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            root: compiled_root(),
+            baseline: None,
+            update_baseline: false,
+            no_baseline: false,
+            list: false,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+calib-lint: workspace invariant linter (exact-arith, cast-safety, panic-freedom)
+
+USAGE:
+    calib-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>        workspace root to lint [default: this workspace]
+    --baseline <path>   ratchet file [default: <root>/results/lint_baseline.json]
+    --update-baseline   rewrite the baseline from the current findings
+    --no-baseline       ignore the baseline; any finding is fatal
+    --list              print every finding, grandfathered or not
+    --quiet             suppress the per-rule summary
+    --help              print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--update-baseline" => opts.update_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--list" => opts.list = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        let mut per_rule: Vec<(&str, usize)> = calib_lint::ALL_RULES
+            .iter()
+            .map(|r| (r.name(), findings.iter().filter(|f| f.rule == *r).count()))
+            .collect();
+        per_rule.retain(|(_, n)| *n > 0);
+        let summary: Vec<String> = per_rule
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect();
+        println!(
+            "calib-lint: {} finding(s) in {} [{}]",
+            findings.len(),
+            opts.root.display(),
+            summary.join(", ")
+        );
+    }
+    if opts.list {
+        for f in &findings {
+            println!("  {f}");
+        }
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("results/lint_baseline.json"));
+
+    if opts.update_baseline {
+        let base = Baseline::from_findings(&findings);
+        if let Err(e) = base.save(&baseline_path) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            base.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.no_baseline {
+        if findings.is_empty() {
+            println!("OK: no findings");
+            return ExitCode::SUCCESS;
+        }
+        if !opts.list {
+            for f in &findings {
+                println!("  {f}");
+            }
+        }
+        eprintln!("{} finding(s) with --no-baseline", findings.len());
+        return ExitCode::FAILURE;
+    }
+
+    let base = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("hint: run with --update-baseline to create it");
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare(&base, &findings);
+
+    for d in &report.improvements {
+        println!(
+            "  improved: [{}] {} {} -> {} (run --update-baseline to ratchet)",
+            d.rule, d.file, d.baseline, d.current
+        );
+    }
+    if report.is_pass() {
+        println!("OK: no new violations ({} grandfathered)", base.total());
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &report.regressions {
+        println!(
+            "NEW VIOLATIONS: [{}] {}: baseline {}, now {}",
+            d.rule, d.file, d.baseline, d.current
+        );
+        for f in findings
+            .iter()
+            .filter(|f| f.rule.name() == d.rule && f.file == d.file)
+        {
+            println!("    {f}");
+        }
+    }
+    eprintln!(
+        "{} (rule, file) pair(s) exceed the baseline — fix the new violations \
+         or (if intentional and reviewed) run --update-baseline",
+        report.regressions.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,621 @@
+//! The rule engine: repo-specific invariants checked over the token stream.
+//!
+//! Each rule has a stable kebab-case name (used in the baseline file, in CLI
+//! output, and in inline suppression markers) and a scope: which crates it
+//! applies to, whether test code is inspected, and which files are exempt by
+//! contract. The scoping table is documented in `LINT.md` at the repo root.
+//!
+//! Suppression: a comment containing `lint:allow(<rule>[, <rule>…])`
+//! silences those rules on the comment's own line **and the line after it**,
+//! so both trailing markers and markers placed above a statement work.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The five enforced invariants. See `LINT.md` for the full catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// L1: no floats (types, literals, casts) in the algorithm crates.
+    ExactArith,
+    /// L2: no integer `as` casts in the algorithm crates; use
+    /// `From`/`try_from` so narrowing is impossible or explicit.
+    NarrowingCast,
+    /// L3: no `unwrap()`/`expect(`/`panic!`/`todo!` in non-test library code.
+    PanicFreedom,
+    /// L4: no `println!`-family output in library code; use the obs layer.
+    IoDiscipline,
+    /// L5: no bare integer `/` in threshold comparisons of algorithm
+    /// crates; route through `ge_ratio`/`lt_ratio` (`calib_core::types`).
+    ThresholdDivision,
+}
+
+/// Every rule, in catalogue (L1..L5) order.
+pub const ALL_RULES: [RuleId; 5] = [
+    RuleId::ExactArith,
+    RuleId::NarrowingCast,
+    RuleId::PanicFreedom,
+    RuleId::IoDiscipline,
+    RuleId::ThresholdDivision,
+];
+
+impl RuleId {
+    /// Stable kebab-case name (baseline key, CLI output, allow markers).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ExactArith => "exact-arith",
+            RuleId::NarrowingCast => "narrowing-cast",
+            RuleId::PanicFreedom => "panic-freedom",
+            RuleId::IoDiscipline => "io-discipline",
+            RuleId::ThresholdDivision => "threshold-division",
+        }
+    }
+
+    /// Inverse of [`RuleId::name`].
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a file participates in the build — decides test/bin scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` modules). Fully in scope.
+    Lib,
+    /// Binary targets (`src/bin/`, `src/main.rs`). CLIs may print and
+    /// `unwrap`; exempt from L3/L4/L5.
+    Bin,
+    /// Integration test files (`tests/`). Treated as test code throughout.
+    Test,
+    /// Bench sources (`benches/`). Treated like test code.
+    Bench,
+    /// Examples (`examples/`). Treated like test code.
+    Example,
+}
+
+impl FileKind {
+    fn is_test_like(self) -> bool {
+        matches!(self, FileKind::Test | FileKind::Bench | FileKind::Example)
+    }
+}
+
+/// One source file plus the workspace context the scoping rules need.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceFile<'a> {
+    /// Crate directory name under `crates/` (`core`, `online`, …) or
+    /// `root` for the meta-crate's own `src/`/`tests/`/`examples/`.
+    pub crate_name: &'a str,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: &'a str,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// Full source text.
+    pub src: &'a str,
+}
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant was violated.
+    pub rule: RuleId,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description, including the offending token.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Crates whose scheduling arithmetic must stay exact (L1/L2/L5 scope).
+const ALGORITHM_CRATES: [&str; 3] = ["core", "online", "offline"];
+
+/// Crates whose *library* code must be panic-free and probe-routed
+/// (L3/L4 scope). The `rand`/`proptest` shims and the `bench`/`difftest`
+/// harnesses are out: panicking is part of their test-infrastructure
+/// contract.
+const LIBRARY_CRATES: [&str; 8] = [
+    "core",
+    "online",
+    "offline",
+    "lp",
+    "workloads",
+    "sim",
+    "lint",
+    "root",
+];
+
+/// Files exempt from L1/L5 *by contract* — modules whose purpose is
+/// float-bearing (serialization, wall-clock reporting, sampling), not
+/// scheduling arithmetic. Justifications live in LINT.md's scoping table;
+/// everything else in an algorithm crate is enforced with no grandfathering.
+const FLOAT_CONTRACT_FILES: [&str; 5] = [
+    "crates/core/src/json.rs",         // Json::Float is part of the format
+    "crates/core/src/analysis.rs",     // derived reporting metrics
+    "crates/online/src/adversary.rs",  // competitive-ratio reporting
+    "crates/online/src/tunable.rs",    // threshold display helpers
+    "crates/online/src/randomized.rs", // e-based sampling defines the algorithm
+];
+
+/// Directories exempt from L1/L5 by contract (prefix match).
+const FLOAT_CONTRACT_DIRS: [&str; 1] = [
+    "crates/core/src/obs/", // wall-clock span timers report seconds
+];
+
+/// Integer-typed `as` targets L2 fires on, including the workspace's own
+/// scalar aliases from `calib_core::types`.
+const INT_CAST_TARGETS: [&str; 15] = [
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "Time",
+    "Weight", "Cost",
+];
+
+fn in_float_contract(rel_path: &str) -> bool {
+    FLOAT_CONTRACT_FILES.contains(&rel_path)
+        || FLOAT_CONTRACT_DIRS.iter().any(|d| rel_path.starts_with(d))
+}
+
+/// Does `rule` inspect this file at all (ignoring test-region scoping)?
+pub fn rule_applies(rule: RuleId, file: &SourceFile<'_>) -> bool {
+    match rule {
+        RuleId::ExactArith | RuleId::ThresholdDivision => {
+            ALGORITHM_CRATES.contains(&file.crate_name)
+                && !in_float_contract(file.rel_path)
+                && file.kind == FileKind::Lib
+        }
+        RuleId::NarrowingCast => {
+            // Casts are dangerous in tests too (a truncated expected value
+            // silently weakens the test), so L2 covers every file of the
+            // algorithm crates, bins and tests included.
+            ALGORITHM_CRATES.contains(&file.crate_name)
+        }
+        RuleId::PanicFreedom | RuleId::IoDiscipline => {
+            LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
+        }
+    }
+}
+
+/// Lints one file, returning findings sorted by line.
+pub fn lint_file(file: &SourceFile<'_>) -> Vec<Finding> {
+    let tokens = lex(file.src);
+    let allows = allow_markers(&tokens);
+    let test_mask = test_region_mask(&tokens);
+    // Code view: indices of non-comment tokens.
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::Comment)
+        .collect();
+
+    let mut findings = Vec::new();
+    for rule in ALL_RULES {
+        if !rule_applies(rule, file) {
+            continue;
+        }
+        check_rule(rule, file, &tokens, &code, &test_mask, &mut findings);
+    }
+    findings.retain(|f| {
+        !allows
+            .iter()
+            .any(|(line, rule)| *rule == f.rule && (f.line == *line || f.line == *line + 1))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+fn check_rule(
+    rule: RuleId,
+    file: &SourceFile<'_>,
+    tokens: &[Token<'_>],
+    code: &[usize],
+    test_mask: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    // L1 and L2 inspect test code too; L3/L4/L5 only non-test code.
+    let skip_tests = matches!(
+        rule,
+        RuleId::PanicFreedom | RuleId::IoDiscipline | RuleId::ThresholdDivision
+    );
+    let in_scope = |ci: usize| -> bool {
+        let i = code[ci];
+        !(skip_tests && (test_mask[i] || file.kind.is_test_like()))
+    };
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            rule,
+            file: file.rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    match rule {
+        RuleId::ExactArith => {
+            for (ci, &i) in code.iter().enumerate() {
+                if !in_scope(ci) {
+                    continue;
+                }
+                let t = &tokens[i];
+                match t.kind {
+                    TokenKind::Float => {
+                        push(t.line, format!("float literal `{}`", t.text));
+                    }
+                    TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                        push(t.line, format!("floating-point type `{}`", t.text));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        RuleId::NarrowingCast => {
+            for (ci, win) in code.windows(2).enumerate() {
+                if !in_scope(ci) {
+                    continue;
+                }
+                let (a, b) = (&tokens[win[0]], &tokens[win[1]]);
+                if a.kind == TokenKind::Ident
+                    && a.text == "as"
+                    && b.kind == TokenKind::Ident
+                    && INT_CAST_TARGETS.contains(&b.text)
+                {
+                    push(
+                        a.line,
+                        format!(
+                            "`as {}` cast — use `{}::try_from` (or `From` when widening)",
+                            b.text, b.text
+                        ),
+                    );
+                }
+            }
+        }
+        RuleId::PanicFreedom => {
+            for (ci, win) in code.windows(3).enumerate() {
+                if !in_scope(ci) {
+                    continue;
+                }
+                let (a, b, c) = (&tokens[win[0]], &tokens[win[1]], &tokens[win[2]]);
+                // `.unwrap(` / `.expect(`
+                if a.text == "."
+                    && b.kind == TokenKind::Ident
+                    && (b.text == "unwrap" || b.text == "expect")
+                    && c.text == "("
+                {
+                    push(
+                        b.line,
+                        format!(
+                            "`.{}()` in library code — return an error or restructure",
+                            b.text
+                        ),
+                    );
+                }
+                // `panic!` / `todo!`
+                if a.kind == TokenKind::Ident
+                    && (a.text == "panic" || a.text == "todo")
+                    && b.text == "!"
+                    && c.text == "("
+                {
+                    push(a.line, format!("`{}!` in library code", a.text));
+                }
+            }
+        }
+        RuleId::IoDiscipline => {
+            const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+            for (ci, win) in code.windows(2).enumerate() {
+                if !in_scope(ci) {
+                    continue;
+                }
+                let (a, b) = (&tokens[win[0]], &tokens[win[1]]);
+                if a.kind == TokenKind::Ident && PRINT_MACROS.contains(&a.text) && b.text == "!" {
+                    push(
+                        a.line,
+                        format!(
+                            "`{}!` in library code — route output through the obs probe layer",
+                            a.text
+                        ),
+                    );
+                }
+            }
+        }
+        RuleId::ThresholdDivision => {
+            // A line with both a comparison operator and a `/` division is a
+            // threshold computed by division; the paper's thresholds must be
+            // cross-multiplied instead (`|Q| * T >= G`, not `|Q| >= G / T`).
+            let mut compare_lines: Vec<u32> = Vec::new();
+            for &i in code {
+                let t = &tokens[i];
+                if t.kind == TokenKind::Punct
+                    && (t.text == ">="
+                        || t.text == "<="
+                        || ((t.text == "<" || t.text == ">") && t.spaced))
+                {
+                    compare_lines.push(t.line);
+                }
+            }
+            for (ci, &i) in code.iter().enumerate() {
+                if !in_scope(ci) {
+                    continue;
+                }
+                let t = &tokens[i];
+                if t.kind == TokenKind::Punct && t.text == "/" && compare_lines.contains(&t.line) {
+                    push(
+                        t.line,
+                        "`/` on a comparison line — use ge_ratio/lt_ratio from calib_core::types"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Collects `lint:allow(<rule>…)` markers: `(comment line, rule)` pairs.
+fn allow_markers(tokens: &[Token<'_>]) -> Vec<(u32, RuleId)> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(idx) = t.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &t.text[idx + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            continue;
+        };
+        for name in rest[..end].split(',') {
+            if let Some(rule) = RuleId::from_name(name.trim()) {
+                out.push((t.line, rule));
+            }
+        }
+    }
+    out
+}
+
+/// Marks the token ranges of `#[cfg(test)]` items (`mod tests { … }`,
+/// functions, `use` declarations). Returns one flag per token.
+fn test_region_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::Comment)
+        .collect();
+    let text = |ci: usize| code.get(ci).map(|&i| tokens[i].text).unwrap_or("");
+
+    let mut ci = 0;
+    while ci < code.len() {
+        // Match the exact house form `#[cfg(test)]`.
+        if text(ci) == "#"
+            && text(ci + 1) == "["
+            && text(ci + 2) == "cfg"
+            && text(ci + 3) == "("
+            && text(ci + 4) == "test"
+            && text(ci + 5) == ")"
+            && text(ci + 6) == "]"
+        {
+            let start = code[ci];
+            let mut j = ci + 7;
+            // Skip any further attributes on the same item.
+            while text(j) == "#" && text(j + 1) == "[" {
+                j += 2;
+                let mut depth = 1usize;
+                while j < code.len() && depth > 0 {
+                    match text(j) {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // The item body: up to the first `;` (e.g. `use`), or the
+            // matching `}` of the first `{`.
+            while j < code.len() && text(j) != "{" && text(j) != ";" {
+                j += 1;
+            }
+            if text(j) == "{" {
+                let mut depth = 0usize;
+                while j < code.len() {
+                    match text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let end = code.get(j).copied().unwrap_or(tokens.len() - 1);
+            for flag in mask.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            ci = j + 1;
+        } else {
+            ci += 1;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file<'a>(crate_name: &'a str, rel: &'a str, src: &'a str) -> SourceFile<'a> {
+        SourceFile {
+            crate_name,
+            rel_path: rel,
+            kind: FileKind::Lib,
+            src,
+        }
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<RuleId> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn exact_arith_fires_on_floats_in_algorithm_crates_only() {
+        let src = "fn f() -> f64 { 1.5 }";
+        let in_core = lint_file(&lib_file("core", "crates/core/src/x.rs", src));
+        assert!(rules_of(&in_core).contains(&RuleId::ExactArith));
+        // Two findings: the `f64` type and the `1.5` literal.
+        assert_eq!(
+            in_core
+                .iter()
+                .filter(|f| f.rule == RuleId::ExactArith)
+                .count(),
+            2
+        );
+        // Same code in the LP crate is fine (floats are its job).
+        let in_lp = lint_file(&lib_file("lp", "crates/lp/src/x.rs", src));
+        assert!(!rules_of(&in_lp).contains(&RuleId::ExactArith));
+    }
+
+    #[test]
+    fn exact_arith_ignores_floats_in_strings_comments_and_contract_files() {
+        let src = "const MSG: &str = \"ratio 1.5\"; // about 2.5\n/* 3.5 */";
+        assert!(lint_file(&lib_file("core", "crates/core/src/x.rs", src)).is_empty());
+        let float = "pub fn seconds() -> f64 { 0.5 }";
+        assert!(lint_file(&lib_file("core", "crates/core/src/obs/span.rs", float)).is_empty());
+        assert!(lint_file(&lib_file("core", "crates/core/src/json.rs", float)).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_fires_on_integer_as_casts() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }";
+        let fs = lint_file(&lib_file("online", "crates/online/src/x.rs", src));
+        assert_eq!(rules_of(&fs), vec![RuleId::NarrowingCast]);
+        assert!(fs[0].message.contains("`as u32`"));
+        // Workspace aliases count as integer targets too.
+        let src = "fn f(x: u64) -> i64 { x as Time }";
+        let fs = lint_file(&lib_file("core", "crates/core/src/x.rs", src));
+        assert_eq!(rules_of(&fs), vec![RuleId::NarrowingCast]);
+        // `use x as y` renames are not casts.
+        let src = "use std::fmt as formatting;";
+        assert!(lint_file(&lib_file("core", "crates/core/src/x.rs", src)).is_empty());
+        // L2 applies inside test modules as well.
+        let src = "#[cfg(test)]\nmod tests { fn g(x: i64) -> u32 { x as u32 } }";
+        let fs = lint_file(&lib_file("core", "crates/core/src/x.rs", src));
+        assert_eq!(rules_of(&fs), vec![RuleId::NarrowingCast]);
+    }
+
+    #[test]
+    fn panic_freedom_fires_in_lib_code_but_not_tests_or_bins() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"no\"); todo!() }";
+        let fs = lint_file(&lib_file("offline", "crates/offline/src/x.rs", src));
+        // unwrap + expect + panic!; `todo!()` without args still matches.
+        assert_eq!(
+            fs.iter().filter(|f| f.rule == RuleId::PanicFreedom).count(),
+            4
+        );
+        // Same code in a test module is fine.
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); panic!(\"no\") } }";
+        assert!(lint_file(&lib_file("offline", "crates/offline/src/x.rs", test_src)).is_empty());
+        // Bins may unwrap.
+        let bin = SourceFile {
+            crate_name: "offline",
+            rel_path: "crates/offline/src/bin/tool.rs",
+            kind: FileKind::Bin,
+            src,
+        };
+        assert!(lint_file(&bin).is_empty());
+        // `unwrap_or` / `unwrap_or_else` are the *sanctioned* forms.
+        let ok = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }";
+        assert!(lint_file(&lib_file("offline", "crates/offline/src/x.rs", ok)).is_empty());
+    }
+
+    #[test]
+    fn io_discipline_fires_on_print_macros_in_lib_code() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(z); }";
+        let fs = lint_file(&lib_file("sim", "crates/sim/src/x.rs", src));
+        assert_eq!(
+            fs.iter().filter(|f| f.rule == RuleId::IoDiscipline).count(),
+            3
+        );
+        // `writeln!` into a fmt::Formatter is fine.
+        let ok = "fn f() { writeln!(f, \"x\")?; }";
+        assert!(lint_file(&lib_file("sim", "crates/sim/src/x.rs", ok)).is_empty());
+        // println! in a doc comment (rendered example) does not fire.
+        let doc = "//! println!(\"{}\", table.render());";
+        assert!(lint_file(&lib_file("sim", "crates/sim/src/lib.rs", doc)).is_empty());
+    }
+
+    #[test]
+    fn threshold_division_fires_only_on_comparison_lines() {
+        let bad = "fn f(q: u128, g: u128, t: u128) -> bool { q >= g / t }";
+        let fs = lint_file(&lib_file("online", "crates/online/src/x.rs", bad));
+        assert!(rules_of(&fs).contains(&RuleId::ThresholdDivision));
+        // Plain division with no comparison on the line is allowed (e.g.
+        // computing a midpoint), as is cross-multiplied form.
+        let ok = "fn f(a: u128, b: u128) -> u128 { a / b }";
+        assert!(lint_file(&lib_file("online", "crates/online/src/x.rs", ok)).is_empty());
+        let ok = "fn f(q: u128, g: u128, t: u128) -> bool { q * t >= g }";
+        assert!(lint_file(&lib_file("online", "crates/online/src/x.rs", ok)).is_empty());
+        // Generics on the same line are not comparisons.
+        let ok = "fn f(xs: Vec<u128>, n: u128) -> u128 { xs[0] / n }";
+        assert!(lint_file(&lib_file("online", "crates/online/src/x.rs", ok)).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_its_line_and_the_next() {
+        let trailing = "fn f(x: usize) -> u32 { x as u32 } // lint:allow(narrowing-cast)";
+        assert!(lint_file(&lib_file("core", "crates/core/src/x.rs", trailing)).is_empty());
+        let above = "// lint:allow(narrowing-cast)\nfn f(x: usize) -> u32 { x as u32 }";
+        assert!(lint_file(&lib_file("core", "crates/core/src/x.rs", above)).is_empty());
+        // The marker only silences the named rule.
+        let other = "// lint:allow(panic-freedom)\nfn f(x: usize) -> u32 { x as u32 }";
+        assert_eq!(
+            rules_of(&lint_file(&lib_file("core", "crates/core/src/x.rs", other))),
+            vec![RuleId::NarrowingCast]
+        );
+        // Multiple rules in one marker.
+        let multi = "fn f(x: usize) { x.unwrap(); let _ = x as u32; } // lint:allow(narrowing-cast, panic-freedom)";
+        assert!(lint_file(&lib_file("core", "crates/core/src/x.rs", multi)).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_detection_handles_nested_braces() {
+        let src = "\
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { if a { b.unwrap() } else { c.unwrap() } }
+    mod nested { fn g() { d.unwrap(); } }
+}
+fn more_lib_code() { y.unwrap(); }
+";
+        let fs = lint_file(&lib_file("core", "crates/core/src/x.rs", src));
+        let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(
+            lines,
+            vec![1, 7],
+            "only the two lib-code unwraps fire: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn findings_render_with_path_line_and_rule() {
+        let src = "fn f() { q.unwrap(); }";
+        let fs = lint_file(&lib_file("core", "crates/core/src/x.rs", src));
+        assert_eq!(
+            fs[0].to_string(),
+            "crates/core/src/x.rs:1: [panic-freedom] `.unwrap()` in library code — return an error or restructure"
+        );
+    }
+}

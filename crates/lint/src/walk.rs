@@ -1,0 +1,191 @@
+//! Workspace file discovery.
+//!
+//! The walker does not parse `Cargo.toml`; the workspace follows fixed
+//! cargo conventions, so source roots are enumerated directly:
+//!
+//! * `crates/<name>/{src,tests,benches,examples}/**/*.rs` → crate `<name>`;
+//! * `src/**/*.rs`, `tests/**/*.rs`, `examples/**/*.rs` → the root
+//!   meta-crate, named `root` for scoping purposes.
+//!
+//! File kinds are inferred from the path: `tests/`/`benches/`/`examples/`
+//! trees and `src/bin/` + `src/main.rs` targets are distinguished from
+//! ordinary library modules — see [`FileKind`].
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{FileKind, SourceFile};
+
+/// A discovered source file with its contents loaded.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`core`, `online`, …) or `root`.
+    pub crate_name: String,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// File contents.
+    pub src: String,
+}
+
+impl WorkspaceFile {
+    /// Borrowed view for the rule engine.
+    pub fn as_source(&self) -> SourceFile<'_> {
+        SourceFile {
+            crate_name: &self.crate_name,
+            rel_path: &self.rel,
+            kind: self.kind,
+            src: &self.src,
+        }
+    }
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted by relative
+/// path so runs are deterministic.
+pub fn collect_workspace(root: &Path) -> Result<Vec<WorkspaceFile>, String> {
+    let mut files = Vec::new();
+
+    for top in ["src", "tests", "examples"] {
+        collect_tree(root, &root.join(top), "root", &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+            if entry.path().is_dir() {
+                crate_dirs.push(entry.path());
+            }
+        }
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| format!("non-UTF-8 crate dir {}", dir.display()))?
+                .to_string();
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect_tree(root, &dir.join(sub), &name, &mut files)?;
+            }
+        }
+    }
+
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir` (skipped when absent).
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<WorkspaceFile>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_tree(root, &path, crate_name, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the root", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push(WorkspaceFile {
+                kind: classify(&rel),
+                rel,
+                crate_name: crate_name.to_string(),
+                src,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Build role from the workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    let has = |seg: &str| rel.starts_with(&seg[1..]) || rel.contains(seg);
+    if has("/tests/") {
+        FileKind::Test
+    } else if has("/benches/") {
+        FileKind::Bench
+    } else if has("/examples/") {
+        FileKind::Example
+    } else if has("/src/bin/") || rel.ends_with("/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_cargo_conventions() {
+        assert_eq!(classify("crates/core/src/assign.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/core/src/obs/span.rs"), FileKind::Lib);
+        assert_eq!(
+            classify("crates/bench/src/bin/e1_alg1_ratio.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("crates/difftest/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("src/bin/calib.rs"), FileKind::Bin);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::Test);
+        assert_eq!(classify("crates/lint/tests/fixtures.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/probe_overhead.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("examples/trace_dump.rs"), FileKind::Example);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn walks_a_synthetic_tree() {
+        let dir = crate::test_dir("walk");
+        let mk = |rel: &str, body: &str| {
+            let p = dir.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, body).unwrap();
+        };
+        mk("src/lib.rs", "pub fn root() {}");
+        mk("crates/core/src/lib.rs", "pub fn core() {}");
+        mk("crates/core/src/obs/span.rs", "pub fn span() {}");
+        mk("crates/core/tests/it.rs", "#[test] fn t() {}");
+        mk("crates/core/src/notes.txt", "not rust");
+
+        let files = collect_workspace(&dir).unwrap();
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(
+            rels,
+            vec![
+                "crates/core/src/lib.rs",
+                "crates/core/src/obs/span.rs",
+                "crates/core/tests/it.rs",
+                "src/lib.rs",
+            ]
+        );
+        assert_eq!(files[0].crate_name, "core");
+        assert_eq!(files[2].kind, FileKind::Test);
+        assert_eq!(files[3].crate_name, "root");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

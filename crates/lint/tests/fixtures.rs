@@ -1,0 +1,332 @@
+//! Per-rule fixture tests plus an end-to-end walker/ratchet scenario.
+//!
+//! Each fixture is a small Rust snippet embedded as a string literal with a
+//! *known* set of violations; the tests pin down exactly which lines fire
+//! and — just as importantly — which look-alikes (comments, strings, test
+//! regions, exempt file kinds) stay silent.
+
+use std::path::PathBuf;
+
+use calib_lint::rules::FileKind;
+use calib_lint::{compare, lint_file, lint_workspace, Baseline, Finding, RuleId, SourceFile};
+
+/// Unique scratch directory (integration tests cannot see the crate-private
+/// helper, so this is a standalone copy).
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("calib-lint-it-{}-{tag}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn core_lib(src: &str) -> Vec<Finding> {
+    lint_file(&SourceFile {
+        crate_name: "core",
+        rel_path: "crates/core/src/fixture.rs",
+        kind: FileKind::Lib,
+        src,
+    })
+}
+
+fn lines_of(findings: &[Finding], rule: RuleId) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- L1
+
+#[test]
+fn l1_flags_float_types_literals_and_casts() {
+    let src = "pub fn bad(x: i64) -> f64 {\n\
+               let a: f32 = 1.5;\n\
+               let b = 2e3;\n\
+               let c = x as f64;\n\
+               let ok = 1 + 2;\n\
+               (a as f64) + b + c\n\
+               }\n";
+    let findings = core_lib(src);
+    // line 1: f64 type; line 2: f32 + float literal; line 3: float literal;
+    // line 4: `as f64`; line 6: `as f64` again.
+    let l1 = lines_of(&findings, RuleId::ExactArith);
+    assert_eq!(l1, vec![1, 2, 2, 3, 4, 6]);
+}
+
+#[test]
+fn l1_ignores_comments_strings_and_exempt_files() {
+    let src = "// f64 would overflow 1.5 here\n\
+               /* block: as f64 */\n\
+               pub const NOTE: &str = \"uses f64 internally: 2.5\";\n\
+               pub const RAW: &str = r#\"float 1.0\"#;\n";
+    assert!(core_lib(src).is_empty());
+
+    // The same float-bearing code inside a float-contract file is exempt.
+    let bad = "pub fn secs() -> f64 { 0.5 }\n";
+    let findings = lint_file(&SourceFile {
+        crate_name: "core",
+        rel_path: "crates/core/src/json.rs",
+        kind: FileKind::Lib,
+        src: bad,
+    });
+    assert!(findings.is_empty());
+    // ...and outside the algorithm crates entirely.
+    let findings = lint_file(&SourceFile {
+        crate_name: "sim",
+        rel_path: "crates/sim/src/fixture.rs",
+        kind: FileKind::Lib,
+        src: bad,
+    });
+    assert!(lines_of(&findings, RuleId::ExactArith).is_empty());
+}
+
+#[test]
+fn l1_distinguishes_floats_from_integer_lookalikes() {
+    // Ranges, hex digits, tuple indexing, and method calls on ints all
+    // contain `.`/`e` shapes that a naive scanner would misread as floats.
+    let src = "pub fn f(p: (i64, i64)) -> i64 {\n\
+               let r = 0..2;\n\
+               let h = 0x1e3;\n\
+               let m = 1i64.max(2);\n\
+               p.0 + h + m + r.end\n\
+               }\n";
+    assert!(core_lib(src).is_empty());
+}
+
+// ---------------------------------------------------------------- L2
+
+#[test]
+fn l2_flags_integer_casts_including_workspace_aliases() {
+    let src = "pub fn f(x: u64, t: i64) -> u128 {\n\
+               let a = x as u32;\n\
+               let b = t as Time;\n\
+               let c = x as Cost;\n\
+               let ok = u128::from(x);\n\
+               u128::from(a) + b as u128 + c + ok\n\
+               }\n";
+    let l2 = lines_of(&core_lib(src), RuleId::NarrowingCast);
+    assert_eq!(l2, vec![2, 3, 4, 6]);
+}
+
+#[test]
+fn l2_applies_to_tests_and_bins_of_algorithm_crates_only() {
+    let src = "fn main() { let x = 3usize as u64; let _ = x; }\n";
+    // Bin inside an algorithm crate: still flagged.
+    let findings = lint_file(&SourceFile {
+        crate_name: "core",
+        rel_path: "crates/core/src/bin/tool.rs",
+        kind: FileKind::Bin,
+        src,
+    });
+    assert_eq!(lines_of(&findings, RuleId::NarrowingCast), vec![1]);
+    // Same code in a non-algorithm crate: out of scope.
+    let findings = lint_file(&SourceFile {
+        crate_name: "bench",
+        rel_path: "crates/bench/src/bin/tool.rs",
+        kind: FileKind::Bin,
+        src,
+    });
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn l2_ignores_as_in_identifiers_and_paths() {
+    let src = "pub fn f(v: &[u8]) -> &[u8] {\n\
+               let r = v.as_ref();\n\
+               r\n\
+               }\n";
+    assert!(core_lib(src).is_empty());
+}
+
+// ---------------------------------------------------------------- L3
+
+#[test]
+fn l3_flags_panics_outside_test_regions() {
+    let src = "pub fn f(v: Option<i64>) -> i64 {\n\
+               let a = v.unwrap();\n\
+               let b = v.expect(\"present\");\n\
+               if a != b { panic!(\"mismatch\"); }\n\
+               todo!()\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               #[test]\n\
+               fn t() { Some(1).unwrap(); }\n\
+               }\n";
+    let l3 = lines_of(&core_lib(src), RuleId::PanicFreedom);
+    assert_eq!(l3, vec![2, 3, 4, 5]);
+}
+
+#[test]
+fn l3_exempts_bins_tests_and_harness_crates() {
+    let src = "pub fn f() { Option::<i64>::None.unwrap(); }\n";
+    for (crate_name, rel, kind) in [
+        ("core", "crates/core/src/main.rs", FileKind::Bin),
+        ("core", "crates/core/tests/it.rs", FileKind::Test),
+        ("difftest", "crates/difftest/src/lib.rs", FileKind::Lib),
+        ("bench", "crates/bench/src/lib.rs", FileKind::Lib),
+    ] {
+        let findings = lint_file(&SourceFile {
+            crate_name,
+            rel_path: rel,
+            kind,
+            src,
+        });
+        assert!(
+            lines_of(&findings, RuleId::PanicFreedom).is_empty(),
+            "unexpected L3 finding in {rel}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- L4
+
+#[test]
+fn l4_flags_direct_output_in_library_code() {
+    let src = "pub fn f(x: i64) {\n\
+               println!(\"x = {x}\");\n\
+               eprintln!(\"warn\");\n\
+               let _ = dbg!(x);\n\
+               }\n";
+    let l4 = lines_of(&core_lib(src), RuleId::IoDiscipline);
+    assert_eq!(l4, vec![2, 3, 4]);
+}
+
+#[test]
+fn l4_allows_output_in_bins_and_write_macros_everywhere() {
+    let bin = "fn main() { println!(\"report\"); }\n";
+    let findings = lint_file(&SourceFile {
+        crate_name: "core",
+        rel_path: "crates/core/src/main.rs",
+        kind: FileKind::Bin,
+        src: bin,
+    });
+    assert!(findings.is_empty());
+
+    // `write!`/`writeln!` to an explicit sink are the sanctioned form.
+    let lib = "use std::fmt::Write;\n\
+               pub fn render(out: &mut String) {\n\
+               writeln!(out, \"ok\").ok();\n\
+               }\n";
+    assert!(lines_of(&core_lib(lib), RuleId::IoDiscipline).is_empty());
+}
+
+// ---------------------------------------------------------------- L5
+
+#[test]
+fn l5_flags_division_in_threshold_comparisons() {
+    let src = "pub fn f(q: u128, g: u128, t: u128) -> bool {\n\
+               let a = q >= g / t;\n\
+               let b = q * t >= g;\n\
+               let c = q < g / 2;\n\
+               a && b && c\n\
+               }\n";
+    let l5 = lines_of(&core_lib(src), RuleId::ThresholdDivision);
+    assert_eq!(l5, vec![2, 4]);
+}
+
+#[test]
+fn l5_ignores_division_outside_comparisons_and_generics() {
+    let src = "pub fn f(total: u128, n: u128) -> u128 {\n\
+               let mean = total / n;\n\
+               let v: Vec<u128> = vec![mean];\n\
+               v[0]\n\
+               }\n";
+    assert!(lines_of(&core_lib(src), RuleId::ThresholdDivision).is_empty());
+}
+
+// ---------------------------------------------------------------- allow
+
+#[test]
+fn allow_marker_silences_named_rule_on_its_line_and_the_next() {
+    let src = "pub fn f(x: u64) -> u32 {\n\
+               // lint:allow(narrowing-cast): boundary documented here\n\
+               let a = x as u32;\n\
+               let b = x as u32;\n\
+               a + b\n\
+               }\n";
+    // Line 3 is covered by the marker on line 2; line 4 is not.
+    let l2 = lines_of(&core_lib(src), RuleId::NarrowingCast);
+    assert_eq!(l2, vec![4]);
+}
+
+#[test]
+fn allow_marker_is_rule_specific() {
+    let src = "pub fn f(x: u64) -> u32 {\n\
+               // lint:allow(panic-freedom)\n\
+               let a = x as u32;\n\
+               a\n\
+               }\n";
+    // The marker names a different rule, so L2 still fires.
+    assert_eq!(lines_of(&core_lib(src), RuleId::NarrowingCast), vec![3]);
+}
+
+// ---------------------------------------------------------------- e2e
+
+#[test]
+fn walker_ratchet_end_to_end_catches_injected_float() {
+    let dir = test_dir("e2e");
+    let mk = |rel: &str, body: &str| {
+        let p = dir.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, body).unwrap();
+    };
+    // A miniature workspace: clean core lib, one grandfathered cast.
+    mk(
+        "crates/core/src/lib.rs",
+        "pub fn cost(n: u64) -> u128 {\n    u128::from(n) * 3\n}\n",
+    );
+    mk(
+        "crates/core/src/legacy.rs",
+        "pub fn idx(n: u64) -> usize {\n    n as usize\n}\n",
+    );
+
+    let findings = lint_workspace(&dir).unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, RuleId::NarrowingCast);
+    assert_eq!(findings[0].file, "crates/core/src/legacy.rs");
+
+    // Grandfather it, round-trip the baseline through disk, and verify the
+    // gate is green.
+    let baseline_path = dir.join("lint_baseline.json");
+    Baseline::from_findings(&findings)
+        .save(&baseline_path)
+        .unwrap();
+    let baseline = Baseline::load(&baseline_path).unwrap();
+    assert!(compare(&baseline, &findings).is_pass());
+
+    // Inject a float into the clean file: the ratchet must trip with a
+    // zero-baseline regression (this mirrors CI's self-check).
+    mk(
+        "crates/core/src/lib.rs",
+        "pub fn cost(n: u64) -> u128 {\n    u128::from(n) * 3\n}\npub fn bad() -> f64 {\n    0.5\n}\n",
+    );
+    let findings = lint_workspace(&dir).unwrap();
+    let report = compare(&baseline, &findings);
+    assert!(!report.is_pass());
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].rule, "exact-arith");
+    assert_eq!(report.regressions[0].file, "crates/core/src/lib.rs");
+    assert_eq!(report.regressions[0].baseline, 0);
+
+    // Fixing the grandfathered cast passes and reports an improvement.
+    mk(
+        "crates/core/src/lib.rs",
+        "pub fn cost(n: u64) -> u128 {\n    u128::from(n) * 3\n}\n",
+    );
+    mk(
+        "crates/core/src/legacy.rs",
+        "pub fn idx(n: u64) -> usize {\n    usize::try_from(n).unwrap_or(usize::MAX)\n}\n",
+    );
+    let findings = lint_workspace(&dir).unwrap();
+    assert!(findings.is_empty());
+    let report = compare(&baseline, &findings);
+    assert!(report.is_pass());
+    assert_eq!(report.improvements.len(), 1);
+    assert_eq!(report.improvements[0].current, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

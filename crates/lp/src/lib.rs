@@ -19,7 +19,9 @@
 //! assert!(lb > 0.0); // every schedule pays at least this much
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod dual;
 pub mod flow_lp;

@@ -23,7 +23,9 @@
 //! assert_eq!(sol.flow, 4); // both bursts run at release with 2 calibrations
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod brute;
 pub mod dp;

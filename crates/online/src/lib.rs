@@ -25,7 +25,9 @@
 //! assert_eq!(res.cost, 6 * res.calibrations as u128 + res.flow);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod adversary;
 pub mod alg1;

@@ -12,6 +12,9 @@
 //! * **Deterministic by construction** — there is no persistence file and
 //!   no OS entropy; CI and local runs explore the same cases.
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::{Range, RangeInclusive};

@@ -14,6 +14,9 @@
 //! matters. Statistical quality of SplitMix64 is far beyond what synthetic
 //! workload generation needs.
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of random 64-bit words.

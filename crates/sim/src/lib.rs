@@ -13,7 +13,9 @@
 //! println!("{}", table.render());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod experiments;
 pub mod runner;

@@ -20,7 +20,9 @@
 //! assert_eq!(inst.n(), 12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod arrivals;
 pub mod trace;

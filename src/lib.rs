@@ -39,6 +39,9 @@
 //! assert!(online.cost <= 3 * opt.cost); // Theorem 3.3
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use calib_core as core;
 pub use calib_lp as lp;
 pub use calib_offline as offline;
