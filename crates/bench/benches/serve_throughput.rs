@@ -1,0 +1,150 @@
+//! Serve-layer throughput: what the daemon costs over the bare engine.
+//!
+//! Three layers, measured separately so a regression is attributable:
+//!
+//! * `batch_run` / `session_ticked` — the engine itself, batch vs the
+//!   re-entrant `EngineSession` stepped once per distinct release (the
+//!   daemon's access pattern). These must stay close: the session IS the
+//!   batch loop, just re-entrant.
+//! * `protocol_parse` / `protocol_serialize` — wire-format costs per
+//!   message, on a representative `arrive` line.
+//! * `serve_stream_session` — a full in-process daemon pass (hello →
+//!   arrive/tick per release → drain → bye) through `serve_stream`, the
+//!   same code path TCP connections use minus the socket.
+
+use calib_bench::harness::Bench;
+use calib_core::json::{Json, ToJson};
+use calib_core::{Instance, Job};
+use calib_difftest::{gen_case_sized, GenParams};
+use calib_online::{run_online, Alg2, EngineConfig, EngineSession};
+use calib_serve::{serve_stream, Algorithm, Request, ServerConfig};
+
+/// The daemon's arrival pattern: jobs grouped by release, ascending.
+fn release_groups(instance: &Instance) -> Vec<(i64, Vec<Job>)> {
+    let mut jobs = instance.jobs().to_vec();
+    jobs.sort_by_key(|j| (j.release, j.id));
+    let mut groups: Vec<(i64, Vec<Job>)> = Vec::new();
+    for job in jobs {
+        match groups.last_mut() {
+            Some((r, batch)) if *r == job.release => batch.push(job),
+            _ => groups.push((job.release, vec![job])),
+        }
+    }
+    groups
+}
+
+fn transcript(instance: &Instance, cal_cost: u128, groups: &[(i64, Vec<Job>)]) -> String {
+    let mut lines = vec![Json::obj([
+        ("type", "hello".to_json()),
+        ("tenant", "bench".to_json()),
+        ("machines", instance.machines().to_json()),
+        ("cal_len", instance.cal_len().to_json()),
+        ("cal_cost", cal_cost.to_json()),
+        ("algorithm", Algorithm::Alg2.name().to_json()),
+    ])
+    .to_string_compact()];
+    for (release, batch) in groups {
+        lines.push(
+            Json::obj([
+                ("type", "arrive".to_json()),
+                ("tenant", "bench".to_json()),
+                ("jobs", batch.to_json()),
+            ])
+            .to_string_compact(),
+        );
+        lines.push(
+            Json::obj([
+                ("type", "tick".to_json()),
+                ("tenant", "bench".to_json()),
+                ("now", release.to_json()),
+            ])
+            .to_string_compact(),
+        );
+    }
+    lines.push(r#"{"type":"drain","tenant":"bench"}"#.to_string());
+    lines.push(r#"{"type":"bye","tenant":"bench"}"#.to_string());
+    lines.join("\n") + "\n"
+}
+
+fn main() {
+    let mut b = Bench::new("serve");
+
+    let params = GenParams {
+        max_p: 1,
+        max_t: 8,
+        max_g: 60,
+        max_n: 1,
+        max_weight: 9,
+    };
+    let case = gen_case_sized(2017, &params, 1500);
+    let instance = &case.instance;
+    let groups = release_groups(instance);
+
+    b.bench("batch_run", || {
+        run_online(instance, case.cal_cost, &mut Alg2::new()).cost
+    });
+
+    b.bench("session_ticked", || {
+        let mut session = EngineSession::new(
+            instance.machines(),
+            instance.cal_len(),
+            case.cal_cost,
+            EngineConfig::default(),
+        )
+        .expect("machines >= 1");
+        let mut scheduler = Alg2::new();
+        let mut decisions = 0usize;
+        for (release, batch) in &groups {
+            decisions += session
+                .step(*release, batch, &mut scheduler)
+                .expect("bench instance is well-formed")
+                .len();
+        }
+        decisions += session
+            .drain(&mut scheduler)
+            .expect("drain cannot fail on a well-formed instance")
+            .len();
+        let (outcome, _) = session.finish();
+        assert!(decisions >= instance.n());
+        outcome.cost
+    });
+
+    let mut sample_jobs: Vec<Job> = groups.iter().flat_map(|(_, b)| b.clone()).collect();
+    sample_jobs.truncate(32);
+    let arrive_line = Json::obj([
+        ("type", "arrive".to_json()),
+        ("tenant", "bench".to_json()),
+        ("jobs", sample_jobs.to_json()),
+        ("seq", 7u64.to_json()),
+    ])
+    .to_string_compact();
+
+    b.bench("protocol_parse", || {
+        let json = Json::parse(&arrive_line).expect("line is valid");
+        let req = Request::from_json(&json).expect("line is a valid request");
+        match req {
+            Request::Arrive { jobs, .. } => jobs.len(),
+            _ => unreachable!("line is an arrive"),
+        }
+    });
+
+    let parsed = Json::parse(&arrive_line).expect("line is valid");
+    b.bench("protocol_serialize", || parsed.to_string_compact().len());
+
+    let script = transcript(instance, case.cal_cost, &groups);
+    b.bench("serve_stream_session", || {
+        let report = serve_stream(
+            script.as_bytes(),
+            Box::new(std::io::sink()),
+            ServerConfig {
+                workers: 1,
+                queue_cap: 1_000_000,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok());
+        report.accountings.len()
+    });
+
+    b.finish();
+}

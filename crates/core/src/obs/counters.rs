@@ -67,6 +67,8 @@ macro_rules! counters {
 counters! {
     /// Engine events processed (all kinds).
     events,
+    /// Job arrivals processed by online engines (releases reached).
+    arrivals,
     /// Clock advances that jumped more than one step.
     time_skips,
     /// Calibrations issued by online algorithms.

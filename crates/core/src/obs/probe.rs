@@ -72,7 +72,32 @@ impl Probe for CountingProbe<'_> {
             Event::Reserve { .. } => self.counters.reservations(1),
             Event::TimeSkip { .. } => self.counters.time_skips(1),
             Event::Wake { .. } => self.counters.wakes(1),
-            Event::JobArrived { .. } | Event::RunComplete { .. } => {}
+            Event::JobArrived { .. } => self.counters.arrivals(1),
+            Event::RunComplete { .. } => {}
+        }
+    }
+}
+
+/// A mutable reference to a probe is itself a probe, so long-lived owners
+/// (e.g. an incremental `EngineSession`) can observe through a borrowed
+/// sink without taking ownership.
+impl<P: Probe + ?Sized> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    fn record(&mut self, event: &Event) {
+        (**self).record(event);
+    }
+}
+
+/// An optional probe: `None` drops events, `Some` forwards them. Lets a
+/// runtime switch (a `--trace` flag) choose between tracing and silence
+/// without monomorphizing two engines.
+impl<P: Probe> Probe for Option<P> {
+    const ENABLED: bool = P::ENABLED;
+
+    fn record(&mut self, event: &Event) {
+        if let Some(p) = self {
+            p.record(event);
         }
     }
 }
@@ -155,11 +180,36 @@ mod tests {
         }
         let s = counters.snapshot();
         assert_eq!(s.events, 6);
+        assert_eq!(s.arrivals, 1);
         assert_eq!(s.calibrations, 1);
         assert_eq!(s.dispatches, 1);
         assert_eq!(s.time_skips, 1);
         assert_eq!(s.wakes, 1);
         assert_eq!(s.reservations, 0);
+    }
+
+    #[test]
+    fn mut_ref_and_option_forward_and_inherit_enabled() {
+        let mut inner = RecordingProbe::new();
+        {
+            let by_ref = &mut inner;
+            for e in sample_events() {
+                by_ref.record(&e);
+            }
+        }
+        assert_eq!(inner.events.len(), 6);
+        const { assert!(<&mut RecordingProbe as Probe>::ENABLED) };
+        const { assert!(!<&mut NoopProbe as Probe>::ENABLED) };
+
+        let mut some = Some(RecordingProbe::new());
+        let mut none: Option<RecordingProbe> = None;
+        for e in sample_events() {
+            some.record(&e);
+            none.record(&e);
+        }
+        assert_eq!(some.as_ref().map(|p| p.events.len()), Some(6));
+        const { assert!(<Option<RecordingProbe> as Probe>::ENABLED) };
+        const { assert!(!<Option<NoopProbe> as Probe>::ENABLED) };
     }
 
     #[test]

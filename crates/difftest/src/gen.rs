@@ -54,8 +54,22 @@ pub struct TestCase {
 
 /// Deterministically generates the test case for `seed` within `params`.
 pub fn gen_case(seed: u64, params: &GenParams) -> TestCase {
+    gen_case_inner(seed, params, None)
+}
+
+/// [`gen_case`] with the job count forced to exactly `n` — the serve-layer
+/// load generator uses this to replay the oracle's workload families at
+/// production sizes. The RNG draw sequence matches [`gen_case`], so a
+/// `(seed, params)` pair lands in the same family/weight corner of the
+/// space regardless of which entry point drew it.
+pub fn gen_case_sized(seed: u64, params: &GenParams, n: usize) -> TestCase {
+    gen_case_inner(seed, params, Some(n.max(1)))
+}
+
+fn gen_case_inner(seed: u64, params: &GenParams, forced_n: Option<usize>) -> TestCase {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff_7e57);
-    let n = rng.gen_range(1..=params.max_n.max(1));
+    let drawn_n = rng.gen_range(1..=params.max_n.max(1));
+    let n = forced_n.unwrap_or(drawn_n);
     let t = rng.gen_range(1..=params.max_t.max(1));
     let p = rng.gen_range(1..=params.max_p.max(1));
     let g: Cost = rng.gen_range(0..=params.max_g);
@@ -165,6 +179,18 @@ mod tests {
                 c.instance.is_unweighted(),
                 "max_weight=1 must force unit weights"
             );
+        }
+    }
+
+    #[test]
+    fn sized_generation_forces_n_and_stays_deterministic() {
+        let p = GenParams::default();
+        for seed in 0..20 {
+            let c = gen_case_sized(seed, &p, 100);
+            assert_eq!(c.instance.n(), 100, "{}", c.name);
+            assert_eq!(c, gen_case_sized(seed, &p, 100));
+            // Same seed, same family corner as the unsized entry point.
+            assert_eq!(c.name, gen_case(seed, &p).name);
         }
     }
 

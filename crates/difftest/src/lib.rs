@@ -26,7 +26,7 @@ pub mod oracle;
 pub mod replay;
 pub mod shrink;
 
-pub use gen::{cases, gen_case, GenParams, TestCase};
+pub use gen::{cases, gen_case, gen_case_sized, GenParams, TestCase};
 pub use oracle::{Check, Fault, Oracle, OracleFailure, ALL_CHECKS};
 pub use replay::{load_dir, Regression, REGRESSION_DIR};
 pub use shrink::{shrink, Shrunk};

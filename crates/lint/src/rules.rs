@@ -141,6 +141,23 @@ const LIBRARY_CRATES: [&str; 8] = [
     "root",
 ];
 
+/// L4's scope: [`LIBRARY_CRATES`] plus `serve`. The daemon's library code
+/// replies over sockets, never stdout — a stray `println!` would corrupt
+/// the stdin-mode protocol stream — but its engine-facing code is allowed
+/// the same panic surface as the bins (I/O failure handling), so `serve`
+/// joins L4 without joining L3.
+const IO_LIBRARY_CRATES: [&str; 9] = [
+    "core",
+    "online",
+    "offline",
+    "lp",
+    "workloads",
+    "sim",
+    "lint",
+    "root",
+    "serve",
+];
+
 /// Files exempt from L1/L5 *by contract* — modules whose purpose is
 /// float-bearing (serialization, wall-clock reporting, sampling), not
 /// scheduling arithmetic. Justifications live in LINT.md's scoping table;
@@ -184,8 +201,11 @@ pub fn rule_applies(rule: RuleId, file: &SourceFile<'_>) -> bool {
             // algorithm crates, bins and tests included.
             ALGORITHM_CRATES.contains(&file.crate_name)
         }
-        RuleId::PanicFreedom | RuleId::IoDiscipline => {
+        RuleId::PanicFreedom => {
             LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
+        }
+        RuleId::IoDiscipline => {
+            IO_LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
         }
     }
 }
@@ -554,6 +574,27 @@ mod tests {
         // println! in a doc comment (rendered example) does not fire.
         let doc = "//! println!(\"{}\", table.render());";
         assert!(lint_file(&lib_file("sim", "crates/sim/src/lib.rs", doc)).is_empty());
+    }
+
+    #[test]
+    fn io_discipline_covers_serve_lib_but_not_its_bins_or_panics() {
+        // The daemon's library code must never print: in `--stdin` mode a
+        // stray println! corrupts the protocol stream on stdout.
+        let src = "fn f() { println!(\"reply\"); }";
+        let fs = lint_file(&lib_file("serve", "crates/serve/src/server.rs", src));
+        assert_eq!(rules_of(&fs), vec![RuleId::IoDiscipline]);
+        // Its bins (calib-serve, calib-loadgen) own their stdout.
+        let bin = SourceFile {
+            crate_name: "serve",
+            rel_path: "crates/serve/src/bin/calib-serve.rs",
+            kind: FileKind::Bin,
+            src,
+        };
+        assert!(lint_file(&bin).is_empty());
+        // serve joins L4 only: panics in its lib code are not L3 findings
+        // (socket I/O failure handling keeps the bins' panic surface).
+        let panics = "fn f() { x.unwrap(); }";
+        assert!(lint_file(&lib_file("serve", "crates/serve/src/server.rs", panics)).is_empty());
     }
 
     #[test]

@@ -77,10 +77,16 @@ impl OnlineScheduler for Alg1 {
             return Decision::none();
         }
         let g = view.cal_cost;
-        let t_len = view.cal_len as u128;
+        // `cal_len >= 1` by instance validation; the fallback keeps the
+        // ratio denominator positive even in the unreachable branch.
+        let t_len = u128::try_from(view.cal_len).unwrap_or(1);
 
         // |Q| >= G/T  (exact: |Q| * T >= G)
-        if ge_ratio(view.waiting.len() as u128, g, t_len) {
+        if ge_ratio(
+            u128::try_from(view.waiting.len()).unwrap_or(u128::MAX),
+            g,
+            t_len,
+        ) {
             return Decision::calibrate(reason::QUEUE);
         }
         // f >= G

@@ -98,14 +98,16 @@ impl OnlineScheduler for Alg2 {
             return Decision::none();
         }
         let g = view.cal_cost;
-        let t_len = view.cal_len as u128;
+        // `cal_len >= 1` by instance validation; the fallback keeps the
+        // ratio denominator positive even in the unreachable branch.
+        let t_len = u128::try_from(view.cal_len).unwrap_or(1);
 
         // Σ w(Q) >= G/T  (exact: Σw * T >= G)
         if ge_ratio(view.queue_weight(), g, t_len) {
             return Decision::calibrate(reason::WEIGHT);
         }
         // |Q| = T (>= for robustness; the queue can only grow by arrivals)
-        if view.waiting.len() as Time >= view.cal_len {
+        if Time::try_from(view.waiting.len()).unwrap_or(Time::MAX) >= view.cal_len {
             return Decision::calibrate(reason::FULL_QUEUE);
         }
         // f >= G

@@ -44,7 +44,10 @@ impl Alg3 {
     /// slots being free); the `max(1, ·)` keeps progress when `G < T`, where
     /// the paper's algorithms schedule arrivals immediately anyway.
     fn reserve_quota(g: Cost, t: Time) -> usize {
-        ((g / t as Cost) as usize).max(1)
+        // `t >= 1` by instance validation; `Cost::MAX` as the fallback
+        // denominator floors the quota to 0 and the `max(1)` takes over.
+        let quota = g / Cost::try_from(t).unwrap_or(Cost::MAX);
+        usize::try_from(quota).unwrap_or(usize::MAX).max(1)
     }
 }
 
@@ -62,9 +65,15 @@ impl OnlineScheduler for Alg3 {
             return Decision::none();
         }
         let g = view.cal_cost;
-        let t_len = view.cal_len as u128;
+        // `cal_len >= 1` by instance validation; the fallback keeps the
+        // ratio denominator positive even in the unreachable branch.
+        let t_len = u128::try_from(view.cal_len).unwrap_or(1);
 
-        let queue_rule = ge_ratio(view.waiting.len() as u128, g, t_len);
+        let queue_rule = ge_ratio(
+            u128::try_from(view.waiting.len()).unwrap_or(u128::MAX),
+            g,
+            t_len,
+        );
         let flow_rule = view.queue_flow_from_next_step() >= g;
         if !queue_rule && !flow_rule {
             return Decision::none();
@@ -122,12 +131,18 @@ impl OnlineScheduler for Alg3 {
 pub fn run_alg3_practical(instance: &Instance, cal_cost: Cost) -> RunResult {
     let spec = run_online(instance, cal_cost, &mut Alg3::new());
     let times = spec.schedule.calibration_times();
-    let schedule = assign_greedy_with_policy(instance, &times, PriorityPolicy::HighestWeightFirst)
-        .expect("spec-mode calibrations scheduled every job, so Observation 2.1 can too");
+    let schedule =
+        match assign_greedy_with_policy(instance, &times, PriorityPolicy::HighestWeightFirst) {
+            Ok(s) => s,
+            // The spec run scheduled every job under these calibrations, so
+            // Observation 2.1 can too; if the assigner ever disagrees, the
+            // spec schedule is still a correct (just unoptimized) answer.
+            Err(_) => spec.schedule.clone(),
+        };
     let flow = schedule.total_weighted_flow(instance);
     let calibrations = schedule.calibration_count();
     RunResult {
-        cost: cal_cost * calibrations as Cost + flow,
+        cost: cal_cost * Cost::try_from(calibrations).unwrap_or(Cost::MAX) + flow,
         flow,
         calibrations,
         schedule,

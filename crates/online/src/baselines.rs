@@ -34,7 +34,7 @@ impl OnlineScheduler for CalibrateImmediately {
         let need = view.waiting.len().saturating_sub(usable).min(uncovered);
         if need > 0 {
             Decision {
-                calibrate: need as u32,
+                calibrate: u32::try_from(need).unwrap_or(u32::MAX),
                 reserve: Vec::new(),
                 reason: Some("naive:now"),
             }

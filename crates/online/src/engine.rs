@@ -7,15 +7,31 @@
 //! directly to the next release, the next usable calibrated slot, or the
 //! scheduler's self-reported wake-up time, whichever comes first — so a run
 //! costs `O(events)`, not `O(horizon)`.
+//!
+//! Two driving modes share the same step logic:
+//!
+//! * **Batch** ([`run_online`] and friends) — all jobs are known up front
+//!   (an [`Instance`]); the engine runs to completion and panics on
+//!   scheduler bugs, because in a simulation those are programmer errors.
+//! * **Incremental** ([`EngineSession`]) — jobs are submitted over time and
+//!   the clock only advances on explicit [`EngineSession::step`] calls.
+//!   Every failure is a typed [`EngineError`] so a long-running service
+//!   (the `calib-serve` daemon) can reject one bad request without tearing
+//!   down the session, let alone the process.
+//!
+//! The batch entry points are thin wrappers over a session fed with the
+//! whole instance at once, so both modes are *the same code* and produce
+//! byte-identical schedules — a property the `calib-serve` determinism
+//! tests pin down end to end.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use calib_core::obs::{Event, NoopProbe, Probe};
 use calib_core::{
     check_schedule, Assignment, Calibration, Cost, Instance, Job, JobId, MachineId, Schedule, Time,
 };
 
-use crate::scheduler::{Decision, OnlineScheduler};
+use crate::scheduler::{Decision, OnlineScheduler, Reservation};
 
 /// Per-machine live state.
 #[derive(Debug, Clone)]
@@ -196,7 +212,7 @@ impl EngineView<'_> {
 
     /// Total weight of the waiting queue.
     pub fn queue_weight(&self) -> Cost {
-        self.waiting.iter().map(|j| j.weight as Cost).sum()
+        self.waiting.iter().map(|j| Cost::from(j.weight)).sum()
     }
 
     /// The paper's `f`: flow cost of scheduling all waiting jobs
@@ -264,6 +280,161 @@ impl EngineConfig {
     }
 }
 
+/// A typed engine failure. Batch runs convert these into panics (a
+/// simulation driving a buggy scheduler is a programmer error); the
+/// incremental [`EngineSession`] surfaces them so a serving layer can map
+/// them onto protocol errors without poisoning other sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The step budget ([`EngineConfig::max_steps`]) ran out: the scheduler
+    /// makes no progress.
+    FuelExhausted {
+        /// Step at which the budget ran dry.
+        t: Time,
+    },
+    /// One step exceeded [`EngineConfig::max_decides_per_step`] decisions.
+    DecideDiverged {
+        /// The offending step.
+        t: Time,
+    },
+    /// A reservation targeted a slot before the current time.
+    ReservationInPast {
+        /// The offending reservation.
+        reservation: Reservation,
+        /// The step at which it was issued.
+        t: Time,
+    },
+    /// A reservation targeted a slot that is not calibrated-and-free.
+    ReservedSlotNotFree {
+        /// The offending reservation.
+        reservation: Reservation,
+        /// The step at which it was issued.
+        t: Time,
+    },
+    /// A reservation named a job that is not in the waiting queue.
+    ReservedJobNotWaiting {
+        /// The job the scheduler tried to reserve.
+        job: JobId,
+    },
+    /// A job was submitted with a release time at or before a step the
+    /// engine has already processed — the online past is immutable.
+    ArrivalInPast {
+        /// The offending job.
+        job: JobId,
+        /// Its release time.
+        release: Time,
+        /// The latest step already processed.
+        horizon: Time,
+    },
+    /// A job id was submitted twice to the same session.
+    DuplicateJob {
+        /// The repeated id.
+        job: JobId,
+    },
+    /// A session was created with zero machines.
+    NoMachines,
+}
+
+impl EngineError {
+    /// A short stable label for the error class, in the same spirit as
+    /// `calib_core::Violation::code` — wire protocols and replay files key
+    /// on these instead of the instance-specific `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::FuelExhausted { .. } => "fuel-exhausted",
+            EngineError::DecideDiverged { .. } => "decide-diverged",
+            EngineError::ReservationInPast { .. } => "reservation-in-past",
+            EngineError::ReservedSlotNotFree { .. } => "reserved-slot-not-free",
+            EngineError::ReservedJobNotWaiting { .. } => "reserved-job-not-waiting",
+            EngineError::ArrivalInPast { .. } => "arrival-in-past",
+            EngineError::DuplicateJob { .. } => "duplicate-job",
+            EngineError::NoMachines => "no-machines",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::FuelExhausted { t } => {
+                write!(
+                    f,
+                    "engine fuel exhausted at t={t}: scheduler makes no progress"
+                )
+            }
+            EngineError::DecideDiverged { t } => {
+                write!(f, "decide loop did not converge at t={t}")
+            }
+            EngineError::ReservationInPast { reservation, t } => {
+                write!(f, "reservation in the past: {reservation:?} at t={t}")
+            }
+            EngineError::ReservedSlotNotFree { reservation, t } => {
+                write!(f, "reserved slot not free: {reservation:?} at t={t}")
+            }
+            EngineError::ReservedJobNotWaiting { job } => {
+                write!(f, "reserved job {job} is not waiting")
+            }
+            EngineError::ArrivalInPast {
+                job,
+                release,
+                horizon,
+            } => {
+                write!(
+                    f,
+                    "{job} released at {release} arrives in the engine's past (step {horizon} already processed)"
+                )
+            }
+            EngineError::DuplicateJob { job } => {
+                write!(f, "{job} was already submitted to this session")
+            }
+            EngineError::NoMachines => write!(f, "a session needs at least one machine"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The calibrations and job starts materialized since the previous
+/// [`EngineSession::take_decisions`] (or [`EngineSession::step`]) call —
+/// what an online serving layer streams back to its client.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Decisions {
+    /// New calibrations, in decision order.
+    pub calibrations: Vec<Calibration>,
+    /// New job starts, in materialization order.
+    pub starts: Vec<Assignment>,
+}
+
+impl Decisions {
+    /// Total number of decisions (calibrations + starts).
+    pub fn len(&self) -> usize {
+        self.calibrations.len() + self.starts.len()
+    }
+
+    /// True when nothing was decided.
+    pub fn is_empty(&self) -> bool {
+        self.calibrations.is_empty() && self.starts.is_empty()
+    }
+}
+
+/// Everything a completed session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The produced schedule (not yet validated — run
+    /// [`calib_core::check_schedule`] against the jobs' instance).
+    pub schedule: Schedule,
+    /// Total weighted flow of the schedule.
+    pub flow: Cost,
+    /// Number of calibrations.
+    pub calibrations: usize,
+    /// Online objective `G·C + flow`.
+    pub cost: Cost,
+    /// Per-interval job records.
+    pub intervals: Vec<IntervalRecord>,
+    /// Calibration trigger labels `(time, reason)`, in order.
+    pub trace: Vec<(Time, &'static str)>,
+}
+
 /// Runs `scheduler` on `instance` with calibration cost `cal_cost`,
 /// returning the schedule and its costs. Panics if the scheduler violates an
 /// engine invariant (bad reservation, runaway decide loop) or fails to
@@ -287,6 +458,15 @@ pub fn run_online_with(
     run_online_probed(instance, cal_cost, scheduler, config, &mut NoopProbe)
 }
 
+/// Unwraps an engine result in the batch entry points, where a scheduler
+/// bug is a programmer error by contract (see [`run_online`]).
+fn batch_ok<T>(result: Result<T, EngineError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"), // lint:allow(panic-freedom)
+    }
+}
+
 /// [`run_online_with`] with a [`Probe`] observing the run.
 ///
 /// The engine is monomorphized per probe type and every emission site is
@@ -302,16 +482,55 @@ pub fn run_online_probed<P: Probe>(
     config: EngineConfig,
     probe: &mut P,
 ) -> RunResult {
-    let mut engine = Engine::new(instance, cal_cost, config, probe);
-    engine.run(scheduler);
-    engine.finish(instance, cal_cost)
+    let mut session = batch_ok(EngineSession::with_probe(
+        instance.machines(),
+        instance.cal_len(),
+        cal_cost,
+        config,
+        probe,
+    ));
+    batch_ok(session.submit(instance.jobs()));
+    batch_ok(session.drain(scheduler));
+    let (outcome, _probe) = session.finish();
+    if let Err(e) = check_schedule(instance, &outcome.schedule) {
+        panic!("online engine produced an infeasible schedule: {e}"); // lint:allow(panic-freedom)
+    }
+    debug_assert_eq!(outcome.flow, outcome.schedule.total_weighted_flow(instance));
+    RunResult {
+        schedule: outcome.schedule,
+        flow: outcome.flow,
+        calibrations: outcome.calibrations,
+        cost: outcome.cost,
+        intervals: outcome.intervals,
+        trace: outcome.trace,
+    }
 }
 
-struct Engine<'a, P: Probe> {
+/// A re-entrant, incrementally-driven engine: the long-running counterpart
+/// of [`run_online`].
+///
+/// Jobs are [`EngineSession::submit`]ted as they become known; the clock
+/// advances only through [`EngineSession::step`] (up to a caller-provided
+/// virtual time) or [`EngineSession::drain`] (to completion of all work
+/// submitted so far). Decisions made along the way are collected and handed
+/// back as [`Decisions`] deltas. A drained session can keep accepting jobs;
+/// [`EngineSession::finish`] closes it and yields the accumulated
+/// [`SessionOutcome`].
+///
+/// Determinism contract: submitting all of an instance's jobs up front and
+/// draining — or submitting each release group just before stepping past
+/// it — produces the *same* schedule as [`run_online`] on that instance,
+/// decision for decision. The serve-layer determinism tests assert exact
+/// equality for every shipped algorithm.
+pub struct EngineSession<P: Probe = NoopProbe> {
     cal_len: Time,
     cal_cost: Cost,
-    jobs: &'a [Job],
-    next_job: usize,
+    /// Submitted jobs not yet released into the waiting queue, sorted by
+    /// `(release, id)` — the same canonical order an [`Instance`] keeps.
+    pending: VecDeque<Job>,
+    /// Every job ever submitted, for duplicate detection and reserved-job
+    /// materialization.
+    known: HashMap<JobId, Job>,
     waiting: Vec<Job>,
     machines: Vec<MachineState>,
     intervals: Vec<IntervalRecord>,
@@ -323,32 +542,348 @@ struct Engine<'a, P: Probe> {
     trace: Vec<(Time, &'static str)>,
     pending_reservations: usize,
     config: EngineConfig,
-    /// Clock value of the last processed step (for `RunComplete`).
+    fuel: u64,
+    /// Clock value of the last processed step (for `RunComplete` and the
+    /// arrival-in-past guard).
     clock: Time,
-    probe: &'a mut P,
+    /// Whether any step has been processed (i.e. `clock` is meaningful).
+    started: bool,
+    /// The next step time the engine intends to process, `None` when idle.
+    cursor: Option<Time>,
+    /// Delta marks for [`EngineSession::take_decisions`].
+    cal_mark: usize,
+    asg_mark: usize,
+    probe: P,
 }
 
-impl<'a, P: Probe> Engine<'a, P> {
-    fn new(instance: &'a Instance, cal_cost: Cost, config: EngineConfig, probe: &'a mut P) -> Self {
-        let p = instance.machines();
-        Engine {
-            cal_len: instance.cal_len(),
+impl EngineSession<NoopProbe> {
+    /// An unobserved session over `machines` machines with calibration
+    /// length `cal_len` and calibration cost `cal_cost`.
+    pub fn new(
+        machines: usize,
+        cal_len: Time,
+        cal_cost: Cost,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        EngineSession::with_probe(machines, cal_len, cal_cost, config, NoopProbe)
+    }
+}
+
+impl<P: Probe> EngineSession<P> {
+    /// A session observed by `probe` (see [`run_online_probed`] for the
+    /// zero-overhead guarantee when `P::ENABLED` is false).
+    pub fn with_probe(
+        machines: usize,
+        cal_len: Time,
+        cal_cost: Cost,
+        config: EngineConfig,
+        probe: P,
+    ) -> Result<Self, EngineError> {
+        if machines == 0 {
+            return Err(EngineError::NoMachines);
+        }
+        Ok(EngineSession {
+            cal_len,
             cal_cost,
-            jobs: instance.jobs(),
-            next_job: 0,
+            pending: VecDeque::new(),
+            known: HashMap::new(),
             waiting: Vec::new(),
-            machines: vec![MachineState::new(); p],
+            machines: vec![MachineState::new(); machines],
             intervals: Vec::new(),
-            machine_intervals: vec![Vec::new(); p],
+            machine_intervals: vec![Vec::new(); machines],
             rr_next: 0,
             calibrations: Vec::new(),
             assignments: Vec::new(),
             trace: Vec::new(),
             pending_reservations: 0,
+            fuel: config.max_steps,
             config,
             clock: 0,
+            started: false,
+            cursor: None,
+            cal_mark: 0,
+            asg_mark: 0,
             probe,
+        })
+    }
+
+    /// Last processed step, or `None` before the first step.
+    pub fn clock(&self) -> Option<Time> {
+        self.started.then_some(self.clock)
+    }
+
+    /// True when no submitted work remains (empty queue, no unreleased
+    /// jobs, no outstanding reservations).
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.pending.is_empty() && self.pending_reservations == 0
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn jobs_submitted(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Number of calibrations issued so far.
+    pub fn calibration_count(&self) -> usize {
+        self.calibrations.len()
+    }
+
+    /// Number of job starts materialized so far.
+    pub fn assignment_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Every job submitted so far, in canonical `(release, id)` order —
+    /// ready for `Instance::new` when a serving layer wants to validate the
+    /// session's schedule with the trusted checker.
+    pub fn submitted_jobs(&self) -> Vec<Job> {
+        let mut jobs: Vec<Job> = self.known.values().copied().collect();
+        jobs.sort_by_key(|j| (j.release, j.id));
+        jobs
+    }
+
+    /// Mutable access to the probe, e.g. to flush or detach a trace sink
+    /// before the session is dropped.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// A copy of the schedule accumulated so far.
+    pub fn schedule_snapshot(&self) -> Schedule {
+        Schedule::new(self.calibrations.clone(), self.assignments.clone())
+    }
+
+    /// Submits a batch of jobs to the arrival stream.
+    ///
+    /// Jobs must be new to the session and released strictly after the last
+    /// processed step. On error the batch is applied up to (not including)
+    /// the offending job; the session itself stays consistent and can keep
+    /// serving.
+    pub fn submit(&mut self, jobs: &[Job]) -> Result<(), EngineError> {
+        for &job in jobs {
+            if self.known.contains_key(&job.id) {
+                return Err(EngineError::DuplicateJob { job: job.id });
+            }
+            if self.started && job.release <= self.clock {
+                return Err(EngineError::ArrivalInPast {
+                    job: job.id,
+                    release: job.release,
+                    horizon: self.clock,
+                });
+            }
+            self.known.insert(job.id, job);
+            self.insert_pending(job);
+            // A new early release may precede the previously predicted next
+            // event; the engine must wake at the arrival instead.
+            if let Some(c) = self.cursor {
+                if job.release < c {
+                    self.cursor = Some(job.release);
+                }
+            }
         }
+        Ok(())
+    }
+
+    fn insert_pending(&mut self, job: Job) {
+        let key = (job.release, job.id);
+        let mut i = self.pending.len();
+        while i > 0 {
+            let p = &self.pending[i - 1];
+            if (p.release, p.id) <= key {
+                break;
+            }
+            i -= 1;
+        }
+        self.pending.insert(i, job);
+    }
+
+    /// Submits `arrivals` and advances the virtual clock to `now`,
+    /// processing every due event along the way. Returns the delta of
+    /// decisions materialized by this call.
+    pub fn step(
+        &mut self,
+        now: Time,
+        arrivals: &[Job],
+        scheduler: &mut dyn OnlineScheduler,
+    ) -> Result<Decisions, EngineError> {
+        self.submit(arrivals)?;
+        self.advance_to(now, scheduler)?;
+        Ok(self.take_decisions())
+    }
+
+    /// Runs until all work submitted so far is scheduled, returning the
+    /// delta of decisions. The session stays open for further submissions.
+    pub fn drain(&mut self, scheduler: &mut dyn OnlineScheduler) -> Result<Decisions, EngineError> {
+        self.advance_to(Time::MAX, scheduler)?;
+        Ok(self.take_decisions())
+    }
+
+    /// The decisions accumulated since the last delta was taken.
+    pub fn take_decisions(&mut self) -> Decisions {
+        let decisions = Decisions {
+            calibrations: self.calibrations[self.cal_mark..].to_vec(),
+            starts: self.assignments[self.asg_mark..].to_vec(),
+        };
+        self.cal_mark = self.calibrations.len();
+        self.asg_mark = self.assignments.len();
+        decisions
+    }
+
+    /// Closes the session and returns everything it produced, handing the
+    /// probe back so owners can flush or inspect their sinks. Emits the
+    /// `RunComplete` probe event, mirroring the batch engine.
+    pub fn finish(mut self) -> (SessionOutcome, P) {
+        let flow: Cost = self
+            .assignments
+            .iter()
+            .map(|a| {
+                self.known
+                    .get(&a.job)
+                    .map(|j| j.flow_if_started(a.start))
+                    .unwrap_or(0)
+            })
+            .sum();
+        let calibrations = self.calibrations.len();
+        if P::ENABLED {
+            self.probe.record(&Event::RunComplete {
+                time: self.clock,
+                flow,
+                calibrations: u64::try_from(calibrations).unwrap_or(u64::MAX),
+            });
+        }
+        let outcome = SessionOutcome {
+            schedule: Schedule::new(self.calibrations, self.assignments),
+            flow,
+            calibrations,
+            cost: self.cal_cost * Cost::try_from(calibrations).unwrap_or(Cost::MAX) + flow,
+            intervals: self.intervals,
+            trace: self.trace,
+        };
+        (outcome, self.probe)
+    }
+
+    /// Processes every due step with time `<= upto`, leaving the cursor at
+    /// the next future event (if any work remains).
+    fn advance_to(
+        &mut self,
+        upto: Time,
+        scheduler: &mut dyn OnlineScheduler,
+    ) -> Result<(), EngineError> {
+        loop {
+            let t = match self.cursor {
+                Some(c) => c,
+                // Idle: the next event is the earliest unreleased arrival.
+                None => match self.pending.front() {
+                    Some(j) => j.release,
+                    None => return Ok(()),
+                },
+            };
+            if t > upto {
+                // Pin the due step so a later call resumes exactly here.
+                self.cursor = Some(t);
+                return Ok(());
+            }
+            self.step_at(t, scheduler)?;
+        }
+    }
+
+    /// One step of the engine at time `t` — arrivals, early decisions, slot
+    /// service, late decisions — followed by next-event computation. This is
+    /// the batch loop body, verbatim.
+    fn step_at(&mut self, t: Time, scheduler: &mut dyn OnlineScheduler) -> Result<(), EngineError> {
+        self.fuel = self
+            .fuel
+            .checked_sub(1)
+            .ok_or(EngineError::FuelExhausted { t })?;
+        self.clock = t;
+        self.started = true;
+
+        // 1. Arrivals.
+        let mut arrived_now = false;
+        while let Some(&job) = self.pending.front() {
+            if job.release > t {
+                break;
+            }
+            self.pending.pop_front();
+            arrived_now |= job.release == t;
+            if P::ENABLED {
+                self.probe.record(&Event::JobArrived {
+                    time: t,
+                    job: job.id,
+                    weight: job.weight,
+                });
+            }
+            self.waiting.push(job);
+        }
+
+        // 2. Early decisions (Algorithms 1 & 2).
+        self.decide_loop(t, arrived_now, scheduler, /*early=*/ true)?;
+
+        // 3. Serve the current slot: reservations first, then auto.
+        self.materialize(t, Some(scheduler.auto_policy()))?;
+
+        // 4. Late decisions (Algorithm 3); reservations for slot `t`
+        //    itself are placed immediately, but no extra auto-assignment
+        //    happens this step (the paper's lines 6–9 already ran).
+        self.decide_loop(t, arrived_now, scheduler, /*early=*/ false)?;
+        self.materialize(t, None)?;
+
+        // Done?
+        if self.is_idle() {
+            self.cursor = None;
+            return Ok(());
+        }
+
+        // 5. Advance the clock to the next event.
+        if !self.config.time_skip {
+            self.cursor = Some(t + 1);
+            return Ok(());
+        }
+        let mut next: Option<(Time, &'static str)> = None;
+        let mut consider = |c: Option<Time>, label: &'static str| {
+            if let Some(c) = c {
+                if c > t && next.is_none_or(|(n, _)| c < n) {
+                    next = Some((c, label));
+                }
+            }
+        };
+        if let Some(j) = self.pending.front() {
+            consider(Some(j.release), "release");
+        }
+        if !self.waiting.is_empty() || self.pending_reservations > 0 {
+            for m in &self.machines {
+                consider(m.next_usable(t + 1), "slot");
+                // Threshold rules flip when coverage expires.
+                consider(m.coverage_end_after(t), "coverage_end");
+            }
+        }
+        consider(
+            scheduler
+                .next_wake(&self.view(t, false))
+                .map(|w| w.max(t + 1)),
+            "scheduler",
+        );
+
+        match next {
+            Some((n, label)) => {
+                if P::ENABLED {
+                    if n > t + 1 {
+                        self.probe.record(&Event::TimeSkip { from: t, to: n });
+                    }
+                    self.probe.record(&Event::Wake {
+                        time: n,
+                        reason: label,
+                    });
+                }
+                self.cursor = Some(n);
+            }
+            None => {
+                // No event in sight but work remains: step once (covers
+                // schedulers without wake hints); fuel bounds the spin.
+                self.cursor = Some(t + 1);
+            }
+        }
+        Ok(())
     }
 
     fn view(&self, t: Time, arrived_now: bool) -> EngineView<'_> {
@@ -359,109 +894,8 @@ impl<'a, P: Probe> Engine<'a, P> {
             machines: &self.machines,
             waiting: &self.waiting,
             intervals: &self.intervals,
-            next_rr_machine: MachineId((self.rr_next % self.machines.len()) as u32),
+            next_rr_machine: MachineId::from_index(self.rr_next % self.machines.len()),
             arrived_now,
-        }
-    }
-
-    fn run(&mut self, scheduler: &mut dyn OnlineScheduler) {
-        let mut t = match self.jobs.first() {
-            Some(j) => j.release,
-            None => return,
-        };
-        let mut fuel = self.config.max_steps;
-
-        loop {
-            fuel = fuel.checked_sub(1).unwrap_or_else(|| {
-                panic!("engine fuel exhausted at t={t}: scheduler makes no progress")
-            });
-            self.clock = t;
-
-            // 1. Arrivals.
-            let mut arrived_now = false;
-            while self.next_job < self.jobs.len() && self.jobs[self.next_job].release <= t {
-                let job = self.jobs[self.next_job];
-                arrived_now |= job.release == t;
-                if P::ENABLED {
-                    self.probe.record(&Event::JobArrived {
-                        time: t,
-                        job: job.id,
-                        weight: job.weight,
-                    });
-                }
-                self.waiting.push(job);
-                self.next_job += 1;
-            }
-
-            // 2. Early decisions (Algorithms 1 & 2).
-            self.decide_loop(t, arrived_now, scheduler, /*early=*/ true);
-
-            // 3. Serve the current slot: reservations first, then auto.
-            self.materialize(t, Some(scheduler.auto_policy()));
-
-            // 4. Late decisions (Algorithm 3); reservations for slot `t`
-            //    itself are placed immediately, but no extra auto-assignment
-            //    happens this step (the paper's lines 6–9 already ran).
-            self.decide_loop(t, arrived_now, scheduler, /*early=*/ false);
-            self.materialize(t, None);
-
-            // Done?
-            if self.waiting.is_empty()
-                && self.next_job >= self.jobs.len()
-                && self.pending_reservations == 0
-            {
-                return;
-            }
-
-            // 5. Advance the clock to the next event.
-            if !self.config.time_skip {
-                t += 1;
-                continue;
-            }
-            let mut next: Option<(Time, &'static str)> = None;
-            let mut consider = |c: Option<Time>, label: &'static str| {
-                if let Some(c) = c {
-                    if c > t && next.is_none_or(|(n, _)| c < n) {
-                        next = Some((c, label));
-                    }
-                }
-            };
-            if self.next_job < self.jobs.len() {
-                consider(Some(self.jobs[self.next_job].release), "release");
-            }
-            if !self.waiting.is_empty() || self.pending_reservations > 0 {
-                for m in &self.machines {
-                    consider(m.next_usable(t + 1), "slot");
-                    // Threshold rules flip when coverage expires.
-                    consider(m.coverage_end_after(t), "coverage_end");
-                }
-            }
-            consider(
-                scheduler
-                    .next_wake(&self.view(t, false))
-                    .map(|w| w.max(t + 1)),
-                "scheduler",
-            );
-
-            match next {
-                Some((n, label)) => {
-                    if P::ENABLED {
-                        if n > t + 1 {
-                            self.probe.record(&Event::TimeSkip { from: t, to: n });
-                        }
-                        self.probe.record(&Event::Wake {
-                            time: n,
-                            reason: label,
-                        });
-                    }
-                    t = n;
-                }
-                None => {
-                    // No event in sight but work remains: step once (covers
-                    // schedulers without wake hints); fuel bounds the spin.
-                    t += 1;
-                }
-            }
         }
     }
 
@@ -471,7 +905,7 @@ impl<'a, P: Probe> Engine<'a, P> {
         arrived_now: bool,
         scheduler: &mut dyn OnlineScheduler,
         early: bool,
-    ) {
+    ) -> Result<(), EngineError> {
         for _ in 0..self.config.max_decides_per_step {
             let view = self.view(t, arrived_now);
             let decision = if early {
@@ -480,14 +914,14 @@ impl<'a, P: Probe> Engine<'a, P> {
                 scheduler.decide_late(&view)
             };
             if decision.is_none() {
-                return;
+                return Ok(());
             }
-            self.apply(t, decision);
+            self.apply(t, decision)?;
         }
-        panic!("decide loop did not converge at t={t}");
+        Err(EngineError::DecideDiverged { t })
     }
 
-    fn apply(&mut self, t: Time, decision: Decision) {
+    fn apply(&mut self, t: Time, decision: Decision) -> Result<(), EngineError> {
         let p = self.machines.len();
         let mut decision_interval: Option<usize> = None;
         for _ in 0..decision.calibrate {
@@ -495,13 +929,13 @@ impl<'a, P: Probe> Engine<'a, P> {
             self.rr_next += 1;
             self.machines[m].add_calibration(t, self.cal_len);
             self.calibrations.push(Calibration {
-                machine: MachineId(m as u32),
+                machine: MachineId::from_index(m),
                 start: t,
             });
             self.machine_intervals[m].push(self.intervals.len());
             decision_interval = Some(self.intervals.len());
             self.intervals.push(IntervalRecord {
-                machine: MachineId(m as u32),
+                machine: MachineId::from_index(m),
                 start: t,
                 jobs: Vec::new(),
             });
@@ -509,23 +943,21 @@ impl<'a, P: Probe> Engine<'a, P> {
             if P::ENABLED {
                 self.probe.record(&Event::Calibrate {
                     time: t,
-                    machine: MachineId(m as u32),
+                    machine: MachineId::from_index(m),
                     start: t,
                 });
             }
         }
         for r in decision.reserve {
-            let ms = &mut self.machines[r.machine.index()];
-            assert!(r.slot >= t, "reservation in the past: {r:?} at t={t}");
-            assert!(
-                ms.slot_free(r.slot),
-                "reserved slot not free: {r:?} at t={t}"
-            );
-            let pos = self
-                .waiting
-                .iter()
-                .position(|j| j.id == r.job)
-                .unwrap_or_else(|| panic!("reserved job {} is not waiting", r.job));
+            if r.slot < t {
+                return Err(EngineError::ReservationInPast { reservation: r, t });
+            }
+            if !self.machines[r.machine.index()].slot_free(r.slot) {
+                return Err(EngineError::ReservedSlotNotFree { reservation: r, t });
+            }
+            let Some(pos) = self.waiting.iter().position(|j| j.id == r.job) else {
+                return Err(EngineError::ReservedJobNotWaiting { job: r.job });
+            };
             let job = self.waiting.remove(pos);
             debug_assert!(job.release <= r.slot);
             self.machines[r.machine.index()]
@@ -540,11 +972,16 @@ impl<'a, P: Probe> Engine<'a, P> {
                 });
             }
         }
+        Ok(())
     }
 
     /// Serves slot `t` on every machine: a reservation if present, else (when
     /// `auto` is set) the best waiting job under the policy.
-    fn materialize(&mut self, t: Time, auto: Option<calib_core::PriorityPolicy>) {
+    fn materialize(
+        &mut self,
+        t: Time,
+        auto: Option<calib_core::PriorityPolicy>,
+    ) -> Result<(), EngineError> {
         for m in 0..self.machines.len() {
             if !self.machines[m].covers(t) || t < self.machines[m].used_until {
                 continue;
@@ -553,12 +990,10 @@ impl<'a, P: Probe> Engine<'a, P> {
                 if let Some((id, iv)) = self.machines[m].reservations.remove(&t) {
                     self.pending_reservations -= 1;
                     // Reserved jobs were removed from `waiting` at reservation
-                    // time; find the Job in the instance stream.
-                    let job = *self
-                        .jobs
-                        .iter()
-                        .find(|j| j.id == id)
-                        .expect("reserved job exists");
+                    // time; find the Job in the submission record.
+                    let Some(&job) = self.known.get(&id) else {
+                        return Err(EngineError::ReservedJobNotWaiting { job: id });
+                    };
                     (Some(job), iv)
                 } else if let Some(policy) = auto {
                     (self.pop_waiting(policy), None)
@@ -567,13 +1002,13 @@ impl<'a, P: Probe> Engine<'a, P> {
                 };
             if let Some(job) = job {
                 self.assignments
-                    .push(Assignment::new(job.id, t, MachineId(m as u32)));
+                    .push(Assignment::new(job.id, t, MachineId::from_index(m)));
                 self.machines[m].used_until = t + 1;
                 if P::ENABLED {
                     self.probe.record(&Event::Dispatch {
                         time: t,
                         job: job.id,
-                        machine: MachineId(m as u32),
+                        machine: MachineId::from_index(m),
                         start: t,
                     });
                 }
@@ -596,6 +1031,7 @@ impl<'a, P: Probe> Engine<'a, P> {
                 }
             }
         }
+        Ok(())
     }
 
     fn pop_waiting(&mut self, policy: calib_core::PriorityPolicy) -> Option<Job> {
@@ -608,30 +1044,6 @@ impl<'a, P: Probe> Engine<'a, P> {
             .min_by_key(|(_, j)| policy.sort_key(j))
             .map(|(i, _)| i)?;
         Some(self.waiting.remove(best))
-    }
-
-    fn finish(self, instance: &Instance, cal_cost: Cost) -> RunResult {
-        let schedule = Schedule::new(self.calibrations, self.assignments);
-        if let Err(e) = check_schedule(instance, &schedule) {
-            panic!("online engine produced an infeasible schedule: {e}");
-        }
-        let flow = schedule.total_weighted_flow(instance);
-        let calibrations = schedule.calibration_count();
-        if P::ENABLED {
-            self.probe.record(&Event::RunComplete {
-                time: self.clock,
-                flow,
-                calibrations: calibrations as u64,
-            });
-        }
-        RunResult {
-            cost: cal_cost * calibrations as Cost + flow,
-            flow,
-            calibrations,
-            schedule,
-            intervals: self.intervals,
-            trace: self.trace,
-        }
     }
 }
 
@@ -783,5 +1195,106 @@ mod tests {
             probe.events.last(),
             Some(Event::RunComplete { .. })
         ));
+    }
+
+    /// Feeding a session release group by release group (the daemon's step
+    /// pattern) must reproduce the batch schedule exactly.
+    #[test]
+    fn incremental_session_matches_batch_run() {
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 0, 1, 3, 9, 9, 22])
+            .build()
+            .unwrap();
+        for g in [0u128, 3, 7, 40] {
+            let batch = run_online(&inst, g, &mut crate::Alg1::new());
+
+            let mut scheduler = crate::Alg1::new();
+            let mut session =
+                EngineSession::new(inst.machines(), inst.cal_len(), g, EngineConfig::default())
+                    .unwrap();
+            let mut streamed = Decisions::default();
+            let mut jobs = inst.jobs().to_vec();
+            while !jobs.is_empty() {
+                let release = jobs[0].release;
+                let group: Vec<Job> = jobs
+                    .iter()
+                    .copied()
+                    .filter(|j| j.release == release)
+                    .collect();
+                jobs.retain(|j| j.release != release);
+                let d = session.step(release, &group, &mut scheduler).unwrap();
+                streamed.calibrations.extend(d.calibrations);
+                streamed.starts.extend(d.starts);
+            }
+            let d = session.drain(&mut scheduler).unwrap();
+            streamed.calibrations.extend(d.calibrations);
+            streamed.starts.extend(d.starts);
+
+            let (outcome, _) = session.finish();
+            assert_eq!(outcome.schedule, batch.schedule, "G={g}");
+            assert_eq!(outcome.flow, batch.flow, "G={g}");
+            assert_eq!(outcome.cost, batch.cost, "G={g}");
+            // The streamed deltas add up to the full schedule.
+            assert_eq!(streamed.calibrations, outcome.schedule.calibrations);
+            assert_eq!(streamed.starts, outcome.schedule.assignments);
+        }
+    }
+
+    /// A session keeps serving after rejecting a bad submission.
+    #[test]
+    fn session_rejects_past_and_duplicate_arrivals_without_poisoning() {
+        let mut scheduler = crate::Alg1::new();
+        let mut session = EngineSession::new(1, 5, 2, EngineConfig::default()).unwrap();
+        session
+            .step(10, &[Job::unweighted(0, 10)], &mut scheduler)
+            .unwrap();
+
+        // The engine has processed a step at t >= 10: release 5 is history.
+        let past = session.submit(&[Job::unweighted(1, 5)]).unwrap_err();
+        assert_eq!(past.code(), "arrival-in-past");
+        // Job 0 again: duplicate.
+        let dup = session.submit(&[Job::unweighted(0, 99)]).unwrap_err();
+        assert_eq!(dup.code(), "duplicate-job");
+
+        // Still functional: a fresh future job drains cleanly.
+        session
+            .step(40, &[Job::unweighted(2, 40)], &mut scheduler)
+            .unwrap();
+        session.drain(&mut scheduler).unwrap();
+        let (outcome, _) = session.finish();
+        assert_eq!(outcome.schedule.assignments.len(), 2);
+    }
+
+    #[test]
+    fn session_requires_machines_and_reports_codes() {
+        let Err(e) = EngineSession::new(0, 3, 1, EngineConfig::default()) else {
+            panic!("zero machines must be rejected");
+        };
+        assert_eq!(e.code(), "no-machines");
+        let fuel = EngineError::FuelExhausted { t: 7 };
+        assert_eq!(fuel.code(), "fuel-exhausted");
+        assert!(fuel.to_string().contains("fuel exhausted at t=7"));
+    }
+
+    /// `step(now)` must not advance past `now`: decisions due later arrive
+    /// only after a later step — the daemon's tick semantics.
+    #[test]
+    fn step_respects_virtual_time_bound() {
+        let mut scheduler = crate::Alg1::new();
+        let mut session = EngineSession::new(1, 4, 0, EngineConfig::default()).unwrap();
+        // G=0: Alg1 calibrates immediately on arrival.
+        let d = session
+            .step(
+                0,
+                &[Job::unweighted(0, 0), Job::unweighted(1, 6)],
+                &mut scheduler,
+            )
+            .unwrap();
+        assert_eq!(d.starts.len(), 1, "only the released job may start");
+        assert!(!session.is_idle(), "job 1 still pending");
+        let d = session.step(6, &[], &mut scheduler).unwrap();
+        assert_eq!(d.starts.len(), 1);
+        session.drain(&mut scheduler).unwrap();
+        assert!(session.is_idle());
     }
 }

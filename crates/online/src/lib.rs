@@ -46,8 +46,8 @@ pub use alg2::{Alg2, ExtractionPolicy};
 pub use alg3::{run_alg3_practical, Alg3};
 pub use baselines::{CalibrateImmediately, SkiRentalBatch};
 pub use engine::{
-    run_online, run_online_probed, run_online_with, EngineConfig, EngineView, IntervalRecord,
-    MachineState, RunResult,
+    run_online, run_online_probed, run_online_with, Decisions, EngineConfig, EngineError,
+    EngineSession, EngineView, IntervalRecord, MachineState, RunResult, SessionOutcome,
 };
 pub use randomized::RandomizedSkiRental;
 pub use scheduler::{Decision, OnlineScheduler, Reservation};

@@ -1,0 +1,450 @@
+//! Seeded load generator and correctness client for `calib-serve`.
+//!
+//! ```text
+//! calib-loadgen --addr 127.0.0.1:PORT --tenants 8 --jobs 5000 --seed 7
+//!               [--tick-every N] [--window W]
+//! ```
+//!
+//! Each tenant runs on its own connection and thread: it draws a sized
+//! instance from the difftest workload-family generator (algorithms cycle
+//! alg1 → alg2 → alg3 across tenants, with machine/weight bounds matched
+//! to each algorithm's contract), replays the arrivals in release order
+//! against the daemon's virtual clock with pipelined requests, drains, and
+//! finally checks the daemon's accounting — feasibility-checker verdict
+//! AND exact integer equality of flow/cost against a local batch
+//! `run_online` of the identical instance. Any divergence is a bug by the
+//! engine-determinism contract.
+//!
+//! Prints one JSON summary line (throughput, latency percentiles via
+//! `calib_sim::stats`, mismatch counts). Exit status: 0 clean, 1 for any
+//! mismatch/violation/protocol error, 2 for usage or connection errors.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use calib_core::json::{Json, ToJson};
+use calib_core::{Instance, Job, Time};
+use calib_difftest::{gen_case_sized, GenParams};
+use calib_online::{run_online, OnlineScheduler};
+use calib_serve::Algorithm;
+use calib_sim::stats::Summary;
+
+struct Args {
+    addr: String,
+    tenants: usize,
+    jobs: usize,
+    seed: u64,
+    tick_every: usize,
+    window: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        tenants: 3,
+        jobs: 200,
+        seed: 7,
+        tick_every: 64,
+        window: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--tenants" => {
+                args.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--tick-every" => {
+                args.tick_every = value("--tick-every")?
+                    .parse()
+                    .map_err(|e| format!("--tick-every: {e}"))?;
+            }
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: calib-loadgen --addr HOST:PORT [--tenants N] \
+                     [--jobs N] [--seed S] [--tick-every N] [--window W]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".to_string());
+    }
+    args.tenants = args.tenants.max(1);
+    args.jobs = args.jobs.max(1);
+    args.tick_every = args.tick_every.max(1);
+    args.window = args.window.clamp(1, 64);
+    Ok(args)
+}
+
+/// The algorithm the i-th tenant exercises, with generator bounds matched
+/// to its contract (alg1/alg2 are single-machine; alg1/alg3 unweighted).
+fn tenant_plan(i: usize) -> (Algorithm, GenParams) {
+    let base = GenParams {
+        max_n: 1, // overridden by the sized generator
+        max_t: 8,
+        max_g: 60,
+        max_p: 1,
+        max_weight: 1,
+    };
+    match i % 3 {
+        0 => (Algorithm::Alg1, base),
+        1 => (
+            Algorithm::Alg2,
+            GenParams {
+                max_weight: 9,
+                ..base
+            },
+        ),
+        _ => (Algorithm::Alg3, GenParams { max_p: 3, ..base }),
+    }
+}
+
+fn fresh_scheduler(alg: Algorithm) -> Box<dyn OnlineScheduler + Send> {
+    alg.scheduler()
+}
+
+/// What one tenant thread produced.
+struct TenantOutcome {
+    decisions: u64,
+    latencies_us: Vec<f64>,
+    errors: Vec<String>,
+}
+
+struct Pipe {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_seq: u64,
+    /// In-flight `(seq, sent-at)`, FIFO — replies come back in order.
+    in_flight: std::collections::VecDeque<(u64, Instant)>,
+    window: usize,
+    latencies_us: Vec<f64>,
+    decisions: u64,
+    errors: Vec<String>,
+    /// Reply to the final request, once it has drained.
+    last_reply: Option<Json>,
+}
+
+impl Pipe {
+    fn connect(addr: &str, window: usize) -> std::io::Result<Pipe> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Pipe {
+            writer: BufWriter::new(stream),
+            reader,
+            next_seq: 0,
+            in_flight: std::collections::VecDeque::new(),
+            window,
+            latencies_us: Vec::new(),
+            decisions: 0,
+            errors: Vec::new(),
+            last_reply: None,
+        })
+    }
+
+    /// Sends one request object (seq appended automatically), reading
+    /// replies whenever the pipeline window is full.
+    fn send(&mut self, mut fields: Vec<(&'static str, Json)>) -> std::io::Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        fields.push(("seq", seq.to_json()));
+        let mut line = Json::obj(fields).to_string_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.in_flight.push_back((seq, Instant::now()));
+        while self.in_flight.len() >= self.window {
+            self.read_one()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every outstanding reply has been read.
+    fn settle(&mut self) -> std::io::Result<()> {
+        while !self.in_flight.is_empty() {
+            self.read_one()?;
+        }
+        Ok(())
+    }
+
+    fn read_one(&mut self) -> std::io::Result<()> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-session",
+            ));
+        }
+        let Some((seq, sent)) = self.in_flight.pop_front() else {
+            self.errors.push("unsolicited reply".to_string());
+            return Ok(());
+        };
+        self.latencies_us
+            .push(sent.elapsed().as_secs_f64() * 1_000_000.0);
+        let reply = match Json::parse(line.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                self.errors.push(format!("unparseable reply: {e}"));
+                return Ok(());
+            }
+        };
+        if reply.get("seq").and_then(Json::as_u64) != Some(seq) {
+            self.errors
+                .push(format!("reply out of order (expected seq {seq}): {line}"));
+        }
+        if reply.get("type").and_then(Json::as_str) == Some("error") {
+            let code = reply
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            self.errors.push(format!("server error `{code}`: {line}"));
+        }
+        // `decisions`/`tick` replies carry the arrays at top level;
+        // `drained` nests its final delta under `decisions`.
+        let delta = reply.get("decisions").unwrap_or(&reply);
+        for key in ["calibrations", "starts"] {
+            if let Some(arr) = delta.get(key).and_then(Json::as_arr) {
+                self.decisions += u64::try_from(arr.len()).unwrap_or(0);
+            }
+        }
+        self.last_reply = Some(reply);
+        Ok(())
+    }
+}
+
+fn run_tenant(
+    addr: &str,
+    name: &str,
+    seed: u64,
+    jobs: usize,
+    plan_index: usize,
+    args: &Args,
+) -> TenantOutcome {
+    let (algorithm, params) = tenant_plan(plan_index);
+    let case = gen_case_sized(seed, &params, jobs);
+    let instance: &Instance = &case.instance;
+
+    // The local ground truth: the batch engine on the identical instance.
+    let expected = run_online(instance, case.cal_cost, fresh_scheduler(algorithm).as_mut());
+
+    let fail = |msg: String| TenantOutcome {
+        decisions: 0,
+        latencies_us: Vec::new(),
+        errors: vec![msg],
+    };
+    let mut pipe = match Pipe::connect(addr, args.window) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{name}: connect: {e}")),
+    };
+
+    let io_result = (|| -> std::io::Result<()> {
+        pipe.send(vec![
+            ("type", "hello".to_json()),
+            ("tenant", name.to_json()),
+            ("machines", instance.machines().to_json()),
+            ("cal_len", instance.cal_len().to_json()),
+            ("cal_cost", case.cal_cost.to_json()),
+            ("algorithm", algorithm.name().to_json()),
+        ])?;
+
+        // Replay arrivals in release order (instance job order is id order,
+        // not arrival order), grouped by release, `tick_every` release
+        // groups per clock advance.
+        let mut all: Vec<Job> = instance.jobs().to_vec();
+        all.sort_by_key(|j| (j.release, j.id));
+        let mut i = 0usize;
+        while i < all.len() {
+            let mut batch: Vec<Job> = Vec::new();
+            let mut groups = 0usize;
+            let mut last_release: Option<Time> = None;
+            while i < all.len() {
+                let release = all[i].release;
+                if last_release != Some(release) {
+                    // Never split a release group across chunks: its tail
+                    // would arrive after `tick` already passed the release.
+                    if groups == args.tick_every {
+                        break;
+                    }
+                    groups += 1;
+                    last_release = Some(release);
+                }
+                batch.push(all[i]);
+                i += 1;
+            }
+            let upto = last_release.unwrap_or(0);
+            pipe.send(vec![
+                ("type", "arrive".to_json()),
+                ("tenant", name.to_json()),
+                ("jobs", batch.to_json()),
+            ])?;
+            pipe.send(vec![
+                ("type", "tick".to_json()),
+                ("tenant", name.to_json()),
+                ("now", upto.to_json()),
+            ])?;
+        }
+
+        pipe.send(vec![
+            ("type", "drain".to_json()),
+            ("tenant", name.to_json()),
+        ])?;
+        pipe.settle()?;
+
+        // The drained accounting must match the batch run exactly.
+        if let Some(reply) = pipe.last_reply.take() {
+            check_accounting(&reply, name, expected.flow, expected.cost, &mut pipe.errors);
+        } else {
+            pipe.errors.push(format!("{name}: no drain reply"));
+        }
+
+        pipe.send(vec![("type", "bye".to_json()), ("tenant", name.to_json())])?;
+        pipe.settle()?;
+        Ok(())
+    })();
+
+    if let Err(e) = io_result {
+        pipe.errors.push(format!("{name}: {e}"));
+    }
+    TenantOutcome {
+        decisions: pipe.decisions,
+        latencies_us: pipe.latencies_us,
+        errors: pipe.errors,
+    }
+}
+
+fn check_accounting(
+    reply: &Json,
+    name: &str,
+    expected_flow: u128,
+    expected_cost: u128,
+    errors: &mut Vec<String>,
+) {
+    if reply.get("type").and_then(Json::as_str) != Some("drained") {
+        errors.push(format!("{name}: drain did not return a `drained` reply"));
+        return;
+    }
+    if reply.get("checker_ok") != Some(&Json::Bool(true)) {
+        errors.push(format!(
+            "{name}: feasibility checker rejected the drained schedule: {:?}",
+            reply.get("violations")
+        ));
+    }
+    let flow = reply.get("flow").and_then(Json::as_u128);
+    let cost = reply.get("cost").and_then(Json::as_u128);
+    if flow != Some(expected_flow) {
+        errors.push(format!(
+            "{name}: flow mismatch: daemon {flow:?}, batch {expected_flow}"
+        ));
+    }
+    if cost != Some(expected_cost) {
+        errors.push(format!(
+            "{name}: objective mismatch: daemon {cost:?}, batch {expected_cost}"
+        ));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let outcomes: Vec<TenantOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.tenants)
+            .map(|i| {
+                let args = &args;
+                scope.spawn(move || {
+                    let name = format!("tenant-{i}");
+                    let seed = args
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(u64::try_from(i).unwrap_or(0));
+                    run_tenant(&args.addr, &name, seed, args.jobs, i, args)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| TenantOutcome {
+                    decisions: 0,
+                    latencies_us: Vec::new(),
+                    errors: vec!["tenant thread panicked".to_string()],
+                })
+            })
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let decisions: u64 = outcomes.iter().map(|o| o.decisions).sum();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for o in &outcomes {
+        latencies.extend_from_slice(&o.latencies_us);
+        errors.extend(o.errors.iter().cloned());
+    }
+    let latency = Summary::from_values(&latencies);
+    let per_sec = if wall > 0.0 {
+        decisions as f64 / wall
+    } else {
+        0.0
+    };
+
+    let mut fields = vec![
+        ("type", Json::Str("loadgen".to_string())),
+        ("tenants", args.tenants.to_json()),
+        ("jobs_per_tenant", args.jobs.to_json()),
+        ("seed", args.seed.to_json()),
+        ("decisions", decisions.to_json()),
+        ("wall_secs", wall.to_json()),
+        ("decisions_per_sec", per_sec.to_json()),
+        ("requests", latencies.len().to_json()),
+        ("errors", errors.len().to_json()),
+    ];
+    if let Some(s) = &latency {
+        fields.push((
+            "latency_us",
+            Json::obj([
+                ("mean", s.mean.to_json()),
+                ("p50", s.p50.to_json()),
+                ("p95", s.p95.to_json()),
+                ("max", s.max.to_json()),
+            ]),
+        ));
+    }
+    println!("{}", Json::obj(fields).to_string_compact());
+    for e in &errors {
+        eprintln!("loadgen: {e}");
+    }
+    if errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

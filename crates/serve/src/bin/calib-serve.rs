@@ -1,0 +1,144 @@
+//! The scheduling daemon.
+//!
+//! ```text
+//! calib-serve --listen 127.0.0.1:0 [--workers N] [--queue-cap N]
+//!             [--trace-dir DIR] [--run-forever]
+//! calib-serve --stdin [--workers N] [--queue-cap N] [--trace-dir DIR]
+//! ```
+//!
+//! In TCP mode the daemon prints one `{"type":"listening","addr":...}`
+//! line to stdout once the socket is bound (bind port 0 to let the OS
+//! pick), serves until idle (every connection closed, every tenant gone),
+//! then prints one `{"type":"accounting",...}` line per tenant and a final
+//! `{"type":"served",...}` summary. In `--stdin` mode the protocol runs
+//! over stdin/stdout and the accounting goes to stderr.
+//!
+//! Exit status: 0 when every tenant's final schedule passed the
+//! feasibility checker, 1 when any failed, 2 on usage or I/O errors.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use calib_core::json::{Json, ToJson};
+use calib_serve::{serve, serve_stream, ServeReport, ServerConfig};
+
+struct Args {
+    listen: Option<String>,
+    stdin: bool,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: None,
+        stdin: false,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--stdin" => args.stdin = true,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--trace-dir" => {
+                args.config.trace_dir = Some(value("--trace-dir")?.into());
+            }
+            "--run-forever" => args.config.exit_when_idle = false,
+            "--help" | "-h" => {
+                return Err("usage: calib-serve --listen ADDR | --stdin \
+                     [--workers N] [--queue-cap N] [--trace-dir DIR] [--run-forever]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.stdin == args.listen.is_some() {
+        return Err("pass exactly one of --listen ADDR or --stdin".to_string());
+    }
+    Ok(args)
+}
+
+fn print_report(report: &ServeReport, mut out: impl Write) {
+    for acc in &report.accountings {
+        let mut fields = vec![("type", Json::Str("accounting".to_string()))];
+        fields.extend(acc.fields());
+        let _ = writeln!(out, "{}", Json::obj(fields).to_string_compact());
+    }
+    let summary = Json::obj([
+        ("type", Json::Str("served".to_string())),
+        ("tenants", report.accountings.len().to_json()),
+        ("connections", report.connections.to_json()),
+        ("busy_drops", report.busy_drops.to_json()),
+        ("all_ok", Json::Bool(report.all_ok())),
+    ]);
+    let _ = writeln!(out, "{}", summary.to_string_compact());
+    let _ = out.flush();
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if args.stdin {
+        let stdout = Box::new(std::io::stdout());
+        serve_stream(std::io::stdin().lock(), stdout, args.config)
+    } else {
+        let addr = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match listener.local_addr() {
+            Ok(local) => {
+                let line = Json::obj([
+                    ("type", Json::Str("listening".to_string())),
+                    ("addr", Json::Str(local.to_string())),
+                ]);
+                println!("{}", line.to_string_compact());
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("cannot read local addr: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        match serve(listener, args.config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if args.stdin {
+        // Replies own stdout in stdin mode; accounting goes to stderr.
+        print_report(&report, std::io::stderr());
+    } else {
+        print_report(&report, std::io::stdout());
+    }
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

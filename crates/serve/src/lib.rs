@@ -1,0 +1,28 @@
+//! # calib-serve
+//!
+//! A multi-tenant online-scheduling daemon for the paper's Section-3
+//! algorithms: clients open tenant sessions over a line-delimited JSON
+//! protocol (TCP or stdin), stream job arrivals against a virtual clock,
+//! and receive calibration/assignment decisions as they are made — the
+//! long-running counterpart of the batch `calib-sim` simulator, driving
+//! the *same* incremental engine (`calib_online::EngineSession`), so the
+//! daemon's schedules are byte-identical to batch runs and every drained
+//! session is validated by the trusted `calib_core::check_schedule`.
+//!
+//! See `SERVE.md` at the repo root for the protocol catalogue,
+//! backpressure and shutdown semantics, and an example transcript. The two
+//! binaries are `calib-serve` (the daemon) and `calib-loadgen` (a seeded
+//! load generator that replays difftest workload families and checks the
+//! daemon's objectives against local batch runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
+pub use server::{serve, serve_stream, ServeReport, ServerConfig};
+pub use session::{Algorithm, SessionError, TenantConfig, TenantSession};

@@ -1,0 +1,507 @@
+//! The wire protocol: line-delimited JSON requests and replies.
+//!
+//! Every message is one compact JSON object on one line. Requests carry a
+//! `type` tag, a `tenant` name (except before `hello`), and an optional
+//! client-chosen `seq` number that is echoed verbatim in the matching reply
+//! so clients can pipeline requests. The full message catalogue, with
+//! examples, lives in `SERVE.md` at the repo root.
+//!
+//! Error replies carry a stable kebab-case `code` (mirroring
+//! `calib_core::Violation::code` and `calib_online::EngineError::code`)
+//! plus a human-oriented `message`; clients must branch on the code, never
+//! the text.
+
+use calib_core::json::{FromJson, Json, ToJson};
+use calib_core::obs::CounterSnapshot;
+use calib_core::{Assignment, Calibration, Cost, Job, Time};
+
+/// Upper bound on one request line, in bytes. A line longer than this is
+/// rejected with `line-too-long` before parsing — a malformed client must
+/// not make the server buffer without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a tenant session.
+    Hello {
+        /// Tenant name (registry key; must be new).
+        tenant: String,
+        /// Machine count `P` (must be ≥ 1).
+        machines: usize,
+        /// Calibration length `T`.
+        cal_len: Time,
+        /// Calibration cost `G`.
+        cal_cost: Cost,
+        /// Algorithm name (`alg1`, `alg2`, `alg3`, `immediate`).
+        algorithm: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Submit a batch of future jobs.
+    Arrive {
+        /// Target tenant.
+        tenant: String,
+        /// The jobs; ids must be session-unique, releases not in the past.
+        jobs: Vec<Job>,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Advance the tenant's virtual clock to `now`.
+    Tick {
+        /// Target tenant.
+        tenant: String,
+        /// New virtual time (must not regress).
+        now: Time,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Fetch decisions made since the last delta, without advancing time.
+    Decisions {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Fetch the tenant's counters.
+    Stats {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Run the session to completion of all submitted work.
+    Drain {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Close the tenant session (drains first).
+    Bye {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+}
+
+impl Request {
+    /// The tenant the request addresses.
+    pub fn tenant(&self) -> &str {
+        match self {
+            Request::Hello { tenant, .. }
+            | Request::Arrive { tenant, .. }
+            | Request::Tick { tenant, .. }
+            | Request::Decisions { tenant, .. }
+            | Request::Stats { tenant, .. }
+            | Request::Drain { tenant, .. }
+            | Request::Bye { tenant, .. } => tenant,
+        }
+    }
+
+    /// The request's echoable sequence number.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Request::Hello { seq, .. }
+            | Request::Arrive { seq, .. }
+            | Request::Tick { seq, .. }
+            | Request::Decisions { seq, .. }
+            | Request::Stats { seq, .. }
+            | Request::Drain { seq, .. }
+            | Request::Bye { seq, .. } => *seq,
+        }
+    }
+
+    /// Parses one request line (already known to be valid JSON).
+    ///
+    /// Errors are `(code, message)` pairs ready for an error reply.
+    pub fn from_json(v: &Json) -> Result<Request, (&'static str, String)> {
+        let bad = |msg: String| ("bad-message", msg);
+        let obj_str = |key: &str| -> Result<String, (&'static str, String)> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("missing or non-string field `{key}`")))
+        };
+        let obj_u64 = |key: &str| -> Result<u64, (&'static str, String)> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("missing or non-integer field `{key}`")))
+        };
+        let obj_i64 = |key: &str| -> Result<i64, (&'static str, String)> {
+            v.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| bad(format!("missing or non-integer field `{key}`")))
+        };
+        let seq = v.get("seq").and_then(Json::as_u64);
+        let ty = obj_str("type")?;
+        let tenant = obj_str("tenant")?;
+        match ty.as_str() {
+            "hello" => Ok(Request::Hello {
+                tenant,
+                machines: usize::try_from(obj_u64("machines")?)
+                    .map_err(|_| bad("`machines` out of range".to_string()))?,
+                cal_len: obj_i64("cal_len")?,
+                cal_cost: Cost::from(obj_u64("cal_cost")?),
+                algorithm: obj_str("algorithm")?,
+                seq,
+            }),
+            "arrive" => {
+                let jobs_json = v
+                    .get("jobs")
+                    .ok_or_else(|| bad("missing field `jobs`".to_string()))?;
+                let jobs = Vec::<Job>::from_json(jobs_json)
+                    .map_err(|e| bad(format!("bad `jobs` array: {e}")))?;
+                Ok(Request::Arrive { tenant, jobs, seq })
+            }
+            "tick" => Ok(Request::Tick {
+                tenant,
+                now: obj_i64("now")?,
+                seq,
+            }),
+            "decisions" => Ok(Request::Decisions { tenant, seq }),
+            "stats" => Ok(Request::Stats { tenant, seq }),
+            "drain" => Ok(Request::Drain { tenant, seq }),
+            "bye" => Ok(Request::Bye { tenant, seq }),
+            other => Err(("bad-message", format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+/// Per-tenant final accounting, emitted on `bye`, on disconnect cleanup,
+/// and in the daemon's shutdown report. `checker_ok` is the verdict of the
+/// trusted `calib_core::check_schedule` run over the session's complete
+/// schedule against the submitted jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accounting {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs submitted over the session's lifetime.
+    pub jobs: usize,
+    /// Jobs actually scheduled (equals `jobs` iff the session drained).
+    pub scheduled: usize,
+    /// Calibrations issued.
+    pub calibrations: usize,
+    /// Total weighted flow of the schedule.
+    pub flow: Cost,
+    /// Online objective `G·C + flow`.
+    pub cost: Cost,
+    /// Did the feasibility checker accept the schedule?
+    pub checker_ok: bool,
+    /// Stable violation codes when it did not.
+    pub violations: Vec<String>,
+}
+
+impl Accounting {
+    /// The accounting as a reply-ready JSON object (without `type`).
+    pub fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("jobs", self.jobs.to_json()),
+            ("scheduled", self.scheduled.to_json()),
+            ("calibrations", self.calibrations.to_json()),
+            ("flow", self.flow.to_json()),
+            ("cost", self.cost.to_json()),
+            ("checker_ok", Json::Bool(self.checker_ok)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|c| Json::Str(c.clone()))
+                        .collect(),
+                ),
+            ),
+        ]
+    }
+}
+
+/// A server reply, one line of JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Request accepted with nothing else to report.
+    Ok {
+        /// Addressed tenant.
+        tenant: String,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Decisions streamed back after a `tick`, `decisions`, or `drain`.
+    Decisions {
+        /// Addressed tenant.
+        tenant: String,
+        /// The tenant's virtual time, if a tick has happened.
+        now: Option<Time>,
+        /// Calibrations issued since the previous delta.
+        calibrations: Vec<Calibration>,
+        /// Job starts materialized since the previous delta.
+        starts: Vec<Assignment>,
+        /// True when the session has no unfinished work left.
+        idle: bool,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Counter snapshot for `stats`.
+    Stats {
+        /// Addressed tenant.
+        tenant: String,
+        /// Engine counters (arrivals, dispatches, calibrations, …).
+        counters: CounterSnapshot,
+        /// Requests queued for the tenant right now.
+        queue_depth: usize,
+        /// Highest queue depth observed.
+        queue_high_water: usize,
+        /// Requests dropped with `busy` since the session opened.
+        busy_drops: u64,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Final accounting answering `drain`, plus the decision delta the
+    /// drain produced (everything since the last `tick`/`decisions`).
+    Drained {
+        /// The validated accounting.
+        accounting: Accounting,
+        /// Calibrations started while draining.
+        calibrations: Vec<Calibration>,
+        /// Jobs started while draining.
+        starts: Vec<Assignment>,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Final accounting answering `bye`; the tenant is gone afterwards.
+    Goodbye {
+        /// The validated accounting.
+        accounting: Accounting,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// A typed failure; the session (if any) is still usable unless the
+    /// code says otherwise.
+    Error {
+        /// Stable kebab-case error class.
+        code: String,
+        /// Human-oriented detail.
+        message: String,
+        /// Addressed tenant, when one could be determined.
+        tenant: Option<String>,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+}
+
+fn put_seq(fields: &mut Vec<(&'static str, Json)>, seq: Option<u64>) {
+    if let Some(s) = seq {
+        fields.push(("seq", s.to_json()));
+    }
+}
+
+impl Reply {
+    /// Builds an error reply.
+    pub fn error(
+        code: &str,
+        message: impl Into<String>,
+        tenant: Option<&str>,
+        seq: Option<u64>,
+    ) -> Reply {
+        Reply::Error {
+            code: code.to_string(),
+            message: message.into(),
+            tenant: tenant.map(str::to_string),
+            seq,
+        }
+    }
+
+    /// Serializes the reply as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Reply::Ok { tenant, seq } => {
+                let mut fields = vec![
+                    ("type", Json::Str("ok".to_string())),
+                    ("tenant", Json::Str(tenant.clone())),
+                ];
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Decisions {
+                tenant,
+                now,
+                calibrations,
+                starts,
+                idle,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("decisions".to_string())),
+                    ("tenant", Json::Str(tenant.clone())),
+                ];
+                if let Some(now) = now {
+                    fields.push(("now", now.to_json()));
+                }
+                fields.push(("calibrations", calibrations.to_json()));
+                fields.push(("starts", starts.to_json()));
+                fields.push(("idle", Json::Bool(*idle)));
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Stats {
+                tenant,
+                counters,
+                queue_depth,
+                queue_high_water,
+                busy_drops,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("stats".to_string())),
+                    ("tenant", Json::Str(tenant.clone())),
+                    ("counters", counters.to_json()),
+                    ("queue_depth", queue_depth.to_json()),
+                    ("queue_high_water", queue_high_water.to_json()),
+                    ("busy_drops", busy_drops.to_json()),
+                ];
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Drained {
+                accounting,
+                calibrations,
+                starts,
+                seq,
+            } => {
+                let mut fields = vec![("type", Json::Str("drained".to_string()))];
+                fields.extend(accounting.fields());
+                // Nested: the accounting already claims the top-level
+                // `calibrations` key for its count.
+                fields.push((
+                    "decisions",
+                    Json::obj([
+                        ("calibrations", calibrations.to_json()),
+                        ("starts", starts.to_json()),
+                    ]),
+                ));
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Goodbye { accounting, seq } => {
+                let mut fields = vec![("type", Json::Str("goodbye".to_string()))];
+                fields.extend(accounting.fields());
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Error {
+                code,
+                message,
+                tenant,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("error".to_string())),
+                    ("code", Json::Str(code.clone())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let Some(t) = tenant {
+                    fields.push(("tenant", Json::Str(t.clone())));
+                }
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+        }
+    }
+
+    /// The serialized line, newline included.
+    pub fn to_line(&self) -> String {
+        let mut line = self.to_json().to_string_compact();
+        line.push('\n');
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::JobId;
+
+    fn parse(line: &str) -> Result<Request, (&'static str, String)> {
+        let v = Json::parse(line).expect("test line must be valid JSON");
+        Request::from_json(&v)
+    }
+
+    #[test]
+    fn parses_the_full_catalogue() {
+        let hello = parse(
+            r#"{"type":"hello","tenant":"a","machines":2,"cal_len":5,"cal_cost":10,"algorithm":"alg3","seq":1}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            hello,
+            Request::Hello {
+                tenant: "a".into(),
+                machines: 2,
+                cal_len: 5,
+                cal_cost: 10,
+                algorithm: "alg3".into(),
+                seq: Some(1),
+            }
+        );
+        let arrive =
+            parse(r#"{"type":"arrive","tenant":"a","jobs":[{"id":0,"release":3,"weight":2}]}"#)
+                .unwrap();
+        match arrive {
+            Request::Arrive { jobs, seq, .. } => {
+                assert_eq!(jobs, vec![Job::new(0, 3, 2)]);
+                assert_eq!(seq, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            parse(r#"{"type":"tick","tenant":"a","now":9}"#).unwrap(),
+            Request::Tick {
+                tenant: "a".into(),
+                now: 9,
+                seq: None
+            }
+        );
+        for ty in ["decisions", "stats", "drain", "bye"] {
+            let req = parse(&format!(r#"{{"type":"{ty}","tenant":"a"}}"#)).unwrap();
+            assert_eq!(req.tenant(), "a");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_stable_codes() {
+        let (code, _) = parse(r#"{"type":"warp","tenant":"a"}"#).unwrap_err();
+        assert_eq!(code, "bad-message");
+        let (code, msg) = parse(r#"{"type":"tick","tenant":"a"}"#).unwrap_err();
+        assert_eq!(code, "bad-message");
+        assert!(msg.contains("`now`"), "{msg}");
+        let (code, _) = parse(r#"{"type":"hello","machines":1}"#).unwrap_err();
+        assert_eq!(code, "bad-message");
+    }
+
+    #[test]
+    fn replies_round_trip_through_json() {
+        let reply = Reply::Decisions {
+            tenant: "a".into(),
+            now: Some(7),
+            calibrations: vec![Calibration {
+                machine: calib_core::MachineId(0),
+                start: 7,
+            }],
+            starts: vec![Assignment::new(JobId(3), 8, calib_core::MachineId(0))],
+            idle: false,
+            seq: Some(4),
+        };
+        let v = Json::parse(reply.to_line().trim()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("decisions"));
+        assert_eq!(v.get("now").unwrap().as_i64(), Some(7));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(4));
+        let starts = Vec::<Assignment>::from_json(v.get("starts").unwrap()).unwrap();
+        assert_eq!(starts[0].start, 8);
+
+        let err = Reply::error("busy", "queue full", Some("a"), None);
+        let v = Json::parse(err.to_line().trim()).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("busy"));
+        assert!(v.get("seq").is_none());
+    }
+}

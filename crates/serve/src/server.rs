@@ -1,0 +1,815 @@
+//! The multi-tenant server: connection readers, a fixed worker pool, and
+//! bounded per-tenant queues.
+//!
+//! ## Threading model
+//!
+//! * One reader thread per connection parses request lines and routes them
+//!   into the addressed tenant's inbox. `hello` is handled inline (it only
+//!   touches the registry); everything else is queued.
+//! * A fixed pool of worker threads drains tenant inboxes. A tenant is
+//!   *scheduled* (pushed onto the global ready list) when its inbox goes
+//!   from empty to non-empty, and a worker owns the tenant until the inbox
+//!   is empty again — so each tenant's requests are processed strictly in
+//!   arrival order, one at a time, while distinct tenants run in parallel
+//!   across the pool.
+//! * Replies go through a per-connection mutexed writer; reader threads
+//!   write `busy` and parse errors directly, workers write everything else.
+//!
+//! ## Backpressure
+//!
+//! Each tenant inbox holds at most [`ServerConfig::queue_cap`] requests.
+//! A request arriving at a full inbox is answered immediately with a
+//! `busy` error and dropped — the server never buffers without bound, and
+//! a flooding client only ever hurts itself.
+//!
+//! ## Shutdown
+//!
+//! Pure-std safe Rust cannot install signal handlers, so shutdown is
+//! cooperative: when every connection has closed and every tenant session
+//! is gone (all `bye`d or cleaned up after a disconnect), a server started
+//! with [`ServerConfig::exit_when_idle`] stops accepting and returns a
+//! [`ServeReport`] of all final accountings. Sessions whose connection
+//! drops mid-stream are drained, validated, and accounted exactly like a
+//! `bye` — an abrupt client cannot leave half-open state behind.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use calib_core::json::Json;
+
+use crate::protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
+use crate::session::{Algorithm, SessionError, TenantConfig, TenantSession};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining tenant inboxes.
+    pub workers: usize,
+    /// Per-tenant inbox capacity; the `busy` threshold.
+    pub queue_cap: usize,
+    /// Stop accepting and return once at least one connection has been
+    /// served and no connections or tenants remain.
+    pub exit_when_idle: bool,
+    /// Directory for per-tenant JSON-lines engine traces (opt-in).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            exit_when_idle: true,
+            trace_dir: None,
+        }
+    }
+}
+
+/// What the server did, returned when it exits.
+#[derive(Debug, Default)]
+pub struct ServeReport {
+    /// Final accounting of every tenant, in finalization order.
+    pub accountings: Vec<Accounting>,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests answered with `busy`.
+    pub busy_drops: u64,
+}
+
+impl ServeReport {
+    /// True when every tenant's schedule passed the feasibility checker.
+    pub fn all_ok(&self) -> bool {
+        self.accountings.iter().all(|a| a.checker_ok)
+    }
+}
+
+/// A shared, mutex-guarded line sink for one connection's replies.
+struct ReplySink {
+    writer: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl ReplySink {
+    fn new(writer: Box<dyn Write + Send>) -> ReplySink {
+        ReplySink {
+            writer: Mutex::new(Some(writer)),
+        }
+    }
+
+    /// A sink that discards everything — used for synthetic cleanup
+    /// requests after a disconnect.
+    fn null() -> ReplySink {
+        ReplySink {
+            writer: Mutex::new(None),
+        }
+    }
+
+    /// Writes one reply line. Write errors mean the peer is gone; the sink
+    /// shuts itself off and the reader thread notices on its side.
+    fn send(&self, reply: &Reply) {
+        let mut guard = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(w) = guard.as_mut() {
+            let line = reply.to_line();
+            if w.write_all(line.as_bytes()).is_err() || w.flush().is_err() {
+                *guard = None;
+            }
+        }
+    }
+}
+
+struct Inbox {
+    queue: VecDeque<(Request, Arc<ReplySink>)>,
+    /// A worker currently owns this tenant (it stays un-scheduled until
+    /// the inbox empties).
+    running: bool,
+    high_water: usize,
+}
+
+struct Tenant {
+    name: String,
+    /// Connection that opened the tenant; its EOF triggers cleanup.
+    conn: u64,
+    inbox: Mutex<Inbox>,
+    busy_drops: AtomicU64,
+    /// `None` once finalized.
+    session: Mutex<Option<TenantSession>>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    ready: Mutex<VecDeque<Arc<Tenant>>>,
+    ready_cv: Condvar,
+    shutdown: AtomicBool,
+    accountings: Mutex<Vec<Accounting>>,
+    busy_drops: AtomicU64,
+    active_conns: AtomicU64,
+    conns_seen: AtomicU64,
+}
+
+impl Shared {
+    fn new(config: ServerConfig) -> Shared {
+        Shared {
+            config,
+            tenants: Mutex::new(HashMap::new()),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            accountings: Mutex::new(Vec::new()),
+            busy_drops: AtomicU64::new(0),
+            active_conns: AtomicU64::new(0),
+            conns_seen: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_tenants(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Tenant>>> {
+        match self.tenants.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Pushes `tenant` onto the ready list if no worker owns it.
+    fn schedule(&self, tenant: &Arc<Tenant>) {
+        let should_push = {
+            let mut inbox = lock(&tenant.inbox);
+            if inbox.running || inbox.queue.is_empty() {
+                false
+            } else {
+                inbox.running = true;
+                true
+            }
+        };
+        if should_push {
+            lock(&self.ready).push_back(Arc::clone(tenant));
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// Queues one request for `tenant`, applying backpressure.
+    fn enqueue(&self, tenant: &Arc<Tenant>, req: Request, sink: &Arc<ReplySink>) {
+        let cap = self.config.queue_cap.max(1);
+        let accepted = {
+            let mut inbox = lock(&tenant.inbox);
+            if inbox.queue.len() >= cap {
+                false
+            } else {
+                inbox.queue.push_back((req.clone(), Arc::clone(sink)));
+                inbox.high_water = inbox.high_water.max(inbox.queue.len());
+                true
+            }
+        };
+        if accepted {
+            self.schedule(tenant);
+        } else {
+            tenant.busy_drops.fetch_add(1, Ordering::Relaxed);
+            self.busy_drops.fetch_add(1, Ordering::Relaxed);
+            sink.send(&Reply::error(
+                "busy",
+                format!("tenant queue full ({cap} requests)"),
+                Some(&tenant.name),
+                req.seq(),
+            ));
+        }
+    }
+
+    /// Force-queues a synthetic cleanup request, ignoring the cap (cleanup
+    /// must not be droppable).
+    fn enqueue_cleanup(&self, tenant: &Arc<Tenant>, req: Request) {
+        {
+            let mut inbox = lock(&tenant.inbox);
+            inbox.queue.push_back((req, Arc::new(ReplySink::null())));
+        }
+        self.schedule(tenant);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs the protocol over one already-connected byte stream (the `--stdin`
+/// transport and the unit tests use this directly). Returns when the input
+/// reaches EOF; sessions opened on the stream are finalized.
+pub fn serve_stream(
+    input: impl Read,
+    output: Box<dyn Write + Send>,
+    config: ServerConfig,
+) -> ServeReport {
+    let shared = Arc::new(Shared::new(config));
+    let workers = shared.config.workers.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&shared));
+        }
+        run_connection(&shared, 0, input, output);
+        drain_and_stop(&shared);
+    });
+    report(&shared)
+}
+
+/// Serves TCP connections until idle (see the module docs for the shutdown
+/// contract). The listener must already be bound; it is switched to
+/// non-blocking so the accept loop can observe the idle condition.
+pub fn serve(listener: TcpListener, config: ServerConfig) -> io::Result<ServeReport> {
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared::new(config));
+    let workers = shared.config.workers.max(1);
+    std::thread::scope(|scope| -> io::Result<()> {
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&shared));
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let conn = shared.conns_seen.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared.active_conns.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        stream.set_nodelay(true).ok();
+                        let write_half: Box<dyn Write + Send> = match stream.try_clone() {
+                            Ok(s) => Box::new(BufWriter::new(s)),
+                            Err(_) => Box::new(io::sink()),
+                        };
+                        run_connection(&shared, conn, stream, write_half);
+                        shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let idle = shared.config.exit_when_idle
+                        && shared.conns_seen.load(Ordering::Relaxed) > 0
+                        && shared.active_conns.load(Ordering::Relaxed) == 0
+                        && shared.lock_tenants().is_empty();
+                    if idle {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        drain_and_stop(&shared);
+        Ok(())
+    })?;
+    Ok(report(&shared))
+}
+
+/// Signals workers to finish queued work and exit, then wakes them.
+fn drain_and_stop(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.ready_cv.notify_all();
+}
+
+fn report(shared: &Shared) -> ServeReport {
+    ServeReport {
+        accountings: std::mem::take(&mut lock(&shared.accountings)),
+        connections: shared.conns_seen.load(Ordering::Relaxed),
+        busy_drops: shared.busy_drops.load(Ordering::Relaxed),
+    }
+}
+
+/// Reads request lines from one connection until EOF, routing them.
+fn run_connection(shared: &Shared, conn: u64, input: impl Read, output: Box<dyn Write + Send>) {
+    let sink = Arc::new(ReplySink::new(output));
+    let mut reader = BufReader::new(input);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // A hand-rolled bounded read_line: a peer streaming an endless
+        // line must not balloon the buffer.
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                sink.send(&Reply::error("line-too-long", e.to_string(), None, None));
+                continue;
+            }
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                sink.send(&Reply::error("bad-json", e.to_string(), None, None));
+                continue;
+            }
+        };
+        let request = match Request::from_json(&parsed) {
+            Ok(r) => r,
+            Err((code, message)) => {
+                sink.send(&Reply::error(code, message, None, None));
+                continue;
+            }
+        };
+        route(shared, conn, request, &sink);
+    }
+    cleanup_connection(shared, conn);
+}
+
+/// Reads one `\n`-terminated line, rejecting lines over [`MAX_LINE_BYTES`].
+fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result<usize> {
+    let mut taken = reader.take(u64::try_from(MAX_LINE_BYTES).unwrap_or(u64::MAX));
+    let n = taken.read_line(line)?;
+    if n >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        // Discard the rest of the oversized line before reporting.
+        let reader = taken.get_mut();
+        loop {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                break;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    reader.consume(i + 1);
+                    break;
+                }
+                None => {
+                    let len = buf.len();
+                    reader.consume(len);
+                }
+            }
+        }
+        line.clear();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(n)
+}
+
+fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
+    if let Request::Hello {
+        tenant,
+        machines,
+        cal_len,
+        cal_cost,
+        algorithm,
+        seq,
+    } = &request
+    {
+        let Some(algorithm) = Algorithm::from_name(algorithm) else {
+            sink.send(&Reply::error(
+                "unknown-algorithm",
+                format!("no algorithm named `{algorithm}`"),
+                Some(tenant),
+                *seq,
+            ));
+            return;
+        };
+        let mut tenants = shared.lock_tenants();
+        if tenants.contains_key(tenant.as_str()) {
+            drop(tenants);
+            sink.send(&Reply::error(
+                "duplicate-tenant",
+                format!("tenant `{tenant}` already exists"),
+                Some(tenant),
+                *seq,
+            ));
+            return;
+        }
+        // Only a genuinely new tenant may touch its trace file — a duplicate
+        // hello must not truncate the live tenant's trace.
+        let trace = open_trace(shared, tenant);
+        let config = TenantConfig {
+            machines: *machines,
+            cal_len: *cal_len,
+            cal_cost: *cal_cost,
+            algorithm,
+        };
+        let session = match TenantSession::new(tenant, config, trace) {
+            Ok(s) => s,
+            Err(SessionError { code, message }) => {
+                drop(tenants);
+                sink.send(&Reply::error(code, message, Some(tenant), *seq));
+                return;
+            }
+        };
+        tenants.insert(
+            tenant.clone(),
+            Arc::new(Tenant {
+                name: tenant.clone(),
+                conn,
+                inbox: Mutex::new(Inbox {
+                    queue: VecDeque::new(),
+                    running: false,
+                    high_water: 0,
+                }),
+                busy_drops: AtomicU64::new(0),
+                session: Mutex::new(Some(session)),
+            }),
+        );
+        drop(tenants);
+        sink.send(&Reply::Ok {
+            tenant: tenant.clone(),
+            seq: *seq,
+        });
+        return;
+    }
+
+    let tenant = {
+        let tenants = shared.lock_tenants();
+        tenants.get(request.tenant()).cloned()
+    };
+    match tenant {
+        Some(t) => shared.enqueue(&t, request, sink),
+        None => sink.send(&Reply::error(
+            "unknown-tenant",
+            format!("no tenant named `{}`", request.tenant()),
+            Some(request.tenant()),
+            request.seq(),
+        )),
+    }
+}
+
+fn open_trace(shared: &Shared, tenant: &str) -> Option<BufWriter<std::fs::File>> {
+    let dir = shared.config.trace_dir.as_ref()?;
+    // Tenant names go into a path; keep only a conservative charset.
+    let safe: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    std::fs::create_dir_all(dir).ok()?;
+    let file = std::fs::File::create(dir.join(format!("{safe}.jsonl"))).ok()?;
+    Some(BufWriter::new(file))
+}
+
+/// Finalizes every tenant the closing connection opened, as if each had
+/// sent `bye` — a disconnect must not leak sessions or skip validation.
+fn cleanup_connection(shared: &Shared, conn: u64) {
+    let owned: Vec<Arc<Tenant>> = {
+        let tenants = shared.lock_tenants();
+        tenants
+            .values()
+            .filter(|t| t.conn == conn)
+            .cloned()
+            .collect()
+    };
+    for tenant in owned {
+        let name = tenant.name.clone();
+        shared.enqueue_cleanup(
+            &tenant,
+            Request::Bye {
+                tenant: name,
+                seq: None,
+            },
+        );
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let tenant = {
+            let mut ready = lock(&shared.ready);
+            loop {
+                if let Some(t) = ready.pop_front() {
+                    break Some(t);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                ready = match shared.ready_cv.wait(ready) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let Some(tenant) = tenant else { return };
+        loop {
+            let next = {
+                let mut inbox = lock(&tenant.inbox);
+                match inbox.queue.pop_front() {
+                    Some(env) => Some(env),
+                    None => {
+                        inbox.running = false;
+                        None
+                    }
+                }
+            };
+            let Some((request, sink)) = next else { break };
+            process(shared, &tenant, request, &sink);
+        }
+    }
+}
+
+/// Handles one queued request against the tenant's session.
+fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<ReplySink>) {
+    let seq = request.seq();
+    let mut session_slot = lock(&tenant.session);
+    let Some(session) = session_slot.as_mut() else {
+        // Finalized while this request sat in the queue (bye or disconnect
+        // cleanup won the race).
+        sink.send(&Reply::error(
+            "unknown-tenant",
+            format!("tenant `{}` is closed", tenant.name),
+            Some(&tenant.name),
+            seq,
+        ));
+        return;
+    };
+    let name = tenant.name.clone();
+    let reply = match request {
+        Request::Hello { .. } => Reply::error(
+            "duplicate-tenant",
+            "hello on an open session",
+            Some(&name),
+            seq,
+        ),
+        Request::Arrive { jobs, .. } => match session.arrive(&jobs) {
+            Ok(()) => Reply::Ok { tenant: name, seq },
+            Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
+        },
+        Request::Tick { now, .. } => match session.tick(now) {
+            Ok(delta) => Reply::Decisions {
+                tenant: name,
+                now: Some(now),
+                calibrations: delta.calibrations,
+                starts: delta.starts,
+                idle: session.is_idle(),
+                seq,
+            },
+            Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
+        },
+        Request::Decisions { .. } => {
+            let delta = session.decisions();
+            Reply::Decisions {
+                tenant: name,
+                now: session.now(),
+                calibrations: delta.calibrations,
+                starts: delta.starts,
+                idle: session.is_idle(),
+                seq,
+            }
+        }
+        Request::Stats { .. } => {
+            let (queue_depth, queue_high_water) = {
+                let inbox = lock(&tenant.inbox);
+                (inbox.queue.len(), inbox.high_water)
+            };
+            Reply::Stats {
+                tenant: name,
+                counters: session.counters().snapshot(),
+                queue_depth,
+                queue_high_water,
+                busy_drops: tenant.busy_drops.load(Ordering::Relaxed),
+                seq,
+            }
+        }
+        Request::Drain { .. } => match session.drain() {
+            Ok(delta) => Reply::Drained {
+                accounting: session.accounting(),
+                calibrations: delta.calibrations,
+                starts: delta.starts,
+                seq,
+            },
+            Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
+        },
+        Request::Bye { .. } => {
+            let session = session_slot.take();
+            drop(session_slot);
+            shared.lock_tenants().remove(&tenant.name);
+            let accounting = match session {
+                Some(s) => {
+                    let (accounting, _trace_io) = s.finalize();
+                    accounting
+                }
+                None => return,
+            };
+            lock(&shared.accountings).push(accounting.clone());
+            sink.send(&Reply::Goodbye { accounting, seq });
+            return;
+        }
+    };
+    drop(session_slot);
+    sink.send(&reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `serve_stream` with a scripted input and captures the output.
+    fn transcript(lines: &[&str]) -> Vec<Json> {
+        let input = lines.join("\n") + "\n";
+        let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                lock(&self.0).extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let report = serve_stream(
+            input.as_bytes(),
+            Box::new(SharedBuf(Arc::clone(&out))),
+            ServerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok(), "accountings: {:?}", report.accountings);
+        let bytes = lock(&out).clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn hello_arrive_tick_bye_happy_path() {
+        let replies = transcript(&[
+            r#"{"type":"hello","tenant":"a","machines":1,"cal_len":4,"cal_cost":6,"algorithm":"alg1","seq":0}"#,
+            r#"{"type":"arrive","tenant":"a","jobs":[{"id":0,"release":0,"weight":1}],"seq":1}"#,
+            r#"{"type":"tick","tenant":"a","now":50,"seq":2}"#,
+            r#"{"type":"bye","tenant":"a","seq":3}"#,
+        ]);
+        let types: Vec<&str> = replies
+            .iter()
+            .map(|r| r.get("type").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(types, vec!["ok", "ok", "decisions", "goodbye"]);
+        // Replies echo seq in order.
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(
+                r.get("seq").unwrap().as_u64(),
+                Some(u64::try_from(i).unwrap())
+            );
+        }
+        let goodbye = &replies[3];
+        assert_eq!(goodbye.get("checker_ok").unwrap(), &Json::Bool(true));
+        assert_eq!(goodbye.get("jobs").unwrap().as_u64(), Some(1));
+        assert_eq!(goodbye.get("scheduled").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn protocol_faults_do_not_poison_other_tenants() {
+        let replies = transcript(&[
+            r#"{"type":"hello","tenant":"good","machines":1,"cal_len":3,"cal_cost":2,"algorithm":"alg1"}"#,
+            r#"{"type":"hello","tenant":"bad","machines":1,"cal_len":3,"cal_cost":2,"algorithm":"alg1"}"#,
+            r#"this is not json"#,
+            r#"{"type":"hello","tenant":"bad","machines":1,"cal_len":3,"cal_cost":2,"algorithm":"alg1"}"#,
+            r#"{"type":"hello","tenant":"ugly","machines":1,"cal_len":3,"cal_cost":2,"algorithm":"alg7"}"#,
+            r#"{"type":"tick","tenant":"ghost","now":3}"#,
+            r#"{"type":"arrive","tenant":"bad","jobs":[{"id":0,"release":1,"weight":1},{"id":0,"release":2,"weight":1}]}"#,
+            r#"{"type":"arrive","tenant":"good","jobs":[{"id":0,"release":1,"weight":1}]}"#,
+            r#"{"type":"bye","tenant":"bad"}"#,
+            r#"{"type":"bye","tenant":"good"}"#,
+        ]);
+        // Two workers may interleave replies across tenants, so assert by
+        // content, not position.
+        let count = |key: &str, value: &str| {
+            replies
+                .iter()
+                .filter(|r| r.get(key).and_then(Json::as_str) == Some(value))
+                .count()
+        };
+        assert_eq!(count("type", "ok"), 3, "2 hellos + 1 good arrive");
+        for code in [
+            "bad-json",
+            "duplicate-tenant",
+            "unknown-algorithm",
+            "unknown-tenant",
+            "duplicate-job",
+        ] {
+            assert_eq!(count("code", code), 1, "expected one `{code}`: {replies:?}");
+        }
+        // Both surviving tenants close cleanly and validate.
+        let goodbyes: Vec<&Json> = replies
+            .iter()
+            .filter(|r| r.get("type").and_then(Json::as_str) == Some("goodbye"))
+            .collect();
+        assert_eq!(goodbyes.len(), 2);
+        for g in goodbyes {
+            assert_eq!(g.get("checker_ok").unwrap(), &Json::Bool(true));
+        }
+    }
+
+    #[test]
+    fn disconnect_without_bye_finalizes_sessions() {
+        // No bye: EOF after arrive. The report must still carry a checked
+        // accounting for the tenant.
+        let input = [
+            r#"{"type":"hello","tenant":"drop","machines":1,"cal_len":3,"cal_cost":1,"algorithm":"alg1"}"#,
+            r#"{"type":"arrive","tenant":"drop","jobs":[{"id":0,"release":0,"weight":1},{"id":1,"release":1,"weight":1}]}"#,
+        ]
+        .join("\n")
+            + "\n";
+        let report = serve_stream(
+            input.as_bytes(),
+            Box::new(io::sink()),
+            ServerConfig::default(),
+        );
+        assert_eq!(report.accountings.len(), 1);
+        let acc = &report.accountings[0];
+        assert_eq!(acc.tenant, "drop");
+        assert_eq!(acc.scheduled, 2);
+        assert!(acc.checker_ok, "violations: {:?}", acc.violations);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered() {
+        let huge = format!(
+            r#"{{"type":"hello","tenant":"{}","machines":1,"cal_len":3,"cal_cost":1,"algorithm":"alg1"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let input = format!(
+            "{huge}\n{}\n{}\n",
+            r#"{"type":"hello","tenant":"a","machines":1,"cal_len":3,"cal_cost":1,"algorithm":"alg1"}"#,
+            r#"{"type":"bye","tenant":"a"}"#
+        );
+        let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                lock(&self.0).extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        serve_stream(
+            input.as_bytes(),
+            Box::new(SharedBuf(Arc::clone(&out))),
+            ServerConfig::default(),
+        );
+        let bytes = lock(&out).clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let replies: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(
+            replies[0].get("code").and_then(Json::as_str),
+            Some("line-too-long")
+        );
+        // The stream recovers: the next request succeeds.
+        assert_eq!(replies[1].get("type").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            replies[2].get("type").and_then(Json::as_str),
+            Some("goodbye")
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! One tenant: an incremental engine session plus its scheduler and probes.
+//!
+//! Tenants are fully independent — each owns its own
+//! [`EngineSession`], its own boxed [`OnlineScheduler`], and its own atomic
+//! [`Counters`] registry — so one tenant's malformed traffic or expensive
+//! drain can never corrupt another's schedule (the fault-tolerance tests
+//! pin this down). The server serializes all requests of a tenant, so a
+//! `TenantSession` itself needs no internal locking.
+
+use std::io::BufWriter;
+use std::sync::Arc;
+
+use calib_core::json::ToJson;
+use calib_core::obs::{Counters, Event, Probe, TraceProbe};
+use calib_core::{check_schedule, Cost, Instance, Job, Time};
+use calib_online::{
+    Alg1, Alg2, Alg3, CalibrateImmediately, Decisions, EngineConfig, EngineError, EngineSession,
+    OnlineScheduler,
+};
+
+use crate::protocol::Accounting;
+
+/// The scheduling algorithms a tenant can ask for in `hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1: unweighted jobs, one machine (3-competitive).
+    Alg1,
+    /// Algorithm 2: weighted jobs, one machine (12-competitive).
+    Alg2,
+    /// Algorithm 3: unweighted jobs, `P` machines (12-competitive).
+    Alg3,
+    /// The calibrate-immediately baseline.
+    Immediate,
+}
+
+impl Algorithm {
+    /// Parses the protocol's `algorithm` string.
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        match name {
+            "alg1" => Some(Algorithm::Alg1),
+            "alg2" => Some(Algorithm::Alg2),
+            "alg3" => Some(Algorithm::Alg3),
+            "immediate" => Some(Algorithm::Immediate),
+            _ => None,
+        }
+    }
+
+    /// The protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Alg1 => "alg1",
+            Algorithm::Alg2 => "alg2",
+            Algorithm::Alg3 => "alg3",
+            Algorithm::Immediate => "immediate",
+        }
+    }
+
+    /// A fresh scheduler instance.
+    pub fn scheduler(self) -> Box<dyn OnlineScheduler + Send> {
+        match self {
+            Algorithm::Alg1 => Box::new(Alg1::new()),
+            Algorithm::Alg2 => Box::new(Alg2::new()),
+            Algorithm::Alg3 => Box::new(Alg3::new()),
+            Algorithm::Immediate => Box::new(CalibrateImmediately),
+        }
+    }
+}
+
+/// A counting probe over shared ownership — the serve-layer sibling of
+/// `calib_core::obs::CountingProbe`, which borrows its registry and
+/// therefore cannot live inside a long-lived owned session.
+#[derive(Debug, Clone)]
+pub struct SharedCountingProbe(pub Arc<Counters>);
+
+impl Probe for SharedCountingProbe {
+    fn record(&mut self, event: &Event) {
+        self.0.events(1);
+        match event {
+            Event::Calibrate { .. } => self.0.calibrations(1),
+            Event::Dispatch { .. } => self.0.dispatches(1),
+            Event::Reserve { .. } => self.0.reservations(1),
+            Event::TimeSkip { .. } => self.0.time_skips(1),
+            Event::Wake { .. } => self.0.wakes(1),
+            Event::JobArrived { .. } => self.0.arrivals(1),
+            Event::RunComplete { .. } => {}
+        }
+    }
+}
+
+/// The probe stack every tenant session runs under: always-on counters,
+/// plus an optional JSON-lines trace (the `--trace-dir` opt-in).
+pub type TenantProbe = (
+    SharedCountingProbe,
+    Option<TraceProbe<BufWriter<std::fs::File>>>,
+);
+
+/// Tenant configuration from `hello`.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantConfig {
+    /// Machine count `P`.
+    pub machines: usize,
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// The scheduling algorithm.
+    pub algorithm: Algorithm,
+}
+
+/// A typed session-layer failure, mapped onto protocol error codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionError {
+    /// Stable kebab-case code (shared with [`EngineError::code`]).
+    pub code: &'static str,
+    /// Human-oriented detail.
+    pub message: String,
+}
+
+impl SessionError {
+    fn new(code: &'static str, message: impl Into<String>) -> SessionError {
+        SessionError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> SessionError {
+        SessionError {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One tenant's live scheduling state.
+pub struct TenantSession {
+    name: String,
+    config: TenantConfig,
+    engine: EngineSession<TenantProbe>,
+    scheduler: Box<dyn OnlineScheduler + Send>,
+    counters: Arc<Counters>,
+    /// Virtual-time high-water mark from `tick`s; arrivals strictly before
+    /// it are in the past even when the engine itself was idle there.
+    now: Option<Time>,
+}
+
+impl TenantSession {
+    /// Opens a session. `trace` is the optional JSON-lines sink.
+    pub fn new(
+        name: &str,
+        config: TenantConfig,
+        trace: Option<BufWriter<std::fs::File>>,
+    ) -> Result<TenantSession, SessionError> {
+        let counters = Arc::new(Counters::new());
+        let probe: TenantProbe = (
+            SharedCountingProbe(Arc::clone(&counters)),
+            trace.map(TraceProbe::new),
+        );
+        let engine = EngineSession::with_probe(
+            config.machines,
+            config.cal_len,
+            config.cal_cost,
+            EngineConfig::default(),
+            probe,
+        )
+        .map_err(|e| SessionError::new("bad-config", e.to_string()))?;
+        if config.cal_len <= 0 {
+            return Err(SessionError::new(
+                "bad-config",
+                format!("cal_len must be positive, got {}", config.cal_len),
+            ));
+        }
+        Ok(TenantSession {
+            name: name.to_string(),
+            config,
+            engine,
+            scheduler: config.algorithm.scheduler(),
+            counters,
+            now: None,
+        })
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's configuration.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// The tenant's counter registry (shared with the engine probe).
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// The virtual time set by the latest `tick`, if any.
+    pub fn now(&self) -> Option<Time> {
+        self.now
+    }
+
+    /// Buffers a batch of future jobs.
+    pub fn arrive(&mut self, jobs: &[Job]) -> Result<(), SessionError> {
+        if let Some(now) = self.now {
+            if let Some(job) = jobs.iter().find(|j| j.release < now) {
+                return Err(SessionError::new(
+                    "arrival-in-past",
+                    format!(
+                        "{} released at {} is before the tenant's virtual time {now}",
+                        job.id, job.release
+                    ),
+                ));
+            }
+        }
+        self.engine.submit(jobs)?;
+        Ok(())
+    }
+
+    /// Advances virtual time to `now`, returning the decision delta.
+    pub fn tick(&mut self, now: Time) -> Result<Decisions, SessionError> {
+        if let Some(prev) = self.now {
+            if now < prev {
+                return Err(SessionError::new(
+                    "time-regression",
+                    format!("tick to {now} after {prev}"),
+                ));
+            }
+        }
+        self.now = Some(now);
+        let delta = self.engine.step(now, &[], self.scheduler.as_mut())?;
+        Ok(delta)
+    }
+
+    /// The decisions made since the previous delta, without advancing time.
+    pub fn decisions(&mut self) -> Decisions {
+        self.engine.take_decisions()
+    }
+
+    /// True when no submitted work remains.
+    pub fn is_idle(&self) -> bool {
+        self.engine.is_idle()
+    }
+
+    /// Runs the engine to completion of all submitted work and returns the
+    /// decision delta. The session stays open.
+    pub fn drain(&mut self) -> Result<Decisions, SessionError> {
+        let delta = self.engine.drain(self.scheduler.as_mut())?;
+        Ok(delta)
+    }
+
+    /// Validated accounting over everything scheduled so far. Runs the
+    /// trusted feasibility checker against the submitted jobs; call after
+    /// [`TenantSession::drain`] for final numbers.
+    pub fn accounting(&self) -> Accounting {
+        let jobs = self.engine.submitted_jobs();
+        let schedule = self.engine.schedule_snapshot();
+        let n = jobs.len();
+        let scheduled = schedule.assignments.len();
+        let calibrations = schedule.calibrations.len();
+        // `Instance::new` only fails on non-positive T / zero machines,
+        // which `hello` validation already excluded.
+        let (flow, checker_ok, violations) =
+            match Instance::new(jobs, self.config.machines, self.config.cal_len) {
+                Ok(instance) => {
+                    let flow = schedule.total_weighted_flow(&instance);
+                    // Partial sessions legitimately have unassigned jobs;
+                    // only a *drained* session must pass the full check.
+                    match check_schedule(&instance, &schedule) {
+                        Ok(()) => (flow, true, Vec::new()),
+                        Err(e) => (
+                            flow,
+                            false,
+                            e.violations.iter().map(|v| v.code().to_string()).collect(),
+                        ),
+                    }
+                }
+                Err(e) => (0, false, vec![format!("bad-instance: {e}")]),
+            };
+        Accounting {
+            tenant: self.name.clone(),
+            jobs: n,
+            scheduled,
+            calibrations,
+            flow,
+            cost: self.config.cal_cost * Cost::try_from(calibrations).unwrap_or(Cost::MAX) + flow,
+            checker_ok,
+            violations,
+        }
+    }
+
+    /// Drains, validates, and closes the session in one move — the `bye`
+    /// and disconnect-cleanup path. The trace sink (if any) is flushed; its
+    /// first deferred I/O error is surfaced alongside the accounting.
+    pub fn finalize(mut self) -> (Accounting, Result<(), std::io::Error>) {
+        let drain_err = self.drain().err();
+        let mut accounting = self.accounting();
+        if let Some(e) = drain_err {
+            accounting.checker_ok = false;
+            accounting.violations.push(e.code.to_string());
+        }
+        let (outcome, probe) = self.engine.finish();
+        debug_assert_eq!(outcome.schedule.assignments.len(), accounting.scheduled);
+        let trace_result = match probe.1 {
+            Some(trace) => trace.finish().map(|_| ()),
+            None => Ok(()),
+        };
+        (accounting, trace_result)
+    }
+
+    /// Serializes the tenant's configuration for logs and reports.
+    pub fn config_json(&self) -> calib_core::json::Json {
+        calib_core::json::Json::obj([
+            ("tenant", self.name.as_str().to_json()),
+            ("machines", self.config.machines.to_json()),
+            ("cal_len", self.config.cal_len.to_json()),
+            ("cal_cost", self.config.cal_cost.to_json()),
+            ("algorithm", self.config.algorithm.name().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calib_core::InstanceBuilder;
+    use calib_online::run_online;
+
+    fn config(algorithm: Algorithm) -> TenantConfig {
+        TenantConfig {
+            machines: 1,
+            cal_len: 4,
+            cal_cost: 6,
+            algorithm,
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in [
+            Algorithm::Alg1,
+            Algorithm::Alg2,
+            Algorithm::Alg3,
+            Algorithm::Immediate,
+        ] {
+            assert_eq!(Algorithm::from_name(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_name("alg9"), None);
+    }
+
+    #[test]
+    fn session_matches_batch_objective() {
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 1, 2, 9, 9, 20])
+            .build()
+            .unwrap();
+        let batch = run_online(&inst, 6, &mut Alg1::new());
+
+        let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
+        s.arrive(inst.jobs()).unwrap();
+        s.drain().unwrap();
+        let acc = s.accounting();
+        assert!(acc.checker_ok, "violations: {:?}", acc.violations);
+        assert_eq!(acc.flow, batch.flow);
+        assert_eq!(acc.cost, batch.cost);
+        assert_eq!(acc.scheduled, inst.n());
+    }
+
+    #[test]
+    fn virtual_past_and_duplicates_get_stable_codes() {
+        let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
+        s.arrive(&[Job::unweighted(0, 5)]).unwrap();
+        s.tick(10).unwrap();
+        let err = s.arrive(&[Job::unweighted(1, 3)]).unwrap_err();
+        assert_eq!(err.code, "arrival-in-past");
+        let err = s.arrive(&[Job::unweighted(0, 50)]).unwrap_err();
+        assert_eq!(err.code, "duplicate-job");
+        let err = s.tick(9).unwrap_err();
+        assert_eq!(err.code, "time-regression");
+        // The session still works.
+        s.arrive(&[Job::unweighted(2, 30)]).unwrap();
+        s.drain().unwrap();
+        assert!(s.accounting().checker_ok);
+    }
+
+    #[test]
+    fn counters_observe_engine_events() {
+        let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
+        s.arrive(&[Job::unweighted(0, 0), Job::unweighted(1, 1)])
+            .unwrap();
+        s.drain().unwrap();
+        let snap = s.counters().snapshot();
+        assert_eq!(snap.arrivals, 2);
+        assert_eq!(snap.dispatches, 2);
+        assert!(snap.calibrations >= 1);
+    }
+
+    #[test]
+    fn finalize_reports_partial_schedules_as_unchecked() {
+        let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
+        s.arrive(&[Job::unweighted(0, 0)]).unwrap();
+        let (acc, io) = s.finalize();
+        assert!(io.is_ok());
+        assert!(
+            acc.checker_ok,
+            "finalize drains first: {:?}",
+            acc.violations
+        );
+        assert_eq!(acc.scheduled, 1);
+    }
+}
