@@ -11,13 +11,16 @@
 //! * `serve_stream_session` — a full in-process daemon pass (hello →
 //!   arrive/tick per release → drain → bye) through `serve_stream`, the
 //!   same code path TCP connections use minus the socket.
+//! * `serve_stream_journaled` — the same pass with the write-ahead
+//!   journal on (`fsync off`, so the number is the serialization and
+//!   buffered-write overhead, not the disk's sync latency).
 
 use calib_bench::harness::Bench;
 use calib_core::json::{Json, ToJson};
 use calib_core::{Instance, Job};
 use calib_difftest::{gen_case_sized, GenParams};
 use calib_online::{run_online, Alg2, EngineConfig, EngineSession};
-use calib_serve::{serve_stream, Algorithm, Request, ServerConfig};
+use calib_serve::{serve_stream, Algorithm, FsyncPolicy, Request, ServerConfig};
 
 /// The daemon's arrival pattern: jobs grouped by release, ascending.
 fn release_groups(instance: &Instance) -> Vec<(i64, Vec<Job>)> {
@@ -145,6 +148,28 @@ fn main() {
         assert!(report.all_ok());
         report.accountings.len()
     });
+
+    // Same stream with journaling on. The clean `bye` deletes the journal
+    // each pass, so the directory never accumulates.
+    let journal_dir =
+        std::env::temp_dir().join(format!("calib-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&journal_dir).expect("create journal dir");
+    b.bench("serve_stream_journaled", || {
+        let report = serve_stream(
+            script.as_bytes(),
+            Box::new(std::io::sink()),
+            ServerConfig {
+                workers: 1,
+                queue_cap: 1_000_000,
+                journal_dir: Some(journal_dir.clone()),
+                fsync: FsyncPolicy::Off,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok());
+        report.accountings.len()
+    });
+    std::fs::remove_dir_all(&journal_dir).ok();
 
     b.finish();
 }

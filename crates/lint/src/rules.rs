@@ -129,24 +129,11 @@ const ALGORITHM_CRATES: [&str; 3] = ["core", "online", "offline"];
 /// Crates whose *library* code must be panic-free and probe-routed
 /// (L3/L4 scope). The `rand`/`proptest` shims and the `bench`/`difftest`
 /// harnesses are out: panicking is part of their test-infrastructure
-/// contract.
-const LIBRARY_CRATES: [&str; 8] = [
-    "core",
-    "online",
-    "offline",
-    "lp",
-    "workloads",
-    "sim",
-    "lint",
-    "root",
-];
-
-/// L4's scope: [`LIBRARY_CRATES`] plus `serve`. The daemon's library code
-/// replies over sockets, never stdout — a stray `println!` would corrupt
-/// the stdin-mode protocol stream — but its engine-facing code is allowed
-/// the same panic surface as the bins (I/O failure handling), so `serve`
-/// joins L4 without joining L3.
-const IO_LIBRARY_CRATES: [&str; 9] = [
+/// contract. `serve` is fully in: its library code replies over sockets,
+/// never stdout (a stray `println!` would corrupt the stdin-mode protocol
+/// stream), and every I/O failure must surface as a typed error reply —
+/// the crash-safety layer depends on the daemon never panicking mid-WAL.
+const LIBRARY_CRATES: [&str; 9] = [
     "core",
     "online",
     "offline",
@@ -205,7 +192,7 @@ pub fn rule_applies(rule: RuleId, file: &SourceFile<'_>) -> bool {
             LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
         }
         RuleId::IoDiscipline => {
-            IO_LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
+            LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
         }
     }
 }
@@ -591,10 +578,17 @@ mod tests {
             src,
         };
         assert!(lint_file(&bin).is_empty());
-        // serve joins L4 only: panics in its lib code are not L3 findings
-        // (socket I/O failure handling keeps the bins' panic surface).
+        // serve is fully in L3 too: a panic mid-request would tear down a
+        // multi-tenant daemon (and can desync the write-ahead journal).
         let panics = "fn f() { x.unwrap(); }";
-        assert!(lint_file(&lib_file("serve", "crates/serve/src/server.rs", panics)).is_empty());
+        assert_eq!(
+            rules_of(&lint_file(&lib_file(
+                "serve",
+                "crates/serve/src/server.rs",
+                panics
+            ))),
+            vec![RuleId::PanicFreedom]
+        );
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! A seeded fault-injecting TCP proxy for chaos-testing `calib-serve`.
+//!
+//! ```text
+//! calib-chaos --listen 127.0.0.1:0 --upstream HOST:PORT [--seed N]
+//!             [--disconnect-per-10k N] [--truncate-per-10k N]
+//!             [--duplicate-per-10k N] [--torn-per-10k N]
+//!             [--delay-per-10k N] [--delay-ms N]
+//! ```
+//!
+//! Prints one `{"type":"proxying","addr":...,"upstream":...}` line once
+//! bound, then relays until killed. Fault rates are per ten thousand
+//! relayed lines; all zero by default (a transparent proxy). The same
+//! seed against the same traffic injects the same fault schedule.
+//!
+//! On SIGTERM/kill the proxy simply dies — in-flight connections break,
+//! which is itself the fault under test; clients reconnect directly or
+//! through a restarted proxy.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use calib_core::json::Json;
+use calib_serve::{run_proxy, FaultPlan, ProxyStats};
+
+struct Args {
+    listen: String,
+    upstream: String,
+    plan: FaultPlan,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut upstream: Option<String> = None;
+    let mut plan = FaultPlan::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse_u32 =
+            |name: &str, v: String| v.parse::<u32>().map_err(|e| format!("{name}: {e}"));
+        match arg.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--upstream" => upstream = Some(value("--upstream")?),
+            "--seed" => {
+                plan.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--disconnect-per-10k" => {
+                plan.disconnect_per_10k =
+                    parse_u32("--disconnect-per-10k", value("--disconnect-per-10k")?)?;
+            }
+            "--truncate-per-10k" => {
+                plan.truncate_per_10k =
+                    parse_u32("--truncate-per-10k", value("--truncate-per-10k")?)?;
+            }
+            "--duplicate-per-10k" => {
+                plan.duplicate_per_10k =
+                    parse_u32("--duplicate-per-10k", value("--duplicate-per-10k")?)?;
+            }
+            "--torn-per-10k" => {
+                plan.torn_per_10k = parse_u32("--torn-per-10k", value("--torn-per-10k")?)?;
+            }
+            "--delay-per-10k" => {
+                plan.delay_per_10k = parse_u32("--delay-per-10k", value("--delay-per-10k")?)?;
+            }
+            "--delay-ms" => {
+                plan.delay_ms = value("--delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("--delay-ms: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: calib-chaos --upstream HOST:PORT [--listen ADDR] [--seed N] \
+                     [--disconnect-per-10k N] [--truncate-per-10k N] [--duplicate-per-10k N] \
+                     [--torn-per-10k N] [--delay-per-10k N] [--delay-ms N]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let upstream = upstream.ok_or_else(|| "--upstream HOST:PORT is required".to_string())?;
+    Ok(Args {
+        listen,
+        upstream,
+        plan,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.listen);
+            return ExitCode::from(2);
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => {
+            let line = Json::obj([
+                ("type", Json::Str("proxying".to_string())),
+                ("addr", Json::Str(local.to_string())),
+                ("upstream", Json::Str(args.upstream.clone())),
+            ]);
+            println!("{}", line.to_string_compact());
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read local addr: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ProxyStats::default());
+    match run_proxy(listener, args.upstream, args.plan, stop, stats) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("proxy failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

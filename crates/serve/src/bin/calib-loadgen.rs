@@ -2,33 +2,47 @@
 //!
 //! ```text
 //! calib-loadgen --addr 127.0.0.1:PORT --tenants 8 --jobs 5000 --seed 7
-//!               [--tick-every N] [--window W]
+//!               [--tick-every N] [--window W] [--deadline-ms N]
+//!               [--max-reconnects N] [--backoff-base-ms N] [--backoff-cap-ms N]
+//!               [--resume-on-start]
 //! ```
 //!
 //! Each tenant runs on its own connection and thread: it draws a sized
 //! instance from the difftest workload-family generator (algorithms cycle
 //! alg1 → alg2 → alg3 across tenants, with machine/weight bounds matched
-//! to each algorithm's contract), replays the arrivals in release order
-//! against the daemon's virtual clock with pipelined requests, drains, and
-//! finally checks the daemon's accounting — feasibility-checker verdict
-//! AND exact integer equality of flow/cost against a local batch
+//! to each algorithm's contract), compiles the whole session into a
+//! `seq`-numbered request plan, and executes it through the resilient
+//! plan runner ([`calib_serve::run_plan`]) — which reconnects with seeded
+//! exponential backoff, resumes the tenant, and idempotently resends
+//! un-acked requests through any connection fault or daemon restart.
+//! Finally it checks the daemon's drained accounting: feasibility-checker
+//! verdict AND exact integer equality of flow/cost against a local batch
 //! `run_online` of the identical instance. Any divergence is a bug by the
 //! engine-determinism contract.
 //!
+//! `--park` submits each tenant's whole instance but skips the final
+//! drain/bye, leaving the sessions detached (and journaled, if the daemon
+//! runs with `--journal-dir`). `--resume-on-start` makes the very first
+//! connection open with `resume` — the daemon-restart recovery path,
+//! where a previous loadgen run (or a crashed daemon restarted from its
+//! journal) already applied a prefix of the plan. Together they script a
+//! deterministic crash/recovery drill: park, `kill -9` the daemon,
+//! restart it on the same journal directory, then resume and drain —
+//! CI's `chaos-smoke` job does exactly this.
+//!
 //! Prints one JSON summary line (throughput, latency percentiles via
-//! `calib_sim::stats`, mismatch counts). Exit status: 0 clean, 1 for any
-//! mismatch/violation/protocol error, 2 for usage or connection errors.
+//! `calib_sim::stats`, reconnect/resume counts, mismatch counts). Exit
+//! status: 0 clean, 1 for any mismatch/violation/protocol error, 2 for
+//! usage or connection errors.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use calib_core::json::{Json, ToJson};
 use calib_core::{Instance, Job, Time};
 use calib_difftest::{gen_case_sized, GenParams};
 use calib_online::{run_online, OnlineScheduler};
-use calib_serve::Algorithm;
+use calib_serve::{run_plan, Algorithm, Backoff, ClientConfig, PlanStep, SystemClock};
 use calib_sim::stats::Summary;
 
 struct Args {
@@ -38,6 +52,12 @@ struct Args {
     seed: u64,
     tick_every: usize,
     window: usize,
+    deadline_ms: u64,
+    max_reconnects: u32,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
+    resume_on_start: bool,
+    park: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +68,12 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         tick_every: 64,
         window: 32,
+        deadline_ms: 10_000,
+        max_reconnects: 64,
+        backoff_base_ms: 5,
+        backoff_cap_ms: 500,
+        resume_on_start: false,
+        park: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,9 +105,33 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--window: {e}"))?;
             }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--max-reconnects" => {
+                args.max_reconnects = value("--max-reconnects")?
+                    .parse()
+                    .map_err(|e| format!("--max-reconnects: {e}"))?;
+            }
+            "--backoff-base-ms" => {
+                args.backoff_base_ms = value("--backoff-base-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-base-ms: {e}"))?;
+            }
+            "--backoff-cap-ms" => {
+                args.backoff_cap_ms = value("--backoff-cap-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-cap-ms: {e}"))?;
+            }
+            "--resume-on-start" => args.resume_on_start = true,
+            "--park" => args.park = true,
             "--help" | "-h" => {
                 return Err("usage: calib-loadgen --addr HOST:PORT [--tenants N] \
-                     [--jobs N] [--seed S] [--tick-every N] [--window W]"
+                     [--jobs N] [--seed S] [--tick-every N] [--window W] \
+                     [--deadline-ms N] [--max-reconnects N] [--backoff-base-ms N] \
+                     [--backoff-cap-ms N] [--resume-on-start] [--park]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -124,114 +174,109 @@ fn fresh_scheduler(alg: Algorithm) -> Box<dyn OnlineScheduler + Send> {
     alg.scheduler()
 }
 
+/// Compiles a tenant's whole session into a contiguous-seq request plan:
+/// hello, then arrive/tick pairs batching `tick_every` release groups per
+/// clock advance (never splitting a release group — its tail would arrive
+/// after `tick` already passed the release), then drain (captured), bye.
+/// In `park` mode the plan stops before the drain (no drain seq), leaving
+/// the session open for a later `--resume-on-start` run to finish.
+fn build_plan(
+    name: &str,
+    algorithm: Algorithm,
+    cal_cost: u128,
+    instance: &Instance,
+    tick_every: usize,
+    park: bool,
+) -> (Vec<PlanStep>, Option<u64>) {
+    let mut steps: Vec<PlanStep> = Vec::new();
+    let mut seq: u64 = 0;
+    let mut push =
+        |fields: Vec<(&'static str, Json)>, capture: bool, is_bye: bool, seq: &mut u64| {
+            steps.push(PlanStep::new(*seq, fields, capture, is_bye));
+            *seq += 1;
+        };
+    push(
+        vec![
+            ("type", "hello".to_json()),
+            ("tenant", name.to_json()),
+            ("machines", instance.machines().to_json()),
+            ("cal_len", instance.cal_len().to_json()),
+            ("cal_cost", cal_cost.to_json()),
+            ("algorithm", algorithm.name().to_json()),
+        ],
+        false,
+        false,
+        &mut seq,
+    );
+
+    let mut all: Vec<Job> = instance.jobs().to_vec();
+    all.sort_by_key(|j| (j.release, j.id));
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut batch: Vec<Job> = Vec::new();
+        let mut groups = 0usize;
+        let mut last_release: Option<Time> = None;
+        while i < all.len() {
+            let release = all[i].release;
+            if last_release != Some(release) {
+                if groups == tick_every {
+                    break;
+                }
+                groups += 1;
+                last_release = Some(release);
+            }
+            batch.push(all[i]);
+            i += 1;
+        }
+        let upto = last_release.unwrap_or(0);
+        push(
+            vec![
+                ("type", "arrive".to_json()),
+                ("tenant", name.to_json()),
+                ("jobs", batch.to_json()),
+            ],
+            false,
+            false,
+            &mut seq,
+        );
+        push(
+            vec![
+                ("type", "tick".to_json()),
+                ("tenant", name.to_json()),
+                ("now", upto.to_json()),
+            ],
+            false,
+            false,
+            &mut seq,
+        );
+    }
+
+    if park {
+        return (steps, None);
+    }
+    let drain_seq = seq;
+    push(
+        vec![("type", "drain".to_json()), ("tenant", name.to_json())],
+        true,
+        false,
+        &mut seq,
+    );
+    push(
+        vec![("type", "bye".to_json()), ("tenant", name.to_json())],
+        false,
+        true,
+        &mut seq,
+    );
+    (steps, Some(drain_seq))
+}
+
 /// What one tenant thread produced.
 struct TenantOutcome {
     decisions: u64,
+    reconnects: u64,
+    resumes: u64,
     latencies_us: Vec<f64>,
     errors: Vec<String>,
-}
-
-struct Pipe {
-    writer: BufWriter<TcpStream>,
-    reader: BufReader<TcpStream>,
-    next_seq: u64,
-    /// In-flight `(seq, sent-at)`, FIFO — replies come back in order.
-    in_flight: std::collections::VecDeque<(u64, Instant)>,
-    window: usize,
-    latencies_us: Vec<f64>,
-    decisions: u64,
-    errors: Vec<String>,
-    /// Reply to the final request, once it has drained.
-    last_reply: Option<Json>,
-}
-
-impl Pipe {
-    fn connect(addr: &str, window: usize) -> std::io::Result<Pipe> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Pipe {
-            writer: BufWriter::new(stream),
-            reader,
-            next_seq: 0,
-            in_flight: std::collections::VecDeque::new(),
-            window,
-            latencies_us: Vec::new(),
-            decisions: 0,
-            errors: Vec::new(),
-            last_reply: None,
-        })
-    }
-
-    /// Sends one request object (seq appended automatically), reading
-    /// replies whenever the pipeline window is full.
-    fn send(&mut self, mut fields: Vec<(&'static str, Json)>) -> std::io::Result<()> {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        fields.push(("seq", seq.to_json()));
-        let mut line = Json::obj(fields).to_string_compact();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        self.in_flight.push_back((seq, Instant::now()));
-        while self.in_flight.len() >= self.window {
-            self.read_one()?;
-        }
-        Ok(())
-    }
-
-    /// Blocks until every outstanding reply has been read.
-    fn settle(&mut self) -> std::io::Result<()> {
-        while !self.in_flight.is_empty() {
-            self.read_one()?;
-        }
-        Ok(())
-    }
-
-    fn read_one(&mut self) -> std::io::Result<()> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-session",
-            ));
-        }
-        let Some((seq, sent)) = self.in_flight.pop_front() else {
-            self.errors.push("unsolicited reply".to_string());
-            return Ok(());
-        };
-        self.latencies_us
-            .push(sent.elapsed().as_secs_f64() * 1_000_000.0);
-        let reply = match Json::parse(line.trim()) {
-            Ok(v) => v,
-            Err(e) => {
-                self.errors.push(format!("unparseable reply: {e}"));
-                return Ok(());
-            }
-        };
-        if reply.get("seq").and_then(Json::as_u64) != Some(seq) {
-            self.errors
-                .push(format!("reply out of order (expected seq {seq}): {line}"));
-        }
-        if reply.get("type").and_then(Json::as_str) == Some("error") {
-            let code = reply
-                .get("code")
-                .and_then(Json::as_str)
-                .unwrap_or("?")
-                .to_string();
-            self.errors.push(format!("server error `{code}`: {line}"));
-        }
-        // `decisions`/`tick` replies carry the arrays at top level;
-        // `drained` nests its final delta under `decisions`.
-        let delta = reply.get("decisions").unwrap_or(&reply);
-        for key in ["calibrations", "starts"] {
-            if let Some(arr) = delta.get(key).and_then(Json::as_arr) {
-                self.decisions += u64::try_from(arr.len()).unwrap_or(0);
-            }
-        }
-        self.last_reply = Some(reply);
-        Ok(())
-    }
 }
 
 fn run_tenant(
@@ -249,88 +294,55 @@ fn run_tenant(
     // The local ground truth: the batch engine on the identical instance.
     let expected = run_online(instance, case.cal_cost, fresh_scheduler(algorithm).as_mut());
 
-    let fail = |msg: String| TenantOutcome {
-        decisions: 0,
-        latencies_us: Vec::new(),
-        errors: vec![msg],
-    };
-    let mut pipe = match Pipe::connect(addr, args.window) {
-        Ok(p) => p,
-        Err(e) => return fail(format!("{name}: connect: {e}")),
-    };
-
-    let io_result = (|| -> std::io::Result<()> {
-        pipe.send(vec![
-            ("type", "hello".to_json()),
-            ("tenant", name.to_json()),
-            ("machines", instance.machines().to_json()),
-            ("cal_len", instance.cal_len().to_json()),
-            ("cal_cost", case.cal_cost.to_json()),
-            ("algorithm", algorithm.name().to_json()),
-        ])?;
-
-        // Replay arrivals in release order (instance job order is id order,
-        // not arrival order), grouped by release, `tick_every` release
-        // groups per clock advance.
-        let mut all: Vec<Job> = instance.jobs().to_vec();
-        all.sort_by_key(|j| (j.release, j.id));
-        let mut i = 0usize;
-        while i < all.len() {
-            let mut batch: Vec<Job> = Vec::new();
-            let mut groups = 0usize;
-            let mut last_release: Option<Time> = None;
-            while i < all.len() {
-                let release = all[i].release;
-                if last_release != Some(release) {
-                    // Never split a release group across chunks: its tail
-                    // would arrive after `tick` already passed the release.
-                    if groups == args.tick_every {
-                        break;
-                    }
-                    groups += 1;
-                    last_release = Some(release);
-                }
-                batch.push(all[i]);
-                i += 1;
-            }
-            let upto = last_release.unwrap_or(0);
-            pipe.send(vec![
-                ("type", "arrive".to_json()),
-                ("tenant", name.to_json()),
-                ("jobs", batch.to_json()),
-            ])?;
-            pipe.send(vec![
-                ("type", "tick".to_json()),
-                ("tenant", name.to_json()),
-                ("now", upto.to_json()),
-            ])?;
-        }
-
-        pipe.send(vec![
-            ("type", "drain".to_json()),
-            ("tenant", name.to_json()),
-        ])?;
-        pipe.settle()?;
-
-        // The drained accounting must match the batch run exactly.
-        if let Some(reply) = pipe.last_reply.take() {
-            check_accounting(&reply, name, expected.flow, expected.cost, &mut pipe.errors);
+    let (plan, drain_seq) = build_plan(
+        name,
+        algorithm,
+        case.cal_cost,
+        instance,
+        args.tick_every,
+        args.park,
+    );
+    let cfg = ClientConfig {
+        tenant: name.to_string(),
+        window: args.window,
+        deadline: if args.deadline_ms == 0 {
+            None
         } else {
-            pipe.errors.push(format!("{name}: no drain reply"));
+            Some(Duration::from_millis(args.deadline_ms))
+        },
+        max_reconnects: args.max_reconnects,
+        resume_on_start: args.resume_on_start,
+    };
+    // Backoff seeds differ per tenant so a shared fault never herds the
+    // reconnecting clients onto the same schedule.
+    let mut backoff = Backoff::new(
+        args.backoff_base_ms,
+        args.backoff_cap_ms,
+        seed ^ 0xBACC_0FF5,
+    );
+    let mut clock = SystemClock;
+    let report = run_plan(addr, &cfg, &plan, &mut backoff, &mut clock);
+
+    let mut errors: Vec<String> = report
+        .errors
+        .iter()
+        .map(|e| format!("{name}: {e}"))
+        .collect();
+    if !report.completed {
+        errors.push(format!("{name}: plan did not complete"));
+    } else if let Some(drain_seq) = drain_seq {
+        if let Some(reply) = report.captured_for(drain_seq) {
+            check_accounting(reply, name, expected.flow, expected.cost, &mut errors);
+        } else {
+            errors.push(format!("{name}: no drain reply captured"));
         }
-
-        pipe.send(vec![("type", "bye".to_json()), ("tenant", name.to_json())])?;
-        pipe.settle()?;
-        Ok(())
-    })();
-
-    if let Err(e) = io_result {
-        pipe.errors.push(format!("{name}: {e}"));
     }
     TenantOutcome {
-        decisions: pipe.decisions,
-        latencies_us: pipe.latencies_us,
-        errors: pipe.errors,
+        decisions: report.decisions,
+        reconnects: report.reconnects,
+        resumes: report.resumes,
+        latencies_us: report.latencies_us,
+        errors,
     }
 }
 
@@ -394,6 +406,8 @@ fn main() -> ExitCode {
             .map(|h| {
                 h.join().unwrap_or_else(|_| TenantOutcome {
                     decisions: 0,
+                    reconnects: 0,
+                    resumes: 0,
                     latencies_us: Vec::new(),
                     errors: vec!["tenant thread panicked".to_string()],
                 })
@@ -403,6 +417,8 @@ fn main() -> ExitCode {
     let wall = started.elapsed().as_secs_f64();
 
     let decisions: u64 = outcomes.iter().map(|o| o.decisions).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let resumes: u64 = outcomes.iter().map(|o| o.resumes).sum();
     let mut latencies: Vec<f64> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     for o in &outcomes {
@@ -425,6 +441,8 @@ fn main() -> ExitCode {
         ("wall_secs", wall.to_json()),
         ("decisions_per_sec", per_sec.to_json()),
         ("requests", latencies.len().to_json()),
+        ("reconnects", reconnects.to_json()),
+        ("resumes", resumes.to_json()),
         ("errors", errors.len().to_json()),
     ];
     if let Some(s) = &latency {

@@ -2,9 +2,18 @@
 //!
 //! ```text
 //! calib-serve --listen 127.0.0.1:0 [--workers N] [--queue-cap N]
-//!             [--trace-dir DIR] [--run-forever]
+//!             [--trace-dir DIR] [--journal-dir DIR] [--fsync always|tick|off]
+//!             [--read-timeout-ms N] [--max-tenants N] [--run-forever]
 //! calib-serve --stdin [--workers N] [--queue-cap N] [--trace-dir DIR]
 //! ```
+//!
+//! With `--journal-dir`, every accepted mutating request is write-ahead
+//! journalled per tenant and sessions survive daemon crashes: restart the
+//! daemon with the same directory and clients `resume` their tenants.
+//! `--read-timeout-ms` (default 30000 in TCP mode, 0 disables) bounds how
+//! long an accepted socket may sit idle before the daemon sends a typed
+//! `read-timeout` error and disconnects; it is always off in `--stdin`
+//! mode so interactive use never times out.
 //!
 //! In TCP mode the daemon prints one `{"type":"listening","addr":...}`
 //! line to stdout once the socket is bound (bind port 0 to let the OS
@@ -19,13 +28,15 @@
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use calib_core::json::{Json, ToJson};
-use calib_serve::{serve, serve_stream, ServeReport, ServerConfig};
+use calib_serve::{serve, serve_stream, FsyncPolicy, ServeReport, ServerConfig};
 
 struct Args {
     listen: Option<String>,
     stdin: bool,
+    read_timeout_ms: Option<u64>,
     config: ServerConfig,
 }
 
@@ -33,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: None,
         stdin: false,
+        read_timeout_ms: None,
         config: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -54,10 +66,32 @@ fn parse_args() -> Result<Args, String> {
             "--trace-dir" => {
                 args.config.trace_dir = Some(value("--trace-dir")?.into());
             }
+            "--journal-dir" => {
+                args.config.journal_dir = Some(value("--journal-dir")?.into());
+            }
+            "--fsync" => {
+                let name = value("--fsync")?;
+                args.config.fsync = FsyncPolicy::from_name(&name)
+                    .ok_or_else(|| format!("--fsync: unknown policy `{name}`"))?;
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = Some(
+                    value("--read-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--read-timeout-ms: {e}"))?,
+                );
+            }
+            "--max-tenants" => {
+                args.config.max_tenants = value("--max-tenants")?
+                    .parse()
+                    .map_err(|e| format!("--max-tenants: {e}"))?;
+            }
             "--run-forever" => args.config.exit_when_idle = false,
             "--help" | "-h" => {
                 return Err("usage: calib-serve --listen ADDR | --stdin \
-                     [--workers N] [--queue-cap N] [--trace-dir DIR] [--run-forever]"
+                     [--workers N] [--queue-cap N] [--trace-dir DIR] \
+                     [--journal-dir DIR] [--fsync always|tick|off] \
+                     [--read-timeout-ms N] [--max-tenants N] [--run-forever]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -65,6 +99,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.stdin == args.listen.is_some() {
         return Err("pass exactly one of --listen ADDR or --stdin".to_string());
+    }
+    // TCP sockets get a generous idle timeout by default so a stalled
+    // client cannot pin a reader thread forever; 0 disables. Stdin mode
+    // never times out (interactive use).
+    let effective = args.read_timeout_ms.unwrap_or(30_000);
+    if !args.stdin && effective > 0 {
+        args.config.read_timeout = Some(Duration::from_millis(effective));
     }
     Ok(args)
 }
@@ -80,6 +121,9 @@ fn print_report(report: &ServeReport, mut out: impl Write) {
         ("tenants", report.accountings.len().to_json()),
         ("connections", report.connections.to_json()),
         ("busy_drops", report.busy_drops.to_json()),
+        ("detaches", report.detaches.to_json()),
+        ("resumes", report.resumes.to_json()),
+        ("recovered", report.recovered.to_json()),
         ("all_ok", Json::Bool(report.all_ok())),
     ]);
     let _ = writeln!(out, "{}", summary.to_string_compact());

@@ -1,0 +1,454 @@
+//! A seeded fault-injecting TCP proxy for chaos-testing the daemon.
+//!
+//! [`run_proxy`] sits between a client and the daemon and, per relayed
+//! line, draws from a seeded RNG to decide whether to pass the line
+//! through or inject a fault: disconnect mid-line, truncate the line
+//! (torn write without the newline), duplicate it, tear it across two
+//! flushes, or delay it. Fault rates are expressed per ten thousand
+//! lines so low rates stay integral, and every draw derives from
+//! [`FaultPlan::seed`] plus the connection id and direction — the same
+//! plan against the same traffic replays the same fault schedule.
+//!
+//! Client→server faults exercise the server's seq-gap detection and
+//! bad-json handling; server→client faults exercise the client's
+//! duplicate suppression and lost-reply resync. Truncation is only
+//! injected client→server: a truncated *reply* is indistinguishable
+//! from a lost one (the client resyncs either way), while a truncated
+//! *request* must surface as `seq-gap` or `bad-json` server-side.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault rates (per 10 000 relayed lines) and the master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Master seed; per-connection, per-direction RNGs derive from it.
+    pub seed: u64,
+    /// Rate of mid-line disconnects (both directions).
+    pub disconnect_per_10k: u32,
+    /// Rate of newline-less truncations (client→server only).
+    pub truncate_per_10k: u32,
+    /// Rate of whole-line duplications (both directions).
+    pub duplicate_per_10k: u32,
+    /// Rate of torn-but-complete writes: two flushes with a pause.
+    pub torn_per_10k: u32,
+    /// Rate of per-line delays (both directions).
+    pub delay_per_10k: u32,
+    /// How long a delayed line waits.
+    pub delay_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            disconnect_per_10k: 0,
+            truncate_per_10k: 0,
+            duplicate_per_10k: 0,
+            torn_per_10k: 0,
+            delay_per_10k: 0,
+            delay_ms: 5,
+        }
+    }
+}
+
+/// Live counters for everything the proxy relayed or injected.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Lines relayed (including faulted ones).
+    pub lines: AtomicU64,
+    /// Mid-line disconnects injected.
+    pub disconnects: AtomicU64,
+    /// Truncations injected.
+    pub truncations: AtomicU64,
+    /// Duplications injected.
+    pub duplicates: AtomicU64,
+    /// Torn writes injected.
+    pub torn: AtomicU64,
+    /// Delays injected.
+    pub delays: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Total faults injected across all kinds.
+    pub fn faults(&self) -> u64 {
+        self.disconnects.load(Ordering::Relaxed)
+            + self.truncations.load(Ordering::Relaxed)
+            + self.duplicates.load(Ordering::Relaxed)
+            + self.torn.load(Ordering::Relaxed)
+            + self.delays.load(Ordering::Relaxed)
+    }
+}
+
+/// What the per-line draw decided.
+enum Fault {
+    None,
+    Disconnect,
+    Truncate,
+    Duplicate,
+    Torn,
+    Delay,
+}
+
+/// One relay direction's fault configuration.
+struct Lane {
+    rng: StdRng,
+    plan: FaultPlan,
+    /// Truncation only makes sense client→server (see module docs).
+    allow_truncate: bool,
+}
+
+impl Lane {
+    fn draw(&mut self) -> Fault {
+        let r: u32 = self.rng.gen_range(0..10_000u32);
+        let p = &self.plan;
+        let mut edge = p.disconnect_per_10k;
+        if r < edge {
+            return Fault::Disconnect;
+        }
+        edge = edge.saturating_add(p.truncate_per_10k);
+        if r < edge {
+            return if self.allow_truncate {
+                Fault::Truncate
+            } else {
+                Fault::Duplicate
+            };
+        }
+        edge = edge.saturating_add(p.duplicate_per_10k);
+        if r < edge {
+            return Fault::Duplicate;
+        }
+        edge = edge.saturating_add(p.torn_per_10k);
+        if r < edge {
+            return Fault::Torn;
+        }
+        edge = edge.saturating_add(p.delay_per_10k);
+        if r < edge {
+            return Fault::Delay;
+        }
+        Fault::None
+    }
+}
+
+/// Runs the proxy accept loop on `listener`, relaying each connection to
+/// `upstream` through the fault plan, until `stop` is set. Connection
+/// threads are detached; callers stop the world by setting `stop` and
+/// letting in-flight sessions drain or break.
+pub fn run_proxy(
+    listener: TcpListener,
+    upstream: String,
+    plan: FaultPlan,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ProxyStats>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conn_id: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                conn_id += 1;
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let upstream = upstream.clone();
+                let stats = Arc::clone(&stats);
+                let id = conn_id;
+                std::thread::spawn(move || {
+                    relay_connection(client, &upstream, plan, id, &stats);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Odd bias constants so the two directions of one connection get
+/// unrelated RNG streams.
+const DIR_C2S: u64 = 0x5DEECE66D;
+const DIR_S2C: u64 = 0xB5297A4D;
+
+fn lane_seed(plan: &FaultPlan, conn_id: u64, dir: u64) -> u64 {
+    plan.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dir
+}
+
+fn relay_connection(
+    client: TcpStream,
+    upstream: &str,
+    plan: FaultPlan,
+    conn_id: u64,
+    stats: &Arc<ProxyStats>,
+) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        client.shutdown(Shutdown::Both).ok();
+        return;
+    };
+    client.set_nodelay(true).ok();
+    server.set_nodelay(true).ok();
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let c2s = Lane {
+        rng: StdRng::seed_from_u64(lane_seed(&plan, conn_id, DIR_C2S)),
+        plan,
+        allow_truncate: true,
+    };
+    let s2c = Lane {
+        rng: StdRng::seed_from_u64(lane_seed(&plan, conn_id, DIR_S2C)),
+        plan,
+        allow_truncate: false,
+    };
+    let stats_up = Arc::clone(stats);
+    let up = std::thread::spawn(move || {
+        relay_lines(client_r, server, c2s, &stats_up);
+    });
+    relay_lines(server_r, client, s2c, stats);
+    up.join().ok();
+}
+
+/// Relays newline-delimited lines from `from` to `to`, injecting faults
+/// per the lane's draws. Returns when either side closes or a disconnect
+/// fault fires.
+fn relay_lines(from: TcpStream, mut to: TcpStream, mut lane: Lane, stats: &Arc<ProxyStats>) {
+    let mut reader = BufReader::new(from);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        stats.lines.fetch_add(1, Ordering::Relaxed);
+        match lane.draw() {
+            Fault::None => {
+                if to.write_all(&line).is_err() {
+                    break;
+                }
+            }
+            Fault::Disconnect => {
+                stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                // Leak a prefix so the peer sees a mid-line cut, then
+                // kill both directions of the relay.
+                let cut = lane.rng.gen_range(0..=line.len());
+                to.write_all(&line[..cut]).ok();
+                to.shutdown(Shutdown::Both).ok();
+                reader.get_ref().shutdown(Shutdown::Both).ok();
+                break;
+            }
+            Fault::Truncate => {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                // Drop the tail *and* the newline but keep relaying: with
+                // cut = 0 the line vanishes entirely (a pure gap); any
+                // other cut glues a fragment onto the next line (bad
+                // json). Both must be recoverable.
+                let cut = lane.rng.gen_range(0..line.len().max(1));
+                if to.write_all(&line[..cut]).is_err() {
+                    break;
+                }
+            }
+            Fault::Duplicate => {
+                stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(&line).is_err() || to.write_all(&line).is_err() {
+                    break;
+                }
+            }
+            Fault::Torn => {
+                stats.torn.fetch_add(1, Ordering::Relaxed);
+                // Two flushes with a pause: the bytes all arrive, but in
+                // separate segments — readers must not assume one read
+                // yields one line.
+                let half = line.len() / 2;
+                if to.write_all(&line[..half]).is_err() || to.flush().is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                if to.write_all(&line[half..]).is_err() {
+                    break;
+                }
+            }
+            Fault::Delay => {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(lane.plan.delay_ms));
+                if to.write_all(&line).is_err() {
+                    break;
+                }
+            }
+        }
+        if to.flush().is_err() {
+            break;
+        }
+    }
+    // Half-close so the peer's relay thread unblocks promptly.
+    to.shutdown(Shutdown::Both).ok();
+    reader.get_ref().shutdown(Shutdown::Both).ok();
+    // Drain-read suppresses RST-on-close races for unread bytes.
+    let mut sink = [0u8; 512];
+    let from = reader.into_inner();
+    let _ = (&from).read(&mut sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// An echo server that prefixes each line with `ack:`.
+    fn spawn_echo() -> (std::net::SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        listener.set_nonblocking(true).expect("nonblocking");
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        std::thread::spawn(move || {
+                            let Ok(read_half) = stream.try_clone() else {
+                                return;
+                            };
+                            let mut w = stream;
+                            let reader = BufReader::new(read_half);
+                            for line in reader.lines() {
+                                let Ok(line) = line else { break };
+                                if writeln!(w, "ack:{line}").is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    fn spawn_proxy(
+        upstream: std::net::SocketAddr,
+        plan: FaultPlan,
+    ) -> (std::net::SocketAddr, Arc<AtomicBool>, Arc<ProxyStats>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ProxyStats::default());
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        std::thread::spawn(move || {
+            run_proxy(listener, upstream.to_string(), plan, stop2, stats2).ok();
+        });
+        (addr, stop, stats)
+    }
+
+    #[test]
+    fn clean_plan_relays_lines_untouched() {
+        let (echo, echo_stop) = spawn_echo();
+        let (proxy, proxy_stop, stats) = spawn_proxy(echo, FaultPlan::default());
+        let mut conn = TcpStream::connect(proxy).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        for i in 0..50 {
+            writeln!(conn, "msg-{i}").expect("write");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read");
+            assert_eq!(reply.trim(), format!("ack:msg-{i}"));
+        }
+        assert_eq!(stats.faults(), 0, "clean plan injects nothing");
+        assert!(stats.lines.load(Ordering::Relaxed) >= 100);
+        proxy_stop.store(true, Ordering::Relaxed);
+        echo_stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn duplicate_fault_doubles_lines_deterministically() {
+        let plan = FaultPlan {
+            seed: 7,
+            duplicate_per_10k: 10_000, // duplicate every line
+            ..FaultPlan::default()
+        };
+        let (echo, echo_stop) = spawn_echo();
+        let (proxy, proxy_stop, stats) = spawn_proxy(echo, plan);
+        let mut conn = TcpStream::connect(proxy).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        writeln!(conn, "hello").expect("write");
+        // c2s duplicates the request, s2c duplicates each reply: 4 acks.
+        for _ in 0..4 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read");
+            assert_eq!(reply.trim(), "ack:hello");
+        }
+        assert!(stats.duplicates.load(Ordering::Relaxed) >= 2);
+        proxy_stop.store(true, Ordering::Relaxed);
+        echo_stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn disconnect_fault_severs_the_connection() {
+        let plan = FaultPlan {
+            seed: 3,
+            disconnect_per_10k: 10_000, // disconnect on the first line
+            ..FaultPlan::default()
+        };
+        let (echo, echo_stop) = spawn_echo();
+        let (proxy, proxy_stop, stats) = spawn_proxy(echo, plan);
+        let mut conn = TcpStream::connect(proxy).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        writeln!(conn, "doomed").expect("write");
+        let mut reader = BufReader::new(conn);
+        let mut reply = String::new();
+        // Either an EOF (clean cut) or a connection-reset error.
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("expected the proxy to cut the connection, got: {reply:?}"),
+        }
+        assert!(stats.disconnects.load(Ordering::Relaxed) >= 1);
+        proxy_stop.store(true, Ordering::Relaxed);
+        echo_stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = FaultPlan {
+            seed: 99,
+            disconnect_per_10k: 200,
+            duplicate_per_10k: 400,
+            torn_per_10k: 300,
+            delay_per_10k: 100,
+            ..FaultPlan::default()
+        };
+        let draws = |seed_offset: u64| -> Vec<u32> {
+            let mut lane = Lane {
+                rng: StdRng::seed_from_u64(lane_seed(&plan, 1 + seed_offset, DIR_C2S)),
+                plan,
+                allow_truncate: true,
+            };
+            (0..200)
+                .map(|_| match lane.draw() {
+                    Fault::None => 0,
+                    Fault::Disconnect => 1,
+                    Fault::Truncate => 2,
+                    Fault::Duplicate => 3,
+                    Fault::Torn => 4,
+                    Fault::Delay => 5,
+                })
+                .collect()
+        };
+        assert_eq!(draws(0), draws(0), "identical lanes draw identically");
+        assert_ne!(draws(0), draws(1), "different connections diverge");
+    }
+}

@@ -1,0 +1,575 @@
+//! Crash-safe write-ahead journaling for tenant sessions.
+//!
+//! Because a [`TenantSession`] is a deterministic pure function of its
+//! accepted request stream (the same property the difftest oracle
+//! exploits), an append-only journal of accepted mutating requests is a
+//! *complete* crash-recovery mechanism: replaying the journal through a
+//! fresh session reconstructs the exact engine state, including the exact
+//! `u128` flow/cost accounting. The journal is line-delimited JSON, one
+//! record per accepted `hello`/`arrive`/`tick`/`drain`, written *before*
+//! the request is applied to the engine (write-ahead ordering), carrying
+//! the request's `seq` so recovery also restores the duplicate-suppression
+//! high-water mark.
+//!
+//! Engine-level rejections (e.g. `duplicate-job`, which applies the batch
+//! up to the offending job) are themselves deterministic, so journaling a
+//! request that the engine later rejects is correct — replay reproduces
+//! the same partial state and the same error. Session-level pre-checks
+//! (`arrival-in-past`, `time-regression`) reject *before* the journal
+//! write and cause no state change, so they never appear in the journal.
+//!
+//! Durability is tunable per [`FsyncPolicy`]: `off` still survives a
+//! `kill -9` (the OS has the bytes) but not power loss; `tick` bounds loss
+//! to the work since the last clock advance; `always` fsyncs every record.
+//! A torn final line — the crash landed mid-`write` — is ignored on read;
+//! a torn line anywhere *else* means external corruption and is an error.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use calib_core::json::{FromJson, Json, ToJson};
+use calib_core::{Cost, Job, Time};
+
+use crate::session::{Algorithm, TenantConfig, TenantSession};
+
+/// When journal appends reach the disk platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record — survives power loss, slowest.
+    Always,
+    /// `fsync` only on `tick` and `drain` records — bounds loss to the
+    /// requests since the last clock advance.
+    Tick,
+    /// Never `fsync`; flush to the OS only. Survives process death
+    /// (`kill -9`) but not kernel panic or power loss.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling.
+    pub fn from_name(name: &str) -> Option<FsyncPolicy> {
+        match name {
+            "always" => Some(FsyncPolicy::Always),
+            "tick" => Some(FsyncPolicy::Tick),
+            "off" => Some(FsyncPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Tick => "tick",
+            FsyncPolicy::Off => "off",
+        }
+    }
+}
+
+/// One accepted mutating request, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Session open: the full tenant configuration.
+    Hello {
+        /// Tenant name, for integrity checking against the file name.
+        tenant: String,
+        /// Machine count `P`.
+        machines: usize,
+        /// Calibration length `T`.
+        cal_len: Time,
+        /// Calibration cost `G`.
+        cal_cost: Cost,
+        /// The scheduling algorithm.
+        algorithm: Algorithm,
+        /// The request's sequence number, when the client sent one.
+        seq: Option<u64>,
+    },
+    /// A job batch delivered to the engine.
+    Arrive {
+        /// The batch, verbatim.
+        jobs: Vec<Job>,
+        /// The request's sequence number.
+        seq: Option<u64>,
+    },
+    /// A virtual-clock advance.
+    Tick {
+        /// The new virtual time.
+        now: Time,
+        /// The request's sequence number.
+        seq: Option<u64>,
+    },
+    /// A run-to-completion of all submitted work.
+    Drain {
+        /// The request's sequence number.
+        seq: Option<u64>,
+    },
+}
+
+impl JournalRecord {
+    /// The record's sequence number, when the client supplied one.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            JournalRecord::Hello { seq, .. }
+            | JournalRecord::Arrive { seq, .. }
+            | JournalRecord::Tick { seq, .. }
+            | JournalRecord::Drain { seq } => *seq,
+        }
+    }
+
+    /// True for records the `tick` fsync policy must sync on.
+    pub fn is_sync_point(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Tick { .. } | JournalRecord::Drain { .. }
+        )
+    }
+
+    /// Serializes the record as one compact JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> = match self {
+            JournalRecord::Hello {
+                tenant,
+                machines,
+                cal_len,
+                cal_cost,
+                algorithm,
+                ..
+            } => vec![
+                ("op", "hello".to_json()),
+                ("tenant", Json::Str(tenant.clone())),
+                ("machines", machines.to_json()),
+                ("cal_len", cal_len.to_json()),
+                ("cal_cost", cal_cost.to_json()),
+                ("algorithm", algorithm.name().to_json()),
+            ],
+            JournalRecord::Arrive { jobs, .. } => {
+                vec![("op", "arrive".to_json()), ("jobs", jobs.to_json())]
+            }
+            JournalRecord::Tick { now, .. } => {
+                vec![("op", "tick".to_json()), ("now", now.to_json())]
+            }
+            JournalRecord::Drain { .. } => vec![("op", "drain".to_json())],
+        };
+        if let Some(s) = self.seq() {
+            fields.push(("seq", s.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Parses one journal line.
+    pub fn from_json(v: &Json) -> Result<JournalRecord, String> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `op`".to_string())?;
+        let seq = v.get("seq").and_then(Json::as_u64);
+        match op {
+            "hello" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "hello record missing `tenant`".to_string())?
+                    .to_string();
+                let machines = v
+                    .get("machines")
+                    .and_then(Json::as_u64)
+                    .and_then(|m| usize::try_from(m).ok())
+                    .ok_or_else(|| "hello record missing `machines`".to_string())?;
+                let cal_len = v
+                    .get("cal_len")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| "hello record missing `cal_len`".to_string())?;
+                let cal_cost = v
+                    .get("cal_cost")
+                    .and_then(Json::as_u128)
+                    .ok_or_else(|| "hello record missing `cal_cost`".to_string())?;
+                let algorithm = v
+                    .get("algorithm")
+                    .and_then(Json::as_str)
+                    .and_then(Algorithm::from_name)
+                    .ok_or_else(|| "hello record has no known `algorithm`".to_string())?;
+                Ok(JournalRecord::Hello {
+                    tenant,
+                    machines,
+                    cal_len,
+                    cal_cost,
+                    algorithm,
+                    seq,
+                })
+            }
+            "arrive" => {
+                let jobs_json = v
+                    .get("jobs")
+                    .ok_or_else(|| "arrive record missing `jobs`".to_string())?;
+                let jobs = Vec::<Job>::from_json(jobs_json)
+                    .map_err(|e| format!("arrive record has bad `jobs`: {e}"))?;
+                Ok(JournalRecord::Arrive { jobs, seq })
+            }
+            "tick" => {
+                let now = v
+                    .get("now")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| "tick record missing `now`".to_string())?;
+                Ok(JournalRecord::Tick { now, seq })
+            }
+            "drain" => Ok(JournalRecord::Drain { seq }),
+            other => Err(format!("unknown journal op `{other}`")),
+        }
+    }
+
+    /// Builds the opening record from a tenant's configuration.
+    pub fn hello(tenant: &str, config: &TenantConfig, seq: Option<u64>) -> JournalRecord {
+        JournalRecord::Hello {
+            tenant: tenant.to_string(),
+            machines: config.machines,
+            cal_len: config.cal_len,
+            cal_cost: config.cal_cost,
+            algorithm: config.algorithm,
+            seq,
+        }
+    }
+}
+
+/// Maps a tenant name onto its journal file, using the same conservative
+/// charset mapping as the trace files (names go into paths).
+pub fn journal_path(dir: &Path, tenant: &str) -> PathBuf {
+    let safe: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}.journal.jsonl"))
+}
+
+/// An open per-tenant journal file, appended write-ahead.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    policy: FsyncPolicy,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) the journal for a *fresh* session. A fresh
+    /// `hello` for a name with a stale on-disk journal deliberately starts
+    /// over — the client chose a new session, not `resume`.
+    pub fn create(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<JournalWriter> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir, tenant);
+        let file = File::create(&path)?;
+        Ok(JournalWriter {
+            path,
+            file: BufWriter::new(file),
+            policy,
+        })
+    }
+
+    /// Reopens an existing journal for appending (the recovery path).
+    pub fn open_append(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<JournalWriter> {
+        let path = journal_path(dir, tenant);
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(JournalWriter {
+            path,
+            file: BufWriter::new(file),
+            policy,
+        })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, flushing to the OS and fsyncing per policy.
+    /// Must be called *before* the request is applied to the engine.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let mut line = record.to_json().to_string_compact();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        let sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Tick => record.is_sync_point(),
+            FsyncPolicy::Off => false,
+        };
+        if sync {
+            self.file.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes the journal — the clean-close (`bye`) path.
+    pub fn remove(self) -> io::Result<()> {
+        // Drop the handle first so removal works on every platform.
+        let path = self.path;
+        drop(self.file);
+        std::fs::remove_file(path)
+    }
+}
+
+/// Reads every intact record of a journal file.
+///
+/// A final line that is unterminated or unparseable is treated as a torn
+/// tail from a mid-write crash and ignored; a malformed line anywhere
+/// earlier is corruption and an `InvalidData` error.
+pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut raw: Vec<Vec<u8>> = Vec::new();
+    loop {
+        let mut buf = Vec::new();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        raw.push(buf);
+    }
+    let mut records = Vec::with_capacity(raw.len());
+    let last = raw.len().saturating_sub(1);
+    for (i, buf) in raw.iter().enumerate() {
+        let is_tail = i == last;
+        let parsed = std::str::from_utf8(buf)
+            .ok()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                Json::parse(s)
+                    .map_err(|e| e.to_string())
+                    .and_then(|v| JournalRecord::from_json(&v))
+            });
+        match parsed {
+            // An unterminated tail still counts when it parses — the line
+            // is complete JSON, only the trailing newline is missing.
+            Some(Ok(record)) => records.push(record),
+            Some(Err(e)) if is_tail => {
+                // Torn tail: the crash landed mid-write. Drop it.
+                let _ = e;
+            }
+            Some(Err(e)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt journal line {}: {e}", i + 1),
+                ));
+            }
+            None if is_tail => {}
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt journal line {}: not UTF-8", i + 1),
+                ));
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Replays intact records through a fresh session.
+///
+/// The first record must be `hello`. Engine-level errors during replay are
+/// deterministic re-occurrences of errors the live session already
+/// reported (and answered), so they are swallowed — the replayed state
+/// still matches the live state exactly. Returns `None` for an empty
+/// journal (crash before the hello record hit the disk).
+pub fn replay(records: &[JournalRecord]) -> io::Result<Option<TenantSession>> {
+    let corrupt = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let Some(first) = records.first() else {
+        return Ok(None);
+    };
+    let JournalRecord::Hello {
+        tenant,
+        machines,
+        cal_len,
+        cal_cost,
+        algorithm,
+        seq,
+    } = first
+    else {
+        return Err(corrupt("journal does not start with a hello record"));
+    };
+    let config = TenantConfig {
+        machines: *machines,
+        cal_len: *cal_len,
+        cal_cost: *cal_cost,
+        algorithm: *algorithm,
+    };
+    // Recovered sessions run without a trace sink: appending replayed
+    // events to a truncated trace would silently duplicate history.
+    let mut session = TenantSession::new(tenant, config, None)
+        .map_err(|e| corrupt(&format!("journalled config no longer valid: {}", e.message)))?;
+    if let Some(s) = *seq {
+        session.note_seq(s);
+    }
+    for record in &records[1..] {
+        match record {
+            JournalRecord::Hello { .. } => {
+                return Err(corrupt("duplicate hello record mid-journal"));
+            }
+            JournalRecord::Arrive { jobs, seq } => {
+                let _ = session.arrive(jobs, None);
+                if let Some(s) = *seq {
+                    session.note_seq(s);
+                }
+            }
+            JournalRecord::Tick { now, seq } => {
+                let _ = session.tick(*now, None);
+                if let Some(s) = *seq {
+                    session.note_seq(s);
+                }
+            }
+            JournalRecord::Drain { seq } => {
+                let _ = session.drain(None);
+                if let Some(s) = *seq {
+                    session.note_seq(s);
+                }
+            }
+        }
+    }
+    Ok(Some(session))
+}
+
+/// Full recovery: read + replay + reattach an append-mode writer, so the
+/// resumed session keeps journaling where the dead process stopped.
+///
+/// Returns `Ok(None)` when no journal exists for the tenant.
+pub fn recover(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<Option<TenantSession>> {
+    let path = journal_path(dir, tenant);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let records = read_journal(&path)?;
+    let Some(mut session) = replay(&records)? else {
+        return Ok(None);
+    };
+    if session.name() != tenant {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "journal `{}` belongs to tenant `{}`, not `{tenant}`",
+                path.display(),
+                session.name()
+            ),
+        ));
+    }
+    let writer = JournalWriter::open_append(dir, tenant, policy)?;
+    session.resume_journal(writer);
+    Ok(Some(session))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("calib-journal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn config() -> TenantConfig {
+        TenantConfig {
+            machines: 1,
+            cal_len: 4,
+            cal_cost: 6,
+            algorithm: Algorithm::Alg1,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            JournalRecord::hello("t", &config(), Some(0)),
+            JournalRecord::Arrive {
+                jobs: vec![Job::new(0, 3, 2)],
+                seq: Some(1),
+            },
+            JournalRecord::Tick {
+                now: 5,
+                seq: Some(2),
+            },
+            JournalRecord::Drain { seq: None },
+        ];
+        for r in &records {
+            let line = r.to_json().to_string_compact();
+            let back = JournalRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn write_read_replay_reconstructs_state() {
+        let dir = tmp("rt");
+        let mut w = JournalWriter::create(&dir, "t", FsyncPolicy::Off).unwrap();
+        w.append(&JournalRecord::hello("t", &config(), Some(0)))
+            .unwrap();
+        w.append(&JournalRecord::Arrive {
+            jobs: vec![Job::unweighted(0, 0), Job::unweighted(1, 2)],
+            seq: Some(1),
+        })
+        .unwrap();
+        w.append(&JournalRecord::Tick {
+            now: 2,
+            seq: Some(2),
+        })
+        .unwrap();
+        w.append(&JournalRecord::Drain { seq: Some(3) }).unwrap();
+        drop(w);
+
+        let records = read_journal(&journal_path(&dir, "t")).unwrap();
+        assert_eq!(records.len(), 4);
+        let session = replay(&records).unwrap().unwrap();
+        assert_eq!(session.last_seq(), Some(3));
+        let acc = session.accounting();
+        assert!(acc.checker_ok, "violations: {:?}", acc.violations);
+        assert_eq!(acc.scheduled, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_midfile_corruption_is_fatal() {
+        let dir = tmp("torn");
+        let mut w = JournalWriter::create(&dir, "t", FsyncPolicy::Always).unwrap();
+        w.append(&JournalRecord::hello("t", &config(), None))
+            .unwrap();
+        w.append(&JournalRecord::Tick { now: 1, seq: None })
+            .unwrap();
+        drop(w);
+        let path = journal_path(&dir, "t");
+        // Torn tail: a partial record with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(br#"{"op":"tick","no"#).unwrap();
+        drop(f);
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2, "torn tail dropped");
+
+        // Corruption mid-file is not a torn tail.
+        std::fs::write(
+            &path,
+            b"{\"op\":\"hello\",\"tenant\":\"t\",\"machines\":1,\"cal_len\":4,\"cal_cost\":6,\"algorithm\":\"alg1\"}\ngarbage\n{\"op\":\"drain\"}\n",
+        )
+        .unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_reports_missing_journal_as_none() {
+        let dir = tmp("none");
+        assert!(recover(&dir, "ghost", FsyncPolicy::Off).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_paths_stay_inside_the_directory() {
+        let dir = PathBuf::from("/journals");
+        let p = journal_path(&dir, "../../etc/passwd");
+        assert_eq!(p, dir.join("______etc_passwd.journal.jsonl"));
+    }
+}

@@ -9,20 +9,36 @@
 //! daemon's schedules are byte-identical to batch runs and every drained
 //! session is validated by the trusted `calib_core::check_schedule`.
 //!
+//! The daemon is crash-safe: with `--journal-dir`, every accepted
+//! mutating request is write-ahead journalled per tenant, disconnected
+//! sessions detach instead of finalizing, and `resume` reattaches — or
+//! replays the journal after a `kill -9` — byte-identically. The client
+//! side ([`retry`]) reconnects with seeded exponential backoff and
+//! resends un-acked requests idempotently, and [`chaos`] provides a
+//! seeded fault-injecting TCP proxy to prove the whole stack under torn
+//! writes, duplicated lines, and mid-line disconnects.
+//!
 //! See `SERVE.md` at the repo root for the protocol catalogue,
-//! backpressure and shutdown semantics, and an example transcript. The two
-//! binaries are `calib-serve` (the daemon) and `calib-loadgen` (a seeded
-//! load generator that replays difftest workload families and checks the
-//! daemon's objectives against local batch runs).
+//! backpressure and shutdown semantics, the failure model, and an example
+//! transcript. The binaries are `calib-serve` (the daemon),
+//! `calib-loadgen` (a seeded load generator that replays difftest
+//! workload families and checks the daemon's objectives against local
+//! batch runs), and `calib-chaos` (the fault proxy).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod chaos;
+pub mod journal;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod session;
 
+pub use chaos::{run_proxy, FaultPlan, ProxyStats};
+pub use journal::{read_journal, recover, replay, FsyncPolicy, JournalRecord, JournalWriter};
 pub use protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
+pub use retry::{run_plan, Backoff, ClientConfig, ClientReport, PlanStep, RetryClock, SystemClock};
 pub use server::{serve, serve_stream, ServeReport, ServerConfig};
 pub use session::{Algorithm, SessionError, TenantConfig, TenantSession};

@@ -84,10 +84,24 @@ pub enum Request {
         /// Echoed sequence number.
         seq: Option<u64>,
     },
+    /// Reattach to a tenant after a disconnect — or, with `--journal-dir`,
+    /// recover it from its on-disk journal after a daemon crash.
+    Resume {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number (exempt from the tenant's `seq` chain).
+        seq: Option<u64>,
+    },
+    /// Liveness probe; answered inline by the reader thread with `pong`,
+    /// bypassing tenant queues, so it works even when all workers are busy.
+    Ping {
+        /// Echoed sequence number (exempt from any `seq` chain).
+        seq: Option<u64>,
+    },
 }
 
 impl Request {
-    /// The tenant the request addresses.
+    /// The tenant the request addresses (empty for tenant-less `ping`).
     pub fn tenant(&self) -> &str {
         match self {
             Request::Hello { tenant, .. }
@@ -96,7 +110,9 @@ impl Request {
             | Request::Decisions { tenant, .. }
             | Request::Stats { tenant, .. }
             | Request::Drain { tenant, .. }
-            | Request::Bye { tenant, .. } => tenant,
+            | Request::Bye { tenant, .. }
+            | Request::Resume { tenant, .. } => tenant,
+            Request::Ping { .. } => "",
         }
     }
 
@@ -109,7 +125,9 @@ impl Request {
             | Request::Decisions { seq, .. }
             | Request::Stats { seq, .. }
             | Request::Drain { seq, .. }
-            | Request::Bye { seq, .. } => *seq,
+            | Request::Bye { seq, .. }
+            | Request::Resume { seq, .. }
+            | Request::Ping { seq } => *seq,
         }
     }
 
@@ -136,6 +154,10 @@ impl Request {
         };
         let seq = v.get("seq").and_then(Json::as_u64);
         let ty = obj_str("type")?;
+        // `ping` is tenant-less; everything else requires the field.
+        if ty == "ping" {
+            return Ok(Request::Ping { seq });
+        }
         let tenant = obj_str("tenant")?;
         match ty.as_str() {
             "hello" => Ok(Request::Hello {
@@ -164,6 +186,7 @@ impl Request {
             "stats" => Ok(Request::Stats { tenant, seq }),
             "drain" => Ok(Request::Drain { tenant, seq }),
             "bye" => Ok(Request::Bye { tenant, seq }),
+            "resume" => Ok(Request::Resume { tenant, seq }),
             other => Err(("bad-message", format!("unknown request type `{other}`"))),
         }
     }
@@ -273,6 +296,38 @@ pub enum Reply {
     Goodbye {
         /// The validated accounting.
         accounting: Accounting,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Session reattached (or recovered from its journal) after `resume`.
+    /// `last_seq` tells the client exactly which requests were applied, so
+    /// it can resend the un-acked tail idempotently.
+    Resumed {
+        /// Addressed tenant.
+        tenant: String,
+        /// The session's `seq` high-water mark — everything at or below
+        /// this is already applied.
+        last_seq: Option<u64>,
+        /// The session's virtual time, if a tick has happened.
+        now: Option<Time>,
+        /// True when the session has no unfinished work left.
+        idle: bool,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Liveness answer to `ping`, carrying monotonic server health
+    /// counters.
+    Pong {
+        /// Connections accepted over the server's lifetime.
+        connections: u64,
+        /// Connections open right now.
+        active_connections: u64,
+        /// Tenant sessions open right now.
+        tenants: u64,
+        /// Requests parsed over the server's lifetime.
+        requests: u64,
+        /// Requests answered with `busy` over the server's lifetime.
+        busy_drops: u64,
         /// Echoed sequence number.
         seq: Option<u64>,
     },
@@ -389,6 +444,46 @@ impl Reply {
                 put_seq(&mut fields, *seq);
                 Json::obj(fields)
             }
+            Reply::Resumed {
+                tenant,
+                last_seq,
+                now,
+                idle,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("resumed".to_string())),
+                    ("tenant", Json::Str(tenant.clone())),
+                ];
+                if let Some(s) = last_seq {
+                    fields.push(("last_seq", s.to_json()));
+                }
+                if let Some(now) = now {
+                    fields.push(("now", now.to_json()));
+                }
+                fields.push(("idle", Json::Bool(*idle)));
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Pong {
+                connections,
+                active_connections,
+                tenants,
+                requests,
+                busy_drops,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("pong".to_string())),
+                    ("connections", connections.to_json()),
+                    ("active_connections", active_connections.to_json()),
+                    ("tenants", tenants.to_json()),
+                    ("requests", requests.to_json()),
+                    ("busy_drops", busy_drops.to_json()),
+                ];
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
             Reply::Error {
                 code,
                 message,
@@ -462,10 +557,14 @@ mod tests {
                 seq: None
             }
         );
-        for ty in ["decisions", "stats", "drain", "bye"] {
+        for ty in ["decisions", "stats", "drain", "bye", "resume"] {
             let req = parse(&format!(r#"{{"type":"{ty}","tenant":"a"}}"#)).unwrap();
             assert_eq!(req.tenant(), "a");
         }
+        // `ping` is the one tenant-less request.
+        let ping = parse(r#"{"type":"ping","seq":9}"#).unwrap();
+        assert_eq!(ping, Request::Ping { seq: Some(9) });
+        assert_eq!(ping.tenant(), "");
     }
 
     #[test]
@@ -503,5 +602,30 @@ mod tests {
         let v = Json::parse(err.to_line().trim()).unwrap();
         assert_eq!(v.get("code").unwrap().as_str(), Some("busy"));
         assert!(v.get("seq").is_none());
+
+        let resumed = Reply::Resumed {
+            tenant: "a".into(),
+            last_seq: Some(41),
+            now: Some(12),
+            idle: true,
+            seq: Some(0),
+        };
+        let v = Json::parse(resumed.to_line().trim()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("resumed"));
+        assert_eq!(v.get("last_seq").unwrap().as_u64(), Some(41));
+        assert_eq!(v.get("idle").unwrap(), &Json::Bool(true));
+
+        let pong = Reply::Pong {
+            connections: 3,
+            active_connections: 1,
+            tenants: 2,
+            requests: 99,
+            busy_drops: 0,
+            seq: Some(7),
+        };
+        let v = Json::parse(pong.to_line().trim()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("pong"));
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(99));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(7));
     }
 }

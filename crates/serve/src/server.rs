@@ -22,15 +22,23 @@
 //! `busy` error and dropped — the server never buffers without bound, and
 //! a flooding client only ever hurts itself.
 //!
-//! ## Shutdown
+//! ## Shutdown and disconnects
 //!
 //! Pure-std safe Rust cannot install signal handlers, so shutdown is
 //! cooperative: when every connection has closed and every tenant session
 //! is gone (all `bye`d or cleaned up after a disconnect), a server started
 //! with [`ServerConfig::exit_when_idle`] stops accepting and returns a
-//! [`ServeReport`] of all final accountings. Sessions whose connection
-//! drops mid-stream are drained, validated, and accounted exactly like a
-//! `bye` — an abrupt client cannot leave half-open state behind.
+//! [`ServeReport`] of all final accountings.
+//!
+//! What a disconnect-without-`bye` means depends on
+//! [`ServerConfig::journal_dir`]. Without journaling, the session is
+//! drained, validated, and accounted exactly like a `bye` — an abrupt
+//! client cannot leave half-open state behind. With journaling, the
+//! disconnect may be a transient network fault: the session is *detached*
+//! (kept in memory, its journal on disk) and waits for a `resume`; a
+//! detached tenant also keeps an `exit_when_idle` server alive. `resume`
+//! for a tenant absent from memory falls back to journal replay, which is
+//! how a restarted daemon recovers the sessions a crash orphaned.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -42,6 +50,7 @@ use std::time::Duration;
 
 use calib_core::json::Json;
 
+use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
 use crate::session::{Algorithm, SessionError, TenantConfig, TenantSession};
 
@@ -57,6 +66,19 @@ pub struct ServerConfig {
     pub exit_when_idle: bool,
     /// Directory for per-tenant JSON-lines engine traces (opt-in).
     pub trace_dir: Option<PathBuf>,
+    /// Directory for per-tenant write-ahead journals. Enables crash
+    /// recovery and switches disconnect handling from synthetic
+    /// finalization to detach-and-await-`resume`.
+    pub journal_dir: Option<PathBuf>,
+    /// When journal appends reach the disk (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Read timeout applied to accepted TCP sockets; a connection that
+    /// sends nothing for this long gets a typed `read-timeout` error and
+    /// is disconnected. Ignored by [`serve_stream`] (no socket).
+    pub read_timeout: Option<Duration>,
+    /// Admission cap on concurrently open tenant sessions; `hello` beyond
+    /// it is answered with `tenant-limit`.
+    pub max_tenants: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +88,10 @@ impl Default for ServerConfig {
             queue_cap: 64,
             exit_when_idle: true,
             trace_dir: None,
+            journal_dir: None,
+            fsync: FsyncPolicy::Tick,
+            read_timeout: None,
+            max_tenants: 1024,
         }
     }
 }
@@ -79,6 +105,12 @@ pub struct ServeReport {
     pub connections: u64,
     /// Requests answered with `busy`.
     pub busy_drops: u64,
+    /// Sessions detached after a disconnect-without-`bye` (journaling on).
+    pub detaches: u64,
+    /// Successful `resume` reattachments (including recoveries).
+    pub resumes: u64,
+    /// Sessions rebuilt from an on-disk journal.
+    pub recovered: u64,
 }
 
 impl ServeReport {
@@ -134,12 +166,29 @@ struct Inbox {
 
 struct Tenant {
     name: String,
-    /// Connection that opened the tenant; its EOF triggers cleanup.
-    conn: u64,
+    /// Connection currently attached to the tenant; `None` while detached
+    /// after a disconnect (journaling mode), awaiting `resume`.
+    conn: Mutex<Option<u64>>,
     inbox: Mutex<Inbox>,
     busy_drops: AtomicU64,
     /// `None` once finalized.
     session: Mutex<Option<TenantSession>>,
+}
+
+impl Tenant {
+    fn new(name: &str, conn: u64, session: TenantSession) -> Tenant {
+        Tenant {
+            name: name.to_string(),
+            conn: Mutex::new(Some(conn)),
+            inbox: Mutex::new(Inbox {
+                queue: VecDeque::new(),
+                running: false,
+                high_water: 0,
+            }),
+            busy_drops: AtomicU64::new(0),
+            session: Mutex::new(Some(session)),
+        }
+    }
 }
 
 struct Shared {
@@ -152,6 +201,10 @@ struct Shared {
     busy_drops: AtomicU64,
     active_conns: AtomicU64,
     conns_seen: AtomicU64,
+    requests: AtomicU64,
+    detaches: AtomicU64,
+    resumes: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl Shared {
@@ -166,6 +219,10 @@ impl Shared {
             busy_drops: AtomicU64::new(0),
             active_conns: AtomicU64::new(0),
             conns_seen: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            detaches: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         }
     }
 
@@ -240,7 +297,8 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Runs the protocol over one already-connected byte stream (the `--stdin`
 /// transport and the unit tests use this directly). Returns when the input
-/// reaches EOF; sessions opened on the stream are finalized.
+/// reaches EOF; sessions opened on the stream are finalized (or, with
+/// journaling on, left detached with their journals recoverable on disk).
 pub fn serve_stream(
     input: impl Read,
     output: Box<dyn Write + Send>,
@@ -279,6 +337,9 @@ pub fn serve(listener: TcpListener, config: ServerConfig) -> io::Result<ServeRep
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || {
                         stream.set_nodelay(true).ok();
+                        if let Some(timeout) = shared.config.read_timeout {
+                            stream.set_read_timeout(Some(timeout)).ok();
+                        }
                         let write_half: Box<dyn Write + Send> = match stream.try_clone() {
                             Ok(s) => Box::new(BufWriter::new(s)),
                             Err(_) => Box::new(io::sink()),
@@ -317,6 +378,9 @@ fn report(shared: &Shared) -> ServeReport {
         accountings: std::mem::take(&mut lock(&shared.accountings)),
         connections: shared.conns_seen.load(Ordering::Relaxed),
         busy_drops: shared.busy_drops.load(Ordering::Relaxed),
+        detaches: shared.detaches.load(Ordering::Relaxed),
+        resumes: shared.resumes.load(Ordering::Relaxed),
+        recovered: shared.recovered.load(Ordering::Relaxed),
     }
 }
 
@@ -335,6 +399,22 @@ fn run_connection(shared: &Shared, conn: u64, input: impl Read, output: Box<dyn 
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 sink.send(&Reply::error("line-too-long", e.to_string(), None, None));
                 continue;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // The socket read timeout fired: tell the (possibly hung)
+                // peer why it is being dropped, then disconnect.
+                sink.send(&Reply::error(
+                    "read-timeout",
+                    "no complete request line within the read timeout; disconnecting",
+                    None,
+                    None,
+                ));
+                break;
             }
             Err(_) => break,
         }
@@ -356,6 +436,7 @@ fn run_connection(shared: &Shared, conn: u64, input: impl Read, output: Box<dyn 
                 continue;
             }
         };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
         route(shared, conn, request, &sink);
     }
     cleanup_connection(shared, conn);
@@ -394,6 +475,25 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result
 }
 
 fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
+    // `ping` is answered inline by the reader, bypassing tenant queues —
+    // the liveness probe must work even when every worker is busy.
+    if let Request::Ping { seq } = &request {
+        sink.send(&Reply::Pong {
+            connections: shared.conns_seen.load(Ordering::Relaxed),
+            active_connections: shared.active_conns.load(Ordering::Relaxed),
+            tenants: u64::try_from(shared.lock_tenants().len()).unwrap_or(u64::MAX),
+            requests: shared.requests.load(Ordering::Relaxed),
+            busy_drops: shared.busy_drops.load(Ordering::Relaxed),
+            seq: *seq,
+        });
+        return;
+    }
+
+    if let Request::Resume { tenant, seq } = &request {
+        route_resume(shared, conn, tenant, *seq, request.clone(), sink);
+        return;
+    }
+
     if let Request::Hello {
         tenant,
         machines,
@@ -413,11 +513,36 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             return;
         };
         let mut tenants = shared.lock_tenants();
-        if tenants.contains_key(tenant.as_str()) {
+        if let Some(existing) = tenants.get(tenant.as_str()) {
+            // A resent/duplicated hello is benign when the seq chain proves
+            // this exact request was already applied; anything else is a
+            // genuine name collision.
+            let already_applied = match (*seq, lock(&existing.session).as_ref()) {
+                (Some(s), Some(session)) => session.last_seq().is_some_and(|last| s <= last),
+                _ => false,
+            };
+            drop(tenants);
+            if already_applied {
+                sink.send(&Reply::Ok {
+                    tenant: tenant.clone(),
+                    seq: *seq,
+                });
+            } else {
+                sink.send(&Reply::error(
+                    "duplicate-tenant",
+                    format!("tenant `{tenant}` already exists"),
+                    Some(tenant),
+                    *seq,
+                ));
+            }
+            return;
+        }
+        if tenants.len() >= shared.config.max_tenants {
+            let cap = shared.config.max_tenants;
             drop(tenants);
             sink.send(&Reply::error(
-                "duplicate-tenant",
-                format!("tenant `{tenant}` already exists"),
+                "tenant-limit",
+                format!("server is at its tenant cap ({cap}); retry after sessions close"),
                 Some(tenant),
                 *seq,
             ));
@@ -432,7 +557,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             cal_cost: *cal_cost,
             algorithm,
         };
-        let session = match TenantSession::new(tenant, config, trace) {
+        let mut session = match TenantSession::new(tenant, config, trace) {
             Ok(s) => s,
             Err(SessionError { code, message }) => {
                 drop(tenants);
@@ -440,20 +565,28 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 return;
             }
         };
-        tenants.insert(
-            tenant.clone(),
-            Arc::new(Tenant {
-                name: tenant.clone(),
-                conn,
-                inbox: Mutex::new(Inbox {
-                    queue: VecDeque::new(),
-                    running: false,
-                    high_water: 0,
-                }),
-                busy_drops: AtomicU64::new(0),
-                session: Mutex::new(Some(session)),
-            }),
-        );
+        if let Some(s) = *seq {
+            session.note_seq(s);
+        }
+        // Write-ahead: the hello record must be durable before the tenant
+        // is registered and acked. The registry lock is held across this
+        // file create — hellos are rare and racing hellos for one name
+        // must not truncate each other's journal.
+        if let Some(dir) = shared.config.journal_dir.as_ref() {
+            let started = JournalWriter::create(dir, tenant, shared.config.fsync)
+                .and_then(|w| session.start_journal(w));
+            if let Err(e) = started {
+                drop(tenants);
+                sink.send(&Reply::error(
+                    "journal-io",
+                    format!("cannot open journal: {e}"),
+                    Some(tenant),
+                    *seq,
+                ));
+                return;
+            }
+        }
+        tenants.insert(tenant.clone(), Arc::new(Tenant::new(tenant, conn, session)));
         drop(tenants);
         sink.send(&Reply::Ok {
             tenant: tenant.clone(),
@@ -477,6 +610,106 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
     }
 }
 
+/// Handles `resume`: reattach a live (possibly detached) tenant to this
+/// connection, or fall back to journal recovery for a tenant a crash (or
+/// idle-exit) removed from memory. The `resumed` reply itself is produced
+/// by a worker so it serializes after any still-queued requests.
+fn route_resume(
+    shared: &Shared,
+    conn: u64,
+    tenant: &str,
+    seq: Option<u64>,
+    request: Request,
+    sink: &Arc<ReplySink>,
+) {
+    let existing = {
+        let tenants = shared.lock_tenants();
+        tenants.get(tenant).cloned()
+    };
+    if let Some(t) = existing {
+        let attached = {
+            let mut owner = lock(&t.conn);
+            match *owner {
+                Some(c) if c != conn => false,
+                _ => {
+                    *owner = Some(conn);
+                    true
+                }
+            }
+        };
+        if !attached {
+            // Transient: the previous connection's reader has not finished
+            // cleanup yet. The client backs off and retries.
+            sink.send(&Reply::error(
+                "tenant-attached",
+                format!("tenant `{tenant}` is still attached to another connection"),
+                Some(tenant),
+                seq,
+            ));
+            return;
+        }
+        shared.resumes.fetch_add(1, Ordering::Relaxed);
+        shared.enqueue(&t, request, sink);
+        return;
+    }
+
+    // Not in memory: recover from the journal, if journaling is on.
+    let Some(dir) = shared.config.journal_dir.clone() else {
+        sink.send(&Reply::error(
+            "unknown-tenant",
+            format!("no tenant named `{tenant}` and journaling is off"),
+            Some(tenant),
+            seq,
+        ));
+        return;
+    };
+    match journal::recover(&dir, tenant, shared.config.fsync) {
+        Ok(Some(session)) => {
+            let mut tenants = shared.lock_tenants();
+            if tenants.contains_key(tenant) {
+                // Lost a race with a concurrent resume; retryable.
+                drop(tenants);
+                sink.send(&Reply::error(
+                    "tenant-attached",
+                    format!("tenant `{tenant}` was concurrently resumed"),
+                    Some(tenant),
+                    seq,
+                ));
+                return;
+            }
+            if tenants.len() >= shared.config.max_tenants {
+                let cap = shared.config.max_tenants;
+                drop(tenants);
+                sink.send(&Reply::error(
+                    "tenant-limit",
+                    format!("server is at its tenant cap ({cap}); retry after sessions close"),
+                    Some(tenant),
+                    seq,
+                ));
+                return;
+            }
+            let t = Arc::new(Tenant::new(tenant, conn, session));
+            tenants.insert(tenant.to_string(), Arc::clone(&t));
+            drop(tenants);
+            shared.recovered.fetch_add(1, Ordering::Relaxed);
+            shared.resumes.fetch_add(1, Ordering::Relaxed);
+            shared.enqueue(&t, request, sink);
+        }
+        Ok(None) => sink.send(&Reply::error(
+            "unknown-tenant",
+            format!("no tenant named `{tenant}` in memory or on disk"),
+            Some(tenant),
+            seq,
+        )),
+        Err(e) => sink.send(&Reply::error(
+            "journal-io",
+            format!("journal recovery failed: {e}"),
+            Some(tenant),
+            seq,
+        )),
+    }
+}
+
 fn open_trace(shared: &Shared, tenant: &str) -> Option<BufWriter<std::fs::File>> {
     let dir = shared.config.trace_dir.as_ref()?;
     // Tenant names go into a path; keep only a conservative charset.
@@ -495,26 +728,34 @@ fn open_trace(shared: &Shared, tenant: &str) -> Option<BufWriter<std::fs::File>>
     Some(BufWriter::new(file))
 }
 
-/// Finalizes every tenant the closing connection opened, as if each had
-/// sent `bye` — a disconnect must not leak sessions or skip validation.
+/// Handles every tenant attached to the closing connection. Without
+/// journaling, each is finalized as if it had sent `bye` — a disconnect
+/// must not leak sessions or skip validation. With journaling, the
+/// disconnect may be transient, so the tenant is detached instead and
+/// waits (in memory, journal on disk) for a `resume`.
 fn cleanup_connection(shared: &Shared, conn: u64) {
     let owned: Vec<Arc<Tenant>> = {
         let tenants = shared.lock_tenants();
         tenants
             .values()
-            .filter(|t| t.conn == conn)
+            .filter(|t| *lock(&t.conn) == Some(conn))
             .cloned()
             .collect()
     };
     for tenant in owned {
-        let name = tenant.name.clone();
-        shared.enqueue_cleanup(
-            &tenant,
-            Request::Bye {
-                tenant: name,
-                seq: None,
-            },
-        );
+        if shared.config.journal_dir.is_some() {
+            *lock(&tenant.conn) = None;
+            shared.detaches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let name = tenant.name.clone();
+            shared.enqueue_cleanup(
+                &tenant,
+                Request::Bye {
+                    tenant: name,
+                    seq: None,
+                },
+            );
+        }
     }
 }
 
@@ -553,6 +794,66 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// What the seq-chain check decided for one queued request.
+enum SeqCheck {
+    /// In order (or unsequenced): process normally.
+    Proceed,
+    /// At or below the high-water mark: already applied, answer benignly
+    /// without re-executing mutations.
+    Duplicate,
+    /// Skips ahead: at least one earlier request was lost in transit.
+    Gap {
+        /// The lost-ahead request's seq.
+        got: u64,
+        /// The session's current high-water mark.
+        last: u64,
+    },
+}
+
+fn check_seq(request: &Request, session: &TenantSession) -> SeqCheck {
+    // `resume` is the resynchronization point itself and sits outside the
+    // chain; so do unsequenced requests (tests, hand-driven sessions).
+    if matches!(request, Request::Resume { .. }) {
+        return SeqCheck::Proceed;
+    }
+    match (request.seq(), session.last_seq()) {
+        (Some(got), Some(last)) if got <= last => SeqCheck::Duplicate,
+        (Some(got), Some(last)) if last.checked_add(1).is_none_or(|next| got > next) => {
+            SeqCheck::Gap { got, last }
+        }
+        _ => SeqCheck::Proceed,
+    }
+}
+
+/// The benign answer to an already-applied request: acknowledge without
+/// re-executing mutations (re-running a tick/drain would consume decision
+/// deltas the original reply already delivered). A duplicated `drain`
+/// re-serves the full accounting — it is the reply a crash most plausibly
+/// lost, and the client needs it.
+fn duplicate_reply(request: &Request, session: &TenantSession, name: &str) -> Reply {
+    let seq = request.seq();
+    match request {
+        Request::Tick { .. } | Request::Decisions { .. } => Reply::Decisions {
+            tenant: name.to_string(),
+            now: session.now(),
+            calibrations: Vec::new(),
+            starts: Vec::new(),
+            idle: session.is_idle(),
+            seq,
+        },
+        Request::Drain { .. } => Reply::Drained {
+            accounting: session.accounting(),
+            calibrations: Vec::new(),
+            starts: Vec::new(),
+            seq,
+        },
+        _ => Reply::Ok {
+            tenant: name.to_string(),
+            seq,
+        },
+    }
+}
+
 /// Handles one queued request against the tenant's session.
 fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<ReplySink>) {
     let seq = request.seq();
@@ -569,6 +870,33 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
         return;
     };
     let name = tenant.name.clone();
+    match check_seq(&request, session) {
+        SeqCheck::Proceed => {}
+        // `stats` is a pure read; serving it fresh is harmless and more
+        // useful than a synthesized echo.
+        SeqCheck::Duplicate if !matches!(request, Request::Stats { .. }) => {
+            let reply = duplicate_reply(&request, session, &name);
+            drop(session_slot);
+            sink.send(&reply);
+            return;
+        }
+        SeqCheck::Duplicate => {}
+        SeqCheck::Gap { got, last } => {
+            drop(session_slot);
+            sink.send(&Reply::error(
+                "seq-gap",
+                format!(
+                    "request seq {got} skips ahead of the session's last seq {last}; \
+                     a request line was lost — resend from seq {}",
+                    last.saturating_add(1)
+                ),
+                Some(&tenant.name),
+                seq,
+            ));
+            return;
+        }
+    }
+    let is_resume = matches!(request, Request::Resume { .. });
     let reply = match request {
         Request::Hello { .. } => Reply::error(
             "duplicate-tenant",
@@ -576,11 +904,22 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
             Some(&name),
             seq,
         ),
-        Request::Arrive { jobs, .. } => match session.arrive(&jobs) {
+        Request::Ping { .. } => {
+            // Unreachable: pings are answered inline by the reader.
+            Reply::error("bad-message", "ping is never queued", None, seq)
+        }
+        Request::Resume { .. } => Reply::Resumed {
+            tenant: name,
+            last_seq: session.last_seq(),
+            now: session.now(),
+            idle: session.is_idle(),
+            seq,
+        },
+        Request::Arrive { jobs, .. } => match session.arrive(&jobs, seq) {
             Ok(()) => Reply::Ok { tenant: name, seq },
             Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
         },
-        Request::Tick { now, .. } => match session.tick(now) {
+        Request::Tick { now, .. } => match session.tick(now, seq) {
             Ok(delta) => Reply::Decisions {
                 tenant: name,
                 now: Some(now),
@@ -616,7 +955,7 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
                 seq,
             }
         }
-        Request::Drain { .. } => match session.drain() {
+        Request::Drain { .. } => match session.drain(seq) {
             Ok(delta) => Reply::Drained {
                 accounting: session.accounting(),
                 calibrations: delta.calibrations,
@@ -641,6 +980,14 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
             return;
         }
     };
+    // Advance the seq chain for every definitively-answered request —
+    // including typed rejections, which re-reject deterministically if the
+    // client ever resends them. `resume` stays outside the chain.
+    if !is_resume {
+        if let (Some(s), Some(session)) = (seq, session_slot.as_mut()) {
+            session.note_seq(s);
+        }
+    }
     drop(session_slot);
     sink.send(&reply);
 }

@@ -18,6 +18,7 @@ use calib_online::{
     OnlineScheduler,
 };
 
+use crate::journal::{JournalRecord, JournalWriter};
 use crate::protocol::Accounting;
 
 /// The scheduling algorithms a tenant can ask for in `hello`.
@@ -144,6 +145,12 @@ pub struct TenantSession {
     /// Virtual-time high-water mark from `tick`s; arrivals strictly before
     /// it are in the past even when the engine itself was idle there.
     now: Option<Time>,
+    /// Write-ahead journal; every accepted mutating request is appended
+    /// here *before* it reaches the engine.
+    journal: Option<JournalWriter>,
+    /// Highest request `seq` this session has processed — the duplicate-
+    /// suppression and gap-detection high-water mark.
+    last_seq: Option<u64>,
 }
 
 impl TenantSession {
@@ -179,7 +186,49 @@ impl TenantSession {
             scheduler: config.algorithm.scheduler(),
             counters,
             now: None,
+            journal: None,
+            last_seq: None,
         })
+    }
+
+    /// Starts write-ahead journaling on a *fresh* session: the opening
+    /// `hello` record (carrying this session's current `seq` high-water
+    /// mark) is written immediately.
+    pub fn start_journal(&mut self, mut writer: JournalWriter) -> std::io::Result<()> {
+        writer.append(&JournalRecord::hello(
+            &self.name,
+            &self.config,
+            self.last_seq,
+        ))?;
+        self.journal = Some(writer);
+        Ok(())
+    }
+
+    /// Reattaches an append-mode journal to a *replayed* session (the
+    /// recovery path) — no record is written.
+    pub fn resume_journal(&mut self, writer: JournalWriter) {
+        self.journal = Some(writer);
+    }
+
+    /// The highest request `seq` processed so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Raises the `seq` high-water mark (never lowers it).
+    pub fn note_seq(&mut self, seq: u64) {
+        self.last_seq = Some(self.last_seq.map_or(seq, |last| last.max(seq)));
+    }
+
+    /// Write-ahead append. A journal I/O failure rejects the request
+    /// *before* any engine state changes — the client sees a typed
+    /// `journal-io` error and durability is never silently degraded.
+    fn journal_append(&mut self, record: &JournalRecord) -> Result<(), SessionError> {
+        if let Some(w) = self.journal.as_mut() {
+            w.append(record)
+                .map_err(|e| SessionError::new("journal-io", e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The tenant's name.
@@ -202,8 +251,16 @@ impl TenantSession {
         self.now
     }
 
-    /// Buffers a batch of future jobs.
-    pub fn arrive(&mut self, jobs: &[Job]) -> Result<(), SessionError> {
+    /// Buffers a batch of future jobs. `seq` is the request's sequence
+    /// number, persisted with the journal record so recovery restores the
+    /// duplicate-suppression mark.
+    ///
+    /// The session-level past-arrival check rejects *before* the journal
+    /// write (no state change, nothing to persist); engine-level errors
+    /// like `duplicate-job` happen *after* it, which is correct because
+    /// they are deterministic — replay reproduces the same partial batch
+    /// application and the same error.
+    pub fn arrive(&mut self, jobs: &[Job], seq: Option<u64>) -> Result<(), SessionError> {
         if let Some(now) = self.now {
             if let Some(job) = jobs.iter().find(|j| j.release < now) {
                 return Err(SessionError::new(
@@ -215,12 +272,18 @@ impl TenantSession {
                 ));
             }
         }
+        if self.journal.is_some() {
+            self.journal_append(&JournalRecord::Arrive {
+                jobs: jobs.to_vec(),
+                seq,
+            })?;
+        }
         self.engine.submit(jobs)?;
         Ok(())
     }
 
     /// Advances virtual time to `now`, returning the decision delta.
-    pub fn tick(&mut self, now: Time) -> Result<Decisions, SessionError> {
+    pub fn tick(&mut self, now: Time, seq: Option<u64>) -> Result<Decisions, SessionError> {
         if let Some(prev) = self.now {
             if now < prev {
                 return Err(SessionError::new(
@@ -229,6 +292,7 @@ impl TenantSession {
                 ));
             }
         }
+        self.journal_append(&JournalRecord::Tick { now, seq })?;
         self.now = Some(now);
         let delta = self.engine.step(now, &[], self.scheduler.as_mut())?;
         Ok(delta)
@@ -244,9 +308,16 @@ impl TenantSession {
         self.engine.is_idle()
     }
 
+    /// A snapshot of everything scheduled so far, in the engine's
+    /// canonical order — the byte-identity witness for replay tests.
+    pub fn schedule_snapshot(&self) -> calib_core::Schedule {
+        self.engine.schedule_snapshot()
+    }
+
     /// Runs the engine to completion of all submitted work and returns the
     /// decision delta. The session stays open.
-    pub fn drain(&mut self) -> Result<Decisions, SessionError> {
+    pub fn drain(&mut self, seq: Option<u64>) -> Result<Decisions, SessionError> {
+        self.journal_append(&JournalRecord::Drain { seq })?;
         let delta = self.engine.drain(self.scheduler.as_mut())?;
         Ok(delta)
     }
@@ -293,9 +364,14 @@ impl TenantSession {
 
     /// Drains, validates, and closes the session in one move — the `bye`
     /// and disconnect-cleanup path. The trace sink (if any) is flushed; its
-    /// first deferred I/O error is surfaced alongside the accounting.
+    /// first deferred I/O error is surfaced alongside the accounting. A
+    /// journal, if attached, is deleted: a finalized session has nothing
+    /// left to recover.
     pub fn finalize(mut self) -> (Accounting, Result<(), std::io::Error>) {
-        let drain_err = self.drain().err();
+        // Detach the journal first: the closing drain is part of
+        // finalization, not a recoverable request.
+        let journal = self.journal.take();
+        let drain_err = self.drain(None).err();
         let mut accounting = self.accounting();
         if let Some(e) = drain_err {
             accounting.checker_ok = false;
@@ -303,11 +379,17 @@ impl TenantSession {
         }
         let (outcome, probe) = self.engine.finish();
         debug_assert_eq!(outcome.schedule.assignments.len(), accounting.scheduled);
-        let trace_result = match probe.1 {
+        let mut io_result = match probe.1 {
             Some(trace) => trace.finish().map(|_| ()),
             None => Ok(()),
         };
-        (accounting, trace_result)
+        if let Some(w) = journal {
+            let removed = w.remove();
+            if io_result.is_ok() {
+                io_result = removed;
+            }
+        }
+        (accounting, io_result)
     }
 
     /// Serializes the tenant's configuration for logs and reports.
@@ -359,8 +441,8 @@ mod tests {
         let batch = run_online(&inst, 6, &mut Alg1::new());
 
         let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
-        s.arrive(inst.jobs()).unwrap();
-        s.drain().unwrap();
+        s.arrive(inst.jobs(), None).unwrap();
+        s.drain(None).unwrap();
         let acc = s.accounting();
         assert!(acc.checker_ok, "violations: {:?}", acc.violations);
         assert_eq!(acc.flow, batch.flow);
@@ -371,26 +453,26 @@ mod tests {
     #[test]
     fn virtual_past_and_duplicates_get_stable_codes() {
         let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
-        s.arrive(&[Job::unweighted(0, 5)]).unwrap();
-        s.tick(10).unwrap();
-        let err = s.arrive(&[Job::unweighted(1, 3)]).unwrap_err();
+        s.arrive(&[Job::unweighted(0, 5)], None).unwrap();
+        s.tick(10, None).unwrap();
+        let err = s.arrive(&[Job::unweighted(1, 3)], None).unwrap_err();
         assert_eq!(err.code, "arrival-in-past");
-        let err = s.arrive(&[Job::unweighted(0, 50)]).unwrap_err();
+        let err = s.arrive(&[Job::unweighted(0, 50)], None).unwrap_err();
         assert_eq!(err.code, "duplicate-job");
-        let err = s.tick(9).unwrap_err();
+        let err = s.tick(9, None).unwrap_err();
         assert_eq!(err.code, "time-regression");
         // The session still works.
-        s.arrive(&[Job::unweighted(2, 30)]).unwrap();
-        s.drain().unwrap();
+        s.arrive(&[Job::unweighted(2, 30)], None).unwrap();
+        s.drain(None).unwrap();
         assert!(s.accounting().checker_ok);
     }
 
     #[test]
     fn counters_observe_engine_events() {
         let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
-        s.arrive(&[Job::unweighted(0, 0), Job::unweighted(1, 1)])
+        s.arrive(&[Job::unweighted(0, 0), Job::unweighted(1, 1)], None)
             .unwrap();
-        s.drain().unwrap();
+        s.drain(None).unwrap();
         let snap = s.counters().snapshot();
         assert_eq!(snap.arrivals, 2);
         assert_eq!(snap.dispatches, 2);
@@ -400,7 +482,7 @@ mod tests {
     #[test]
     fn finalize_reports_partial_schedules_as_unchecked() {
         let mut s = TenantSession::new("t", config(Algorithm::Alg1), None).unwrap();
-        s.arrive(&[Job::unweighted(0, 0)]).unwrap();
+        s.arrive(&[Job::unweighted(0, 0)], None).unwrap();
         let (acc, io) = s.finalize();
         assert!(io.is_ok());
         assert!(

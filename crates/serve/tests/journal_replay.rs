@@ -1,0 +1,265 @@
+//! Journal-replay determinism: a session recovered from its write-ahead
+//! journal is byte-identical to the session that never crashed.
+//!
+//! The recovery contract rests on engine determinism — a `TenantSession`
+//! is a pure function of its accepted request stream, so replaying the
+//! journalled stream must reproduce the same schedule (same canonical
+//! JSON bytes), the same `u128` flow/cost accounting, and the same `seq`
+//! high-water mark, for every algorithm and workload family. The crash
+//! point is swept across the journal: recovery from any prefix, followed
+//! by live replay of the remaining requests, must converge to the same
+//! final state.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use calib_core::json::ToJson;
+use calib_difftest::{gen_case_sized, GenParams};
+use calib_online::run_online;
+use calib_serve::journal::journal_path;
+use calib_serve::{
+    read_journal, recover, Algorithm, FsyncPolicy, JournalRecord, JournalWriter, TenantConfig,
+    TenantSession,
+};
+
+/// A unique, self-cleaning scratch directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("calib-journal-replay-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The algorithm sweep with generator bounds matched to each contract.
+fn families() -> Vec<(Algorithm, GenParams)> {
+    vec![
+        (
+            Algorithm::Alg1,
+            GenParams {
+                max_p: 1,
+                max_weight: 1,
+                ..GenParams::default()
+            },
+        ),
+        (
+            Algorithm::Alg2,
+            GenParams {
+                max_p: 1,
+                ..GenParams::default()
+            },
+        ),
+        (
+            Algorithm::Alg3,
+            GenParams {
+                max_weight: 1,
+                ..GenParams::default()
+            },
+        ),
+    ]
+}
+
+/// Drives a fully journaled session through the whole instance (arrive
+/// and tick per release group, then drain), mimicking the server's seq
+/// bookkeeping, and returns it.
+fn run_journaled_session(
+    dir: &std::path::Path,
+    tenant: &str,
+    algorithm: Algorithm,
+    case: &calib_difftest::TestCase,
+) -> TenantSession {
+    let config = TenantConfig {
+        machines: case.instance.machines(),
+        cal_len: case.instance.cal_len(),
+        cal_cost: case.cal_cost,
+        algorithm,
+    };
+    let mut session = TenantSession::new(tenant, config, None).expect("session");
+    let mut seq: u64 = 0;
+    session.note_seq(seq);
+    let writer = JournalWriter::create(dir, tenant, FsyncPolicy::Off).expect("journal create");
+    session.start_journal(writer).expect("journal hello");
+
+    let mut jobs = case.instance.jobs().to_vec();
+    jobs.sort_by_key(|j| (j.release, j.id));
+    let mut i = 0;
+    while i < jobs.len() {
+        let release = jobs[i].release;
+        let mut batch = Vec::new();
+        while i < jobs.len() && jobs[i].release == release {
+            batch.push(jobs[i]);
+            i += 1;
+        }
+        seq += 1;
+        session.arrive(&batch, Some(seq)).expect("arrive");
+        session.note_seq(seq);
+        seq += 1;
+        session.tick(release, Some(seq)).expect("tick");
+        session.note_seq(seq);
+    }
+    seq += 1;
+    session.drain(Some(seq)).expect("drain");
+    session.note_seq(seq);
+    session
+}
+
+/// Applies the mutation records after the crash point to a recovered
+/// session — the live requests a reconnecting client would resend.
+fn apply_live(session: &mut TenantSession, records: &[JournalRecord]) {
+    for record in records {
+        match record {
+            JournalRecord::Hello { .. } => panic!("hello only opens a journal"),
+            JournalRecord::Arrive { jobs, seq } => {
+                session.arrive(jobs, *seq).expect("live arrive");
+            }
+            JournalRecord::Tick { now, seq } => {
+                session.tick(*now, *seq).expect("live tick");
+            }
+            JournalRecord::Drain { seq } => {
+                session.drain(*seq).expect("live drain");
+            }
+        }
+        if let Some(s) = record.seq() {
+            session.note_seq(s);
+        }
+    }
+}
+
+fn snapshot(session: &TenantSession) -> (String, u128, u128, Option<u64>) {
+    let schedule = session.schedule_snapshot().to_json().to_string_compact();
+    let acc = session.accounting();
+    assert!(acc.checker_ok, "drained schedule must pass the checker");
+    (schedule, acc.flow, acc.cost, session.last_seq())
+}
+
+/// Recovery from *any* crash point reconverges: for every algorithm and
+/// several seeds, replaying a journal prefix and re-applying the rest of
+/// the request stream yields byte-identical schedule JSON and identical
+/// `u128` accounting to the uninterrupted session — which in turn match
+/// the batch engine.
+#[test]
+fn replay_from_any_crash_point_is_byte_identical() {
+    for (algorithm, params) in families() {
+        for seed in [3u64, 17, 2017] {
+            let case = gen_case_sized(seed, &params, 40);
+            let tenant = format!("t-{}-{seed}", algorithm.name());
+            let dir = TempDir::new(&format!("full-{}-{seed}", algorithm.name()));
+
+            let live = run_journaled_session(&dir.0, &tenant, algorithm, &case);
+            let (want_schedule, want_flow, want_cost, want_seq) = snapshot(&live);
+
+            // The uninterrupted session itself matches the batch engine.
+            let batch = run_online(
+                &case.instance,
+                case.cal_cost,
+                algorithm.scheduler().as_mut(),
+            );
+            assert_eq!(want_flow, batch.flow, "{tenant}: live vs batch flow");
+            assert_eq!(want_cost, batch.cost, "{tenant}: live vs batch cost");
+            assert_eq!(
+                want_schedule,
+                batch.schedule.to_json().to_string_compact(),
+                "{tenant}: live vs batch schedule bytes"
+            );
+
+            let records = read_journal(&journal_path(&dir.0, &tenant)).expect("read journal");
+            assert!(
+                matches!(records.first(), Some(JournalRecord::Hello { .. })),
+                "journal opens with hello"
+            );
+            let mutations = records.len() - 1;
+
+            // Crash right after the hello, mid-stream, and after the last
+            // mutation (a pure-replay recovery with nothing to resend).
+            for cut in [0, mutations / 2, mutations] {
+                let crash_dir = TempDir::new(&format!("cut{cut}-{}-{seed}", algorithm.name()));
+                let mut writer = JournalWriter::create(&crash_dir.0, &tenant, FsyncPolicy::Off)
+                    .expect("prefix journal");
+                for record in &records[..=cut] {
+                    writer.append(record).expect("prefix append");
+                }
+                drop(writer);
+                // A crash tears the tail mid-record; recovery must shrug.
+                let path = journal_path(&crash_dir.0, &tenant);
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .expect("reopen journal");
+                f.write_all(b"{\"type\":\"tick\",\"now\":9")
+                    .expect("torn tail");
+                drop(f);
+
+                let mut recovered = recover(&crash_dir.0, &tenant, FsyncPolicy::Off)
+                    .expect("recover")
+                    .expect("journal present");
+                apply_live(&mut recovered, &records[cut + 1..]);
+
+                let (got_schedule, got_flow, got_cost, got_seq) = snapshot(&recovered);
+                assert_eq!(
+                    got_schedule, want_schedule,
+                    "{tenant} cut {cut}: schedule bytes diverge after recovery"
+                );
+                assert_eq!(got_flow, want_flow, "{tenant} cut {cut}: flow");
+                assert_eq!(got_cost, want_cost, "{tenant} cut {cut}: cost");
+                assert_eq!(got_seq, want_seq, "{tenant} cut {cut}: last_seq");
+            }
+        }
+    }
+}
+
+/// A recovered session keeps journaling: crash *again* after recovery and
+/// a second recovery still converges (journal appends compose).
+#[test]
+fn recovery_is_idempotent_across_repeated_crashes() {
+    let (algorithm, params) = (Algorithm::Alg2, families()[1].1);
+    let case = gen_case_sized(11, &params, 30);
+    let tenant = "double-crash";
+    let dir = TempDir::new("double-crash-src");
+    let live = run_journaled_session(&dir.0, tenant, algorithm, &case);
+    let (want_schedule, want_flow, want_cost, want_seq) = snapshot(&live);
+
+    let records = read_journal(&journal_path(&dir.0, tenant)).expect("read journal");
+    let mutations = records.len() - 1;
+    let first_cut = mutations / 3;
+    let second_cut = (2 * mutations) / 3;
+
+    let crash_dir = TempDir::new("double-crash");
+    let mut writer =
+        JournalWriter::create(&crash_dir.0, tenant, FsyncPolicy::Tick).expect("prefix journal");
+    for record in &records[..=first_cut] {
+        writer.append(record).expect("prefix append");
+    }
+    drop(writer);
+
+    // First recovery re-applies up to the second crash point; its journal
+    // appends go to the same file.
+    let mut recovered = recover(&crash_dir.0, tenant, FsyncPolicy::Tick)
+        .expect("recover")
+        .expect("journal present");
+    apply_live(&mut recovered, &records[first_cut + 1..=second_cut]);
+    drop(recovered);
+
+    // Second recovery sees prefix + appended middle, then finishes live.
+    let mut recovered = recover(&crash_dir.0, tenant, FsyncPolicy::Tick)
+        .expect("second recover")
+        .expect("journal still present");
+    apply_live(&mut recovered, &records[second_cut + 1..]);
+
+    let (got_schedule, got_flow, got_cost, got_seq) = snapshot(&recovered);
+    assert_eq!(
+        got_schedule, want_schedule,
+        "schedule bytes after two crashes"
+    );
+    assert_eq!(got_flow, want_flow);
+    assert_eq!(got_cost, want_cost);
+    assert_eq!(got_seq, want_seq);
+}

@@ -83,15 +83,20 @@ pub fn run(cfg: &DpScalingConfig) -> (Vec<DpScalingRow>, f64, Table) {
                 .instance(rep * 17 + n as u64, n, cfg.weights, cfg.cal_len);
             let counters = Counters::new();
             let start = Instant::now();
-            let sol = solve_offline_counted(&inst, budget, Some(&counters))
-                .expect("normalized instance")
-                .expect("budget covers n for the divisor choices");
+            // A degenerate draw (unnormalized instance or short budget)
+            // would poison the whole sweep; skip the rep instead.
+            let Ok(Some(sol)) = solve_offline_counted(&inst, budget, Some(&counters)) else {
+                continue;
+            };
             times.push(start.elapsed().as_secs_f64());
             states = sol.states_evaluated;
             pruned = counters.snapshot().dp_states_pruned;
             flow = sol.flow;
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if times.is_empty() {
+            continue;
+        }
+        times.sort_by(f64::total_cmp);
         rows.push(DpScalingRow {
             n,
             budget,

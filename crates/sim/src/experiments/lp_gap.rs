@@ -81,18 +81,21 @@ pub fn run(cfg: &LpGapConfig) -> (Vec<LpGapCell>, Table) {
             let local = Counters::new();
             let timer = SpanTimer::start("lp_gap_point");
             let inst = fam.instance(seed * 977 + 5, cfg.n, WeightModel::Unit, t);
-            let opt = opt_online_cost(&inst, g).expect("normalized instance").cost as f64;
-            let lb = lp_lower_bound_counted(&inst, g, Some(&local)).expect("LP solves");
+            // A degenerate point gets a NaN gap; `Summary::from_values`
+            // rejects poisoned cells below, so its row is dropped rather
+            // than misreported.
+            let opt = opt_online_cost(&inst, g)
+                .map(|o| o.cost as f64)
+                .unwrap_or(f64::NAN);
+            let lb = lp_lower_bound_counted(&inst, g, Some(&local)).unwrap_or(f64::NAN);
+            let gap = if lb.is_finite() {
+                opt / lb.max(1e-9)
+            } else {
+                f64::NAN
+            };
             let snap = local.snapshot();
             sweep.lp_pivots(snap.lp_pivots);
-            (
-                fam.label(),
-                t,
-                g,
-                opt / lb.max(1e-9),
-                snap,
-                timer.elapsed_ns(),
-            )
+            (fam.label(), t, g, gap, snap, timer.elapsed_ns())
         });
 
     let mut cells: Vec<LpGapCell> = Vec::new();
@@ -122,7 +125,9 @@ pub fn run(cfg: &LpGapConfig) -> (Vec<LpGapCell>, Table) {
         &["family", "T", "G", "mean gap", "max gap", "metrics", "ms"],
     );
     for c in &cells {
-        let s = Summary::from_values(&c.gaps).unwrap();
+        let Some(s) = Summary::from_values(&c.gaps) else {
+            continue;
+        };
         table.row(vec![
             c.family.clone(),
             c.cal_len.to_string(),

@@ -82,8 +82,13 @@ pub fn run(cfg: &MultiConfig) -> (Vec<MultiCell>, Table) {
         let releases = fam.releases(seed * 31 + 3, cfg.n);
         let inst = make_instance(releases, WeightModel::Unit, seed, p, t);
         let alg = run_online(&inst, g, &mut Alg3::new());
-        let lb = lp_lower_bound(&inst, g).expect("LP solves on small instances");
-        (p, fam.label(), t, g, alg.cost as f64 / lb.max(1e-9))
+        // An unsolved LP yields a NaN ratio, poisoning its cell's
+        // summary — the row is skipped below rather than misreported.
+        let ratio = match lp_lower_bound(&inst, g) {
+            Some(lb) => alg.cost as f64 / lb.max(1e-9),
+            None => f64::NAN,
+        };
+        (p, fam.label(), t, g, ratio)
     });
 
     let mut cells: Vec<MultiCell> = Vec::new();
@@ -116,7 +121,9 @@ pub fn run(cfg: &MultiConfig) -> (Vec<MultiCell>, Table) {
         ],
     );
     for c in &cells {
-        let s = Summary::from_values(&c.certified_ratios).unwrap();
+        let Some(s) = Summary::from_values(&c.certified_ratios) else {
+            continue;
+        };
         table.row(vec![
             c.machines.to_string(),
             c.family.clone(),

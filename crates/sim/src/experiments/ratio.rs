@@ -128,15 +128,13 @@ pub fn run(cfg: &RatioConfig) -> (Vec<RatioCell>, Table) {
                 &mut probe,
             ),
         };
-        let opt = opt_online_cost(&inst, g).expect("normalized single-machine instance");
-        (
-            fam,
-            t,
-            g,
-            res.cost as f64 / opt.cost as f64,
-            local.snapshot(),
-            timer.elapsed_ns(),
-        )
+        // A NaN ratio poisons the cell's summary; the row is skipped
+        // below rather than misreported.
+        let ratio = match opt_online_cost(&inst, g) {
+            Ok(opt) => res.cost as f64 / opt.cost as f64,
+            Err(_) => f64::NAN,
+        };
+        (fam, t, g, ratio, local.snapshot(), timer.elapsed_ns())
     });
 
     // Group by (family, T, G).
@@ -181,7 +179,9 @@ pub fn run(cfg: &RatioConfig) -> (Vec<RatioCell>, Table) {
         ],
     );
     for c in &cells {
-        let s = Summary::from_values(&c.ratios).expect("non-empty cell");
+        let Some(s) = Summary::from_values(&c.ratios) else {
+            continue;
+        };
         table.row(vec![
             c.family.clone(),
             c.cal_len.to_string(),

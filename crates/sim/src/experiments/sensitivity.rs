@@ -88,8 +88,13 @@ pub fn run(cfg: &SensitivityConfig) -> (Vec<SensitivityCell>, Table) {
             ..Thresholds::alg2()
         });
         let res = run_online(&inst, g, &mut sched);
-        let opt = opt_online_cost(&inst, g).expect("normalized instance");
-        (factor, g, res.cost as f64 / opt.cost as f64)
+        // A NaN ratio poisons the cell's summary; the row is skipped
+        // below rather than misreported.
+        let ratio = match opt_online_cost(&inst, g) {
+            Ok(opt) => res.cost as f64 / opt.cost as f64,
+            Err(_) => f64::NAN,
+        };
+        (factor, g, ratio)
     });
 
     let mut cells: Vec<SensitivityCell> = Vec::new();
@@ -112,7 +117,9 @@ pub fn run(cfg: &SensitivityConfig) -> (Vec<SensitivityCell>, Table) {
         &["factor", "G", "mean cost/OPT", "max cost/OPT"],
     );
     for c in &cells {
-        let s = Summary::from_values(&c.ratios).unwrap();
+        let Some(s) = Summary::from_values(&c.ratios) else {
+            continue;
+        };
         table.row(vec![
             format!("x{}/{}", c.factor.0, c.factor.1),
             c.cal_cost.to_string(),

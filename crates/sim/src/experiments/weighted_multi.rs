@@ -81,8 +81,13 @@ pub fn run(cfg: &WeightedMultiConfig) -> (Vec<WeightedMultiCell>, Table) {
         let releases = fam.releases(seed * 61 + 11, cfg.n);
         let inst = make_instance(releases, cfg.weights, seed, p, cfg.cal_len);
         let alg = run_online(&inst, g, &mut WeightedMulti::new());
-        let lb = lp_lower_bound(&inst, g).expect("LP solves on small instances");
-        (p, fam.label(), g, alg.cost as f64 / lb.max(1e-9))
+        // An unsolved LP yields a NaN ratio, poisoning its cell's
+        // summary — the row is skipped below rather than misreported.
+        let ratio = match lp_lower_bound(&inst, g) {
+            Some(lb) => alg.cost as f64 / lb.max(1e-9),
+            None => f64::NAN,
+        };
+        (p, fam.label(), g, ratio)
     });
 
     let mut cells: Vec<WeightedMultiCell> = Vec::new();
@@ -106,7 +111,9 @@ pub fn run(cfg: &WeightedMultiConfig) -> (Vec<WeightedMultiCell>, Table) {
         &["P", "family", "G", "mean ALG/LP", "max ALG/LP"],
     );
     for c in &cells {
-        let s = Summary::from_values(&c.certified_ratios).unwrap();
+        let Some(s) = Summary::from_values(&c.certified_ratios) else {
+            continue;
+        };
         table.row(vec![
             c.machines.to_string(),
             c.family.clone(),

@@ -54,7 +54,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(buf) => buf,
+                // Re-raise a worker's panic on the caller's thread instead
+                // of silently dropping its indices.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
