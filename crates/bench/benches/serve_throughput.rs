@@ -14,13 +14,18 @@
 //! * `serve_stream_journaled` — the same pass with the write-ahead
 //!   journal on (`fsync off`, so the number is the serialization and
 //!   buffered-write overhead, not the disk's sync latency).
+//! * `metrics_overhead` — the same pass as `serve_stream_session` but with
+//!   the periodic metrics snapshot stream enabled. The bench gate holds
+//!   the `metrics_overhead / serve_stream_session` ratio under a tight
+//!   bound: always-on counters plus the snapshot thread must stay in the
+//!   noise of the serve path.
 
 use calib_bench::harness::Bench;
 use calib_core::json::{Json, ToJson};
 use calib_core::{Instance, Job};
 use calib_difftest::{gen_case_sized, GenParams};
 use calib_online::{run_online, Alg2, EngineConfig, EngineSession};
-use calib_serve::{serve_stream, Algorithm, FsyncPolicy, Request, ServerConfig};
+use calib_serve::{serve_stream, Algorithm, FsyncPolicy, MetricsSink, Request, ServerConfig};
 
 /// The daemon's arrival pattern: jobs grouped by release, ascending.
 fn release_groups(instance: &Instance) -> Vec<(i64, Vec<Job>)> {
@@ -142,6 +147,25 @@ fn main() {
             ServerConfig {
                 workers: 1,
                 queue_cap: 1_000_000,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok());
+        report.accountings.len()
+    });
+
+    // Same stream with the snapshot thread running and a live sink. The
+    // interval is shorter than a pass, so snapshot serialization is *in*
+    // the measurement, not just the registry's atomics.
+    b.bench("metrics_overhead", || {
+        let report = serve_stream(
+            script.as_bytes(),
+            Box::new(std::io::sink()),
+            ServerConfig {
+                workers: 1,
+                queue_cap: 1_000_000,
+                metrics_interval: Some(std::time::Duration::from_millis(2)),
+                metrics_sink: Some(MetricsSink::new(Box::new(std::io::sink()))),
                 ..Default::default()
             },
         );

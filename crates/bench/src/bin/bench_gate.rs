@@ -90,6 +90,9 @@ fn parse_args() -> Result<Options, String> {
 struct Suite {
     /// `(measurement name, median_ns)` pairs.
     medians: Vec<(String, u64)>,
+    /// `(measurement name, min_ns)` pairs (used by the intra-suite
+    /// overhead checks, where the min is the stable estimator).
+    mins: Vec<(String, u64)>,
     /// Reference-workload timing on the machine that produced this file.
     reference_ns: Option<u64>,
 }
@@ -103,6 +106,7 @@ fn read_suite(path: &Path) -> Result<Suite, String> {
         .as_arr()
         .ok_or_else(|| format!("{}: `results` must be an array", path.display()))?;
     let mut out = Vec::new();
+    let mut mins = Vec::new();
     for r in results {
         let name = r
             .field("name")
@@ -115,11 +119,15 @@ fn read_suite(path: &Path) -> Result<Suite, String> {
             .map_err(|e| format!("{}: {e}", path.display()))?
             .as_u64()
             .ok_or_else(|| format!("{}: `median_ns` must be a u64", path.display()))?;
+        if let Some(min) = r.get("min_ns").and_then(|v| v.as_u64()) {
+            mins.push((name.clone(), min));
+        }
         out.push((name, median));
     }
     let reference_ns = json.get("gate_reference_ns").and_then(|v| v.as_u64());
     Ok(Suite {
         medians: out,
+        mins,
         reference_ns,
     })
 }
@@ -249,6 +257,66 @@ fn run() -> Result<bool, String> {
             println!(
                 "PASS {name}: normalized suite median ratio {score:.2}x \
                  (machine ratio {machine_ratio:.2}x)"
+            );
+        }
+    }
+    if !overhead_checks(&opts.fresh_dir)? {
+        ok = false;
+    }
+    Ok(ok)
+}
+
+/// Intra-suite overhead bounds: both medians come from the same fresh run
+/// on the same machine, so these are compared raw — no baseline and no
+/// machine-speed normalization. Each entry is
+/// `(suite file, measurement, baseline measurement, max ratio)`.
+const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 1] = [
+    // The always-on metrics registry plus a live 2ms snapshot stream must
+    // stay within 2% of the plain serve path.
+    (
+        "BENCH_serve.json",
+        "metrics_overhead",
+        "serve_stream_session",
+        1.02,
+    ),
+];
+
+fn overhead_checks(fresh_dir: &Path) -> Result<bool, String> {
+    let mut ok = true;
+    for (file, num, den, max_ratio) in OVERHEAD_CHECKS {
+        let path = fresh_dir.join(file);
+        if !path.exists() {
+            println!("FAIL {file}: missing, cannot check `{num}` overhead");
+            ok = false;
+            continue;
+        }
+        let suite = read_suite(&path)?;
+        // The *minimum* sample, not the median: scheduler noise is strictly
+        // additive, so the min is the stable estimator of intrinsic cost on
+        // both sides of the ratio (median jitter at this measurement's
+        // scale is larger than the bound being enforced).
+        let min = |name: &str| suite.mins.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+        let (Some(num_ns), Some(den_ns)) = (min(num), min(den)) else {
+            println!("FAIL {file}: `{num}` or `{den}` measurement is missing");
+            ok = false;
+            continue;
+        };
+        if den_ns == 0 {
+            println!("FAIL {file}: `{den}` median is zero");
+            ok = false;
+            continue;
+        }
+        let ratio = num_ns as f64 / den_ns as f64;
+        if ratio > max_ratio {
+            println!(
+                "FAIL {file}: `{num}` is {ratio:.3}x of `{den}` \
+                 ({num_ns} vs {den_ns} ns), over the {max_ratio:.2}x bound"
+            );
+            ok = false;
+        } else {
+            println!(
+                "PASS {file}: `{num}` is {ratio:.3}x of `{den}` \
+                 (bound {max_ratio:.2}x)"
             );
         }
     }

@@ -79,6 +79,8 @@ counters! {
     reservations,
     /// Scheduler-requested wake-ups taken.
     wakes,
+    /// Write-ahead journal appends observed (serve layer).
+    journal_syncs,
     /// DP states evaluated by the offline solver.
     dp_states_expanded,
     /// DP states rejected by the infeasibility guard.

@@ -72,6 +72,20 @@ pub enum Event {
         /// Number of calibrations issued.
         calibrations: u64,
     },
+    /// A write-ahead journal record reached stable storage (or at least the
+    /// OS, when `synced` is false). Emitted by the serve layer, not the
+    /// engine itself, so Perfetto timelines can show durability stalls
+    /// against the same virtual clock as the scheduling decisions.
+    JournalSync {
+        /// Virtual time the journalled request targeted.
+        time: Time,
+        /// Wall-clock cost of the append (write + flush + optional fsync),
+        /// in microseconds.
+        micros: u64,
+        /// True when the append ended in `fsync` (policy `always`, or a
+        /// sync-point record under policy `tick`).
+        synced: bool,
+    },
 }
 
 impl Event {
@@ -85,6 +99,7 @@ impl Event {
             Event::TimeSkip { .. } => "time_skip",
             Event::Wake { .. } => "wake",
             Event::RunComplete { .. } => "run_complete",
+            Event::JournalSync { .. } => "journal_sync",
         }
     }
 
@@ -94,9 +109,9 @@ impl Event {
         match *self {
             Event::JobArrived { time, job, weight } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
-                ("job", Json::UInt(job.0 as u128)),
-                ("weight", Json::UInt(weight as u128)),
+                ("time", Json::Int(i128::from(time))),
+                ("job", Json::UInt(u128::from(job.0))),
+                ("weight", Json::UInt(u128::from(weight))),
             ]),
             Event::Calibrate {
                 time,
@@ -104,9 +119,9 @@ impl Event {
                 start,
             } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
-                ("machine", Json::UInt(machine.0 as u128)),
-                ("start", Json::Int(start as i128)),
+                ("time", Json::Int(i128::from(time))),
+                ("machine", Json::UInt(u128::from(machine.0))),
+                ("start", Json::Int(i128::from(start))),
             ]),
             Event::Reserve {
                 time,
@@ -114,9 +129,9 @@ impl Event {
                 start,
             } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
-                ("machine", Json::UInt(machine.0 as u128)),
-                ("start", Json::Int(start as i128)),
+                ("time", Json::Int(i128::from(time))),
+                ("machine", Json::UInt(u128::from(machine.0))),
+                ("start", Json::Int(i128::from(start))),
             ]),
             Event::Dispatch {
                 time,
@@ -125,19 +140,19 @@ impl Event {
                 start,
             } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
-                ("job", Json::UInt(job.0 as u128)),
-                ("machine", Json::UInt(machine.0 as u128)),
-                ("start", Json::Int(start as i128)),
+                ("time", Json::Int(i128::from(time))),
+                ("job", Json::UInt(u128::from(job.0))),
+                ("machine", Json::UInt(u128::from(machine.0))),
+                ("start", Json::Int(i128::from(start))),
             ]),
             Event::TimeSkip { from, to } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("from", Json::Int(from as i128)),
-                ("to", Json::Int(to as i128)),
+                ("from", Json::Int(i128::from(from))),
+                ("to", Json::Int(i128::from(to))),
             ]),
             Event::Wake { time, reason } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
+                ("time", Json::Int(i128::from(time))),
                 ("reason", Json::Str(reason.into())),
             ]),
             Event::RunComplete {
@@ -146,9 +161,19 @@ impl Event {
                 calibrations,
             } => Json::obj([
                 ("type", Json::Str(self.kind().into())),
-                ("time", Json::Int(time as i128)),
+                ("time", Json::Int(i128::from(time))),
                 ("flow", Json::UInt(flow)),
-                ("calibrations", Json::UInt(calibrations as u128)),
+                ("calibrations", Json::UInt(u128::from(calibrations))),
+            ]),
+            Event::JournalSync {
+                time,
+                micros,
+                synced,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().into())),
+                ("time", Json::Int(i128::from(time))),
+                ("micros", Json::UInt(u128::from(micros))),
+                ("synced", Json::Bool(synced)),
             ]),
         }
     }
@@ -191,6 +216,11 @@ mod tests {
                 time: 0,
                 flow: 0,
                 calibrations: 0,
+            },
+            Event::JournalSync {
+                time: 0,
+                micros: 0,
+                synced: true,
             },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();

@@ -1,0 +1,226 @@
+//! Lock-free fixed-bucket log-scale histograms.
+//!
+//! The serve daemon's metrics registry needs latency distributions
+//! (journal fsync, request service time) that can be updated from many
+//! threads without locks and snapshotted without stopping the world. A
+//! [`LogHistogram`] is an array of 65 atomic buckets: bucket 0 holds the
+//! value 0, and bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Powers of
+//! two give factor-2 resolution over the full `u64` range with pure
+//! integer arithmetic — no floats anywhere, so the hot path stays inside
+//! lint L1's exact-arithmetic contract.
+//!
+//! Recording is three relaxed `fetch_add`s and one `fetch_max`; reading is
+//! a [`LogHistogram::snapshot`] into plain integers, from which
+//! [`HistogramSnapshot::percentile`] answers p50/p95/p99 queries as the
+//! lower bound of the bucket containing the requested rank (exact within a
+//! factor of 2, clamped to the observed maximum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Bucket count: one zero bucket plus one per power of two in `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index holding `value`: 0 for 0, else `64 - leading_zeros`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    let index = 64 - value.leading_zeros();
+    usize::try_from(index).unwrap_or(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The smallest value a bucket can hold (its reported representative).
+fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// A thread-safe histogram over `u64` values with power-of-two buckets.
+///
+/// All operations use relaxed ordering — like
+/// [`Counters`](super::Counters), it carries statistics, not
+/// synchronization.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free: three relaxed adds and a max.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Reads the histogram into plain integers. Concurrent recorders may
+    /// land between the individual loads; the snapshot is still a valid
+    /// histogram of *some* prefix-plus-epsilon of the observations.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-integer copy of a [`LogHistogram`] at one moment.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wraps on `u64` overflow).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at percentile `pct` (0–100), as the lower bound of the
+    /// bucket containing that rank, clamped to the observed maximum.
+    /// Returns 0 for an empty histogram. Integer-only: the answer is exact
+    /// within a factor of 2, which is all a latency dashboard needs.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count.saturating_mul(pct.min(100))).div_ceil(100);
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= target {
+                return bucket_lower_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A compact JSON summary: count, sum, max, and the standard
+    /// dashboard percentiles.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(u128::from(self.count))),
+            ("sum", Json::UInt(u128::from(self.sum))),
+            ("max", Json::UInt(u128::from(self.max))),
+            ("p50", Json::UInt(u128::from(self.percentile(50)))),
+            ("p95", Json::UInt(u128::from(self.percentile(95)))),
+            ("p99", Json::UInt(u128::from(self.percentile(99)))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 1, 2, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1116);
+        assert_eq!(s.max, 1000);
+        // p50 rank = 4th of 8 → the bucket holding value 2.
+        assert_eq!(s.percentile(50), 2);
+        // p100 lands in the last nonempty bucket, clamped to max.
+        assert_eq!(s.percentile(100), 512.min(s.max));
+        assert_eq!(s.percentile(0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.percentile(50), 0);
+        assert_eq!(s.percentile(99), 0);
+        assert_eq!(s.to_json().get("count").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn percentile_is_clamped_to_observed_max() {
+        let h = LogHistogram::new();
+        h.record(5); // bucket [4, 8), lower bound 4
+        let s = h.snapshot();
+        assert_eq!(s.percentile(99), 4);
+        h.record(1 << 40);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(99), 1 << 40);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn json_summary_has_the_dashboard_fields() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let j = h.snapshot().to_json();
+        for key in ["count", "sum", "max", "p50", "p95", "p99"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(100));
+        assert_eq!(j.get("max").unwrap().as_u64(), Some(100));
+    }
+}

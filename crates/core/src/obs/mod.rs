@@ -14,17 +14,21 @@
 //!   Hot loops accumulate into local integers and flush once on exit.
 //!
 //! [`TraceProbe`] serializes events as JSON lines (via [`crate::json`], so no
-//! external dependencies), and [`SpanTimer`] measures wall-clock spans for
-//! benchmark output.
+//! external dependencies), [`LogHistogram`] adds lock-free log-scale latency
+//! histograms for the serve daemon's metrics registry, and [`SpanTimer`]
+//! measures wall-clock spans for benchmark output. See `OBSERVABILITY.md`
+//! at the repo root for the full probe → metrics → Perfetto pipeline.
 
 mod counters;
 mod event;
+mod metrics;
 mod probe;
 mod span;
 mod trace;
 
 pub use counters::{CounterSnapshot, Counters};
 pub use event::Event;
+pub use metrics::{HistogramSnapshot, LogHistogram, HISTOGRAM_BUCKETS};
 pub use probe::{CountingProbe, NoopProbe, Probe, RecordingProbe};
 pub use span::{SpanRecord, SpanTimer};
 pub use trace::TraceProbe;

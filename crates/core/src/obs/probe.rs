@@ -73,6 +73,7 @@ impl Probe for CountingProbe<'_> {
             Event::TimeSkip { .. } => self.counters.time_skips(1),
             Event::Wake { .. } => self.counters.wakes(1),
             Event::JobArrived { .. } => self.counters.arrivals(1),
+            Event::JournalSync { .. } => self.counters.journal_syncs(1),
             Event::RunComplete { .. } => {}
         }
     }

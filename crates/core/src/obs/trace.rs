@@ -2,6 +2,8 @@
 
 use std::io::{self, Write};
 
+use crate::json::Json;
+
 use super::event::Event;
 use super::probe::Probe;
 
@@ -9,7 +11,13 @@ use super::probe::Probe;
 ///
 /// The output is a standard JSON-lines stream: parse each line with
 /// [`Json::parse`](crate::json::Json::parse). `examples/trace_dump.rs` in the
-/// workspace root renders such a stream as an ASCII Gantt timeline.
+/// workspace root renders such a stream as an ASCII Gantt timeline, and the
+/// `calib-trace` bin converts it into a Perfetto trace.
+///
+/// Every line carries a monotonic `seq` field (0, 1, 2, …) assigned by this
+/// probe. It is wall-clock-free, so two runs of the same deterministic
+/// workload produce byte-identical traces, and downstream converters get a
+/// total order even when several events share one virtual-time instant.
 ///
 /// I/O errors are deferred: `record` cannot fail (the [`Probe`] interface is
 /// infallible, and the engine should not unwind mid-run because a log disk
@@ -39,11 +47,18 @@ impl<W: Write> TraceProbe<W> {
     }
 
     /// Flushes and returns the writer, or the first deferred I/O error.
+    ///
+    /// The flush happens unconditionally: even when a deferred write error
+    /// is pending, every line that *was* accepted must still reach the
+    /// underlying sink (a buffered writer may be holding all of them). The
+    /// deferred error then takes precedence over any flush error, because
+    /// it happened first.
     pub fn finish(mut self) -> io::Result<W> {
+        let flushed = self.writer.flush();
         if let Some(e) = self.error {
             return Err(e);
         }
-        self.writer.flush()?;
+        flushed?;
         Ok(self.writer)
     }
 }
@@ -53,7 +68,14 @@ impl<W: Write> Probe for TraceProbe<W> {
         if self.error.is_some() {
             return;
         }
-        let mut line = event.to_json().to_string_compact();
+        let mut json = event.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "seq".to_string(),
+                Json::UInt(u128::from(self.lines_written)),
+            ));
+        }
+        let mut line = json.to_string_compact();
         line.push('\n');
         match self.writer.write_all(line.as_bytes()) {
             Ok(()) => self.lines_written += 1,
@@ -89,8 +111,10 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let first = Json::parse(lines[0]).unwrap();
         assert_eq!(first.get("type").unwrap().as_str(), Some("job_arrived"));
+        assert_eq!(first.get("seq").unwrap().as_u64(), Some(0));
         let second = Json::parse(lines[1]).unwrap();
         assert_eq!(second.get("start").unwrap().as_i64(), Some(3));
+        assert_eq!(second.get("seq").unwrap().as_u64(), Some(1));
     }
 
     /// A writer that fails after `ok_bytes` bytes.
@@ -119,5 +143,98 @@ mod tests {
         probe.record(&Event::TimeSkip { from: 9, to: 12 });
         assert_eq!(probe.lines_written(), 0);
         assert!(probe.finish().is_err());
+    }
+
+    /// A buffering writer that fails after `ok_writes` successful writes
+    /// and records whether it was flushed, observable from outside via a
+    /// shared cell (finish() consumes the probe, writer and all).
+    #[derive(Debug)]
+    struct FlushSpy {
+        ok_writes: usize,
+        flushed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Write for FlushSpy {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn finish_flushes_even_when_a_deferred_error_is_pending() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut probe = TraceProbe::new(FlushSpy {
+            ok_writes: 2,
+            flushed: std::sync::Arc::clone(&flushed),
+        });
+        probe.record(&Event::TimeSkip { from: 0, to: 2 });
+        probe.record(&Event::TimeSkip { from: 2, to: 4 });
+        // Third write fails and is deferred.
+        probe.record(&Event::TimeSkip { from: 4, to: 6 });
+        assert_eq!(probe.lines_written(), 2);
+        let err = probe.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero, "deferred error wins");
+        assert!(
+            flushed.load(std::sync::atomic::Ordering::Relaxed),
+            "the two accepted lines must still be flushed through"
+        );
+    }
+
+    /// A writer whose writes succeed but whose flush fails: the flush
+    /// error must surface from finish() instead of being dropped.
+    #[derive(Debug)]
+    struct FlushFails;
+
+    impl Write for FlushFails {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "flush failed"))
+        }
+    }
+
+    #[test]
+    fn finish_surfaces_the_final_flush_error() {
+        let mut probe = TraceProbe::new(FlushFails);
+        probe.record(&Event::TimeSkip { from: 0, to: 2 });
+        let err = probe.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_wall_clock_free() {
+        // Two identical runs produce byte-identical traces.
+        let run = || {
+            let mut probe = TraceProbe::new(Vec::new());
+            for i in 0..5 {
+                probe.record(&Event::TimeSkip { from: i, to: i + 2 });
+            }
+            probe.finish().unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        let seqs: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -124,7 +124,10 @@ impl std::fmt::Display for Finding {
 }
 
 /// Crates whose scheduling arithmetic must stay exact (L1/L2/L5 scope).
-const ALGORITHM_CRATES: [&str; 3] = ["core", "online", "offline"];
+/// `trace` is in: its timeline mapping turns exact virtual times into
+/// trace timestamps, and a float or narrowing cast there silently skews
+/// every rendered slice.
+const ALGORITHM_CRATES: [&str; 4] = ["core", "online", "offline", "trace"];
 
 /// Crates whose *library* code must be panic-free and probe-routed
 /// (L3/L4 scope). The `rand`/`proptest` shims and the `bench`/`difftest`
@@ -133,7 +136,7 @@ const ALGORITHM_CRATES: [&str; 3] = ["core", "online", "offline"];
 /// never stdout (a stray `println!` would corrupt the stdin-mode protocol
 /// stream), and every I/O failure must surface as a typed error reply —
 /// the crash-safety layer depends on the daemon never panicking mid-WAL.
-const LIBRARY_CRATES: [&str; 9] = [
+const LIBRARY_CRATES: [&str; 10] = [
     "core",
     "online",
     "offline",
@@ -143,24 +146,27 @@ const LIBRARY_CRATES: [&str; 9] = [
     "lint",
     "root",
     "serve",
+    "trace",
 ];
 
 /// Files exempt from L1/L5 *by contract* — modules whose purpose is
 /// float-bearing (serialization, wall-clock reporting, sampling), not
 /// scheduling arithmetic. Justifications live in LINT.md's scoping table;
 /// everything else in an algorithm crate is enforced with no grandfathering.
-const FLOAT_CONTRACT_FILES: [&str; 5] = [
+const FLOAT_CONTRACT_FILES: [&str; 6] = [
     "crates/core/src/json.rs",         // Json::Float is part of the format
     "crates/core/src/analysis.rs",     // derived reporting metrics
     "crates/online/src/adversary.rs",  // competitive-ratio reporting
     "crates/online/src/tunable.rs",    // threshold display helpers
     "crates/online/src/randomized.rs", // e-based sampling defines the algorithm
+    "crates/core/src/obs/span.rs",     // wall-clock span timers report seconds
 ];
 
-/// Directories exempt from L1/L5 by contract (prefix match).
-const FLOAT_CONTRACT_DIRS: [&str; 1] = [
-    "crates/core/src/obs/", // wall-clock span timers report seconds
-];
+/// Directories exempt from L1/L5 by contract (prefix match). Currently
+/// empty: the old blanket `crates/core/src/obs/` exemption narrowed to
+/// just `span.rs` when the metrics registry (exact u64/u128 counters and
+/// integer histograms by design) moved in next to it.
+const FLOAT_CONTRACT_DIRS: [&str; 0] = [];
 
 /// Integer-typed `as` targets L2 fires on, including the workspace's own
 /// scalar aliases from `calib_core::types`.

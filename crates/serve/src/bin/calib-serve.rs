@@ -4,6 +4,7 @@
 //! calib-serve --listen 127.0.0.1:0 [--workers N] [--queue-cap N]
 //!             [--trace-dir DIR] [--journal-dir DIR] [--fsync always|tick|off]
 //!             [--read-timeout-ms N] [--max-tenants N] [--run-forever]
+//!             [--metrics-interval-ms N]
 //! calib-serve --stdin [--workers N] [--queue-cap N] [--trace-dir DIR]
 //! ```
 //!
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use calib_core::json::{Json, ToJson};
-use calib_serve::{serve, serve_stream, FsyncPolicy, ServeReport, ServerConfig};
+use calib_serve::{serve, serve_stream, FsyncPolicy, MetricsSink, ServeReport, ServerConfig};
 
 struct Args {
     listen: Option<String>,
@@ -87,11 +88,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-tenants: {e}"))?;
             }
             "--run-forever" => args.config.exit_when_idle = false,
+            "--metrics-interval-ms" => {
+                let ms: u64 = value("--metrics-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval-ms: {e}"))?;
+                // 0 disables the stream (the `metrics` wire request still
+                // works either way).
+                args.config.metrics_interval = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 return Err("usage: calib-serve --listen ADDR | --stdin \
                      [--workers N] [--queue-cap N] [--trace-dir DIR] \
                      [--journal-dir DIR] [--fsync always|tick|off] \
-                     [--read-timeout-ms N] [--max-tenants N] [--run-forever]"
+                     [--read-timeout-ms N] [--max-tenants N] [--run-forever] \
+                     [--metrics-interval-ms N]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -124,6 +134,7 @@ fn print_report(report: &ServeReport, mut out: impl Write) {
         ("detaches", report.detaches.to_json()),
         ("resumes", report.resumes.to_json()),
         ("recovered", report.recovered.to_json()),
+        ("trace_io_errors", report.trace_io_errors.to_json()),
         ("all_ok", Json::Bool(report.all_ok())),
     ]);
     let _ = writeln!(out, "{}", summary.to_string_compact());
@@ -139,9 +150,20 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut config = args.config;
+    if config.metrics_interval.is_some() {
+        // Replies own stdout in stdin mode, so snapshots go to stderr
+        // there; in TCP mode stdout is the daemon's log channel.
+        config.metrics_sink = Some(if args.stdin {
+            MetricsSink::stderr()
+        } else {
+            MetricsSink::stdout()
+        });
+    }
+
     let report = if args.stdin {
         let stdout = Box::new(std::io::stdout());
-        serve_stream(std::io::stdin().lock(), stdout, args.config)
+        serve_stream(std::io::stdin().lock(), stdout, config)
     } else {
         let addr = args.listen.as_deref().unwrap_or("127.0.0.1:0");
         let listener = match TcpListener::bind(addr) {
@@ -165,7 +187,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        match serve(listener, args.config) {
+        match serve(listener, config) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("serve failed: {e}");

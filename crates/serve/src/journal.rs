@@ -286,18 +286,26 @@ impl JournalWriter {
         &self.path
     }
 
+    /// Whether appending `record` ends in `fsync` under this writer's
+    /// policy — exposed so the metrics layer can label the append's
+    /// latency sample (and the emitted `journal_sync` trace event) without
+    /// duplicating the policy table.
+    pub fn will_sync(&self, record: &JournalRecord) -> bool {
+        match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Tick => record.is_sync_point(),
+            FsyncPolicy::Off => false,
+        }
+    }
+
     /// Appends one record, flushing to the OS and fsyncing per policy.
     /// Must be called *before* the request is applied to the engine.
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let sync = self.will_sync(record);
         let mut line = record.to_json().to_string_compact();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
-        let sync = match self.policy {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::Tick => record.is_sync_point(),
-            FsyncPolicy::Off => false,
-        };
         if sync {
             self.file.get_ref().sync_data()?;
         }

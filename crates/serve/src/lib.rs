@@ -31,6 +31,7 @@
 
 pub mod chaos;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod retry;
 pub mod server;
@@ -38,7 +39,8 @@ pub mod session;
 
 pub use chaos::{run_proxy, FaultPlan, ProxyStats};
 pub use journal::{read_journal, recover, replay, FsyncPolicy, JournalRecord, JournalWriter};
+pub use metrics::{MetricsSink, ServeMetrics, TenantMetrics};
 pub use protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
 pub use retry::{run_plan, Backoff, ClientConfig, ClientReport, PlanStep, RetryClock, SystemClock};
 pub use server::{serve, serve_stream, ServeReport, ServerConfig};
-pub use session::{Algorithm, SessionError, TenantConfig, TenantSession};
+pub use session::{Algorithm, SessionError, SessionMetrics, TenantConfig, TenantSession};

@@ -98,6 +98,12 @@ pub enum Request {
         /// Echoed sequence number (exempt from any `seq` chain).
         seq: Option<u64>,
     },
+    /// Metrics snapshot request; tenant-less and answered inline by the
+    /// reader thread with a `metrics` reply, like `ping`.
+    Metrics {
+        /// Echoed sequence number (exempt from any `seq` chain).
+        seq: Option<u64>,
+    },
 }
 
 impl Request {
@@ -112,7 +118,7 @@ impl Request {
             | Request::Drain { tenant, .. }
             | Request::Bye { tenant, .. }
             | Request::Resume { tenant, .. } => tenant,
-            Request::Ping { .. } => "",
+            Request::Ping { .. } | Request::Metrics { .. } => "",
         }
     }
 
@@ -127,7 +133,8 @@ impl Request {
             | Request::Drain { seq, .. }
             | Request::Bye { seq, .. }
             | Request::Resume { seq, .. }
-            | Request::Ping { seq } => *seq,
+            | Request::Ping { seq }
+            | Request::Metrics { seq } => *seq,
         }
     }
 
@@ -154,9 +161,13 @@ impl Request {
         };
         let seq = v.get("seq").and_then(Json::as_u64);
         let ty = obj_str("type")?;
-        // `ping` is tenant-less; everything else requires the field.
+        // `ping` and `metrics` are tenant-less; everything else requires
+        // the field.
         if ty == "ping" {
             return Ok(Request::Ping { seq });
+        }
+        if ty == "metrics" {
+            return Ok(Request::Metrics { seq });
         }
         let tenant = obj_str("tenant")?;
         match ty.as_str() {
@@ -331,6 +342,15 @@ pub enum Reply {
         /// Echoed sequence number.
         seq: Option<u64>,
     },
+    /// Full daemon metrics snapshot answering a `metrics` request; the
+    /// payload is the same JSON object the `--metrics-interval-ms` stream
+    /// emits (global counters, latency histograms, per-tenant rows).
+    Metrics {
+        /// The registry snapshot, already shaped as a JSON object.
+        snapshot: Json,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
     /// A typed failure; the session (if any) is still usable unless the
     /// code says otherwise.
     Error {
@@ -483,6 +503,19 @@ impl Reply {
                 ];
                 put_seq(&mut fields, *seq);
                 Json::obj(fields)
+            }
+            Reply::Metrics { snapshot, seq } => {
+                // Reuse the snapshot's own fields, but the wire-level `seq`
+                // echoes the request (the snapshot's internal counter would
+                // otherwise collide with it).
+                let mut fields: Vec<(String, Json)> = match snapshot {
+                    Json::Obj(pairs) => pairs.iter().filter(|(k, _)| k != "seq").cloned().collect(),
+                    other => vec![("snapshot".to_string(), other.clone())],
+                };
+                if let Some(s) = seq {
+                    fields.push(("seq".to_string(), s.to_json()));
+                }
+                Json::Obj(fields)
             }
             Reply::Error {
                 code,

@@ -44,15 +44,16 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use calib_core::json::Json;
 
 use crate::journal::{self, FsyncPolicy, JournalWriter};
+use crate::metrics::{MetricsSink, ServeMetrics, TenantMetrics};
 use crate::protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
-use crate::session::{Algorithm, SessionError, TenantConfig, TenantSession};
+use crate::session::{Algorithm, SessionError, SessionMetrics, TenantConfig, TenantSession};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -79,6 +80,13 @@ pub struct ServerConfig {
     /// Admission cap on concurrently open tenant sessions; `hello` beyond
     /// it is answered with `tenant-limit`.
     pub max_tenants: usize,
+    /// Cadence of the periodic metrics-snapshot stream; `None` disables
+    /// it. Snapshots only flow when [`ServerConfig::metrics_sink`] is also
+    /// set.
+    pub metrics_interval: Option<Duration>,
+    /// Where periodic snapshots (and one final authoritative snapshot at
+    /// shutdown) are written, one JSON line each.
+    pub metrics_sink: Option<MetricsSink>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +100,8 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Tick,
             read_timeout: None,
             max_tenants: 1024,
+            metrics_interval: None,
+            metrics_sink: None,
         }
     }
 }
@@ -111,6 +121,9 @@ pub struct ServeReport {
     pub resumes: u64,
     /// Sessions rebuilt from an on-disk journal.
     pub recovered: u64,
+    /// Trace-sink I/O errors surfaced when sessions finalized (a partial
+    /// or lost `--trace-dir` file; the schedule itself is unaffected).
+    pub trace_io_errors: u64,
 }
 
 impl ServeReport {
@@ -170,13 +183,15 @@ struct Tenant {
     /// after a disconnect (journaling mode), awaiting `resume`.
     conn: Mutex<Option<u64>>,
     inbox: Mutex<Inbox>,
-    busy_drops: AtomicU64,
+    /// This tenant's entry in the daemon-wide registry (retained there
+    /// even after the session closes).
+    metrics: Arc<TenantMetrics>,
     /// `None` once finalized.
     session: Mutex<Option<TenantSession>>,
 }
 
 impl Tenant {
-    fn new(name: &str, conn: u64, session: TenantSession) -> Tenant {
+    fn new(name: &str, conn: u64, session: TenantSession, metrics: Arc<TenantMetrics>) -> Tenant {
         Tenant {
             name: name.to_string(),
             conn: Mutex::new(Some(conn)),
@@ -185,7 +200,7 @@ impl Tenant {
                 running: false,
                 high_water: 0,
             }),
-            busy_drops: AtomicU64::new(0),
+            metrics,
             session: Mutex::new(Some(session)),
         }
     }
@@ -196,15 +211,16 @@ struct Shared {
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     ready: Mutex<VecDeque<Arc<Tenant>>>,
     ready_cv: Condvar,
+    /// Wakes the periodic snapshot thread early on shutdown, so a long
+    /// `--metrics-interval-ms` never delays server exit.
+    metrics_wake: (Mutex<()>, Condvar),
     shutdown: AtomicBool,
     accountings: Mutex<Vec<Accounting>>,
-    busy_drops: AtomicU64,
-    active_conns: AtomicU64,
-    conns_seen: AtomicU64,
-    requests: AtomicU64,
-    detaches: AtomicU64,
-    resumes: AtomicU64,
-    recovered: AtomicU64,
+    /// The daemon-wide metrics registry — the single home for every
+    /// server-lifetime counter (connections, requests, decisions, drops,
+    /// journal latency, …). `ping`, `metrics`, the periodic snapshot
+    /// stream, and the final [`ServeReport`] all read from here.
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Shared {
@@ -214,16 +230,23 @@ impl Shared {
             tenants: Mutex::new(HashMap::new()),
             ready: Mutex::new(VecDeque::new()),
             ready_cv: Condvar::new(),
+            metrics_wake: (Mutex::new(()), Condvar::new()),
             shutdown: AtomicBool::new(false),
             accountings: Mutex::new(Vec::new()),
-            busy_drops: AtomicU64::new(0),
-            active_conns: AtomicU64::new(0),
-            conns_seen: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            detaches: AtomicU64::new(0),
-            resumes: AtomicU64::new(0),
-            recovered: AtomicU64::new(0),
+            metrics: Arc::new(ServeMetrics::new()),
         }
+    }
+
+    /// Opens (or reopens) session-scoped metrics for `name` and attaches
+    /// the registry handles to `session`.
+    fn attach_metrics(&self, name: &str, session: &mut TenantSession) -> Arc<TenantMetrics> {
+        let tenant = self.metrics.tenant(name);
+        tenant.open.store(true, Ordering::Relaxed);
+        session.set_metrics(SessionMetrics {
+            global: Arc::clone(&self.metrics),
+            tenant: Arc::clone(&tenant),
+        });
+        tenant
     }
 
     fn lock_tenants(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Tenant>>> {
@@ -260,14 +283,17 @@ impl Shared {
             } else {
                 inbox.queue.push_back((req.clone(), Arc::clone(sink)));
                 inbox.high_water = inbox.high_water.max(inbox.queue.len());
+                tenant
+                    .metrics
+                    .set_queue_depth(u64::try_from(inbox.queue.len()).unwrap_or(u64::MAX));
                 true
             }
         };
         if accepted {
             self.schedule(tenant);
         } else {
-            tenant.busy_drops.fetch_add(1, Ordering::Relaxed);
-            self.busy_drops.fetch_add(1, Ordering::Relaxed);
+            tenant.metrics.busy_drops.fetch_add(1, Ordering::Relaxed);
+            self.metrics.busy_drops.fetch_add(1, Ordering::Relaxed);
             sink.send(&Reply::error(
                 "busy",
                 format!("tenant queue full ({cap} requests)"),
@@ -311,9 +337,20 @@ pub fn serve_stream(
             let shared = Arc::clone(&shared);
             scope.spawn(move || worker_loop(&shared));
         }
+        spawn_metrics_thread(&shared, scope);
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .active_connections
+            .fetch_add(1, Ordering::Relaxed);
         run_connection(&shared, 0, input, output);
+        shared
+            .metrics
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
         drain_and_stop(&shared);
     });
+    final_snapshot(&shared);
     report(&shared)
 }
 
@@ -329,11 +366,15 @@ pub fn serve(listener: TcpListener, config: ServerConfig) -> io::Result<ServeRep
             let shared = Arc::clone(&shared);
             scope.spawn(move || worker_loop(&shared));
         }
+        spawn_metrics_thread(&shared, scope);
         loop {
             match listener.accept() {
                 Ok((stream, _addr)) => {
-                    let conn = shared.conns_seen.fetch_add(1, Ordering::Relaxed) + 1;
-                    shared.active_conns.fetch_add(1, Ordering::Relaxed);
+                    let conn = shared.metrics.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared
+                        .metrics
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || {
                         stream.set_nodelay(true).ok();
@@ -345,13 +386,16 @@ pub fn serve(listener: TcpListener, config: ServerConfig) -> io::Result<ServeRep
                             Err(_) => Box::new(io::sink()),
                         };
                         run_connection(&shared, conn, stream, write_half);
-                        shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .active_connections
+                            .fetch_sub(1, Ordering::Relaxed);
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     let idle = shared.config.exit_when_idle
-                        && shared.conns_seen.load(Ordering::Relaxed) > 0
-                        && shared.active_conns.load(Ordering::Relaxed) == 0
+                        && shared.metrics.connections.load(Ordering::Relaxed) > 0
+                        && shared.metrics.active_connections.load(Ordering::Relaxed) == 0
                         && shared.lock_tenants().is_empty();
                     if idle {
                         break;
@@ -364,23 +408,75 @@ pub fn serve(listener: TcpListener, config: ServerConfig) -> io::Result<ServeRep
         drain_and_stop(&shared);
         Ok(())
     })?;
+    final_snapshot(&shared);
     Ok(report(&shared))
 }
 
-/// Signals workers to finish queued work and exit, then wakes them.
+/// Starts the periodic snapshot thread when both a cadence and a sink are
+/// configured. The thread sleeps on a condvar that `drain_and_stop`
+/// signals, so even a long interval never delays server exit.
+fn spawn_metrics_thread<'scope>(
+    shared: &Arc<Shared>,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+) {
+    let (Some(interval), Some(sink)) = (
+        shared.config.metrics_interval,
+        shared.config.metrics_sink.clone(),
+    ) else {
+        return;
+    };
+    let shared = Arc::clone(shared);
+    scope.spawn(move || {
+        let mut guard = lock(&shared.metrics_wake.0);
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            let (g, timed_out) = match shared.metrics_wake.1.wait_timeout(guard, interval) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r.timed_out())
+                }
+            };
+            guard = g;
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if timed_out {
+                sink.write_snapshot(&shared.metrics.snapshot_json());
+            }
+        }
+    });
+}
+
+/// Writes one authoritative snapshot after all workers have exited, so
+/// stream consumers always end on totals that include every finalization.
+fn final_snapshot(shared: &Shared) {
+    if let Some(sink) = shared.config.metrics_sink.as_ref() {
+        sink.write_snapshot(&shared.metrics.snapshot_json());
+    }
+}
+
+/// Signals workers to finish queued work and exit, then wakes them (and
+/// the snapshot thread, which may be mid-interval).
 fn drain_and_stop(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.ready_cv.notify_all();
+    // Hold the wake mutex across the notify: the snapshot thread checks
+    // the flag only while holding it, so this cannot race into a
+    // full-interval sleep after shutdown.
+    let _guard = lock(&shared.metrics_wake.0);
+    shared.metrics_wake.1.notify_all();
 }
 
 fn report(shared: &Shared) -> ServeReport {
+    let m = &shared.metrics;
     ServeReport {
         accountings: std::mem::take(&mut lock(&shared.accountings)),
-        connections: shared.conns_seen.load(Ordering::Relaxed),
-        busy_drops: shared.busy_drops.load(Ordering::Relaxed),
-        detaches: shared.detaches.load(Ordering::Relaxed),
-        resumes: shared.resumes.load(Ordering::Relaxed),
-        recovered: shared.recovered.load(Ordering::Relaxed),
+        connections: m.connections.load(Ordering::Relaxed),
+        busy_drops: m.busy_drops.load(Ordering::Relaxed),
+        detaches: m.detaches.load(Ordering::Relaxed),
+        resumes: m.resumes.load(Ordering::Relaxed),
+        recovered: m.recovered.load(Ordering::Relaxed),
+        trace_io_errors: m.trace_io_errors.load(Ordering::Relaxed),
     }
 }
 
@@ -436,7 +532,7 @@ fn run_connection(shared: &Shared, conn: u64, input: impl Read, output: Box<dyn 
                 continue;
             }
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         route(shared, conn, request, &sink);
     }
     cleanup_connection(shared, conn);
@@ -479,11 +575,21 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
     // the liveness probe must work even when every worker is busy.
     if let Request::Ping { seq } = &request {
         sink.send(&Reply::Pong {
-            connections: shared.conns_seen.load(Ordering::Relaxed),
-            active_connections: shared.active_conns.load(Ordering::Relaxed),
+            connections: shared.metrics.connections.load(Ordering::Relaxed),
+            active_connections: shared.metrics.active_connections.load(Ordering::Relaxed),
             tenants: u64::try_from(shared.lock_tenants().len()).unwrap_or(u64::MAX),
-            requests: shared.requests.load(Ordering::Relaxed),
-            busy_drops: shared.busy_drops.load(Ordering::Relaxed),
+            requests: shared.metrics.requests.load(Ordering::Relaxed),
+            busy_drops: shared.metrics.busy_drops.load(Ordering::Relaxed),
+            seq: *seq,
+        });
+        return;
+    }
+
+    // `metrics` is likewise answered inline by the reader: a full-registry
+    // snapshot is lock-light and must stay readable while workers grind.
+    if let Request::Metrics { seq } = &request {
+        sink.send(&Reply::Metrics {
+            snapshot: shared.metrics.snapshot_json(),
             seq: *seq,
         });
         return;
@@ -586,7 +692,11 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 return;
             }
         }
-        tenants.insert(tenant.clone(), Arc::new(Tenant::new(tenant, conn, session)));
+        let t_metrics = shared.attach_metrics(tenant, &mut session);
+        tenants.insert(
+            tenant.clone(),
+            Arc::new(Tenant::new(tenant, conn, session, t_metrics)),
+        );
         drop(tenants);
         sink.send(&Reply::Ok {
             tenant: tenant.clone(),
@@ -648,7 +758,8 @@ fn route_resume(
             ));
             return;
         }
-        shared.resumes.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+        t.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
         shared.enqueue(&t, request, sink);
         return;
     }
@@ -688,11 +799,14 @@ fn route_resume(
                 ));
                 return;
             }
-            let t = Arc::new(Tenant::new(tenant, conn, session));
+            let mut session = session;
+            let t_metrics = shared.attach_metrics(tenant, &mut session);
+            let t = Arc::new(Tenant::new(tenant, conn, session, t_metrics));
             tenants.insert(tenant.to_string(), Arc::clone(&t));
             drop(tenants);
-            shared.recovered.fetch_add(1, Ordering::Relaxed);
-            shared.resumes.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.recovered.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+            t.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
             shared.enqueue(&t, request, sink);
         }
         Ok(None) => sink.send(&Reply::error(
@@ -745,7 +859,7 @@ fn cleanup_connection(shared: &Shared, conn: u64) {
     for tenant in owned {
         if shared.config.journal_dir.is_some() {
             *lock(&tenant.conn) = None;
-            shared.detaches.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.detaches.fetch_add(1, Ordering::Relaxed);
         } else {
             let name = tenant.name.clone();
             shared.enqueue_cleanup(
@@ -781,7 +895,12 @@ fn worker_loop(shared: &Shared) {
             let next = {
                 let mut inbox = lock(&tenant.inbox);
                 match inbox.queue.pop_front() {
-                    Some(env) => Some(env),
+                    Some(env) => {
+                        tenant
+                            .metrics
+                            .set_queue_depth(u64::try_from(inbox.queue.len()).unwrap_or(u64::MAX));
+                        Some(env)
+                    }
                     None => {
                         inbox.running = false;
                         None
@@ -854,8 +973,17 @@ fn duplicate_reply(request: &Request, session: &TenantSession, name: &str) -> Re
     }
 }
 
-/// Handles one queued request against the tenant's session.
+/// Handles one queued request against the tenant's session, timing it into
+/// the daemon-wide request histogram.
 fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<ReplySink>) {
+    let started = Instant::now();
+    tenant.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    process_inner(shared, tenant, request, sink);
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.request_micros.record(micros);
+}
+
+fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<ReplySink>) {
     let seq = request.seq();
     let mut session_slot = lock(&tenant.session);
     let Some(session) = session_slot.as_mut() else {
@@ -908,6 +1036,10 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
             // Unreachable: pings are answered inline by the reader.
             Reply::error("bad-message", "ping is never queued", None, seq)
         }
+        Request::Metrics { .. } => {
+            // Unreachable: metrics requests are answered inline by the reader.
+            Reply::error("bad-message", "metrics is never queued", None, seq)
+        }
         Request::Resume { .. } => Reply::Resumed {
             tenant: name,
             last_seq: session.last_seq(),
@@ -920,18 +1052,28 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
             Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
         },
         Request::Tick { now, .. } => match session.tick(now, seq) {
-            Ok(delta) => Reply::Decisions {
-                tenant: name,
-                now: Some(now),
-                calibrations: delta.calibrations,
-                starts: delta.starts,
-                idle: session.is_idle(),
-                seq,
-            },
+            Ok(delta) => {
+                let n = delta.calibrations.len().saturating_add(delta.starts.len());
+                shared
+                    .metrics
+                    .record_decisions(&tenant.metrics, u64::try_from(n).unwrap_or(u64::MAX));
+                Reply::Decisions {
+                    tenant: name,
+                    now: Some(now),
+                    calibrations: delta.calibrations,
+                    starts: delta.starts,
+                    idle: session.is_idle(),
+                    seq,
+                }
+            }
             Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
         },
         Request::Decisions { .. } => {
             let delta = session.decisions();
+            let n = delta.calibrations.len().saturating_add(delta.starts.len());
+            shared
+                .metrics
+                .record_decisions(&tenant.metrics, u64::try_from(n).unwrap_or(u64::MAX));
             Reply::Decisions {
                 tenant: name,
                 now: session.now(),
@@ -951,17 +1093,25 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
                 counters: session.counters().snapshot(),
                 queue_depth,
                 queue_high_water,
-                busy_drops: tenant.busy_drops.load(Ordering::Relaxed),
+                busy_drops: tenant.metrics.busy_drops.load(Ordering::Relaxed),
                 seq,
             }
         }
         Request::Drain { .. } => match session.drain(seq) {
-            Ok(delta) => Reply::Drained {
-                accounting: session.accounting(),
-                calibrations: delta.calibrations,
-                starts: delta.starts,
-                seq,
-            },
+            Ok(delta) => {
+                let n = delta.calibrations.len().saturating_add(delta.starts.len());
+                shared
+                    .metrics
+                    .record_decisions(&tenant.metrics, u64::try_from(n).unwrap_or(u64::MAX));
+                let accounting = session.accounting();
+                tenant.metrics.set_totals(accounting.flow, accounting.cost);
+                Reply::Drained {
+                    accounting,
+                    calibrations: delta.calibrations,
+                    starts: delta.starts,
+                    seq,
+                }
+            }
             Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
         },
         Request::Bye { .. } => {
@@ -970,11 +1120,19 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
             shared.lock_tenants().remove(&tenant.name);
             let accounting = match session {
                 Some(s) => {
-                    let (accounting, _trace_io) = s.finalize();
+                    let (accounting, trace_io) = s.finalize();
+                    if trace_io.is_err() {
+                        shared
+                            .metrics
+                            .trace_io_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     accounting
                 }
                 None => return,
             };
+            tenant.metrics.set_totals(accounting.flow, accounting.cost);
+            tenant.metrics.open.store(false, Ordering::Relaxed);
             lock(&shared.accountings).push(accounting.clone());
             sink.send(&Reply::Goodbye { accounting, seq });
             return;

@@ -7,8 +7,9 @@
 //! pin this down). The server serializes all requests of a tenant, so a
 //! `TenantSession` itself needs no internal locking.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::sync::Arc;
+use std::time::Instant;
 
 use calib_core::json::ToJson;
 use calib_core::obs::{Counters, Event, Probe, TraceProbe};
@@ -19,6 +20,7 @@ use calib_online::{
 };
 
 use crate::journal::{JournalRecord, JournalWriter};
+use crate::metrics::{ServeMetrics, TenantMetrics};
 use crate::protocol::Accounting;
 
 /// The scheduling algorithms a tenant can ask for in `hello`.
@@ -83,6 +85,7 @@ impl Probe for SharedCountingProbe {
             Event::TimeSkip { .. } => self.0.time_skips(1),
             Event::Wake { .. } => self.0.wakes(1),
             Event::JobArrived { .. } => self.0.arrivals(1),
+            Event::JournalSync { .. } => self.0.journal_syncs(1),
             Event::RunComplete { .. } => {}
         }
     }
@@ -135,6 +138,16 @@ impl From<EngineError> for SessionError {
     }
 }
 
+/// The registry handles a session records into: the daemon-wide
+/// [`ServeMetrics`] plus this tenant's retained [`TenantMetrics`] entry.
+#[derive(Debug, Clone)]
+pub struct SessionMetrics {
+    /// The daemon-wide registry.
+    pub global: Arc<ServeMetrics>,
+    /// This tenant's entry in it.
+    pub tenant: Arc<TenantMetrics>,
+}
+
 /// One tenant's live scheduling state.
 pub struct TenantSession {
     name: String,
@@ -151,6 +164,9 @@ pub struct TenantSession {
     /// Highest request `seq` this session has processed — the duplicate-
     /// suppression and gap-detection high-water mark.
     last_seq: Option<u64>,
+    /// Metrics registry handles, attached by the server after `hello` or
+    /// recovery; `None` in bare unit-test sessions.
+    metrics: Option<SessionMetrics>,
 }
 
 impl TenantSession {
@@ -163,7 +179,25 @@ impl TenantSession {
         let counters = Arc::new(Counters::new());
         let probe: TenantProbe = (
             SharedCountingProbe(Arc::clone(&counters)),
-            trace.map(TraceProbe::new),
+            trace.map(|mut writer| {
+                // A `session` preamble so offline converters (calib-trace)
+                // learn the tenant name and calibration length without
+                // side channels. A write error here is deferred like any
+                // other trace I/O fault: the next probe write re-fails and
+                // surfaces at finalization.
+                let meta = calib_core::json::Json::obj([
+                    ("type", "session".to_json()),
+                    ("tenant", name.to_json()),
+                    ("machines", config.machines.to_json()),
+                    ("cal_len", config.cal_len.to_json()),
+                    ("cal_cost", config.cal_cost.to_json()),
+                    ("algorithm", config.algorithm.name().to_json()),
+                ]);
+                let mut line = meta.to_string_compact();
+                line.push('\n');
+                writer.write_all(line.as_bytes()).ok();
+                TraceProbe::new(writer)
+            }),
         );
         let engine = EngineSession::with_probe(
             config.machines,
@@ -188,7 +222,14 @@ impl TenantSession {
             now: None,
             journal: None,
             last_seq: None,
+            metrics: None,
         })
+    }
+
+    /// Attaches the metrics registry handles; journal appends are timed
+    /// and counted from here on.
+    pub fn set_metrics(&mut self, metrics: SessionMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Starts write-ahead journaling on a *fresh* session: the opening
@@ -223,12 +264,33 @@ impl TenantSession {
     /// Write-ahead append. A journal I/O failure rejects the request
     /// *before* any engine state changes — the client sees a typed
     /// `journal-io` error and durability is never silently degraded.
+    ///
+    /// Each append is timed: its wall-clock cost lands in the fsync
+    /// histograms (when metrics are attached) and is emitted into the
+    /// probe stack as a [`Event::JournalSync`], pinned to the virtual time
+    /// the record targets — so Perfetto timelines show durability stalls
+    /// on the same clock as the scheduling decisions.
     fn journal_append(&mut self, record: &JournalRecord) -> Result<(), SessionError> {
-        if let Some(w) = self.journal.as_mut() {
-            w.append(record)
-                .map_err(|e| SessionError::new("journal-io", e.to_string()))?;
+        let Some(w) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let synced = w.will_sync(record);
+        let started = Instant::now();
+        let result = w.append(record);
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if let Some(m) = self.metrics.as_ref() {
+            m.global.record_journal_append(&m.tenant, micros, synced);
         }
-        Ok(())
+        let time = match record {
+            JournalRecord::Tick { now, .. } => *now,
+            _ => self.now.unwrap_or(0),
+        };
+        self.engine.probe_mut().record(&Event::JournalSync {
+            time,
+            micros,
+            synced,
+        });
+        result.map_err(|e| SessionError::new("journal-io", e.to_string()))
     }
 
     /// The tenant's name.

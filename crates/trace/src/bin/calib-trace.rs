@@ -1,0 +1,129 @@
+//! `calib-trace`: convert JSON-lines traces to a Perfetto trace.
+//!
+//! ```text
+//! calib-trace [--out FILE] [--metrics FILE] [--cal-len N] [--verify] INPUT...
+//! ```
+//!
+//! Each `INPUT` is a JSON-lines trace written by the serve daemon's
+//! `--trace-dir` (or any `TraceProbe`); the tenant name and calibration
+//! length come from the `{"type":"session",...}` preamble when present,
+//! else the file stem and `--cal-len`. `--metrics` adds daemon counter
+//! tracks from a metrics-snapshot stream. `--verify` structurally decodes
+//! the output after writing it. Exit status: 0 on success, 2 on any error.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use calib_trace::{convert, summarize};
+
+struct Options {
+    out: String,
+    metrics: Option<String>,
+    cal_len: i64,
+    verify: bool,
+    inputs: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: calib-trace [--out FILE] [--metrics FILE] [--cal-len N] [--verify] INPUT...";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        out: "out.perfetto-trace".to_string(),
+        metrics: None,
+        cal_len: 1,
+        verify: false,
+        inputs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
+            "--cal-len" => {
+                let raw = value("--cal-len")?;
+                opts.cal_len = raw
+                    .parse::<i64>()
+                    .ok()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| format!("--cal-len: bad value {raw:?}"))?;
+            }
+            "--verify" => opts.verify = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            input => opts.inputs.push(input.to_string()),
+        }
+    }
+    if opts.inputs.is_empty() && opts.metrics.is_none() {
+        return Err("no inputs given".to_string());
+    }
+    Ok(opts)
+}
+
+fn stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let opts = parse_args(args)?;
+    let mut inputs = Vec::new();
+    for path in &opts.inputs {
+        let content = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        inputs.push((stem(path), content));
+    }
+    let metrics = match &opts.metrics {
+        Some(path) => Some(fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?),
+        None => None,
+    };
+    let out = convert(&inputs, metrics.as_deref(), opts.cal_len)?;
+    fs::write(&opts.out, &out.bytes).map_err(|e| format!("write {}: {e}", opts.out))?;
+    if opts.verify {
+        let summary = summarize(&out.bytes)?;
+        if summary.process_tracks.is_empty() {
+            return Err("verify: no process track in output".to_string());
+        }
+        if summary.packets != out.packets {
+            return Err(format!(
+                "verify: packet count mismatch ({} decoded, {} written)",
+                summary.packets, out.packets
+            ));
+        }
+    }
+    let mut line = format!(
+        "wrote {}: {} packets, {} bytes, tenants [{}]",
+        opts.out,
+        out.packets,
+        out.bytes.len(),
+        out.tenants.join(", ")
+    );
+    if out.skipped_lines > 0 {
+        line.push_str(&format!(", {} unknown lines skipped", out.skipped_lines));
+    }
+    if opts.verify {
+        line.push_str(", verified");
+    }
+    Ok(line)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("calib-trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

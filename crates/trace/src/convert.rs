@@ -1,0 +1,273 @@
+//! Offline JSON-lines → Perfetto conversion.
+//!
+//! The serve daemon writes one JSON-lines trace per tenant session (plus,
+//! optionally, a metrics-snapshot stream). [`convert`] merges any number of
+//! such traces into a single `.perfetto-trace` byte blob: one process
+//! track, one tenant track group per input, and daemon-level counter
+//! tracks from the metrics stream.
+//!
+//! Inputs are `(fallback name, content)` pairs rather than paths so the
+//! conversion core stays I/O-free and unit-testable; the `calib-trace` bin
+//! supplies file stems as fallback names. A `{"type":"session",...}`
+//! preamble line overrides the fallback name and supplies the calibration
+//! length; traces without one (older daemons, bare engine runs) fall back
+//! to the caller's `default_cal_len`.
+
+use std::collections::BTreeMap;
+
+use calib_core::json::Json;
+use calib_core::types::Time;
+
+use crate::perfetto::TraceBuilder;
+use crate::timeline::{parse_line, TenantTimeline, TraceLine, NS_PER_UNIT};
+
+/// Track uuid of the daemon-metrics group; per-key counter tracks follow.
+/// Tenant blocks start at 1000, so this never collides.
+const METRICS_GROUP: u64 = 500;
+
+/// Result of a conversion: the serialized trace plus what went into it.
+#[derive(Debug)]
+pub struct Converted {
+    /// `.perfetto-trace` bytes.
+    pub bytes: Vec<u8>,
+    /// Tenant names, in track order (sorted).
+    pub tenants: Vec<String>,
+    /// Total `TracePacket`s emitted.
+    pub packets: u64,
+    /// Trace lines of unknown type, skipped for forward compatibility.
+    pub skipped_lines: u64,
+}
+
+/// Converts tenant trace contents (and an optional metrics-snapshot
+/// stream) into one Perfetto trace.
+///
+/// Fails loudly on malformed JSON or recognised lines with missing fields
+/// (trace corruption should not convert silently); lines of *unknown* type
+/// are skipped and counted instead.
+pub fn convert(
+    inputs: &[(String, String)],
+    metrics: Option<&str>,
+    default_cal_len: Time,
+) -> Result<Converted, String> {
+    let mut skipped: u64 = 0;
+    let mut timelines: Vec<TenantTimeline> = Vec::new();
+    for (fallback, content) in inputs {
+        let mut name = fallback.clone();
+        let mut cal_len = default_cal_len;
+        let mut recs: Vec<(Option<u64>, calib_core::obs::Event)> = Vec::new();
+        for (idx, line) in content.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            match parse_line(line).map_err(|e| format!("{fallback}:{lineno}: {e}"))? {
+                TraceLine::Session(session_name, _machines, session_cal_len) => {
+                    name = session_name;
+                    cal_len = session_cal_len;
+                }
+                TraceLine::Event(seq, event) => recs.push((seq, event)),
+                TraceLine::Unknown(_) => skipped += 1,
+            }
+        }
+        let mut timeline = TenantTimeline::new(&name, cal_len);
+        for (fallback_seq, (seq, event)) in recs.iter().enumerate() {
+            let seq = match seq {
+                Some(s) => *s,
+                None => u64::try_from(fallback_seq).unwrap_or(u64::MAX),
+            };
+            timeline.add_event_with_seq(seq, event);
+        }
+        timelines.push(timeline);
+    }
+    timelines.sort_by(|a, b| a.name().cmp(b.name()));
+    for pair in timelines.windows(2) {
+        if pair[0].name() == pair[1].name() {
+            return Err(format!("duplicate tenant name {:?}", pair[0].name()));
+        }
+    }
+
+    let offset = timelines
+        .iter()
+        .filter_map(TenantTimeline::min_time)
+        .min()
+        .unwrap_or(0)
+        .min(0);
+
+    let mut builder = TraceBuilder::new();
+    builder.process_track(1, 1, "calib-serve");
+    if let Some(snapshots) = metrics {
+        emit_metrics(&mut builder, snapshots, &mut skipped)?;
+    }
+    for (i, timeline) in timelines.iter().enumerate() {
+        let block = u64::try_from(i).unwrap_or(0).saturating_add(1);
+        timeline.emit(&mut builder, 1, block.saturating_mul(1000), offset);
+    }
+
+    let packets = builder.packet_count();
+    Ok(Converted {
+        bytes: builder.into_bytes(),
+        tenants: timelines.iter().map(|t| t.name().to_string()).collect(),
+        packets,
+        skipped_lines: skipped,
+    })
+}
+
+/// Renders a metrics-snapshot JSON-lines stream as counter tracks under a
+/// "daemon metrics" group: one track per numeric key of the `"global"`
+/// object, sampled at `seq * NS_PER_UNIT` (snapshots carry no virtual
+/// time — the sequence number is the only wall-clock-free ordering).
+fn emit_metrics(
+    builder: &mut TraceBuilder,
+    snapshots: &str,
+    skipped: &mut u64,
+) -> Result<(), String> {
+    // (seq, key -> value), keys unioned across snapshots for stable tracks.
+    let mut samples: Vec<(u64, Vec<(String, i64)>)> = Vec::new();
+    let mut keys: BTreeMap<String, u64> = BTreeMap::new();
+    for (idx, line) in snapshots.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let json = Json::parse(line).map_err(|e| format!("metrics:{lineno}: bad JSON: {e}"))?;
+        if json.get("type").and_then(Json::as_str) != Some("metrics") {
+            *skipped += 1;
+            continue;
+        }
+        let seq = json
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics:{lineno}: snapshot missing \"seq\""))?;
+        let global = json
+            .get("global")
+            .ok_or_else(|| format!("metrics:{lineno}: snapshot missing \"global\""))?;
+        let mut row = Vec::new();
+        if let Json::Obj(fields) = global {
+            for (key, value) in fields {
+                if let Some(v) = value.as_u64() {
+                    let clamped = i64::try_from(v).unwrap_or(i64::MAX);
+                    row.push((key.clone(), clamped));
+                    keys.entry(key.clone()).or_insert(0);
+                }
+            }
+        }
+        samples.push((seq, row));
+    }
+    if samples.is_empty() {
+        return Ok(());
+    }
+    samples.sort_by_key(|(seq, _)| *seq);
+
+    builder.named_track(METRICS_GROUP, 1, "daemon metrics");
+    for (i, (_, uuid)) in keys.iter_mut().enumerate() {
+        *uuid = METRICS_GROUP + 1 + u64::try_from(i).unwrap_or(0);
+    }
+    for (key, uuid) in &keys {
+        builder.counter_track(*uuid, METRICS_GROUP, key);
+    }
+    for (seq, row) in &samples {
+        let ts = seq.saturating_mul(NS_PER_UNIT);
+        for (key, value) in row {
+            if let Some(uuid) = keys.get(key) {
+                builder.counter(*uuid, ts, *value);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto::summarize;
+
+    fn tenant_trace(tenant: &str) -> String {
+        [
+            format!(r#"{{"type":"session","tenant":"{tenant}","machines":1,"cal_len":4}}"#),
+            r#"{"type":"job_arrived","time":0,"job":0,"weight":3,"seq":0}"#.to_string(),
+            r#"{"type":"calibrate","time":0,"machine":0,"start":0,"seq":1}"#.to_string(),
+            r#"{"type":"dispatch","time":0,"job":0,"machine":0,"start":0,"seq":2}"#.to_string(),
+            r#"{"type":"journal_sync","time":0,"micros":90,"synced":true,"seq":3}"#.to_string(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn merges_tenants_sorted_with_session_names() {
+        let inputs = vec![
+            ("zfile".to_string(), tenant_trace("zeta")),
+            ("afile".to_string(), tenant_trace("alpha")),
+        ];
+        let out = convert(&inputs, None, 1).unwrap();
+        assert_eq!(out.tenants, vec!["alpha", "zeta"]);
+        assert_eq!(out.skipped_lines, 0);
+        let s = summarize(&out.bytes).unwrap();
+        assert_eq!(s.process_tracks, vec![(1, 1, "calib-serve".to_string())]);
+        // alpha gets block 1000, zeta block 2000; each has a calibrate and
+        // a job slice on its machine lane plus an fsync on its journal.
+        assert_eq!(s.slices_on(1001), vec!["calibrate", "job 0"]);
+        assert_eq!(s.slices_on(2001), vec!["calibrate", "job 0"]);
+        assert_eq!(s.slices_on(1800), vec!["fsync"]);
+        assert!(s
+            .counter_tracks
+            .iter()
+            .any(|(u, p, n)| (*u, *p, n.as_str()) == (1900, 1000, "queued")));
+    }
+
+    #[test]
+    fn fallback_name_and_unknown_lines() {
+        let content = [
+            r#"{"type":"time_skip","from":0,"to":4}"#,
+            r#"{"type":"novel_thing","x":1}"#,
+        ]
+        .join("\n");
+        let out = convert(&[("stem-name".to_string(), content)], None, 2).unwrap();
+        assert_eq!(out.tenants, vec!["stem-name"]);
+        assert_eq!(out.skipped_lines, 1);
+    }
+
+    #[test]
+    fn duplicate_tenant_names_error() {
+        let inputs = vec![
+            ("a".to_string(), tenant_trace("same")),
+            ("b".to_string(), tenant_trace("same")),
+        ];
+        assert!(convert(&inputs, None, 1).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let content = "{\"type\":\"dispatch\",\"time\":1}";
+        let err = convert(&[("bad".to_string(), content.to_string())], None, 1).unwrap_err();
+        assert!(err.starts_with("bad:1:"), "{err}");
+    }
+
+    #[test]
+    fn metrics_snapshots_become_counter_tracks() {
+        let metrics = [
+            r#"{"type":"metrics","seq":0,"global":{"decisions":10,"inbox_depth":2}}"#,
+            r#"{"type":"metrics","seq":1,"global":{"decisions":25,"inbox_depth":0}}"#,
+        ]
+        .join("\n");
+        let out = convert(&[], Some(&metrics), 1).unwrap();
+        let s = summarize(&out.bytes).unwrap();
+        let group = s.track_named("daemon metrics").unwrap();
+        assert_eq!(group, METRICS_GROUP);
+        let decisions = s.track_named("decisions").unwrap();
+        let samples: Vec<i64> = s
+            .counter_samples
+            .iter()
+            .filter(|(t, _)| *t == decisions)
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(samples, vec![10, 25]);
+    }
+
+    #[test]
+    fn conversion_is_deterministic() {
+        let inputs = vec![("t".to_string(), tenant_trace("t"))];
+        let a = convert(&inputs, None, 1).unwrap();
+        let b = convert(&inputs, None, 1).unwrap();
+        assert_eq!(a.bytes, b.bytes);
+    }
+}

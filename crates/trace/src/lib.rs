@@ -1,0 +1,39 @@
+//! Perfetto TrackEvent export for calibration-scheduling traces.
+//!
+//! This crate turns the engine's observability stream (see
+//! `calib_core::obs` and `OBSERVABILITY.md` at the workspace root) into
+//! traces the [Perfetto](https://ui.perfetto.dev) UI can open:
+//!
+//! * [`proto`] — a dependency-free protobuf *wire-format* encoder and
+//!   strict decoder (varints and length-delimited fields only, no codegen);
+//! * [`perfetto`] — TrackEvent packet builders on top of it, plus
+//!   [`perfetto::summarize`], the structural decoder the tests and
+//!   `calib-trace --verify` use to check output without Perfetto itself;
+//! * [`timeline`] — the mapping from engine [`Event`]s to tracks: machine
+//!   lanes with calibration and job slices, a journal lane with fsync
+//!   slices, and `queued`/`flow` counters;
+//! * [`PerfettoProbe`] — a live [`calib_core::obs::Probe`] serializing a
+//!   single in-process run;
+//! * [`convert`] — the offline many-tenant merger behind the `calib-trace`
+//!   bin.
+//!
+//! Everything here is wall-clock-free and deterministic: the same inputs
+//! serialize to the same bytes (pinned by a golden-trace test).
+//!
+//! [`Event`]: calib_core::obs::Event
+//! [`convert`]: convert::convert
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod convert;
+pub mod perfetto;
+pub mod probe;
+pub mod proto;
+pub mod timeline;
+
+pub use convert::{convert, Converted};
+pub use perfetto::{summarize, TraceBuilder, TraceSummary};
+pub use probe::PerfettoProbe;
+pub use timeline::{parse_line, TenantTimeline, TraceLine, NS_PER_UNIT};

@@ -1,0 +1,358 @@
+//! Perfetto TrackEvent packet builders.
+//!
+//! A Perfetto trace is a protobuf `Trace` message: a flat sequence of
+//! `TracePacket`s (field 1). Tracks are declared once with a
+//! `TrackDescriptor` packet (a process, a named child track, or a counter
+//! track), then referenced by `uuid` from `TrackEvent` packets carrying
+//! slices (`TYPE_SLICE_BEGIN`/`TYPE_SLICE_END`), instants, and counter
+//! values. This module hard-codes the handful of field numbers the
+//! `ui.perfetto.dev` importer needs; the constants below name them so the
+//! encoder reads like the schema.
+//!
+//! Only wall-clock-free inputs reach this layer: timestamps are virtual
+//! engine time scaled to nanoseconds by the caller, so identical runs
+//! serialize to identical bytes (the golden-trace test pins this down).
+
+use crate::proto::MessageWriter;
+
+// Trace
+const TRACE_PACKET: u32 = 1;
+// TracePacket
+const PACKET_TIMESTAMP: u32 = 8;
+const PACKET_SEQUENCE_ID: u32 = 10;
+const PACKET_TRACK_EVENT: u32 = 11;
+const PACKET_TRACK_DESCRIPTOR: u32 = 60;
+// TrackDescriptor
+const TRACK_UUID: u32 = 1;
+const TRACK_NAME: u32 = 2;
+const TRACK_PROCESS: u32 = 3;
+const TRACK_PARENT_UUID: u32 = 5;
+const TRACK_COUNTER: u32 = 8;
+// ProcessDescriptor
+const PROCESS_PID: u32 = 1;
+const PROCESS_NAME: u32 = 6;
+// TrackEvent
+const EVENT_TYPE: u32 = 9;
+const EVENT_TRACK_UUID: u32 = 11;
+const EVENT_CATEGORIES: u32 = 22;
+const EVENT_NAME: u32 = 23;
+const EVENT_COUNTER_VALUE: u32 = 30;
+
+/// `TrackEvent.Type` values.
+const TYPE_SLICE_BEGIN: u64 = 1;
+const TYPE_SLICE_END: u64 = 2;
+const TYPE_INSTANT: u64 = 3;
+const TYPE_COUNTER: u64 = 4;
+
+/// The one trusted packet sequence id every packet carries. A real tracing
+/// service assigns these per producer; an offline converter is a single
+/// producer, so a constant is correct and keeps the output deterministic.
+const SEQUENCE_ID: u64 = 0x2017; // SPAA 2017, for lack of a better magic.
+
+/// Builds a Perfetto trace as a flat packet sequence.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: MessageWriter,
+    packets: u64,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Packets emitted so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    fn push_packet(&mut self, packet: &MessageWriter) {
+        self.trace.message(TRACE_PACKET, packet);
+        self.packets += 1;
+    }
+
+    fn descriptor_packet(&mut self, descriptor: &MessageWriter) {
+        let mut packet = MessageWriter::new();
+        packet.varint(PACKET_SEQUENCE_ID, SEQUENCE_ID);
+        packet.message(PACKET_TRACK_DESCRIPTOR, descriptor);
+        self.push_packet(&packet);
+    }
+
+    fn event_packet(&mut self, timestamp_ns: u64, event: &MessageWriter) {
+        let mut packet = MessageWriter::new();
+        packet.varint(PACKET_TIMESTAMP, timestamp_ns);
+        packet.varint(PACKET_SEQUENCE_ID, SEQUENCE_ID);
+        packet.message(PACKET_TRACK_EVENT, event);
+        self.push_packet(&packet);
+    }
+
+    /// Declares a process track (the daemon, or one converter input set).
+    pub fn process_track(&mut self, uuid: u64, pid: u64, name: &str) {
+        let mut process = MessageWriter::new();
+        process.varint(PROCESS_PID, pid);
+        process.string(PROCESS_NAME, name);
+        let mut descriptor = MessageWriter::new();
+        descriptor.varint(TRACK_UUID, uuid);
+        descriptor.message(TRACK_PROCESS, &process);
+        self.descriptor_packet(&descriptor);
+    }
+
+    /// Declares a named track under `parent_uuid` (a tenant, a machine
+    /// lane, a journal lane).
+    pub fn named_track(&mut self, uuid: u64, parent_uuid: u64, name: &str) {
+        let mut descriptor = MessageWriter::new();
+        descriptor.varint(TRACK_UUID, uuid);
+        descriptor.string(TRACK_NAME, name);
+        descriptor.varint(TRACK_PARENT_UUID, parent_uuid);
+        self.descriptor_packet(&descriptor);
+    }
+
+    /// Declares a counter track under `parent_uuid`: its events carry
+    /// values, not durations.
+    pub fn counter_track(&mut self, uuid: u64, parent_uuid: u64, name: &str) {
+        let mut descriptor = MessageWriter::new();
+        descriptor.varint(TRACK_UUID, uuid);
+        descriptor.string(TRACK_NAME, name);
+        descriptor.varint(TRACK_PARENT_UUID, parent_uuid);
+        // Presence of an (empty) CounterDescriptor marks the track.
+        descriptor.message(TRACK_COUNTER, &MessageWriter::new());
+        self.descriptor_packet(&descriptor);
+    }
+
+    /// Opens a slice on `track_uuid` at `timestamp_ns`.
+    pub fn slice_begin(&mut self, track_uuid: u64, timestamp_ns: u64, name: &str, category: &str) {
+        let mut event = MessageWriter::new();
+        event.varint(EVENT_TYPE, TYPE_SLICE_BEGIN);
+        event.varint(EVENT_TRACK_UUID, track_uuid);
+        event.string(EVENT_NAME, name);
+        event.string(EVENT_CATEGORIES, category);
+        self.event_packet(timestamp_ns, &event);
+    }
+
+    /// Closes the innermost open slice on `track_uuid`.
+    pub fn slice_end(&mut self, track_uuid: u64, timestamp_ns: u64) {
+        let mut event = MessageWriter::new();
+        event.varint(EVENT_TYPE, TYPE_SLICE_END);
+        event.varint(EVENT_TRACK_UUID, track_uuid);
+        self.event_packet(timestamp_ns, &event);
+    }
+
+    /// A zero-duration marker on `track_uuid`.
+    pub fn instant(&mut self, track_uuid: u64, timestamp_ns: u64, name: &str, category: &str) {
+        let mut event = MessageWriter::new();
+        event.varint(EVENT_TYPE, TYPE_INSTANT);
+        event.varint(EVENT_TRACK_UUID, track_uuid);
+        event.string(EVENT_NAME, name);
+        event.string(EVENT_CATEGORIES, category);
+        self.event_packet(timestamp_ns, &event);
+    }
+
+    /// A counter sample on a [`TraceBuilder::counter_track`].
+    pub fn counter(&mut self, track_uuid: u64, timestamp_ns: u64, value: i64) {
+        let mut event = MessageWriter::new();
+        event.varint(EVENT_TYPE, TYPE_COUNTER);
+        event.varint(EVENT_TRACK_UUID, track_uuid);
+        event.int64(EVENT_COUNTER_VALUE, value);
+        self.event_packet(timestamp_ns, &event);
+    }
+
+    /// The serialized `.perfetto-trace` bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.trace.into_bytes()
+    }
+}
+
+/// Structural facts decoded back out of serialized trace bytes — the
+/// self-verification half (see [`summarize`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total `TracePacket`s.
+    pub packets: u64,
+    /// `(uuid, pid, name)` of every process track.
+    pub process_tracks: Vec<(u64, u64, String)>,
+    /// `(uuid, parent_uuid, name)` of every named (non-counter) track.
+    pub named_tracks: Vec<(u64, u64, String)>,
+    /// `(uuid, parent_uuid, name)` of every counter track.
+    pub counter_tracks: Vec<(u64, u64, String)>,
+    /// Slice-begin events per track uuid, with names.
+    pub slice_begins: Vec<(u64, String)>,
+    /// Slice-end events per track uuid.
+    pub slice_ends: Vec<u64>,
+    /// Instant events per track uuid, with names.
+    pub instants: Vec<(u64, String)>,
+    /// Counter samples `(track uuid, value)`.
+    pub counter_samples: Vec<(u64, i64)>,
+}
+
+impl TraceSummary {
+    /// Slice-begin names recorded on `track`.
+    pub fn slices_on(&self, track: u64) -> Vec<&str> {
+        self.slice_begins
+            .iter()
+            .filter(|(t, _)| *t == track)
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+
+    /// The uuid of the named track called `name`, if any.
+    pub fn track_named(&self, name: &str) -> Option<u64> {
+        self.named_tracks
+            .iter()
+            .chain(self.counter_tracks.iter())
+            .find(|(_, _, n)| n == name)
+            .map(|(uuid, _, _)| *uuid)
+    }
+}
+
+fn utf8(bytes: &[u8]) -> Result<String, String> {
+    String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string field".to_string())
+}
+
+/// Decodes serialized trace bytes into a [`TraceSummary`], validating the
+/// wire format along the way. This is how the converter's tests (and
+/// `calib-trace --verify`) check output without a Perfetto installation.
+pub fn summarize(bytes: &[u8]) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (field, value) in crate::proto::decode_fields(bytes)? {
+        if field != TRACE_PACKET {
+            return Err(format!("unexpected top-level field {field}"));
+        }
+        let packet = value.as_len().ok_or("packet is not length-delimited")?;
+        summary.packets += 1;
+        let mut timestamp = None;
+        for (pf, pv) in crate::proto::decode_fields(packet)? {
+            match pf {
+                PACKET_TIMESTAMP => timestamp = pv.as_varint(),
+                PACKET_TRACK_DESCRIPTOR => {
+                    let descriptor = pv.as_len().ok_or("descriptor is not a message")?;
+                    summarize_descriptor(descriptor, &mut summary)?;
+                }
+                PACKET_TRACK_EVENT => {
+                    let event = pv.as_len().ok_or("track event is not a message")?;
+                    timestamp.ok_or("track event packet without timestamp")?;
+                    summarize_event(event, &mut summary)?;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn summarize_descriptor(descriptor: &[u8], summary: &mut TraceSummary) -> Result<(), String> {
+    let mut uuid = 0u64;
+    let mut parent = 0u64;
+    let mut name = String::new();
+    let mut process: Option<(u64, String)> = None;
+    let mut is_counter = false;
+    for (field, value) in crate::proto::decode_fields(descriptor)? {
+        match field {
+            TRACK_UUID => uuid = value.as_varint().ok_or("uuid is not a varint")?,
+            TRACK_PARENT_UUID => parent = value.as_varint().ok_or("parent is not a varint")?,
+            TRACK_NAME => name = utf8(value.as_len().ok_or("name is not a string")?)?,
+            TRACK_COUNTER => is_counter = true,
+            TRACK_PROCESS => {
+                let body = value.as_len().ok_or("process is not a message")?;
+                let mut pid = 0u64;
+                let mut pname = String::new();
+                for (pf, pv) in crate::proto::decode_fields(body)? {
+                    match pf {
+                        PROCESS_PID => pid = pv.as_varint().ok_or("pid is not a varint")?,
+                        PROCESS_NAME => pname = utf8(pv.as_len().ok_or("bad process name")?)?,
+                        _ => {}
+                    }
+                }
+                process = Some((pid, pname));
+            }
+            _ => {}
+        }
+    }
+    if let Some((pid, pname)) = process {
+        summary.process_tracks.push((uuid, pid, pname));
+    } else if is_counter {
+        summary.counter_tracks.push((uuid, parent, name));
+    } else {
+        summary.named_tracks.push((uuid, parent, name));
+    }
+    Ok(())
+}
+
+fn summarize_event(event: &[u8], summary: &mut TraceSummary) -> Result<(), String> {
+    let mut kind = 0u64;
+    let mut track = 0u64;
+    let mut name = String::new();
+    let mut counter_value = 0i64;
+    for (field, value) in crate::proto::decode_fields(event)? {
+        match field {
+            EVENT_TYPE => kind = value.as_varint().ok_or("event type is not a varint")?,
+            EVENT_TRACK_UUID => track = value.as_varint().ok_or("track uuid is not a varint")?,
+            EVENT_NAME => name = utf8(value.as_len().ok_or("event name is not a string")?)?,
+            EVENT_COUNTER_VALUE => {
+                let raw = value.as_varint().ok_or("counter value is not a varint")?;
+                counter_value = i64::from_le_bytes(raw.to_le_bytes());
+            }
+            _ => {}
+        }
+    }
+    match kind {
+        TYPE_SLICE_BEGIN => summary.slice_begins.push((track, name)),
+        TYPE_SLICE_END => summary.slice_ends.push(track),
+        TYPE_INSTANT => summary.instants.push((track, name)),
+        TYPE_COUNTER => summary.counter_samples.push((track, counter_value)),
+        other => return Err(format!("unknown track event type {other}")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_summarize_round_trip() {
+        let mut b = TraceBuilder::new();
+        b.process_track(1, 1, "calib-serve");
+        b.named_track(100, 1, "tenant-a");
+        b.counter_track(101, 100, "queued");
+        b.slice_begin(100, 0, "calibrate", "calibration");
+        b.slice_end(100, 4_000_000);
+        b.instant(100, 2_000_000, "reserve", "reserve");
+        b.counter(101, 0, 3);
+        b.counter(101, 1_000_000, -1);
+        let bytes = b.into_bytes();
+
+        let s = summarize(&bytes).unwrap();
+        assert_eq!(s.packets, 8);
+        assert_eq!(s.process_tracks, vec![(1, 1, "calib-serve".to_string())]);
+        assert_eq!(s.named_tracks, vec![(100, 1, "tenant-a".to_string())]);
+        assert_eq!(s.counter_tracks, vec![(101, 100, "queued".to_string())]);
+        assert_eq!(s.slices_on(100), vec!["calibrate"]);
+        assert_eq!(s.slice_ends, vec![100]);
+        assert_eq!(s.instants, vec![(100, "reserve".to_string())]);
+        assert_eq!(s.counter_samples, vec![(101, 3), (101, -1)]);
+        assert_eq!(s.track_named("queued"), Some(101));
+    }
+
+    #[test]
+    fn identical_builds_are_byte_identical() {
+        let build = || {
+            let mut b = TraceBuilder::new();
+            b.process_track(1, 1, "p");
+            b.named_track(2, 1, "t");
+            b.slice_begin(2, 10, "s", "c");
+            b.slice_end(2, 20);
+            b.into_bytes()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn summarize_rejects_garbage() {
+        assert!(summarize(&[0xff, 0xff]).is_err());
+        // A top-level field other than `packet`.
+        let mut m = MessageWriter::new();
+        m.varint(9, 1);
+        assert!(summarize(m.as_bytes()).is_err());
+    }
+}

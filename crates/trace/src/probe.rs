@@ -1,0 +1,96 @@
+//! Live Perfetto capture.
+
+use calib_core::obs::{Event, Probe};
+use calib_core::types::Time;
+
+use crate::perfetto::TraceBuilder;
+use crate::timeline::TenantTimeline;
+
+/// A [`Probe`] that buffers the event stream and serializes it straight to
+/// `.perfetto-trace` bytes — no JSON-lines intermediate, no I/O during the
+/// run (events are `Copy`; recording is a `Vec` push).
+///
+/// Use this to trace a single in-process engine run:
+///
+/// ```
+/// use calib_core::obs::Probe;
+/// use calib_trace::PerfettoProbe;
+///
+/// let mut probe = PerfettoProbe::new("demo", 4);
+/// probe.record(&calib_core::obs::Event::TimeSkip { from: 0, to: 8 });
+/// let bytes = probe.finish();
+/// assert!(!bytes.is_empty());
+/// ```
+///
+/// The serve daemon instead writes JSON-lines traces per tenant and leaves
+/// Perfetto conversion to the offline `calib-trace` bin, which merges many
+/// tenants into one trace; this probe is the single-session live path.
+#[derive(Debug)]
+pub struct PerfettoProbe {
+    timeline: TenantTimeline,
+}
+
+impl PerfettoProbe {
+    /// A probe for a session named `name` whose calibrations last `cal_len`
+    /// time units (the instance's `T`; governs rendered slice length).
+    pub fn new(name: &str, cal_len: Time) -> PerfettoProbe {
+        PerfettoProbe {
+            timeline: TenantTimeline::new(name, cal_len),
+        }
+    }
+
+    /// Events buffered so far.
+    pub fn events(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Serializes the buffered run as a single-process Perfetto trace.
+    pub fn finish(self) -> Vec<u8> {
+        let mut builder = TraceBuilder::new();
+        builder.process_track(1, 1, "calib-engine");
+        // Negative virtual times shift to a zero origin; non-negative
+        // timelines keep their absolute virtual timestamps.
+        let offset = self.timeline.min_time().unwrap_or(0).min(0);
+        self.timeline.emit(&mut builder, 1, 1000, offset);
+        builder.into_bytes()
+    }
+}
+
+impl Probe for PerfettoProbe {
+    fn record(&mut self, event: &Event) {
+        self.timeline.add_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto::summarize;
+    use calib_core::types::{JobId, MachineId};
+
+    #[test]
+    fn records_and_serializes_a_run() {
+        let mut probe = PerfettoProbe::new("solo", 2);
+        probe.record(&Event::JobArrived {
+            time: 0,
+            job: JobId(0),
+            weight: 1,
+        });
+        probe.record(&Event::Calibrate {
+            time: 0,
+            machine: MachineId(0),
+            start: 0,
+        });
+        probe.record(&Event::Dispatch {
+            time: 0,
+            job: JobId(0),
+            machine: MachineId(0),
+            start: 0,
+        });
+        assert_eq!(probe.events(), 3);
+        let s = summarize(&probe.finish()).unwrap();
+        assert_eq!(s.process_tracks.len(), 1);
+        assert!(s.track_named("solo").is_some());
+        assert_eq!(s.slices_on(1001), vec!["calibrate", "job 0"]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal protobuf wire-format encoding and decoding.
+//!
+//! Perfetto traces are protobuf messages, but the subset the TrackEvent
+//! schema needs is tiny: varints and length-delimited fields. This module
+//! implements exactly that subset by hand — no codegen, no dependency —
+//! mirroring the encoding rules of the protobuf spec:
+//!
+//! * a field is a *key* varint `(field_number << 3) | wire_type` followed
+//!   by its payload;
+//! * wire type 0 (`VARINT`) is a base-128 little-endian varint, 7 payload
+//!   bits per byte, continuation bit 0x80;
+//! * wire type 2 (`LEN`) is a varint byte length followed by that many
+//!   payload bytes (strings, bytes, nested messages).
+//!
+//! The decoder half exists so the crate can *verify its own output*: the
+//! structural decode tests and `calib-trace --verify` walk the emitted
+//! bytes field-by-field instead of trusting the encoder.
+
+/// Wire type 0: varint.
+pub const WIRE_VARINT: u64 = 0;
+/// Wire type 1: fixed 64-bit.
+pub const WIRE_FIXED64: u64 = 1;
+/// Wire type 2: length-delimited (strings, bytes, sub-messages).
+pub const WIRE_LEN: u64 = 2;
+/// Wire type 5: fixed 32-bit.
+pub const WIRE_FIXED32: u64 = 5;
+
+/// Appends `value` to `buf` as a base-128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let low = u8::try_from(value & 0x7f).unwrap_or(0);
+        value >>= 7;
+        if value == 0 {
+            buf.push(low);
+            return;
+        }
+        buf.push(low | 0x80);
+    }
+}
+
+/// Reads one varint from `buf` at `*pos`, advancing it. `None` on
+/// truncation or a varint longer than the 10 bytes a `u64` can need.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// An in-progress protobuf message: fields append in call order.
+#[derive(Debug, Default)]
+pub struct MessageWriter {
+    buf: Vec<u8>,
+}
+
+impl MessageWriter {
+    /// An empty message.
+    pub fn new() -> MessageWriter {
+        MessageWriter::default()
+    }
+
+    fn key(&mut self, field: u32, wire: u64) {
+        put_varint(&mut self.buf, (u64::from(field) << 3) | wire);
+    }
+
+    /// A varint-typed field (protobuf `uint64`/`uint32`/`bool`/enums).
+    pub fn varint(&mut self, field: u32, value: u64) -> &mut Self {
+        self.key(field, WIRE_VARINT);
+        put_varint(&mut self.buf, value);
+        self
+    }
+
+    /// A varint-typed `int64` field: negative values use two's-complement,
+    /// ten bytes on the wire (the protobuf `int64` rule, not zigzag).
+    pub fn int64(&mut self, field: u32, value: i64) -> &mut Self {
+        self.varint(field, u64::from_le_bytes(value.to_le_bytes()))
+    }
+
+    /// A length-delimited bytes field.
+    pub fn bytes(&mut self, field: u32, payload: &[u8]) -> &mut Self {
+        self.key(field, WIRE_LEN);
+        put_varint(&mut self.buf, u64::try_from(payload.len()).unwrap_or(0));
+        self.buf.extend_from_slice(payload);
+        self
+    }
+
+    /// A length-delimited UTF-8 string field.
+    pub fn string(&mut self, field: u32, value: &str) -> &mut Self {
+        self.bytes(field, value.as_bytes())
+    }
+
+    /// A nested message field.
+    pub fn message(&mut self, field: u32, child: &MessageWriter) -> &mut Self {
+        self.bytes(field, &child.buf)
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes, by reference.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// One decoded field value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldValue<'a> {
+    /// Wire type 0.
+    Varint(u64),
+    /// Wire type 1.
+    Fixed64(u64),
+    /// Wire type 2: the raw payload (string, bytes, or nested message).
+    Len(&'a [u8]),
+    /// Wire type 5.
+    Fixed32(u32),
+}
+
+impl<'a> FieldValue<'a> {
+    /// The payload of a length-delimited field, if that is what this is.
+    pub fn as_len(&self) -> Option<&'a [u8]> {
+        match self {
+            FieldValue::Len(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value of a varint field, if that is what this is.
+    pub fn as_varint(&self) -> Option<u64> {
+        match self {
+            FieldValue::Varint(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes a message into `(field_number, value)` pairs, in wire order.
+///
+/// Rejects truncated input, unknown wire types, and field payloads that
+/// run past the end — the structural tests rely on this strictness.
+pub fn decode_fields(buf: &[u8]) -> Result<Vec<(u32, FieldValue<'_>)>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let key = get_varint(buf, &mut pos).ok_or("truncated field key")?;
+        let field = u32::try_from(key >> 3).map_err(|_| "field number overflow".to_string())?;
+        if field == 0 {
+            return Err("field number 0 is invalid".to_string());
+        }
+        let value = match key & 7 {
+            WIRE_VARINT => FieldValue::Varint(get_varint(buf, &mut pos).ok_or("truncated varint")?),
+            WIRE_FIXED64 => {
+                let end = pos.checked_add(8).filter(|&e| e <= buf.len());
+                let end = end.ok_or("truncated fixed64")?;
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&buf[pos..end]);
+                pos = end;
+                FieldValue::Fixed64(u64::from_le_bytes(raw))
+            }
+            WIRE_LEN => {
+                let len = get_varint(buf, &mut pos).ok_or("truncated length")?;
+                let len = usize::try_from(len).map_err(|_| "length overflow".to_string())?;
+                let end = pos.checked_add(len).filter(|&e| e <= buf.len());
+                let end = end.ok_or("length-delimited field runs past the end")?;
+                let payload = &buf[pos..end];
+                pos = end;
+                FieldValue::Len(payload)
+            }
+            WIRE_FIXED32 => {
+                let end = pos.checked_add(4).filter(|&e| e <= buf.len());
+                let end = end.ok_or("truncated fixed32")?;
+                let mut raw = [0u8; 4];
+                raw.copy_from_slice(&buf[pos..end]);
+                pos = end;
+                FieldValue::Fixed32(u32::from_le_bytes(raw))
+            }
+            other => return Err(format!("unsupported wire type {other}")),
+        };
+        fields.push((field, value));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varint_bytes(v: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        buf
+    }
+
+    #[test]
+    fn varint_golden_bytes() {
+        // The satellite's edge cases, byte for byte.
+        assert_eq!(varint_bytes(0), vec![0x00]);
+        assert_eq!(varint_bytes(1), vec![0x01]);
+        assert_eq!(varint_bytes(127), vec![0x7f]);
+        assert_eq!(varint_bytes(128), vec![0x80, 0x01]);
+        assert_eq!(varint_bytes(300), vec![0xac, 0x02]);
+        assert_eq!(
+            varint_bytes(u64::MAX),
+            vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]
+        );
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let bytes = varint_bytes(v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&bytes, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, bytes.len(), "value {v} consumed exactly");
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(get_varint(&[], &mut pos), None);
+    }
+
+    #[test]
+    fn int64_uses_twos_complement() {
+        let mut m = MessageWriter::new();
+        m.int64(1, -1);
+        let bytes = m.into_bytes();
+        // key 0x08, then ten 0xff…0x01 bytes for -1.
+        assert_eq!(bytes[0], 0x08);
+        assert_eq!(bytes.len(), 11);
+        assert_eq!(bytes[10], 0x01);
+    }
+
+    #[test]
+    fn messages_nest_and_decode() {
+        let mut child = MessageWriter::new();
+        child.varint(1, 42).string(2, "tenant-a");
+        let mut parent = MessageWriter::new();
+        parent.varint(8, 1000).message(60, &child);
+        let bytes = parent.into_bytes();
+
+        let fields = decode_fields(&bytes).unwrap();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0], (8, FieldValue::Varint(1000)));
+        let nested = fields[1].1.as_len().unwrap();
+        let inner = decode_fields(nested).unwrap();
+        assert_eq!(inner[0], (1, FieldValue::Varint(42)));
+        assert_eq!(inner[1].1.as_len(), Some("tenant-a".as_bytes()));
+    }
+
+    #[test]
+    fn decoder_rejects_overruns() {
+        // Length claims 5 bytes, only 2 present.
+        let bad = [0x0a, 0x05, 0x01, 0x02];
+        assert!(decode_fields(&bad).is_err());
+        // Unsupported wire type 3 (group start).
+        let bad = [0x0b];
+        assert!(decode_fields(&bad).is_err());
+    }
+}

@@ -1,0 +1,676 @@
+//! Mapping engine events onto Perfetto tracks.
+//!
+//! One [`TenantTimeline`] collects the [`Event`] stream of a single engine
+//! session (live, via [`PerfettoProbe`](crate::PerfettoProbe), or offline
+//! from a JSON-lines trace) and renders it as a tenant track group:
+//!
+//! * one lane per machine carrying `calibrate` slices (`start .. start + T`)
+//!   and unit-length `job N` slices;
+//! * a `journal` lane with `fsync` slices (wall-clock append cost, scaled)
+//!   and `append` instants for unsynced writes;
+//! * `queued` and `flow` counter tracks: waiting-job depth and cumulative
+//!   weighted flow time, sampled at every arrival and dispatch;
+//! * engine instants (`reserve`, `wake`, `time_skip`, `run_complete`) on
+//!   the group track itself.
+//!
+//! Virtual engine time maps to trace nanoseconds at a fixed
+//! [`NS_PER_UNIT`] scale, shifted by a caller-chosen offset so negative
+//! calibration starts stay representable. All ordering is by
+//! `(timestamp, kind, seq)` — no wall clock anywhere, so conversion is
+//! deterministic and the golden-trace test can pin exact bytes.
+
+use std::collections::HashMap;
+
+use calib_core::json::Json;
+use calib_core::obs::Event;
+use calib_core::types::{JobId, MachineId, Time};
+
+use crate::perfetto::TraceBuilder;
+
+/// Nanoseconds of trace time per virtual engine time unit.
+pub const NS_PER_UNIT: u64 = 1_000_000;
+
+/// Floor for rendered fsync slice duration, so sub-microsecond appends stay
+/// visible at millisecond zoom.
+const MIN_FSYNC_NS: u64 = 1_000;
+
+/// Track-uuid offsets within a tenant's uuid block (see
+/// [`TenantTimeline::emit`]).
+const JOURNAL_TRACK: u64 = 800;
+const QUEUED_TRACK: u64 = 900;
+const FLOW_TRACK: u64 = 901;
+
+/// One session's event stream, ready to render as a Perfetto track group.
+#[derive(Debug, Clone)]
+pub struct TenantTimeline {
+    name: String,
+    cal_len: Time,
+    /// `(seq, event)` in arrival order; seq comes from the trace line or a
+    /// local counter and breaks ties among events at one virtual instant.
+    recs: Vec<(u64, Event)>,
+    next_seq: u64,
+}
+
+/// What a single decoded trace line contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A session preamble: `(tenant name, machines, cal_len)`.
+    Session(String, usize, Time),
+    /// A recognised engine event, with its `seq` if the line carried one.
+    Event(Option<u64>, Event),
+    /// A line of a type this converter does not render (forward
+    /// compatibility: skipped, not an error).
+    Unknown(String),
+}
+
+/// Decodes one JSON-lines trace line.
+///
+/// Errors only on malformed JSON or a recognised type with missing fields;
+/// unknown event types decode as [`TraceLine::Unknown`].
+pub fn parse_line(line: &str) -> Result<TraceLine, String> {
+    let json = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let kind = json
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("line has no \"type\" field")?
+        .to_string();
+    let time = |field: &str| -> Result<Time, String> {
+        json.get(field)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("{kind} line missing \"{field}\""))
+    };
+    let uint = |field: &str| -> Result<u64, String> {
+        json.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{kind} line missing \"{field}\""))
+    };
+    let id = |field: &str| -> Result<u32, String> {
+        let raw = uint(field)?;
+        u32::try_from(raw).map_err(|_| format!("{kind} line: \"{field}\" overflows u32"))
+    };
+    let seq = json.get("seq").and_then(Json::as_u64);
+    let event = match kind.as_str() {
+        "session" => {
+            let name = json
+                .get("tenant")
+                .and_then(Json::as_str)
+                .ok_or("session line missing \"tenant\"")?
+                .to_string();
+            let machines = usize::try_from(uint("machines")?)
+                .map_err(|_| "session line: \"machines\" overflows usize".to_string())?;
+            return Ok(TraceLine::Session(name, machines, time("cal_len")?));
+        }
+        "job_arrived" => Event::JobArrived {
+            time: time("time")?,
+            job: JobId(id("job")?),
+            weight: uint("weight")?,
+        },
+        "calibrate" => Event::Calibrate {
+            time: time("time")?,
+            machine: MachineId(id("machine")?),
+            start: time("start")?,
+        },
+        "reserve" => Event::Reserve {
+            time: time("time")?,
+            machine: MachineId(id("machine")?),
+            start: time("start")?,
+        },
+        "dispatch" => Event::Dispatch {
+            time: time("time")?,
+            job: JobId(id("job")?),
+            machine: MachineId(id("machine")?),
+            start: time("start")?,
+        },
+        "time_skip" => Event::TimeSkip {
+            from: time("from")?,
+            to: time("to")?,
+        },
+        "wake" => Event::Wake {
+            time: time("time")?,
+            // `reason` is `&'static str` on the event; map known reasons,
+            // fold the rest into one bucket rather than leaking strings.
+            reason: match json.get("reason").and_then(Json::as_str) {
+                Some("scheduler") => "scheduler",
+                Some("release") => "release",
+                _ => "other",
+            },
+        },
+        "run_complete" => Event::RunComplete {
+            time: time("time")?,
+            flow: json
+                .get("flow")
+                .and_then(Json::as_u128)
+                .ok_or("run_complete line missing \"flow\"")?,
+            calibrations: uint("calibrations")?,
+        },
+        "journal_sync" => Event::JournalSync {
+            time: time("time")?,
+            micros: uint("micros")?,
+            synced: match json.get("synced") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("journal_sync line missing \"synced\"".to_string()),
+            },
+        },
+        _ => return Ok(TraceLine::Unknown(kind)),
+    };
+    Ok(TraceLine::Event(seq, event))
+}
+
+/// The packet kinds a timeline emits, in same-timestamp order: slice ends
+/// first (closing the previous interval), then begins, then the rest.
+#[derive(Debug, Clone)]
+enum Op {
+    SliceEnd {
+        track: u64,
+    },
+    SliceBegin {
+        track: u64,
+        name: String,
+        category: &'static str,
+    },
+    Instant {
+        track: u64,
+        name: String,
+        category: &'static str,
+    },
+    Counter {
+        track: u64,
+        value: i64,
+    },
+}
+
+impl Op {
+    fn rank(&self) -> u8 {
+        match self {
+            Op::SliceEnd { .. } => 0,
+            Op::SliceBegin { .. } => 1,
+            Op::Instant { .. } => 2,
+            Op::Counter { .. } => 3,
+        }
+    }
+}
+
+impl TenantTimeline {
+    /// An empty timeline for tenant `name` whose calibrations last
+    /// `cal_len` time units.
+    pub fn new(name: &str, cal_len: Time) -> TenantTimeline {
+        TenantTimeline {
+            name: name.to_string(),
+            cal_len: cal_len.max(1),
+            recs: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a live event; `seq` is assigned from a local counter.
+    pub fn add_event(&mut self, event: &Event) {
+        let seq = self.next_seq;
+        self.add_event_with_seq(seq, event);
+    }
+
+    /// Records an event with an explicit trace-line `seq`.
+    pub fn add_event_with_seq(&mut self, seq: u64, event: &Event) {
+        self.recs.push((seq, *event));
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The earliest virtual time any recorded event touches (including
+    /// calibration starts, which may precede the decision time — or even be
+    /// negative). `None` when empty.
+    pub fn min_time(&self) -> Option<Time> {
+        self.recs
+            .iter()
+            .flat_map(|(_, e)| {
+                let (a, b) = match *e {
+                    Event::JobArrived { time, .. }
+                    | Event::Wake { time, .. }
+                    | Event::RunComplete { time, .. }
+                    | Event::JournalSync { time, .. } => (time, time),
+                    Event::Calibrate { time, start, .. }
+                    | Event::Reserve { time, start, .. }
+                    | Event::Dispatch { time, start, .. } => (time, start),
+                    Event::TimeSkip { from, to } => (from, to),
+                };
+                [a, b]
+            })
+            .min()
+    }
+
+    /// Highest machine index observed, as a lane count.
+    pub fn machines(&self) -> usize {
+        self.recs
+            .iter()
+            .filter_map(|(_, e)| match *e {
+                Event::Calibrate { machine, .. }
+                | Event::Reserve { machine, .. }
+                | Event::Dispatch { machine, .. } => Some(machine.0),
+                _ => None,
+            })
+            .max()
+            .map_or(0, |m| usize::try_from(m).unwrap_or(0).saturating_add(1))
+    }
+
+    fn ts(&self, time: Time, offset: Time) -> u64 {
+        let shifted = time.saturating_sub(offset);
+        u64::try_from(shifted)
+            .unwrap_or(0)
+            .saturating_mul(NS_PER_UNIT)
+    }
+
+    /// Renders this timeline into `builder` as a track group under
+    /// `process_uuid`.
+    ///
+    /// `base` is the tenant's uuid block: the group track takes `base`,
+    /// machine lane `m` takes `base + 1 + m`, the journal lane
+    /// `base + 800`, and the `queued`/`flow` counters `base + 900/901`.
+    /// Blocks must be ≥ 1000 apart. `offset` is subtracted from every
+    /// virtual time before scaling (pass the global minimum across tenants,
+    /// clamped to ≤ 0 origin, so all timestamps are non-negative).
+    pub fn emit(&self, builder: &mut TraceBuilder, process_uuid: u64, base: u64, offset: Time) {
+        builder.named_track(base, process_uuid, &self.name);
+        let machines = self.machines();
+        for m in 0..machines {
+            let lane = base + 1 + u64::try_from(m).unwrap_or(0);
+            builder.named_track(lane, base, &format!("machine {m}"));
+        }
+        builder.named_track(base + JOURNAL_TRACK, base, "journal");
+        builder.counter_track(base + QUEUED_TRACK, base, "queued");
+        builder.counter_track(base + FLOW_TRACK, base, "flow");
+
+        let mut sorted: Vec<&(u64, Event)> = self.recs.iter().collect();
+        sorted.sort_by_key(|(seq, e)| (event_time(e), *seq));
+
+        let mut ops: Vec<(u64, u64, Op)> = Vec::new();
+        let mut queued: i64 = 0;
+        let mut flow: i128 = 0;
+        let mut jobs: HashMap<u32, (Time, i128)> = HashMap::new();
+        for (seq, event) in sorted {
+            let seq = *seq;
+            match *event {
+                Event::JobArrived { time, job, weight } => {
+                    queued = queued.saturating_add(1);
+                    jobs.insert(job.0, (time, i128::from(weight)));
+                    ops.push((
+                        self.ts(time, offset),
+                        seq,
+                        Op::Counter {
+                            track: base + QUEUED_TRACK,
+                            value: queued,
+                        },
+                    ));
+                }
+                Event::Dispatch {
+                    time,
+                    job,
+                    machine,
+                    start,
+                } => {
+                    queued = queued.saturating_sub(1).max(0);
+                    let t = self.ts(time, offset);
+                    ops.push((
+                        t,
+                        seq,
+                        Op::Counter {
+                            track: base + QUEUED_TRACK,
+                            value: queued,
+                        },
+                    ));
+                    if let Some((release, weight)) = jobs.get(&job.0) {
+                        let completion = start.saturating_add(1);
+                        let in_system = i128::from(completion.saturating_sub(*release));
+                        flow = flow.saturating_add(weight.saturating_mul(in_system.max(0)));
+                    }
+                    let flow_sample = i64::try_from(flow).unwrap_or(i64::MAX);
+                    ops.push((
+                        t,
+                        seq,
+                        Op::Counter {
+                            track: base + FLOW_TRACK,
+                            value: flow_sample,
+                        },
+                    ));
+                    let lane = base + 1 + u64::from(machine.0);
+                    ops.push((
+                        self.ts(start, offset),
+                        seq,
+                        Op::SliceBegin {
+                            track: lane,
+                            name: format!("job {}", job.0),
+                            category: "job",
+                        },
+                    ));
+                    ops.push((
+                        self.ts(start.saturating_add(1), offset),
+                        seq,
+                        Op::SliceEnd { track: lane },
+                    ));
+                }
+                Event::Calibrate { machine, start, .. } => {
+                    let lane = base + 1 + u64::from(machine.0);
+                    ops.push((
+                        self.ts(start, offset),
+                        seq,
+                        Op::SliceBegin {
+                            track: lane,
+                            name: "calibrate".to_string(),
+                            category: "calibration",
+                        },
+                    ));
+                    ops.push((
+                        self.ts(start.saturating_add(self.cal_len), offset),
+                        seq,
+                        Op::SliceEnd { track: lane },
+                    ));
+                }
+                Event::Reserve {
+                    time,
+                    machine,
+                    start,
+                } => {
+                    let lane = base + 1 + u64::from(machine.0);
+                    ops.push((
+                        self.ts(time, offset),
+                        seq,
+                        Op::Instant {
+                            track: lane,
+                            name: format!("reserve @{start}"),
+                            category: "calibration",
+                        },
+                    ));
+                }
+                Event::TimeSkip { from, to } => {
+                    ops.push((
+                        self.ts(from, offset),
+                        seq,
+                        Op::Instant {
+                            track: base,
+                            name: format!("skip to {to}"),
+                            category: "engine",
+                        },
+                    ));
+                }
+                Event::Wake { time, reason } => {
+                    ops.push((
+                        self.ts(time, offset),
+                        seq,
+                        Op::Instant {
+                            track: base,
+                            name: format!("wake ({reason})"),
+                            category: "engine",
+                        },
+                    ));
+                }
+                Event::RunComplete { time, .. } => {
+                    ops.push((
+                        self.ts(time, offset),
+                        seq,
+                        Op::Instant {
+                            track: base,
+                            name: "run_complete".to_string(),
+                            category: "engine",
+                        },
+                    ));
+                }
+                Event::JournalSync {
+                    time,
+                    micros,
+                    synced,
+                } => {
+                    let t = self.ts(time, offset);
+                    if synced {
+                        let duration = micros.saturating_mul(1_000).max(MIN_FSYNC_NS);
+                        ops.push((
+                            t,
+                            seq,
+                            Op::SliceBegin {
+                                track: base + JOURNAL_TRACK,
+                                name: "fsync".to_string(),
+                                category: "journal",
+                            },
+                        ));
+                        ops.push((
+                            t.saturating_add(duration),
+                            seq,
+                            Op::SliceEnd {
+                                track: base + JOURNAL_TRACK,
+                            },
+                        ));
+                    } else {
+                        ops.push((
+                            t,
+                            seq,
+                            Op::Instant {
+                                track: base + JOURNAL_TRACK,
+                                name: "append".to_string(),
+                                category: "journal",
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Ends close before begins open at a shared timestamp; `seq` then
+        // insertion order keep the result deterministic.
+        let mut indexed: Vec<(usize, &(u64, u64, Op))> = ops.iter().enumerate().collect();
+        indexed.sort_by_key(|(idx, (ts, seq, op))| (*ts, op.rank(), *seq, *idx));
+        for (_, (ts, _, op)) in indexed {
+            match op {
+                Op::SliceEnd { track } => builder.slice_end(*track, *ts),
+                Op::SliceBegin {
+                    track,
+                    name,
+                    category,
+                } => {
+                    builder.slice_begin(*track, *ts, name, category);
+                }
+                Op::Instant {
+                    track,
+                    name,
+                    category,
+                } => {
+                    builder.instant(*track, *ts, name, category);
+                }
+                Op::Counter { track, value } => builder.counter(*track, *ts, *value),
+            }
+        }
+    }
+}
+
+fn event_time(event: &Event) -> Time {
+    match *event {
+        Event::JobArrived { time, .. }
+        | Event::Calibrate { time, .. }
+        | Event::Reserve { time, .. }
+        | Event::Dispatch { time, .. }
+        | Event::Wake { time, .. }
+        | Event::RunComplete { time, .. }
+        | Event::JournalSync { time, .. } => time,
+        Event::TimeSkip { from, .. } => from,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto::summarize;
+
+    fn sample_timeline() -> TenantTimeline {
+        let mut t = TenantTimeline::new("tenant-a", 4);
+        t.add_event(&Event::JobArrived {
+            time: 0,
+            job: JobId(1),
+            weight: 2,
+        });
+        t.add_event(&Event::Calibrate {
+            time: 0,
+            machine: MachineId(0),
+            start: 1,
+        });
+        t.add_event(&Event::Dispatch {
+            time: 1,
+            job: JobId(1),
+            machine: MachineId(0),
+            start: 1,
+        });
+        t.add_event(&Event::JournalSync {
+            time: 1,
+            micros: 250,
+            synced: true,
+        });
+        t.add_event(&Event::RunComplete {
+            time: 5,
+            flow: 4,
+            calibrations: 1,
+        });
+        t
+    }
+
+    #[test]
+    fn emits_tracks_slices_and_counters() {
+        let mut b = TraceBuilder::new();
+        b.process_track(1, 1, "calib-serve");
+        let t = sample_timeline();
+        t.emit(&mut b, 1, 1000, 0);
+        let s = summarize(&b.into_bytes()).unwrap();
+
+        assert_eq!(s.named_tracks[0], (1000, 1, "tenant-a".to_string()));
+        let machine0 = s.track_named("machine 0").unwrap();
+        assert_eq!(machine0, 1001);
+        let slices = s.slices_on(machine0);
+        assert_eq!(slices, vec!["calibrate", "job 1"]);
+        let journal = s.track_named("journal").unwrap();
+        assert_eq!(s.slices_on(journal), vec!["fsync"]);
+        // Counters: queued 1 (arrival), 0 (dispatch); flow 2 * (2 - 0) = 4.
+        let queued = s.track_named("queued").unwrap();
+        let flow = s.track_named("flow").unwrap();
+        let queued_samples: Vec<i64> = s
+            .counter_samples
+            .iter()
+            .filter(|(t, _)| *t == queued)
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(queued_samples, vec![1, 0]);
+        let flow_samples: Vec<i64> = s
+            .counter_samples
+            .iter()
+            .filter(|(t, _)| *t == flow)
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(flow_samples, vec![4]);
+        // Every begun slice is closed.
+        assert_eq!(s.slice_begins.len(), s.slice_ends.len());
+    }
+
+    #[test]
+    fn negative_times_shift_to_zero_origin() {
+        let mut t = TenantTimeline::new("t", 2);
+        t.add_event(&Event::Calibrate {
+            time: 0,
+            machine: MachineId(0),
+            start: -3,
+        });
+        assert_eq!(t.min_time(), Some(-3));
+        let mut b = TraceBuilder::new();
+        b.process_track(1, 1, "p");
+        t.emit(&mut b, 1, 1000, -3);
+        // Decodes cleanly; the slice begins at timestamp 0.
+        let s = summarize(&b.into_bytes()).unwrap();
+        assert_eq!(s.slices_on(1001), vec!["calibrate"]);
+    }
+
+    #[test]
+    fn emit_is_deterministic() {
+        let render = || {
+            let mut b = TraceBuilder::new();
+            b.process_track(1, 1, "p");
+            sample_timeline().emit(&mut b, 1, 1000, 0);
+            b.into_bytes()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn parse_line_round_trips_events() {
+        let events = [
+            Event::JobArrived {
+                time: 3,
+                job: JobId(7),
+                weight: 5,
+            },
+            Event::Calibrate {
+                time: 1,
+                machine: MachineId(2),
+                start: -1,
+            },
+            Event::Reserve {
+                time: 1,
+                machine: MachineId(0),
+                start: 9,
+            },
+            Event::Dispatch {
+                time: 4,
+                job: JobId(7),
+                machine: MachineId(2),
+                start: 4,
+            },
+            Event::TimeSkip { from: 5, to: 9 },
+            Event::Wake {
+                time: 9,
+                reason: "release",
+            },
+            Event::RunComplete {
+                time: 10,
+                flow: 35,
+                calibrations: 2,
+            },
+            Event::JournalSync {
+                time: 4,
+                micros: 120,
+                synced: false,
+            },
+        ];
+        for e in events {
+            let line = e.to_json().to_string_compact();
+            match parse_line(&line).unwrap() {
+                TraceLine::Event(_, back) => assert_eq!(back, e, "{line}"),
+                other => panic!("expected event for {line}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_line_handles_session_seq_and_unknowns() {
+        let meta = r#"{"type":"session","tenant":"acme","machines":3,"cal_len":16}"#;
+        assert_eq!(
+            parse_line(meta).unwrap(),
+            TraceLine::Session("acme".to_string(), 3, 16)
+        );
+        let with_seq = r#"{"type":"time_skip","from":0,"to":4,"seq":11}"#;
+        match parse_line(with_seq).unwrap() {
+            TraceLine::Event(seq, _) => assert_eq!(seq, Some(11)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_line(r#"{"type":"comet_sighting"}"#).unwrap(),
+            TraceLine::Unknown("comet_sighting".to_string())
+        );
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"type":"dispatch","time":1}"#).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-trace test: the checked-in `.perfetto-trace` bytes must be
+//! reproduced exactly from the checked-in JSON-lines input. Any encoder or
+//! timeline-mapping change that alters the wire bytes fails here and asks
+//! for an explicit re-bless (`BLESS=1 cargo test -p calib-trace golden`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use calib_trace::{convert, summarize};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn tiny_trace_is_byte_identical_to_the_golden() {
+    let input = fs::read_to_string(golden_dir().join("tiny.jsonl")).unwrap();
+    let out = convert(&[("tiny-stem".to_string(), input)], None, 1).unwrap();
+
+    // Structure first, so a mismatch fails with a readable cause before
+    // the byte comparison does.
+    let summary = summarize(&out.bytes).unwrap();
+    assert_eq!(
+        out.tenants,
+        vec!["tiny"],
+        "session preamble names the tenant"
+    );
+    let machine0 = summary.track_named("machine 0").unwrap();
+    assert_eq!(
+        summary.slices_on(machine0),
+        vec!["calibrate", "job 0", "job 1"]
+    );
+    let journal = summary.track_named("journal").unwrap();
+    assert_eq!(summary.slices_on(journal), vec!["fsync"]);
+    assert_eq!(summary.slice_begins.len(), summary.slice_ends.len());
+
+    let golden_path = golden_dir().join("tiny.perfetto-trace");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden_path, &out.bytes).unwrap();
+        return;
+    }
+    let golden = fs::read(&golden_path).unwrap();
+    assert_eq!(
+        out.bytes, golden,
+        "serialized trace drifted from tests/golden/tiny.perfetto-trace; \
+         re-bless with BLESS=1 if the change is intentional"
+    );
+}
