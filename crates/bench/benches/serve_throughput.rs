@@ -14,6 +14,9 @@
 //! * `serve_stream_journaled` — the same pass with the write-ahead
 //!   journal on (`fsync off`, so the number is the serialization and
 //!   buffered-write overhead, not the disk's sync latency).
+//! * `serve_stream_checkpointed` — the journaled pass plus cadence
+//!   checkpoints and idle compaction; the gate bounds its ratio over
+//!   `serve_stream_journaled` so recovery-bounding stays cheap.
 //! * `metrics_overhead` — the same pass as `serve_stream_session` but with
 //!   the periodic metrics snapshot stream enabled. The bench gate holds
 //!   the `metrics_overhead / serve_stream_session` ratio under a tight
@@ -187,6 +190,29 @@ fn main() {
                 queue_cap: 1_000_000,
                 journal_dir: Some(journal_dir.clone()),
                 fsync: FsyncPolicy::Off,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok());
+        report.accountings.len()
+    });
+
+    // The journaled stream plus cadence checkpoints and idle compaction —
+    // the recovery-bounding machinery. The bench gate holds the
+    // `serve_stream_checkpointed / serve_stream_journaled` ratio under
+    // 1.05×: a full-state snapshot every 1024 records (a few per pass
+    // here) must stay near the noise of the journaled path.
+    b.bench("serve_stream_checkpointed", || {
+        let report = serve_stream(
+            script.as_bytes(),
+            Box::new(std::io::sink()),
+            ServerConfig {
+                workers: 1,
+                queue_cap: 1_000_000,
+                journal_dir: Some(journal_dir.clone()),
+                fsync: FsyncPolicy::Off,
+                checkpoint_every: Some(1024),
+                compact_on_idle: true,
                 ..Default::default()
             },
         );

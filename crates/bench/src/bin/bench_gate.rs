@@ -270,7 +270,7 @@ fn run() -> Result<bool, String> {
 /// on the same machine, so these are compared raw — no baseline and no
 /// machine-speed normalization. Each entry is
 /// `(suite file, measurement, baseline measurement, max ratio)`.
-const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 1] = [
+const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 2] = [
     // The always-on metrics registry plus a live 2ms snapshot stream must
     // stay within 2% of the plain serve path.
     (
@@ -278,6 +278,14 @@ const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 1] = [
         "metrics_overhead",
         "serve_stream_session",
         1.02,
+    ),
+    // Cadence checkpoints + idle compaction must stay within 5% of the
+    // plain journaled path (fsync off on both sides).
+    (
+        "BENCH_serve.json",
+        "serve_stream_checkpointed",
+        "serve_stream_journaled",
+        1.05,
     ),
 ];
 

@@ -237,6 +237,13 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
+/// Appends `s` to `out` as a quoted, escaped JSON string literal —
+/// exactly the form [`Json::to_string_compact`] emits — so callers
+/// serializing large documents by hand stay byte-compatible.
+pub fn write_json_string(out: &mut String, s: &str) {
+    write_escaped(out, s);
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {

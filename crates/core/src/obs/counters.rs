@@ -44,6 +44,13 @@ macro_rules! counters {
             pub fn reset(&self) {
                 $(self.$name.store(0, Ordering::Relaxed);)*
             }
+
+            /// Adds every field of `snap` onto this registry — restoring a
+            /// serialized snapshot into a fresh registry, or folding one
+            /// worker's totals into a shared one.
+            pub fn add_snapshot(&self, snap: CounterSnapshot) {
+                $(self.$name(snap.$name);)*
+            }
         }
 
         impl CounterSnapshot {
@@ -59,6 +66,15 @@ macro_rules! counters {
                 Json::obj([
                     $((stringify!($name), Json::UInt(self.$name as u128)),)*
                 ])
+            }
+
+            /// Reads a snapshot back from [`CounterSnapshot::to_json`]
+            /// output. Missing or malformed fields read as zero, so old
+            /// snapshots stay loadable after new counters are added.
+            pub fn from_json(v: &Json) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: v.get(stringify!($name)).and_then(Json::as_u64).unwrap_or(0),)*
+                }
             }
         }
     };
@@ -156,5 +172,25 @@ mod tests {
         let j = c.snapshot().to_json();
         assert_eq!(j.get("dp_states_pruned").unwrap().as_u64(), Some(9));
         assert_eq!(j.get("events").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn json_round_trip_and_restore() {
+        let c = Counters::new();
+        c.events(17);
+        c.journal_syncs(3);
+        let snap = c.snapshot();
+        let back = CounterSnapshot::from_json(&snap.to_json());
+        assert_eq!(back, snap);
+
+        let fresh = Counters::new();
+        fresh.events(1);
+        fresh.add_snapshot(back);
+        assert_eq!(fresh.snapshot().events, 18);
+        assert_eq!(fresh.snapshot().journal_syncs, 3);
+
+        // Unknown shapes degrade to zero rather than erroring.
+        let empty = CounterSnapshot::from_json(&Json::obj([]));
+        assert_eq!(empty, CounterSnapshot::default());
     }
 }

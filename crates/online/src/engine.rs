@@ -245,7 +245,7 @@ pub struct RunResult {
 }
 
 /// Engine configuration knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Safety fuel: maximum number of *active* steps (steps where the engine
     /// does any work). Exceeding it indicates a non-terminating scheduler.
@@ -333,6 +333,13 @@ pub enum EngineError {
     },
     /// A session was created with zero machines.
     NoMachines,
+    /// An [`EngineSnapshot`] failed internal consistency checks during
+    /// [`EngineSession::restore`] — e.g. a job id referenced by the waiting
+    /// queue or a reservation that is not in the submission record.
+    CorruptSnapshot {
+        /// What was inconsistent.
+        reason: &'static str,
+    },
 }
 
 impl EngineError {
@@ -349,6 +356,7 @@ impl EngineError {
             EngineError::ArrivalInPast { .. } => "arrival-in-past",
             EngineError::DuplicateJob { .. } => "duplicate-job",
             EngineError::NoMachines => "no-machines",
+            EngineError::CorruptSnapshot { .. } => "corrupt-snapshot",
         }
     }
 }
@@ -388,6 +396,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "{job} was already submitted to this session")
             }
             EngineError::NoMachines => write!(f, "a session needs at least one machine"),
+            EngineError::CorruptSnapshot { reason } => {
+                write!(f, "engine snapshot fails consistency checks: {reason}")
+            }
         }
     }
 }
@@ -433,6 +444,119 @@ pub struct SessionOutcome {
     pub intervals: Vec<IntervalRecord>,
     /// Calibration trigger labels `(time, reason)`, in order.
     pub trace: Vec<(Time, &'static str)>,
+}
+
+/// A point-in-time serializable copy of one [`MachineState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    /// Merged calibrated segments `[start, end)`, ascending.
+    pub coverage: Vec<(Time, Time)>,
+    /// Slots strictly before this are consumed.
+    pub used_until: Time,
+    /// Future pre-placed jobs: `(slot, job, interval index)`, ascending by
+    /// slot (the order a `BTreeMap` iterates in).
+    pub reservations: Vec<(Time, JobId, Option<usize>)>,
+}
+
+/// A point-in-time serializable copy of one [`IntervalRecord`]. Jobs are
+/// stored by id; [`EngineSession::restore`] resolves them against the
+/// snapshot's submission record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// The machine the interval lives on.
+    pub machine: MachineId,
+    /// The calibration time.
+    pub start: Time,
+    /// Jobs run in this interval, as `(job, slot)` pairs.
+    pub jobs: Vec<(JobId, Time)>,
+}
+
+/// The complete state of an [`EngineSession`] at one instant, in plain
+/// owned data — every field either copies session state verbatim or
+/// reduces it to ids resolvable through `known`.
+///
+/// [`EngineSession::restore`] rebuilds a session that continues
+/// *byte-identically*: every future decision, every schedule entry, and
+/// the remaining fuel match the original session exactly. Derived state
+/// (the per-machine interval index, the outstanding-reservation count) is
+/// recomputed rather than stored, and trace reason labels are re-interned
+/// against the known label table (an unknown label degrades to the generic
+/// `"calibrate"` — labels are diagnostic, never load-bearing).
+///
+/// The serve layer persists this as the engine half of a journal
+/// checkpoint record; the wire shape lives in `calib_serve::protocol`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Calibration length `T`.
+    pub cal_len: Time,
+    /// Calibration cost `G`.
+    pub cal_cost: Cost,
+    /// Engine configuration (fuel budget, decide cap, time-skip mode).
+    pub config: EngineConfig,
+    /// Every job ever submitted, in canonical `(release, id)` order.
+    pub known: Vec<Job>,
+    /// Submitted-but-unreleased job ids, in `(release, id)` order.
+    pub pending: Vec<JobId>,
+    /// The waiting queue, by id, preserving queue order.
+    pub waiting: Vec<JobId>,
+    /// Per-machine live state.
+    pub machines: Vec<MachineSnapshot>,
+    /// Every interval calibrated so far, in calibration order.
+    pub intervals: Vec<IntervalSnapshot>,
+    /// Round-robin pointer for the next calibration's machine.
+    pub rr_next: usize,
+    /// All calibrations issued so far.
+    pub calibrations: Vec<Calibration>,
+    /// All job starts materialized so far.
+    pub assignments: Vec<Assignment>,
+    /// Calibration trigger labels `(time, reason)`, in order.
+    pub trace: Vec<(Time, String)>,
+    /// Remaining step budget (`max_steps` minus steps already processed).
+    pub fuel: u64,
+    /// Clock value of the last processed step.
+    pub clock: Time,
+    /// Whether any step has been processed (`clock` is meaningful).
+    pub started: bool,
+    /// The next step time the engine intends to process, `None` when idle.
+    pub cursor: Option<Time>,
+    /// Delta mark into `calibrations` for `take_decisions`.
+    pub cal_mark: usize,
+    /// Delta mark into `assignments` for `take_decisions`.
+    pub asg_mark: usize,
+}
+
+/// Re-interns a snapshotted trace label against the table of labels the
+/// shipped schedulers emit. Labels are diagnostics (they never influence
+/// scheduling), so an unknown one degrades to the generic `"calibrate"`
+/// instead of failing the restore.
+fn intern_reason(label: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "calibrate",
+        "naive:now",
+        crate::alg1::reason::QUEUE,
+        crate::alg1::reason::FLOW,
+        crate::alg1::reason::IMMEDIATE,
+        crate::alg2::reason::WEIGHT,
+        crate::alg2::reason::FULL_QUEUE,
+        crate::alg2::reason::FLOW,
+        crate::alg3::reason::QUEUE,
+        crate::alg3::reason::FLOW,
+        crate::weighted_multi::reason::WEIGHT,
+        crate::weighted_multi::reason::FULL_QUEUE,
+        crate::weighted_multi::reason::FLOW,
+        crate::tunable::reason::WEIGHT,
+        crate::tunable::reason::FULL_QUEUE,
+        crate::tunable::reason::FLOW,
+        crate::tunable::reason::IMMEDIATE,
+        crate::randomized::reason::QUEUE,
+        crate::randomized::reason::FLOW,
+        crate::randomized::reason::IMMEDIATE,
+    ];
+    KNOWN
+        .iter()
+        .copied()
+        .find(|k| *k == label)
+        .unwrap_or("calibrate")
 }
 
 /// Runs `scheduler` on `instance` with calibration cost `cal_cost`,
@@ -651,6 +775,161 @@ impl<P: Probe> EngineSession<P> {
     /// A copy of the schedule accumulated so far.
     pub fn schedule_snapshot(&self) -> Schedule {
         Schedule::new(self.calibrations.clone(), self.assignments.clone())
+    }
+
+    /// Captures the session's complete state as an [`EngineSnapshot`] —
+    /// the engine half of a serve-layer checkpoint record.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            cal_len: self.cal_len,
+            cal_cost: self.cal_cost,
+            config: self.config,
+            known: self.submitted_jobs(),
+            pending: self.pending.iter().map(|j| j.id).collect(),
+            waiting: self.waiting.iter().map(|j| j.id).collect(),
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineSnapshot {
+                    coverage: m.coverage.clone(),
+                    used_until: m.used_until,
+                    reservations: m
+                        .reservations
+                        .iter()
+                        .map(|(&slot, &(job, interval))| (slot, job, interval))
+                        .collect(),
+                })
+                .collect(),
+            intervals: self
+                .intervals
+                .iter()
+                .map(|iv| IntervalSnapshot {
+                    machine: iv.machine,
+                    start: iv.start,
+                    jobs: iv.jobs.iter().map(|&(job, slot)| (job.id, slot)).collect(),
+                })
+                .collect(),
+            rr_next: self.rr_next,
+            calibrations: self.calibrations.clone(),
+            assignments: self.assignments.clone(),
+            trace: self
+                .trace
+                .iter()
+                .map(|&(t, reason)| (t, reason.to_string()))
+                .collect(),
+            fuel: self.fuel,
+            clock: self.clock,
+            started: self.started,
+            cursor: self.cursor,
+            cal_mark: self.cal_mark,
+            asg_mark: self.asg_mark,
+        }
+    }
+
+    /// Rebuilds a session from an [`EngineSnapshot`], observed by `probe`.
+    ///
+    /// Derived state (`machine_intervals`, the outstanding-reservation
+    /// count) is recomputed; every cross-reference in the snapshot is
+    /// validated and an inconsistency is a typed
+    /// [`EngineError::CorruptSnapshot`] — a serving layer falls back to
+    /// full journal replay rather than trusting a damaged checkpoint.
+    pub fn restore(snapshot: &EngineSnapshot, probe: P) -> Result<Self, EngineError> {
+        let corrupt = |reason: &'static str| EngineError::CorruptSnapshot { reason };
+        if snapshot.machines.is_empty() {
+            return Err(EngineError::NoMachines);
+        }
+        let mut known: HashMap<JobId, Job> = HashMap::with_capacity(snapshot.known.len());
+        for &job in &snapshot.known {
+            if known.insert(job.id, job).is_some() {
+                return Err(corrupt("duplicate job id in submission record"));
+            }
+        }
+        let resolve = |id: JobId, context: &'static str| -> Result<Job, EngineError> {
+            known.get(&id).copied().ok_or(corrupt(context))
+        };
+        let mut pending: Vec<Job> = Vec::with_capacity(snapshot.pending.len());
+        for &id in &snapshot.pending {
+            pending.push(resolve(id, "pending job not in submission record")?);
+        }
+        pending.sort_by_key(|j| (j.release, j.id));
+        let mut waiting: Vec<Job> = Vec::with_capacity(snapshot.waiting.len());
+        for &id in &snapshot.waiting {
+            waiting.push(resolve(id, "waiting job not in submission record")?);
+        }
+        let mut machines: Vec<MachineState> = Vec::with_capacity(snapshot.machines.len());
+        let mut pending_reservations = 0usize;
+        for ms in &snapshot.machines {
+            if ms.coverage.windows(2).any(|w| w[0].1 >= w[1].0)
+                || ms.coverage.iter().any(|&(b, e)| b >= e)
+            {
+                return Err(corrupt("machine coverage segments not ascending"));
+            }
+            let mut reservations = BTreeMap::new();
+            for &(slot, id, interval) in &ms.reservations {
+                resolve(id, "reserved job not in submission record")?;
+                if interval.is_some_and(|i| i >= snapshot.intervals.len()) {
+                    return Err(corrupt("reservation references a missing interval"));
+                }
+                if reservations.insert(slot, (id, interval)).is_some() {
+                    return Err(corrupt("two reservations share one slot"));
+                }
+            }
+            pending_reservations += reservations.len();
+            machines.push(MachineState {
+                coverage: ms.coverage.clone(),
+                used_until: ms.used_until,
+                reservations,
+            });
+        }
+        let mut machine_intervals: Vec<Vec<usize>> = vec![Vec::new(); machines.len()];
+        let mut intervals: Vec<IntervalRecord> = Vec::with_capacity(snapshot.intervals.len());
+        for (i, iv) in snapshot.intervals.iter().enumerate() {
+            let Some(slots) = machine_intervals.get_mut(iv.machine.index()) else {
+                return Err(corrupt("interval references a missing machine"));
+            };
+            slots.push(i);
+            let mut jobs = Vec::with_capacity(iv.jobs.len());
+            for &(id, slot) in &iv.jobs {
+                jobs.push((resolve(id, "interval job not in submission record")?, slot));
+            }
+            intervals.push(IntervalRecord {
+                machine: iv.machine,
+                start: iv.start,
+                jobs,
+            });
+        }
+        if snapshot.cal_mark > snapshot.calibrations.len()
+            || snapshot.asg_mark > snapshot.assignments.len()
+        {
+            return Err(corrupt("delta mark beyond decision history"));
+        }
+        Ok(EngineSession {
+            cal_len: snapshot.cal_len,
+            cal_cost: snapshot.cal_cost,
+            pending: VecDeque::from(pending),
+            known,
+            waiting,
+            machines,
+            intervals,
+            machine_intervals,
+            rr_next: snapshot.rr_next,
+            calibrations: snapshot.calibrations.clone(),
+            assignments: snapshot.assignments.clone(),
+            trace: snapshot
+                .trace
+                .iter()
+                .map(|(t, reason)| (*t, intern_reason(reason)))
+                .collect(),
+            pending_reservations,
+            config: snapshot.config,
+            fuel: snapshot.fuel,
+            clock: snapshot.clock,
+            started: snapshot.started,
+            cursor: snapshot.cursor,
+            cal_mark: snapshot.cal_mark,
+            asg_mark: snapshot.asg_mark,
+            probe,
+        })
     }
 
     /// Submits a batch of jobs to the arrival stream.
@@ -1274,6 +1553,75 @@ mod tests {
         let fuel = EngineError::FuelExhausted { t: 7 };
         assert_eq!(fuel.code(), "fuel-exhausted");
         assert!(fuel.to_string().contains("fuel exhausted at t=7"));
+    }
+
+    /// A session snapshotted mid-run and restored must finish with the
+    /// exact same schedule, flow, and trace as the uninterrupted original —
+    /// the engine half of the serve layer's checkpoint guarantee.
+    #[test]
+    fn snapshot_restore_mid_run_is_byte_identical() {
+        let inst = InstanceBuilder::new(4)
+            .unit_jobs([0, 0, 1, 3, 9, 9, 22, 40])
+            .build()
+            .unwrap();
+        for cut in [0i64, 3, 9, 23] {
+            let mut reference = crate::Alg1::new();
+            let mut session =
+                EngineSession::new(inst.machines(), inst.cal_len(), 7, EngineConfig::default())
+                    .unwrap();
+            session.submit(inst.jobs()).unwrap();
+            session.step(cut, &[], &mut reference).unwrap();
+            let snapshot = session.snapshot();
+
+            // Round-trip through the snapshot and drain both sessions with
+            // *fresh* schedulers (the shipped schedulers are stateless).
+            let mut restored = EngineSession::restore(&snapshot, NoopProbe)
+                .map_err(|e| e.to_string())
+                .unwrap();
+            assert_eq!(restored.snapshot(), snapshot, "snapshot round-trips");
+            session.drain(&mut crate::Alg1::new()).unwrap();
+            restored.drain(&mut crate::Alg1::new()).unwrap();
+            let (a, _) = session.finish();
+            let (b, _) = restored.finish();
+            assert_eq!(a.schedule, b.schedule, "cut at t={cut}");
+            assert_eq!(a.flow, b.flow, "cut at t={cut}");
+            assert_eq!(a.cost, b.cost, "cut at t={cut}");
+            assert_eq!(a.trace, b.trace, "cut at t={cut}");
+        }
+    }
+
+    /// Restore validates cross-references instead of trusting the bytes.
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut session = EngineSession::new(2, 4, 3, EngineConfig::default()).unwrap();
+        session.submit(&[Job::unweighted(0, 1)]).unwrap();
+        let good = session.snapshot();
+        assert!(EngineSession::restore(&good, NoopProbe).is_ok());
+
+        let code = |snapshot: &EngineSnapshot| match EngineSession::restore(snapshot, NoopProbe) {
+            Err(e) => e.code(),
+            Ok(_) => "accepted",
+        };
+        let mut no_machines = good.clone();
+        no_machines.machines.clear();
+        assert_eq!(code(&no_machines), "no-machines");
+
+        let mut ghost_waiter = good.clone();
+        ghost_waiter.waiting.push(JobId(99));
+        assert_eq!(code(&ghost_waiter), "corrupt-snapshot");
+
+        let mut bad_mark = good.clone();
+        bad_mark.cal_mark = 100;
+        assert_eq!(code(&bad_mark), "corrupt-snapshot");
+
+        // Unknown trace labels degrade, never fail.
+        let mut odd_label = good;
+        odd_label.trace.push((1, "from-the-future".to_string()));
+        let restored = EngineSession::restore(&odd_label, NoopProbe).unwrap();
+        assert_eq!(
+            restored.snapshot().trace.last().map(|(_, r)| r.as_str()),
+            Some("calibrate")
+        );
     }
 
     /// `step(now)` must not advance past `now`: decisions due later arrive

@@ -47,7 +47,8 @@ pub use alg3::{run_alg3_practical, Alg3};
 pub use baselines::{CalibrateImmediately, SkiRentalBatch};
 pub use engine::{
     run_online, run_online_probed, run_online_with, Decisions, EngineConfig, EngineError,
-    EngineSession, EngineView, IntervalRecord, MachineState, RunResult, SessionOutcome,
+    EngineSession, EngineSnapshot, EngineView, IntervalRecord, IntervalSnapshot, MachineSnapshot,
+    MachineState, RunResult, SessionOutcome,
 };
 pub use randomized::RandomizedSkiRental;
 pub use scheduler::{Decision, OnlineScheduler, Reservation};

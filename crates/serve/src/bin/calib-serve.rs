@@ -3,6 +3,7 @@
 //! ```text
 //! calib-serve --listen 127.0.0.1:0 [--workers N] [--queue-cap N]
 //!             [--trace-dir DIR] [--journal-dir DIR] [--fsync always|tick|off]
+//!             [--checkpoint-every-n N] [--compact-on-idle]
 //!             [--read-timeout-ms N] [--max-tenants N] [--run-forever]
 //!             [--metrics-interval-ms N]
 //! calib-serve --stdin [--workers N] [--queue-cap N] [--trace-dir DIR]
@@ -11,6 +12,13 @@
 //! With `--journal-dir`, every accepted mutating request is write-ahead
 //! journalled per tenant and sessions survive daemon crashes: restart the
 //! daemon with the same directory and clients `resume` their tenants.
+//! `--checkpoint-every-n N` appends a full-state checkpoint record every
+//! `N` journaled records (0 disables) and `--compact-on-idle` rewrites an
+//! idle tenant's journal down to a single checkpoint — both bound crash
+//! recovery to replaying the tail after the latest checkpoint, and each
+//! recovery prints one `{"type":"recovered",...}` line (stdout in TCP
+//! mode, stderr in `--stdin` mode) reporting how many records were
+//! replayed.
 //! `--read-timeout-ms` (default 30000 in TCP mode, 0 disables) bounds how
 //! long an accepted socket may sit idle before the daemon sends a typed
 //! `read-timeout` error and disconnects; it is always off in `--stdin`
@@ -75,6 +83,14 @@ fn parse_args() -> Result<Args, String> {
                 args.config.fsync = FsyncPolicy::from_name(&name)
                     .ok_or_else(|| format!("--fsync: unknown policy `{name}`"))?;
             }
+            "--checkpoint-every-n" => {
+                let n: u64 = value("--checkpoint-every-n")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every-n: {e}"))?;
+                // 0 disables, like --metrics-interval-ms.
+                args.config.checkpoint_every = (n > 0).then_some(n);
+            }
+            "--compact-on-idle" => args.config.compact_on_idle = true,
             "--read-timeout-ms" => {
                 args.read_timeout_ms = Some(
                     value("--read-timeout-ms")?
@@ -100,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: calib-serve --listen ADDR | --stdin \
                      [--workers N] [--queue-cap N] [--trace-dir DIR] \
                      [--journal-dir DIR] [--fsync always|tick|off] \
+                     [--checkpoint-every-n N] [--compact-on-idle] \
                      [--read-timeout-ms N] [--max-tenants N] [--run-forever] \
                      [--metrics-interval-ms N]"
                     .to_string());
@@ -155,6 +172,14 @@ fn main() -> ExitCode {
         // Replies own stdout in stdin mode, so snapshots go to stderr
         // there; in TCP mode stdout is the daemon's log channel.
         config.metrics_sink = Some(if args.stdin {
+            MetricsSink::stderr()
+        } else {
+            MetricsSink::stdout()
+        });
+    }
+    if config.journal_dir.is_some() {
+        // Recovery reports share the log channel with metrics snapshots.
+        config.recovery_log = Some(if args.stdin {
             MetricsSink::stderr()
         } else {
             MetricsSink::stdout()

@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use calib_core::json::{FromJson, Json, ToJson};
 use calib_core::{Cost, Job, Time};
 
+use crate::protocol::CheckpointState;
 use crate::session::{Algorithm, TenantConfig, TenantSession};
 
 /// When journal appends reach the disk platter.
@@ -104,29 +105,48 @@ pub enum JournalRecord {
         /// The request's sequence number.
         seq: Option<u64>,
     },
+    /// Full session state at one instant. Recovery restores from the
+    /// latest valid checkpoint and replays only the records after it, so
+    /// restart cost is bounded by the tail length. Boxed: the payload is
+    /// orders of magnitude larger than the request records.
+    Checkpoint(Box<CheckpointState>),
 }
 
 impl JournalRecord {
     /// The record's sequence number, when the client supplied one.
+    /// Checkpoints are not requests; they carry the session's `seq`
+    /// high-water mark inside their payload instead.
     pub fn seq(&self) -> Option<u64> {
         match self {
             JournalRecord::Hello { seq, .. }
             | JournalRecord::Arrive { seq, .. }
             | JournalRecord::Tick { seq, .. }
             | JournalRecord::Drain { seq } => *seq,
+            JournalRecord::Checkpoint(_) => None,
         }
     }
 
-    /// True for records the `tick` fsync policy must sync on.
+    /// True for records the `tick` fsync policy must sync on. A torn
+    /// checkpoint is harmless (recovery falls back to replaying through
+    /// it), but syncing keeps the recovery-cost bound durable too.
     pub fn is_sync_point(&self) -> bool {
         matches!(
             self,
-            JournalRecord::Tick { .. } | JournalRecord::Drain { .. }
+            JournalRecord::Tick { .. } | JournalRecord::Drain { .. } | JournalRecord::Checkpoint(_)
         )
     }
 
     /// Serializes the record as one compact JSON object.
     pub fn to_json(&self) -> Json {
+        if let JournalRecord::Checkpoint(state) = self {
+            return match state.to_json() {
+                Json::Obj(mut fields) => {
+                    fields.insert(0, ("op".to_string(), Json::Str("checkpoint".to_string())));
+                    Json::Obj(fields)
+                }
+                other => other,
+            };
+        }
         let mut fields: Vec<(&'static str, Json)> = match self {
             JournalRecord::Hello {
                 tenant,
@@ -150,11 +170,30 @@ impl JournalRecord {
                 vec![("op", "tick".to_json()), ("now", now.to_json())]
             }
             JournalRecord::Drain { .. } => vec![("op", "drain".to_json())],
+            // Handled by the early return above.
+            JournalRecord::Checkpoint(_) => Vec::new(),
         };
         if let Some(s) = self.seq() {
             fields.push(("seq", s.to_json()));
         }
         Json::obj(fields)
+    }
+
+    /// The record's newline-terminated journal line. Checkpoints — whose
+    /// serialized size scales with the engine state — bypass the `Json`
+    /// tree and serialize directly into the buffer; the output is
+    /// byte-identical to `to_json().to_string_compact()` either way.
+    pub fn to_line(&self) -> String {
+        if let JournalRecord::Checkpoint(state) = self {
+            let mut line = String::with_capacity(state.line_capacity_hint());
+            line.push_str("{\"op\":\"checkpoint\",");
+            state.write_fields(&mut line);
+            line.push_str("}\n");
+            return line;
+        }
+        let mut line = self.to_json().to_string_compact();
+        line.push('\n');
+        line
     }
 
     /// Parses one journal line.
@@ -214,6 +253,9 @@ impl JournalRecord {
                 Ok(JournalRecord::Tick { now, seq })
             }
             "drain" => Ok(JournalRecord::Drain { seq }),
+            "checkpoint" => {
+                CheckpointState::from_json(v).map(|s| JournalRecord::Checkpoint(Box::new(s)))
+            }
             other => Err(format!("unknown journal op `{other}`")),
         }
     }
@@ -247,6 +289,15 @@ pub fn journal_path(dir: &Path, tenant: &str) -> PathBuf {
     dir.join(format!("{safe}.journal.jsonl"))
 }
 
+/// The scratch file a compaction writes its checkpoint into before the
+/// atomic rename. A crash can leave it behind at any cut point; recovery
+/// and clean close both delete it, and its content is never read.
+pub fn compact_tmp_path(journal: &Path) -> PathBuf {
+    let mut name = journal.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
 /// An open per-tenant journal file, appended write-ahead.
 #[derive(Debug)]
 pub struct JournalWriter {
@@ -262,6 +313,7 @@ impl JournalWriter {
     pub fn create(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<JournalWriter> {
         std::fs::create_dir_all(dir)?;
         let path = journal_path(dir, tenant);
+        let _ = std::fs::remove_file(compact_tmp_path(&path));
         let file = File::create(&path)?;
         Ok(JournalWriter {
             path,
@@ -301,22 +353,70 @@ impl JournalWriter {
     /// Appends one record, flushing to the OS and fsyncing per policy.
     /// Must be called *before* the request is applied to the engine.
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        self.append_counted(record).map(|_| ())
+    }
+
+    /// [`JournalWriter::append`], returning the bytes written — the
+    /// checkpoint path reports payload size to the metrics registry.
+    pub fn append_counted(&mut self, record: &JournalRecord) -> io::Result<u64> {
         let sync = self.will_sync(record);
-        let mut line = record.to_json().to_string_compact();
-        line.push('\n');
+        let line = record.to_line();
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         if sync {
             self.file.get_ref().sync_data()?;
         }
-        Ok(())
+        Ok(u64::try_from(line.len()).unwrap_or(u64::MAX))
     }
 
-    /// Deletes the journal — the clean-close (`bye`) path.
+    /// Rewrites the journal as `[checkpoint]` — everything before the
+    /// checkpoint is subsumed by it; records appended afterwards form the
+    /// tail.
+    ///
+    /// Crash-safe at every cut point: the checkpoint is written to a
+    /// scratch `.tmp` file (synced unless the policy is `off`) and
+    /// published over the journal with one atomic `rename`. Before the
+    /// rename the old journal is untouched and authoritative; after it the
+    /// new journal is complete. The returned writer keeps appending to the
+    /// *renamed* file through the same handle, so no reopen can fail
+    /// half-way. On error the original writer comes back unchanged (the
+    /// scratch file, if any, is deleted) and appends simply continue
+    /// against the old journal.
+    pub fn compact(self, checkpoint: &JournalRecord) -> (JournalWriter, io::Result<u64>) {
+        let tmp = compact_tmp_path(&self.path);
+        let prepared: io::Result<(File, u64)> = (|| {
+            let mut file = File::create(&tmp)?;
+            let line = checkpoint.to_line();
+            file.write_all(line.as_bytes())?;
+            if self.policy != FsyncPolicy::Off {
+                file.sync_data()?;
+            }
+            std::fs::rename(&tmp, &self.path)?;
+            Ok((file, u64::try_from(line.len()).unwrap_or(u64::MAX)))
+        })();
+        match prepared {
+            Ok((file, bytes)) => (
+                JournalWriter {
+                    path: self.path,
+                    file: BufWriter::new(file),
+                    policy: self.policy,
+                },
+                Ok(bytes),
+            ),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                (self, Err(e))
+            }
+        }
+    }
+
+    /// Deletes the journal — the clean-close (`bye`) path. A stale
+    /// compaction scratch file goes with it.
     pub fn remove(self) -> io::Result<()> {
         // Drop the handle first so removal works on every platform.
         let path = self.path;
         drop(self.file);
+        let _ = std::fs::remove_file(compact_tmp_path(&path));
         std::fs::remove_file(path)
     }
 }
@@ -376,15 +476,98 @@ pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
     Ok(records)
 }
 
-/// Replays intact records through a fresh session.
+/// What a recovery actually did — how much of the journal existed versus
+/// how much had to be replayed through the engine. The daemon logs this
+/// per recovery, and the recovery CI job asserts `tail_replayed` stays
+/// bounded by the checkpoint cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records read from the journal file.
+    pub records: usize,
+    /// Records replayed through the engine after the restore point.
+    pub tail_replayed: usize,
+    /// Whether a checkpoint supplied the starting state (`false` = full
+    /// replay from the hello record).
+    pub from_checkpoint: bool,
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Applies one post-restore-point record to a replaying session. Engine-
+/// level errors are deterministic re-occurrences of errors the live
+/// session already reported (and answered), so they are swallowed — the
+/// replayed state still matches the live state exactly.
+fn apply_record(session: &mut TenantSession, record: &JournalRecord) -> io::Result<()> {
+    match record {
+        JournalRecord::Hello { .. } => {
+            return Err(corrupt("duplicate hello record mid-journal"));
+        }
+        JournalRecord::Arrive { jobs, seq } => {
+            let _ = session.arrive(jobs, None);
+            if let Some(s) = *seq {
+                session.note_seq(s);
+            }
+        }
+        JournalRecord::Tick { now, seq } => {
+            let _ = session.tick(*now, None);
+            if let Some(s) = *seq {
+                session.note_seq(s);
+            }
+        }
+        JournalRecord::Drain { seq } => {
+            let _ = session.drain(None);
+            if let Some(s) = *seq {
+                session.note_seq(s);
+            }
+        }
+        // A checkpoint in the tail is state the session already has (it
+        // was cut *after* this record's restore point would have been);
+        // only its `seq` high-water mark matters.
+        JournalRecord::Checkpoint(state) => {
+            if let Some(s) = state.last_seq {
+                session.note_seq(s);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays intact records through a fresh session, reporting how much
+/// work that took.
 ///
-/// The first record must be `hello`. Engine-level errors during replay are
-/// deterministic re-occurrences of errors the live session already
-/// reported (and answered), so they are swallowed — the replayed state
-/// still matches the live state exactly. Returns `None` for an empty
-/// journal (crash before the hello record hit the disk).
-pub fn replay(records: &[JournalRecord]) -> io::Result<Option<TenantSession>> {
-    let corrupt = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+/// The session restarts from the **latest checkpoint that restores
+/// cleanly** and replays only the records after it. A checkpoint that
+/// fails its consistency checks falls back to the previous one, and
+/// ultimately to full replay from the hello record — mirroring the torn-
+/// tail rule: recovery degrades to more replay work, it does not error.
+/// Returns `None` for an empty journal (crash before the hello record hit
+/// the disk).
+pub fn replay_with_report(
+    records: &[JournalRecord],
+) -> io::Result<Option<(TenantSession, RecoveryReport)>> {
+    let report = |tail: usize, from_checkpoint: bool| RecoveryReport {
+        records: records.len(),
+        tail_replayed: tail,
+        from_checkpoint,
+    };
+    // Newest checkpoint first.
+    for (i, record) in records.iter().enumerate().rev() {
+        let JournalRecord::Checkpoint(state) = record else {
+            continue;
+        };
+        let Ok(mut session) = TenantSession::restore_from_checkpoint(state) else {
+            continue;
+        };
+        let tail = &records[i + 1..];
+        for record in tail {
+            apply_record(&mut session, record)?;
+        }
+        session.set_records_since_checkpoint(u64::try_from(tail.len()).unwrap_or(u64::MAX));
+        return Ok(Some((session, report(tail.len(), true))));
+    }
+    // Full replay from the opening hello.
     let Some(first) = records.first() else {
         return Ok(None);
     };
@@ -397,7 +580,9 @@ pub fn replay(records: &[JournalRecord]) -> io::Result<Option<TenantSession>> {
         seq,
     } = first
     else {
-        return Err(corrupt("journal does not start with a hello record"));
+        return Err(corrupt(
+            "journal starts with neither a hello nor a usable checkpoint",
+        ));
     };
     let config = TenantConfig {
         machines: *machines,
@@ -412,60 +597,55 @@ pub fn replay(records: &[JournalRecord]) -> io::Result<Option<TenantSession>> {
     if let Some(s) = *seq {
         session.note_seq(s);
     }
-    for record in &records[1..] {
-        match record {
-            JournalRecord::Hello { .. } => {
-                return Err(corrupt("duplicate hello record mid-journal"));
-            }
-            JournalRecord::Arrive { jobs, seq } => {
-                let _ = session.arrive(jobs, None);
-                if let Some(s) = *seq {
-                    session.note_seq(s);
-                }
-            }
-            JournalRecord::Tick { now, seq } => {
-                let _ = session.tick(*now, None);
-                if let Some(s) = *seq {
-                    session.note_seq(s);
-                }
-            }
-            JournalRecord::Drain { seq } => {
-                let _ = session.drain(None);
-                if let Some(s) = *seq {
-                    session.note_seq(s);
-                }
-            }
-        }
+    let tail = &records[1..];
+    for record in tail {
+        apply_record(&mut session, record)?;
     }
-    Ok(Some(session))
+    session.set_records_since_checkpoint(u64::try_from(records.len()).unwrap_or(u64::MAX));
+    Ok(Some((session, report(tail.len(), false))))
+}
+
+/// Replays intact records through a fresh session. See
+/// [`replay_with_report`] for the checkpoint-selection rules.
+pub fn replay(records: &[JournalRecord]) -> io::Result<Option<TenantSession>> {
+    Ok(replay_with_report(records)?.map(|(session, _)| session))
 }
 
 /// Full recovery: read + replay + reattach an append-mode writer, so the
-/// resumed session keeps journaling where the dead process stopped.
+/// resumed session keeps journaling where the dead process stopped. A
+/// stale compaction scratch file (crash before the rename) is deleted —
+/// the old journal it would have replaced is still authoritative.
 ///
 /// Returns `Ok(None)` when no journal exists for the tenant.
-pub fn recover(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<Option<TenantSession>> {
+pub fn recover_with_report(
+    dir: &Path,
+    tenant: &str,
+    policy: FsyncPolicy,
+) -> io::Result<Option<(TenantSession, RecoveryReport)>> {
     let path = journal_path(dir, tenant);
+    let _ = std::fs::remove_file(compact_tmp_path(&path));
     if !path.exists() {
         return Ok(None);
     }
     let records = read_journal(&path)?;
-    let Some(mut session) = replay(&records)? else {
+    let Some((mut session, report)) = replay_with_report(&records)? else {
         return Ok(None);
     };
     if session.name() != tenant {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "journal `{}` belongs to tenant `{}`, not `{tenant}`",
-                path.display(),
-                session.name()
-            ),
-        ));
+        return Err(corrupt(&format!(
+            "journal `{}` belongs to tenant `{}`, not `{tenant}`",
+            path.display(),
+            session.name()
+        )));
     }
     let writer = JournalWriter::open_append(dir, tenant, policy)?;
     session.resume_journal(writer);
-    Ok(Some(session))
+    Ok(Some((session, report)))
+}
+
+/// [`recover_with_report`] without the report.
+pub fn recover(dir: &Path, tenant: &str, policy: FsyncPolicy) -> io::Result<Option<TenantSession>> {
+    Ok(recover_with_report(dir, tenant, policy)?.map(|(session, _)| session))
 }
 
 #[cfg(test)]
@@ -579,5 +759,126 @@ mod tests {
         let dir = PathBuf::from("/journals");
         let p = journal_path(&dir, "../../etc/passwd");
         assert_eq!(p, dir.join("______etc_passwd.journal.jsonl"));
+    }
+
+    /// A journaled session with some real state to checkpoint.
+    fn journaled_session(dir: &Path) -> TenantSession {
+        let mut s = TenantSession::new("t", config(), None).unwrap();
+        s.start_journal(JournalWriter::create(dir, "t", FsyncPolicy::Off).unwrap())
+            .unwrap();
+        s.arrive(&[Job::unweighted(0, 0), Job::unweighted(1, 3)], Some(1))
+            .unwrap();
+        s.note_seq(1);
+        s.tick(4, Some(2)).unwrap();
+        s.note_seq(2);
+        s
+    }
+
+    #[test]
+    fn checkpoint_record_round_trips_through_json() {
+        let dir = tmp("ckpt-rt");
+        let s = journaled_session(&dir);
+        let record = JournalRecord::Checkpoint(Box::new(s.checkpoint_state()));
+        let line = record.to_json().to_string_compact();
+        let back = JournalRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, record);
+        assert!(back.is_sync_point());
+        assert_eq!(back.seq(), None);
+        // The direct writer used on the hot path is byte-identical to the
+        // `Json`-tree renderer.
+        assert_eq!(record.to_line(), format!("{line}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rewrites_to_checkpoint_plus_tail() {
+        let dir = tmp("compact");
+        let mut live = journaled_session(&dir);
+        assert!(live.checkpoint(true), "compaction must succeed");
+        assert_eq!(live.records_since_checkpoint(), 0);
+        // On disk: exactly one (checkpoint) record.
+        let path = journal_path(&dir, "t");
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], JournalRecord::Checkpoint(_)));
+        assert!(
+            !compact_tmp_path(&path).exists(),
+            "scratch file renamed away"
+        );
+
+        // The tail keeps appending through the same (renamed) handle.
+        live.arrive(&[Job::unweighted(2, 6)], Some(3)).unwrap();
+        live.note_seq(3);
+        live.tick(7, Some(4)).unwrap();
+        live.note_seq(4);
+        live.drain(Some(5)).unwrap();
+        live.note_seq(5);
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 4, "checkpoint + 3 tail records");
+
+        // Recovery restores from the checkpoint and replays only the tail,
+        // byte-identical to the live session.
+        let (recovered, report) = replay_with_report(&records).unwrap().unwrap();
+        assert!(report.from_checkpoint);
+        assert_eq!(report.tail_replayed, 3);
+        assert_eq!(recovered.last_seq(), live.last_seq());
+        assert_eq!(
+            recovered.schedule_snapshot().to_json().to_string_compact(),
+            live.schedule_snapshot().to_json().to_string_compact()
+        );
+        let (ra, la) = (recovered.accounting(), live.accounting());
+        assert_eq!((ra.flow, ra.cost), (la.flow, la.cost));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_compaction_scratch_file_is_ignored_and_removed() {
+        let dir = tmp("stale-tmp");
+        let mut live = journaled_session(&dir);
+        live.drain(Some(3)).unwrap();
+        let live_schedule = live.schedule_snapshot().to_json().to_string_compact();
+        drop(live);
+        // Simulate a crash mid-compaction, before the rename: a torn
+        // scratch file next to an intact journal.
+        let path = journal_path(&dir, "t");
+        std::fs::write(compact_tmp_path(&path), b"{\"op\":\"checkpoint\",\"tr").unwrap();
+        let (recovered, report) = recover_with_report(&dir, "t", FsyncPolicy::Off)
+            .unwrap()
+            .unwrap();
+        assert!(!report.from_checkpoint, "old journal is authoritative");
+        assert!(!compact_tmp_path(&path).exists(), "scratch file cleaned up");
+        assert_eq!(
+            recovered.schedule_snapshot().to_json().to_string_compact(),
+            live_schedule
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_checkpoint_falls_back_to_full_replay() {
+        let dir = tmp("bad-ckpt");
+        let mut live = journaled_session(&dir);
+        // Append a checkpoint whose engine state fails consistency checks.
+        let mut state = live.checkpoint_state();
+        state.engine.waiting.push(calib_core::JobId(999));
+        live.resume_journal({
+            let mut w = JournalWriter::open_append(&dir, "t", FsyncPolicy::Off).unwrap();
+            w.append(&JournalRecord::Checkpoint(Box::new(state)))
+                .unwrap();
+            w
+        });
+        live.drain(Some(3)).unwrap();
+        let records = read_journal(&journal_path(&dir, "t")).unwrap();
+        let (recovered, report) = replay_with_report(&records).unwrap().unwrap();
+        assert!(
+            !report.from_checkpoint,
+            "corrupt checkpoint must fall back to full replay"
+        );
+        assert_eq!(report.tail_replayed, records.len() - 1);
+        assert_eq!(
+            recovered.schedule_snapshot().to_json().to_string_compact(),
+            live.schedule_snapshot().to_json().to_string_compact()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

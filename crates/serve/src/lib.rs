@@ -12,7 +12,11 @@
 //! The daemon is crash-safe: with `--journal-dir`, every accepted
 //! mutating request is write-ahead journalled per tenant, disconnected
 //! sessions detach instead of finalizing, and `resume` reattaches — or
-//! replays the journal after a `kill -9` — byte-identically. The client
+//! replays the journal after a `kill -9` — byte-identically. Snapshot
+//! checkpoints (`--checkpoint-every-n`) and idle-point journal compaction
+//! (`--compact-on-idle`) bound that replay to the tail after the latest
+//! checkpoint, so a long-lived tenant restarts in O(recent activity)
+//! instead of O(history). The client
 //! side ([`retry`]) reconnects with seeded exponential backoff and
 //! resends un-acked requests idempotently, and [`chaos`] provides a
 //! seeded fault-injecting TCP proxy to prove the whole stack under torn
@@ -38,9 +42,12 @@ pub mod server;
 pub mod session;
 
 pub use chaos::{run_proxy, FaultPlan, ProxyStats};
-pub use journal::{read_journal, recover, replay, FsyncPolicy, JournalRecord, JournalWriter};
+pub use journal::{
+    compact_tmp_path, read_journal, recover, recover_with_report, replay, replay_with_report,
+    FsyncPolicy, JournalRecord, JournalWriter, RecoveryReport,
+};
 pub use metrics::{MetricsSink, ServeMetrics, TenantMetrics};
-pub use protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
+pub use protocol::{Accounting, CheckpointState, Reply, Request, MAX_LINE_BYTES};
 pub use retry::{run_plan, Backoff, ClientConfig, ClientReport, PlanStep, RetryClock, SystemClock};
 pub use server::{serve, serve_stream, ServeReport, ServerConfig};
 pub use session::{Algorithm, SessionError, SessionMetrics, TenantConfig, TenantSession};

@@ -56,6 +56,8 @@ pub struct TenantMetrics {
     pub open: AtomicBool,
     /// Wall-clock journal-append cost for this tenant, microseconds.
     pub fsync_micros: LogHistogram,
+    /// Checkpoint records written for this tenant (appends + compactions).
+    pub checkpoints: AtomicU64,
     /// Exact running totals from the latest accounting (drain/bye).
     totals: Mutex<(Cost, Cost)>,
 }
@@ -106,6 +108,10 @@ impl TenantMetrics {
             ("flow", Json::UInt(flow)),
             ("cost", Json::UInt(cost)),
             ("fsync_micros", self.fsync_micros.snapshot().to_json()),
+            (
+                "checkpoints",
+                self.checkpoints.load(Ordering::Relaxed).to_json(),
+            ),
         ])
     }
 }
@@ -136,10 +142,22 @@ pub struct ServeMetrics {
     pub journal_appends: AtomicU64,
     /// Journal appends that ended in `fsync`.
     pub journal_syncs: AtomicU64,
+    /// Checkpoint records written (appended or via compaction).
+    pub checkpoints: AtomicU64,
+    /// Journal compactions (checkpoint + truncate via atomic rename).
+    pub compactions: AtomicU64,
+    /// Serialized checkpoint payload bytes written.
+    pub checkpoint_bytes: AtomicU64,
+    /// Checkpoint/compaction attempts that failed on I/O (the old journal
+    /// stays authoritative, so these degrade recovery cost, not safety).
+    pub checkpoint_io_errors: AtomicU64,
     /// Worker time per processed request, microseconds.
     pub request_micros: LogHistogram,
     /// Wall-clock journal-append cost, microseconds, all tenants.
     pub fsync_micros: LogHistogram,
+    /// Wall-clock checkpoint write cost (serialize + write + rename),
+    /// microseconds.
+    pub checkpoint_micros: LogHistogram,
     /// Monotonic snapshot sequence number.
     snapshots: AtomicU64,
     tenants: Mutex<BTreeMap<String, Arc<TenantMetrics>>>,
@@ -180,6 +198,30 @@ impl ServeMetrics {
         }
         self.fsync_micros.record(micros);
         tenant.fsync_micros.record(micros);
+    }
+
+    /// Records one successful checkpoint write: latency, payload size, and
+    /// whether it compacted the journal (rewrote it as `[checkpoint]`)
+    /// rather than appending.
+    pub fn record_checkpoint(
+        &self,
+        tenant: &TenantMetrics,
+        micros: u64,
+        bytes: u64,
+        compacted: bool,
+    ) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.checkpoint_micros.record(micros);
+        tenant.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed checkpoint/compaction attempt.
+    pub fn record_checkpoint_error(&self) {
+        self.checkpoint_io_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Open sessions right now.
@@ -236,6 +278,22 @@ impl ServeMetrics {
                 "journal_syncs",
                 self.journal_syncs.load(Ordering::Relaxed).to_json(),
             ),
+            (
+                "checkpoints",
+                self.checkpoints.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "compactions",
+                self.compactions.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "checkpoint_bytes",
+                self.checkpoint_bytes.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "checkpoint_io_errors",
+                self.checkpoint_io_errors.load(Ordering::Relaxed).to_json(),
+            ),
             ("tenants_open", self.open_tenants().to_json()),
         ]);
         let per_tenant: Vec<Json> = {
@@ -248,6 +306,10 @@ impl ServeMetrics {
             ("global", global),
             ("request_micros", self.request_micros.snapshot().to_json()),
             ("fsync_micros", self.fsync_micros.snapshot().to_json()),
+            (
+                "checkpoint_micros",
+                self.checkpoint_micros.snapshot().to_json(),
+            ),
             ("per_tenant", Json::Arr(per_tenant)),
         ])
     }

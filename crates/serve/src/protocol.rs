@@ -11,9 +11,12 @@
 //! plus a human-oriented `message`; clients must branch on the code, never
 //! the text.
 
-use calib_core::json::{FromJson, Json, ToJson};
+use calib_core::json::{self, FromJson, Json, ToJson};
 use calib_core::obs::CounterSnapshot;
-use calib_core::{Assignment, Calibration, Cost, Job, Time};
+use calib_core::{Assignment, Calibration, Cost, Job, JobId, Time};
+use calib_online::{EngineConfig, EngineSnapshot, IntervalSnapshot, MachineSnapshot};
+
+use crate::session::{Algorithm, TenantConfig};
 
 /// Upper bound on one request line, in bytes. A line longer than this is
 /// rejected with `line-too-long` before parsing — a malformed client must
@@ -542,6 +545,599 @@ impl Reply {
         let mut line = self.to_json().to_string_compact();
         line.push('\n');
         line
+    }
+}
+
+/// Full `TenantSession` state at one instant — the payload of a journal
+/// `checkpoint` record. Recovery rebuilds the session from this and then
+/// replays only the records *after* it (the tail), so a long-lived
+/// tenant's restart cost is bounded by recent activity instead of its
+/// whole history.
+///
+/// The engine half is a [`calib_online::EngineSnapshot`]; this struct adds
+/// the serve-layer state the engine does not know about: the tenant name
+/// and configuration, the `seq` high-water mark, the virtual clock, the
+/// per-tenant `u128` flow/cost totals, and the counter registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// Tenant name, integrity-checked against the journal's hello record.
+    pub tenant: String,
+    /// The tenant's configuration (machines, `T`, `G`, algorithm).
+    pub config: TenantConfig,
+    /// The `seq` duplicate-suppression high-water mark at checkpoint time.
+    pub last_seq: Option<u64>,
+    /// The session's virtual clock (highest `tick` seen), if any.
+    pub now: Option<Time>,
+    /// Total weighted flow reported to the metrics registry so far.
+    pub flow: Cost,
+    /// Online objective `G·C + flow` reported so far.
+    pub cost: Cost,
+    /// The tenant's counter registry at checkpoint time.
+    pub counters: CounterSnapshot,
+    /// The complete engine state.
+    pub engine: EngineSnapshot,
+}
+
+fn pair_json<A: ToJson, B: ToJson>(a: &A, b: &B) -> Json {
+    Json::Arr(vec![a.to_json(), b.to_json()])
+}
+
+fn opt_usize_json(v: Option<usize>) -> Json {
+    match v {
+        Some(i) => i.to_json(),
+        None => Json::Null,
+    }
+}
+
+fn engine_config_json(c: &EngineConfig) -> Json {
+    Json::obj([
+        ("max_steps", c.max_steps.to_json()),
+        ("max_decides_per_step", c.max_decides_per_step.to_json()),
+        ("time_skip", Json::Bool(c.time_skip)),
+    ])
+}
+
+fn machine_json(m: &MachineSnapshot) -> Json {
+    Json::obj([
+        (
+            "coverage",
+            Json::Arr(m.coverage.iter().map(|(b, e)| pair_json(b, e)).collect()),
+        ),
+        ("used_until", m.used_until.to_json()),
+        (
+            "reservations",
+            Json::Arr(
+                m.reservations
+                    .iter()
+                    .map(|(slot, job, interval)| {
+                        Json::Arr(vec![
+                            slot.to_json(),
+                            job.to_json(),
+                            opt_usize_json(*interval),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn interval_json(iv: &IntervalSnapshot) -> Json {
+    Json::obj([
+        ("machine", iv.machine.to_json()),
+        ("start", iv.start.to_json()),
+        (
+            "jobs",
+            Json::Arr(iv.jobs.iter().map(|(j, s)| pair_json(j, s)).collect()),
+        ),
+    ])
+}
+
+fn engine_json(e: &EngineSnapshot) -> Json {
+    let mut fields = vec![
+        ("cal_len", e.cal_len.to_json()),
+        ("cal_cost", e.cal_cost.to_json()),
+        ("config", engine_config_json(&e.config)),
+        ("known", e.known.to_json()),
+        ("pending", e.pending.to_json()),
+        ("waiting", e.waiting.to_json()),
+        (
+            "machines",
+            Json::Arr(e.machines.iter().map(machine_json).collect()),
+        ),
+        (
+            "intervals",
+            Json::Arr(e.intervals.iter().map(interval_json).collect()),
+        ),
+        ("rr_next", e.rr_next.to_json()),
+        ("calibrations", e.calibrations.to_json()),
+        ("assignments", e.assignments.to_json()),
+        (
+            "trace",
+            Json::Arr(
+                e.trace
+                    .iter()
+                    .map(|(t, label)| pair_json(t, &label.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("fuel", e.fuel.to_json()),
+        ("clock", e.clock.to_json()),
+        ("started", Json::Bool(e.started)),
+        ("cal_mark", e.cal_mark.to_json()),
+        ("asg_mark", e.asg_mark.to_json()),
+    ];
+    if let Some(c) = e.cursor {
+        fields.push(("cursor", c.to_json()));
+    }
+    Json::obj(fields)
+}
+
+// --- direct checkpoint serialization ---------------------------------
+//
+// A checkpoint line carries thousands of jobs, assignments, and trace
+// events; building the intermediate `Json` tree allocates per key and
+// dominates the checkpoint hot path. These writers emit byte-identical
+// compact output straight into the line buffer (asserted against the
+// tree renderer in the journal tests).
+
+/// Manual decimal formatting: at tens of thousands of integers per
+/// checkpoint line, `write!`'s formatting machinery costs several times
+/// the digits themselves.
+fn push_u128(out: &mut String, mut v: u128) {
+    let mut buf = [0u8; 39];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + u8::try_from(v % 10).unwrap_or(0);
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap_or(""));
+}
+
+fn push_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+    }
+    push_u128(out, u128::from(v.unsigned_abs()));
+}
+
+fn push_usize(out: &mut String, v: usize) {
+    push_u128(out, u128::try_from(v).unwrap_or(u128::MAX));
+}
+
+fn push_bool(out: &mut String, v: bool) {
+    out.push_str(if v { "true" } else { "false" });
+}
+
+fn write_id_list(out: &mut String, ids: &[JobId]) {
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u128(out, u128::from(id.0));
+    }
+}
+
+fn write_machine(out: &mut String, m: &MachineSnapshot) {
+    out.push_str("{\"coverage\":[");
+    for (i, (b, e)) in m.coverage.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_i64(out, *b);
+        out.push(',');
+        push_i64(out, *e);
+        out.push(']');
+    }
+    out.push_str("],\"used_until\":");
+    push_i64(out, m.used_until);
+    out.push_str(",\"reservations\":[");
+    for (i, (slot, job, interval)) in m.reservations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_i64(out, *slot);
+        out.push(',');
+        push_u128(out, u128::from(job.0));
+        out.push(',');
+        match interval {
+            Some(iv) => push_usize(out, *iv),
+            None => out.push_str("null"),
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn write_interval(out: &mut String, iv: &IntervalSnapshot) {
+    out.push_str("{\"machine\":");
+    push_u128(out, u128::from(iv.machine.0));
+    out.push_str(",\"start\":");
+    push_i64(out, iv.start);
+    out.push_str(",\"jobs\":[");
+    for (i, (j, s)) in iv.jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_u128(out, u128::from(j.0));
+        out.push(',');
+        push_i64(out, *s);
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn write_engine(out: &mut String, e: &EngineSnapshot) {
+    out.push_str("{\"cal_len\":");
+    push_i64(out, e.cal_len);
+    out.push_str(",\"cal_cost\":");
+    push_u128(out, e.cal_cost);
+    out.push_str(",\"config\":{\"max_steps\":");
+    push_u128(out, u128::from(e.config.max_steps));
+    out.push_str(",\"max_decides_per_step\":");
+    push_u128(out, u128::from(e.config.max_decides_per_step));
+    out.push_str(",\"time_skip\":");
+    push_bool(out, e.config.time_skip);
+    out.push_str("},\"known\":[");
+    for (i, j) in e.known.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        push_u128(out, u128::from(j.id.0));
+        out.push_str(",\"release\":");
+        push_i64(out, j.release);
+        out.push_str(",\"weight\":");
+        push_u128(out, u128::from(j.weight));
+        out.push('}');
+    }
+    out.push_str("],\"pending\":[");
+    write_id_list(out, &e.pending);
+    out.push_str("],\"waiting\":[");
+    write_id_list(out, &e.waiting);
+    out.push_str("],\"machines\":[");
+    for (i, m) in e.machines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_machine(out, m);
+    }
+    out.push_str("],\"intervals\":[");
+    for (i, iv) in e.intervals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_interval(out, iv);
+    }
+    out.push_str("],\"rr_next\":");
+    push_usize(out, e.rr_next);
+    out.push_str(",\"calibrations\":[");
+    for (i, c) in e.calibrations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"machine\":");
+        push_u128(out, u128::from(c.machine.0));
+        out.push_str(",\"start\":");
+        push_i64(out, c.start);
+        out.push('}');
+    }
+    out.push_str("],\"assignments\":[");
+    for (i, a) in e.assignments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"job\":");
+        push_u128(out, u128::from(a.job.0));
+        out.push_str(",\"start\":");
+        push_i64(out, a.start);
+        out.push_str(",\"machine\":");
+        push_u128(out, u128::from(a.machine.0));
+        out.push('}');
+    }
+    out.push_str("],\"trace\":[");
+    for (i, (t, label)) in e.trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_i64(out, *t);
+        out.push(',');
+        json::write_json_string(out, label);
+        out.push(']');
+    }
+    out.push_str("],\"fuel\":");
+    push_u128(out, u128::from(e.fuel));
+    out.push_str(",\"clock\":");
+    push_i64(out, e.clock);
+    out.push_str(",\"started\":");
+    push_bool(out, e.started);
+    out.push_str(",\"cal_mark\":");
+    push_usize(out, e.cal_mark);
+    out.push_str(",\"asg_mark\":");
+    push_usize(out, e.asg_mark);
+    if let Some(c) = e.cursor {
+        out.push_str(",\"cursor\":");
+        push_i64(out, c);
+    }
+    out.push('}');
+}
+
+/// Typed field accessors that turn a missing/mistyped field into a
+/// checkpoint-parse error message naming the field.
+struct Fields<'a>(&'a Json);
+
+impl Fields<'_> {
+    fn req(&self, key: &str) -> Result<&Json, String> {
+        self.0
+            .get(key)
+            .ok_or_else(|| format!("checkpoint missing `{key}`"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| format!("checkpoint field `{key}` is not a u64"))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        usize::try_from(self.u64(key)?)
+            .map_err(|_| format!("checkpoint field `{key}` is out of range"))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        self.req(key)?
+            .as_i64()
+            .ok_or_else(|| format!("checkpoint field `{key}` is not an i64"))
+    }
+
+    fn u128(&self, key: &str) -> Result<u128, String> {
+        self.req(key)?
+            .as_u128()
+            .ok_or_else(|| format!("checkpoint field `{key}` is not a u128"))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.req(key)? {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("checkpoint field `{key}` is not a bool")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| format!("checkpoint field `{key}` is not a string"))
+    }
+
+    fn arr(&self, key: &str) -> Result<&[Json], String> {
+        self.req(key)?
+            .as_arr()
+            .ok_or_else(|| format!("checkpoint field `{key}` is not an array"))
+    }
+
+    fn parsed<T: FromJson>(&self, key: &str) -> Result<T, String> {
+        T::from_json(self.req(key)?).map_err(|e| format!("checkpoint field `{key}`: {e}"))
+    }
+}
+
+fn tuple2<'a>(v: &'a Json, what: &str) -> Result<(&'a Json, &'a Json), String> {
+    match v.as_arr() {
+        Some([a, b]) => Ok((a, b)),
+        _ => Err(format!("checkpoint {what} is not a 2-tuple")),
+    }
+}
+
+fn time_of(v: &Json, what: &str) -> Result<Time, String> {
+    v.as_i64()
+        .ok_or_else(|| format!("checkpoint {what} is not a time"))
+}
+
+fn machine_from_json(v: &Json) -> Result<MachineSnapshot, String> {
+    let f = Fields(v);
+    let mut coverage = Vec::new();
+    for seg in f.arr("coverage")? {
+        let (b, e) = tuple2(seg, "coverage segment")?;
+        coverage.push((time_of(b, "coverage start")?, time_of(e, "coverage end")?));
+    }
+    let mut reservations = Vec::new();
+    for r in f.arr("reservations")? {
+        let Some([slot, job, interval]) = r.as_arr() else {
+            return Err("checkpoint reservation is not a 3-tuple".to_string());
+        };
+        let interval = match interval {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .ok_or_else(|| "checkpoint reservation interval is not an index".to_string())?,
+            ),
+        };
+        reservations.push((
+            time_of(slot, "reservation slot")?,
+            JobId::from_json(job).map_err(|e| format!("checkpoint reservation job: {e}"))?,
+            interval,
+        ));
+    }
+    Ok(MachineSnapshot {
+        coverage,
+        used_until: f.i64("used_until")?,
+        reservations,
+    })
+}
+
+fn interval_from_json(v: &Json) -> Result<IntervalSnapshot, String> {
+    let f = Fields(v);
+    let mut jobs = Vec::new();
+    for pair in f.arr("jobs")? {
+        let (job, slot) = tuple2(pair, "interval job")?;
+        jobs.push((
+            JobId::from_json(job).map_err(|e| format!("checkpoint interval job: {e}"))?,
+            time_of(slot, "interval slot")?,
+        ));
+    }
+    Ok(IntervalSnapshot {
+        machine: f.parsed("machine")?,
+        start: f.i64("start")?,
+        jobs,
+    })
+}
+
+fn engine_from_json(v: &Json) -> Result<EngineSnapshot, String> {
+    let f = Fields(v);
+    let cf = Fields(f.req("config")?);
+    let config = EngineConfig {
+        max_steps: cf.u64("max_steps")?,
+        max_decides_per_step: u32::try_from(cf.u64("max_decides_per_step")?)
+            .map_err(|_| "checkpoint `max_decides_per_step` is out of range".to_string())?,
+        time_skip: cf.bool("time_skip")?,
+    };
+    let mut machines = Vec::new();
+    for m in f.arr("machines")? {
+        machines.push(machine_from_json(m)?);
+    }
+    let mut intervals = Vec::new();
+    for iv in f.arr("intervals")? {
+        intervals.push(interval_from_json(iv)?);
+    }
+    let mut trace = Vec::new();
+    for entry in f.arr("trace")? {
+        let (t, label) = tuple2(entry, "trace entry")?;
+        trace.push((
+            time_of(t, "trace time")?,
+            label
+                .as_str()
+                .ok_or_else(|| "checkpoint trace label is not a string".to_string())?
+                .to_string(),
+        ));
+    }
+    Ok(EngineSnapshot {
+        cal_len: f.i64("cal_len")?,
+        cal_cost: f.u128("cal_cost")?,
+        config,
+        known: f.parsed("known")?,
+        pending: f.parsed("pending")?,
+        waiting: f.parsed("waiting")?,
+        machines,
+        intervals,
+        rr_next: f.usize("rr_next")?,
+        calibrations: f.parsed("calibrations")?,
+        assignments: f.parsed("assignments")?,
+        trace,
+        fuel: f.u64("fuel")?,
+        clock: f.i64("clock")?,
+        started: f.bool("started")?,
+        cursor: match v.get("cursor") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(time_of(c, "cursor")?),
+        },
+        cal_mark: f.usize("cal_mark")?,
+        asg_mark: f.usize("asg_mark")?,
+    })
+}
+
+impl CheckpointState {
+    /// Serializes the checkpoint as one JSON object (without the journal
+    /// record's `op` tag).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("machines", self.config.machines.to_json()),
+            ("cal_len", self.config.cal_len.to_json()),
+            ("cal_cost", self.config.cal_cost.to_json()),
+            ("algorithm", self.config.algorithm.name().to_json()),
+            ("flow", self.flow.to_json()),
+            ("total_cost", self.cost.to_json()),
+            ("counters", self.counters.to_json()),
+            ("engine", engine_json(&self.engine)),
+        ];
+        if let Some(s) = self.last_seq {
+            fields.push(("last_seq", s.to_json()));
+        }
+        if let Some(n) = self.now {
+            fields.push(("now", n.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Appends the checkpoint's JSON fields — no surrounding braces — to
+    /// `out`, byte-identical to [`CheckpointState::to_json`] rendered
+    /// compactly. The journal prepends its `op` tag and the braces; the
+    /// direct write skips the `Json` tree whose per-key allocations
+    /// dominate the checkpoint hot path.
+    pub(crate) fn write_fields(&self, out: &mut String) {
+        out.push_str("\"tenant\":");
+        json::write_json_string(out, &self.tenant);
+        out.push_str(",\"machines\":");
+        push_usize(out, self.config.machines);
+        out.push_str(",\"cal_len\":");
+        push_i64(out, self.config.cal_len);
+        out.push_str(",\"cal_cost\":");
+        push_u128(out, self.config.cal_cost);
+        out.push_str(",\"algorithm\":\"");
+        out.push_str(self.config.algorithm.name());
+        out.push_str("\",\"flow\":");
+        push_u128(out, self.flow);
+        out.push_str(",\"total_cost\":");
+        push_u128(out, self.cost);
+        out.push_str(",\"counters\":");
+        out.push_str(&self.counters.to_json().to_string_compact());
+        out.push_str(",\"engine\":");
+        write_engine(out, &self.engine);
+        if let Some(s) = self.last_seq {
+            out.push_str(",\"last_seq\":");
+            push_u128(out, u128::from(s));
+        }
+        if let Some(n) = self.now {
+            out.push_str(",\"now\":");
+            push_i64(out, n);
+        }
+    }
+
+    /// A capacity estimate for the serialized line, so the hot path's
+    /// buffer grows once instead of doubling through megabyte territory.
+    pub(crate) fn line_capacity_hint(&self) -> usize {
+        let e = &self.engine;
+        512 + 48
+            * (e.known.len()
+                + e.pending.len()
+                + e.waiting.len()
+                + e.calibrations.len()
+                + e.assignments.len()
+                + e.trace.len()
+                + e.intervals.len())
+    }
+
+    /// Parses a checkpoint payload, validating every field — a checkpoint
+    /// that fails here is treated by recovery as if it were torn (fall
+    /// back to an earlier checkpoint or full replay), never trusted.
+    pub fn from_json(v: &Json) -> Result<CheckpointState, String> {
+        let f = Fields(v);
+        let algorithm = Algorithm::from_name(f.str("algorithm")?)
+            .ok_or_else(|| "checkpoint has no known `algorithm`".to_string())?;
+        Ok(CheckpointState {
+            tenant: f.str("tenant")?.to_string(),
+            config: TenantConfig {
+                machines: f.usize("machines")?,
+                cal_len: f.i64("cal_len")?,
+                cal_cost: f.u128("cal_cost")?,
+                algorithm,
+            },
+            last_seq: v.get("last_seq").and_then(Json::as_u64),
+            now: v.get("now").and_then(Json::as_i64),
+            flow: f.u128("flow")?,
+            cost: f.u128("total_cost")?,
+            counters: CounterSnapshot::from_json(f.req("counters")?),
+            engine: engine_from_json(f.req("engine")?)?,
+        })
     }
 }
 

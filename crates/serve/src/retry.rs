@@ -393,6 +393,17 @@ fn drive(
     let mut line = String::new();
     loop {
         while next < plan.len() && in_flight.len() < window {
+            // `bye` is destructive: the server finalizes the session and
+            // deletes its journal. If a pipelined bye lands while an
+            // earlier reply (say the drain's) is lost in transit, the next
+            // `resume` hears a truthful `unknown-tenant` with non-bye steps
+            // still unacked — indistinguishable from real session loss. So
+            // a bye only goes out once the window has fully drained; then
+            // the sole lossable ack is the bye's own, which the
+            // unknown-tenant grace below recovers.
+            if plan[next].is_bye && !in_flight.is_empty() {
+                break;
+            }
             if writer.write_all(plan[next].line.as_bytes()).is_err() || writer.flush().is_err() {
                 return Drive::Reconnect("write failed".to_string());
             }

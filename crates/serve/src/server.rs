@@ -87,6 +87,18 @@ pub struct ServerConfig {
     /// Where periodic snapshots (and one final authoritative snapshot at
     /// shutdown) are written, one JSON line each.
     pub metrics_sink: Option<MetricsSink>,
+    /// Append a checkpoint record after this many journaled mutating
+    /// records per tenant, bounding crash-replay to the tail since the
+    /// last checkpoint. `None` disables cadence checkpoints.
+    pub checkpoint_every: Option<u64>,
+    /// Compact a tenant's journal down to `[checkpoint]` whenever a
+    /// checkpoint opportunity finds the session idle (drained).
+    pub compact_on_idle: bool,
+    /// Where per-recovery report lines
+    /// (`{"type":"recovered","tenant":…,"records":…,"tail_replayed":…,
+    /// "from_checkpoint":…}`) are written — the recovery-smoke CI job
+    /// parses these to assert replay stays tail-bounded.
+    pub recovery_log: Option<MetricsSink>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +114,9 @@ impl Default for ServerConfig {
             max_tenants: 1024,
             metrics_interval: None,
             metrics_sink: None,
+            checkpoint_every: None,
+            compact_on_idle: false,
+            recovery_log: None,
         }
     }
 }
@@ -691,6 +706,10 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 ));
                 return;
             }
+            session.set_checkpoint_policy(
+                shared.config.checkpoint_every,
+                shared.config.compact_on_idle,
+            );
         }
         let t_metrics = shared.attach_metrics(tenant, &mut session);
         tenants.insert(
@@ -774,8 +793,8 @@ fn route_resume(
         ));
         return;
     };
-    match journal::recover(&dir, tenant, shared.config.fsync) {
-        Ok(Some(session)) => {
+    match journal::recover_with_report(&dir, tenant, shared.config.fsync) {
+        Ok(Some((session, report))) => {
             let mut tenants = shared.lock_tenants();
             if tenants.contains_key(tenant) {
                 // Lost a race with a concurrent resume; retryable.
@@ -800,10 +819,29 @@ fn route_resume(
                 return;
             }
             let mut session = session;
+            session.set_checkpoint_policy(
+                shared.config.checkpoint_every,
+                shared.config.compact_on_idle,
+            );
             let t_metrics = shared.attach_metrics(tenant, &mut session);
             let t = Arc::new(Tenant::new(tenant, conn, session, t_metrics));
             tenants.insert(tenant.to_string(), Arc::clone(&t));
             drop(tenants);
+            if let Some(log) = shared.config.recovery_log.as_ref() {
+                log.write_snapshot(&Json::obj([
+                    ("type", Json::Str("recovered".to_string())),
+                    ("tenant", Json::Str(tenant.to_string())),
+                    (
+                        "records",
+                        Json::UInt(report.records.try_into().unwrap_or(0)),
+                    ),
+                    (
+                        "tail_replayed",
+                        Json::UInt(report.tail_replayed.try_into().unwrap_or(0)),
+                    ),
+                    ("from_checkpoint", Json::Bool(report.from_checkpoint)),
+                ]));
+            }
             shared.metrics.recovered.fetch_add(1, Ordering::Relaxed);
             shared.metrics.resumes.fetch_add(1, Ordering::Relaxed);
             t.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -1025,6 +1063,10 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
         }
     }
     let is_resume = matches!(request, Request::Resume { .. });
+    let mutating = matches!(
+        request,
+        Request::Arrive { .. } | Request::Tick { .. } | Request::Drain { .. }
+    );
     let reply = match request {
         Request::Hello { .. } => Reply::error(
             "duplicate-tenant",
@@ -1144,6 +1186,14 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
     if !is_resume {
         if let (Some(s), Some(session)) = (seq, session_slot.as_mut()) {
             session.note_seq(s);
+        }
+    }
+    // Checkpoint opportunity: after a mutating request is applied and its
+    // seq noted, the session is at a journal-consistent point. Policy
+    // decides whether anything is actually written.
+    if mutating {
+        if let Some(session) = session_slot.as_mut() {
+            session.maybe_checkpoint();
         }
     }
     drop(session_slot);

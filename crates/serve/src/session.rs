@@ -21,7 +21,7 @@ use calib_online::{
 
 use crate::journal::{JournalRecord, JournalWriter};
 use crate::metrics::{ServeMetrics, TenantMetrics};
-use crate::protocol::Accounting;
+use crate::protocol::{Accounting, CheckpointState};
 
 /// The scheduling algorithms a tenant can ask for in `hello`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,7 +99,7 @@ pub type TenantProbe = (
 );
 
 /// Tenant configuration from `hello`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantConfig {
     /// Machine count `P`.
     pub machines: usize,
@@ -167,6 +167,19 @@ pub struct TenantSession {
     /// Metrics registry handles, attached by the server after `hello` or
     /// recovery; `None` in bare unit-test sessions.
     metrics: Option<SessionMetrics>,
+    /// Opt-in checkpoint cadence: once this many mutating records have
+    /// been journaled since the last checkpoint, the next
+    /// [`TenantSession::maybe_checkpoint`] writes one.
+    checkpoint_every: Option<u64>,
+    /// When set, a checkpoint opportunity on an idle session *compacts*
+    /// the journal (rewrites it as `[checkpoint]`) instead of appending.
+    compact_on_idle: bool,
+    /// Mutating records journaled since the last checkpoint — the length
+    /// of the tail a crash right now would replay.
+    records_since_checkpoint: u64,
+    /// Exact flow/cost totals carried by the checkpoint this session was
+    /// restored from; applied to the metrics registry when it attaches.
+    restored_totals: Option<(Cost, Cost)>,
 }
 
 impl TenantSession {
@@ -223,13 +236,66 @@ impl TenantSession {
             journal: None,
             last_seq: None,
             metrics: None,
+            checkpoint_every: None,
+            compact_on_idle: false,
+            records_since_checkpoint: 0,
+            restored_totals: None,
+        })
+    }
+
+    /// Rebuilds a session from a checkpoint payload — the starting point
+    /// of tail replay. The engine is restored exactly (its own
+    /// consistency checks gate this), the counter registry is re-seeded
+    /// from the snapshot, and the scheduler is rebuilt fresh — every
+    /// shipped scheduler is stateless, so a fresh instance continues
+    /// byte-identically.
+    pub fn restore_from_checkpoint(state: &CheckpointState) -> Result<TenantSession, SessionError> {
+        if state.engine.cal_len != state.config.cal_len
+            || state.engine.cal_cost != state.config.cal_cost
+        {
+            return Err(SessionError::new(
+                "corrupt-snapshot",
+                "checkpoint engine state disagrees with the tenant configuration",
+            ));
+        }
+        let counters = Arc::new(Counters::new());
+        counters.add_snapshot(state.counters);
+        // No trace sink: appending replayed events to a truncated trace
+        // would silently duplicate history (same rule as full replay).
+        let probe: TenantProbe = (SharedCountingProbe(Arc::clone(&counters)), None);
+        let engine = calib_online::EngineSession::restore(&state.engine, probe)?;
+        Ok(TenantSession {
+            name: state.tenant.clone(),
+            config: state.config,
+            engine,
+            scheduler: state.config.algorithm.scheduler(),
+            counters,
+            now: state.now,
+            journal: None,
+            last_seq: state.last_seq,
+            metrics: None,
+            checkpoint_every: None,
+            compact_on_idle: false,
+            records_since_checkpoint: 0,
+            restored_totals: Some((state.flow, state.cost)),
         })
     }
 
     /// Attaches the metrics registry handles; journal appends are timed
-    /// and counted from here on.
+    /// and counted from here on. A session recovered from a checkpoint
+    /// re-seeds its exact flow/cost totals into the registry here.
     pub fn set_metrics(&mut self, metrics: SessionMetrics) {
+        if let Some((flow, cost)) = self.restored_totals {
+            metrics.tenant.set_totals(flow, cost);
+        }
         self.metrics = Some(metrics);
+    }
+
+    /// Sets the checkpoint policy (see [`TenantSession::maybe_checkpoint`]).
+    /// `every = None` disables cadence checkpoints.
+    pub fn set_checkpoint_policy(&mut self, every: Option<u64>, compact_on_idle: bool) {
+        self.checkpoint_every = every;
+        self.compact_on_idle = compact_on_idle;
     }
 
     /// Starts write-ahead journaling on a *fresh* session: the opening
@@ -290,7 +356,106 @@ impl TenantSession {
             micros,
             synced,
         });
+        if result.is_ok() {
+            self.records_since_checkpoint += 1;
+        }
         result.map_err(|e| SessionError::new("journal-io", e.to_string()))
+    }
+
+    /// Mutating records journaled since the last checkpoint — the replay
+    /// tail a crash right now would cost.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Recovery bookkeeping: how long the tail already is when a session
+    /// comes back from replay.
+    pub(crate) fn set_records_since_checkpoint(&mut self, n: u64) {
+        self.records_since_checkpoint = n;
+    }
+
+    /// The full checkpoint payload for this session's state right now.
+    pub fn checkpoint_state(&self) -> CheckpointState {
+        let (flow, cost) = self
+            .metrics
+            .as_ref()
+            .map(|m| m.tenant.totals())
+            .or(self.restored_totals)
+            .unwrap_or((0, 0));
+        CheckpointState {
+            tenant: self.name.clone(),
+            config: self.config,
+            last_seq: self.last_seq,
+            now: self.now,
+            flow,
+            cost,
+            counters: self.counters.snapshot(),
+            engine: self.engine.snapshot(),
+        }
+    }
+
+    /// Writes a checkpoint — appended (`compact = false`) or compacting
+    /// the journal down to `[checkpoint]` (`compact = true`). Returns
+    /// whether it succeeded; failures are counted into the metrics
+    /// registry and swallowed, because the old journal remains
+    /// authoritative — a failed checkpoint degrades recovery *cost*, not
+    /// recovery *correctness*.
+    pub fn checkpoint(&mut self, compact: bool) -> bool {
+        if self.journal.is_none() {
+            return false;
+        }
+        let record = JournalRecord::Checkpoint(Box::new(self.checkpoint_state()));
+        let started = Instant::now();
+        let result = if compact {
+            let Some(writer) = self.journal.take() else {
+                return false;
+            };
+            let (writer, result) = writer.compact(&record);
+            self.journal = Some(writer);
+            result
+        } else {
+            match self.journal.as_mut() {
+                Some(w) => w.append_counted(&record),
+                None => return false,
+            }
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match result {
+            Ok(bytes) => {
+                self.records_since_checkpoint = 0;
+                if let Some(m) = self.metrics.as_ref() {
+                    m.global
+                        .record_checkpoint(&m.tenant, micros, bytes, compact);
+                }
+                true
+            }
+            Err(_) => {
+                if let Some(m) = self.metrics.as_ref() {
+                    m.global.record_checkpoint_error();
+                }
+                false
+            }
+        }
+    }
+
+    /// The server's per-request checkpoint hook: a no-op unless the
+    /// session journals, something was journaled since the last
+    /// checkpoint, and the policy says now. Idle sessions compact (when
+    /// `--compact-on-idle` is set) so drained tenants hold exactly one
+    /// record on disk; otherwise the `--checkpoint-every-n` cadence
+    /// appends, keeping the replay tail bounded by `n`.
+    pub fn maybe_checkpoint(&mut self) {
+        if self.journal.is_none() || self.records_since_checkpoint == 0 {
+            return;
+        }
+        if self.compact_on_idle && self.is_idle() {
+            self.checkpoint(true);
+        } else if self
+            .checkpoint_every
+            .is_some_and(|n| self.records_since_checkpoint >= n)
+        {
+            self.checkpoint(false);
+        }
     }
 
     /// The tenant's name.

@@ -291,7 +291,10 @@ fn daemon_addr(child: &mut std::process::Child) -> String {
         .to_string()
 }
 
-fn spawn_daemon(journal_dir: &std::path::Path) -> (std::process::Child, String) {
+fn spawn_daemon_args(
+    journal_dir: &std::path::Path,
+    extra: &[&str],
+) -> (std::process::Child, String) {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_calib-serve"))
         .args([
             "--listen",
@@ -303,12 +306,17 @@ fn spawn_daemon(journal_dir: &std::path::Path) -> (std::process::Child, String) 
             "--read-timeout-ms",
             "0",
         ])
+        .args(extra)
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::null())
         .spawn()
         .expect("spawn calib-serve");
     let addr = daemon_addr(&mut child);
     (child, addr)
+}
+
+fn spawn_daemon(journal_dir: &std::path::Path) -> (std::process::Child, String) {
+    spawn_daemon_args(journal_dir, &[])
 }
 
 /// The crash-recovery theorem, with a real process and a real `kill -9`:
@@ -381,6 +389,135 @@ fn kill_dash_nine_then_journal_restart_is_exact() {
     assert!(
         leftover.is_empty(),
         "journal deleted after clean finalize: {leftover:?}"
+    );
+}
+
+/// The compaction crash drill, with a real process: a daemon running
+/// cadence checkpoints is SIGKILLed mid-session, a half-written compaction
+/// scratch file is staged next to its journal (the on-disk state of a
+/// crash *during* `compact()`), and the restarted daemon must recover from
+/// the latest durable checkpoint — replaying at most the cadence-bounded
+/// tail, reporting it on the `{"type":"recovered",...}` log line — and
+/// drain the resumed tenant to byte-identical accounting.
+#[test]
+fn kill_dash_nine_mid_compaction_recovers_from_checkpoint() {
+    use calib_serve::compact_tmp_path;
+    use calib_serve::journal::journal_path;
+
+    const CADENCE: u64 = 4;
+    let cadence = CADENCE.to_string();
+    let flags = [
+        "--checkpoint-every-n",
+        cadence.as_str(),
+        "--compact-on-idle",
+    ];
+    let journal_dir = TempDir::new("compact-kill9-journal");
+    let (mut first, addr) = spawn_daemon_args(&journal_dir.0, &flags);
+
+    let (algorithm, params) = tenant_family(2);
+    let case = gen_case_sized(99, &params, 120);
+    let expected = run_online(
+        &case.instance,
+        case.cal_cost,
+        algorithm.scheduler().as_mut(),
+    );
+    let name = "compactor";
+    let (plan, drain_seq) = build_plan(name, algorithm, case.cal_cost, &case.instance);
+
+    // Phase 1: enough of the plan that cadence checkpoints have fired.
+    let half = plan.len() / 2;
+    let cfg = ClientConfig {
+        tenant: name.to_string(),
+        window: 8,
+        deadline: Some(Duration::from_secs(5)),
+        max_reconnects: 8,
+        resume_on_start: false,
+    };
+    let mut backoff = Backoff::new(1, 50, 7);
+    let mut clock = SystemClock;
+    let report = run_plan(&addr, &cfg, &plan[..half], &mut backoff, &mut clock);
+    assert!(
+        report.completed,
+        "phase 1 must apply its prefix: {:?}",
+        report.errors
+    );
+
+    first.kill().expect("SIGKILL daemon");
+    first.wait().expect("reap daemon");
+
+    // Stage the mid-compaction wreckage: a torn checkpoint line at the
+    // scratch path, exactly as a crash inside `compact()` leaves it.
+    let path = journal_path(&journal_dir.0, name);
+    assert!(path.exists(), "phase-1 journal survives the kill");
+    let tmp = compact_tmp_path(&path);
+    std::fs::write(
+        &tmp,
+        b"{\"op\":\"checkpoint\",\"tenant\":\"compactor\",\"tr",
+    )
+    .expect("stage torn scratch");
+
+    // Phase 2: restart with the same flags; the resume must recover from
+    // the latest durable checkpoint and finish the session exactly.
+    let (mut second, addr2) = spawn_daemon_args(&journal_dir.0, &flags);
+    let cfg2 = ClientConfig {
+        resume_on_start: true,
+        ..cfg
+    };
+    let mut backoff2 = Backoff::new(1, 50, 8);
+    let report2 = run_plan(&addr2, &cfg2, &plan, &mut backoff2, &mut clock);
+    assert!(
+        report2.completed,
+        "phase 2 must finish the session: {:?}",
+        report2.errors
+    );
+    assert!(report2.resumes >= 1, "phase 2 resumed from the journal");
+    let drained = report2.captured_for(drain_seq).expect("drained captured");
+    assert_exact_accounting(drained, name, expected.flow, expected.cost);
+
+    second.wait().expect("daemon exits when idle");
+
+    // The daemon logged the bounded recovery: the tail it replayed after
+    // the checkpoint never exceeds the checkpoint cadence.
+    let mut rest = String::new();
+    use std::io::Read;
+    second
+        .stdout
+        .as_mut()
+        .expect("daemon stdout")
+        .read_to_string(&mut rest)
+        .expect("drain daemon log");
+    let recovered = rest
+        .lines()
+        .filter_map(|l| Json::parse(l.trim()).ok())
+        .find(|v| v.get("type").and_then(Json::as_str) == Some("recovered"))
+        .expect("daemon logs the recovery");
+    assert_eq!(
+        recovered.get("tenant").and_then(Json::as_str),
+        Some(name),
+        "recovery names the tenant"
+    );
+    assert_eq!(
+        recovered.get("from_checkpoint"),
+        Some(&Json::Bool(true)),
+        "recovery started from a checkpoint: {recovered:?}"
+    );
+    let tail = recovered
+        .get("tail_replayed")
+        .and_then(Json::as_u64)
+        .expect("tail_replayed reported");
+    assert!(
+        tail <= CADENCE,
+        "tail {tail} exceeds the checkpoint cadence {CADENCE}"
+    );
+
+    // Clean finalize removed the journal *and* the staged scratch file.
+    let leftover: Vec<_> = std::fs::read_dir(&journal_dir.0)
+        .expect("journal dir")
+        .filter_map(|e| e.ok())
+        .collect();
+    assert!(
+        leftover.is_empty(),
+        "journal and scratch deleted after clean finalize: {leftover:?}"
     );
 }
 
@@ -598,4 +735,120 @@ fn retry_sleeps_are_injectable_and_deterministic() {
     assert_eq!(a.len(), 6, "one sleep per allowed retry");
     let c = run(10);
     assert_ne!(a, c, "different seed, different jitter");
+}
+
+/// A destructive `bye` must never ride the pipeline window. The scripted
+/// daemon below applies every request it reads but loses all replies from
+/// the drain onward on the first connection. A client that pipelined its
+/// bye onto that doomed connection would finalize the session server-side
+/// (journal deleted) with the drain's accounting never delivered — the
+/// follow-up `resume` then truthfully answers `unknown-tenant` while
+/// non-bye steps are still unacked, which is indistinguishable from real
+/// session loss. Holding the bye until the window drains keeps the session
+/// alive across the fault: the resume lands on the open session and the
+/// duplicate-suppressed drain re-serves its payload.
+#[test]
+fn bye_is_not_pipelined_past_unacked_replies() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted daemon");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let mut last_seq: Option<u64> = None;
+        let mut finalized = false;
+        for conn in 0u32.. {
+            let Ok((stream, _)) = listener.accept() else {
+                return finalized;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut writer = stream;
+            let mut dropping = false;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let v = Json::parse(line.trim()).expect("client sends valid JSON");
+                let ty = v.get("type").and_then(Json::as_str).unwrap_or("");
+                if ty == "resume" {
+                    let reply = if finalized {
+                        r#"{"type":"error","code":"unknown-tenant"}"#.to_string()
+                    } else {
+                        match last_seq {
+                            Some(s) => format!(r#"{{"type":"resumed","last_seq":{s}}}"#),
+                            None => r#"{"type":"resumed"}"#.to_string(),
+                        }
+                    };
+                    writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .expect("resume reply");
+                    continue;
+                }
+                let seq = v
+                    .get("seq")
+                    .and_then(Json::as_u64)
+                    .expect("sequenced request");
+                // Apply before replying, like the real write-ahead daemon.
+                if Some(seq) > last_seq {
+                    last_seq = Some(seq);
+                }
+                if ty == "bye" {
+                    finalized = true;
+                }
+                // The first connection loses every reply from the drain on.
+                if conn == 0 && ty == "drain" {
+                    dropping = true;
+                }
+                if dropping {
+                    if ty == "bye" {
+                        break;
+                    }
+                    continue;
+                }
+                writer
+                    .write_all(format!("{{\"type\":\"ok\",\"seq\":{seq}}}\n").as_bytes())
+                    .expect("reply");
+                if ty == "bye" {
+                    return finalized;
+                }
+            }
+        }
+        finalized
+    });
+
+    let case = gen_case_sized(
+        5,
+        &GenParams {
+            max_p: 1,
+            max_weight: 3,
+            ..GenParams::default()
+        },
+        8,
+    );
+    let (plan, _) = build_plan("held-bye", Algorithm::Alg1, case.cal_cost, &case.instance);
+    let cfg = ClientConfig {
+        tenant: "held-bye".to_string(),
+        deadline: Some(Duration::from_millis(200)),
+        max_reconnects: 8,
+        ..Default::default()
+    };
+    let mut backoff = Backoff::new(1, 4, 11);
+    let report = run_plan(
+        &addr.to_string(),
+        &cfg,
+        &plan,
+        &mut backoff,
+        &mut SystemClock,
+    );
+    assert!(
+        report.completed,
+        "plan completes across the lost-reply window: {:?}",
+        report.errors
+    );
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // The drain's payload was re-served and captured on the retry.
+    assert_eq!(report.captured.len(), 1, "one captured drain");
+    let finalized = server.join().expect("scripted daemon thread");
+    assert!(finalized, "the held-back bye eventually landed");
 }
