@@ -1,0 +1,530 @@
+//! The workspace symbol index: `fn` items (with their `impl` owner), enum
+//! variants, struct fields, and string-literal tables, extracted per file
+//! from the token tree.
+//!
+//! This is the data layer the cross-file rules (L6–L9) query. It is *not*
+//! a type-checked model — symbols are recognized structurally from the
+//! token stream (`fn name (…) … {`, `impl Name {`, `enum Name {`,
+//! `struct Name {`) — which is exactly enough to answer the questions the
+//! rules ask: "which tokens form the body of `apply_record`?", "what are
+//! the variants of `JournalRecord`?", "which kebab-case string literals
+//! does `protocol.rs` contain, and inside which function?".
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::ttree::{self, TokenTree};
+use crate::walk::WorkspaceFile;
+
+/// One `fn` item: its name, owning `impl` type (if any), and body extent.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type the function lives in, when inside an `impl` block.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body: `body.0` is the `{`, `body.1` the
+    /// matching `}`. Trait-method *declarations* (ending in `;`) carry no
+    /// body and are not indexed.
+    pub body: (usize, usize),
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `enum` item with its variant names in declaration order.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names, payloads stripped.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One `struct` item with its named fields in declaration order.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Field names (tuple structs index none).
+    pub fields: Vec<(String, u32)>,
+}
+
+/// One string literal, unquoted, with its location and enclosing function.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// The literal's contents with the surrounding quotes stripped (raw
+    /// and byte prefixes removed as well).
+    pub value: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Name of the function whose body contains the literal, if any.
+    pub in_fn: Option<String>,
+    /// Whether the literal sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Everything indexed from one source file. Tokens and tree are kept so
+/// rules can walk bodies without re-lexing.
+pub struct FileIndex<'a> {
+    /// The file this index describes.
+    pub file: &'a WorkspaceFile,
+    /// The full token stream.
+    pub tokens: Vec<Token<'a>>,
+    /// Delimiter matching over [`FileIndex::tokens`].
+    pub tree: TokenTree,
+    /// Per-token `#[cfg(test)]` membership.
+    pub test_mask: Vec<bool>,
+    /// Indexed `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Indexed enums.
+    pub enums: Vec<EnumItem>,
+    /// Indexed structs.
+    pub structs: Vec<StructItem>,
+    /// Every string literal in the file.
+    pub strings: Vec<StrLit>,
+}
+
+impl<'a> FileIndex<'a> {
+    /// Builds the index for one file. Returns `None` when the file does
+    /// not form a balanced token tree (it cannot compile either; the
+    /// per-line rules still cover it).
+    pub fn build(file: &'a WorkspaceFile) -> Option<FileIndex<'a>> {
+        let tokens = lex(&file.src);
+        let tree = ttree::build(&tokens).ok()?;
+        let test_mask = crate::rules::test_region_mask(&tokens);
+        let mut idx = FileIndex {
+            file,
+            tokens,
+            tree,
+            test_mask,
+            fns: Vec::new(),
+            enums: Vec::new(),
+            structs: Vec::new(),
+            strings: Vec::new(),
+        };
+        idx.scan_items();
+        idx.scan_strings();
+        Some(idx)
+    }
+
+    /// The `fn` item (by index order) whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns.iter().rfind(|f| f.body.0 <= i && i <= f.body.1)
+    }
+
+    /// The named fn's body token range, searching lib code first.
+    pub fn fn_named(&self, name: &str, owner: Option<&str>) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .find(|f| f.name == name && (owner.is_none() || f.owner.as_deref() == owner))
+    }
+
+    /// Non-comment token indices of a body range, inclusive of delimiters.
+    pub fn code_in(&self, body: (usize, usize)) -> impl Iterator<Item = usize> + '_ {
+        (body.0..=body.1.min(self.tokens.len().saturating_sub(1)))
+            .filter(move |&i| self.tokens[i].kind != TokenKind::Comment)
+    }
+
+    fn scan_items(&mut self) {
+        // Track the innermost `impl` block covering each position via a
+        // stack of (close-brace index, type name).
+        let mut impl_stack: Vec<(usize, String)> = Vec::new();
+        let n = self.tokens.len();
+        let mut i = 0usize;
+        while i < n {
+            while impl_stack.last().is_some_and(|(end, _)| i > *end) {
+                impl_stack.pop();
+            }
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text {
+                "impl" => {
+                    if let Some((name, open)) = self.impl_header(i) {
+                        if let Some(close) = self.tree.match_of[open] {
+                            impl_stack.push((close, name));
+                        }
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                "fn" => {
+                    if let Some(item) = self.fn_item(i, impl_stack.last().map(|(_, n)| n.clone())) {
+                        let next = item.body.0 + 1;
+                        self.fns.push(item);
+                        i = next;
+                        continue;
+                    }
+                }
+                "enum" => {
+                    if let Some(item) = self.enum_item(i) {
+                        self.enums.push(item);
+                    }
+                }
+                "struct" => {
+                    if let Some(item) = self.struct_item(i) {
+                        self.structs.push(item);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Bodies nest (closures, inner fns); `enclosing_fn` picks the
+        // innermost via `.last()`, which requires source order. `scan`
+        // already emits in source order of the `fn` keyword.
+    }
+
+    /// Parses `impl [<generics>] Type [for Trait] {`, returning the type
+    /// name and the index of the opening brace.
+    fn impl_header(&self, impl_kw: usize) -> Option<(String, usize)> {
+        let mut name: Option<&str> = None;
+        let mut j = impl_kw + 1;
+        let n = self.tokens.len();
+        while j < n {
+            let t = &self.tokens[j];
+            match t.kind {
+                TokenKind::Comment => {}
+                TokenKind::Ident if t.text == "for" => {
+                    // `impl Trait for Type`: the type follows.
+                    name = None;
+                }
+                TokenKind::Ident if t.text != "where" && name.is_none() => {
+                    name = Some(t.text);
+                }
+                TokenKind::Punct if t.text == "{" => {
+                    return name.map(|s| (s.to_string(), j));
+                }
+                TokenKind::Punct if t.text == ";" => return None,
+                TokenKind::Punct if t.text == "<" || t.text == "(" || t.text == "[" => {
+                    // Skip generic params / tuple types wholesale. `<` is
+                    // not tree-matched, so balance it manually.
+                    if t.text == "<" {
+                        let mut depth = 1i32;
+                        j += 1;
+                        while j < n && depth > 0 {
+                            match self.tokens[j].text {
+                                "<" => depth += 1,
+                                ">" => depth -= 1,
+                                ">>" => depth -= 2,
+                                "{" | ";" => return None,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    if let Some(close) = self.tree.match_of[j] {
+                        j = close;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Parses `fn name (…) … {`, returning the item. `fn_kw` points at the
+    /// `fn` keyword.
+    fn fn_item(&self, fn_kw: usize, owner: Option<String>) -> Option<FnItem> {
+        let n = self.tokens.len();
+        // Name: the next code token must be an identifier.
+        let mut j = fn_kw + 1;
+        while j < n && self.tokens[j].kind == TokenKind::Comment {
+            j += 1;
+        }
+        let name_tok = self.tokens.get(j)?;
+        if name_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let name = name_tok.text.to_string();
+        // Find the parameter list `(…)`, skipping generics.
+        j += 1;
+        while j < n && self.tokens[j].text != "(" {
+            if self.tokens[j].text == "{" || self.tokens[j].text == ";" {
+                return None;
+            }
+            j += 1;
+        }
+        let params_close = self.tree.match_of.get(j).copied().flatten()?;
+        // The body is the first `{` after the signature; a `;` first means
+        // a bodyless declaration. Return-type/where-clause tokens cannot
+        // contain braces in this workspace's style.
+        let mut k = params_close + 1;
+        while k < n {
+            match self.tokens[k].text {
+                "{" => {
+                    let close = self.tree.match_of[k]?;
+                    return Some(FnItem {
+                        name,
+                        owner,
+                        line: self.tokens[fn_kw].line,
+                        body: (k, close),
+                        in_test: self.test_mask.get(fn_kw).copied().unwrap_or(false),
+                    });
+                }
+                ";" => return None,
+                _ => k += 1,
+            }
+        }
+        None
+    }
+
+    /// Parses `enum Name { Variant, Variant(…), Variant { … }, … }`.
+    fn enum_item(&self, enum_kw: usize) -> Option<EnumItem> {
+        let (name, open) = self.braced_item_header(enum_kw)?;
+        let close = self.tree.match_of[open]?;
+        let inner = self.tree.depth[open] + 1;
+        let mut variants = Vec::new();
+        let mut expecting = true;
+        let mut j = open + 1;
+        while j < close {
+            let t = &self.tokens[j];
+            if t.kind == TokenKind::Comment || self.tree.depth[j] > inner {
+                j += 1;
+                continue;
+            }
+            match (t.kind, t.text) {
+                // Skip an attribute's `#[…]` group wholesale.
+                (TokenKind::Punct, "#") if self.tokens.get(j + 1).map(|t| t.text) == Some("[") => {
+                    j = self.tree.match_of[j + 1].unwrap_or(j + 1);
+                }
+                (TokenKind::Ident, _) if expecting => {
+                    variants.push((t.text.to_string(), t.line));
+                    expecting = false;
+                }
+                (TokenKind::Punct, ",") => expecting = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        Some(EnumItem {
+            name,
+            line: self.tokens[enum_kw].line,
+            variants,
+        })
+    }
+
+    /// Parses `struct Name { field: Type, … }`. Tuple and unit structs
+    /// yield an empty field list.
+    fn struct_item(&self, struct_kw: usize) -> Option<StructItem> {
+        let (name, open) = self.braced_item_header(struct_kw)?;
+        let close = self.tree.match_of[open]?;
+        let inner = self.tree.depth[open] + 1;
+        let mut fields = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            let t = &self.tokens[j];
+            if t.kind == TokenKind::Comment || self.tree.depth[j] > inner {
+                j += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Punct && t.text == "#" {
+                if self.tokens.get(j + 1).map(|t| t.text) == Some("[") {
+                    j = self.tree.match_of[j + 1].unwrap_or(j + 1);
+                }
+                j += 1;
+                continue;
+            }
+            // A field is an identifier directly followed by `:` at field
+            // depth (`pub` and visibility groups fall through naturally).
+            if t.kind == TokenKind::Ident {
+                let mut k = j + 1;
+                while k < close && self.tokens[k].kind == TokenKind::Comment {
+                    k += 1;
+                }
+                if self.tokens.get(k).map(|t| t.text) == Some(":") && self.tree.depth[k] == inner {
+                    fields.push((t.text.to_string(), t.line));
+                }
+            }
+            j += 1;
+        }
+        Some(StructItem {
+            name,
+            line: self.tokens[struct_kw].line,
+            fields,
+        })
+    }
+
+    /// Shared header parse for `enum`/`struct`: `kw Name [<generics>] {`,
+    /// returning the name and opening-brace index. Tuple structs
+    /// (`struct X(…);`) return their `(` — callers see no named fields.
+    fn braced_item_header(&self, kw: usize) -> Option<(String, usize)> {
+        let n = self.tokens.len();
+        let mut j = kw + 1;
+        while j < n && self.tokens[j].kind == TokenKind::Comment {
+            j += 1;
+        }
+        let name_tok = self.tokens.get(j)?;
+        if name_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let name = name_tok.text.to_string();
+        j += 1;
+        while j < n {
+            match self.tokens[j].text {
+                "{" => return Some((name, j)),
+                "(" => {
+                    // Tuple struct: no named fields; report its paren group
+                    // so the caller scans an empty interior… except tuple
+                    // groups contain types, so return None instead.
+                    return None;
+                }
+                ";" => return None,
+                "<" => {
+                    let mut depth = 1i32;
+                    j += 1;
+                    while j < n && depth > 0 {
+                        match self.tokens[j].text {
+                            "<" => depth += 1,
+                            ">" => depth -= 1,
+                            ">>" => depth -= 2,
+                            ";" => return None,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    fn scan_strings(&mut self) {
+        let mut strings = Vec::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Str {
+                continue;
+            }
+            let value = unquote(t.text);
+            strings.push(StrLit {
+                value,
+                line: t.line,
+                in_fn: self.enclosing_fn(i).map(|f| f.name.clone()),
+                in_test: self.test_mask.get(i).copied().unwrap_or(false),
+            });
+        }
+        self.strings = strings;
+    }
+}
+
+/// Strips the quotes (and any `r`/`b`/`c`/`#` dressing) from a string
+/// literal's source text. Only `\"` is unescaped — the exhaustiveness
+/// rule must see the wire key `"cal_len"` inside hand-written serializer
+/// fragments like `"{\"cal_len\":"`; other escape sequences are left as
+/// written because the rules only compare kebab codes and quoted keys,
+/// neither of which contain them.
+pub(crate) fn unquote(text: &str) -> String {
+    let inner = text.trim_start_matches(['r', 'b', 'c']).trim_matches('#');
+    let inner = inner.strip_prefix('"').unwrap_or(inner);
+    let inner = inner.strip_suffix('"').unwrap_or(inner);
+    inner.replace("\\\"", "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+
+    fn ws(src: &str) -> WorkspaceFile {
+        WorkspaceFile {
+            rel: "crates/serve/src/fixture.rs".to_string(),
+            crate_name: "serve".to_string(),
+            kind: FileKind::Lib,
+            src: src.to_string(),
+        }
+    }
+
+    #[test]
+    fn indexes_fns_with_impl_owners() {
+        let file = ws("fn free() { helper(); }\n\
+                       struct S { x: u64 }\n\
+                       impl S {\n\
+                           pub fn method(&self) -> u64 { self.x }\n\
+                       }\n\
+                       impl std::fmt::Display for S {\n\
+                           fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+                       }\n");
+        let idx = FileIndex::build(&file).unwrap();
+        let names: Vec<(String, Option<String>)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".to_string(), None),
+                ("method".to_string(), Some("S".to_string())),
+                ("fmt".to_string(), Some("S".to_string())),
+            ]
+        );
+        assert_eq!(idx.structs[0].name, "S");
+        assert_eq!(idx.structs[0].fields[0].0, "x");
+    }
+
+    #[test]
+    fn indexes_enum_variants_with_payloads_stripped() {
+        let file = ws("pub enum Record {\n\
+                           /// doc\n\
+                           Hello { tenant: String, seq: Option<u64> },\n\
+                           Arrive(Vec<u64>),\n\
+                           #[allow(dead_code)]\n\
+                           Tick,\n\
+                           Checkpoint(Box<State>),\n\
+                       }\n");
+        let idx = FileIndex::build(&file).unwrap();
+        let vs: Vec<&str> = idx.enums[0]
+            .variants
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect();
+        assert_eq!(vs, vec!["Hello", "Arrive", "Tick", "Checkpoint"]);
+    }
+
+    #[test]
+    fn string_table_records_enclosing_fn_and_test_regions() {
+        let file = ws("fn reply() -> &'static str { \"seq-gap\" }\n\
+                       #[cfg(test)]\n\
+                       mod tests {\n\
+                           fn t() { let _ = \"test-only-code\"; }\n\
+                       }\n");
+        let idx = FileIndex::build(&file).unwrap();
+        let gap = idx.strings.iter().find(|s| s.value == "seq-gap").unwrap();
+        assert_eq!(gap.in_fn.as_deref(), Some("reply"));
+        assert!(!gap.in_test);
+        let test = idx
+            .strings
+            .iter()
+            .find(|s| s.value == "test-only-code")
+            .unwrap();
+        assert!(test.in_test);
+    }
+
+    #[test]
+    fn struct_fields_skip_method_like_lookalikes() {
+        let file = ws("pub struct CheckpointState {\n\
+                           pub tenant: String,\n\
+                           pub last_seq: Option<u64>,\n\
+                           pub engine: EngineSnapshot,\n\
+                       }\n\
+                       pub struct Unit;\n");
+        let idx = FileIndex::build(&file).unwrap();
+        let fields: Vec<&str> = idx.structs[0]
+            .fields
+            .iter()
+            .map(|(f, _)| f.as_str())
+            .collect();
+        assert_eq!(fields, vec!["tenant", "last_seq", "engine"]);
+    }
+}

@@ -109,10 +109,22 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.number(),
                 b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
                 _ if b >= 0x80 => {
-                    // Non-ASCII: treat as identifier-ish (only appears in
-                    // comments/strings in this workspace anyway).
-                    self.bump();
-                    TokenKind::Punct
+                    // Non-ASCII outside a comment/string: consume the whole
+                    // UTF-8 character (never a single byte — a mid-character
+                    // token boundary would make the text slice panic) and
+                    // fold any following identifier characters in, so
+                    // `café` lexes as one identifier-ish token.
+                    self.bump_char();
+                    while let Some(b) = self.peek(0) {
+                        if b == b'_' || b.is_ascii_alphanumeric() {
+                            self.bump();
+                        } else if b >= 0x80 {
+                            self.bump_char();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident
                 }
                 _ => self.punct(),
             };
@@ -154,6 +166,27 @@ impl<'a> Lexer<'a> {
             self.line += 1;
         }
         self.pos += 1;
+    }
+
+    /// Advances past one whole character: a single byte for ASCII, the full
+    /// UTF-8 sequence otherwise. Token boundaries must always land on
+    /// character boundaries or slicing [`Token::text`] would panic.
+    fn bump_char(&mut self) {
+        let b = self.bytes[self.pos];
+        if b < 0x80 {
+            self.bump();
+            return;
+        }
+        // Leading byte encodes the sequence length; continuation bytes are
+        // never newlines, so the line counter is untouched.
+        let len = if b >= 0xF0 {
+            4
+        } else if b >= 0xE0 {
+            3
+        } else {
+            2
+        };
+        self.pos = (self.pos + len).min(self.bytes.len());
     }
 
     fn bump_n(&mut self, n: usize) {
@@ -230,10 +263,13 @@ impl<'a> Lexer<'a> {
                     self.bump_n(2); // `x'`
                     TokenKind::Char
                 } else {
-                    // Lifetime: consume identifier chars.
+                    // Lifetime: consume identifier chars (non-ASCII ones
+                    // whole, like `ident` does).
                     while let Some(b) = self.peek(0) {
                         if b == b'_' || b.is_ascii_alphanumeric() {
                             self.bump();
+                        } else if b >= 0x80 {
+                            self.bump_char();
                         } else {
                             break;
                         }
@@ -242,8 +278,9 @@ impl<'a> Lexer<'a> {
                 }
             }
             Some(_) => {
-                // `'('` style: char literal with punctuation payload.
-                self.bump();
+                // `'('` style: char literal with a punctuation — or
+                // multi-byte, e.g. `'é'` — payload.
+                self.bump_char();
                 if self.peek(0) == Some(b'\'') {
                     self.bump();
                 }
@@ -393,6 +430,10 @@ impl<'a> Lexer<'a> {
         while let Some(b) = self.peek(0) {
             if b == b'_' || b.is_ascii_alphanumeric() {
                 self.bump();
+            } else if b >= 0x80 {
+                // Non-ASCII identifier characters (`café`) stay in the
+                // same token, consumed a whole character at a time.
+                self.bump_char();
             } else {
                 break;
             }
@@ -575,5 +616,54 @@ mod tests {
         for src in ["\"abc", "r#\"abc", "/* abc", "'", "1.", "@#$%"] {
             let _ = lex(src);
         }
+    }
+
+    #[test]
+    fn non_ascii_char_literals_do_not_split_utf8_sequences() {
+        // Every token boundary must land on a character boundary; a naive
+        // byte bump after the opening quote would slice mid-`é` and panic.
+        assert_eq!(code("'é'")[0], (TokenKind::Char, "'é'"));
+        assert_eq!(code("'😀'")[0], (TokenKind::Char, "'😀'"));
+        assert_eq!(code("let c = '→';")[3], (TokenKind::Char, "'→'"));
+        // Multi-byte escapes still terminate at the closing quote.
+        assert_eq!(code("'\\u{1F600}'")[0], (TokenKind::Char, "'\\u{1F600}'"));
+    }
+
+    #[test]
+    fn non_ascii_identifiers_lex_as_single_tokens() {
+        let toks = code("let café_2 = größe;");
+        assert_eq!(toks[1].1, "café_2");
+        assert_eq!(toks[3].1, "größe");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+        // Totality on stray multi-byte punctuation and truncated input.
+        for src in ["é", "🦀🦀", "'é", "x…y", "'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate_exactly() {
+        let toks = kinds("/* a /* b /* c */ b */ a */ x /* tail");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.ends_with("a */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+        // The unterminated tail is tolerated as one comment token.
+        assert_eq!(toks[2].0, TokenKind::Comment);
+    }
+
+    #[test]
+    fn lifetime_then_char_sequences_disambiguate() {
+        // `<'a, 'b'>`-ish mixes: lifetime followed by a char literal.
+        let toks = code("f::<'a>('b')");
+        let lt: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let ch: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lt, vec![&(TokenKind::Lifetime, "'a")]);
+        assert_eq!(ch, vec![&(TokenKind::Char, "'b'")]);
+        // Underscore lifetime and labeled loops.
+        assert_eq!(code("&'_ T")[1], (TokenKind::Lifetime, "'_"));
+        assert_eq!(code("'outer: loop {}")[0], (TokenKind::Lifetime, "'outer"));
     }
 }

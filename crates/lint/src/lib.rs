@@ -9,9 +9,17 @@
 //!
 //! * [`lexer`] — a hand-rolled, comment/string/raw-string/char-literal-aware
 //!   Rust lexer (in the house style of `calib_core::json`'s parser);
-//! * [`rules`] — the five invariants (`exact-arith`, `narrowing-cast`,
-//!   `panic-freedom`, `io-discipline`, `threshold-division`) with their
-//!   crate/file scoping and the inline `// lint:allow(<rule>)` marker;
+//! * [`ttree`] — delimiter matching and nesting depth over the token
+//!   stream (the structural layer the semantic rules walk);
+//! * [`index`] — a per-file symbol index: `fn` items with `impl` owners,
+//!   enum variants, struct fields, and string-literal tables;
+//! * [`rules`] — the per-line invariants L1–L5 (`exact-arith`,
+//!   `narrowing-cast`, `panic-freedom`, `io-discipline`,
+//!   `threshold-division`) with their crate/file scoping and the inline
+//!   `// lint:allow(<rule>)` marker;
+//! * [`sem`] — the cross-file semantic rules L6–L9 (`lock-discipline`,
+//!   `atomic-ordering`, `wire-registry`, `journal-exhaustiveness`),
+//!   checked against the authoritative tables in DESIGN.md and SERVE.md;
 //! * [`baseline`] — the grandfathering ratchet backed by the committed
 //!   `results/lint_baseline.json` (counts may only shrink);
 //! * [`walk`] — convention-based workspace file discovery.
@@ -26,8 +34,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod baseline;
+pub mod index;
 pub mod lexer;
 pub mod rules;
+pub mod sem;
+pub mod ttree;
 pub mod walk;
 
 pub use baseline::{compare, Baseline, Delta, RatchetReport};
@@ -36,7 +47,8 @@ pub use walk::{collect_workspace, WorkspaceFile};
 
 use std::path::Path;
 
-/// Lints every workspace source file under `root`, returning findings
+/// Lints every workspace source file under `root` — the per-line rules
+/// file by file, then the cross-file semantic pass — returning findings
 /// sorted by `(file, line, rule)`.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let files = collect_workspace(root)?;
@@ -44,6 +56,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     for file in &files {
         findings.extend(lint_file(&file.as_source()));
     }
+    findings.extend(sem::check_workspace(root, &files));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }

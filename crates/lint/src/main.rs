@@ -13,8 +13,16 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use calib_lint::baseline::{compare, Baseline};
+use calib_core::json::Json;
+use calib_lint::baseline::{compare, Baseline, RatchetReport};
 use calib_lint::lint_workspace;
+use calib_lint::Finding;
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     root: PathBuf,
@@ -23,6 +31,7 @@ struct Options {
     no_baseline: bool,
     list: bool,
     quiet: bool,
+    format: Format,
 }
 
 /// The workspace root this binary was compiled in (crates/lint/../..).
@@ -43,6 +52,7 @@ impl Default for Options {
             no_baseline: false,
             list: false,
             quiet: false,
+            format: Format::Text,
         }
     }
 }
@@ -60,6 +70,8 @@ OPTIONS:
     --no-baseline       ignore the baseline; any finding is fatal
     --list              print every finding, grandfathered or not
     --quiet             suppress the per-rule summary
+    --format <fmt>      output format: text (default) or json — json emits one
+                        object {findings, summary, ratchet, pass} on stdout
     --help              print this help
 ";
 
@@ -78,6 +90,13 @@ fn parse_args() -> Result<Options, String> {
             "--no-baseline" => opts.no_baseline = true,
             "--list" => opts.list = true,
             "--quiet" | "-q" => opts.quiet = true,
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -86,6 +105,61 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// One finding as a JSON object.
+fn finding_json(f: &Finding) -> Json {
+    Json::obj([
+        ("rule", Json::Str(f.rule.name().to_string())),
+        ("file", Json::Str(f.file.clone())),
+        ("line", Json::UInt(u128::from(f.line))),
+        ("message", Json::Str(f.message.clone())),
+    ])
+}
+
+/// The whole run as one JSON document: every finding, per-rule totals,
+/// the ratchet deltas (when a baseline was consulted), and the verdict.
+fn run_json(findings: &[Finding], report: Option<&RatchetReport>, pass: bool) -> Json {
+    let summary = Json::Obj(
+        calib_lint::ALL_RULES
+            .iter()
+            .map(|r| {
+                let n = findings.iter().filter(|f| f.rule == *r).count();
+                (r.name().to_string(), Json::UInt(n as u128))
+            })
+            .filter(|(_, n)| !matches!(n, Json::UInt(0)))
+            .collect(),
+    );
+    let delta_json = |d: &calib_lint::Delta| {
+        Json::obj([
+            ("rule", Json::Str(d.rule.clone())),
+            ("file", Json::Str(d.file.clone())),
+            ("baseline", Json::UInt(u128::from(d.baseline))),
+            ("current", Json::UInt(u128::from(d.current))),
+        ])
+    };
+    let ratchet = match report {
+        None => Json::Null,
+        Some(r) => Json::obj([
+            (
+                "regressions",
+                Json::Arr(r.regressions.iter().map(delta_json).collect()),
+            ),
+            (
+                "improvements",
+                Json::Arr(r.improvements.iter().map(delta_json).collect()),
+            ),
+        ]),
+    };
+    Json::obj([
+        (
+            "findings",
+            Json::Arr(findings.iter().map(finding_json).collect()),
+        ),
+        ("summary", summary),
+        ("ratchet", ratchet),
+        ("pass", Json::Bool(pass)),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -105,7 +179,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if !opts.quiet {
+    if !opts.quiet && opts.format == Format::Text {
         let mut per_rule: Vec<(&str, usize)> = calib_lint::ALL_RULES
             .iter()
             .map(|r| (r.name(), findings.iter().filter(|f| f.rule == *r).count()))
@@ -122,7 +196,7 @@ fn main() -> ExitCode {
             summary.join(", ")
         );
     }
-    if opts.list {
+    if opts.list && opts.format == Format::Text {
         for f in &findings {
             println!("  {f}");
         }
@@ -139,16 +213,35 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
-        println!(
-            "wrote {} ({} grandfathered finding(s))",
-            baseline_path.display(),
-            base.total()
-        );
+        match opts.format {
+            Format::Json => println!(
+                "{}",
+                Json::obj([
+                    ("wrote", Json::Str(baseline_path.display().to_string())),
+                    ("grandfathered", Json::UInt(u128::from(base.total()))),
+                ])
+                .to_string_compact()
+            ),
+            Format::Text => println!(
+                "wrote {} ({} grandfathered finding(s))",
+                baseline_path.display(),
+                base.total()
+            ),
+        }
         return ExitCode::SUCCESS;
     }
 
     if opts.no_baseline {
-        if findings.is_empty() {
+        let pass = findings.is_empty();
+        if opts.format == Format::Json {
+            println!("{}", run_json(&findings, None, pass).to_string_compact());
+            return if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        if pass {
             println!("OK: no findings");
             return ExitCode::SUCCESS;
         }
@@ -170,6 +263,19 @@ fn main() -> ExitCode {
         }
     };
     let report = compare(&base, &findings);
+
+    if opts.format == Format::Json {
+        let pass = report.is_pass();
+        println!(
+            "{}",
+            run_json(&findings, Some(&report), pass).to_string_compact()
+        );
+        return if pass {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for d in &report.improvements {
         println!(

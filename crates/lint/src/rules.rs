@@ -11,7 +11,12 @@
 
 use crate::lexer::{lex, Token, TokenKind};
 
-/// The five enforced invariants. See `LINT.md` for the full catalogue.
+/// The enforced invariants. See `LINT.md` for the full catalogue.
+///
+/// L1–L5 are per-line rules checked by [`lint_file`]; L6–L9 are the
+/// cross-file semantic rules implemented in [`crate::sem`], which share
+/// this identifier space so the baseline ratchet and `lint:allow` markers
+/// treat both kinds uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// L1: no floats (types, literals, casts) in the algorithm crates.
@@ -26,15 +31,33 @@ pub enum RuleId {
     /// L5: no bare integer `/` in threshold comparisons of algorithm
     /// crates; route through `ge_ratio`/`lt_ratio` (`calib_core::types`).
     ThresholdDivision,
+    /// L6: no lock guard held across blocking I/O, and every nested
+    /// acquisition must respect DESIGN.md's serve lock-order table.
+    LockDiscipline,
+    /// L7: atomics use `Ordering::Relaxed` only (counters, not
+    /// synchronization) outside a per-file allowlist, and no
+    /// load-then-store read-modify-write splits.
+    AtomicOrdering,
+    /// L8: every wire `"type"` string and kebab error code is documented
+    /// in SERVE.md, known to retry.rs's classifier, and collision-free.
+    WireRegistry,
+    /// L9: every `JournalRecord` variant is matched in replay, and every
+    /// `CheckpointState`/`EngineSnapshot` field round-trips through both
+    /// serializers and the parser.
+    JournalExhaustiveness,
 }
 
-/// Every rule, in catalogue (L1..L5) order.
-pub const ALL_RULES: [RuleId; 5] = [
+/// Every rule, in catalogue (L1..L9) order.
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::ExactArith,
     RuleId::NarrowingCast,
     RuleId::PanicFreedom,
     RuleId::IoDiscipline,
     RuleId::ThresholdDivision,
+    RuleId::LockDiscipline,
+    RuleId::AtomicOrdering,
+    RuleId::WireRegistry,
+    RuleId::JournalExhaustiveness,
 ];
 
 impl RuleId {
@@ -46,7 +69,23 @@ impl RuleId {
             RuleId::PanicFreedom => "panic-freedom",
             RuleId::IoDiscipline => "io-discipline",
             RuleId::ThresholdDivision => "threshold-division",
+            RuleId::LockDiscipline => "lock-discipline",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::WireRegistry => "wire-registry",
+            RuleId::JournalExhaustiveness => "journal-exhaustiveness",
         }
+    }
+
+    /// Is this one of the cross-file semantic rules (L6–L9) run by
+    /// [`crate::sem::check_workspace`] rather than [`lint_file`]?
+    pub fn is_semantic(self) -> bool {
+        matches!(
+            self,
+            RuleId::LockDiscipline
+                | RuleId::AtomicOrdering
+                | RuleId::WireRegistry
+                | RuleId::JournalExhaustiveness
+        )
     }
 
     /// Inverse of [`RuleId::name`].
@@ -136,7 +175,7 @@ const ALGORITHM_CRATES: [&str; 4] = ["core", "online", "offline", "trace"];
 /// never stdout (a stray `println!` would corrupt the stdin-mode protocol
 /// stream), and every I/O failure must surface as a typed error reply —
 /// the crash-safety layer depends on the daemon never panicking mid-WAL.
-const LIBRARY_CRATES: [&str; 10] = [
+pub(crate) const LIBRARY_CRATES: [&str; 10] = [
     "core",
     "online",
     "offline",
@@ -200,6 +239,12 @@ pub fn rule_applies(rule: RuleId, file: &SourceFile<'_>) -> bool {
         RuleId::IoDiscipline => {
             LIBRARY_CRATES.contains(&file.crate_name) && file.kind == FileKind::Lib
         }
+        // The semantic rules need the whole workspace at once; they are
+        // dispatched from `sem::check_workspace`, never per file.
+        RuleId::LockDiscipline
+        | RuleId::AtomicOrdering
+        | RuleId::WireRegistry
+        | RuleId::JournalExhaustiveness => false,
     }
 }
 
@@ -371,11 +416,18 @@ fn check_rule(
                 }
             }
         }
+        RuleId::LockDiscipline
+        | RuleId::AtomicOrdering
+        | RuleId::WireRegistry
+        | RuleId::JournalExhaustiveness => {
+            // Unreachable: `rule_applies` returns false for these; they
+            // run in `sem::check_workspace` over the whole workspace.
+        }
     }
 }
 
 /// Collects `lint:allow(<rule>…)` markers: `(comment line, rule)` pairs.
-fn allow_markers(tokens: &[Token<'_>]) -> Vec<(u32, RuleId)> {
+pub(crate) fn allow_markers(tokens: &[Token<'_>]) -> Vec<(u32, RuleId)> {
     let mut out = Vec::new();
     for t in tokens {
         if t.kind != TokenKind::Comment {
@@ -399,7 +451,7 @@ fn allow_markers(tokens: &[Token<'_>]) -> Vec<(u32, RuleId)> {
 
 /// Marks the token ranges of `#[cfg(test)]` items (`mod tests { … }`,
 /// functions, `use` declarations). Returns one flag per token.
-fn test_region_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Token<'_>]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let code: Vec<usize> = (0..tokens.len())
         .filter(|&i| tokens[i].kind != TokenKind::Comment)

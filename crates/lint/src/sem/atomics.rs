@@ -1,0 +1,113 @@
+//! L7 `atomic-ordering`: the metrics registry's documented invariant is
+//! that atomics are *counters*, not synchronization — every access uses
+//! `Ordering::Relaxed`, and cross-thread visibility is provided by the
+//! mutexes around them (DESIGN.md). Two checks enforce that:
+//!
+//! * Any `Ordering::X` with `X` stronger than `Relaxed` must be on the
+//!   per-file allowlist below. Only the five atomic orderings are
+//!   matched, so `cmp::Ordering::Less` and friends never fire.
+//! * A read-modify-write split across two calls — the same receiver
+//!   `.load(…)`-ed and separately `.store(…)`/`.swap(…)`-ed inside one
+//!   function — is a lost-update window; `fetch_add`/`fetch_max` keep the
+//!   counter exact under concurrency.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, RuleId};
+
+use super::SemContext;
+
+/// The atomic memory orderings (and nothing else — `cmp::Ordering`
+/// variants must not match).
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// `(file, ordering)` pairs allowed beyond `Relaxed`, each with a reason
+/// the catalogue in LINT.md repeats: the serve shutdown flag is a
+/// cross-thread control signal, not a counter, and uses `SeqCst` so the
+/// drain path's store is visible to the worker and metrics threads
+/// without reasoning about fences.
+const ALLOWED: [(&str, &str); 1] = [("crates/serve/src/server.rs", "SeqCst")];
+
+/// Atomic writer methods that pair with `.load` into an RMW split.
+const WRITE_METHODS: [&str; 2] = ["store", "swap"];
+
+pub fn check(ctx: &SemContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for idx in &ctx.indexes {
+        let toks = &idx.tokens;
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokenKind::Comment)
+            .collect();
+        let text = |ci: usize| code.get(ci).map(|&i| toks[i].text).unwrap_or("");
+
+        // Non-Relaxed orderings outside the allowlist.
+        for (ci, &i) in code.iter().enumerate() {
+            if idx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if toks[i].kind == TokenKind::Ident
+                && toks[i].text == "Ordering"
+                && text(ci + 1) == "::"
+                && ATOMIC_ORDERINGS.contains(&text(ci + 2))
+            {
+                let ord = text(ci + 2);
+                if ord == "Relaxed" {
+                    continue;
+                }
+                let allowed = ALLOWED.iter().any(|(f, o)| *f == idx.file.rel && *o == ord);
+                if !allowed {
+                    findings.push(Finding {
+                        rule: RuleId::AtomicOrdering,
+                        file: idx.file.rel.clone(),
+                        line: toks[i].line,
+                        message: format!(
+                            "`Ordering::{ord}` outside the Relaxed-only atomics contract — counters \
+                             are Relaxed by design; synchronization belongs to the mutexes \
+                             (allowlist: sem::atomics)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // RMW splits, per function.
+        for item in &idx.fns {
+            if item.in_test {
+                continue;
+            }
+            let body: Vec<usize> = idx.code_in(item.body).collect();
+            let btext = |ci: usize| body.get(ci).map(|&i| toks[i].text).unwrap_or("");
+            let mut loads: Vec<&str> = Vec::new();
+            let mut writes: Vec<(&str, &str, u32)> = Vec::new();
+            for (ci, &i) in body.iter().enumerate() {
+                if toks[i].kind != TokenKind::Ident || btext(ci + 1) != "." {
+                    continue;
+                }
+                let m = btext(ci + 2);
+                if btext(ci + 3) != "(" {
+                    continue;
+                }
+                if m == "load" {
+                    loads.push(toks[i].text);
+                } else if WRITE_METHODS.contains(&m) {
+                    writes.push((toks[i].text, m, toks[i].line));
+                }
+            }
+            for (recv, m, line) in writes {
+                if loads.contains(&recv) {
+                    findings.push(Finding {
+                        rule: RuleId::AtomicOrdering,
+                        file: idx.file.rel.clone(),
+                        line,
+                        message: format!(
+                            "atomic `{recv}` is `.load`-ed and separately `.{m}`-ed in `{}` — a \
+                             lost-update window; use a single `fetch_*` read-modify-write",
+                            item.name
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    findings
+}

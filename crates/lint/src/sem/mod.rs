@@ -1,0 +1,119 @@
+//! The cross-file semantic pass: rules L6–L9.
+//!
+//! Unlike L1–L5, these rules need to see several files at once — the lock
+//! acquisition graph spans `server.rs`/`metrics.rs`/`session.rs`, the wire
+//! registry cross-checks `protocol.rs` against `SERVE.md` and `retry.rs`,
+//! and journal exhaustiveness compares `journal.rs` enums against the
+//! replay path and `protocol.rs` serializers against struct definitions in
+//! two crates. The pass therefore runs once per workspace, after the
+//! per-file rules, over [`crate::index::FileIndex`]es of every library
+//! file.
+//!
+//! The pass is *silent* when the serve crate is absent: synthetic
+//! mini-workspaces used by the walker/ratchet tests simply produce no
+//! L6–L9 findings. `lint:allow(<rule>)` markers suppress semantic findings
+//! exactly like per-line ones (same line or the line after the marker);
+//! findings anchored in `DESIGN.md`/`SERVE.md` are not suppressible — they
+//! mean the authoritative tables themselves are out of sync.
+
+use std::path::Path;
+
+use crate::index::FileIndex;
+use crate::rules::{allow_markers, FileKind, Finding, LIBRARY_CRATES};
+use crate::walk::WorkspaceFile;
+
+pub mod atomics;
+pub mod exhaustive;
+pub mod locks;
+pub mod wire;
+
+/// Everything the semantic rules query: per-file symbol indexes plus the
+/// authoritative documentation the rules cross-check against.
+pub struct SemContext<'a> {
+    /// Indexes of every library file in the linted crates.
+    pub indexes: Vec<FileIndex<'a>>,
+    /// `DESIGN.md` contents (lock-order table), when present.
+    pub design_md: Option<String>,
+    /// `SERVE.md` contents (wire catalogue), when present.
+    pub serve_md: Option<String>,
+}
+
+impl<'a> SemContext<'a> {
+    /// The index for one workspace-relative path.
+    pub fn index_of(&self, rel: &str) -> Option<&FileIndex<'a>> {
+        self.indexes.iter().find(|i| i.file.rel == rel)
+    }
+
+    /// Indexes of the serve crate's library files.
+    pub fn serve_libs(&self) -> impl Iterator<Item = &FileIndex<'a>> {
+        self.indexes.iter().filter(|i| i.file.crate_name == "serve")
+    }
+}
+
+/// Runs L6–L9 over the workspace, reading `DESIGN.md`/`SERVE.md` from
+/// `root`. Findings are unsorted; the caller merges and sorts.
+pub fn check_workspace(root: &Path, files: &[WorkspaceFile]) -> Vec<Finding> {
+    let design_md = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let serve_md = std::fs::read_to_string(root.join("SERVE.md")).ok();
+    check_files(files, design_md, serve_md)
+}
+
+/// [`check_workspace`] with the documentation passed in directly — the
+/// entry point fixture tests use (no on-disk workspace needed).
+pub fn check_files(
+    files: &[WorkspaceFile],
+    design_md: Option<String>,
+    serve_md: Option<String>,
+) -> Vec<Finding> {
+    let indexes: Vec<FileIndex<'_>> = files
+        .iter()
+        .filter(|f| f.kind == FileKind::Lib && LIBRARY_CRATES.contains(&f.crate_name.as_str()))
+        .filter_map(FileIndex::build)
+        .collect();
+    let ctx = SemContext {
+        indexes,
+        design_md,
+        serve_md,
+    };
+
+    let mut findings = Vec::new();
+    findings.extend(locks::check(&ctx));
+    findings.extend(atomics::check(&ctx));
+    findings.extend(wire::check(&ctx));
+    findings.extend(exhaustive::check(&ctx));
+
+    // Apply `lint:allow` markers, per file, with the same same-line-or-next
+    // semantics as the per-line engine.
+    for idx in &ctx.indexes {
+        let allows = allow_markers(&idx.tokens);
+        if allows.is_empty() {
+            continue;
+        }
+        findings.retain(|f| {
+            f.file != idx.file.rel
+                || !allows
+                    .iter()
+                    .any(|(line, rule)| *rule == f.rule && (f.line == *line || f.line == *line + 1))
+        });
+    }
+    findings
+}
+
+/// Kebab-case wire-code shape: lowercase alphanumerics joined by `-`,
+/// at least one hyphen (`seq-gap`, `unknown-tenant`).
+pub(crate) fn is_kebab(s: &str) -> bool {
+    s.contains('-')
+        && !s.starts_with('-')
+        && !s.ends_with('-')
+        && !s.contains("--")
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Single lowercase word (wire `"type"` shape: `hello`, `tick`).
+pub(crate) fn is_word(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}

@@ -1,0 +1,268 @@
+//! L8 `wire-registry`: every wire `"type"` string and kebab error code is
+//! extracted from the serve crate's protocol surface and cross-checked:
+//!
+//! * **Documented** — SERVE.md must mention each request type, reply type,
+//!   and error code in backticks; a new wire variant cannot ship
+//!   undocumented.
+//! * **Classified** — every kebab code retry.rs branches on must exist in
+//!   the registry, so the client's retryable/fatal classification cannot
+//!   reference a code the daemon never sends (e.g. after a rename).
+//! * **Collision-free** — no error code may collide with a message type.
+//!
+//! Extraction is structural: reply types are the string paired with a
+//! `"type"` key in `protocol.rs`; request types are the match/comparison
+//! literals inside `Request::from_json`; codes are the first string
+//! argument of `Reply::error(…)` / `SessionError::new(…)`, the match-arm
+//! literals of `EngineError::code`, plus any kebab-shaped literal in the
+//! protocol-bearing serve files (`protocol.rs`, `server.rs`,
+//! `session.rs`) — kebab-case is reserved for wire codes in those files
+//! by house convention.
+
+use std::collections::BTreeMap;
+
+use crate::index::FileIndex;
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, RuleId};
+
+use super::{is_kebab, is_word, SemContext};
+
+/// Serve files whose kebab-shaped string literals are wire error codes.
+const CODE_FILES: [&str; 3] = [
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/session.rs",
+];
+
+/// Constructors whose first string argument is a wire error code.
+const CODE_CTORS: [(&str, &str); 2] = [("Reply", "error"), ("SessionError", "new")];
+
+/// First string literal inside the paren group opening at code position
+/// `open_ci`, as `(value, line)`.
+fn first_str_arg(idx: &FileIndex<'_>, code: &[usize], open_ci: usize) -> Option<(String, u32)> {
+    let open_tok = *code.get(open_ci)?;
+    let close_tok = idx.tree.match_of.get(open_tok).copied().flatten()?;
+    for &i in code.iter().skip(open_ci + 1) {
+        if i >= close_tok {
+            break;
+        }
+        if idx.tokens[i].kind == TokenKind::Str {
+            return Some((
+                crate::index::unquote(idx.tokens[i].text),
+                idx.tokens[i].line,
+            ));
+        }
+    }
+    None
+}
+
+/// Collects the registry of error codes: `code → first (file, line)`.
+fn collect_codes(ctx: &SemContext<'_>) -> BTreeMap<String, (String, u32)> {
+    let mut codes: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut add = |code: String, file: &str, line: u32| {
+        codes.entry(code).or_insert((file.to_string(), line));
+    };
+
+    for rel in CODE_FILES {
+        let Some(idx) = ctx.index_of(rel) else {
+            continue;
+        };
+        let code: Vec<usize> = (0..idx.tokens.len())
+            .filter(|&i| idx.tokens[i].kind != TokenKind::Comment)
+            .collect();
+        let text = |ci: usize| code.get(ci).map(|&i| idx.tokens[i].text).unwrap_or("");
+        for ci in 0..code.len() {
+            let i = code[ci];
+            if idx.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            // Constructor calls: `Reply::error("code", …)`.
+            if idx.tokens[i].kind == TokenKind::Ident
+                && text(ci + 1) == "::"
+                && text(ci + 3) == "("
+                && CODE_CTORS
+                    .iter()
+                    .any(|(ty, m)| *ty == idx.tokens[i].text && *m == text(ci + 2))
+            {
+                if let Some((value, line)) = first_str_arg(idx, &code, ci + 3) {
+                    if is_kebab(&value) || is_word(&value) {
+                        add(value, rel, line);
+                    }
+                }
+            }
+            // Any kebab literal in these files is a code by convention.
+            if idx.tokens[i].kind == TokenKind::Str {
+                let value = crate::index::unquote(idx.tokens[i].text);
+                if is_kebab(&value) {
+                    add(value, rel, idx.tokens[i].line);
+                }
+            }
+        }
+    }
+
+    // The engine's own codes: match arms of `EngineError::code`.
+    if let Some(idx) = ctx.index_of("crates/online/src/engine.rs") {
+        if let Some(item) = idx.fn_named("code", Some("EngineError")) {
+            let body: Vec<usize> = idx.code_in(item.body).collect();
+            for (bi, &i) in body.iter().enumerate() {
+                if idx.tokens[i].kind == TokenKind::Str
+                    && bi >= 1
+                    && idx.tokens[body[bi - 1]].text == "=>"
+                {
+                    let value = crate::index::unquote(idx.tokens[i].text);
+                    if is_kebab(&value) {
+                        add(value, "crates/online/src/engine.rs", idx.tokens[i].line);
+                    }
+                }
+            }
+        }
+    }
+    codes
+}
+
+/// Reply `"type"` strings: a `"type"` literal followed (within the same
+/// tuple/call) by the type's string value.
+fn collect_reply_types(idx: &FileIndex<'_>) -> BTreeMap<String, u32> {
+    let mut types = BTreeMap::new();
+    let code: Vec<usize> = (0..idx.tokens.len())
+        .filter(|&i| idx.tokens[i].kind != TokenKind::Comment)
+        .collect();
+    for ci in 0..code.len() {
+        let i = code[ci];
+        if idx.tokens[i].kind != TokenKind::Str
+            || crate::index::unquote(idx.tokens[i].text) != "type"
+            || idx.test_mask.get(i).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        // `("type", Json::Str("ok"))` — the value is the next string
+        // literal within a handful of tokens.
+        for &j in code.iter().skip(ci + 1).take(6) {
+            if idx.tokens[j].kind == TokenKind::Str {
+                let value = crate::index::unquote(idx.tokens[j].text);
+                if is_word(&value) {
+                    types.entry(value).or_insert(idx.tokens[j].line);
+                }
+                break;
+            }
+        }
+    }
+    types
+}
+
+/// Request `"type"` strings: match/equality literals in
+/// `Request::from_json`.
+fn collect_request_types(idx: &FileIndex<'_>) -> BTreeMap<String, u32> {
+    let mut types = BTreeMap::new();
+    let Some(item) = idx.fn_named("from_json", Some("Request")) else {
+        return types;
+    };
+    let body: Vec<usize> = idx.code_in(item.body).collect();
+    for (bi, &i) in body.iter().enumerate() {
+        if idx.tokens[i].kind != TokenKind::Str {
+            continue;
+        }
+        let next = body.get(bi + 1).map(|&j| idx.tokens[j].text).unwrap_or("");
+        let prev = bi
+            .checked_sub(1)
+            .and_then(|p| body.get(p))
+            .map(|&j| idx.tokens[j].text)
+            .unwrap_or("");
+        if next != "=>" && prev != "==" && next != "|" && prev != "|" {
+            continue;
+        }
+        let value = crate::index::unquote(idx.tokens[i].text);
+        if is_word(&value) {
+            types.entry(value).or_insert(idx.tokens[i].line);
+        }
+    }
+    types
+}
+
+pub fn check(ctx: &SemContext<'_>) -> Vec<Finding> {
+    let Some(protocol) = ctx.index_of("crates/serve/src/protocol.rs") else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    let push = |findings: &mut Vec<Finding>, file: &str, line: u32, message: String| {
+        findings.push(Finding {
+            rule: RuleId::WireRegistry,
+            file: file.to_string(),
+            line,
+            message,
+        });
+    };
+
+    let codes = collect_codes(ctx);
+    let mut types = collect_reply_types(protocol);
+    for (t, line) in collect_request_types(protocol) {
+        types.entry(t).or_insert(line);
+    }
+
+    let Some(serve_md) = ctx.serve_md.as_deref() else {
+        push(
+            &mut findings,
+            &protocol.file.rel,
+            1,
+            "SERVE.md not found — the wire registry cannot be cross-checked against the catalogue"
+                .to_string(),
+        );
+        return findings;
+    };
+
+    // Documented: every code and type appears in backticks in SERVE.md.
+    for (code, (file, line)) in &codes {
+        if !serve_md.contains(&format!("`{code}`")) {
+            push(
+                &mut findings,
+                file,
+                *line,
+                format!("wire error code `{code}` is not documented in SERVE.md"),
+            );
+        }
+    }
+    for (ty, line) in &types {
+        if !serve_md.contains(&format!("`{ty}`")) {
+            push(
+                &mut findings,
+                &protocol.file.rel,
+                *line,
+                format!("wire message type `{ty}` is not documented in SERVE.md"),
+            );
+        }
+    }
+
+    // Classified: retry.rs may only branch on codes the daemon can send.
+    if let Some(retry) = ctx.index_of("crates/serve/src/retry.rs") {
+        for s in &retry.strings {
+            if s.in_test || !is_kebab(&s.value) {
+                continue;
+            }
+            if !codes.contains_key(&s.value) {
+                push(
+                    &mut findings,
+                    &retry.file.rel,
+                    s.line,
+                    format!(
+                        "retry.rs classifies `{}` but no such wire code exists in the registry",
+                        s.value
+                    ),
+                );
+            }
+        }
+    }
+
+    // Collision-free: codes and message types share the wire's `error`
+    // namespace boundary — a code equal to a type is ambiguous in logs
+    // and client classifiers.
+    for (code, (file, line)) in &codes {
+        if types.contains_key(code) {
+            push(
+                &mut findings,
+                file,
+                *line,
+                format!("wire error code `{code}` collides with a message type of the same name"),
+            );
+        }
+    }
+    findings
+}

@@ -1,0 +1,233 @@
+//! The brace/token-tree layer: delimiter matching and nesting depth on top
+//! of the flat [`crate::lexer`] stream.
+//!
+//! The cross-file rules (L6–L9) need *structure* that a flat token stream
+//! cannot give them — "which `}` closes this function body", "is this
+//! token inside that `match` scrutinee" — without the weight of a real
+//! parser. The token tree provides exactly that: for every `(`/`[`/`{`
+//! token the index of its matching closer (and vice versa), plus a nesting
+//! depth per token. Angle brackets are deliberately **not** treated as
+//! delimiters: `<` is ambiguous between generics and comparison, and none
+//! of the rules need generic grouping.
+//!
+//! Building is total in the same spirit as the lexer — it never panics —
+//! but unlike the lexer it *reports* imbalance via [`TtreeError`], because
+//! a rule walking an unbalanced tree would silently mis-scope its
+//! findings. All workspace sources compile, so they all balance; the
+//! property test in `tests/ttree_prop.rs` holds the builder to that (and
+//! to byte-identical detokenization) over every `.rs` file in the repo.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Delimiter matching and nesting information for one token stream.
+#[derive(Debug, Clone)]
+pub struct TokenTree {
+    /// For each token index: the index of the matching delimiter (`(`→`)`,
+    /// `{`→`}`, `[`→`]`, and each closer back to its opener). `None` for
+    /// non-delimiter tokens.
+    pub match_of: Vec<Option<usize>>,
+    /// For each token index: how many delimiter groups enclose it. Open
+    /// and close tokens carry the *outer* depth (the depth of the group's
+    /// parent), so a group's children are exactly the tokens at
+    /// `depth + 1` between opener and closer.
+    pub depth: Vec<u32>,
+}
+
+/// Why a token stream failed to form a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TtreeError {
+    /// 1-based source line of the offending delimiter (or the last line
+    /// for an unclosed group at end of input).
+    pub line: u32,
+    /// What went wrong, naming the delimiter.
+    pub message: String,
+}
+
+impl std::fmt::Display for TtreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn closer_for(open: &str) -> &'static str {
+    match open {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    }
+}
+
+/// Builds the token tree for `tokens`. Comments, strings, and char
+/// literals are opaque single tokens (the lexer guarantees that), so only
+/// [`TokenKind::Punct`] delimiters participate.
+pub fn build(tokens: &[Token<'_>]) -> Result<TokenTree, TtreeError> {
+    let mut match_of = vec![None; tokens.len()];
+    let mut depth = vec![0u32; tokens.len()];
+    // Open-delimiter stack: (token index, expected closer).
+    let mut stack: Vec<(usize, &'static str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            depth[i] = truncate_depth(stack.len());
+            continue;
+        }
+        match t.text {
+            "(" | "[" | "{" => {
+                depth[i] = truncate_depth(stack.len());
+                stack.push((i, closer_for(t.text)));
+            }
+            ")" | "]" | "}" => {
+                let Some((open, expected)) = stack.pop() else {
+                    return Err(TtreeError {
+                        line: t.line,
+                        message: format!("unmatched closing `{}`", t.text),
+                    });
+                };
+                if t.text != expected {
+                    return Err(TtreeError {
+                        line: t.line,
+                        message: format!(
+                            "mismatched delimiter: `{}` on line {} closed by `{}`",
+                            tokens[open].text, tokens[open].line, t.text
+                        ),
+                    });
+                }
+                match_of[i] = Some(open);
+                match_of[open] = Some(i);
+                depth[i] = truncate_depth(stack.len());
+            }
+            _ => depth[i] = truncate_depth(stack.len()),
+        }
+    }
+    if let Some(&(open, _)) = stack.last() {
+        return Err(TtreeError {
+            line: tokens[open].line,
+            message: format!("unclosed `{}`", tokens[open].text),
+        });
+    }
+    Ok(TokenTree { match_of, depth })
+}
+
+/// Nesting deeper than `u32::MAX` cannot occur in real sources; saturate
+/// rather than truncate so the builder stays total.
+fn truncate_depth(d: usize) -> u32 {
+    u32::try_from(d).unwrap_or(u32::MAX)
+}
+
+/// Byte offset of `text` (a lexer token slice) within `src`. Token texts
+/// are always subslices of the lexed source, so pointer arithmetic
+/// recovers the exact position without widening the `Token` struct.
+pub fn offset_in(src: &str, text: &str) -> usize {
+    // lint:allow(narrowing-cast): pointer-to-usize, both from one slice
+    (text.as_ptr() as usize).wrapping_sub(src.as_ptr() as usize)
+}
+
+/// Reconstructs the source from its token stream: each token's exact text
+/// plus the original inter-token gaps. By construction this is
+/// byte-identical to `src` *iff* every token is a correctly positioned
+/// subslice and no token overlaps another — which is precisely the lexer
+/// contract the property test pins down.
+pub fn detokenize(src: &str, tokens: &[Token<'_>]) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut pos = 0usize;
+    for t in tokens {
+        let start = offset_in(src, t.text);
+        if start >= pos && start <= src.len() {
+            out.push_str(&src[pos..start]);
+        }
+        out.push_str(t.text);
+        pos = start + t.text.len();
+    }
+    if pos <= src.len() {
+        out.push_str(&src[pos..]);
+    }
+    out
+}
+
+/// Returns the first inter-token gap that contains non-whitespace, as
+/// `(byte offset, gap text)` — evidence the lexer silently swallowed
+/// source bytes. `None` means every skipped byte was whitespace.
+pub fn non_whitespace_gap<'a>(src: &'a str, tokens: &[Token<'_>]) -> Option<(usize, &'a str)> {
+    let mut pos = 0usize;
+    for t in tokens {
+        let start = offset_in(src, t.text);
+        if start > pos {
+            let gap = &src[pos..start];
+            if !gap.chars().all(char::is_whitespace) {
+                return Some((pos, gap));
+            }
+        }
+        pos = start + t.text.len();
+    }
+    if pos < src.len() {
+        let gap = &src[pos..];
+        if !gap.chars().all(char::is_whitespace) {
+            return Some((pos, gap));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn matches_nested_delimiters_and_depths() {
+        let src = "fn f(a: u64) { g([a, (a)]) }";
+        let toks = lex(src);
+        let tree = build(&toks).unwrap();
+        // Every opener pairs with a closer of the same kind, symmetric.
+        for (i, m) in tree.match_of.iter().enumerate() {
+            if let Some(j) = m {
+                assert_eq!(tree.match_of[*j], Some(i));
+            }
+        }
+        // The outer fn body braces are at depth 0, their contents at 1+.
+        let open_brace = toks.iter().position(|t| t.text == "{").unwrap();
+        let close_brace = tree.match_of[open_brace].unwrap();
+        assert_eq!(toks[close_brace].text, "}");
+        assert_eq!(tree.depth[open_brace], 0);
+        let inner = toks.iter().position(|t| t.text == "g").unwrap();
+        assert_eq!(tree.depth[inner], 1);
+    }
+
+    #[test]
+    fn reports_imbalance_without_panicking() {
+        let unclosed = build(&lex("fn f() { (")).unwrap_err();
+        assert!(unclosed.message.contains("unclosed"));
+        let unmatched = build(&lex("}")).unwrap_err();
+        assert!(unmatched.message.contains("unmatched"));
+        let mismatched = build(&lex("( ]")).unwrap_err();
+        assert!(mismatched.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn braces_in_strings_comments_and_chars_are_opaque() {
+        let src = "let s = \"{ ( [\"; // } extra\nlet c = '{'; /* ) */ f()";
+        let toks = lex(src);
+        let tree = build(&toks).unwrap();
+        let parens = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "(" || t.text == ")")
+            .count();
+        assert_eq!(parens, 2, "{toks:?}");
+        let _ = tree;
+    }
+
+    #[test]
+    fn detokenize_round_trips_byte_identically() {
+        let srcs = [
+            "fn f(a: u64) -> u128 {\n    // exact\n    u128::from(a) * 3\n}\n",
+            "let s = r#\"raw { \"#; let c = 'é'; /* nested /* */ */",
+            "",
+            "   \n\t ",
+        ];
+        for src in srcs {
+            let toks = lex(src);
+            assert_eq!(detokenize(src, &toks), src);
+            assert_eq!(non_whitespace_gap(src, &toks), None, "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Lexer/token-tree completeness property, run over the *entire real
+//! workspace*: for every `.rs` file the walker can see,
+//!
+//! 1. lexing + tree building never panics (the whole test is the witness);
+//! 2. the token tree balances — every delimiter has a match and depths are
+//!    consistent (openers/closers share the outer depth);
+//! 3. detokenization round-trips byte-identically, and every inter-token
+//!    gap is pure whitespace — i.e. the lexer accounts for every byte of
+//!    every source file as exactly one token or whitespace.
+//!
+//! This is the foundation the semantic rules stand on: if the lexer
+//! swallowed or duplicated bytes anywhere in the tree, extents and body
+//! ranges would silently lie.
+
+use std::path::Path;
+
+use calib_lint::lexer::{lex, TokenKind};
+use calib_lint::ttree::{build, detokenize, non_whitespace_gap};
+use calib_lint::walk::collect_workspace;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .expect("workspace root")
+}
+
+#[test]
+fn every_workspace_file_lexes_balances_and_round_trips() {
+    let files = collect_workspace(&workspace_root()).expect("collect workspace");
+    assert!(
+        files.len() >= 20,
+        "workspace walker found suspiciously few files: {}",
+        files.len()
+    );
+    for file in &files {
+        let tokens = lex(&file.src);
+
+        // 3. Byte accounting: round-trip and whitespace-only gaps.
+        assert_eq!(
+            detokenize(&file.src, &tokens),
+            file.src,
+            "{}: detokenize is not byte-identical",
+            file.rel
+        );
+        if let Some((offset, gap)) = non_whitespace_gap(&file.src, &tokens) {
+            panic!(
+                "{}: lexer swallowed non-whitespace bytes at offset {offset}: {gap:?}",
+                file.rel
+            );
+        }
+
+        // 2. The tree balances on every real file.
+        let tree = match build(&tokens) {
+            Ok(t) => t,
+            Err(e) => panic!("{}: token tree failed to build: {e}", file.rel),
+        };
+        assert_eq!(tree.match_of.len(), tokens.len(), "{}", file.rel);
+        assert_eq!(tree.depth.len(), tokens.len(), "{}", file.rel);
+        let mut delims = 0usize;
+        for (i, m) in tree.match_of.iter().enumerate() {
+            let Some(j) = *m else { continue };
+            delims += 1;
+            assert_eq!(
+                tree.match_of[j],
+                Some(i),
+                "{}: match_of is not an involution at {i}",
+                file.rel
+            );
+            assert_eq!(
+                tree.depth[i], tree.depth[j],
+                "{}: opener/closer depth mismatch at {i}/{j}",
+                file.rel
+            );
+            if j > i {
+                // Children of the group sit strictly deeper than its rim.
+                for k in i + 1..j {
+                    assert!(
+                        tree.depth[k] > tree.depth[i],
+                        "{}: token {k} inside group {i}..{j} is not deeper",
+                        file.rel
+                    );
+                }
+            }
+        }
+        // Only Punct tokens participate in matching.
+        for (i, t) in tokens.iter().enumerate() {
+            if tree.match_of[i].is_some() {
+                assert_eq!(t.kind, TokenKind::Punct, "{}: non-punct matched", file.rel);
+            }
+        }
+        // Sanity: real source files contain delimiters.
+        if file.rel.ends_with(".rs") {
+            assert!(delims > 0, "{}: no delimiters found", file.rel);
+        }
+    }
+}

@@ -22,7 +22,7 @@ fn random_unweighted(rng: &mut StdRng, n: usize, span: i64, t: i64) -> Instance 
     let jobs: Vec<Job> = releases
         .into_iter()
         .enumerate()
-        .map(|(i, r)| Job::unweighted(i as u32, r))
+        .map(|(i, r)| Job::unweighted(u32::try_from(i).unwrap(), r))
         .collect();
     Instance::single_machine(jobs, t).unwrap()
 }
@@ -33,9 +33,10 @@ fn general_dp_equals_slot_dp_medium_scale() {
     for case in 0..40 {
         let n = rng.gen_range(20..=45);
         let t = rng.gen_range(2..=6);
-        let span = rng.gen_range(2 * n as i64..=5 * n as i64);
+        let ni = i64::try_from(n).unwrap();
+        let span = rng.gen_range(2 * ni..=5 * ni);
         let inst = random_unweighted(&mut rng, n, span, t);
-        for budget in [n.div_ceil(t as usize), n.div_ceil(2), n] {
+        for budget in [n.div_ceil(usize::try_from(t).unwrap()), n.div_ceil(2), n] {
             let general = solve_offline(&inst, budget).unwrap();
             let slot = solve_offline_unweighted(&inst, budget).unwrap();
             match (general, slot) {
@@ -83,10 +84,11 @@ fn dense_trains_agree() {
     for n in [10usize, 25, 40] {
         for t in [2i64, 3, 7] {
             let jobs: Vec<Job> = (0..n)
-                .map(|i| Job::unweighted(i as u32, i as i64))
+                .map(|i| Job::unweighted(u32::try_from(i).unwrap(), i64::try_from(i).unwrap()))
                 .collect();
             let inst = Instance::single_machine(jobs, t).unwrap();
-            for budget in [n.div_ceil(t as usize), n.div_ceil(t as usize) + 1, n] {
+            let tu = usize::try_from(t).unwrap();
+            for budget in [n.div_ceil(tu), n.div_ceil(tu) + 1, n] {
                 let g = solve_offline(&inst, budget).unwrap().map(|s| s.flow);
                 let s = solve_offline_unweighted(&inst, budget)
                     .unwrap()

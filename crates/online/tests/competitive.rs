@@ -22,7 +22,7 @@ fn random_instance(rng: &mut StdRng, n: usize, span: i64, max_w: u64, t: i64) ->
     let jobs: Vec<Job> = releases
         .into_iter()
         .enumerate()
-        .map(|(i, r)| Job::new(i as u32, r, rng.gen_range(1..=max_w)))
+        .map(|(i, r)| Job::new(u32::try_from(i).unwrap(), r, rng.gen_range(1..=max_w)))
         .collect();
     Instance::single_machine(jobs, t).unwrap()
 }
@@ -34,7 +34,8 @@ fn alg1_within_3x_of_opt() {
     for _ in 0..150 {
         let n = rng.gen_range(1..=12);
         let t = rng.gen_range(2..=6);
-        let span = rng.gen_range(n as i64..=4 * n as i64 + 4);
+        let ni = i64::try_from(n).unwrap();
+        let span = rng.gen_range(ni..=4 * ni + 4);
         let inst = random_instance(&mut rng, n, span, 1, t);
         for g in [1u128, 2, 5, 11, 30] {
             let alg = run_online(&inst, g, &mut Alg1::new());
@@ -60,7 +61,8 @@ fn alg2_within_12x_of_opt() {
     for _ in 0..150 {
         let n = rng.gen_range(1..=12);
         let t = rng.gen_range(2..=6);
-        let span = rng.gen_range(n as i64..=4 * n as i64 + 4);
+        let ni = i64::try_from(n).unwrap();
+        let span = rng.gen_range(ni..=4 * ni + 4);
         let inst = random_instance(&mut rng, n, span, 20, t);
         for g in [1u128, 3, 10, 40] {
             let alg = run_online(&inst, g, &mut Alg2::new());
@@ -84,7 +86,8 @@ fn alg2_interval_adjusted_flow_below_2g() {
     for _ in 0..120 {
         let n = rng.gen_range(1..=18);
         let t = rng.gen_range(2..=7);
-        let span = rng.gen_range(n as i64..=3 * n as i64 + 2);
+        let ni = i64::try_from(n).unwrap();
+        let span = rng.gen_range(ni..=3 * ni + 2);
         let inst = random_instance(&mut rng, n, span, 15, t);
         for g in [2u128, 7, 25, 80] {
             let res = run_online(&inst, g, &mut Alg2::new());
@@ -92,7 +95,9 @@ fn alg2_interval_adjusted_flow_below_2g() {
                 let adjusted: Cost = interval
                     .jobs
                     .iter()
-                    .map(|(j, slot)| j.weight as Cost * (slot - j.release) as Cost)
+                    .map(|(j, slot)| {
+                        Cost::from(j.weight) * Cost::try_from(slot - j.release).unwrap()
+                    })
                     .sum();
                 assert!(
                     adjusted < 2 * g,
@@ -113,7 +118,9 @@ fn baselines_lose_on_their_nemesis_workloads() {
     // Nemesis of CalibrateImmediately: expensive calibrations, spread-out
     // jobs (it pays G per job).
     let spread = Instance::single_machine(
-        (0..10).map(|i| Job::unweighted(i, 20 * i as i64)).collect(),
+        (0..10)
+            .map(|i| Job::unweighted(i, 20 * i64::from(i)))
+            .collect(),
         3,
     )
     .unwrap();
@@ -157,7 +164,7 @@ fn baselines_lose_on_their_nemesis_workloads() {
     let mut rng = StdRng::seed_from_u64(44);
     for _ in 0..20 {
         let inst = random_instance(&mut rng, 8, 24, 1, 4);
-        let g = rng.gen_range(2..=40) as u128;
+        let g = u128::from(rng.gen_range(2u64..=40));
         let _ = run_online(&inst, g, &mut CalibrateImmediately);
         let _ = run_online(&inst, g, &mut SkiRentalBatch);
     }

@@ -24,7 +24,7 @@ use calib_online::{alg3, run_online, Alg3};
 
 fn random_multi(rng: &mut StdRng, n: usize, span: i64, p: usize, t: i64) -> Instance {
     let jobs: Vec<Job> = (0..n)
-        .map(|i| Job::unweighted(i as u32, rng.gen_range(0..=span)))
+        .map(|i| Job::unweighted(u32::try_from(i).unwrap(), rng.gen_range(0..=span)))
         .collect();
     Instance::new(jobs, p, t).unwrap()
 }
@@ -36,10 +36,11 @@ fn interval_flow_at_most_3g() {
         let n = rng.gen_range(2..=25);
         let p = rng.gen_range(1..=3);
         let t = rng.gen_range(2..=8);
-        let span = rng.gen_range(1..=3 * n as i64);
+        let span = rng.gen_range(1..=3 * i64::try_from(n).unwrap());
         let inst = random_multi(&mut rng, n, span, p, t);
-        for g in [2 * t as Cost, 4 * t as Cost + 1, 90] {
-            if g < 2 * t as Cost {
+        let tc = Cost::try_from(t).unwrap();
+        for g in [2 * tc, 4 * tc + 1, 90] {
+            if g < 2 * tc {
                 continue;
             }
             let res = run_online(&inst, g, &mut Alg3::new());
@@ -78,18 +79,19 @@ fn flow_triggered_intervals_carry_at_least_g_minus_g_over_t() {
         let n = rng.gen_range(2..=25);
         let p = rng.gen_range(1..=3);
         let t = rng.gen_range(2..=8);
-        let span = rng.gen_range(1..=3 * n as i64);
+        let span = rng.gen_range(1..=3 * i64::try_from(n).unwrap());
         let inst = random_multi(&mut rng, n, span, p, t);
+        let tc = Cost::try_from(t).unwrap();
         for g in [9u128, 30, 100] {
             // The lower bound reasons "all queued jobs land in this
             // interval", which needs the quota G/T to fit the interval's T
             // slots: 2T ≤ G ≤ T².
-            if g < 2 * t as Cost || g > (t * t) as Cost {
+            if g < 2 * tc || g > tc * tc {
                 continue;
             }
             let res = run_online(&inst, g, &mut Alg3::new());
             assert_eq!(res.trace.len(), res.intervals.len());
-            let quota = (g / t as Cost).max(1) as usize;
+            let quota = usize::try_from((g / tc).max(1)).unwrap();
             for (i, (interval, &(trig_t, reason))) in
                 res.intervals.iter().zip(&res.trace).enumerate()
             {
@@ -121,7 +123,7 @@ fn flow_triggered_intervals_carry_at_least_g_minus_g_over_t() {
                 let flow: Cost = interval.total_flow();
                 // flow >= G - G/T  ⇔  flow·T >= G·T − G (exact integers).
                 assert!(
-                    flow * t as Cost >= g * t as Cost - g,
+                    flow * tc >= g * tc - g,
                     "flow-triggered interval at t={} has flow {flow} < G - G/T \
                      (G={g}, T={t}) on {inst:?}",
                     interval.start

@@ -28,14 +28,14 @@ fn g_below_t_schedules_everything_at_release() {
     ] {
         assert_eq!(
             res.flow,
-            inst.n() as Cost,
+            Cost::try_from(inst.n()).unwrap(),
             "{name}: every job should run at release when G/T < 1"
         );
     }
     // Alg2's weight rule needs Σw·T >= G — with unit weights and T > G it
     // also fires instantly.
     let res2 = run_online(&inst, g, &mut Alg2::new());
-    assert_eq!(res2.flow, inst.n() as Cost);
+    assert_eq!(res2.flow, Cost::try_from(inst.n()).unwrap());
 }
 
 /// Lemma 3.1 branch 1, exact numbers: an algorithm that calibrates at 0
@@ -62,7 +62,11 @@ fn lemma31_branch2_exact_costs() {
     let g: Cost = 5;
     let inst = InstanceBuilder::new(t).unit_jobs(0..t).build().unwrap();
     let opt = calib_offline::opt_online_cost(&inst, g).unwrap();
-    assert_eq!(opt.cost, g + t as Cost, "calibrate at 0, all at release");
+    assert_eq!(
+        opt.cost,
+        g + Cost::try_from(t).unwrap(),
+        "calibrate at 0, all at release"
+    );
     // Alg1 with G/T <= 1 calibrates at 0 and achieves exactly OPT here.
     let res = run_online(&inst, g, &mut Alg1::new());
     assert_eq!(res.cost, opt.cost);
@@ -98,7 +102,7 @@ fn immediate_rule_vacuous_when_t_below_g_over_t() {
         let jobs: Vec<Job> = releases
             .iter()
             .enumerate()
-            .map(|(i, &r)| Job::unweighted(i as u32, r))
+            .map(|(i, &r)| Job::unweighted(u32::try_from(i).unwrap(), r))
             .collect();
         let inst = Instance::single_machine(jobs, t).unwrap();
         let with_rule = run_online(&inst, g, &mut Alg1::new());

@@ -27,7 +27,7 @@ fn arb_instance(
         let jobs: Vec<Job> = specs
             .into_iter()
             .enumerate()
-            .map(|(i, (r, w))| Job::new(i as u32, r, w))
+            .map(|(i, (r, w))| Job::new(u32::try_from(i).unwrap(), r, w))
             .collect();
         Instance::new(jobs, machines, 3).unwrap()
     })
@@ -85,9 +85,9 @@ fn check_replay(
     let snap = counters.snapshot();
     prop_assert_eq!(
         snap.calibrations,
-        probed.schedule.calibration_count() as u64
+        u64::try_from(probed.schedule.calibration_count()).unwrap()
     );
-    prop_assert_eq!(snap.dispatches, inst.n() as u64);
+    prop_assert_eq!(snap.dispatches, u64::try_from(inst.n()).unwrap());
     prop_assert!(snap.events >= snap.calibrations + snap.dispatches);
     Ok(())
 }

@@ -410,9 +410,9 @@ impl JournalWriter {
         }
     }
 
-    /// Deletes the journal — the clean-close (`bye`) path. A stale
-    /// compaction scratch file goes with it.
-    pub fn remove(self) -> io::Result<()> {
+    /// Deletes the journal's on-disk files — the clean-close (`bye`)
+    /// path. A stale compaction scratch file goes with it.
+    pub fn remove_files(self) -> io::Result<()> {
         // Drop the handle first so removal works on every platform.
         let path = self.path;
         drop(self.file);

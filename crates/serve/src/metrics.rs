@@ -347,6 +347,9 @@ impl MetricsSink {
 
     /// Writes one snapshot line (newline appended).
     pub fn write_snapshot(&self, snapshot: &Json) {
+        // The sink lock serializes whole snapshot lines onto the shared
+        // writer — it must span the write.
+        // lint:allow(lock-discipline): deliberate hold across the write
         let mut guard = lock(&self.0);
         if let Some(w) = guard.as_mut() {
             let mut line = snapshot.to_string_compact();

@@ -171,6 +171,9 @@ impl ReplySink {
     /// Writes one reply line. Write errors mean the peer is gone; the sink
     /// shuts itself off and the reader thread notices on its side.
     fn send(&self, reply: &Reply) {
+        // The writer lock IS the reply serialization point — it must span
+        // the whole line write so concurrent replies never interleave.
+        // lint:allow(lock-discipline): deliberate hold across the write
         let mut guard = match self.writer.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -442,6 +445,9 @@ fn spawn_metrics_thread<'scope>(
     };
     let shared = Arc::clone(shared);
     scope.spawn(move || {
+        // metrics_wake is the flusher's own condvar mutex; only this thread
+        // holds it, and snapshots are written between timed waits by design.
+        // lint:allow(lock-discipline): flusher-private condvar mutex
         let mut guard = lock(&shared.metrics_wake.0);
         while !shared.shutdown.load(Ordering::SeqCst) {
             let (g, timed_out) = match shared.metrics_wake.1.wait_timeout(guard, interval) {
@@ -633,6 +639,10 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             ));
             return;
         };
+        // Write-ahead registration — the tenant map entry must not become
+        // visible before its journal and trace files exist, so file
+        // creation happens under the map lock.
+        // lint:allow(lock-discipline): registration is write-ahead
         let mut tenants = shared.lock_tenants();
         if let Some(existing) = tenants.get(tenant.as_str()) {
             // A resent/duplicated hello is benign when the seq chain proves
@@ -1023,6 +1033,10 @@ fn process(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<R
 
 fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: &Arc<ReplySink>) {
     let seq = request.seq();
+    // Write-ahead logging — the journal append must land before the
+    // in-memory session state mutates, and both must be atomic with
+    // respect to other requests on this tenant.
+    // lint:allow(lock-discipline): session mutation is write-ahead
     let mut session_slot = lock(&tenant.session);
     let Some(session) = session_slot.as_mut() else {
         // Finalized while this request sat in the queue (bye or disconnect

@@ -611,7 +611,7 @@ impl TenantSession {
             None => Ok(()),
         };
         if let Some(w) = journal {
-            let removed = w.remove();
+            let removed = w.remove_files();
             if io_result.is_ok() {
                 io_result = removed;
             }
