@@ -175,7 +175,10 @@ const ALGORITHM_CRATES: [&str; 4] = ["core", "online", "offline", "trace"];
 /// never stdout (a stray `println!` would corrupt the stdin-mode protocol
 /// stream), and every I/O failure must surface as a typed error reply —
 /// the crash-safety layer depends on the daemon never panicking mid-WAL.
-pub(crate) const LIBRARY_CRATES: [&str; 10] = [
+/// `router` inherits the same contract: it fronts daemons on the same
+/// wire protocol, and a panic mid-migration would strand a tenant between
+/// shards.
+pub(crate) const LIBRARY_CRATES: [&str; 11] = [
     "core",
     "online",
     "offline",
@@ -186,6 +189,7 @@ pub(crate) const LIBRARY_CRATES: [&str; 10] = [
     "root",
     "serve",
     "trace",
+    "router",
 ];
 
 /// Files exempt from L1/L5 *by contract* — modules whose purpose is

@@ -1,0 +1,40 @@
+//! # calib-router
+//!
+//! A sharded front-end for a fleet of `calib-serve` daemons. The router
+//! speaks the same line-delimited JSON wire protocol as a single daemon —
+//! existing clients (`calib-loadgen`, `calib-top`, [`calib_serve::retry`])
+//! connect to it unchanged — and places each tenant on one backend shard
+//! by seeded consistent hashing ([`ring::Ring`]), multiplexing every
+//! client connection across per-shard backend connections while
+//! preserving each tenant's `seq` chain (all of a tenant's requests flow
+//! to one shard, in order).
+//!
+//! On top of placement it adds **live tenant migration**: a `migrate`
+//! admin request drains the tenant's in-flight window on the source shard
+//! (`evict`), hands the captured [`calib_serve::CheckpointState`] to the
+//! destination (`adopt`), and flips ring ownership — mid-stream, while
+//! the tenant's client keeps issuing requests. The client sees at most a
+//! `busy`/`tenant-moved` blip, which its reconnect-and-resume machinery
+//! already absorbs; flow/cost totals and the schedule itself are
+//! byte-identical to an unmigrated run. If the source shard dies
+//! mid-handoff (`kill -9`), the router falls back to journal-tail
+//! recovery on the destination — the shards share a `--journal-dir`, and
+//! eviction detaches a journal without deleting it precisely so this
+//! fallback stays sound.
+//!
+//! See `ROUTER.md` at the repo root for the topology, the migration
+//! protocol, and the failure matrix; `SERVE.md` documents the wire
+//! vocabulary (`adopt`, `evict`, `tenant-moved`, `shard-unreachable`)
+//! the router and daemons exchange.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod metrics;
+pub mod ring;
+pub mod router;
+
+pub use metrics::RouterMetrics;
+pub use ring::Ring;
+pub use router::{run_router, RouterConfig, RouterReport};

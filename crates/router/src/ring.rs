@@ -1,0 +1,162 @@
+//! Seeded consistent-hash placement ring.
+//!
+//! Placement must be a pure function of `(seed, shard count, vnodes,
+//! tenant name)` — integer-only, no floats, no process state — so that
+//! every router instance (and every test) derives the identical
+//! tenant→shard map. Each shard contributes `vnodes` points on a `u64`
+//! ring; a tenant hashes to a point and is owned by the first shard point
+//! at or clockwise of it. A shard's points depend only on its own index
+//! (never on which other shards exist), which yields the classic
+//! consistent-hashing guarantee: adding shard `n` moves a bounded slice
+//! of tenants, and every tenant that moves, moves *to* shard `n`.
+
+/// Finalizer from the splitmix64 generator: a cheap, well-mixed `u64 →
+/// u64` permutation-quality scrambler.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded FNV-1a over the tenant name, finalized through [`mix64`] so
+/// short names with shared prefixes still spread over the whole ring.
+fn hash_str(seed: u64, s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ mix64(seed);
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// The placement ring: a sorted list of `(point, shard)` pairs.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted by `(point, shard)`; ties (astronomically rare) resolve to
+    /// the lowest shard index, deterministically.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+    seed: u64,
+}
+
+impl Ring {
+    /// Builds the ring for `shards` backends with `vnodes` points each.
+    /// Zero values are clamped to one: an empty ring has no owner for
+    /// anything, and the router always has at least one shard.
+    pub fn new(shards: usize, vnodes: usize, seed: u64) -> Ring {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards.saturating_mul(vnodes));
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                // The point depends only on (seed, shard, vnode) — never
+                // on the total shard count — so growing the fleet leaves
+                // every existing point in place.
+                let key = (u64::try_from(shard).unwrap_or(u64::MAX) << 20)
+                    | (u64::try_from(v).unwrap_or(u64::MAX) & 0xF_FFFF);
+                points.push((mix64(seed ^ mix64(key)), shard));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            shards,
+            seed,
+        }
+    }
+
+    /// How many shards the ring places onto.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `tenant`: the first ring point at or after the
+    /// tenant's hash, wrapping past the top of the `u64` space.
+    pub fn owner(&self, tenant: &str) -> usize {
+        let h = hash_str(self.seed, tenant);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let at = if i == self.points.len() { 0 } else { i };
+        self.points.get(at).map_or(0, |&(_, shard)| shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("tenant-{i}")).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let a = Ring::new(4, 64, 7);
+        let b = Ring::new(4, 64, 7);
+        for name in names(500) {
+            assert_eq!(a.owner(&name), b.owner(&name));
+            assert!(a.owner(&name) < 4);
+        }
+        // A different seed produces a genuinely different map.
+        let c = Ring::new(4, 64, 8);
+        let moved = names(500)
+            .iter()
+            .filter(|n| a.owner(n) != c.owner(n))
+            .count();
+        assert!(moved > 0, "reseeding changed nothing");
+    }
+
+    #[test]
+    fn query_order_is_irrelevant() {
+        let ring = Ring::new(3, 32, 42);
+        let forward: Vec<usize> = names(200).iter().map(|n| ring.owner(n)).collect();
+        let backward: Vec<usize> = names(200).iter().rev().map(|n| ring.owner(n)).collect();
+        let backward_reversed: Vec<usize> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+    }
+
+    #[test]
+    fn placement_spreads_across_all_shards() {
+        let ring = Ring::new(4, 64, 7);
+        let mut counts = [0usize; 4];
+        for name in names(1000) {
+            counts[ring.owner(&name)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {shard} owns no tenants out of 1000");
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_tenants_only_to_the_new_shard() {
+        // The consistent-hashing contract: shard n's points are
+        // independent of the fleet size, so going from n to n+1 shards
+        // either leaves a tenant in place or moves it to shard n.
+        let small = Ring::new(4, 64, 7);
+        let big = Ring::new(5, 64, 7);
+        let mut moved = 0usize;
+        let all = names(2000);
+        for name in &all {
+            let before = small.owner(name);
+            let after = big.owner(name);
+            if before != after {
+                assert_eq!(
+                    after, 4,
+                    "`{name}` moved {before}->{after}, not to the new shard"
+                );
+                moved += 1;
+            }
+        }
+        // Bounded movement: roughly 1/5 of tenants should move; anything
+        // over half means the ring is being rebuilt, not extended.
+        assert!(moved > 0, "adding a shard moved nothing");
+        assert!(moved < all.len() / 2, "adding one shard moved {moved}/2000");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let ring = Ring::new(0, 0, 0);
+        assert_eq!(ring.shards(), 1);
+        assert_eq!(ring.owner("anyone"), 0);
+    }
+}

@@ -1,0 +1,844 @@
+//! The router proper: client connection handling, per-shard backend
+//! multiplexing, and the live-migration control plane.
+//!
+//! ## Threading model
+//!
+//! * One reader thread per client connection parses request lines.
+//!   Tenant-addressed requests are forwarded verbatim to the owning
+//!   shard over a lazily-opened per-connection backend connection, so a
+//!   tenant's requests reach its shard in arrival order with their `seq`
+//!   chain intact.
+//! * Each backend connection gets a relay thread pumping the shard's
+//!   reply lines back into the client's shared writer verbatim. Relay
+//!   connections carry no read timeout — an idle shard is healthy — but
+//!   a relay that sees EOF emits one unsequenced `shard-unreachable`
+//!   error to the client, whose reconnect machinery takes over.
+//! * `ping` and `metrics` are answered by the router itself (`metrics`
+//!   by aggregating fresh, read-timeout-bounded control connections to
+//!   every shard). `migrate` runs the eviction/adoption handoff inline
+//!   on the requesting connection's reader thread.
+//!
+//! ## Migration
+//!
+//! `{"type":"migrate","tenant":T,"to":N}` marks `T` as migrating (new
+//! requests for it are answered `busy`, which clients absorb), asks the
+//! source shard to `evict` it — the eviction drains `T`'s queued window
+//! first, so the checkpoint is a clean cut — then hands the checkpoint
+//! to shard `N` via `adopt` and flips the placement map. If the source
+//! cannot answer (crashed mid-handoff), the router falls back to a
+//! `resume` on the destination, which rebuilds the tenant from the
+//! shared journal directory; the reply then carries `"fallback":true`.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use calib_core::json::{Json, ToJson};
+use calib_serve::protocol::{Reply, Request, CODE_SHARD_UNREACHABLE, MAX_LINE_BYTES};
+use calib_serve::retry::Backoff;
+use calib_serve::MetricsSink;
+
+use crate::metrics::RouterMetrics;
+use crate::ring::Ring;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend shard addresses (`host:port` of running `calib-serve`
+    /// daemons). Shard indices — ring ownership, `migrate` targets —
+    /// refer to positions in this list.
+    pub shards: Vec<String>,
+    /// Placement-ring seed; every router fronting the same fleet must
+    /// use the same seed (and shard order) to derive the same map.
+    pub seed: u64,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Stop accepting and return once at least one client connection has
+    /// been served and none remain.
+    pub exit_when_idle: bool,
+    /// Read timeout applied to accepted client sockets; mirrors the
+    /// daemon's `--read-timeout-ms` contract.
+    pub read_timeout: Option<Duration>,
+    /// Read timeout on control-plane backend connections (evict, adopt,
+    /// metrics aggregation, fallback resume) — a hung shard must surface
+    /// as a typed failure, not a silent stall.
+    pub control_timeout: Duration,
+    /// Connect attempts per backend before reporting `shard-unreachable`.
+    pub connect_attempts: u32,
+    /// Base delay of the seeded backend-connect backoff, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Cap of the backend-connect backoff, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Where `{"type":"placed",…}` placement lines are written.
+    pub placement_log: Option<MetricsSink>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: Vec::new(),
+            seed: 7,
+            vnodes: 64,
+            exit_when_idle: true,
+            read_timeout: None,
+            control_timeout: Duration::from_millis(10_000),
+            connect_attempts: 8,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 500,
+            placement_log: None,
+        }
+    }
+}
+
+/// What the router did, returned when it exits.
+#[derive(Debug, Default)]
+pub struct RouterReport {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Request lines parsed from clients.
+    pub requests: u64,
+    /// Request lines forwarded to shards.
+    pub forwarded_requests: u64,
+    /// Tenants placed (distinct names routed).
+    pub placements: u64,
+    /// Migrations completed (handoff or fallback).
+    pub migrations: u64,
+    /// Migrations that failed outright.
+    pub migration_failures: u64,
+    /// Requests answered `busy` mid-migration.
+    pub busy_rejects: u64,
+    /// `shard-unreachable` events (connect/write failures, dead relays).
+    pub shard_unreachable: u64,
+}
+
+struct Shared {
+    config: RouterConfig,
+    ring: Ring,
+    /// Authoritative tenant→shard map: seeded from the ring on first
+    /// sight of a tenant, flipped by `migrate`.
+    placements: Mutex<HashMap<String, usize>>,
+    /// Tenants with a migration in flight; their requests bounce with
+    /// `busy` until the handoff settles.
+    migrating: Mutex<HashSet<String>>,
+    metrics: Arc<RouterMetrics>,
+}
+
+/// A shared, mutex-guarded line sink for one client connection. Write
+/// errors mean the client is gone; the sink shuts itself off and the
+/// reader thread notices on its side.
+struct LineSink {
+    writer: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl LineSink {
+    fn new(writer: Box<dyn Write + Send>) -> LineSink {
+        LineSink {
+            writer: Mutex::new(Some(writer)),
+        }
+    }
+
+    /// Writes one raw line (a trailing newline is added when missing).
+    /// The writer lock spans the whole write so relay threads and the
+    /// reader thread never interleave partial lines.
+    fn send_raw(&self, line: &str) {
+        let mut guard = lock(&self.writer);
+        if let Some(w) = guard.as_mut() {
+            let ok = if line.ends_with('\n') {
+                w.write_all(line.as_bytes()).is_ok()
+            } else {
+                w.write_all(line.as_bytes()).is_ok() && w.write_all(b"\n").is_ok()
+            };
+            if !ok || w.flush().is_err() {
+                *guard = None;
+            }
+        }
+    }
+
+    fn send_json(&self, v: &Json) {
+        self.send_raw(&v.to_string_compact());
+    }
+
+    fn send(&self, reply: &Reply) {
+        self.send_raw(&reply.to_line());
+    }
+}
+
+/// One lazily-opened backend connection of a client connection.
+struct Backend {
+    /// Write half plus the shutdown handle the reader uses to reap the
+    /// relay thread when the client disconnects.
+    stream: TcpStream,
+    /// Cleared by the relay thread when the shard side dies.
+    alive: Arc<AtomicBool>,
+}
+
+/// Serves client connections until idle (with
+/// [`RouterConfig::exit_when_idle`]): every client served and none left.
+/// The listener is switched to non-blocking so the accept loop can
+/// observe the idle condition, exactly like the daemon's accept loop.
+pub fn run_router(listener: TcpListener, config: RouterConfig) -> io::Result<RouterReport> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a router needs at least one --shard",
+        ));
+    }
+    listener.set_nonblocking(true)?;
+    let ring = Ring::new(config.shards.len(), config.vnodes, config.seed);
+    let shared = Arc::new(Shared {
+        ring,
+        placements: Mutex::new(HashMap::new()),
+        migrating: Mutex::new(HashSet::new()),
+        metrics: Arc::new(RouterMetrics::new()),
+        config,
+    });
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        stream.set_nodelay(true).ok();
+                        if let Some(timeout) = shared.config.read_timeout {
+                            stream.set_read_timeout(Some(timeout)).ok();
+                        }
+                        let write_half: Box<dyn Write + Send> = match stream.try_clone() {
+                            Ok(s) => Box::new(BufWriter::new(s)),
+                            Err(_) => Box::new(io::sink()),
+                        };
+                        handle_connection(&shared, stream, write_half);
+                        shared
+                            .metrics
+                            .active_connections
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let idle = shared.config.exit_when_idle
+                        && shared.metrics.connections.load(Ordering::Relaxed) > 0
+                        && shared.metrics.active_connections.load(Ordering::Relaxed) == 0;
+                    if idle {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })?;
+    let m = &shared.metrics;
+    Ok(RouterReport {
+        connections: m.connections.load(Ordering::Relaxed),
+        requests: m.requests.load(Ordering::Relaxed),
+        forwarded_requests: m.forwarded_requests.load(Ordering::Relaxed),
+        placements: m.placements.load(Ordering::Relaxed),
+        migrations: m.migrations.load(Ordering::Relaxed),
+        migration_failures: m.migration_failures.load(Ordering::Relaxed),
+        busy_rejects: m.busy_rejects.load(Ordering::Relaxed),
+        shard_unreachable: m.shard_unreachable.load(Ordering::Relaxed),
+    })
+}
+
+/// Reads one `\n`-terminated line, rejecting lines over [`MAX_LINE_BYTES`]
+/// (the same bound the daemon enforces).
+fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result<usize> {
+    let mut taken = reader.take(u64::try_from(MAX_LINE_BYTES).unwrap_or(u64::MAX));
+    let n = taken.read_line(line)?;
+    if n >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(n)
+}
+
+/// Reads request lines from one client connection until EOF, forwarding
+/// or answering them. Owns this connection's backend map; backend sockets
+/// are shut down on exit so the relay threads unblock and die.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, output: Box<dyn Write + Send>) {
+    let sink = Arc::new(LineSink::new(output));
+    let closing = Arc::new(AtomicBool::new(false));
+    let mut backends: HashMap<usize, Backend> = HashMap::new();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // An oversized line leaves the stream mid-line; the
+                // daemon resynchronizes, but through a router the safe
+                // move is to drop the connection — the client's
+                // reconnect machinery restores the session.
+                sink.send(&Reply::error("line-too-long", e.to_string(), None, None));
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                sink.send(&Reply::error(
+                    "read-timeout",
+                    "no complete request line within the read timeout; disconnecting",
+                    None,
+                    None,
+                ));
+                break;
+            }
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                sink.send(&Reply::error("bad-json", e.to_string(), None, None));
+                continue;
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let seq = parsed.get("seq").and_then(Json::as_u64);
+        match parsed.get("type").and_then(Json::as_str).unwrap_or("") {
+            "ping" => {
+                sink.send(&pong(shared, seq));
+                continue;
+            }
+            "metrics" => {
+                sink.send_json(&merged_metrics(shared, seq));
+                continue;
+            }
+            "migrate" => {
+                handle_migrate(shared, &parsed, &sink);
+                continue;
+            }
+            ty @ ("adopt" | "evict") => {
+                sink.send(&Reply::error(
+                    "bad-message",
+                    format!("`{ty}` is shard-internal; drive migrations with `migrate`"),
+                    None,
+                    seq,
+                ));
+                continue;
+            }
+            _ => {}
+        }
+        let request = match Request::from_json(&parsed) {
+            Ok(r) => r,
+            Err((code, message)) => {
+                sink.send(&Reply::error(code, message, None, None));
+                continue;
+            }
+        };
+        let tenant = request.tenant().to_string();
+        if lock(&shared.migrating).contains(&tenant) {
+            shared.metrics.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            sink.send(&Reply::error(
+                "busy",
+                format!("tenant `{tenant}` is migrating; retry shortly"),
+                Some(&tenant),
+                request.seq(),
+            ));
+            continue;
+        }
+        let shard = place(shared, &tenant);
+        forward(
+            shared,
+            &mut backends,
+            shard,
+            trimmed,
+            &sink,
+            &closing,
+            &tenant,
+            request.seq(),
+        );
+    }
+    closing.store(true, Ordering::Relaxed);
+    for backend in backends.values() {
+        let _ = backend.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The tenant's shard: its placement if it has one, else its ring owner
+/// (recorded, and logged as a `placed` line, on first sight).
+fn place(shared: &Shared, tenant: &str) -> usize {
+    let mut placements = lock(&shared.placements);
+    if let Some(&shard) = placements.get(tenant) {
+        return shard;
+    }
+    let shard = shared.ring.owner(tenant);
+    placements.insert(tenant.to_string(), shard);
+    drop(placements);
+    shared.metrics.placements.fetch_add(1, Ordering::Relaxed);
+    if let Some(log) = &shared.config.placement_log {
+        log.write_snapshot(&Json::obj([
+            ("type", Json::Str("placed".to_string())),
+            ("tenant", Json::Str(tenant.to_string())),
+            ("shard", shard.to_json()),
+            (
+                "addr",
+                Json::Str(shared.config.shards.get(shard).cloned().unwrap_or_default()),
+            ),
+        ]));
+    }
+    shard
+}
+
+/// Forwards one raw request line to `shard` over this connection's
+/// backend map, opening (or reopening, once) the backend connection and
+/// its relay thread on demand. Failures surface as a typed
+/// `shard-unreachable` error carrying the tenant and `seq`.
+#[allow(clippy::too_many_arguments)]
+fn forward(
+    shared: &Arc<Shared>,
+    backends: &mut HashMap<usize, Backend>,
+    shard: usize,
+    line: &str,
+    sink: &Arc<LineSink>,
+    closing: &Arc<AtomicBool>,
+    tenant: &str,
+    seq: Option<u64>,
+) {
+    for _attempt in 0..2u32 {
+        let dead = backends
+            .get(&shard)
+            .is_some_and(|b| !b.alive.load(Ordering::Relaxed));
+        if dead {
+            if let Some(b) = backends.remove(&shard) {
+                let _ = b.stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Entry::Vacant(slot) = backends.entry(shard) {
+            match open_backend(shared, shard, sink, closing) {
+                Ok(b) => {
+                    slot.insert(b);
+                }
+                Err(_) => break,
+            }
+        }
+        let Some(backend) = backends.get(&shard) else {
+            break;
+        };
+        let mut w = &backend.stream;
+        if w.write_all(line.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() {
+            shared
+                .metrics
+                .forwarded_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // The write half died between the liveness check and the write;
+        // drop the entry and retry once with a fresh connection.
+        if let Some(b) = backends.remove(&shard) {
+            let _ = b.stream.shutdown(Shutdown::Both);
+        }
+    }
+    shared
+        .metrics
+        .shard_unreachable
+        .fetch_add(1, Ordering::Relaxed);
+    sink.send(&Reply::error(
+        CODE_SHARD_UNREACHABLE,
+        format!("shard {shard} is unreachable"),
+        Some(tenant),
+        seq,
+    ));
+}
+
+/// Connects to `shard` (with seeded backoff between attempts) and spawns
+/// the relay thread pumping its reply lines into `sink`.
+fn open_backend(
+    shared: &Arc<Shared>,
+    shard: usize,
+    sink: &Arc<LineSink>,
+    closing: &Arc<AtomicBool>,
+) -> io::Result<Backend> {
+    let stream = connect_shard(shared, shard)?;
+    let read_half = stream.try_clone()?;
+    let alive = Arc::new(AtomicBool::new(true));
+    let relay = RelayHandle {
+        shard,
+        sink: Arc::clone(sink),
+        closing: Arc::clone(closing),
+        alive: Arc::clone(&alive),
+        metrics: Arc::clone(&shared.metrics),
+    };
+    std::thread::spawn(move || relay.run(read_half));
+    Ok(Backend { stream, alive })
+}
+
+/// Everything a relay thread owns. Relay connections deliberately carry
+/// no read timeout: an idle backend is healthy, and killing it would
+/// sever a live tenant.
+struct RelayHandle {
+    shard: usize,
+    sink: Arc<LineSink>,
+    closing: Arc<AtomicBool>,
+    alive: Arc<AtomicBool>,
+    metrics: Arc<RouterMetrics>,
+}
+
+impl RelayHandle {
+    fn run(self, stream: TcpStream) {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => self.sink.send_raw(&line),
+            }
+        }
+        self.alive.store(false, Ordering::Relaxed);
+        if !self.closing.load(Ordering::Relaxed) {
+            // The shard died under a live client: surface it as one
+            // unsequenced typed error, which the client's reconnect
+            // machinery treats as a resync signal.
+            self.metrics
+                .shard_unreachable
+                .fetch_add(1, Ordering::Relaxed);
+            self.sink.send(&Reply::error(
+                CODE_SHARD_UNREACHABLE,
+                format!("shard {} closed its connection", self.shard),
+                None,
+                None,
+            ));
+        }
+    }
+}
+
+/// TCP connect with bounded, seeded-backoff retries.
+fn connect_shard(shared: &Shared, shard: usize) -> io::Result<TcpStream> {
+    let addr = shared
+        .config
+        .shards
+        .get(shard)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no shard {shard}")))?;
+    let attempts = shared.config.connect_attempts.max(1);
+    let mut backoff = Backoff::new(
+        shared.config.backoff_base_ms,
+        shared.config.backoff_cap_ms,
+        shared.config.seed ^ u64::try_from(shard).unwrap_or(u64::MAX) ^ 0x5EED_C0DE,
+    );
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff.next_delay());
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::ConnectionRefused, "no connect attempts made")
+    }))
+}
+
+/// The router's own `pong`: router-level counters, with `tenants` meaning
+/// placed tenants across the whole fleet.
+fn pong(shared: &Shared, seq: Option<u64>) -> Reply {
+    let m = &shared.metrics;
+    Reply::Pong {
+        connections: m.connections.load(Ordering::Relaxed),
+        active_connections: m.active_connections.load(Ordering::Relaxed),
+        tenants: u64::try_from(lock(&shared.placements).len()).unwrap_or(u64::MAX),
+        requests: m.requests.load(Ordering::Relaxed),
+        busy_drops: m.busy_rejects.load(Ordering::Relaxed),
+        seq,
+    }
+}
+
+/// One short-lived control round trip to a shard: connect, send `line`,
+/// read until a reply of type `expect` (success) or `error` (failure).
+/// Control connections are read-timeout-bounded so a hung shard becomes
+/// a typed failure instead of a stall.
+fn control_roundtrip(
+    shared: &Shared,
+    shard: usize,
+    line: &str,
+    expect: &str,
+) -> Result<Json, String> {
+    let stream =
+        connect_shard(shared, shard).map_err(|e| format!("shard {shard} is unreachable: {e}"))?;
+    stream
+        .set_read_timeout(Some(shared.config.control_timeout))
+        .ok();
+    let mut w = &stream;
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .map_err(|e| format!("shard {shard} control write failed: {e}"))?;
+    let mut reader = BufReader::new(&stream);
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Err(format!("shard {shard} closed the control connection")),
+            Ok(_) => {}
+            Err(e) => return Err(format!("shard {shard} control read failed: {e}")),
+        }
+        let v = Json::parse(buf.trim())
+            .map_err(|e| format!("shard {shard} sent bad control JSON: {e}"))?;
+        match v.get("type").and_then(Json::as_str) {
+            Some(t) if t == expect => return Ok(v),
+            Some("error") => return Err(format!("shard {shard} answered: {}", buf.trim())),
+            // Anything else (a stray metrics line, say) is skipped; the
+            // control connection is fresh, so the expected reply is next.
+            _ => {}
+        }
+    }
+}
+
+/// Handles one `migrate` admin request inline.
+fn handle_migrate(shared: &Shared, v: &Json, sink: &LineSink) {
+    let seq = v.get("seq").and_then(Json::as_u64);
+    let Some(tenant) = v.get("tenant").and_then(Json::as_str).map(str::to_string) else {
+        sink.send(&Reply::error(
+            "bad-message",
+            "migrate needs a string `tenant`",
+            None,
+            seq,
+        ));
+        return;
+    };
+    let to = match v
+        .get("to")
+        .and_then(Json::as_u64)
+        .and_then(|n| usize::try_from(n).ok())
+    {
+        Some(n) if n < shared.config.shards.len() => n,
+        _ => {
+            sink.send(&Reply::error(
+                "bad-message",
+                format!(
+                    "migrate needs an integer `to` in 0..{}",
+                    shared.config.shards.len()
+                ),
+                Some(&tenant),
+                seq,
+            ));
+            return;
+        }
+    };
+    // Claim the tenant: exactly one migration in flight per name.
+    if !lock(&shared.migrating).insert(tenant.clone()) {
+        sink.send(&Reply::error(
+            "busy",
+            format!("tenant `{tenant}` already has a migration in flight"),
+            Some(&tenant),
+            seq,
+        ));
+        return;
+    }
+    let from = lock(&shared.placements)
+        .get(&tenant)
+        .copied()
+        .unwrap_or_else(|| shared.ring.owner(&tenant));
+    let migrated = |micros: u64, fallback: bool| {
+        let mut fields = vec![
+            ("type", Json::Str("migrated".to_string())),
+            ("tenant", Json::Str(tenant.clone())),
+            ("from", from.to_json()),
+            ("to", to.to_json()),
+            ("micros", micros.to_json()),
+            ("fallback", Json::Bool(fallback)),
+        ];
+        if let Some(s) = seq {
+            fields.push(("seq", s.to_json()));
+        }
+        Json::obj(fields)
+    };
+    if from == to {
+        lock(&shared.migrating).remove(&tenant);
+        sink.send_json(&migrated(0, false));
+        return;
+    }
+    let t0 = Instant::now();
+    let result = evict_and_adopt(shared, &tenant, from, to)
+        .map(|()| false)
+        .or_else(|primary| {
+            // The source may have died mid-handoff. Eviction detaches a
+            // journal without deleting it, and the fleet shares a journal
+            // directory, so a `resume` on the destination rebuilds the
+            // tenant from the journal tail.
+            fallback_resume(shared, &tenant, to)
+                .map(|()| true)
+                .map_err(|fb| format!("{primary}; journal fallback failed: {fb}"))
+        });
+    let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    match result {
+        Ok(fallback) => {
+            lock(&shared.placements).insert(tenant.clone(), to);
+            lock(&shared.migrating).remove(&tenant);
+            shared.metrics.migrations.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.migration_micros.record(micros);
+            sink.send_json(&migrated(micros, fallback));
+        }
+        Err(message) => {
+            lock(&shared.migrating).remove(&tenant);
+            shared
+                .metrics
+                .migration_failures
+                .fetch_add(1, Ordering::Relaxed);
+            sink.send(&Reply::error(
+                "migration-failed",
+                message,
+                Some(&tenant),
+                seq,
+            ));
+        }
+    }
+}
+
+/// The happy-path handoff: `evict` on the source (drains the tenant's
+/// queued window, captures the checkpoint, tombstones the name), then
+/// `adopt` of the returned state on the destination.
+fn evict_and_adopt(shared: &Shared, tenant: &str, from: usize, to: usize) -> Result<(), String> {
+    let evict = Json::obj([
+        ("type", Json::Str("evict".to_string())),
+        ("tenant", Json::Str(tenant.to_string())),
+    ]);
+    let evicted = control_roundtrip(shared, from, &evict.to_string_compact(), "evicted")?;
+    let state = evicted
+        .get("state")
+        .cloned()
+        .ok_or_else(|| format!("shard {from} sent an `evicted` reply without `state`"))?;
+    let adopt = Json::obj([
+        ("type", Json::Str("adopt".to_string())),
+        ("tenant", Json::Str(tenant.to_string())),
+        ("state", state),
+    ]);
+    control_roundtrip(shared, to, &adopt.to_string_compact(), "adopted").map(|_| ())
+}
+
+/// The crash fallback: a throwaway `resume` on the destination recovers
+/// the tenant from the shared journal directory. Dropping the control
+/// connection right after detaches the session again, so the tenant's
+/// own client attaches with its usual `resume`.
+fn fallback_resume(shared: &Shared, tenant: &str, to: usize) -> Result<(), String> {
+    let resume = Json::obj([
+        ("type", Json::Str("resume".to_string())),
+        ("tenant", Json::Str(tenant.to_string())),
+    ]);
+    control_roundtrip(shared, to, &resume.to_string_compact(), "resumed").map(|_| ())
+}
+
+/// Answers a client `metrics` request with the fleet-wide merge: summed
+/// `global` counters, concatenated `per_tenant` rows (so `calib-top`
+/// renders through the router unchanged), a new `per_shard` array, the
+/// router's own counters, and the migration-latency histogram.
+fn merged_metrics(shared: &Shared, seq: Option<u64>) -> Json {
+    let mut sums: Vec<(String, u128)> = Vec::new();
+    let mut tenants: Vec<Json> = Vec::new();
+    let mut per_shard: Vec<Json> = Vec::new();
+    for (i, addr) in shared.config.shards.iter().enumerate() {
+        let placed = lock(&shared.placements)
+            .values()
+            .filter(|&&s| s == i)
+            .count();
+        let mut row = vec![
+            ("shard", i.to_json()),
+            ("addr", Json::Str(addr.clone())),
+            ("placements", placed.to_json()),
+        ];
+        match control_roundtrip(shared, i, "{\"type\":\"metrics\"}", "metrics") {
+            Ok(snapshot) => {
+                if let Some(Json::Obj(fields)) = snapshot.get("global") {
+                    for (key, value) in fields {
+                        if let Some(n) = value.as_u128() {
+                            match sums.iter_mut().find(|(k, _)| k == key) {
+                                Some(slot) => slot.1 = slot.1.saturating_add(n),
+                                None => sums.push((key.clone(), n)),
+                            }
+                        }
+                    }
+                }
+                if let Some(rows) = snapshot.get("per_tenant").and_then(Json::as_arr) {
+                    tenants.extend(rows.iter().cloned());
+                }
+                row.push((
+                    "global",
+                    snapshot.get("global").cloned().unwrap_or(Json::Null),
+                ));
+            }
+            Err(e) => row.push(("error", Json::Str(e))),
+        }
+        per_shard.push(Json::obj(row));
+    }
+    let global = Json::Obj(sums.into_iter().map(|(k, v)| (k, Json::UInt(v))).collect());
+    let mut fields = vec![
+        ("type", Json::Str("metrics".to_string())),
+        ("global", global),
+        ("per_tenant", Json::Arr(tenants)),
+        ("per_shard", Json::Arr(per_shard)),
+        ("router", shared.metrics.to_json()),
+        (
+            "migration_micros",
+            shared.metrics.migration_micros.snapshot().to_json(),
+        ),
+    ];
+    if let Some(s) = seq {
+        fields.push(("seq", s.to_json()));
+    }
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_configs_are_rejected_before_binding_matters() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = run_router(listener, RouterConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn merged_metrics_reports_unreachable_shards_per_shard() {
+        // Port 1 on localhost: reliably refused, and connect_attempts=1
+        // keeps the test fast.
+        let shared = Shared {
+            config: RouterConfig {
+                shards: vec!["127.0.0.1:1".to_string()],
+                connect_attempts: 1,
+                ..RouterConfig::default()
+            },
+            ring: Ring::new(1, 8, 7),
+            placements: Mutex::new(HashMap::new()),
+            migrating: Mutex::new(HashSet::new()),
+            metrics: Arc::new(RouterMetrics::new()),
+        };
+        let v = merged_metrics(&shared, Some(3));
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(v.get("seq").and_then(Json::as_u64), Some(3));
+        let shard0 = &v.get("per_shard").and_then(Json::as_arr).unwrap()[0];
+        assert!(shard0.get("error").is_some());
+        assert!(v.get("router").is_some());
+    }
+}

@@ -4,7 +4,7 @@
 //! calib-loadgen --addr 127.0.0.1:PORT --tenants 8 --jobs 5000 --seed 7
 //!               [--tick-every N] [--window W] [--deadline-ms N]
 //!               [--max-reconnects N] [--backoff-base-ms N] [--backoff-cap-ms N]
-//!               [--resume-on-start]
+//!               [--resume-on-start] [--park] [--router]
 //! ```
 //!
 //! Each tenant runs on its own connection and thread: it draws a sized
@@ -29,6 +29,12 @@
 //! deterministic crash/recovery drill: park, `kill -9` the daemon,
 //! restart it on the same journal directory, then resume and drain —
 //! CI's `chaos-smoke` job does exactly this.
+//!
+//! `--router` declares that `--addr` points at a `calib-router` front-end
+//! instead of a single daemon — the wire protocol is identical, so the
+//! flag only tags the summary line (`"router":true`). Either way the
+//! summary counts `redirects`: `tenant-moved` answers followed through a
+//! reconnect, i.e. live migrations this client rode through mid-stream.
 //!
 //! Prints one JSON summary line (throughput, latency percentiles via
 //! `calib_sim::stats`, reconnect/resume counts, mismatch counts). Exit
@@ -58,6 +64,7 @@ struct Args {
     backoff_cap_ms: u64,
     resume_on_start: bool,
     park: bool,
+    router: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         backoff_cap_ms: 500,
         resume_on_start: false,
         park: false,
+        router: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -127,11 +135,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--resume-on-start" => args.resume_on_start = true,
             "--park" => args.park = true,
+            "--router" => args.router = true,
             "--help" | "-h" => {
                 return Err("usage: calib-loadgen --addr HOST:PORT [--tenants N] \
                      [--jobs N] [--seed S] [--tick-every N] [--window W] \
                      [--deadline-ms N] [--max-reconnects N] [--backoff-base-ms N] \
-                     [--backoff-cap-ms N] [--resume-on-start] [--park]"
+                     [--backoff-cap-ms N] [--resume-on-start] [--park] [--router]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -275,6 +284,7 @@ struct TenantOutcome {
     decisions: u64,
     reconnects: u64,
     resumes: u64,
+    redirects: u64,
     latencies_us: Vec<f64>,
     errors: Vec<String>,
 }
@@ -341,6 +351,7 @@ fn run_tenant(
         decisions: report.decisions,
         reconnects: report.reconnects,
         resumes: report.resumes,
+        redirects: report.redirects,
         latencies_us: report.latencies_us,
         errors,
     }
@@ -408,6 +419,7 @@ fn main() -> ExitCode {
                     decisions: 0,
                     reconnects: 0,
                     resumes: 0,
+                    redirects: 0,
                     latencies_us: Vec::new(),
                     errors: vec!["tenant thread panicked".to_string()],
                 })
@@ -419,6 +431,7 @@ fn main() -> ExitCode {
     let decisions: u64 = outcomes.iter().map(|o| o.decisions).sum();
     let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
     let resumes: u64 = outcomes.iter().map(|o| o.resumes).sum();
+    let redirects: u64 = outcomes.iter().map(|o| o.redirects).sum();
     let mut latencies: Vec<f64> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     for o in &outcomes {
@@ -443,6 +456,8 @@ fn main() -> ExitCode {
         ("requests", latencies.len().to_json()),
         ("reconnects", reconnects.to_json()),
         ("resumes", resumes.to_json()),
+        ("redirects", redirects.to_json()),
+        ("router", Json::Bool(args.router)),
         ("errors", errors.len().to_json()),
     ];
     if let Some(s) = &latency {

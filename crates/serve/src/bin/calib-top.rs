@@ -14,6 +14,13 @@
 //! verifies that the daemon-wide decision counter equals the sum of the
 //! per-tenant counters and fails loudly when it does not.
 //!
+//! Pointing `--addr` at a `calib-router` works unchanged: the router's
+//! merged snapshot carries the same `global`/`per_tenant` shape, plus a
+//! `per_shard` array and router counters that render as an extra header
+//! and per-shard table. `--check` then also verifies the merged global
+//! totals equal the sum over shards (and fails if any shard was
+//! unreachable during the merge).
+//!
 //! Exit status: 0 on success, 1 when `--check` finds an inconsistent
 //! snapshot, 2 on usage or connection errors.
 
@@ -134,6 +141,7 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
         percentile_cell(snapshot.get("fsync_micros")),
         percentile_cell(snapshot.get("request_micros")),
     );
+    render_router(snapshot, out);
     let _ = writeln!(
         out,
         "{:<16} {:>4} {:>10} {:>7} {:>6} {:>6} {:>6} {:>5} {:>14} {:>12} {:>12}",
@@ -191,6 +199,53 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
     }
 }
 
+/// Extra header and per-shard table for snapshots that came through a
+/// `calib-router` (they carry `router` and `per_shard` objects a plain
+/// daemon never emits); a no-op for single-daemon snapshots.
+fn render_router(snapshot: &Json, out: &mut impl Write) {
+    if let Some(r) = snapshot.get("router") {
+        let _ = writeln!(
+            out,
+            "router | forwarded {} | placements {} | migrations {} (failed {}) | busy {} | unreachable {} | migrate us p50/p95/p99 {}",
+            field_u64(r, "forwarded_requests"),
+            field_u64(r, "placements"),
+            field_u64(r, "migrations"),
+            field_u64(r, "migration_failures"),
+            field_u64(r, "busy_rejects"),
+            field_u64(r, "shard_unreachable"),
+            percentile_cell(snapshot.get("migration_micros")),
+        );
+    }
+    let Some(shards) = snapshot.get("per_shard").and_then(Json::as_arr) else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "{:<6} {:<22} {:>7} {:>7} {:>10} {:>10} {:>6}",
+        "SHARD", "ADDR", "PLACED", "OPEN", "REQUESTS", "DECISIONS", "BUSY"
+    );
+    for row in shards {
+        let addr = row.get("addr").and_then(Json::as_str).unwrap_or("?");
+        if let Some(err) = row.get("error").and_then(Json::as_str) {
+            let _ = writeln!(out, "{:<6} {:<22} {err}", field_u64(row, "shard"), addr);
+            continue;
+        }
+        let g = row.get("global");
+        let cell = |key: &str| g.map_or(0, |g| field_u64(g, key));
+        let _ = writeln!(
+            out,
+            "{:<6} {:<22} {:>7} {:>7} {:>10} {:>10} {:>6}",
+            field_u64(row, "shard"),
+            addr,
+            field_u64(row, "placements"),
+            cell("tenants_open"),
+            cell("requests"),
+            cell("decisions"),
+            cell("busy_drops"),
+        );
+    }
+}
+
 /// `--check`: the registry retains closed tenants precisely so this holds.
 fn check_consistent(snapshot: &Json) -> Result<(), String> {
     let global = snapshot
@@ -202,13 +257,32 @@ fn check_consistent(snapshot: &Json) -> Result<(), String> {
         .and_then(Json::as_arr)
         .map(|rows| rows.iter().map(|r| field_u64(r, "decisions")).sum())
         .unwrap_or(0);
-    if global == per_tenant {
-        Ok(())
-    } else {
-        Err(format!(
+    if global != per_tenant {
+        return Err(format!(
             "global decisions {global} != per-tenant sum {per_tenant}"
-        ))
+        ));
     }
+    // Through a router the merged global is built by summing the shard
+    // snapshots — re-derive it from `per_shard` and demand equality, so
+    // a shard dropped from the merge cannot hide.
+    if let Some(shards) = snapshot.get("per_shard").and_then(Json::as_arr) {
+        if let Some(row) = shards.iter().find(|r| r.get("error").is_some()) {
+            return Err(format!(
+                "shard {} was unreachable during the merge",
+                field_u64(row, "shard")
+            ));
+        }
+        let per_shard: u64 = shards
+            .iter()
+            .map(|r| r.get("global").map_or(0, |g| field_u64(g, "decisions")))
+            .sum();
+        if global != per_shard {
+            return Err(format!(
+                "router global decisions {global} != per-shard sum {per_shard}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), (u8, String)> {

@@ -151,6 +151,10 @@ pub struct ServeMetrics {
     /// Checkpoint/compaction attempts that failed on I/O (the old journal
     /// stays authoritative, so these degrade recovery cost, not safety).
     pub checkpoint_io_errors: AtomicU64,
+    /// Migrated tenants installed from a checkpoint via `adopt`.
+    pub adoptions: AtomicU64,
+    /// Tenants drained, checkpointed, and removed via `evict`.
+    pub evictions: AtomicU64,
     /// Worker time per processed request, microseconds.
     pub request_micros: LogHistogram,
     /// Wall-clock journal-append cost, microseconds, all tenants.
@@ -293,6 +297,14 @@ impl ServeMetrics {
             (
                 "checkpoint_io_errors",
                 self.checkpoint_io_errors.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "adoptions",
+                self.adoptions.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "evictions",
+                self.evictions.load(Ordering::Relaxed).to_json(),
             ),
             ("tenants_open", self.open_tenants().to_json()),
         ]);

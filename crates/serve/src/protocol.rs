@@ -23,6 +23,18 @@ use crate::session::{Algorithm, TenantConfig};
 /// not make the server buffer without bound.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
+/// Error code a daemon answers with when a tenant was evicted to another
+/// shard: the tenant is not here any more, and a router in front of the
+/// daemon knows where it went. Clients treat it like `busy` — reconnect
+/// and resume; the router forwards the resume to the adopting shard.
+pub const CODE_TENANT_MOVED: &str = "tenant-moved";
+
+/// Error code a router answers with when the shard owning the addressed
+/// tenant cannot be reached (connect failure or read timeout on the
+/// backend connection). Typed so clients back off and retry instead of
+/// interpreting a hung shard as a dead session.
+pub const CODE_SHARD_UNREACHABLE: &str = "shard-unreachable";
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -107,6 +119,27 @@ pub enum Request {
         /// Echoed sequence number (exempt from any `seq` chain).
         seq: Option<u64>,
     },
+    /// Install a migrated tenant from a checkpoint captured on another
+    /// shard (the payload of that shard's `evicted` reply). Router-issued;
+    /// the restored session starts detached so the tenant's own client can
+    /// attach with `resume`.
+    Adopt {
+        /// Target tenant (must match the checkpoint's own name).
+        tenant: String,
+        /// The authoritative state cut from the source shard.
+        state: Box<CheckpointState>,
+        /// Echoed sequence number (exempt from the tenant's `seq` chain).
+        seq: Option<u64>,
+    },
+    /// Drain the tenant's queued requests, capture its checkpoint, and
+    /// remove it from this shard, leaving a `tenant-moved` tombstone.
+    /// Router-issued; the reply carries the checkpoint for `adopt`.
+    Evict {
+        /// Target tenant.
+        tenant: String,
+        /// Echoed sequence number (exempt from the tenant's `seq` chain).
+        seq: Option<u64>,
+    },
 }
 
 impl Request {
@@ -120,7 +153,9 @@ impl Request {
             | Request::Stats { tenant, .. }
             | Request::Drain { tenant, .. }
             | Request::Bye { tenant, .. }
-            | Request::Resume { tenant, .. } => tenant,
+            | Request::Resume { tenant, .. }
+            | Request::Adopt { tenant, .. }
+            | Request::Evict { tenant, .. } => tenant,
             Request::Ping { .. } | Request::Metrics { .. } => "",
         }
     }
@@ -136,6 +171,8 @@ impl Request {
             | Request::Drain { seq, .. }
             | Request::Bye { seq, .. }
             | Request::Resume { seq, .. }
+            | Request::Adopt { seq, .. }
+            | Request::Evict { seq, .. }
             | Request::Ping { seq }
             | Request::Metrics { seq } => *seq,
         }
@@ -201,6 +238,28 @@ impl Request {
             "drain" => Ok(Request::Drain { tenant, seq }),
             "bye" => Ok(Request::Bye { tenant, seq }),
             "resume" => Ok(Request::Resume { tenant, seq }),
+            "adopt" => {
+                let state_json = v
+                    .get("state")
+                    .ok_or_else(|| bad("missing field `state`".to_string()))?;
+                let state = CheckpointState::from_json(state_json)
+                    .map_err(|e| ("corrupt-snapshot", format!("bad `state` payload: {e}")))?;
+                if state.tenant != tenant {
+                    return Err((
+                        "bad-message",
+                        format!(
+                            "adopt addresses `{tenant}` but the checkpoint is for `{}`",
+                            state.tenant
+                        ),
+                    ));
+                }
+                Ok(Request::Adopt {
+                    tenant,
+                    state: Box::new(state),
+                    seq,
+                })
+            }
+            "evict" => Ok(Request::Evict { tenant, seq }),
             other => Err(("bad-message", format!("unknown request type `{other}`"))),
         }
     }
@@ -351,6 +410,24 @@ pub enum Reply {
     Metrics {
         /// The registry snapshot, already shaped as a JSON object.
         snapshot: Json,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Migrated tenant installed from a checkpoint, answering `adopt`.
+    Adopted {
+        /// Addressed tenant.
+        tenant: String,
+        /// The restored session's `seq` high-water mark, so the router can
+        /// confirm the handoff landed at the expected cut.
+        last_seq: Option<u64>,
+        /// Echoed sequence number.
+        seq: Option<u64>,
+    },
+    /// Checkpoint handed back from `evict`; the tenant is gone from this
+    /// shard afterwards (replaced by a `tenant-moved` tombstone).
+    Evicted {
+        /// The authoritative state cut, ready to feed an `adopt`.
+        state: Box<CheckpointState>,
         /// Echoed sequence number.
         seq: Option<u64>,
     },
@@ -519,6 +596,30 @@ impl Reply {
                     fields.push(("seq".to_string(), s.to_json()));
                 }
                 Json::Obj(fields)
+            }
+            Reply::Adopted {
+                tenant,
+                last_seq,
+                seq,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::Str("adopted".to_string())),
+                    ("tenant", Json::Str(tenant.clone())),
+                ];
+                if let Some(s) = last_seq {
+                    fields.push(("last_seq", s.to_json()));
+                }
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
+            }
+            Reply::Evicted { state, seq } => {
+                let mut fields = vec![
+                    ("type", Json::Str("evicted".to_string())),
+                    ("tenant", Json::Str(state.tenant.clone())),
+                    ("state", state.to_json()),
+                ];
+                put_seq(&mut fields, *seq);
+                Json::obj(fields)
             }
             Reply::Error {
                 code,
@@ -1205,6 +1306,26 @@ mod tests {
         assert!(msg.contains("`now`"), "{msg}");
         let (code, _) = parse(r#"{"type":"hello","machines":1}"#).unwrap_err();
         assert_eq!(code, "bad-message");
+    }
+
+    #[test]
+    fn parses_the_migration_vocabulary() {
+        let evict = parse(r#"{"type":"evict","tenant":"a","seq":3}"#).unwrap();
+        assert_eq!(
+            evict,
+            Request::Evict {
+                tenant: "a".into(),
+                seq: Some(3)
+            }
+        );
+
+        // `adopt` without a payload is malformed; with an unparseable
+        // payload it is a corrupt snapshot (the validating parser ran).
+        let (code, msg) = parse(r#"{"type":"adopt","tenant":"a"}"#).unwrap_err();
+        assert_eq!(code, "bad-message");
+        assert!(msg.contains("`state`"), "{msg}");
+        let (code, _) = parse(r#"{"type":"adopt","tenant":"a","state":{}}"#).unwrap_err();
+        assert_eq!(code, "corrupt-snapshot");
     }
 
     #[test]

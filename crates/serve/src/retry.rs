@@ -170,6 +170,8 @@ pub struct ClientReport {
     pub reconnects: u64,
     /// Successful `resumed` handshakes.
     pub resumes: u64,
+    /// `tenant-moved` redirects followed (migrations observed mid-stream).
+    pub redirects: u64,
     /// Captured replies, keyed by plan seq.
     pub captured: Vec<(u64, Json)>,
     /// Per-acked-reply latencies in microseconds.
@@ -457,8 +459,14 @@ fn drive(
             let code = v.get("code").and_then(Json::as_str).unwrap_or("?");
             match code {
                 // Recoverable by resynchronizing: an earlier line was
-                // lost (`seq-gap`) or dropped under backpressure (`busy`).
-                "seq-gap" | "busy" => {
+                // lost (`seq-gap`), dropped under backpressure (`busy`),
+                // or the tenant migrated to another shard mid-stream
+                // (`tenant-moved`) / its shard is momentarily unreachable
+                // through the router (`shard-unreachable`) — in all four
+                // cases a fresh connection plus `resume` lands the client
+                // on the session's current owner at the right seq.
+                "seq-gap" | "busy" | "tenant-moved" | "shard-unreachable" => {
+                    report.redirects += u64::from(code == "tenant-moved");
                     return Drive::Reconnect(format!("server asked to resync: `{code}`"));
                 }
                 _ => report

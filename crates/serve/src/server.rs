@@ -40,7 +40,7 @@
 //! for a tenant absent from memory falls back to journal replay, which is
 //! how a restarted daemon recovers the sessions a crash orphaned.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -50,9 +50,11 @@ use std::time::{Duration, Instant};
 
 use calib_core::json::Json;
 
-use crate::journal::{self, FsyncPolicy, JournalWriter};
+use crate::journal::{self, FsyncPolicy, JournalRecord, JournalWriter};
 use crate::metrics::{MetricsSink, ServeMetrics, TenantMetrics};
-use crate::protocol::{Accounting, Reply, Request, MAX_LINE_BYTES};
+use crate::protocol::{
+    Accounting, CheckpointState, Reply, Request, CODE_TENANT_MOVED, MAX_LINE_BYTES,
+};
 use crate::session::{Algorithm, SessionError, SessionMetrics, TenantConfig, TenantSession};
 
 /// Server tuning knobs.
@@ -209,10 +211,18 @@ struct Tenant {
 }
 
 impl Tenant {
-    fn new(name: &str, conn: u64, session: TenantSession, metrics: Arc<TenantMetrics>) -> Tenant {
+    /// `conn: None` registers the tenant detached — the `adopt` path, where
+    /// the installing connection is a router's control channel and the
+    /// tenant's own client attaches later with `resume`.
+    fn new(
+        name: &str,
+        conn: Option<u64>,
+        session: TenantSession,
+        metrics: Arc<TenantMetrics>,
+    ) -> Tenant {
         Tenant {
             name: name.to_string(),
-            conn: Mutex::new(Some(conn)),
+            conn: Mutex::new(conn),
             inbox: Mutex::new(Inbox {
                 queue: VecDeque::new(),
                 running: false,
@@ -233,6 +243,13 @@ struct Shared {
     /// `--metrics-interval-ms` never delays server exit.
     metrics_wake: (Mutex<()>, Condvar),
     shutdown: AtomicBool,
+    /// Tombstones for tenants evicted to another shard. A request for a
+    /// tombstoned name answers `tenant-moved` instead of `unknown-tenant`,
+    /// and — critically — the `resume` journal-recovery fallback is
+    /// disabled for it: resurrecting an evicted tenant from a shared
+    /// `--journal-dir` would fork its history (split brain). Cleared when
+    /// the name is adopted back or reopened with a fresh `hello`.
+    moved: Mutex<HashSet<String>>,
     accountings: Mutex<Vec<Accounting>>,
     /// The daemon-wide metrics registry — the single home for every
     /// server-lifetime counter (connections, requests, decisions, drops,
@@ -250,6 +267,7 @@ impl Shared {
             ready_cv: Condvar::new(),
             metrics_wake: (Mutex::new(()), Condvar::new()),
             shutdown: AtomicBool::new(false),
+            moved: Mutex::new(HashSet::new()),
             accountings: Mutex::new(Vec::new()),
             metrics: Arc::new(ServeMetrics::new()),
         }
@@ -272,6 +290,13 @@ impl Shared {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// True if `name` is tombstoned as migrated to another shard. The
+    /// `moved` guard lives and dies inside this helper, so callers never
+    /// hold it across replies or other locks.
+    fn tenant_moved(&self, name: &str) -> bool {
+        lock(&self.moved).contains(name)
     }
 
     /// Pushes `tenant` onto the ready list if no worker owns it.
@@ -724,9 +749,12 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
         let t_metrics = shared.attach_metrics(tenant, &mut session);
         tenants.insert(
             tenant.clone(),
-            Arc::new(Tenant::new(tenant, conn, session, t_metrics)),
+            Arc::new(Tenant::new(tenant, Some(conn), session, t_metrics)),
         );
         drop(tenants);
+        // A fresh hello is an explicitly new session for this name; any
+        // stale migration tombstone is superseded.
+        lock(&shared.moved).remove(tenant.as_str());
         sink.send(&Reply::Ok {
             tenant: tenant.clone(),
             seq: *seq,
@@ -734,19 +762,146 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
         return;
     }
 
+    // `adopt` is handled inline like `hello`: it only touches the registry
+    // and must not race other registrations for the same name.
+    let request = match request {
+        Request::Adopt { state, seq, .. } => {
+            route_adopt(shared, *state, seq, sink);
+            return;
+        }
+        other => other,
+    };
+
     let tenant = {
         let tenants = shared.lock_tenants();
         tenants.get(request.tenant()).cloned()
     };
     match tenant {
         Some(t) => shared.enqueue(&t, request, sink),
-        None => sink.send(&Reply::error(
-            "unknown-tenant",
-            format!("no tenant named `{}`", request.tenant()),
-            Some(request.tenant()),
-            request.seq(),
-        )),
+        None => {
+            let reply = if shared.tenant_moved(request.tenant()) {
+                Reply::error(
+                    CODE_TENANT_MOVED,
+                    format!(
+                        "tenant `{}` was migrated to another shard",
+                        request.tenant()
+                    ),
+                    Some(request.tenant()),
+                    request.seq(),
+                )
+            } else {
+                Reply::error(
+                    "unknown-tenant",
+                    format!("no tenant named `{}`", request.tenant()),
+                    Some(request.tenant()),
+                    request.seq(),
+                )
+            };
+            sink.send(&reply);
+        }
     }
+}
+
+/// Handles `adopt`: installs a migrated tenant from the checkpoint another
+/// shard's `evict` handed back. Registration mirrors `hello` — write-ahead
+/// under the map lock — with two differences: the session is restored from
+/// the checkpoint instead of created fresh, and the tenant starts
+/// *detached* (`conn = None`) so the tenant's own client, not the router's
+/// control connection, attaches to it with `resume`.
+fn route_adopt(shared: &Shared, state: CheckpointState, seq: Option<u64>, sink: &Arc<ReplySink>) {
+    let name = state.tenant.clone();
+    let tenant = name.as_str();
+    // Write-ahead registration, same contract as `hello`: the map entry
+    // must not become visible before the re-seeded journal exists.
+    // lint:allow(lock-discipline): registration is write-ahead
+    let mut tenants = shared.lock_tenants();
+    if let Some(existing) = tenants.get(tenant) {
+        // A re-delivered adopt (router retry, or an A→B→A double hop
+        // landing where the tenant already lives) is benign when the live
+        // session is at or past the checkpoint's cut.
+        let (already_applied, last_seq) = match lock(&existing.session).as_ref() {
+            Some(session) => (session.last_seq() >= state.last_seq, session.last_seq()),
+            None => (false, None),
+        };
+        drop(tenants);
+        if already_applied {
+            sink.send(&Reply::Adopted {
+                tenant: name,
+                last_seq,
+                seq,
+            });
+        } else {
+            sink.send(&Reply::error(
+                "duplicate-tenant",
+                format!("tenant `{tenant}` already exists and is behind the checkpoint"),
+                Some(tenant),
+                seq,
+            ));
+        }
+        return;
+    }
+    if tenants.len() >= shared.config.max_tenants {
+        let cap = shared.config.max_tenants;
+        drop(tenants);
+        sink.send(&Reply::error(
+            "tenant-limit",
+            format!("server is at its tenant cap ({cap}); retry after sessions close"),
+            Some(tenant),
+            seq,
+        ));
+        return;
+    }
+    let mut session = match TenantSession::restore_from_checkpoint(&state) {
+        Ok(s) => s,
+        Err(SessionError { code, message }) => {
+            drop(tenants);
+            sink.send(&Reply::error(code, message, Some(tenant), seq));
+            return;
+        }
+    };
+    let last_seq = session.last_seq();
+    // Re-seed the journal as `[checkpoint]` — exactly the shape compaction
+    // writes — so a crash on this shard recovers from the handoff cut. The
+    // create truncates any stale journal the name left behind under a
+    // shared `--journal-dir` (the source shard closed its handle at evict;
+    // the checkpoint being installed supersedes that file's tail).
+    if let Some(dir) = shared.config.journal_dir.as_ref() {
+        let record = JournalRecord::Checkpoint(Box::new(state));
+        let created = JournalWriter::create(dir, tenant, shared.config.fsync).and_then(|mut w| {
+            w.append(&record)?;
+            Ok(w)
+        });
+        match created {
+            Ok(w) => session.resume_journal(w),
+            Err(e) => {
+                drop(tenants);
+                sink.send(&Reply::error(
+                    "journal-io",
+                    format!("cannot re-seed journal: {e}"),
+                    Some(tenant),
+                    seq,
+                ));
+                return;
+            }
+        }
+        session.set_checkpoint_policy(
+            shared.config.checkpoint_every,
+            shared.config.compact_on_idle,
+        );
+    }
+    let t_metrics = shared.attach_metrics(tenant, &mut session);
+    tenants.insert(
+        name.clone(),
+        Arc::new(Tenant::new(tenant, None, session, t_metrics)),
+    );
+    drop(tenants);
+    lock(&shared.moved).remove(tenant);
+    shared.metrics.adoptions.fetch_add(1, Ordering::Relaxed);
+    sink.send(&Reply::Adopted {
+        tenant: name,
+        last_seq,
+        seq,
+    });
 }
 
 /// Handles `resume`: reattach a live (possibly detached) tenant to this
@@ -793,6 +948,20 @@ fn route_resume(
         return;
     }
 
+    // An evicted tenant must not be resurrected from a shared
+    // `--journal-dir` — the adopting shard owns it now, and replaying the
+    // superseded journal here would fork its history (split brain). The
+    // client reconnects and the router routes its resume to the new owner.
+    if shared.tenant_moved(tenant) {
+        sink.send(&Reply::error(
+            CODE_TENANT_MOVED,
+            format!("tenant `{tenant}` was migrated to another shard"),
+            Some(tenant),
+            seq,
+        ));
+        return;
+    }
+
     // Not in memory: recover from the journal, if journaling is on.
     let Some(dir) = shared.config.journal_dir.clone() else {
         sink.send(&Reply::error(
@@ -834,7 +1003,7 @@ fn route_resume(
                 shared.config.compact_on_idle,
             );
             let t_metrics = shared.attach_metrics(tenant, &mut session);
-            let t = Arc::new(Tenant::new(tenant, conn, session, t_metrics));
+            let t = Arc::new(Tenant::new(tenant, Some(conn), session, t_metrics));
             tenants.insert(tenant.to_string(), Arc::clone(&t));
             drop(tenants);
             if let Some(log) = shared.config.recovery_log.as_ref() {
@@ -979,8 +1148,9 @@ enum SeqCheck {
 
 fn check_seq(request: &Request, session: &TenantSession) -> SeqCheck {
     // `resume` is the resynchronization point itself and sits outside the
-    // chain; so do unsequenced requests (tests, hand-driven sessions).
-    if matches!(request, Request::Resume { .. }) {
+    // chain; so do unsequenced requests (tests, hand-driven sessions) and
+    // router-issued `evict`s (the router is not the tenant's client).
+    if matches!(request, Request::Resume { .. } | Request::Evict { .. }) {
         return SeqCheck::Proceed;
     }
     match (request.seq(), session.last_seq()) {
@@ -1039,14 +1209,26 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
     // lint:allow(lock-discipline): session mutation is write-ahead
     let mut session_slot = lock(&tenant.session);
     let Some(session) = session_slot.as_mut() else {
-        // Finalized while this request sat in the queue (bye or disconnect
-        // cleanup won the race).
-        sink.send(&Reply::error(
-            "unknown-tenant",
-            format!("tenant `{}` is closed", tenant.name),
-            Some(&tenant.name),
-            seq,
-        ));
+        // Closed while this request sat in the queue (bye, disconnect
+        // cleanup, or an evict ahead of it in the inbox won the race). A
+        // migrated-away tenant answers with its redirect code so the
+        // client reconnects and resumes against the new owner.
+        drop(session_slot);
+        if shared.tenant_moved(&tenant.name) {
+            sink.send(&Reply::error(
+                CODE_TENANT_MOVED,
+                format!("tenant `{}` was migrated to another shard", tenant.name),
+                Some(&tenant.name),
+                seq,
+            ));
+        } else {
+            sink.send(&Reply::error(
+                "unknown-tenant",
+                format!("tenant `{}` is closed", tenant.name),
+                Some(&tenant.name),
+                seq,
+            ));
+        }
         return;
     };
     let name = tenant.name.clone();
@@ -1095,6 +1277,10 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
         Request::Metrics { .. } => {
             // Unreachable: metrics requests are answered inline by the reader.
             Reply::error("bad-message", "metrics is never queued", None, seq)
+        }
+        Request::Adopt { .. } => {
+            // Unreachable: adopt is handled inline like hello.
+            Reply::error("bad-message", "adopt is never queued", None, seq)
         }
         Request::Resume { .. } => Reply::Resumed {
             tenant: name,
@@ -1170,6 +1356,32 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
             }
             Err(e) => Reply::error(e.code, e.message, Some(&tenant.name), seq),
         },
+        Request::Evict { .. } => {
+            let session = session_slot.take();
+            let Some(mut s) = session else { return };
+            // The inbox is FIFO and the worker owns the tenant, so every
+            // request queued before the evict has been applied: this
+            // checkpoint is the exact cut the destination must adopt.
+            let state = s.checkpoint_state();
+            // Detach (not delete) the journal: under a shared
+            // `--journal-dir` its tail is the recovery fallback if the
+            // destination never installs the checkpoint.
+            s.detach_journal();
+            drop(s);
+            drop(session_slot);
+            // Tombstone first, then unregister — there must be no window
+            // in which the name is neither live nor tombstoned, or a
+            // racing `resume` could resurrect it from the shared journal.
+            lock(&shared.moved).insert(tenant.name.clone());
+            shared.lock_tenants().remove(&tenant.name);
+            tenant.metrics.open.store(false, Ordering::Relaxed);
+            shared.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+            sink.send(&Reply::Evicted {
+                state: Box::new(state),
+                seq,
+            });
+            return;
+        }
         Request::Bye { .. } => {
             let session = session_slot.take();
             drop(session_slot);

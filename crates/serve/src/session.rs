@@ -317,6 +317,16 @@ impl TenantSession {
         self.journal = Some(writer);
     }
 
+    /// Detaches the journal *without* deleting its files — the eviction
+    /// path. The on-disk journal must survive the handoff: if the adopting
+    /// shard never installs the checkpoint (crash mid-migration), the
+    /// journal tail under a shared `--journal-dir` remains the recovery
+    /// fallback. Contrast [`TenantSession::finalize`], which removes the
+    /// files because a finished session has nothing left to recover.
+    pub(crate) fn detach_journal(&mut self) {
+        self.journal = None;
+    }
+
     /// The highest request `seq` processed so far.
     pub fn last_seq(&self) -> Option<u64> {
         self.last_seq
