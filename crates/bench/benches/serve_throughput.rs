@@ -17,6 +17,10 @@
 //! * `serve_stream_checkpointed` — the journaled pass plus cadence
 //!   checkpoints and idle compaction; the gate bounds its ratio over
 //!   `serve_stream_journaled` so recovery-bounding stays cheap.
+//! * `serve_stream_admitted` — the journaled pass with admission control
+//!   armed but never firing (huge budget and refill, so every request
+//!   admits); the gate bounds its ratio over `serve_stream_journaled` so
+//!   the per-request admission gate stays in the noise.
 //! * `metrics_overhead` — the same pass as `serve_stream_session` but with
 //!   the periodic metrics snapshot stream enabled. The bench gate holds
 //!   the `metrics_overhead / serve_stream_session` ratio under a tight
@@ -28,7 +32,9 @@ use calib_core::json::{Json, ToJson};
 use calib_core::{Instance, Job};
 use calib_difftest::{gen_case_sized, GenParams};
 use calib_online::{run_online, Alg2, EngineConfig, EngineSession};
-use calib_serve::{serve_stream, Algorithm, FsyncPolicy, MetricsSink, Request, ServerConfig};
+use calib_serve::{
+    serve_stream, AdmitConfig, Algorithm, FsyncPolicy, MetricsSink, Request, ServerConfig,
+};
 
 /// The daemon's arrival pattern: jobs grouped by release, ascending.
 fn release_groups(instance: &Instance) -> Vec<(i64, Vec<Job>)> {
@@ -213,6 +219,32 @@ fn main() {
                 fsync: FsyncPolicy::Off,
                 checkpoint_every: Some(1024),
                 compact_on_idle: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.all_ok());
+        report.accountings.len()
+    });
+
+    // The journaled stream with the admission gate armed but sized so no
+    // request is ever shed or rate-limited: the measurement is the pure
+    // bookkeeping cost of the gate (one leaf-mutex admit per work-bearing
+    // request plus a complete per processed request). The bench gate
+    // holds `serve_stream_admitted / serve_stream_journaled` under 1.03×.
+    b.bench("serve_stream_admitted", || {
+        let report = serve_stream(
+            script.as_bytes(),
+            Box::new(std::io::sink()),
+            ServerConfig {
+                workers: 1,
+                queue_cap: 1_000_000,
+                journal_dir: Some(journal_dir.clone()),
+                fsync: FsyncPolicy::Off,
+                admit: AdmitConfig {
+                    max_inflight: Some(1_000_000),
+                    rate_per_k: Some(1_000_000),
+                    burst: 1_000_000,
+                },
                 ..Default::default()
             },
         );

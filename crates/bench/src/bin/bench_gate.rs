@@ -270,7 +270,7 @@ fn run() -> Result<bool, String> {
 /// on the same machine, so these are compared raw — no baseline and no
 /// machine-speed normalization. Each entry is
 /// `(suite file, measurement, baseline measurement, max ratio)`.
-const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 2] = [
+const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 3] = [
     // The always-on metrics registry plus a live 2ms snapshot stream must
     // stay within 2% of the plain serve path.
     (
@@ -286,6 +286,14 @@ const OVERHEAD_CHECKS: [(&str, &str, &str, f64); 2] = [
         "serve_stream_checkpointed",
         "serve_stream_journaled",
         1.05,
+    ),
+    // The admission gate (armed, never firing) must stay within 3% of
+    // the plain journaled path: one leaf-mutex check per work request.
+    (
+        "BENCH_serve.json",
+        "serve_stream_admitted",
+        "serve_stream_journaled",
+        1.03,
     ),
 ];
 

@@ -4,7 +4,8 @@
 //! calib-router --listen 127.0.0.1:0 --shard HOST:PORT [--shard HOST:PORT ...]
 //!              [--seed N] [--vnodes N] [--read-timeout-ms N]
 //!              [--control-timeout-ms N] [--connect-attempts N]
-//!              [--backoff-base-ms N] [--backoff-cap-ms N] [--run-forever]
+//!              [--backoff-base-ms N] [--backoff-cap-ms N]
+//!              [--journal-dir DIR] [--run-forever]
 //! ```
 //!
 //! Fronts a fleet of `calib-serve` daemons (one `--shard` each, in a
@@ -20,7 +21,10 @@
 //! final `{"type":"routed",…}` summary when it exits (idle, unless
 //! `--run-forever`). For migration by checkpoint handoff to survive a
 //! crashed source shard, every daemon in the fleet must run with the
-//! *same* `--journal-dir`.
+//! *same* `--journal-dir`. Passing that directory to the router as well
+//! persists the placement table there (`router-placements.jsonl`), so a
+//! restarted router remembers completed migrations instead of re-deriving
+//! stale ring homes.
 //!
 //! Exit status: 0 on a clean run, 2 on usage or I/O errors.
 
@@ -89,13 +93,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--backoff-cap-ms: {e}"))?;
             }
+            "--journal-dir" => {
+                args.config.journal_dir = Some(value("--journal-dir")?.into());
+            }
             "--run-forever" => args.config.exit_when_idle = false,
             "--help" | "-h" => {
                 return Err("usage: calib-router --listen ADDR --shard ADDR \
                      [--shard ADDR ...] [--seed N] [--vnodes N] \
                      [--read-timeout-ms N] [--control-timeout-ms N] \
                      [--connect-attempts N] [--backoff-base-ms N] \
-                     [--backoff-cap-ms N] [--run-forever]"
+                     [--backoff-cap-ms N] [--journal-dir DIR] [--run-forever]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),

@@ -28,11 +28,18 @@
 //! cannot answer (crashed mid-handoff), the router falls back to a
 //! `resume` on the destination, which rebuilds the tenant from the
 //! shared journal directory; the reply then carries `"fallback":true`.
+//!
+//! With [`RouterConfig::journal_dir`] set, every completed migration also
+//! rewrites the placement table as a line-JSON file in that directory
+//! (atomically: temp file + rename), and a restarting router reloads it —
+//! so a restart no longer forgets migrations and re-derives stale ring
+//! homes for moved tenants.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -82,6 +89,10 @@ pub struct RouterConfig {
     pub backoff_cap_ms: u64,
     /// Where `{"type":"placed",…}` placement lines are written.
     pub placement_log: Option<MetricsSink>,
+    /// The fleet's shared journal directory. When set, the placement
+    /// table is persisted here (`router-placements.jsonl`, line-JSON) on
+    /// every completed migration and reloaded at router start.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -97,6 +108,7 @@ impl Default for RouterConfig {
             backoff_base_ms: 5,
             backoff_cap_ms: 500,
             placement_log: None,
+            journal_dir: None,
         }
     }
 }
@@ -131,6 +143,9 @@ struct Shared {
     /// Tenants with a migration in flight; their requests bounce with
     /// `busy` until the handoff settles.
     migrating: Mutex<HashSet<String>>,
+    /// Serializes placement-table writes to `journal_dir`. Lock order:
+    /// `persist` before `placements`, never the reverse.
+    persist: Mutex<()>,
     metrics: Arc<RouterMetrics>,
 }
 
@@ -196,13 +211,22 @@ pub fn run_router(listener: TcpListener, config: RouterConfig) -> io::Result<Rou
     }
     listener.set_nonblocking(true)?;
     let ring = Ring::new(config.shards.len(), config.vnodes, config.seed);
+    // A persisted placement table survives router restarts: without it a
+    // restart would re-derive ring homes and silently undo migrations.
+    let placements = load_placements(&config);
+    let restored = u64::try_from(placements.len()).unwrap_or(u64::MAX);
     let shared = Arc::new(Shared {
         ring,
-        placements: Mutex::new(HashMap::new()),
+        placements: Mutex::new(placements),
         migrating: Mutex::new(HashSet::new()),
+        persist: Mutex::new(()),
         metrics: Arc::new(RouterMetrics::new()),
         config,
     });
+    shared
+        .metrics
+        .placements
+        .fetch_add(restored, Ordering::Relaxed);
     std::thread::scope(|scope| -> io::Result<()> {
         loop {
             match listener.accept() {
@@ -694,6 +718,7 @@ fn handle_migrate(shared: &Shared, v: &Json, sink: &LineSink) {
     match result {
         Ok(fallback) => {
             lock(&shared.placements).insert(tenant.clone(), to);
+            persist_placements(shared);
             lock(&shared.migrating).remove(&tenant);
             shared.metrics.migrations.fetch_add(1, Ordering::Relaxed);
             shared.metrics.migration_micros.record(micros);
@@ -746,6 +771,75 @@ fn fallback_resume(shared: &Shared, tenant: &str, to: usize) -> Result<(), Strin
         ("tenant", Json::Str(tenant.to_string())),
     ]);
     control_roundtrip(shared, to, &resume.to_string_compact(), "resumed").map(|_| ())
+}
+
+/// The placement table's on-disk home inside the fleet journal dir.
+fn placements_path(dir: &Path) -> PathBuf {
+    dir.join("router-placements.jsonl")
+}
+
+/// Loads the persisted placement table, if any. Rows naming a shard
+/// outside the current fleet are dropped (the fleet shrank); a missing or
+/// unparseable file is an empty table, never an error — the ring re-homes
+/// every tenant exactly as a fresh router would.
+fn load_placements(config: &RouterConfig) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    let Some(dir) = &config.journal_dir else {
+        return map;
+    };
+    let Ok(text) = std::fs::read_to_string(placements_path(dir)) else {
+        return map;
+    };
+    for line in text.lines() {
+        let Ok(v) = Json::parse(line.trim()) else {
+            continue;
+        };
+        let tenant = v.get("tenant").and_then(Json::as_str);
+        let shard = v
+            .get("shard")
+            .and_then(Json::as_u64)
+            .and_then(|n| usize::try_from(n).ok());
+        if let (Some(tenant), Some(shard)) = (tenant, shard) {
+            if shard < config.shards.len() {
+                map.insert(tenant.to_string(), shard);
+            }
+        }
+    }
+    map
+}
+
+/// Rewrites the whole placement table (sorted, one line-JSON row per
+/// tenant) via temp file + rename, so a crash mid-write never corrupts
+/// the live table. The `persist` lock serializes writers *and* spans the
+/// snapshot, so a later migration's table can never be overwritten by an
+/// earlier migration's stale snapshot.
+fn persist_placements(shared: &Shared) {
+    let Some(dir) = &shared.config.journal_dir else {
+        return;
+    };
+    let _writer = lock(&shared.persist);
+    let rows: Vec<(String, usize)> = {
+        let map = lock(&shared.placements);
+        let mut rows: Vec<_> = map.iter().map(|(t, &s)| (t.clone(), s)).collect();
+        rows.sort();
+        rows
+    };
+    let mut text = String::new();
+    for (tenant, shard) in &rows {
+        text.push_str(
+            &Json::obj([
+                ("tenant", Json::Str(tenant.clone())),
+                ("shard", shard.to_json()),
+            ])
+            .to_string_compact(),
+        );
+        text.push('\n');
+    }
+    let path = placements_path(dir);
+    let tmp = path.with_extension("jsonl.tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
 }
 
 /// Answers a client `metrics` request with the fleet-wide merge: summed
@@ -832,6 +926,7 @@ mod tests {
             ring: Ring::new(1, 8, 7),
             placements: Mutex::new(HashMap::new()),
             migrating: Mutex::new(HashSet::new()),
+            persist: Mutex::new(()),
             metrics: Arc::new(RouterMetrics::new()),
         };
         let v = merged_metrics(&shared, Some(3));
@@ -840,5 +935,52 @@ mod tests {
         let shard0 = &v.get("per_shard").and_then(Json::as_arr).unwrap()[0];
         assert!(shard0.get("error").is_some());
         assert!(v.get("router").is_some());
+    }
+
+    #[test]
+    fn placement_table_round_trips_and_drops_out_of_fleet_shards() {
+        let dir =
+            std::env::temp_dir().join(format!("calib-router-placements-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = RouterConfig {
+            shards: vec!["a:1".to_string(), "b:2".to_string(), "c:3".to_string()],
+            journal_dir: Some(dir.clone()),
+            ..RouterConfig::default()
+        };
+        let shared = Shared {
+            ring: Ring::new(3, 8, 7),
+            placements: Mutex::new(HashMap::from([
+                ("moved".to_string(), 2),
+                ("home".to_string(), 0),
+            ])),
+            migrating: Mutex::new(HashSet::new()),
+            persist: Mutex::new(()),
+            metrics: Arc::new(RouterMetrics::new()),
+            config: config.clone(),
+        };
+        persist_placements(&shared);
+        let loaded = load_placements(&config);
+        assert_eq!(loaded.get("moved"), Some(&2));
+        assert_eq!(loaded.get("home"), Some(&0));
+        assert_eq!(loaded.len(), 2);
+
+        // A shrunk fleet (one shard) invalidates rows pointing past it;
+        // those tenants fall back to ring placement instead of a panic.
+        let shrunk = RouterConfig {
+            shards: vec!["a:1".to_string()],
+            journal_dir: Some(dir.clone()),
+            ..RouterConfig::default()
+        };
+        let loaded = load_placements(&shrunk);
+        assert_eq!(loaded.get("home"), Some(&0));
+        assert!(!loaded.contains_key("moved"), "out-of-fleet row dropped");
+
+        // No journal dir: persistence is off and loading is empty.
+        let off = RouterConfig {
+            shards: config.shards.clone(),
+            ..RouterConfig::default()
+        };
+        assert!(load_placements(&off).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,553 @@
+//! Weighted admission control and load shedding.
+//!
+//! Under overload the daemon must degrade *proportionally to tenant
+//! weight* — weight is the paper's fairness currency (total **weighted**
+//! flow time), so it governs admission under contention exactly as it
+//! governs scheduling. Two independent mechanisms compose here:
+//!
+//! * **Weighted token buckets** (`--rate-per-k`): each tenant owns an
+//!   integer bucket refilled in proportion to its weight. A request that
+//!   finds the bucket empty is answered `rate-limited` with a
+//!   deterministic `retry_after_ms`, and the connection stays open.
+//! * **A global in-flight budget** (`--max-inflight`): when the total
+//!   number of admitted-but-unprocessed requests reaches the budget,
+//!   tenants at or over their weight-proportional share are *shed* — a
+//!   typed `shed` error carrying `retry_after_ms`, after which the server
+//!   drops the connection (journaling mode only, where sessions detach
+//!   safely and `resume` reattaches). Tenants still under their share are
+//!   admitted through a breach, so shedding removes lowest-weight traffic
+//!   first with overshoot bounded by the tenant count.
+//!
+//! All arithmetic is integer-exact — token balances are tracked in
+//! *millitokens* so weighted refill never rounds — and the refill clock
+//! is **virtual**: the injectable [`AdmitClock`] decides what a
+//! millisecond is. The daemon uses [`RequestClock`], which advances one
+//! virtual millisecond per parsed request line, making every admission
+//! decision a pure function of the request stream (no wall clock in the
+//! decision path, so seeded overload runs assert exact integer counts).
+//! Tests use [`ManualClock`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The virtual time source for token-bucket refill, injected so the
+/// decision path never reads a wall clock.
+pub trait AdmitClock: Send + Sync {
+    /// Current virtual time in milliseconds.
+    fn now_ms(&self) -> u64;
+    /// Hook called once per observed request line; clocks that derive
+    /// time from load advance here.
+    fn observe(&self) {}
+}
+
+/// The daemon's default clock: one virtual millisecond per observed
+/// request line. Refill is then proportional to *offered load*, which is
+/// exactly what weighted fairness under overload needs — at any offered
+/// rate, admitted throughput converges to weight proportions.
+#[derive(Debug, Default)]
+pub struct RequestClock {
+    ticks: AtomicU64,
+}
+
+impl RequestClock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> RequestClock {
+        RequestClock::default()
+    }
+}
+
+impl AdmitClock for RequestClock {
+    fn now_ms(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    fn observe(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A hand-driven clock for deterministic unit tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock pinned at virtual time zero until advanced.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances virtual time by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::Relaxed);
+    }
+}
+
+impl AdmitClock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// Admission-control knobs. Both mechanisms default to off; an
+/// [`Admission`] built from an all-off config admits everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitConfig {
+    /// Global budget on admitted-but-unprocessed requests; breaching it
+    /// sheds tenants at or over their weight-proportional share.
+    /// `None` disables the budget.
+    pub max_inflight: Option<u64>,
+    /// Base token-bucket refill: tokens granted per 1000 virtual
+    /// milliseconds *per weight unit*. `None` disables rate limiting.
+    pub rate_per_k: Option<u64>,
+    /// Base bucket capacity in tokens, scaled by tenant weight.
+    pub burst: u64,
+}
+
+impl Default for AdmitConfig {
+    fn default() -> Self {
+        AdmitConfig {
+            max_inflight: None,
+            rate_per_k: None,
+            burst: 8,
+        }
+    }
+}
+
+impl AdmitConfig {
+    /// True when at least one mechanism is configured.
+    pub fn enabled(&self) -> bool {
+        self.max_inflight.is_some() || self.rate_per_k.is_some()
+    }
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Process the request; an in-flight slot is held until
+    /// [`Admission::complete`].
+    Admit,
+    /// Token bucket empty: reject softly, connection stays open.
+    RateLimited {
+        /// Virtual milliseconds until one full token has refilled.
+        retry_after_ms: u64,
+    },
+    /// In-flight budget breached and this tenant is at or over its
+    /// weighted share: reject and (in journaling mode) drop the client.
+    Shed {
+        /// Deterministic come-back hint derived from queue pressure.
+        retry_after_ms: u64,
+    },
+}
+
+/// A token costs this many millitokens; refill per virtual millisecond is
+/// `rate_per_k * weight` millitokens, so `rate_per_k` tokens arrive per
+/// 1000 virtual milliseconds per weight unit — all integer-exact.
+const MILLI: u64 = 1000;
+
+#[derive(Debug)]
+struct TenantAdmit {
+    weight: u64,
+    /// Token balance in millitokens, capped at `burst * weight * MILLI`.
+    millitokens: u64,
+    /// Virtual time of the last refill.
+    refilled_at_ms: u64,
+    /// Admitted requests not yet completed by a worker.
+    inflight: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmitState {
+    tenants: HashMap<String, TenantAdmit>,
+    total_inflight: u64,
+    total_weight: u64,
+}
+
+/// The admission controller: weighted token buckets plus the global
+/// in-flight budget, behind one leaf mutex (`admit.state` in the
+/// DESIGN.md lock order — acquired and released standalone, never held
+/// across another lock or I/O).
+pub struct Admission {
+    config: AdmitConfig,
+    clock: Arc<dyn AdmitClock>,
+    state: Mutex<AdmitState>,
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Admission {
+    /// A controller over `config` refilling from `clock`.
+    pub fn new(config: AdmitConfig, clock: Arc<dyn AdmitClock>) -> Admission {
+        Admission {
+            config,
+            clock,
+            state: Mutex::new(AdmitState::default()),
+        }
+    }
+
+    /// The knobs this controller runs with.
+    pub fn config(&self) -> &AdmitConfig {
+        &self.config
+    }
+
+    /// Advances load-derived clocks by one observed request.
+    pub fn observe(&self) {
+        self.clock.observe();
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, AdmitState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers (or re-weights) a tenant. Weight is clamped to at least
+    /// 1; the bucket starts full at the new capacity.
+    pub fn register(&self, tenant: &str, weight: u64) {
+        let weight = weight.max(1);
+        let now = self.clock.now_ms();
+        let cap = self
+            .config
+            .burst
+            .saturating_mul(weight)
+            .saturating_mul(MILLI);
+        let mut state = self.lock_state();
+        match state.tenants.get_mut(tenant) {
+            Some(entry) => {
+                let old_weight = entry.weight;
+                entry.weight = weight;
+                entry.millitokens = entry.millitokens.min(cap);
+                state.total_weight = state
+                    .total_weight
+                    .saturating_sub(old_weight)
+                    .saturating_add(weight);
+            }
+            None => {
+                state.tenants.insert(
+                    tenant.to_string(),
+                    TenantAdmit {
+                        weight,
+                        millitokens: cap,
+                        refilled_at_ms: now,
+                        inflight: 0,
+                    },
+                );
+                state.total_weight = state.total_weight.saturating_add(weight);
+            }
+        }
+    }
+
+    /// Removes a tenant, releasing its weight and any in-flight slots it
+    /// still holds (late [`Admission::complete`] calls become no-ops).
+    pub fn deregister(&self, tenant: &str) {
+        let mut state = self.lock_state();
+        if let Some(entry) = state.tenants.remove(tenant) {
+            state.total_weight = state.total_weight.saturating_sub(entry.weight);
+            state.total_inflight = state.total_inflight.saturating_sub(entry.inflight);
+        }
+    }
+
+    /// Decides one gated request for `tenant`. An unregistered tenant
+    /// (recovered without a fresh `hello`) is registered at weight 1
+    /// first. On [`Verdict::Admit`] an in-flight slot is held until
+    /// [`Admission::complete`].
+    pub fn admit(&self, tenant: &str) -> Verdict {
+        if !self.config.enabled() {
+            return Verdict::Admit;
+        }
+        let now = self.clock.now_ms();
+        let burst = self.config.burst;
+        let mut state = self.lock_state();
+        if !state.tenants.contains_key(tenant) {
+            state.tenants.insert(
+                tenant.to_string(),
+                TenantAdmit {
+                    weight: 1,
+                    millitokens: burst.saturating_mul(MILLI),
+                    refilled_at_ms: now,
+                    inflight: 0,
+                },
+            );
+            state.total_weight = state.total_weight.saturating_add(1);
+        }
+        let total_weight = state.total_weight.max(1);
+        let total_inflight = state.total_inflight;
+        let Some(entry) = state.tenants.get_mut(tenant) else {
+            return Verdict::Admit;
+        };
+
+        // Rate check first: refill to `now`, then require one whole token.
+        if let Some(rate) = self.config.rate_per_k {
+            let per_ms = rate.saturating_mul(entry.weight).max(1);
+            let cap = burst.saturating_mul(entry.weight).saturating_mul(MILLI);
+            let elapsed = now.saturating_sub(entry.refilled_at_ms);
+            entry.millitokens = entry
+                .millitokens
+                .saturating_add(elapsed.saturating_mul(per_ms))
+                .min(cap);
+            entry.refilled_at_ms = now;
+            if entry.millitokens < MILLI {
+                let deficit = MILLI - entry.millitokens;
+                return Verdict::RateLimited {
+                    retry_after_ms: deficit.div_ceil(per_ms).max(1),
+                };
+            }
+        }
+
+        // In-flight budget: on a breach, only tenants strictly under
+        // their weight-proportional share squeeze through.
+        if let Some(max) = self.config.max_inflight {
+            if total_inflight >= max {
+                let share = max
+                    .saturating_mul(entry.weight)
+                    .checked_div(total_weight)
+                    .unwrap_or(0)
+                    .max(1);
+                if entry.inflight >= share {
+                    // Come back once roughly your share of the backlog
+                    // has drained — heavier tenants get shorter hints.
+                    let retry_after_ms = 1 + total_inflight / share;
+                    return Verdict::Shed { retry_after_ms };
+                }
+            }
+        }
+
+        if self.config.rate_per_k.is_some() {
+            entry.millitokens = entry.millitokens.saturating_sub(MILLI);
+        }
+        entry.inflight = entry.inflight.saturating_add(1);
+        state.total_inflight = state.total_inflight.saturating_add(1);
+        Verdict::Admit
+    }
+
+    /// Releases the in-flight slot [`Admission::admit`] took. A no-op for
+    /// deregistered tenants (their slots were released wholesale).
+    pub fn complete(&self, tenant: &str) {
+        if !self.config.enabled() {
+            return;
+        }
+        let mut state = self.lock_state();
+        if let Some(entry) = state.tenants.get_mut(tenant) {
+            if entry.inflight > 0 {
+                entry.inflight -= 1;
+                state.total_inflight = state.total_inflight.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Admitted-but-unprocessed requests right now (tests and probes).
+    pub fn total_inflight(&self) -> u64 {
+        self.lock_state().total_inflight
+    }
+
+    /// The registered weight for `tenant`, if any.
+    pub fn weight_of(&self, tenant: &str) -> Option<u64> {
+        self.lock_state().tenants.get(tenant).map(|t| t.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(config: AdmitConfig) -> (Admission, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Admission::new(config, Arc::clone(&clock) as _), clock)
+    }
+
+    #[test]
+    fn disabled_config_admits_everything() {
+        let (adm, _clock) = admission(AdmitConfig::default());
+        for _ in 0..10_000 {
+            assert_eq!(adm.admit("t"), Verdict::Admit);
+        }
+        assert_eq!(adm.total_inflight(), 0, "disabled path holds no slots");
+    }
+
+    #[test]
+    fn bucket_drains_to_rate_limited_and_refills_exactly() {
+        let cfg = AdmitConfig {
+            rate_per_k: Some(1000), // 1 token per virtual ms per weight
+            burst: 4,
+            max_inflight: None,
+        };
+        let (adm, clock) = admission(cfg);
+        adm.register("t", 1);
+        // Burst capacity: exactly 4 tokens before the clock moves.
+        for i in 0..4 {
+            assert_eq!(adm.admit("t"), Verdict::Admit, "burst admit {i}");
+        }
+        let verdict = adm.admit("t");
+        assert_eq!(verdict, Verdict::RateLimited { retry_after_ms: 1 });
+        // One virtual ms refills exactly one token at rate 1000/k.
+        clock.advance_ms(1);
+        assert_eq!(adm.admit("t"), Verdict::Admit);
+        assert_eq!(adm.admit("t"), Verdict::RateLimited { retry_after_ms: 1 });
+    }
+
+    #[test]
+    fn refill_is_weight_proportional_and_integer_exact() {
+        // rate 250/k: weight 4 earns 1 token per ms, weight 1 per 4 ms.
+        let cfg = AdmitConfig {
+            rate_per_k: Some(250),
+            burst: 1,
+            max_inflight: None,
+        };
+        let (adm, clock) = admission(cfg);
+        adm.register("heavy", 4);
+        adm.register("light", 1);
+        // Drain both bursts.
+        assert_eq!(adm.admit("heavy"), Verdict::Admit); // heavy burst = 1 token... weight-scaled: 4
+        for _ in 0..3 {
+            assert_eq!(adm.admit("heavy"), Verdict::Admit);
+        }
+        assert_eq!(adm.admit("light"), Verdict::Admit);
+        assert!(matches!(adm.admit("heavy"), Verdict::RateLimited { .. }));
+        assert!(matches!(adm.admit("light"), Verdict::RateLimited { .. }));
+        // Over 40 virtual ms, heavy earns 40 tokens, light earns 10 —
+        // exactly weight-proportional, no rounding drift.
+        let mut admitted = (0u64, 0u64);
+        for _ in 0..40 {
+            clock.advance_ms(1);
+            while adm.admit("heavy") == Verdict::Admit {
+                admitted.0 += 1;
+            }
+            while adm.admit("light") == Verdict::Admit {
+                admitted.1 += 1;
+            }
+        }
+        assert_eq!(admitted, (40, 10));
+    }
+
+    #[test]
+    fn rate_limited_retry_after_is_the_exact_refill_time() {
+        let cfg = AdmitConfig {
+            rate_per_k: Some(1), // 1 millitoken per ms at weight 1
+            burst: 1,
+            max_inflight: None,
+        };
+        let (adm, clock) = admission(cfg);
+        adm.register("t", 1);
+        assert_eq!(adm.admit("t"), Verdict::Admit);
+        // Empty bucket: a full token is 1000 millitokens away.
+        assert_eq!(
+            adm.admit("t"),
+            Verdict::RateLimited {
+                retry_after_ms: 1000
+            }
+        );
+        clock.advance_ms(400);
+        assert_eq!(
+            adm.admit("t"),
+            Verdict::RateLimited {
+                retry_after_ms: 600
+            }
+        );
+        clock.advance_ms(600);
+        assert_eq!(adm.admit("t"), Verdict::Admit);
+    }
+
+    #[test]
+    fn budget_breach_sheds_over_share_tenants_only() {
+        let cfg = AdmitConfig {
+            max_inflight: Some(10),
+            rate_per_k: None,
+            burst: 8,
+        };
+        let (adm, _clock) = admission(cfg);
+        adm.register("heavy", 4); // share = 10*4/5 = 8
+        adm.register("light", 1); // share = 10*1/5 = 2
+                                  // Light fills the whole budget.
+        for _ in 0..10 {
+            assert_eq!(adm.admit("light"), Verdict::Admit);
+        }
+        assert_eq!(adm.total_inflight(), 10);
+        // Budget breached: light is far over its share of 2 — shed, with
+        // the documented pressure hint 1 + total/share = 1 + 10/2.
+        assert_eq!(adm.admit("light"), Verdict::Shed { retry_after_ms: 6 });
+        // Heavy is under its share of 8: admitted through the breach.
+        assert_eq!(adm.admit("heavy"), Verdict::Admit);
+        // Completions drain light below the budget again.
+        for _ in 0..6 {
+            adm.complete("light");
+        }
+        assert_eq!(adm.admit("light"), Verdict::Admit);
+    }
+
+    #[test]
+    fn deregister_releases_weight_and_slots() {
+        let cfg = AdmitConfig {
+            max_inflight: Some(4),
+            rate_per_k: None,
+            burst: 8,
+        };
+        let (adm, _clock) = admission(cfg);
+        adm.register("a", 1);
+        adm.register("b", 1);
+        for _ in 0..4 {
+            assert_eq!(adm.admit("a"), Verdict::Admit);
+        }
+        // The budget is breached, but `b` is under its share of 2: it is
+        // admitted through the breach (bounded overshoot) until it
+        // reaches the share, then shed.
+        assert_eq!(adm.admit("b"), Verdict::Admit);
+        assert_eq!(adm.admit("b"), Verdict::Admit);
+        assert!(matches!(adm.admit("b"), Verdict::Shed { .. }));
+        adm.deregister("a");
+        assert_eq!(adm.total_inflight(), 2, "b's slots survive a's exit");
+        assert_eq!(adm.admit("b"), Verdict::Admit);
+        // Late completions for the departed tenant change nothing.
+        adm.complete("a");
+        assert_eq!(adm.total_inflight(), 3);
+    }
+
+    #[test]
+    fn unregistered_tenants_default_to_weight_one() {
+        let cfg = AdmitConfig {
+            max_inflight: Some(8),
+            rate_per_k: None,
+            burst: 8,
+        };
+        let (adm, _clock) = admission(cfg);
+        assert_eq!(adm.admit("ghost"), Verdict::Admit);
+        assert_eq!(adm.weight_of("ghost"), Some(1));
+    }
+
+    #[test]
+    fn request_clock_ticks_once_per_observed_request() {
+        let clock = RequestClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        for _ in 0..5 {
+            clock.observe();
+        }
+        assert_eq!(clock.now_ms(), 5);
+    }
+
+    #[test]
+    fn reregister_adjusts_weight_without_double_counting() {
+        let cfg = AdmitConfig {
+            max_inflight: Some(10),
+            rate_per_k: None,
+            burst: 8,
+        };
+        let (adm, _clock) = admission(cfg);
+        adm.register("t", 2);
+        adm.register("t", 4);
+        assert_eq!(adm.weight_of("t"), Some(4));
+        // total_weight is 4, not 6: the share math sees one tenant.
+        for _ in 0..10 {
+            assert_eq!(adm.admit("t"), Verdict::Admit);
+        }
+        // share = 10*4/4 = 10, inflight = 10 >= share → shed.
+        assert!(matches!(adm.admit("t"), Verdict::Shed { .. }));
+    }
+}

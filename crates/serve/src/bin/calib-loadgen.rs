@@ -4,7 +4,7 @@
 //! calib-loadgen --addr 127.0.0.1:PORT --tenants 8 --jobs 5000 --seed 7
 //!               [--tick-every N] [--window W] [--deadline-ms N]
 //!               [--max-reconnects N] [--backoff-base-ms N] [--backoff-cap-ms N]
-//!               [--resume-on-start] [--park] [--router]
+//!               [--resume-on-start] [--park] [--router] [--weights W1,W2,..]
 //! ```
 //!
 //! Each tenant runs on its own connection and thread: it draws a sized
@@ -29,6 +29,13 @@
 //! deterministic crash/recovery drill: park, `kill -9` the daemon,
 //! restart it on the same journal directory, then resume and drain —
 //! CI's `chaos-smoke` job does exactly this.
+//!
+//! `--weights W1,W2,..` assigns admission weights round-robin across
+//! tenants (tenant i gets `Wi mod len`; default 1): each tenant's `hello`
+//! carries its weight, which governs the daemon's weighted token-bucket
+//! refill and fair-share shed order under `--max-inflight`/`--rate-per-k`.
+//! The summary counts `sheds`: typed `shed`/`rate-limited` rejections the
+//! clients honored by sleeping the server-supplied `retry_after_ms`.
 //!
 //! `--router` declares that `--addr` points at a `calib-router` front-end
 //! instead of a single daemon — the wire protocol is identical, so the
@@ -65,6 +72,7 @@ struct Args {
     resume_on_start: bool,
     park: bool,
     router: bool,
+    weights: Vec<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         resume_on_start: false,
         park: false,
         router: false,
+        weights: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -134,13 +143,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--backoff-cap-ms: {e}"))?;
             }
             "--resume-on-start" => args.resume_on_start = true,
+            "--weights" => {
+                args.weights = value("--weights")?
+                    .split(',')
+                    .map(|w| w.trim().parse::<u64>().map(|w| w.max(1)))
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|e| format!("--weights: {e}"))?;
+            }
             "--park" => args.park = true,
             "--router" => args.router = true,
             "--help" | "-h" => {
                 return Err("usage: calib-loadgen --addr HOST:PORT [--tenants N] \
                      [--jobs N] [--seed S] [--tick-every N] [--window W] \
                      [--deadline-ms N] [--max-reconnects N] [--backoff-base-ms N] \
-                     [--backoff-cap-ms N] [--resume-on-start] [--park] [--router]"
+                     [--backoff-cap-ms N] [--resume-on-start] [--park] [--router] \
+                     [--weights W1,W2,..]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -193,6 +210,7 @@ fn build_plan(
     name: &str,
     algorithm: Algorithm,
     cal_cost: u128,
+    weight: u64,
     instance: &Instance,
     tick_every: usize,
     park: bool,
@@ -212,6 +230,7 @@ fn build_plan(
             ("cal_len", instance.cal_len().to_json()),
             ("cal_cost", cal_cost.to_json()),
             ("algorithm", algorithm.name().to_json()),
+            ("weight", weight.to_json()),
         ],
         false,
         false,
@@ -285,6 +304,7 @@ struct TenantOutcome {
     reconnects: u64,
     resumes: u64,
     redirects: u64,
+    sheds: u64,
     latencies_us: Vec<f64>,
     errors: Vec<String>,
 }
@@ -304,10 +324,15 @@ fn run_tenant(
     // The local ground truth: the batch engine on the identical instance.
     let expected = run_online(instance, case.cal_cost, fresh_scheduler(algorithm).as_mut());
 
+    let weight = match args.weights.as_slice() {
+        [] => 1,
+        ws => ws[plan_index % ws.len()],
+    };
     let (plan, drain_seq) = build_plan(
         name,
         algorithm,
         case.cal_cost,
+        weight,
         instance,
         args.tick_every,
         args.park,
@@ -352,6 +377,7 @@ fn run_tenant(
         reconnects: report.reconnects,
         resumes: report.resumes,
         redirects: report.redirects,
+        sheds: report.sheds,
         latencies_us: report.latencies_us,
         errors,
     }
@@ -420,6 +446,7 @@ fn main() -> ExitCode {
                     reconnects: 0,
                     resumes: 0,
                     redirects: 0,
+                    sheds: 0,
                     latencies_us: Vec::new(),
                     errors: vec!["tenant thread panicked".to_string()],
                 })
@@ -432,6 +459,7 @@ fn main() -> ExitCode {
     let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
     let resumes: u64 = outcomes.iter().map(|o| o.resumes).sum();
     let redirects: u64 = outcomes.iter().map(|o| o.redirects).sum();
+    let sheds: u64 = outcomes.iter().map(|o| o.sheds).sum();
     let mut latencies: Vec<f64> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     for o in &outcomes {
@@ -457,6 +485,7 @@ fn main() -> ExitCode {
         ("reconnects", reconnects.to_json()),
         ("resumes", resumes.to_json()),
         ("redirects", redirects.to_json()),
+        ("sheds", sheds.to_json()),
         ("router", Json::Bool(args.router)),
         ("errors", errors.len().to_json()),
     ];

@@ -5,7 +5,8 @@
 //!             [--trace-dir DIR] [--journal-dir DIR] [--fsync always|tick|off]
 //!             [--checkpoint-every-n N] [--compact-on-idle]
 //!             [--read-timeout-ms N] [--max-tenants N] [--run-forever]
-//!             [--metrics-interval-ms N]
+//!             [--metrics-interval-ms N] [--max-inflight N]
+//!             [--rate-per-k N] [--rate-burst N]
 //! calib-serve --stdin [--workers N] [--queue-cap N] [--trace-dir DIR]
 //! ```
 //!
@@ -23,6 +24,15 @@
 //! long an accepted socket may sit idle before the daemon sends a typed
 //! `read-timeout` error and disconnects; it is always off in `--stdin`
 //! mode so interactive use never times out.
+//! `--max-inflight N` caps work-bearing requests (arrive/tick/drain) in
+//! flight daemon-wide; over the cap, over-fair-share tenants are shed with
+//! a typed `shed` error carrying `retry_after_ms`. `--rate-per-k N` grants
+//! each tenant `N x weight` tokens per 1000 observed requests (the
+//! admission clock is virtual: one tick per request line, no wall clock);
+//! an empty bucket answers `rate-limited` with the exact refill time.
+//! `--rate-burst N` sizes the bucket at `N x weight` tokens (default 8).
+//! Both mechanisms are off by default (0 disables); see SERVE.md
+//! "Overload & admission".
 //!
 //! In TCP mode the daemon prints one `{"type":"listening","addr":...}`
 //! line to stdout once the socket is bound (bind port 0 to let the OS
@@ -104,6 +114,24 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-tenants: {e}"))?;
             }
             "--run-forever" => args.config.exit_when_idle = false,
+            "--max-inflight" => {
+                let n: u64 = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+                // 0 disables, like --checkpoint-every-n.
+                args.config.admit.max_inflight = (n > 0).then_some(n);
+            }
+            "--rate-per-k" => {
+                let n: u64 = value("--rate-per-k")?
+                    .parse()
+                    .map_err(|e| format!("--rate-per-k: {e}"))?;
+                args.config.admit.rate_per_k = (n > 0).then_some(n);
+            }
+            "--rate-burst" => {
+                args.config.admit.burst = value("--rate-burst")?
+                    .parse()
+                    .map_err(|e| format!("--rate-burst: {e}"))?;
+            }
             "--metrics-interval-ms" => {
                 let ms: u64 = value("--metrics-interval-ms")?
                     .parse()
@@ -118,7 +146,8 @@ fn parse_args() -> Result<Args, String> {
                      [--journal-dir DIR] [--fsync always|tick|off] \
                      [--checkpoint-every-n N] [--compact-on-idle] \
                      [--read-timeout-ms N] [--max-tenants N] [--run-forever] \
-                     [--metrics-interval-ms N]"
+                     [--metrics-interval-ms N] [--max-inflight N] \
+                     [--rate-per-k N] [--rate-burst N]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -148,6 +177,9 @@ fn print_report(report: &ServeReport, mut out: impl Write) {
         ("tenants", report.accountings.len().to_json()),
         ("connections", report.connections.to_json()),
         ("busy_drops", report.busy_drops.to_json()),
+        ("sheds", report.sheds.to_json()),
+        ("rate_limited", report.rate_limited.to_json()),
+        ("shed_disconnects", report.shed_disconnects.to_json()),
         ("detaches", report.detaches.to_json()),
         ("resumes", report.resumes.to_json()),
         ("recovered", report.recovered.to_json()),

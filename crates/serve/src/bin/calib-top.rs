@@ -122,12 +122,15 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
     let g = snapshot.get("global");
     let global_line = match g {
         Some(g) => format!(
-            "conns {}/{} open | requests {} | decisions {} | busy {} | detach {} | resume {} | trace-io-err {}",
+            "conns {}/{} open | requests {} | decisions {} | busy {} | shed {} (dropped {}) | rate-ltd {} | detach {} | resume {} | trace-io-err {}",
             field_u64(g, "active_connections"),
             field_u64(g, "connections"),
             field_u64(g, "requests"),
             field_u64(g, "decisions"),
             field_u64(g, "busy_drops"),
+            field_u64(g, "sheds"),
+            field_u64(g, "shed_disconnects"),
+            field_u64(g, "rate_limited"),
             field_u64(g, "detaches"),
             field_u64(g, "resumes"),
             field_u64(g, "trace_io_errors"),
@@ -144,7 +147,7 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
     render_router(snapshot, out);
     let _ = writeln!(
         out,
-        "{:<16} {:>4} {:>10} {:>7} {:>6} {:>6} {:>6} {:>5} {:>14} {:>12} {:>12}",
+        "{:<16} {:>4} {:>10} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8} {:>5} {:>5} {:>14} {:>12} {:>12}",
         "TENANT",
         "OPEN",
         "DECISIONS",
@@ -153,6 +156,9 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
         "QHIGH",
         "RECONN",
         "BUSY",
+        "ADMITTED",
+        "SHED",
+        "RATE",
         "FSYNC-P50/95/99",
         "FLOW",
         "COST"
@@ -183,7 +189,7 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
         };
         let _ = writeln!(
             out,
-            "{:<16} {:>4} {:>10} {:>7} {:>6} {:>6} {:>6} {:>5} {:>14} {:>12} {:>12}",
+            "{:<16} {:>4} {:>10} {:>7} {:>6} {:>6} {:>6} {:>5} {:>8} {:>5} {:>5} {:>14} {:>12} {:>12}",
             name,
             open,
             decisions,
@@ -192,6 +198,9 @@ fn render(snapshot: &Json, prev: Option<&Frame>, now: Instant, out: &mut impl Wr
             field_u64(row, "queue_high_water"),
             field_u64(row, "reconnects"),
             field_u64(row, "busy_drops"),
+            field_u64(row, "admitted"),
+            field_u64(row, "sheds"),
+            field_u64(row, "rate_limited"),
             percentile_cell(row.get("fsync_micros")),
             field_u128(row, "flow"),
             field_u128(row, "cost"),
@@ -246,22 +255,36 @@ fn render_router(snapshot: &Json, out: &mut impl Write) {
     }
 }
 
+/// The counters whose daemon-wide total must equal the per-tenant sum.
+/// `shed_disconnects` is deliberately distinct from voluntary-`bye`
+/// accounting — a shed drop must never launder into ordinary churn.
+const SUM_CHECKED: [&str; 5] = [
+    "decisions",
+    "admitted",
+    "sheds",
+    "rate_limited",
+    "shed_disconnects",
+];
+
 /// `--check`: the registry retains closed tenants precisely so this holds.
 fn check_consistent(snapshot: &Json) -> Result<(), String> {
-    let global = snapshot
+    let g = snapshot
         .get("global")
-        .map(|g| field_u64(g, "decisions"))
         .ok_or("snapshot has no `global` object")?;
-    let per_tenant: u64 = snapshot
-        .get("per_tenant")
-        .and_then(Json::as_arr)
-        .map(|rows| rows.iter().map(|r| field_u64(r, "decisions")).sum())
-        .unwrap_or(0);
-    if global != per_tenant {
-        return Err(format!(
-            "global decisions {global} != per-tenant sum {per_tenant}"
-        ));
+    for key in SUM_CHECKED {
+        let global = field_u64(g, key);
+        let per_tenant: u64 = snapshot
+            .get("per_tenant")
+            .and_then(Json::as_arr)
+            .map(|rows| rows.iter().map(|r| field_u64(r, key)).sum())
+            .unwrap_or(0);
+        if global != per_tenant {
+            return Err(format!(
+                "global {key} {global} != per-tenant sum {per_tenant}"
+            ));
+        }
     }
+    let global = field_u64(g, "decisions");
     // Through a router the merged global is built by summing the shard
     // snapshots — re-derive it from `per_shard` and demand equality, so
     // a shard dropped from the merge cannot hide.

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod admit;
 pub mod chaos;
 pub mod journal;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod retry;
 pub mod server;
 pub mod session;
 
+pub use admit::{Admission, AdmitClock, AdmitConfig, ManualClock, RequestClock, Verdict};
 pub use chaos::{run_proxy, FaultPlan, ProxyStats};
 pub use journal::{
     compact_tmp_path, read_journal, recover, recover_with_report, replay, replay_with_report,

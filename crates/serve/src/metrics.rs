@@ -46,6 +46,16 @@ pub struct TenantMetrics {
     pub requests: AtomicU64,
     /// Requests answered with `busy` and dropped.
     pub busy_drops: AtomicU64,
+    /// Requests admitted through admission control (only counted when a
+    /// controller is configured — the denominator of the fairness ratio).
+    pub admitted: AtomicU64,
+    /// Requests rejected with `shed` (in-flight budget breach).
+    pub sheds: AtomicU64,
+    /// Requests rejected with `rate-limited` (token bucket empty).
+    pub rate_limited: AtomicU64,
+    /// Connections the server dropped after shedding this tenant —
+    /// forced disconnects, distinct from voluntary `bye` closes.
+    pub shed_disconnects: AtomicU64,
     /// Successful `resume` attachments (reconnects and recoveries).
     pub reconnects: AtomicU64,
     /// Inbox depth right now (gauge).
@@ -93,6 +103,16 @@ impl TenantMetrics {
                 "busy_drops",
                 self.busy_drops.load(Ordering::Relaxed).to_json(),
             ),
+            ("admitted", self.admitted.load(Ordering::Relaxed).to_json()),
+            ("sheds", self.sheds.load(Ordering::Relaxed).to_json()),
+            (
+                "rate_limited",
+                self.rate_limited.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "shed_disconnects",
+                self.shed_disconnects.load(Ordering::Relaxed).to_json(),
+            ),
             (
                 "reconnects",
                 self.reconnects.load(Ordering::Relaxed).to_json(),
@@ -130,6 +150,15 @@ pub struct ServeMetrics {
     pub decisions: AtomicU64,
     /// Requests answered with `busy`.
     pub busy_drops: AtomicU64,
+    /// Requests admitted through admission control, all tenants.
+    pub admitted: AtomicU64,
+    /// Requests rejected with `shed`, all tenants.
+    pub sheds: AtomicU64,
+    /// Requests rejected with `rate-limited`, all tenants.
+    pub rate_limited: AtomicU64,
+    /// Connections dropped after a shed — forced disconnects, counted
+    /// separately from voluntary `bye` closes and plain detaches.
+    pub shed_disconnects: AtomicU64,
     /// Sessions detached after a disconnect-without-`bye`.
     pub detaches: AtomicU64,
     /// Successful `resume` attachments.
@@ -228,6 +257,32 @@ impl ServeMetrics {
         self.checkpoint_io_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one admitted request against both the global total and
+    /// `tenant`'s — the invariant `global == Σ per-tenant` must hold for
+    /// every admission counter, like `decisions`.
+    pub fn record_admitted(&self, tenant: &TenantMetrics) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        tenant.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `shed` rejection; `disconnected` adds the forced-drop
+    /// counter on top (journaling mode drops the connection after the
+    /// typed reply).
+    pub fn record_shed(&self, tenant: &TenantMetrics, disconnected: bool) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        tenant.sheds.fetch_add(1, Ordering::Relaxed);
+        if disconnected {
+            self.shed_disconnects.fetch_add(1, Ordering::Relaxed);
+            tenant.shed_disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one `rate-limited` rejection.
+    pub fn record_rate_limited(&self, tenant: &TenantMetrics) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        tenant.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Open sessions right now.
     pub fn open_tenants(&self) -> u64 {
         let tenants = lock(&self.tenants);
@@ -263,6 +318,16 @@ impl ServeMetrics {
             (
                 "busy_drops",
                 self.busy_drops.load(Ordering::Relaxed).to_json(),
+            ),
+            ("admitted", self.admitted.load(Ordering::Relaxed).to_json()),
+            ("sheds", self.sheds.load(Ordering::Relaxed).to_json()),
+            (
+                "rate_limited",
+                self.rate_limited.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "shed_disconnects",
+                self.shed_disconnects.load(Ordering::Relaxed).to_json(),
             ),
             ("detaches", self.detaches.load(Ordering::Relaxed).to_json()),
             ("resumes", self.resumes.load(Ordering::Relaxed).to_json()),
@@ -418,6 +483,39 @@ mod tests {
             .sum();
         assert_eq!(global, sum);
         assert_eq!(global, 3 * 999);
+    }
+
+    #[test]
+    fn admission_counters_keep_the_sum_invariant() {
+        let m = ServeMetrics::new();
+        let a = m.tenant("a");
+        let b = m.tenant("b");
+        for _ in 0..8 {
+            m.record_admitted(&a);
+        }
+        m.record_admitted(&b);
+        m.record_shed(&a, true);
+        m.record_shed(&b, false);
+        m.record_rate_limited(&b);
+        let snap = m.snapshot_json();
+        let global = snap.get("global").unwrap();
+        for key in ["admitted", "sheds", "rate_limited", "shed_disconnects"] {
+            let g = global.get(key).and_then(Json::as_u64).unwrap();
+            let sum: u64 = snap
+                .get("per_tenant")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|t| t.get(key).and_then(Json::as_u64).unwrap())
+                .sum();
+            assert_eq!(g, sum, "global {key} must equal the per-tenant sum");
+        }
+        assert_eq!(global.get("sheds").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            global.get("shed_disconnects").and_then(Json::as_u64),
+            Some(1),
+            "only the disconnecting shed counts as a forced drop"
+        );
     }
 
     #[test]

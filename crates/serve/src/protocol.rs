@@ -35,6 +35,18 @@ pub const CODE_TENANT_MOVED: &str = "tenant-moved";
 /// interpreting a hung shard as a dead session.
 pub const CODE_SHARD_UNREACHABLE: &str = "shard-unreachable";
 
+/// Error code for a request rejected by the global in-flight budget
+/// (`--max-inflight`): the daemon is overloaded and this tenant is at or
+/// over its weight-proportional share. Carries `retry_after_ms`; in
+/// journaling mode the daemon drops the connection after answering, so the
+/// client reconnects and `resume`s once the hinted delay passes.
+pub const CODE_SHED: &str = "shed";
+
+/// Error code for a request rejected by the tenant's weighted token
+/// bucket (`--rate-per-k`). Carries `retry_after_ms` — the exact virtual
+/// time until one full token has refilled; the connection stays open.
+pub const CODE_RATE_LIMITED: &str = "rate-limited";
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -50,6 +62,12 @@ pub enum Request {
         cal_cost: Cost,
         /// Algorithm name (`alg1`, `alg2`, `alg3`, `immediate`).
         algorithm: String,
+        /// Admission weight (≥ 1, defaults to 1): the tenant's share of
+        /// admitted throughput under overload. Kept out of
+        /// [`TenantConfig`] deliberately — it tunes *admission*, not the
+        /// schedule, so checkpoints and journals stay byte-identical and a
+        /// recovered tenant re-declares it (or defaults) on reconnect.
+        weight: u64,
         /// Echoed sequence number.
         seq: Option<u64>,
     },
@@ -218,6 +236,7 @@ impl Request {
                 cal_len: obj_i64("cal_len")?,
                 cal_cost: Cost::from(obj_u64("cal_cost")?),
                 algorithm: obj_str("algorithm")?,
+                weight: v.get("weight").and_then(Json::as_u64).unwrap_or(1).max(1),
                 seq,
             }),
             "arrive" => {
@@ -440,6 +459,9 @@ pub enum Reply {
         message: String,
         /// Addressed tenant, when one could be determined.
         tenant: Option<String>,
+        /// Overload hint (`shed`/`rate-limited`): how long the client
+        /// should wait before retrying, overriding its own backoff.
+        retry_after_ms: Option<u64>,
         /// Echoed sequence number.
         seq: Option<u64>,
     },
@@ -463,6 +485,24 @@ impl Reply {
             code: code.to_string(),
             message: message.into(),
             tenant: tenant.map(str::to_string),
+            retry_after_ms: None,
+            seq,
+        }
+    }
+
+    /// Builds an overload error reply carrying a `retry_after_ms` hint.
+    pub fn error_retry_after(
+        code: &str,
+        message: impl Into<String>,
+        tenant: Option<&str>,
+        retry_after_ms: u64,
+        seq: Option<u64>,
+    ) -> Reply {
+        Reply::Error {
+            code: code.to_string(),
+            message: message.into(),
+            tenant: tenant.map(str::to_string),
+            retry_after_ms: Some(retry_after_ms),
             seq,
         }
     }
@@ -625,6 +665,7 @@ impl Reply {
                 code,
                 message,
                 tenant,
+                retry_after_ms,
                 seq,
             } => {
                 let mut fields = vec![
@@ -634,6 +675,9 @@ impl Reply {
                 ];
                 if let Some(t) = tenant {
                     fields.push(("tenant", Json::Str(t.clone())));
+                }
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms", ms.to_json()));
                 }
                 put_seq(&mut fields, *seq);
                 Json::obj(fields)
@@ -1266,9 +1310,27 @@ mod tests {
                 cal_len: 5,
                 cal_cost: 10,
                 algorithm: "alg3".into(),
+                weight: 1,
                 seq: Some(1),
             }
         );
+        let weighted = parse(
+            r#"{"type":"hello","tenant":"w","machines":1,"cal_len":5,"cal_cost":10,"algorithm":"alg1","weight":4}"#,
+        )
+        .unwrap();
+        match weighted {
+            Request::Hello { weight, .. } => assert_eq!(weight, 4),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // weight 0 clamps to 1 — a zero-weight tenant would never admit.
+        let clamped = parse(
+            r#"{"type":"hello","tenant":"z","machines":1,"cal_len":5,"cal_cost":10,"algorithm":"alg1","weight":0}"#,
+        )
+        .unwrap();
+        match clamped {
+            Request::Hello { weight, .. } => assert_eq!(weight, 1),
+            other => panic!("wrong parse: {other:?}"),
+        }
         let arrive =
             parse(r#"{"type":"arrive","tenant":"a","jobs":[{"id":0,"release":3,"weight":2}]}"#)
                 .unwrap();
@@ -1352,6 +1414,13 @@ mod tests {
         let v = Json::parse(err.to_line().trim()).unwrap();
         assert_eq!(v.get("code").unwrap().as_str(), Some("busy"));
         assert!(v.get("seq").is_none());
+        assert!(v.get("retry_after_ms").is_none(), "hint only when typed");
+
+        let shed = Reply::error_retry_after(CODE_SHED, "over budget", Some("a"), 7, Some(3));
+        let v = Json::parse(shed.to_line().trim()).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some(CODE_SHED));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(3));
 
         let resumed = Reply::Resumed {
             tenant: "a".into(),

@@ -176,6 +176,9 @@ pub struct ClientReport {
     pub captured: Vec<(u64, Json)>,
     /// Per-acked-reply latencies in microseconds.
     pub latencies_us: Vec<f64>,
+    /// Typed overload rejections (`shed`/`rate-limited`) honored via the
+    /// server-supplied `retry_after_ms`.
+    pub sheds: u64,
     /// Protocol-level failures (typed server errors, final give-up).
     pub errors: Vec<String>,
 }
@@ -194,8 +197,10 @@ impl ClientReport {
 enum Drive {
     /// Every plan step acked.
     Done,
-    /// Connection-level anomaly; reconnect and resume.
-    Reconnect(String),
+    /// Connection-level anomaly; reconnect and resume. A server-supplied
+    /// retry-after (from a typed `shed`/`rate-limited` rejection) overrides
+    /// the exponential backoff for this one sleep.
+    Reconnect(String, Option<Duration>),
 }
 
 /// What the resume handshake concluded.
@@ -300,12 +305,19 @@ pub fn run_plan(
                 report.completed = true;
                 return report;
             }
-            Drive::Reconnect(why) => {
+            Drive::Reconnect(why, after) => {
                 report.reconnects += 1;
                 if give_up(&mut report, &mut failures, cfg, why) {
                     return report;
                 }
-                clock.sleep(backoff.next_delay());
+                // A server-supplied retry-after is authoritative: sleep
+                // exactly that long, not the jittered exponential default
+                // (which stays un-advanced so a later anomaly restarts the
+                // ramp from where it left off).
+                match after {
+                    Some(d) => clock.sleep(d),
+                    None => clock.sleep(backoff.next_delay()),
+                }
             }
         }
     }
@@ -407,7 +419,7 @@ fn drive(
                 break;
             }
             if writer.write_all(plan[next].line.as_bytes()).is_err() || writer.flush().is_err() {
-                return Drive::Reconnect("write failed".to_string());
+                return Drive::Reconnect("write failed".to_string(), None);
             }
             in_flight.push_back((next, Instant::now()));
             next += 1;
@@ -418,12 +430,12 @@ fn drive(
         }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return Drive::Reconnect("server closed the connection".to_string()),
+            Ok(0) => return Drive::Reconnect("server closed the connection".to_string(), None),
             Ok(_) => {}
-            Err(e) => return Drive::Reconnect(format!("read: {e}")),
+            Err(e) => return Drive::Reconnect(format!("read: {e}"), None),
         }
         let Ok(v) = Json::parse(line.trim()) else {
-            return Drive::Reconnect("unparseable reply".to_string());
+            return Drive::Reconnect("unparseable reply".to_string(), None);
         };
         let ty = v.get("type").and_then(Json::as_str).unwrap_or("");
         if ty == "pong" || ty == "resumed" {
@@ -438,7 +450,7 @@ fn drive(
         let Some(reply_seq) = v.get("seq").and_then(Json::as_u64) else {
             // A connection-level error (bad-json from a torn write, a
             // read-timeout warning): the request stream is corrupt.
-            return Drive::Reconnect(format!("unsequenced reply: {}", line.trim()));
+            return Drive::Reconnect(format!("unsequenced reply: {}", line.trim()), None);
         };
         if reply_seq < front_seq {
             // Stale duplicate of an already-acked reply.
@@ -446,9 +458,10 @@ fn drive(
         }
         if reply_seq > front_seq {
             // The reply to our front request was lost in transit.
-            return Drive::Reconnect(format!(
-                "reply seq {reply_seq} overtook expected {front_seq}"
-            ));
+            return Drive::Reconnect(
+                format!("reply seq {reply_seq} overtook expected {front_seq}"),
+                None,
+            );
         }
         in_flight.pop_front();
         report
@@ -467,7 +480,22 @@ fn drive(
                 // on the session's current owner at the right seq.
                 "seq-gap" | "busy" | "tenant-moved" | "shard-unreachable" => {
                     report.redirects += u64::from(code == "tenant-moved");
-                    return Drive::Reconnect(format!("server asked to resync: `{code}`"));
+                    return Drive::Reconnect(format!("server asked to resync: `{code}`"), None);
+                }
+                // Overload rejections: the in-flight budget shed this
+                // request (`shed`, connection may be dropped) or the
+                // weighted token bucket ran dry (`rate-limited`). Both
+                // carry an authoritative `retry_after_ms`; honor it
+                // exactly, then resynchronize — the rejection did not
+                // advance the seq chain, so pipelined successors would
+                // land in a `seq-gap` anyway.
+                "shed" | "rate-limited" => {
+                    report.sheds += 1;
+                    let after = v
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .map(Duration::from_millis);
+                    return Drive::Reconnect(format!("server overloaded: `{code}`"), after);
                 }
                 _ => report
                     .errors
@@ -561,14 +589,164 @@ mod tests {
         assert_eq!(recompute_acked(&plan, Some(2), &captured), 3);
     }
 
+    /// A deterministic fake clock that records every sleep instead of
+    /// blocking.
+    struct FakeClock(Vec<Duration>);
+    impl RetryClock for FakeClock {
+        fn sleep(&mut self, d: Duration) {
+            self.0.push(d);
+        }
+    }
+
+    /// A scripted one-thread server: accepts connections in order, and for
+    /// each connection reads request lines and answers from its script
+    /// (closing the connection when the script runs out). Returns every
+    /// request line received, grouped by connection.
+    fn scripted_server(
+        listener: std::net::TcpListener,
+        scripts: Vec<Vec<&'static str>>,
+    ) -> std::thread::JoinHandle<Vec<Vec<String>>> {
+        std::thread::spawn(move || {
+            let mut received = Vec::new();
+            for script in scripts {
+                let (stream, _) = listener.accept().expect("accept");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut lines = Vec::new();
+                for reply in script {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    lines.push(line.trim().to_string());
+                    writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .expect("reply");
+                }
+                received.push(lines);
+            }
+            received
+        })
+    }
+
+    fn tick_plan(n: u64) -> Vec<PlanStep> {
+        use calib_core::json::ToJson;
+        (0..n)
+            .map(|i| {
+                PlanStep::new(
+                    i,
+                    vec![("type", "tick".to_json()), ("tenant", "t".to_json())],
+                    false,
+                    false,
+                )
+            })
+            .collect()
+    }
+
+    fn one_shot_config() -> ClientConfig {
+        ClientConfig {
+            tenant: "t".to_string(),
+            window: 1, // one request in flight: scripts stay deterministic
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn retry_after_overrides_the_backoff_schedule_exactly() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = scripted_server(
+            listener,
+            vec![
+                // Conn 1: rate-limit seq 0 with an exact retry-after.
+                vec![r#"{"type":"error","code":"rate-limited","retry_after_ms":37,"seq":0}"#],
+                // Conn 2: resume from scratch, ack seq 0, shed seq 1.
+                vec![
+                    r#"{"type":"resumed","tenant":"t"}"#,
+                    r#"{"type":"ok","tenant":"t","seq":0}"#,
+                    r#"{"type":"error","code":"shed","retry_after_ms":123,"seq":1}"#,
+                ],
+                // Conn 3: resume past seq 0, ack the resent seq 1.
+                vec![
+                    r#"{"type":"resumed","tenant":"t","last_seq":0}"#,
+                    r#"{"type":"ok","tenant":"t","seq":1}"#,
+                ],
+            ],
+        );
+        let plan = tick_plan(2);
+        let mut clock = FakeClock(Vec::new());
+        // A backoff whose every jittered delay is far from 37/123ms, so an
+        // accidental `next_delay()` call cannot masquerade as the override.
+        let mut backoff = Backoff::new(5000, 60000, 9);
+        let report = run_plan(&addr, &one_shot_config(), &plan, &mut backoff, &mut clock);
+        assert!(report.completed, "errors: {:?}", report.errors);
+        assert_eq!(report.sheds, 2);
+        assert_eq!(
+            clock.0,
+            vec![Duration::from_millis(37), Duration::from_millis(123)],
+            "each sleep is exactly the server-supplied retry_after_ms"
+        );
+        assert_eq!(
+            backoff.attempt(),
+            0,
+            "the exponential ramp never advanced: every delay was server-supplied"
+        );
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn seq_chain_stays_exactly_once_across_a_shed_retry_cycle() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = scripted_server(
+            listener,
+            vec![
+                // Conn 1: apply seq 0, shed seq 1 and drop the connection
+                // (the script ends, modeling a journaled shed disconnect).
+                vec![
+                    r#"{"type":"ok","tenant":"t","seq":0}"#,
+                    r#"{"type":"error","code":"shed","retry_after_ms":5,"seq":1}"#,
+                ],
+                // Conn 2: resume reports last_seq 0; the tail resends.
+                vec![
+                    r#"{"type":"resumed","tenant":"t","last_seq":0}"#,
+                    r#"{"type":"ok","tenant":"t","seq":1}"#,
+                    r#"{"type":"ok","tenant":"t","seq":2}"#,
+                ],
+            ],
+        );
+        let plan = tick_plan(3);
+        let mut clock = FakeClock(Vec::new());
+        let mut backoff = Backoff::new(5000, 60000, 9);
+        let report = run_plan(&addr, &one_shot_config(), &plan, &mut backoff, &mut clock);
+        assert!(report.completed, "errors: {:?}", report.errors);
+        assert_eq!(report.sheds, 1);
+        assert_eq!(clock.0, vec![Duration::from_millis(5)]);
+
+        let received = server.join().expect("server thread");
+        let seqs_of = |lines: &[String]| -> Vec<Option<u64>> {
+            lines
+                .iter()
+                .map(|l| {
+                    Json::parse(l)
+                        .ok()
+                        .and_then(|v| v.get("seq").and_then(Json::as_u64))
+                })
+                .collect()
+        };
+        // Conn 1 saw seqs 0 and 1; the shed did not advance the chain.
+        assert_eq!(seqs_of(&received[0]), vec![Some(0), Some(1)]);
+        // Conn 2: the resume handshake (unsequenced), then the resend
+        // starting *exactly* at the shed seq — 0 is never re-applied, 1 is
+        // sent exactly once more, and nothing skips ahead.
+        assert_eq!(seqs_of(&received[1]), vec![None, Some(1), Some(2)]);
+        assert!(received[1][0].contains(r#""type":"resume""#));
+    }
+
     #[test]
     fn fake_clock_collects_the_whole_schedule_without_sleeping() {
-        struct FakeClock(Vec<Duration>);
-        impl RetryClock for FakeClock {
-            fn sleep(&mut self, d: Duration) {
-                self.0.push(d);
-            }
-        }
         let mut clock = FakeClock(Vec::new());
         let mut backoff = Backoff::new(5, 100, 1);
         for _ in 0..4 {

@@ -50,10 +50,12 @@ use std::time::{Duration, Instant};
 
 use calib_core::json::Json;
 
+use crate::admit::{Admission, AdmitConfig, RequestClock, Verdict};
 use crate::journal::{self, FsyncPolicy, JournalRecord, JournalWriter};
 use crate::metrics::{MetricsSink, ServeMetrics, TenantMetrics};
 use crate::protocol::{
-    Accounting, CheckpointState, Reply, Request, CODE_TENANT_MOVED, MAX_LINE_BYTES,
+    Accounting, CheckpointState, Reply, Request, CODE_RATE_LIMITED, CODE_SHED, CODE_TENANT_MOVED,
+    MAX_LINE_BYTES,
 };
 use crate::session::{Algorithm, SessionError, SessionMetrics, TenantConfig, TenantSession};
 
@@ -101,6 +103,10 @@ pub struct ServerConfig {
     /// "from_checkpoint":…}`) are written — the recovery-smoke CI job
     /// parses these to assert replay stays tail-bounded.
     pub recovery_log: Option<MetricsSink>,
+    /// Weighted admission control and load shedding (`--max-inflight`,
+    /// `--rate-per-k`, `--rate-burst`); all-off by default. See
+    /// [`crate::admit`] for the decision model.
+    pub admit: AdmitConfig,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +125,7 @@ impl Default for ServerConfig {
             checkpoint_every: None,
             compact_on_idle: false,
             recovery_log: None,
+            admit: AdmitConfig::default(),
         }
     }
 }
@@ -141,6 +148,13 @@ pub struct ServeReport {
     /// Trace-sink I/O errors surfaced when sessions finalized (a partial
     /// or lost `--trace-dir` file; the schedule itself is unaffected).
     pub trace_io_errors: u64,
+    /// Requests rejected with `shed` (in-flight budget breach).
+    pub sheds: u64,
+    /// Requests rejected with `rate-limited` (token bucket empty).
+    pub rate_limited: u64,
+    /// Connections dropped after a shed — forced disconnects, distinct
+    /// from voluntary `bye` closes.
+    pub shed_disconnects: u64,
 }
 
 impl ServeReport {
@@ -256,10 +270,15 @@ struct Shared {
     /// journal latency, …). `ping`, `metrics`, the periodic snapshot
     /// stream, and the final [`ServeReport`] all read from here.
     metrics: Arc<ServeMetrics>,
+    /// Weighted admission control: token buckets and the in-flight
+    /// budget, refilled by the deterministic request-count clock. A no-op
+    /// fast path when [`AdmitConfig::enabled`] is false.
+    admission: Admission,
 }
 
 impl Shared {
     fn new(config: ServerConfig) -> Shared {
+        let admission = Admission::new(config.admit, Arc::new(RequestClock::new()));
         Shared {
             config,
             tenants: Mutex::new(HashMap::new()),
@@ -270,6 +289,7 @@ impl Shared {
             moved: Mutex::new(HashSet::new()),
             accountings: Mutex::new(Vec::new()),
             metrics: Arc::new(ServeMetrics::new()),
+            admission,
         }
     }
 
@@ -316,8 +336,47 @@ impl Shared {
         }
     }
 
-    /// Queues one request for `tenant`, applying backpressure.
-    fn enqueue(&self, tenant: &Arc<Tenant>, req: Request, sink: &Arc<ReplySink>) {
+    /// Queues one request for `tenant`, applying admission control and
+    /// backpressure. Returns `false` when the server decided to drop the
+    /// connection (a shed in journaling mode, where the session detaches
+    /// safely and the client reconnects with `resume`).
+    fn enqueue(&self, tenant: &Arc<Tenant>, req: Request, sink: &Arc<ReplySink>) -> bool {
+        // Admission gates only the work-bearing requests; control traffic
+        // (resume/decisions/stats/bye) always passes so overloaded
+        // tenants can still observe, drain, and leave.
+        let gated = self.admission.config().enabled() && admission_gated(&req);
+        if gated {
+            match self.admission.admit(&tenant.name) {
+                Verdict::Admit => self.metrics.record_admitted(&tenant.metrics),
+                Verdict::RateLimited { retry_after_ms } => {
+                    self.metrics.record_rate_limited(&tenant.metrics);
+                    sink.send(&Reply::error_retry_after(
+                        CODE_RATE_LIMITED,
+                        "token bucket empty; retry after the hinted delay",
+                        Some(&tenant.name),
+                        retry_after_ms,
+                        req.seq(),
+                    ));
+                    return true;
+                }
+                Verdict::Shed { retry_after_ms } => {
+                    // Actually shedding load means dropping the
+                    // connection, which is only safe when the session can
+                    // detach and await `resume` (journaling on);
+                    // otherwise the typed error alone is the signal.
+                    let disconnect = self.config.journal_dir.is_some();
+                    self.metrics.record_shed(&tenant.metrics, disconnect);
+                    sink.send(&Reply::error_retry_after(
+                        CODE_SHED,
+                        "in-flight budget breached; reconnect after the hinted delay",
+                        Some(&tenant.name),
+                        retry_after_ms,
+                        req.seq(),
+                    ));
+                    return !disconnect;
+                }
+            }
+        }
         let cap = self.config.queue_cap.max(1);
         let accepted = {
             let mut inbox = lock(&tenant.inbox);
@@ -335,6 +394,10 @@ impl Shared {
         if accepted {
             self.schedule(tenant);
         } else {
+            // A busy drop strands the in-flight slot the admit took.
+            if gated {
+                self.admission.complete(&tenant.name);
+            }
             tenant.metrics.busy_drops.fetch_add(1, Ordering::Relaxed);
             self.metrics.busy_drops.fetch_add(1, Ordering::Relaxed);
             sink.send(&Reply::error(
@@ -344,6 +407,7 @@ impl Shared {
                 req.seq(),
             ));
         }
+        true
     }
 
     /// Force-queues a synthetic cleanup request, ignoring the cap (cleanup
@@ -362,6 +426,15 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+/// The requests admission control gates: the work-bearing mutations. An
+/// admitted one holds an in-flight slot until its worker finishes it.
+fn admission_gated(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Arrive { .. } | Request::Tick { .. } | Request::Drain { .. }
+    )
 }
 
 /// Runs the protocol over one already-connected byte stream (the `--stdin`
@@ -523,6 +596,9 @@ fn report(shared: &Shared) -> ServeReport {
         resumes: m.resumes.load(Ordering::Relaxed),
         recovered: m.recovered.load(Ordering::Relaxed),
         trace_io_errors: m.trace_io_errors.load(Ordering::Relaxed),
+        sheds: m.sheds.load(Ordering::Relaxed),
+        rate_limited: m.rate_limited.load(Ordering::Relaxed),
+        shed_disconnects: m.shed_disconnects.load(Ordering::Relaxed),
     }
 }
 
@@ -579,7 +655,13 @@ fn run_connection(shared: &Shared, conn: u64, input: impl Read, output: Box<dyn 
             }
         };
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        route(shared, conn, request, &sink);
+        // Advance the admission clock: one virtual millisecond per parsed
+        // request line, so token refill tracks offered load.
+        shared.admission.observe();
+        if !route(shared, conn, request, &sink) {
+            // The server shed this client; the typed reply is already out.
+            break;
+        }
     }
     cleanup_connection(shared, conn);
 }
@@ -616,7 +698,9 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> io::Result
     Ok(n)
 }
 
-fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
+/// Routes one parsed request. Returns `false` when the connection should
+/// be dropped (the server shed this client).
+fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) -> bool {
     // `ping` is answered inline by the reader, bypassing tenant queues —
     // the liveness probe must work even when every worker is busy.
     if let Request::Ping { seq } = &request {
@@ -628,7 +712,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             busy_drops: shared.metrics.busy_drops.load(Ordering::Relaxed),
             seq: *seq,
         });
-        return;
+        return true;
     }
 
     // `metrics` is likewise answered inline by the reader: a full-registry
@@ -638,12 +722,12 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             snapshot: shared.metrics.snapshot_json(),
             seq: *seq,
         });
-        return;
+        return true;
     }
 
     if let Request::Resume { tenant, seq } = &request {
         route_resume(shared, conn, tenant, *seq, request.clone(), sink);
-        return;
+        return true;
     }
 
     if let Request::Hello {
@@ -652,6 +736,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
         cal_len,
         cal_cost,
         algorithm,
+        weight,
         seq,
     } = &request
     {
@@ -662,7 +747,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 Some(tenant),
                 *seq,
             ));
-            return;
+            return true;
         };
         // Write-ahead registration — the tenant map entry must not become
         // visible before its journal and trace files exist, so file
@@ -691,7 +776,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                     *seq,
                 ));
             }
-            return;
+            return true;
         }
         if tenants.len() >= shared.config.max_tenants {
             let cap = shared.config.max_tenants;
@@ -702,7 +787,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 Some(tenant),
                 *seq,
             ));
-            return;
+            return true;
         }
         // Only a genuinely new tenant may touch its trace file — a duplicate
         // hello must not truncate the live tenant's trace.
@@ -718,7 +803,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
             Err(SessionError { code, message }) => {
                 drop(tenants);
                 sink.send(&Reply::error(code, message, Some(tenant), *seq));
-                return;
+                return true;
             }
         };
         if let Some(s) = *seq {
@@ -739,7 +824,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                     Some(tenant),
                     *seq,
                 ));
-                return;
+                return true;
             }
             session.set_checkpoint_policy(
                 shared.config.checkpoint_every,
@@ -755,11 +840,15 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
         // A fresh hello is an explicitly new session for this name; any
         // stale migration tombstone is superseded.
         lock(&shared.moved).remove(tenant.as_str());
+        // The tenant's fair-share weight lives only in the admission layer:
+        // it shapes token refill and the shed order, never scheduling state,
+        // so checkpoints and migrations stay byte-identical.
+        shared.admission.register(tenant, *weight);
         sink.send(&Reply::Ok {
             tenant: tenant.clone(),
             seq: *seq,
         });
-        return;
+        return true;
     }
 
     // `adopt` is handled inline like `hello`: it only touches the registry
@@ -767,7 +856,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
     let request = match request {
         Request::Adopt { state, seq, .. } => {
             route_adopt(shared, *state, seq, sink);
-            return;
+            return true;
         }
         other => other,
     };
@@ -798,6 +887,7 @@ fn route(shared: &Shared, conn: u64, request: Request, sink: &Arc<ReplySink>) {
                 )
             };
             sink.send(&reply);
+            true
         }
     }
 }
@@ -1125,7 +1215,13 @@ fn worker_loop(shared: &Shared) {
                 }
             };
             let Some((request, sink)) = next else { break };
+            // An admitted work-bearing request holds its in-flight slot
+            // until the worker finishes it, whatever the outcome.
+            let gated = admission_gated(&request);
             process(shared, &tenant, request, &sink);
+            if gated {
+                shared.admission.complete(&tenant.name);
+            }
         }
     }
 }
@@ -1374,6 +1470,7 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
             // racing `resume` could resurrect it from the shared journal.
             lock(&shared.moved).insert(tenant.name.clone());
             shared.lock_tenants().remove(&tenant.name);
+            shared.admission.deregister(&tenant.name);
             tenant.metrics.open.store(false, Ordering::Relaxed);
             shared.metrics.evictions.fetch_add(1, Ordering::Relaxed);
             sink.send(&Reply::Evicted {
@@ -1386,6 +1483,7 @@ fn process_inner(shared: &Shared, tenant: &Arc<Tenant>, request: Request, sink: 
             let session = session_slot.take();
             drop(session_slot);
             shared.lock_tenants().remove(&tenant.name);
+            shared.admission.deregister(&tenant.name);
             let accounting = match session {
                 Some(s) => {
                     let (accounting, trace_io) = s.finalize();
